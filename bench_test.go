@@ -1,0 +1,223 @@
+package bbc
+
+// One benchmark per reproduction experiment (E1–E23, see DESIGN.md), plus
+// micro-benchmarks for the engine's hot paths. The experiment benches run
+// the same code as cmd/bbcexp in quick mode and additionally report
+// domain metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every figure/theorem measurement in one sweep.
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbc/internal/analysis"
+	"bbc/internal/construct"
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+	"bbc/internal/exper"
+	"bbc/internal/group"
+)
+
+// benchExperiment runs one experiment per iteration and fails the bench if
+// its reproduction criteria do not hold.
+func benchExperiment(b *testing.B, run func(exper.Config) *exper.Report) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := run(exper.Config{Quick: true})
+		if !r.Pass {
+			b.Fatalf("experiment %s failed:\n%s", r.ID, r)
+		}
+	}
+}
+
+func BenchmarkE1GadgetNoNE(b *testing.B)            { benchExperiment(b, exper.E1) }
+func BenchmarkE2Reduction(b *testing.B)             { benchExperiment(b, exper.E2) }
+func BenchmarkE3FractionalEquilibrium(b *testing.B) { benchExperiment(b, exper.E3) }
+func BenchmarkE4Willows(b *testing.B)               { benchExperiment(b, exper.E4) }
+func BenchmarkE5Fairness(b *testing.B)              { benchExperiment(b, exper.E5) }
+func BenchmarkE6Diameter(b *testing.B)              { benchExperiment(b, exper.E6) }
+func BenchmarkE7PoA(b *testing.B)                   { benchExperiment(b, exper.E7) }
+func BenchmarkE8Cayley(b *testing.B)                { benchExperiment(b, exper.E8) }
+func BenchmarkE9DenseCayley(b *testing.B)           { benchExperiment(b, exper.E9) }
+func BenchmarkE10Connectivity(b *testing.B)         { benchExperiment(b, exper.E10) }
+func BenchmarkE11RingPath(b *testing.B)             { benchExperiment(b, exper.E11) }
+func BenchmarkE12Loop(b *testing.B)                 { benchExperiment(b, exper.E12) }
+func BenchmarkE13MaxCostWalk(b *testing.B)          { benchExperiment(b, exper.E13) }
+func BenchmarkE14MaxGadget(b *testing.B)            { benchExperiment(b, exper.E14) }
+func BenchmarkE15MaxPoA(b *testing.B)               { benchExperiment(b, exper.E15) }
+func BenchmarkE16MaxPoS(b *testing.B)               { benchExperiment(b, exper.E16) }
+func BenchmarkE17BudgetConjecture(b *testing.B)     { benchExperiment(b, exper.E17) }
+func BenchmarkE18BRGraphStructure(b *testing.B)     { benchExperiment(b, exper.E18) }
+func BenchmarkE19SolverAblation(b *testing.B)       { benchExperiment(b, exper.E19) }
+func BenchmarkE20GadgetRobustness(b *testing.B)     { benchExperiment(b, exper.E20) }
+func BenchmarkE21Synchronous(b *testing.B)          { benchExperiment(b, exper.E21) }
+func BenchmarkE22WillowsPadding(b *testing.B)       { benchExperiment(b, exper.E22) }
+func BenchmarkE23OverlayPressure(b *testing.B)      { benchExperiment(b, exper.E23) }
+
+// --- engine micro-benchmarks and ablations ---
+
+// BenchmarkOracleBuild measures the cost of precomputing the candidate
+// distance rows (n−1 BFS traversals with the node deleted).
+func BenchmarkOracleBuild(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			spec := core.MustUniform(n, 2)
+			p := dynamics.RandomStart(rand.New(rand.NewSource(1)), n, 2)
+			g := p.Realize(spec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.NewOracle(spec, g, i%n, core.SumDistances)
+			}
+		})
+	}
+}
+
+// BenchmarkBestResponse compares the exact, greedy and swap oracles — the
+// ablation DESIGN.md calls out for the best-response solver choice.
+func BenchmarkBestResponse(b *testing.B) {
+	const n, k = 64, 2
+	spec := core.MustUniform(n, k)
+	p := dynamics.RandomStart(rand.New(rand.NewSource(2)), n, k)
+	g := p.Realize(spec)
+	oracles := make([]*core.Oracle, n)
+	for u := 0; u < n; u++ {
+		oracles[u] = core.NewOracle(spec, g, u, core.SumDistances)
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := oracles[i%n].BestExact(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			oracles[i%n].BestGreedy()
+		}
+	})
+	b.Run("greedy-swap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, _ := oracles[i%n].BestGreedy()
+			oracles[i%n].ImproveBySwaps(s, 50)
+		}
+	})
+}
+
+// BenchmarkGreedyOptimalityGap reports how far greedy lands from the exact
+// best response (quality ablation; the gap is reported as a metric rather
+// than time).
+func BenchmarkGreedyOptimalityGap(b *testing.B) {
+	const n, k = 48, 3
+	spec := core.MustUniform(n, k)
+	rng := rand.New(rand.NewSource(3))
+	var worst float64 = 1
+	for i := 0; i < b.N; i++ {
+		p := dynamics.RandomStart(rng, n, k)
+		g := p.Realize(spec)
+		u := rng.Intn(n)
+		o := core.NewOracle(spec, g, u, core.SumDistances)
+		_, exact, err := o.BestExact(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, greedy := o.BestGreedy()
+		if ratio := float64(greedy) / float64(exact); ratio > worst {
+			worst = ratio
+		}
+	}
+	b.ReportMetric(worst, "worst-greedy/exact")
+}
+
+// BenchmarkStabilityCheck measures the full-profile equilibrium check on
+// Willows instances (the workhorse of E4/E15/E16).
+func BenchmarkStabilityCheck(b *testing.B) {
+	for _, p := range []construct.WillowsParams{{K: 2, H: 2, L: 1}, {K: 2, H: 3, L: 0}} {
+		w, err := construct.NewWillows(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sizeName(p.N()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dev, err := core.FindDeviation(w.Spec, w.Profile, core.SumDistances, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dev != nil {
+					b.Fatal("willows must be stable")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDynamicsRound measures one full round-robin round of exact best
+// responses from a random start.
+func BenchmarkDynamicsRound(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			spec := core.MustUniform(n, 2)
+			rng := rand.New(rand.NewSource(4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				start := dynamics.RandomStart(rng, n, 2)
+				b.StartTimer()
+				if _, err := dynamics.Run(spec, start, dynamics.NewRoundRobin(n),
+					core.SumDistances, dynamics.Options{MaxSteps: n}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCayleyCheck measures the vertex-transitive stability check that
+// powers the Theorem 5 sweeps.
+func BenchmarkCayleyCheck(b *testing.B) {
+	ab := group.MustCyclic(30)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := analysis.CayleyStable(ab, []int{1, 6}, core.SumDistances, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSocialCost measures whole-profile cost evaluation.
+func BenchmarkSocialCost(b *testing.B) {
+	w, err := construct.NewWillows(construct.WillowsParams{K: 2, H: 3, L: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SocialCost(w.Spec, w.Profile, core.SumDistances)
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n < 10:
+		return "n=00" + string(rune('0'+n))
+	case n < 100:
+		return "n=0" + itoa(n)
+	default:
+		return "n=" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

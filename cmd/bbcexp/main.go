@@ -1,0 +1,63 @@
+// Command bbcexp runs the paper-reproduction experiment suite (E1–E23,
+// indexed in DESIGN.md) and prints the measured tables and findings that
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	bbcexp [-quick] [-only E4,E12]
+//
+// -quick skips the multi-minute exhaustive scans; -only restricts the run
+// to a comma-separated list of experiment ids.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bbc/internal/exper"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "skip the multi-minute exhaustive scans")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	var selected []*exper.Report
+	failures := 0
+	for _, r := range exper.All(exper.Config{Quick: *quick}) {
+		if len(wanted) > 0 && !wanted[r.ID] {
+			continue
+		}
+		selected = append(selected, r)
+		if !*asJSON {
+			fmt.Print(r)
+			fmt.Println()
+		}
+		if !r.Pass {
+			failures++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(selected); err != nil {
+			fmt.Fprintf(os.Stderr, "bbcexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bbcexp: %d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestGenerateKindsRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		kind string
+	}{
+		{name: "uniform", kind: "uniform"},
+		{name: "random", kind: "random"},
+		{name: "willows", kind: "willows"},
+		{name: "gadget", kind: "gadget"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			inst, err := generate(tt.kind, 8, 2, 2, 1, 3, 0, 0, 2, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Profile.Validate(inst.Spec); err != nil {
+				t.Fatalf("generated profile infeasible: %v", err)
+			}
+			data, err := json.Marshal(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back core.Instance
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("emitted JSON does not round trip: %v", err)
+			}
+			if back.Spec.N() != inst.Spec.N() {
+				t.Fatal("round trip changed node count")
+			}
+		})
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("mystery", 8, 2, 2, 1, 3, 0, 0, 2, 7); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	if _, err := generate("uniform", 1, 1, 0, 0, 0, 0, 0, 0, 7); err == nil {
+		t.Fatal("expected error for n=1")
+	}
+	if _, err := generate("willows", 8, 0, 2, 1, 0, 0, 0, 0, 7); err == nil {
+		t.Fatal("expected error for bad willows params")
+	}
+}
+
+func TestGenerateWillowsIsStableInstance(t *testing.T) {
+	inst, err := generate("willows", 0, 2, 2, 0, 0, 0, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := core.IsEquilibrium(inst.Spec, inst.Profile, core.SumDistances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("generated willows instance should carry its stable profile")
+	}
+}

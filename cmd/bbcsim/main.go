@@ -1,0 +1,173 @@
+// Command bbcsim runs a best-response walk on a BBC game and reports the
+// outcome: convergence to a pure Nash equilibrium, a certified loop, or
+// step exhaustion, plus cost and connectivity statistics.
+//
+// Usage:
+//
+//	bbcsim -n 12 -k 2 [-agg sum|max] [-sched round-robin|max-cost-first|random]
+//	       [-start empty|random] [-seed 1] [-steps 0] [-trace]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bbc/internal/analysis"
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 12, "number of players")
+		k     = flag.Int("k", 2, "per-player link budget")
+		agg   = flag.String("agg", "sum", "cost aggregation: sum or max")
+		sched = flag.String("sched", "round-robin", "scheduler: round-robin, max-cost-first or random")
+		start = flag.String("start", "empty", "starting profile: empty or random")
+		seed  = flag.Int64("seed", 1, "random seed")
+		steps = flag.Int("steps", 0, "max steps (0 = 10·n²)")
+		trace = flag.Bool("trace", false, "print every move")
+		load  = flag.String("load", "", "load a core.Instance JSON file (e.g. from bbcgen) instead of -n/-k/-start")
+	)
+	flag.Parse()
+
+	var err error
+	if *load != "" {
+		err = runLoaded(*load, *agg, *sched, *seed, *steps, *trace)
+	} else {
+		err = run(*n, *k, *agg, *sched, *start, *seed, *steps, *trace)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbcsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runLoaded runs a walk on an instance loaded from a JSON file: the
+// instance's profile is the starting configuration.
+func runLoaded(path, aggName, schedName string, seed int64, steps int, trace bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var inst core.Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		return err
+	}
+	agg, err := parseAgg(aggName)
+	if err != nil {
+		return err
+	}
+	sched, err := parseScheduler(schedName, inst.Spec.N(), agg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	res, err := dynamics.Run(inst.Spec, inst.Profile, sched, agg, dynamics.Options{
+		MaxSteps:    steps,
+		DetectLoops: schedName != "random",
+		Trace:       trace,
+	})
+	if err != nil {
+		return err
+	}
+	report(res, inst.Spec, aggName, schedName, "loaded:"+path, seed, trace)
+	return nil
+}
+
+func run(n, k int, aggName, schedName, startName string, seed int64, steps int, trace bool) error {
+	spec, err := core.NewUniform(n, k)
+	if err != nil {
+		return err
+	}
+	agg, err := parseAgg(aggName)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var p core.Profile
+	switch startName {
+	case "empty":
+		p = core.NewEmptyProfile(n)
+	case "random":
+		p = dynamics.RandomStart(rng, n, k)
+	default:
+		return fmt.Errorf("unknown start %q", startName)
+	}
+	sched, err := parseScheduler(schedName, n, agg, rng)
+	if err != nil {
+		return err
+	}
+	res, err := dynamics.Run(spec, p, sched, agg, dynamics.Options{
+		MaxSteps:    steps,
+		DetectLoops: schedName != "random",
+		Trace:       trace,
+	})
+	if err != nil {
+		return err
+	}
+	report(res, spec, aggName, schedName, startName, seed, trace)
+	return nil
+}
+
+func parseAgg(name string) (core.Aggregation, error) {
+	switch name {
+	case "sum":
+		return core.SumDistances, nil
+	case "max":
+		return core.MaxDistance, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregation %q", name)
+	}
+}
+
+func parseScheduler(name string, n int, agg core.Aggregation, rng *rand.Rand) (dynamics.Scheduler, error) {
+	switch name {
+	case "round-robin":
+		return dynamics.NewRoundRobin(n), nil
+	case "max-cost-first":
+		return &dynamics.MaxCostFirst{Agg: agg}, nil
+	case "random":
+		return &dynamics.RandomScheduler{Rng: rng}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+// report prints the walk outcome summary.
+func report(res *dynamics.Result, spec core.Spec, aggName, schedName, startName string, seed int64, trace bool) {
+	agg, _ := parseAgg(aggName)
+	n := spec.N()
+	if trace {
+		for _, rec := range res.Trace {
+			if rec.Moved {
+				fmt.Printf("step %4d: node %d rewires %v -> %v (cost %d -> %d)\n",
+					rec.Step, rec.Node, rec.From, rec.To, rec.CostBefore, rec.CostAfter)
+			}
+		}
+	}
+	fmt.Printf("(n=%d, %s cost, %s walk from %s, seed %d)\n",
+		n, aggName, schedName, startName, seed)
+	fmt.Printf("steps: %d, moves: %d\n", res.Steps, res.Moves)
+	switch {
+	case res.Converged:
+		fmt.Println("outcome: converged to a pure Nash equilibrium")
+	case res.Loop != nil:
+		fmt.Printf("outcome: certified best-response loop (%d moves over %d steps)\n",
+			len(res.Loop.Moves), res.Loop.Length)
+	default:
+		fmt.Println("outcome: step budget exhausted without convergence or loop")
+	}
+	if res.ConnectivityStep >= 0 {
+		fmt.Printf("strong connectivity reached at step %d (n² = %d)\n", res.ConnectivityStep, n*n)
+	} else {
+		fmt.Println("strong connectivity never reached")
+	}
+	fair := analysis.MeasureFairness(spec, res.Final, agg)
+	fmt.Printf("final costs: min=%d max=%d ratio=%.3f\n", fair.Min, fair.Max, fair.Ratio)
+	d := analysis.MeasureDiameter(spec, res.Final)
+	fmt.Printf("final graph: diameter=%d stronglyConnected=%v socialCost=%d\n",
+		d.Diameter, d.StronglyConnected, core.SocialCost(spec, res.Final, agg))
+}

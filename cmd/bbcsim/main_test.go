@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunValidConfigurations(t *testing.T) {
+	tests := []struct {
+		name              string
+		agg, sched, start string
+	}{
+		{name: "defaults", agg: "sum", sched: "round-robin", start: "empty"},
+		{name: "max cost", agg: "max", sched: "round-robin", start: "empty"},
+		{name: "max-cost-first", agg: "sum", sched: "max-cost-first", start: "random"},
+		{name: "random walk", agg: "sum", sched: "random", start: "random"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(6, 1, tt.agg, tt.sched, tt.start, 1, 200, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	if err := run(5, 1, "sum", "round-robin", "empty", 2, 100, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	tests := []struct {
+		name              string
+		n, k              int
+		agg, sched, start string
+	}{
+		{name: "bad n", n: 1, k: 1, agg: "sum", sched: "round-robin", start: "empty"},
+		{name: "bad agg", n: 5, k: 1, agg: "median", sched: "round-robin", start: "empty"},
+		{name: "bad sched", n: 5, k: 1, agg: "sum", sched: "zigzag", start: "empty"},
+		{name: "bad start", n: 5, k: 1, agg: "sum", sched: "round-robin", start: "willows"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.n, tt.k, tt.agg, tt.sched, tt.start, 1, 50, false); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestRunLoadedInstance(t *testing.T) {
+	// Generate a gadget instance file and walk it: the gadget must loop.
+	dir := t.TempDir()
+	path := dir + "/gadget.json"
+	data := `{"game":{"kind":"uniform","n":6,"k":1},"profile":[[1],[2],[3],[4],[5],[0]]}`
+	if err := os.WriteFile(path, []byte(data), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoaded(path, "sum", "round-robin", 1, 100, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoaded(dir+"/missing.json", "sum", "round-robin", 1, 100, false); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoaded(path, "sum", "round-robin", 1, 100, false); err == nil {
+		t.Fatal("expected error for corrupt file")
+	}
+}

@@ -1,0 +1,74 @@
+// Command bbcviz renders the paper's constructions as Graphviz DOT, for
+// figures analogous to the paper's Figures 1, 3, 4 and 6.
+//
+// Usage:
+//
+//	bbcviz -what willows -k 2 -h 2 -l 1 > willows.dot
+//	bbcviz -what gadget > gadget.dot
+//	bbcviz -what figure4 > figure4.dot
+//	bbcviz -what maxpoa -k 3 -l 3 > maxpoa.dot
+//	bbcviz -what ringpath -ring 8 -path 4 > ringpath.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bbc/internal/construct"
+)
+
+func main() {
+	var (
+		what = flag.String("what", "willows", "construction: willows, gadget, figure4, maxpoa or ringpath")
+		k    = flag.Int("k", 2, "budget / tree count (willows, maxpoa)")
+		h    = flag.Int("h", 2, "tree height (willows)")
+		l    = flag.Int("l", 1, "tail length (willows, maxpoa)")
+		ring = flag.Int("ring", 8, "ring size (ringpath)")
+		path = flag.Int("path", 4, "path size (ringpath)")
+	)
+	flag.Parse()
+	dot, err := render(*what, *k, *h, *l, *ring, *path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(dot)
+}
+
+func render(what string, k, h, l, ring, path int) (string, error) {
+	switch what {
+	case "willows":
+		w, err := construct.NewWillows(construct.WillowsParams{K: k, H: h, L: l})
+		if err != nil {
+			return "", err
+		}
+		labels := make(map[int]string, len(w.Roots))
+		for i, r := range w.Roots {
+			labels[r] = fmt.Sprintf("r%d", i+1)
+		}
+		return w.Profile.Realize(w.Spec).DOT("willows", labels), nil
+	case "gadget":
+		d := construct.MatchingPennies(construct.DefaultGadgetWeights())
+		p := construct.IntendedGadgetProfile(true, true)
+		return p.Realize(d).DOT("gadget", construct.GadgetLabels()), nil
+	case "figure4":
+		spec, p := construct.Figure4Start()
+		return p.Realize(spec).DOT("figure4", nil), nil
+	case "maxpoa":
+		m, err := construct.NewMaxPoA(construct.MaxPoAParams{K: k, L: l})
+		if err != nil {
+			return "", err
+		}
+		labels := map[int]string{m.Root: "r"}
+		return m.Profile.Realize(m.Spec).DOT("maxpoa", labels), nil
+	case "ringpath":
+		spec, p, err := construct.RingPath(ring, path)
+		if err != nil {
+			return "", err
+		}
+		return p.Realize(spec).DOT("ringpath", map[int]string{0: "T"}), nil
+	default:
+		return "", fmt.Errorf("unknown construction %q", what)
+	}
+}

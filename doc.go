@@ -1,0 +1,12 @@
+// Package bbc reproduces "Bounded Budget Connection (BBC) Games or How to
+// make friends and influence people, on a budget" (Laoutaris, Poplawski,
+// Rajaraman, Sundaram, Teng — PODC 2008) as an executable laboratory: the
+// game engine and best-response oracles live in internal/core, the paper's
+// constructions in internal/construct, best-response dynamics in
+// internal/dynamics, fractional games in internal/fractional, and the
+// per-figure/theorem reproduction experiments in internal/exper (run them
+// with cmd/bbcexp or the root-level benchmarks).
+//
+// See DESIGN.md for the system inventory and the experiment index, and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package bbc

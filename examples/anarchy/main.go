@@ -1,0 +1,88 @@
+// Anarchy: the paper's central question made concrete — "could it be
+// possible that left to their own devices people will generate poorly
+// connected networks?" We compare what selfish rewiring produces against
+// designed baselines (ring, bidirectional ring, Forest of Willows) at the
+// same budget, and watch the social cost trajectory as anarchy unfolds.
+//
+// Run with: go run ./examples/anarchy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bbc/internal/analysis"
+	"bbc/internal/construct"
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+)
+
+func main() {
+	const n, k = 22, 2
+
+	// The designed reference at this size and budget: the Forest of
+	// Willows (a *stable* design — nobody wants to rewire away from it).
+	w, err := construct.NewWillows(construct.WillowsParams{K: 2, H: 2, L: 1}) // n = 22
+	if err != nil {
+		log.Fatal(err)
+	}
+	if w.Params.N() != n {
+		log.Fatalf("example miswired: willows has %d nodes, want %d", w.Params.N(), n)
+	}
+	designed := core.SocialCost(w.Spec, w.Profile, core.SumDistances)
+
+	// The naive designed baseline: a bidirectional ring (same budget k=2).
+	ringSpec, ringP, err := construct.BidirectionalRing(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ringCost := core.SocialCost(ringSpec, ringP, core.SumDistances)
+	ringStable, err := core.IsEquilibrium(ringSpec, ringP, core.SumDistances)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Anarchy: start from nothing and let everyone optimize selfishly.
+	spec := core.MustUniform(n, k)
+	res, err := dynamics.Run(spec, core.NewEmptyProfile(n), dynamics.NewRoundRobin(n),
+		core.SumDistances, dynamics.Options{RecordSocialCost: true, DetectLoops: true, MaxSteps: 3000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	anarchy := core.SocialCost(spec, res.Final, core.SumDistances)
+
+	lb := analysis.SocialOptimumLowerBound(n, k)
+	fmt.Printf("(n=%d, k=%d) social costs — optimum lower bound %d:\n", n, k, lb)
+	fmt.Printf("  forest of willows (stable design):  %6d  (%.2fx bound)\n", designed, ratio(designed, lb))
+	fmt.Printf("  bidirectional ring (naive design):  %6d  (%.2fx bound, stable=%v)\n", ringCost, ratio(ringCost, lb), ringStable)
+	outcome := "converged"
+	if res.Loop != nil {
+		outcome = "entered a loop"
+	} else if !res.Converged {
+		outcome = "kept churning"
+	}
+	fmt.Printf("  selfish from empty (%s):     %6d  (%.2fx bound)\n", outcome, anarchy, ratio(anarchy, lb))
+
+	// The anarchy trajectory: how fast does selfish rewiring approach the
+	// bound? Print a coarse view of the social-cost series.
+	series := res.SocialCostSeries
+	fmt.Println()
+	fmt.Println("selfish social-cost trajectory (sampled):")
+	for _, i := range []int{0, n, 2 * n, 4 * n, 8 * n, 16 * n, 32 * n, 64 * n, 128 * n} {
+		if i < len(series) {
+			fmt.Printf("  after %4d steps: %d\n", i, series[i])
+		}
+	}
+	fmt.Printf("  after %4d steps: %d (final)\n", len(series)-1, series[len(series)-1])
+
+	// Who ended up influential under anarchy?
+	rep := analysis.MeasureInfluence(spec, res.Final, core.SumDistances)
+	fmt.Println()
+	fmt.Printf("most central nodes after anarchy: %v\n", analysis.TopK(rep.ByCloseness, 3))
+	fmt.Printf("most popular nodes after anarchy: %v\n", analysis.TopK(rep.ByPopularity, 3))
+	fair := analysis.MeasureFairness(spec, res.Final, core.SumDistances)
+	fmt.Printf("fairness under anarchy: costs %d..%d (ratio %.2f — Lemma 1 bound %.2f+o(1))\n",
+		fair.Min, fair.Max, fair.Ratio, analysis.FairnessRatioBound(k))
+}
+
+func ratio(a, b int64) float64 { return float64(a) / float64(b) }

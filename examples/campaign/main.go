@@ -1,0 +1,116 @@
+// Campaign: the paper's opening motivation — a campaign manager with a
+// limited budget placing connections into a network of political
+// operatives to maximize influence (minimize preference-weighted distance
+// to the voters that matter), while the operatives keep rewiring for their
+// own agendas. The candidate's placement problem is exactly a constrained
+// best response, and the Oracle exposes the exact, greedy and local-search
+// solvers for it.
+//
+// Run with: go run ./examples/campaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+)
+
+const (
+	operatives = 14 // nodes 1..14 are operatives; node 0 is the candidate
+	n          = operatives + 1
+	candidate  = 0
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(23))
+	spec := buildCampaignGame(rng)
+	fmt.Printf("campaign: 1 candidate (budget %d) + %d operatives (budget 1)\n",
+		spec.Budgets[candidate], operatives)
+
+	// Let the operative network churn for a while without the candidate.
+	p := dynamics.RandomStart(rng, n, 1)
+	p[candidate] = core.Strategy{}
+	res, err := dynamics.Run(spec, p, dynamics.NewRoundRobin(n), core.SumDistances,
+		dynamics.Options{MaxSteps: 2000, BR: core.Options{Method: core.GreedySwap}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p = res.Final
+	p[candidate] = core.Strategy{} // the candidate has not campaigned yet
+
+	// Now the placement question: where should the candidate spend its
+	// budget? Compare the three solvers on the same snapshot.
+	g := p.Realize(spec)
+	oracle := core.NewOracle(spec, g, candidate, core.SumDistances)
+
+	exact, exactCost, err := oracle.BestExact(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, greedyCost := oracle.BestGreedy()
+	swapped, swappedCost := oracle.ImproveBySwaps(greedy, 50)
+
+	fmt.Printf("placement (lower weighted remoteness is better):\n")
+	fmt.Printf("  exact k-median:  %v -> influence cost %d\n", []int(exact), exactCost)
+	fmt.Printf("  greedy:          %v -> influence cost %d\n", []int(greedy), greedyCost)
+	fmt.Printf("  greedy + swaps:  %v -> influence cost %d\n", []int(swapped), swappedCost)
+	fmt.Printf("  doing nothing:   influence cost %d\n", oracle.Evaluate(core.Strategy{}))
+
+	// Commit the exact placement and let the ecosystem respond: do the
+	// operatives' rewires erode the candidate's position?
+	p[candidate] = exact
+	res2, err := dynamics.Run(spec, p, dynamics.NewRoundRobin(n), core.SumDistances,
+		dynamics.Options{MaxSteps: 2000, BR: core.Options{Method: core.GreedySwap}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := core.NodeCost(spec, res2.Final.Realize(spec), candidate, core.SumDistances)
+	fmt.Printf("after the field reacts (%d rewirings): candidate influence cost %d\n",
+		res2.Moves, after)
+	dev, err := core.NodeDeviation(spec, res2.Final.Realize(spec), res2.Final, candidate,
+		core.SumDistances, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dev == nil {
+		fmt.Println("the placement is still a best response — no re-buy needed")
+	} else {
+		fmt.Printf("worth re-buying: %v would improve cost %d -> %d\n",
+			[]int(dev.Strategy), dev.OldCost, dev.NewCost)
+	}
+}
+
+// buildCampaignGame gives the candidate budget 3 and high preference for a
+// few "swing" operatives, moderate preference for the rest; operatives
+// mostly care about their faction peers.
+func buildCampaignGame(rng *rand.Rand) *core.Dense {
+	d := core.NewDense(n)
+	d.Budgets[candidate] = 3
+	swing := rng.Perm(operatives)[:4]
+	for v := 1; v < n; v++ {
+		d.Weights[candidate][v] = 1
+	}
+	for _, s := range swing {
+		d.Weights[candidate][s+1] = 6
+	}
+	for u := 1; u < n; u++ {
+		d.Budgets[u] = 1
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			switch {
+			case v == candidate:
+				d.Weights[u][v] = 2 // everyone keeps an eye on the candidate
+			case (u-1)%3 == (v-1)%3:
+				d.Weights[u][v] = 3 // faction peers
+			default:
+				d.Weights[u][v] = 1
+			}
+		}
+	}
+	return d.MustSeal()
+}

@@ -1,0 +1,127 @@
+// Overlay: the paper's peer-to-peer motivation (Section 1.1). Peers in an
+// overlay network have bounded out-degree, heterogeneous link latencies
+// (link lengths) and interest in only a subset of other peers (the
+// Halevi–Mansour flavor the paper cites). Each peer selfishly rewires its
+// neighbor set to minimize its interest-weighted latency; we watch whether
+// selfish neighbor selection finds a stable overlay and how far it lands
+// from a socially planned one.
+//
+// Run with: go run ./examples/overlay
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+)
+
+const (
+	peers      = 16
+	outDegree  = 3
+	interested = 5 // each peer cares about this many others
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	spec := buildOverlayGame(rng)
+
+	fmt.Printf("overlay: %d peers, out-degree budget %d, %d interests per peer, latencies 1..9\n",
+		peers, outDegree, interested)
+
+	// Selfish neighbor selection: random initial overlay, round-robin
+	// exact best responses.
+	start := dynamics.RandomStart(rng, peers, outDegree)
+	res, err := dynamics.Run(spec, start, dynamics.NewRoundRobin(peers), core.SumDistances,
+		dynamics.Options{MaxSteps: 4000, DetectLoops: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case res.Converged:
+		fmt.Printf("selfish rewiring converged after %d rewirings\n", res.Moves)
+	case res.Loop != nil:
+		fmt.Printf("selfish rewiring entered a loop after %d rewirings (no stable overlay on this path)\n", res.Moves)
+	default:
+		fmt.Printf("selfish rewiring still churning after %d steps\n", res.Steps)
+	}
+
+	selfish := core.SocialCost(spec, res.Final, core.SumDistances)
+	fmt.Printf("selfish overlay: social latency %d (started at %d)\n",
+		selfish, core.SocialCost(spec, start, core.SumDistances))
+
+	// A crude "planned" overlay for comparison: every peer greedily links
+	// its best targets as if it were alone on a fresh graph seeded by a
+	// latency-sorted ring (a designer's static heuristic).
+	planned := plannedOverlay(spec)
+	fmt.Printf("planned overlay: social latency %d\n", core.SocialCost(spec, planned, core.SumDistances))
+
+	// Per-peer view: worst-served peers under selfish rewiring.
+	costs := core.CostVector(spec, res.Final, core.SumDistances)
+	worst, worstCost := 0, int64(0)
+	for u, c := range costs {
+		if c > worstCost {
+			worst, worstCost = u, c
+		}
+	}
+	fmt.Printf("worst-served peer: %d with interest-weighted latency %d\n", worst, worstCost)
+}
+
+// buildOverlayGame makes a Dense spec: latencies (lengths) uniform in
+// 1..9, each peer interested (weight 2) in a random subset plus mildly
+// (weight 1) in everyone else so the overlay must stay connected.
+func buildOverlayGame(rng *rand.Rand) *core.Dense {
+	d := core.NewDense(peers)
+	for u := 0; u < peers; u++ {
+		d.Budgets[u] = outDegree
+		for v := 0; v < peers; v++ {
+			if u == v {
+				continue
+			}
+			d.Lengths[u][v] = int64(1 + rng.Intn(9))
+			d.Weights[u][v] = 1
+		}
+		for _, v := range rng.Perm(peers)[:interested+1] {
+			if v != u {
+				d.Weights[u][v] = 4
+			}
+		}
+	}
+	d.M = int64(peers)*9*10 + 1
+	return d.MustSeal()
+}
+
+// plannedOverlay links each peer to its `outDegree` lowest-latency
+// interesting targets — the static design a non-game-aware operator might
+// ship.
+func plannedOverlay(spec *core.Dense) core.Profile {
+	p := core.NewEmptyProfile(peers)
+	for u := 0; u < peers; u++ {
+		type cand struct {
+			v     int
+			score int64
+		}
+		cands := make([]cand, 0, peers-1)
+		for v := 0; v < peers; v++ {
+			if v == u {
+				continue
+			}
+			cands = append(cands, cand{v: v, score: spec.Lengths[u][v] * 10 / spec.Weights[u][v]})
+		}
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].score < cands[i].score {
+					cands[i], cands[j] = cands[j], cands[i]
+				}
+			}
+		}
+		targets := make([]int, 0, outDegree)
+		for _, c := range cands[:outDegree] {
+			targets = append(targets, c.v)
+		}
+		p[u] = core.NormalizeStrategy(targets)
+	}
+	return p
+}

@@ -1,0 +1,98 @@
+// Social: the paper's friend-finder motivation (Section 1.1). People have
+// a Dunbar-style cap on direct ties (the budget) and community-structured
+// preferences: strong interest inside their community, weak interest
+// outside. Left to their own devices, do they form a well-connected
+// network, or do communities wall themselves off?
+//
+// Run with: go run ./examples/social
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bbc/internal/analysis"
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+)
+
+const (
+	communities   = 3
+	perCommunity  = 6
+	dunbar        = 2 // direct-tie budget
+	insideWeight  = 5
+	outsideWeight = 1
+)
+
+func main() {
+	n := communities * perCommunity
+	spec := buildSocialGame(n)
+	fmt.Printf("social network: %d people in %d communities, tie budget %d, in/out interest %d:%d\n",
+		n, communities, dunbar, insideWeight, outsideWeight)
+
+	rng := rand.New(rand.NewSource(11))
+	res, err := dynamics.Run(spec, dynamics.RandomStart(rng, n, dunbar),
+		dynamics.NewRoundRobin(n), core.SumDistances,
+		dynamics.Options{MaxSteps: 6000, DetectLoops: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case res.Converged:
+		fmt.Printf("tie formation settled after %d rewirings\n", res.Moves)
+	case res.Loop != nil:
+		fmt.Printf("tie formation cycles (%d rewirings seen) — no stable friendship graph on this path\n", res.Moves)
+	default:
+		fmt.Printf("tie formation still churning after %d steps\n", res.Steps)
+	}
+
+	g := res.Final.Realize(spec)
+	diam := analysis.MeasureDiameter(spec, res.Final)
+	fmt.Printf("network: strongly connected %v, diameter %d\n", diam.StronglyConnected, diam.Diameter)
+
+	// How clannish did it get? Count in-community vs out-community ties.
+	inside, outside := 0, 0
+	for u, s := range res.Final {
+		for _, v := range s {
+			if u/perCommunity == v/perCommunity {
+				inside++
+			} else {
+				outside++
+			}
+		}
+	}
+	fmt.Printf("ties: %d inside communities, %d across (bridges)\n", inside, outside)
+
+	// Influence: who ends up closest to everyone (weighted closeness)?
+	costs := core.CostVector(spec, res.Final, core.SumDistances)
+	best, bestCost := 0, costs[0]
+	for u, c := range costs {
+		if c < bestCost {
+			best, bestCost = u, c
+		}
+	}
+	fmt.Printf("most influential person: %d (community %d) with weighted remoteness %d\n",
+		best, best/perCommunity, bestCost)
+	fair := analysis.MeasureFairness(spec, res.Final, core.SumDistances)
+	fmt.Printf("inequality: remoteness spread %d..%d (ratio %.2f)\n", fair.Min, fair.Max, fair.Ratio)
+	_ = g
+}
+
+func buildSocialGame(n int) *core.Dense {
+	d := core.NewDense(n)
+	for u := 0; u < n; u++ {
+		d.Budgets[u] = dunbar
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if u/perCommunity == v/perCommunity {
+				d.Weights[u][v] = insideWeight
+			} else {
+				d.Weights[u][v] = outsideWeight
+			}
+		}
+	}
+	return d.MustSeal()
+}

@@ -1,0 +1,3 @@
+module bbc
+
+go 1.22

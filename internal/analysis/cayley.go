@@ -1,0 +1,134 @@
+// Package analysis measures the paper's quantitative claims on concrete
+// instances: instability of Abelian Cayley graphs (Theorem 5, Corollary 1,
+// Lemma 8), fairness of stable graphs (Lemma 1), diameter bounds (Lemma
+// 7), and price-of-anarchy / price-of-stability curves (Theorem 4,
+// Theorems 8-9).
+package analysis
+
+import (
+	"fmt"
+
+	"bbc/internal/core"
+	"bbc/internal/group"
+)
+
+// CayleyGame builds the (n, k)-uniform game played on the Cayley graph of
+// the group over the generators, returning the spec and the profile in
+// which every node plays the generator offsets.
+func CayleyGame(ab *group.Abelian, gens []int) (*core.Uniform, core.Profile, error) {
+	g, err := group.Cayley(ab, gens)
+	if err != nil {
+		return nil, nil, err
+	}
+	norm, err := ab.NormalizeGens(gens)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, err := core.NewUniform(ab.Order(), len(norm))
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: cayley game: %w", err)
+	}
+	return spec, core.FromGraph(g), nil
+}
+
+// PaperDeviation reports the cost change for node 0 (representative by
+// vertex transitivity) when its i-th generator edge a_i is replaced by the
+// doubled edge a_i + a_i — exactly the deviation in the proof of Theorem 5.
+// Negative Delta means the deviation strictly improves and the Cayley
+// graph is not stable.
+type PaperDeviation struct {
+	// GenIndex is the index (into the normalized generator list) whose
+	// replacement improves most.
+	GenIndex int
+	// Delta is newCost − oldCost for the best replacement (most negative
+	// first).
+	Delta int64
+	// OldCost is node 0's cost in the Cayley configuration.
+	OldCost int64
+}
+
+// BestPaperDeviation tries every i-edge doubling for node 0 and returns
+// the best one. The spec/profile must come from CayleyGame.
+func BestPaperDeviation(ab *group.Abelian, gens []int, agg core.Aggregation) (*PaperDeviation, error) {
+	spec, p, err := CayleyGame(ab, gens)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := ab.NormalizeGens(gens)
+	if err != nil {
+		return nil, err
+	}
+	g := p.Realize(spec)
+	old := core.NodeCost(spec, g, 0, agg)
+	best := &PaperDeviation{GenIndex: -1, Delta: 0, OldCost: old}
+	for i, a := range norm {
+		doubled := ab.Double(a)
+		if doubled == ab.Identity() || doubled == 0 {
+			continue // a has order 2: the doubled edge would be a self loop
+		}
+		targets := make([]int, 0, len(norm))
+		for j, b := range norm {
+			if j == i {
+				targets = append(targets, doubled)
+			} else {
+				targets = append(targets, b)
+			}
+		}
+		trial := core.NormalizeStrategy(targets)
+		if len(trial) < len(norm) {
+			continue // doubled edge collides with another generator
+		}
+		q := p.Clone()
+		q[0] = trial
+		cost := core.NodeCost(spec, q.Realize(spec), 0, agg)
+		if d := cost - old; d < best.Delta {
+			best.Delta = d
+			best.GenIndex = i
+		}
+	}
+	return best, nil
+}
+
+// CayleyStable runs the full exact stability check on the Cayley
+// configuration. By vertex transitivity it suffices to check node 0: if
+// node 0 has no improving deviation, no node does.
+func CayleyStable(ab *group.Abelian, gens []int, agg core.Aggregation, opts core.Options) (bool, *core.Deviation, error) {
+	spec, p, err := CayleyGame(ab, gens)
+	if err != nil {
+		return false, nil, err
+	}
+	g := p.Realize(spec)
+	dev, err := core.NodeDeviation(spec, g, p, 0, agg, opts)
+	if err != nil {
+		return false, nil, err
+	}
+	return dev == nil, dev, nil
+}
+
+// HypercubeStable checks Corollary 1: whether the 2^d-node hypercube is
+// stable for the (2^d, d)-uniform game.
+func HypercubeStable(d int, opts core.Options) (bool, error) {
+	ab := group.MustBoolean(d)
+	gens := make([]int, d)
+	for i := 0; i < d; i++ {
+		coords := make([]int, d)
+		coords[i] = 1
+		gens[i] = ab.Encode(coords)
+	}
+	stable, _, err := CayleyStable(ab, gens, core.SumDistances, opts)
+	return stable, err
+}
+
+// DenseCayleyStable checks Lemma 8: any degree-k n-node Abelian Cayley
+// graph with k > (n-2)/2 is stable.
+func DenseCayleyStable(ab *group.Abelian, gens []int) (bool, error) {
+	norm, err := ab.NormalizeGens(gens)
+	if err != nil {
+		return false, err
+	}
+	if 2*len(norm) <= ab.Order()-2 {
+		return false, fmt.Errorf("analysis: generators violate k > (n-2)/2: k=%d n=%d", len(norm), ab.Order())
+	}
+	stable, _, err := CayleyStable(ab, norm, core.SumDistances, core.Options{})
+	return stable, err
+}

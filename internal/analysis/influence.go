@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"sort"
+
+	"bbc/internal/core"
+)
+
+// InfluenceReport ranks nodes by the two natural influence notions in a
+// BBC network: weighted closeness (low preference-weighted remoteness —
+// the node's own game cost, i.e. how well it reaches who it cares about)
+// and popularity (how many bought links point at it — being a target
+// others pay for).
+type InfluenceReport struct {
+	// Remoteness[u] is u's game cost (lower = more central).
+	Remoteness []int64
+	// InDegree[u] counts bought links pointing at u.
+	InDegree []int
+	// ByCloseness lists node ids sorted by ascending remoteness (most
+	// influential first), ties toward lower ids.
+	ByCloseness []int
+	// ByPopularity lists node ids sorted by descending in-degree.
+	ByPopularity []int
+}
+
+// MeasureInfluence computes the influence report for a profile.
+func MeasureInfluence(spec core.Spec, p core.Profile, agg core.Aggregation) *InfluenceReport {
+	n := spec.N()
+	rep := &InfluenceReport{
+		Remoteness: core.CostVector(spec, p, agg),
+		InDegree:   make([]int, n),
+	}
+	for _, s := range p {
+		for _, v := range s {
+			rep.InDegree[v]++
+		}
+	}
+	rep.ByCloseness = make([]int, n)
+	rep.ByPopularity = make([]int, n)
+	for i := 0; i < n; i++ {
+		rep.ByCloseness[i] = i
+		rep.ByPopularity[i] = i
+	}
+	sort.SliceStable(rep.ByCloseness, func(i, j int) bool {
+		return rep.Remoteness[rep.ByCloseness[i]] < rep.Remoteness[rep.ByCloseness[j]]
+	})
+	sort.SliceStable(rep.ByPopularity, func(i, j int) bool {
+		return rep.InDegree[rep.ByPopularity[i]] > rep.InDegree[rep.ByPopularity[j]]
+	})
+	return rep
+}
+
+// TopK returns the first k entries of ids (or all of them when k is
+// larger); a convenience for report rendering.
+func TopK(ids []int, k int) []int {
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return append([]int(nil), ids[:k]...)
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestMeasureInfluenceStar(t *testing.T) {
+	// Everyone links the hub (node 0); the hub links node 1. The hub is
+	// the most popular; closeness is dominated by reachability.
+	spec := core.MustUniform(5, 1)
+	p := core.Profile{{1}, {0}, {0}, {0}, {0}}
+	rep := MeasureInfluence(spec, p, core.SumDistances)
+	if rep.InDegree[0] != 4 {
+		t.Fatalf("hub in-degree = %d, want 4", rep.InDegree[0])
+	}
+	if rep.ByPopularity[0] != 0 {
+		t.Fatalf("most popular = %d, want 0", rep.ByPopularity[0])
+	}
+	// Node 0 reaches only node 1; node 2 reaches 0 then 1: closeness
+	// ranking must be consistent with the cost vector.
+	for i := 1; i < len(rep.ByCloseness); i++ {
+		a, b := rep.ByCloseness[i-1], rep.ByCloseness[i]
+		if rep.Remoteness[a] > rep.Remoteness[b] {
+			t.Fatal("ByCloseness not sorted by remoteness")
+		}
+	}
+}
+
+func TestMeasureInfluenceRingSymmetric(t *testing.T) {
+	spec := core.MustUniform(6, 1)
+	p := core.NewEmptyProfile(6)
+	for u := 0; u < 6; u++ {
+		p[u] = core.Strategy{(u + 1) % 6}
+	}
+	rep := MeasureInfluence(spec, p, core.SumDistances)
+	for u := 0; u < 6; u++ {
+		if rep.InDegree[u] != 1 {
+			t.Fatalf("ring in-degree at %d = %d", u, rep.InDegree[u])
+		}
+		if rep.Remoteness[u] != rep.Remoteness[0] {
+			t.Fatal("ring should be symmetric")
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ids := []int{4, 2, 7}
+	if got := TopK(ids, 2); len(got) != 2 || got[0] != 4 {
+		t.Fatalf("TopK = %v", got)
+	}
+	if got := TopK(ids, 9); len(got) != 3 {
+		t.Fatalf("TopK overflow = %v", got)
+	}
+	// The copy must not alias the input.
+	got := TopK(ids, 3)
+	got[0] = 99
+	if ids[0] == 99 {
+		t.Fatal("TopK aliases its input")
+	}
+}

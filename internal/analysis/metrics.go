@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"bbc/internal/core"
+)
+
+// Fairness summarizes the spread of node costs in a profile (Lemma 1: in
+// any stable uniform graph the ratio is at most 2 + 1/k + o(1), and the
+// additive gap at most n + n·⌊log_k n⌋).
+type Fairness struct {
+	Min, Max int64
+	// Ratio is Max/Min as a float (Inf if Min is zero).
+	Ratio float64
+	// Gap is Max − Min.
+	Gap int64
+}
+
+// MeasureFairness computes the cost spread for a profile.
+func MeasureFairness(spec core.Spec, p core.Profile, agg core.Aggregation) Fairness {
+	costs := core.CostVector(spec, p, agg)
+	f := Fairness{Min: costs[0], Max: costs[0]}
+	for _, c := range costs[1:] {
+		if c < f.Min {
+			f.Min = c
+		}
+		if c > f.Max {
+			f.Max = c
+		}
+	}
+	f.Gap = f.Max - f.Min
+	if f.Min > 0 {
+		f.Ratio = float64(f.Max) / float64(f.Min)
+	} else {
+		f.Ratio = math.Inf(1)
+	}
+	return f
+}
+
+// FairnessRatioBound returns the paper's Lemma 1 ratio bound 2 + 1/k
+// (plus the o(1) slack folded into a small constant for finite n: the
+// exact statement allows an additive n + n·⌊log_k n⌋, so small instances
+// can exceed 2 + 1/k; callers should compare against AdditiveBound too).
+func FairnessRatioBound(k int) float64 { return 2 + 1/float64(k) }
+
+// FairnessAdditiveBound returns the Lemma 1 additive bound n + n·⌊log_k n⌋.
+func FairnessAdditiveBound(n, k int) int64 {
+	return int64(n) + int64(n)*int64(logK(n, k))
+}
+
+// logK returns ⌊log_k n⌋ (with log_1 treated as n−1 to keep k=1 usable).
+func logK(n, k int) int {
+	if k <= 1 {
+		return n - 1
+	}
+	l := 0
+	for pow := k; pow <= n; pow *= k {
+		l++
+	}
+	return l
+}
+
+// DiameterStats reports the Lemma 7 quantities for a realized profile.
+type DiameterStats struct {
+	Diameter int64
+	// Radius is the minimum eccentricity over nodes that reach everyone
+	// (the "one node within O(sqrt n)" part of Lemma 7).
+	Radius int64
+	// StronglyConnected reports whether every node reaches every other.
+	StronglyConnected bool
+}
+
+// MeasureDiameter computes diameter statistics for a profile.
+func MeasureDiameter(spec core.Spec, p core.Profile) DiameterStats {
+	g := p.Realize(spec)
+	diam, strong := g.Diameter(spec.UnitLengths())
+	radius, ok := g.Radius(spec.UnitLengths())
+	if !ok {
+		radius = -1
+	}
+	return DiameterStats{Diameter: diam, Radius: radius, StronglyConnected: strong}
+}
+
+// DiameterBound returns the Lemma 7 bound shape sqrt(n·log_k n) scaled by
+// the given constant factor.
+func DiameterBound(n, k int, factor float64) float64 {
+	return factor * math.Sqrt(float64(n)*float64(maxInt(1, logK(n, k))))
+}
+
+// SocialOptimumLowerBound returns the information-theoretic lower bound on
+// the social cost of any (n, k)-uniform configuration under the sum
+// aggregation: each node has at most k nodes at distance 1, k² at distance
+// 2, and so on, so its cost is at least sum over the BFS-ideal profile.
+func SocialOptimumLowerBound(n, k int) int64 {
+	var perNode int64
+	remaining := int64(n - 1)
+	width := int64(k)
+	dist := int64(1)
+	for remaining > 0 {
+		take := width
+		if take > remaining {
+			take = remaining
+		}
+		perNode += take * dist
+		remaining -= take
+		dist++
+		if width <= (int64(1)<<62)/int64(k) {
+			width *= int64(k)
+		}
+	}
+	return perNode * int64(n)
+}
+
+// MaxOptimumLowerBound is the BBC-max analogue: every node's max distance
+// is at least ⌈log_k n⌉ hops... more precisely at least the depth needed
+// to cover n−1 nodes with out-degree k, so the social max-cost is at least
+// n times that depth.
+func MaxOptimumLowerBound(n, k int) int64 {
+	depth := int64(0)
+	covered := int64(0)
+	width := int64(k)
+	for covered < int64(n-1) {
+		covered += width
+		depth++
+		if width <= (int64(1)<<62)/int64(k) {
+			width *= int64(k)
+		}
+	}
+	return depth * int64(n)
+}
+
+// PoAPoint is one point on a price-of-anarchy curve: the social cost of a
+// worst known equilibrium divided by the social-optimum lower bound.
+type PoAPoint struct {
+	N, K        int
+	WorstCost   int64
+	OptimumLB   int64
+	Ratio       float64
+	Description string
+}
+
+// NewPoAPoint assembles a curve point.
+func NewPoAPoint(n, k int, worst, optimum int64, desc string) PoAPoint {
+	p := PoAPoint{N: n, K: k, WorstCost: worst, OptimumLB: optimum, Description: desc}
+	if optimum > 0 {
+		p.Ratio = float64(worst) / float64(optimum)
+	}
+	return p
+}
+
+// String renders the point as a table row.
+func (p PoAPoint) String() string {
+	return fmt.Sprintf("n=%-5d k=%-2d worst=%-10d optLB=%-10d PoA>=%.3f  %s",
+		p.N, p.K, p.WorstCost, p.OptimumLB, p.Ratio, p.Description)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+)
+
+// EquilibriumSample summarizes the equilibria reached by best-response
+// dynamics from many random starts — an empirical view of the equilibrium
+// landscape for games too large to enumerate, used to trace the
+// PoA band of Theorem 4 at realistic sizes.
+type EquilibriumSample struct {
+	// Starts is the number of random starts attempted.
+	Starts int
+	// Reached is the number of walks that converged to an equilibrium.
+	Reached int
+	// Distinct is the number of structurally distinct equilibria seen.
+	Distinct int
+	// Costs holds the social costs of the reached equilibria, ascending.
+	Costs []int64
+}
+
+// Best returns the cheapest sampled equilibrium cost (or 0 when none).
+func (s *EquilibriumSample) Best() int64 {
+	if len(s.Costs) == 0 {
+		return 0
+	}
+	return s.Costs[0]
+}
+
+// Worst returns the most expensive sampled equilibrium cost.
+func (s *EquilibriumSample) Worst() int64 {
+	if len(s.Costs) == 0 {
+		return 0
+	}
+	return s.Costs[len(s.Costs)-1]
+}
+
+// Spread returns worst/best as a float (0 when no equilibria sampled).
+func (s *EquilibriumSample) Spread() float64 {
+	if s.Best() == 0 {
+		return 0
+	}
+	return float64(s.Worst()) / float64(s.Best())
+}
+
+// SampleEquilibria runs `starts` round-robin best-response walks of the
+// (n,k)-uniform game from seeded random configurations and collects the
+// equilibria they converge to. maxSteps bounds each walk (0 = 10·n²).
+func SampleEquilibria(spec *core.Uniform, starts int, seed int64, maxSteps int) (*EquilibriumSample, error) {
+	if starts <= 0 {
+		return nil, fmt.Errorf("analysis: need at least one start")
+	}
+	n := spec.N()
+	out := &EquilibriumSample{Starts: starts}
+	distinct := make(map[string]bool)
+	for i := 0; i < starts; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		start := dynamics.RandomStart(rng, n, spec.K())
+		res, err := dynamics.Run(spec, start, dynamics.NewRoundRobin(n), core.SumDistances,
+			dynamics.Options{MaxSteps: maxSteps})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Converged {
+			continue
+		}
+		out.Reached++
+		key := res.Final.Key()
+		if !distinct[key] {
+			distinct[key] = true
+			out.Distinct++
+		}
+		out.Costs = append(out.Costs, core.SocialCost(spec, res.Final, core.SumDistances))
+	}
+	sort.Slice(out.Costs, func(i, j int) bool { return out.Costs[i] < out.Costs[j] })
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestSampleEquilibriaSmallGame(t *testing.T) {
+	spec := core.MustUniform(6, 1)
+	s, err := SampleEquilibria(spec, 15, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Starts != 15 {
+		t.Fatalf("starts = %d", s.Starts)
+	}
+	if s.Reached == 0 {
+		t.Fatal("no walk converged on the (6,1) game")
+	}
+	if len(s.Costs) != s.Reached {
+		t.Fatalf("costs %d != reached %d", len(s.Costs), s.Reached)
+	}
+	if s.Best() > s.Worst() {
+		t.Fatal("best > worst")
+	}
+	if s.Spread() < 1 {
+		t.Fatalf("spread %.3f < 1", s.Spread())
+	}
+	// Every sampled cost must be at least the optimum lower bound.
+	lb := SocialOptimumLowerBound(6, 1)
+	if s.Best() < lb {
+		t.Fatalf("sampled equilibrium cost %d below the optimum bound %d", s.Best(), lb)
+	}
+}
+
+func TestSampleEquilibriaDeterministic(t *testing.T) {
+	spec := core.MustUniform(5, 1)
+	a, err := SampleEquilibria(spec, 8, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleEquilibria(spec, 8, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reached != b.Reached || a.Distinct != b.Distinct || a.Best() != b.Best() {
+		t.Fatalf("sampling not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSampleEquilibriaValidation(t *testing.T) {
+	spec := core.MustUniform(5, 1)
+	if _, err := SampleEquilibria(spec, 0, 1, 0); err == nil {
+		t.Fatal("expected error for zero starts")
+	}
+}

@@ -1,0 +1,250 @@
+// Package brspace explores the best-response configuration graph of a BBC
+// game: states are strategy profiles, and each unstable player contributes
+// one edge to the profile where it plays its (deterministic, exact) best
+// response. Sink states are exactly the pure Nash equilibria; sink
+// strongly-connected components with more than one state are *inescapable
+// best-response cycles* — from those states no best-response walk can ever
+// reach an equilibrium, a strictly stronger phenomenon than the escapable
+// loop of the paper's Figure 4. The explorer powers the weak-acyclicity
+// experiment (E18) extending Section 4.3.
+package brspace
+
+import (
+	"fmt"
+
+	"bbc/internal/core"
+	"bbc/internal/graph"
+)
+
+// Explorer configures a best-response space exploration.
+type Explorer struct {
+	Spec core.Spec
+	Agg  core.Aggregation
+	// MaxStates caps the explored state count; 0 means 200,000.
+	MaxStates int
+}
+
+func (e *Explorer) maxStates() int {
+	if e.MaxStates > 0 {
+		return e.MaxStates
+	}
+	return 200_000
+}
+
+// Space is the explored portion of the best-response graph.
+type Space struct {
+	// States holds the discovered profiles; the index is the state id.
+	States []core.Profile
+	// Index maps profile keys to state ids.
+	Index map[string]int
+	// Edges[s] lists successor state ids (one per unstable player of s,
+	// deduplicated).
+	Edges [][]int
+	// Movers[s][i] is the player whose best response produces Edges[s][i].
+	Movers [][]int
+	// Equilibria lists the sink state ids (no unstable player).
+	Equilibria []int
+	// Truncated reports whether the exploration hit MaxStates; analyses
+	// over a truncated space are lower bounds only.
+	Truncated bool
+}
+
+// Explore runs a BFS over best-response moves from the given start
+// profiles. Every start must be feasible.
+func (e *Explorer) Explore(starts []core.Profile) (*Space, error) {
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("brspace: need at least one start profile")
+	}
+	s := &Space{Index: make(map[string]int)}
+	var queue []int
+	add := func(p core.Profile) (int, bool) {
+		key := p.Key()
+		if id, ok := s.Index[key]; ok {
+			return id, false
+		}
+		id := len(s.States)
+		s.States = append(s.States, p.Clone())
+		s.Index[key] = id
+		s.Edges = append(s.Edges, nil)
+		s.Movers = append(s.Movers, nil)
+		return id, true
+	}
+	for _, p := range starts {
+		if err := p.Validate(e.Spec); err != nil {
+			return nil, fmt.Errorf("brspace: invalid start: %w", err)
+		}
+		if id, fresh := add(p); fresh {
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		p := s.States[id]
+		g := p.Realize(e.Spec)
+		stable := true
+		seenSucc := map[int]bool{}
+		for u := 0; u < e.Spec.N(); u++ {
+			o := core.NewOracle(e.Spec, g, u, e.Agg)
+			cur := o.Evaluate(p[u])
+			if cur == o.LowerBound() {
+				continue
+			}
+			best, bestCost, err := o.BestExact(0)
+			if err != nil {
+				return nil, err
+			}
+			if bestCost >= cur {
+				continue
+			}
+			stable = false
+			q := p.Clone()
+			q[u] = best
+			succ, fresh := add(q)
+			if fresh {
+				if len(s.States) > e.maxStates() {
+					s.Truncated = true
+					// Remove the over-cap state again to keep invariants.
+					s.States = s.States[:len(s.States)-1]
+					delete(s.Index, q.Key())
+					s.Edges = s.Edges[:len(s.Edges)-1]
+					s.Movers = s.Movers[:len(s.Movers)-1]
+					continue
+				}
+				queue = append(queue, succ)
+			}
+			if !seenSucc[succ] {
+				seenSucc[succ] = true
+				s.Edges[id] = append(s.Edges[id], succ)
+				s.Movers[id] = append(s.Movers[id], u)
+			}
+		}
+		if stable {
+			s.Equilibria = append(s.Equilibria, id)
+		}
+	}
+	return s, nil
+}
+
+// AllProfiles enumerates every feasible profile of the spec (the full
+// state space), for exhaustive analyses of small games. The product of
+// per-node feasible strategy counts must not exceed cap (0 means 200,000).
+func AllProfiles(spec core.Spec, cap uint64) ([]core.Profile, error) {
+	if cap == 0 {
+		cap = 200_000
+	}
+	n := spec.N()
+	perNode := make([][]core.Strategy, n)
+	size := uint64(1)
+	for u := 0; u < n; u++ {
+		set, err := core.AllStrategies(spec, u, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		perNode[u] = set
+		if size > cap/uint64(len(set)) {
+			return nil, fmt.Errorf("brspace: state space exceeds cap %d", cap)
+		}
+		size *= uint64(len(set))
+	}
+	out := make([]core.Profile, 0, size)
+	idx := make([]int, n)
+	for {
+		p := make(core.Profile, n)
+		for u := range p {
+			p[u] = perNode[u][idx[u]]
+		}
+		out = append(out, p)
+		u := n - 1
+		for u >= 0 {
+			idx[u]++
+			if idx[u] < len(perNode[u]) {
+				break
+			}
+			idx[u] = 0
+			u--
+		}
+		if u < 0 {
+			return out, nil
+		}
+	}
+}
+
+// Analysis summarizes the structure of an explored space.
+type Analysis struct {
+	States     int
+	Equilibria int
+	// ReachEquilibrium counts states from which at least one best-response
+	// walk reaches some equilibrium ("weakly acyclic" states).
+	ReachEquilibrium int
+	// RecurrentCycleStates counts states inside sink SCCs of size > 1 —
+	// from these, no best-response walk ever reaches an equilibrium.
+	RecurrentCycleStates int
+	// RecurrentClasses is the number of sink SCCs of size > 1.
+	RecurrentClasses int
+	// Truncated propagates Space.Truncated; a truncated analysis is only
+	// a lower bound on reachability.
+	Truncated bool
+}
+
+// Analyze computes equilibrium reachability and recurrent classes.
+func (s *Space) Analyze() *Analysis {
+	a := &Analysis{States: len(s.States), Equilibria: len(s.Equilibria), Truncated: s.Truncated}
+
+	// Backward reachability from equilibria over reversed edges.
+	rev := make([][]int, len(s.States))
+	for from, outs := range s.Edges {
+		for _, to := range outs {
+			rev[to] = append(rev[to], from)
+		}
+	}
+	reach := make([]bool, len(s.States))
+	queue := append([]int(nil), s.Equilibria...)
+	for _, id := range queue {
+		reach[id] = true
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, from := range rev[id] {
+			if !reach[from] {
+				reach[from] = true
+				queue = append(queue, from)
+			}
+		}
+	}
+	for _, ok := range reach {
+		if ok {
+			a.ReachEquilibrium++
+		}
+	}
+
+	// Sink SCCs of size > 1 = inescapable cycles. Build a graph.Digraph to
+	// reuse Tarjan.
+	dg := graph.New(len(s.States))
+	for from, outs := range s.Edges {
+		for _, to := range outs {
+			if from != to {
+				dg.AddArc(from, to, 1)
+			}
+		}
+	}
+	comp, count := dg.SCC()
+	compSize := make([]int, count)
+	compHasExit := make([]bool, count)
+	for id, c := range comp {
+		compSize[c]++
+		for _, to := range s.Edges[id] {
+			if comp[to] != c {
+				compHasExit[c] = true
+			}
+		}
+	}
+	for c := 0; c < count; c++ {
+		if compSize[c] > 1 && !compHasExit[c] {
+			a.RecurrentClasses++
+			a.RecurrentCycleStates += compSize[c]
+		}
+	}
+	return a
+}

@@ -1,0 +1,174 @@
+package brspace
+
+import (
+	"testing"
+
+	"bbc/internal/construct"
+	"bbc/internal/core"
+)
+
+func TestAllProfilesCount(t *testing.T) {
+	spec := core.MustUniform(3, 1)
+	ps, err := AllProfiles(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 strategies per node (empty + 2 singletons), 3 nodes -> 27.
+	if len(ps) != 27 {
+		t.Fatalf("profiles = %d, want 27", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(spec); err != nil {
+			t.Fatal(err)
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate profile %v", p)
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestAllProfilesCap(t *testing.T) {
+	spec := core.MustUniform(10, 3)
+	if _, err := AllProfiles(spec, 1000); err == nil {
+		t.Fatal("expected cap error")
+	}
+}
+
+func TestExploreFullSmallGame(t *testing.T) {
+	// The (3,1)-uniform game: the full best-response graph has exactly the
+	// two directed 3-cycles as sinks, and every state reaches one.
+	spec := core.MustUniform(3, 1)
+	starts, err := AllProfiles(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Explorer{Spec: spec, Agg: core.SumDistances}
+	space, err := e.Explore(starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Truncated {
+		t.Fatal("tiny space should not truncate")
+	}
+	if len(space.States) != 27 {
+		t.Fatalf("states = %d, want 27", len(space.States))
+	}
+	if len(space.Equilibria) != 2 {
+		t.Fatalf("equilibria = %d, want 2", len(space.Equilibria))
+	}
+	a := space.Analyze()
+	if a.ReachEquilibrium != a.States {
+		t.Fatalf("only %d/%d states reach an equilibrium", a.ReachEquilibrium, a.States)
+	}
+	if a.RecurrentClasses != 0 {
+		t.Fatalf("unexpected recurrent classes: %d", a.RecurrentClasses)
+	}
+}
+
+func TestExploreEquilibriaMatchChecker(t *testing.T) {
+	// Every sink the explorer reports must pass the exact equilibrium
+	// check, and vice versa over the full space.
+	spec := core.MustUniform(4, 1)
+	starts, err := AllProfiles(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Explorer{Spec: spec, Agg: core.SumDistances}
+	space, err := e.Explore(starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := map[string]bool{}
+	for _, id := range space.Equilibria {
+		p := space.States[id]
+		stable, err := core.IsEquilibrium(spec, p, core.SumDistances)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stable {
+			t.Fatalf("sink %v is not an equilibrium", p)
+		}
+		sink[p.Key()] = true
+	}
+	for _, p := range starts {
+		stable, err := core.IsEquilibrium(spec, p, core.SumDistances)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stable && !sink[p.Key()] {
+			t.Fatalf("equilibrium %v not reported as a sink", p)
+		}
+	}
+}
+
+func TestExploreGadgetFindsNoEquilibrium(t *testing.T) {
+	// From the gadget's intended states, no best-response walk reaches an
+	// equilibrium (there is none), and the reachable set contains at
+	// least one recurrent class.
+	d := construct.MatchingPennies(construct.DefaultGadgetWeights())
+	e := &Explorer{Spec: d, Agg: core.SumDistances, MaxStates: 5000}
+	space, err := e.Explore([]core.Profile{
+		construct.IntendedGadgetProfile(true, true),
+		construct.IntendedGadgetProfile(false, false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space.Equilibria) != 0 {
+		t.Fatalf("gadget BR space contains %d sinks; it has no pure NE", len(space.Equilibria))
+	}
+	a := space.Analyze()
+	if a.ReachEquilibrium != 0 {
+		t.Fatal("no state should reach an equilibrium")
+	}
+	if !space.Truncated && a.RecurrentClasses == 0 {
+		t.Fatal("a complete equilibrium-free BR space must contain a recurrent class")
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	spec := core.MustUniform(3, 1)
+	e := &Explorer{Spec: spec, Agg: core.SumDistances}
+	if _, err := e.Explore(nil); err == nil {
+		t.Fatal("expected error for no starts")
+	}
+	bad := core.Profile{{0}, {}, {}}
+	if _, err := e.Explore([]core.Profile{bad}); err == nil {
+		t.Fatal("expected error for invalid start")
+	}
+}
+
+func TestExploreTruncation(t *testing.T) {
+	spec := core.MustUniform(6, 2)
+	e := &Explorer{Spec: spec, Agg: core.SumDistances, MaxStates: 5}
+	space, err := e.Explore([]core.Profile{core.NewEmptyProfile(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !space.Truncated {
+		t.Fatal("expected truncation at 5 states")
+	}
+	if len(space.States) > 6 {
+		t.Fatalf("states = %d exceeds cap", len(space.States))
+	}
+}
+
+func TestFigure4LoopIsReachableInSpace(t *testing.T) {
+	// The (7,2) Figure 4 start leads into a cycle; the explored space from
+	// that start must contain a recurrent class or at least revisit states
+	// (the loop), and may or may not reach equilibria elsewhere.
+	spec, start := construct.Figure4Start()
+	e := &Explorer{Spec: spec, Agg: core.SumDistances, MaxStates: 3000}
+	space, err := e.Explore([]core.Profile{start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space.States) < 3 {
+		t.Fatalf("expected a nontrivial explored space, got %d states", len(space.States))
+	}
+	a := space.Analyze()
+	t.Logf("figure-4 space: %d states, %d equilibria, %d reach, %d recurrent states (truncated=%v)",
+		a.States, a.Equilibria, a.ReachEquilibrium, a.RecurrentCycleStates, a.Truncated)
+}

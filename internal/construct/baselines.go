@@ -1,0 +1,83 @@
+package construct
+
+import (
+	"fmt"
+
+	"bbc/internal/core"
+)
+
+// Baseline topologies: non-equilibrium reference configurations used by
+// the examples and experiments to compare selfish outcomes against
+// designed ones. Each returns a uniform spec plus a feasible profile.
+
+// Ring returns the directed n-cycle for the (n,1)-uniform game — the k=1
+// equilibrium and social optimum.
+func Ring(n int) (*core.Uniform, core.Profile, error) {
+	spec, err := core.NewUniform(n, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := core.NewEmptyProfile(n)
+	for u := 0; u < n; u++ {
+		p[u] = core.Strategy{(u + 1) % n}
+	}
+	return spec, p, nil
+}
+
+// Star returns the hub-and-spoke configuration for the (n,1)-uniform game:
+// every spoke links the hub (node 0) and the hub links node 1. It is the
+// classic low-diameter, high-unfairness design.
+func Star(n int) (*core.Uniform, core.Profile, error) {
+	if n < 3 {
+		return nil, nil, fmt.Errorf("construct: star needs n >= 3")
+	}
+	spec, err := core.NewUniform(n, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := core.NewEmptyProfile(n)
+	p[0] = core.Strategy{1}
+	for u := 1; u < n; u++ {
+		p[u] = core.Strategy{0}
+	}
+	return spec, p, nil
+}
+
+// Complete returns the complete digraph for the (n, n-1)-uniform game —
+// the unconstrained optimum every budget-limited design is measured
+// against.
+func Complete(n int) (*core.Uniform, core.Profile, error) {
+	spec, err := core.NewUniform(n, n-1)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := core.NewEmptyProfile(n)
+	for u := 0; u < n; u++ {
+		s := make(core.Strategy, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u {
+				s = append(s, v)
+			}
+		}
+		p[u] = s
+	}
+	return spec, p, nil
+}
+
+// BidirectionalRing returns the (n,2)-uniform game profile in which every
+// node links both neighbors — the undirected-cycle overlay designers often
+// start from.
+func BidirectionalRing(n int) (*core.Uniform, core.Profile, error) {
+	if n < 3 {
+		return nil, nil, fmt.Errorf("construct: bidirectional ring needs n >= 3")
+	}
+	spec, err := core.NewUniform(n, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := core.NewEmptyProfile(n)
+	for u := 0; u < n; u++ {
+		p[u] = core.NormalizeStrategy([]int{(u + 1) % n, (u + n - 1) % n})
+	}
+	return spec, p, nil
+}

@@ -1,0 +1,85 @@
+package construct
+
+import (
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestRingBaseline(t *testing.T) {
+	spec, p, err := Ring(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := core.IsEquilibrium(spec, p, core.SumDistances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("the ring is the (n,1) equilibrium")
+	}
+}
+
+func TestStarBaseline(t *testing.T) {
+	spec, p, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+	g := p.Realize(spec)
+	if !g.StronglyConnected() {
+		// Star with hub->1 is not strongly connected? hub reaches 1 only;
+		// spokes reach hub then 1. Nodes 2..n-1 have no in-links except...
+		// spokes' links point at the hub, so only 0 and 1 are reachable.
+		t.Log("star is intentionally not strongly connected; spokes are unreachable")
+	}
+	// The star must NOT be an equilibrium: unreachable spokes cost M and
+	// any spoke can rewire.
+	stable, err := core.IsEquilibrium(spec, p, core.SumDistances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stable {
+		t.Fatal("the star should not be a (n,1) equilibrium")
+	}
+	if _, _, err := Star(2); err == nil {
+		t.Fatal("expected error for n=2")
+	}
+}
+
+func TestCompleteBaseline(t *testing.T) {
+	spec, p, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := core.IsEquilibrium(spec, p, core.SumDistances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("the complete graph is the k=n-1 equilibrium")
+	}
+	if got := core.SocialCost(spec, p, core.SumDistances); got != 20 {
+		t.Fatalf("complete cost = %d, want 20", got)
+	}
+}
+
+func TestBidirectionalRingBaseline(t *testing.T) {
+	spec, p, err := BidirectionalRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+	g := p.Realize(spec)
+	diam, strong := g.Diameter(true)
+	if !strong || diam != 4 {
+		t.Fatalf("bidirectional 8-ring diameter = %d strong=%v, want 4,true", diam, strong)
+	}
+	if _, _, err := BidirectionalRing(2); err == nil {
+		t.Fatal("expected error for n=2")
+	}
+}

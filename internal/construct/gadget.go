@@ -1,0 +1,168 @@
+package construct
+
+import (
+	"bbc/internal/core"
+)
+
+// Gadget node indices for the matching-pennies instance of Theorem 1. The
+// layout follows Figure 1 — two sub-gadgets, each with a central node, two
+// top and two bottom nodes — with the paper's single safe-harbor node X
+// replaced by one harbor per sub-gadget (X0, X1) feeding a shared terminal
+// pair (TA, TB). The extra nodes are the paper's "extends to n > 11 by
+// forcing the remaining links with appropriate preferences": they arise
+// because the figure's exact solid-edge set did not survive into the text,
+// and the transitive-connectivity escape hatches a literal one-harbor
+// reconstruction admits (a bottom node can reach its own center through its
+// cross-over top when the inter-gadget loop is live) are closed by (a)
+// valuing the terminal TA behind the harbors rather than the harbors
+// themselves and (b) requiring alpha > beta + gamma. The no-pure-NE
+// property of the resulting 14-node game is verified exhaustively in the
+// tests and in experiment E1.
+const (
+	G0C = iota
+	G0LT
+	G0RT
+	G0LB
+	G0RB
+	G1C
+	G1LT
+	G1RT
+	G1LB
+	G1RB
+	GX0
+	GX1
+	GTA
+	GTB
+	gadgetSize
+)
+
+// GadgetWeights are the preference magnitudes of the no-equilibrium gadget.
+type GadgetWeights struct {
+	// Zeta is a center's preference for each top node of its own
+	// sub-gadget; Xi is its preference for the other center (ξ < ζ).
+	Zeta, Xi int64
+	// AlphaHarbor is a bottom node's preference for its own safe harbor
+	// and AlphaTerminal its preference for the shared terminal TA behind
+	// the harbors; valuing both makes the harbor link strictly dominate a
+	// direct terminal link. Beta is the preference for the bottom's own
+	// center and Gamma for its cross-over top. The switch works when
+	// AlphaHarbor > Beta (harbor wins when the center points away) and
+	// escapes through the cross-over top are unprofitable when
+	// AlphaHarbor + AlphaTerminal > Beta + Gamma.
+	AlphaHarbor, AlphaTerminal, Beta, Gamma int64
+}
+
+// DefaultGadgetWeights returns weights satisfying all the switch
+// inequalities: ζ=2 > ξ=1, α1=2 > β=1, α1+α2=5 > β+γ=3.
+func DefaultGadgetWeights() GadgetWeights {
+	return GadgetWeights{Zeta: 2, Xi: 1, AlphaHarbor: 2, AlphaTerminal: 3, Beta: 1, Gamma: 2}
+}
+
+// MatchingPennies builds the 14-node non-uniform BBC game (uniform link
+// costs, uniform unit lengths, uniform budget 1, non-uniform preferences)
+// that has no pure Nash equilibrium. It encodes matching pennies between
+// the two central nodes:
+//
+//   - each top node is pinned at a bottom node of the other sub-gadget
+//     (0LT→1RB, 0RT→1LB, 1LT→0LB, 1RT→0RB), so a center reaches the other
+//     center exactly when the bottom its chosen top points at currently
+//     links its own center;
+//   - a bottom node links its center when the center points at the
+//     bottom's cross-over top, and its sub-gadget's safe harbor otherwise;
+//   - the harbors X0, X1 both feed the shared terminal TA (TA and TB pin
+//     each other); a bottom values both its own harbor and TA, so the
+//     harbor link strictly dominates a direct terminal link, and a bottom
+//     that abandons its harbor duties loses both with the full
+//     disconnection penalty unless some bottom on its route still links a
+//     harbor.
+//
+// Chasing the implied best responses yields the four-state cycle
+// (L,L)→(L,R)→(R,R)→(R,L)→(L,L) over the centers' choices; exhaustive
+// search over the (pinned) strategy space confirms no profile is stable.
+func MatchingPennies(w GadgetWeights) *core.Dense {
+	d := core.NewDense(gadgetSize)
+	for u := 0; u < gadgetSize; u++ {
+		for v := 0; v < gadgetSize; v++ {
+			if u != v {
+				d.Weights[u][v] = 0
+			}
+		}
+	}
+	// Tops: singleton supports (pinned), anti-matched pairing.
+	d.Weights[G0LT][G1RB] = 1
+	d.Weights[G0RT][G1LB] = 1
+	d.Weights[G1LT][G0LB] = 1
+	d.Weights[G1RT][G0RB] = 1
+	// Centers: both own tops (ζ) plus the other center (ξ).
+	d.Weights[G0C][G0LT] = w.Zeta
+	d.Weights[G0C][G0RT] = w.Zeta
+	d.Weights[G0C][G1C] = w.Xi
+	d.Weights[G1C][G1LT] = w.Zeta
+	d.Weights[G1C][G1RT] = w.Zeta
+	d.Weights[G1C][G0C] = w.Xi
+	// Bottoms: shared terminal TA (α), own center (β), cross-over top (γ).
+	bottoms := []struct{ b, center, cross, harbor int }{
+		{b: G0LB, center: G0C, cross: G0RT, harbor: GX0},
+		{b: G0RB, center: G0C, cross: G0LT, harbor: GX0},
+		{b: G1LB, center: G1C, cross: G1RT, harbor: GX1},
+		{b: G1RB, center: G1C, cross: G1LT, harbor: GX1},
+	}
+	for _, bt := range bottoms {
+		d.Weights[bt.b][bt.harbor] = w.AlphaHarbor
+		d.Weights[bt.b][GTA] = w.AlphaTerminal
+		d.Weights[bt.b][bt.center] = w.Beta
+		d.Weights[bt.b][bt.cross] = w.Gamma
+	}
+	// Harbors feed the terminal; the terminal pair pins itself.
+	d.Weights[GX0][GTA] = 1
+	d.Weights[GX1][GTA] = 1
+	d.Weights[GTA][GTB] = 1
+	d.Weights[GTB][GTA] = 1
+	return d.MustSeal()
+}
+
+// GadgetLabels maps gadget node ids to their paper names, for DOT export
+// and diagnostics.
+func GadgetLabels() map[int]string {
+	return map[int]string{
+		G0C: "0C", G0LT: "0LT", G0RT: "0RT", G0LB: "0LB", G0RB: "0RB",
+		G1C: "1C", G1LT: "1LT", G1RT: "1RT", G1LB: "1LB", G1RB: "1RB",
+		GX0: "X0", GX1: "X1", GTA: "TA", GTB: "TB",
+	}
+}
+
+// IntendedGadgetProfile returns the profile corresponding to the centers'
+// choices (c0, c1) ∈ {left, right}² with every other node playing its
+// intended role: tops and harbors pinned, bottoms switching between center
+// and harbor. It is the state the best-response cycle walks through.
+func IntendedGadgetProfile(c0Left, c1Left bool) core.Profile {
+	p := core.NewEmptyProfile(gadgetSize)
+	p[G0LT] = core.Strategy{G1RB}
+	p[G0RT] = core.Strategy{G1LB}
+	p[G1LT] = core.Strategy{G0LB}
+	p[G1RT] = core.Strategy{G0RB}
+	p[GX0] = core.Strategy{GTA}
+	p[GX1] = core.Strategy{GTA}
+	p[GTA] = core.Strategy{GTB}
+	p[GTB] = core.Strategy{GTA}
+	if c0Left {
+		p[G0C] = core.Strategy{G0LT}
+		// 0RB's cross is 0LT (pointed) -> center; 0LB's cross 0RT -> harbor.
+		p[G0RB] = core.Strategy{G0C}
+		p[G0LB] = core.Strategy{GX0}
+	} else {
+		p[G0C] = core.Strategy{G0RT}
+		p[G0LB] = core.Strategy{G0C}
+		p[G0RB] = core.Strategy{GX0}
+	}
+	if c1Left {
+		p[G1C] = core.Strategy{G1LT}
+		p[G1RB] = core.Strategy{G1C}
+		p[G1LB] = core.Strategy{GX1}
+	} else {
+		p[G1C] = core.Strategy{G1RT}
+		p[G1LB] = core.Strategy{G1C}
+		p[G1RB] = core.Strategy{GX1}
+	}
+	return p
+}

@@ -1,0 +1,119 @@
+package construct
+
+import (
+	"testing"
+
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+)
+
+func TestMatchingPenniesShape(t *testing.T) {
+	d := MatchingPennies(DefaultGadgetWeights())
+	if d.N() != gadgetSize {
+		t.Fatalf("N = %d, want %d", d.N(), gadgetSize)
+	}
+	if !d.UnitLengths() {
+		t.Fatal("gadget must have uniform unit lengths")
+	}
+	for u := 0; u < d.N(); u++ {
+		if d.Budget(u) != 1 {
+			t.Fatalf("node %d budget %d, want uniform 1", u, d.Budget(u))
+		}
+	}
+	labels := GadgetLabels()
+	if len(labels) != gadgetSize {
+		t.Fatalf("labels cover %d nodes, want %d", len(labels), gadgetSize)
+	}
+}
+
+func TestIntendedProfilesAreValidAndUnstable(t *testing.T) {
+	// Theorem 1's cycle: every intended state must admit a strictly
+	// improving deviation, and the deviator must be a central node
+	// switching its top.
+	d := MatchingPennies(DefaultGadgetWeights())
+	for _, st := range []struct{ c0, c1 bool }{
+		{true, true}, {true, false}, {false, true}, {false, false},
+	} {
+		p := IntendedGadgetProfile(st.c0, st.c1)
+		if err := p.Validate(d); err != nil {
+			t.Fatalf("state (%v,%v): invalid profile: %v", st.c0, st.c1, err)
+		}
+		dev, err := core.FindDeviation(d, p, core.SumDistances, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev == nil {
+			t.Fatalf("state (%v,%v): stable, but the gadget must have no equilibrium", st.c0, st.c1)
+		}
+		if dev.Node != G0C && dev.Node != G1C {
+			t.Fatalf("state (%v,%v): deviator %d is not a center", st.c0, st.c1, dev.Node)
+		}
+	}
+}
+
+func TestGadgetBestResponseCycle(t *testing.T) {
+	// Following best responses from any intended state must cycle through
+	// the four intended states and never stabilize.
+	d := MatchingPennies(DefaultGadgetWeights())
+	p := IntendedGadgetProfile(true, true)
+	res, err := dynamics.Run(d, p, dynamics.NewRoundRobin(d.N()), core.SumDistances,
+		dynamics.Options{MaxSteps: 20 * d.N(), DetectLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatalf("round-robin walk converged on the no-equilibrium gadget: %v", res.Final)
+	}
+	if res.Loop == nil {
+		t.Fatal("expected a certified best-response loop on the gadget")
+	}
+	if len(res.Loop.Moves) == 0 {
+		t.Fatal("loop has no moves")
+	}
+}
+
+func TestGadgetPinnedSpacePinsExpectedNodes(t *testing.T) {
+	d := MatchingPennies(DefaultGadgetWeights())
+	ss, err := core.PinnedSpace(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := []int{G0LT, G0RT, G1LT, G1RT, GX0, GX1, GTA, GTB}
+	for _, u := range pinned {
+		if len(ss.PerNode[u]) != 1 {
+			t.Fatalf("node %d should be pinned, has %d strategies", u, len(ss.PerNode[u]))
+		}
+	}
+	free := []int{G0C, G1C, G0LB, G0RB, G1LB, G1RB}
+	for _, u := range free {
+		if len(ss.PerNode[u]) != gadgetSize {
+			t.Fatalf("free node %d has %d strategies, want %d (empty + 13 singletons)",
+				u, len(ss.PerNode[u]), gadgetSize)
+		}
+	}
+}
+
+func TestGadgetHasNoPureNashEquilibrium(t *testing.T) {
+	// The full Theorem 1 verification: exhaustive scan of the pinned
+	// product space (≈7.5M profiles, parallel over the first free node's strategies). The pin rule is sound, so zero
+	// equilibria here means zero equilibria in the full game.
+	if testing.Short() {
+		t.Skip("exhaustive no-NE scan skipped in -short")
+	}
+	d := MatchingPennies(DefaultGadgetWeights())
+	ss, err := core.PinnedSpace(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.EnumeratePureNEParallel(d, core.SumDistances, ss, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("scan did not complete")
+	}
+	if len(res.Equilibria) != 0 {
+		t.Fatalf("gadget has %d pure equilibria, want 0; first: %v",
+			len(res.Equilibria), res.Equilibria[0])
+	}
+}

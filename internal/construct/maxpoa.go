@@ -1,0 +1,136 @@
+package construct
+
+import (
+	"fmt"
+
+	"bbc/internal/core"
+)
+
+// MaxPoAParams selects the Theorem 8 construction: a high-social-cost Nash
+// equilibrium for the uniform BBC-max game, built from 2k−1 directed tails
+// of length l each plus a root, so n = 1 + (2k−1)·l.
+type MaxPoAParams struct {
+	K int // budget, must be >= 3 (the paper handles k = 2 by a separate ad-hoc variant)
+	L int // tail length, must be >= 2
+}
+
+// Validate checks the parameter ranges this implementation supports.
+func (p MaxPoAParams) Validate() error {
+	if p.K < 3 {
+		return fmt.Errorf("construct: max-PoA graph needs K >= 3, got %d", p.K)
+	}
+	if p.L < 2 {
+		return fmt.Errorf("construct: max-PoA graph needs L >= 2, got %d", p.L)
+	}
+	return nil
+}
+
+// N returns the total node count 1 + (2K−1)·L.
+func (p MaxPoAParams) N() int { return 1 + (2*p.K-1)*p.L }
+
+// MaxPoA holds the constructed instance.
+type MaxPoA struct {
+	Params  MaxPoAParams
+	Spec    *core.Uniform
+	Profile core.Profile
+	// Root is the node id of the root r.
+	Root int
+	// Tails[i] lists the node ids of tail t_i in head-to-end order.
+	Tails [][]int
+	// Heads lists the segment heads: Heads[0] = root (segment S1 contains
+	// tails t_1..t_k), Heads[j] = head of tail t_{k+j} for j >= 1.
+	Heads []int
+}
+
+// NewMaxPoA builds the Figure 6 graph:
+//
+//   - the root points at the heads of the first K tails (segment S1);
+//   - the remaining K−1 tails are their own segments, headed by their
+//     first node;
+//   - the last node of every tail points at all K segment heads;
+//   - every interior tail node points down its tail, at its own tail's
+//     end, and at the root, with any remaining budget spread over the
+//     other segment heads (the paper: "the location of the rest of the
+//     edges don't matter").
+//
+// The resulting graph is a Nash equilibrium of the (n, K)-uniform BBC-max
+// game with per-node max distance l+2, giving social cost Θ(n²/k) against
+// the O(n·log_k n) optimum — the Ω(n/(k·log_k n)) price-of-anarchy bound.
+func NewMaxPoA(p MaxPoAParams) (*MaxPoA, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	spec, err := core.NewUniform(n, p.K)
+	if err != nil {
+		return nil, err
+	}
+	m := &MaxPoA{
+		Params:  p,
+		Spec:    spec,
+		Profile: core.NewEmptyProfile(n),
+		Root:    0,
+		Tails:   make([][]int, 2*p.K-1),
+	}
+	// Node layout: 0 is the root; tail t_i (0-based index i) occupies
+	// 1+i*L .. 1+(i+1)*L-1 in head-to-end order.
+	for i := range m.Tails {
+		tail := make([]int, p.L)
+		for j := range tail {
+			tail[j] = 1 + i*p.L + j
+		}
+		m.Tails[i] = tail
+	}
+	m.Heads = make([]int, 0, p.K)
+	m.Heads = append(m.Heads, m.Root)
+	for i := p.K; i < 2*p.K-1; i++ {
+		m.Heads = append(m.Heads, m.Tails[i][0])
+	}
+
+	// Root: heads of the first K tails.
+	rootTargets := make([]int, 0, p.K)
+	for i := 0; i < p.K; i++ {
+		rootTargets = append(rootTargets, m.Tails[i][0])
+	}
+	m.Profile[m.Root] = core.NormalizeStrategy(rootTargets)
+
+	for _, tail := range m.Tails {
+		end := tail[p.L-1]
+		// End node: all K segment heads.
+		m.Profile[end] = core.NormalizeStrategy(m.Heads)
+		// Interior nodes: chain + own end + root + filler heads. The chain
+		// target equals the end for the second-to-last node, so build the
+		// target set with explicit dedup and never exceed K entries.
+		for j := 0; j < p.L-1; j++ {
+			node := tail[j]
+			targets := []int{tail[j+1]}
+			for _, t := range []int{end, m.Root} {
+				if !contains(targets, t) {
+					targets = append(targets, t)
+				}
+			}
+			for _, h := range m.Heads {
+				if len(targets) >= p.K {
+					break
+				}
+				if h != node && !contains(targets, h) {
+					targets = append(targets, h)
+				}
+			}
+			m.Profile[node] = core.NormalizeStrategy(targets)
+		}
+	}
+	if err := m.Profile.Validate(spec); err != nil {
+		return nil, fmt.Errorf("construct: max-PoA produced invalid profile: %w", err)
+	}
+	return m, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package construct
+
+import (
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestMaxPoAValidation(t *testing.T) {
+	if _, err := NewMaxPoA(MaxPoAParams{K: 2, L: 3}); err == nil {
+		t.Fatal("K=2 should be rejected")
+	}
+	if _, err := NewMaxPoA(MaxPoAParams{K: 3, L: 1}); err == nil {
+		t.Fatal("L=1 should be rejected")
+	}
+}
+
+func TestMaxPoAShape(t *testing.T) {
+	m, err := NewMaxPoA(MaxPoAParams{K: 3, L: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := 1 + 5*3
+	if m.Spec.N() != wantN {
+		t.Fatalf("N = %d, want %d", m.Spec.N(), wantN)
+	}
+	if len(m.Tails) != 5 {
+		t.Fatalf("tails = %d, want 5", len(m.Tails))
+	}
+	if len(m.Heads) != 3 {
+		t.Fatalf("heads = %d, want 3", len(m.Heads))
+	}
+	if !m.Profile.Realize(m.Spec).StronglyConnected() {
+		t.Fatal("max-PoA graph must be strongly connected")
+	}
+}
+
+func TestMaxPoAPerNodeMaxDistance(t *testing.T) {
+	// The paper's analysis: per-node max distance is l+2.
+	p := MaxPoAParams{K: 3, L: 4}
+	m, err := NewMaxPoA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Profile.Realize(m.Spec)
+	for u := 0; u < m.Spec.N(); u++ {
+		cost := core.NodeCost(m.Spec, g, u, core.MaxDistance)
+		if cost > int64(p.L+2) {
+			t.Fatalf("node %d max distance %d exceeds l+2 = %d", u, cost, p.L+2)
+		}
+	}
+}
+
+func TestMaxPoAIsNashUnderMaxCost(t *testing.T) {
+	// Theorem 8: the construction is a Nash equilibrium of the uniform
+	// BBC-max game.
+	for _, p := range []MaxPoAParams{{K: 3, L: 2}, {K: 3, L: 4}} {
+		m, err := NewMaxPoA(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := core.FindDeviation(m.Spec, m.Profile, core.MaxDistance, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil {
+			t.Fatalf("%+v (n=%d): not a max-cost Nash equilibrium: %+v", p, p.N(), dev)
+		}
+	}
+}
+
+func TestMaxPoAIsNashLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger stability check skipped in -short")
+	}
+	for _, p := range []MaxPoAParams{{K: 4, L: 3}, {K: 3, L: 6}} {
+		m, err := NewMaxPoA(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := core.FindDeviation(m.Spec, m.Profile, core.MaxDistance, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil {
+			t.Fatalf("%+v (n=%d): not a max-cost Nash equilibrium: %+v", p, p.N(), dev)
+		}
+	}
+}
+
+func TestMaxPoASocialCostScales(t *testing.T) {
+	// Social max-cost of the construction is Θ(n·l) = Θ(n²/k); the optimum
+	// is O(n·log_k n). The ratio must grow with l at fixed k.
+	ratio := func(p MaxPoAParams) float64 {
+		m, err := NewMaxPoA(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := core.SocialCost(m.Spec, m.Profile, core.MaxDistance)
+		w, err := NewWillows(WillowsParams{K: p.K, H: 2, L: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := core.SocialCost(w.Spec, w.Profile, core.MaxDistance)
+		return float64(bad) / float64(good) * float64(w.Params.N()) / float64(p.N())
+	}
+	small := ratio(MaxPoAParams{K: 3, L: 2})
+	large := ratio(MaxPoAParams{K: 3, L: 6})
+	if large <= small {
+		t.Fatalf("normalized PoA ratio should grow with l: %f vs %f", small, large)
+	}
+}

@@ -1,0 +1,242 @@
+package construct
+
+import (
+	"fmt"
+
+	"bbc/internal/core"
+	"bbc/internal/sat"
+)
+
+// Reduction is the Theorem 2 instance: a non-uniform BBC game built from a
+// 3SAT formula such that the game has a pure Nash equilibrium iff the
+// formula is satisfiable. Following the paper, links drawn in Figure 2
+// have length 1 and every other link has a large length L (so undrawn
+// links are never attractive shortcuts); the disconnection penalty is
+// M = n·L + 1.
+//
+// Layout per variable x_i: a variable node X_i plus truth nodes X_iT and
+// X_iF (budget 0). Per clause c_j: a clause node K_j plus one intermediate
+// node I_jk per literal. A hub node S (budget m) links every clause node.
+// The embedded no-equilibrium gadget is MatchingPennies with its centers
+// given two extra preference groups: weight 2 for every intermediate node
+// and weight 2m−1 for the other center — so a center prefers three-hop
+// paths to m intermediates (achieved by linking S when every clause node
+// has linked a satisfied intermediate) over the three-hop path to the
+// other center that playing the gadget game chases.
+type Reduction struct {
+	Formula *sat.Formula
+	Spec    *core.Dense
+	Weights GadgetWeights
+	// S is the hub node id.
+	S int
+	// GadgetBase is the id of gadget node 0C; gadget node g is at
+	// GadgetBase + g.
+	GadgetBase int
+}
+
+// FromCNF builds the reduction for a 3SAT formula. Every clause must have
+// exactly three literals over distinct variables.
+func FromCNF(f *sat.Formula, w GadgetWeights) (*Reduction, error) {
+	if f.NumVars < 1 || len(f.Clauses) < 1 {
+		return nil, fmt.Errorf("construct: reduction needs at least one variable and one clause")
+	}
+	for j, c := range f.Clauses {
+		if len(c) != 3 {
+			return nil, fmt.Errorf("construct: clause %d has %d literals, want 3", j, len(c))
+		}
+	}
+	m := len(f.Clauses)
+	r := &Reduction{Formula: f, Weights: w}
+	n := 3*f.NumVars + 4*m + 1 + gadgetSize
+	r.S = 3*f.NumVars + 4*m
+	r.GadgetBase = r.S + 1
+
+	d := core.NewDense(n)
+	bigL := int64(n + 1)
+	d.M = int64(n)*bigL + 1
+	// Default: weight 0, length L, cost 1, budget 1.
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				d.Weights[u][v] = 0
+				d.Lengths[u][v] = bigL
+			}
+		}
+	}
+	short := func(u, v int) { d.Lengths[u][v] = 1 }
+
+	// Variables.
+	for i := 1; i <= f.NumVars; i++ {
+		x := r.VarNode(i)
+		xt := r.TruthNode(i, true)
+		xf := r.TruthNode(i, false)
+		d.Weights[x][xt] = 1
+		d.Weights[x][xf] = 1
+		short(x, xt)
+		short(x, xf)
+		d.Budgets[xt] = 0
+		d.Budgets[xf] = 0
+	}
+	// Clauses and intermediates.
+	for j, c := range f.Clauses {
+		k := r.ClauseNode(j)
+		d.Weights[k][r.S] = 1
+		short(k, r.S)
+		for li, lit := range c {
+			in := r.InterNode(j, li)
+			x := r.VarNode(lit.Var())
+			truth := r.TruthNode(lit.Var(), lit.Positive())
+			d.Weights[in][x] = 1
+			d.Weights[in][truth] = 1
+			short(in, x)
+			d.Weights[k][truth] = 2
+			short(k, in)
+		}
+	}
+	// Hub S links every clause node.
+	d.Budgets[r.S] = int64(m)
+	for j := range f.Clauses {
+		d.Weights[r.S][r.ClauseNode(j)] = 1
+		short(r.S, r.ClauseNode(j))
+	}
+
+	// Gadget: same weight structure as MatchingPennies, with the centers'
+	// resolution preferences added.
+	gb := r.GadgetBase
+	gw := func(a, b int, weight int64) {
+		d.Weights[gb+a][gb+b] = weight
+		short(gb+a, gb+b)
+	}
+	gw(G0LT, G1RB, 1)
+	gw(G0RT, G1LB, 1)
+	gw(G1LT, G0LB, 1)
+	gw(G1RT, G0RB, 1)
+	resolution := int64(2*m - 1)
+	for _, c := range []struct{ center, lt, rt, other int }{
+		{center: G0C, lt: G0LT, rt: G0RT, other: G1C},
+		{center: G1C, lt: G1LT, rt: G1RT, other: G0C},
+	} {
+		gw(c.center, c.lt, w.Zeta)
+		gw(c.center, c.rt, w.Zeta)
+		d.Weights[gb+c.center][gb+c.other] = resolution
+		// Centers reach the other center through the gadget's short links;
+		// a direct link stays long.
+		d.Weights[gb+c.center][r.S] = 0 // no direct S preference; S is a route
+		short(gb+c.center, r.S)
+		for j := range f.Clauses {
+			for li := 0; li < 3; li++ {
+				d.Weights[gb+c.center][r.InterNode(j, li)] = 2
+			}
+		}
+	}
+	bottoms := []struct{ b, center, cross, harbor int }{
+		{b: G0LB, center: G0C, cross: G0RT, harbor: GX0},
+		{b: G0RB, center: G0C, cross: G0LT, harbor: GX0},
+		{b: G1LB, center: G1C, cross: G1RT, harbor: GX1},
+		{b: G1RB, center: G1C, cross: G1LT, harbor: GX1},
+	}
+	for _, bt := range bottoms {
+		d.Weights[gb+bt.b][gb+bt.harbor] = w.AlphaHarbor
+		d.Weights[gb+bt.b][gb+GTA] = w.AlphaTerminal
+		d.Weights[gb+bt.b][gb+bt.center] = w.Beta
+		d.Weights[gb+bt.b][gb+bt.cross] = w.Gamma
+		short(gb+bt.b, gb+bt.center)
+		short(gb+bt.b, gb+bt.harbor)
+	}
+	gw(GX0, GTA, 1)
+	gw(GX1, GTA, 1)
+	gw(GTA, GTB, 1)
+	gw(GTB, GTA, 1)
+
+	if err := d.Seal(); err != nil {
+		return nil, fmt.Errorf("construct: reduction seal: %w", err)
+	}
+	r.Spec = d
+	return r, nil
+}
+
+// VarNode returns the node id of variable x_i (1-based i).
+func (r *Reduction) VarNode(i int) int { return 3 * (i - 1) }
+
+// TruthNode returns the node id of X_iT (val=true) or X_iF.
+func (r *Reduction) TruthNode(i int, val bool) int {
+	if val {
+		return 3*(i-1) + 1
+	}
+	return 3*(i-1) + 2
+}
+
+// ClauseNode returns the node id of clause node K_j (0-based j).
+func (r *Reduction) ClauseNode(j int) int { return 3*r.Formula.NumVars + 4*j }
+
+// InterNode returns the node id of intermediate node I_jk (0-based j, k).
+func (r *Reduction) InterNode(j, k int) int { return 3*r.Formula.NumVars + 4*j + 1 + k }
+
+// AssignmentProfile returns the intended profile for a satisfying
+// assignment: variables link their truth value, intermediates link their
+// variable, each clause links an intermediate whose literal is satisfied,
+// S links all clauses, the gadget centers link S, tops and harbors play
+// their pins, and bottoms retreat to their harbors. When the assignment
+// satisfies the formula this profile is a pure Nash equilibrium.
+func (r *Reduction) AssignmentProfile(a sat.Assignment) (core.Profile, error) {
+	if len(a) < r.Formula.NumVars+1 {
+		return nil, fmt.Errorf("construct: assignment covers %d vars, need %d", len(a)-1, r.Formula.NumVars)
+	}
+	p := core.NewEmptyProfile(r.Spec.N())
+	for i := 1; i <= r.Formula.NumVars; i++ {
+		p[r.VarNode(i)] = core.Strategy{r.TruthNode(i, a[i])}
+	}
+	for j, c := range r.Formula.Clauses {
+		satK := -1
+		for li, lit := range c {
+			p[r.InterNode(j, li)] = core.Strategy{r.VarNode(lit.Var())}
+			if satK < 0 && a[lit.Var()] == lit.Positive() {
+				satK = li
+			}
+		}
+		if satK < 0 {
+			return nil, fmt.Errorf("construct: assignment does not satisfy clause %d", j)
+		}
+		p[r.ClauseNode(j)] = core.Strategy{r.InterNode(j, satK)}
+	}
+	sLinks := make([]int, 0, len(r.Formula.Clauses))
+	for j := range r.Formula.Clauses {
+		sLinks = append(sLinks, r.ClauseNode(j))
+	}
+	p[r.S] = core.NormalizeStrategy(sLinks)
+
+	gb := r.GadgetBase
+	p[gb+G0C] = core.Strategy{r.S}
+	p[gb+G1C] = core.Strategy{r.S}
+	p[gb+G0LT] = core.Strategy{gb + G1RB}
+	p[gb+G0RT] = core.Strategy{gb + G1LB}
+	p[gb+G1LT] = core.Strategy{gb + G0LB}
+	p[gb+G1RT] = core.Strategy{gb + G0RB}
+	p[gb+G0LB] = core.Strategy{gb + GX0}
+	p[gb+G0RB] = core.Strategy{gb + GX0}
+	p[gb+G1LB] = core.Strategy{gb + GX1}
+	p[gb+G1RB] = core.Strategy{gb + GX1}
+	p[gb+GX0] = core.Strategy{gb + GTA}
+	p[gb+GX1] = core.Strategy{gb + GTA}
+	p[gb+GTA] = core.Strategy{gb + GTB}
+	p[gb+GTB] = core.Strategy{gb + GTA}
+	if err := p.Validate(r.Spec); err != nil {
+		return nil, fmt.Errorf("construct: assignment profile invalid: %w", err)
+	}
+	return p, nil
+}
+
+// DecodeAssignment reads the variable nodes' links out of a profile,
+// returning the implied truth assignment (variables with no readable link
+// default to false).
+func (r *Reduction) DecodeAssignment(p core.Profile) sat.Assignment {
+	a := make(sat.Assignment, r.Formula.NumVars+1)
+	for i := 1; i <= r.Formula.NumVars; i++ {
+		for _, v := range p[r.VarNode(i)] {
+			if v == r.TruthNode(i, true) {
+				a[i] = true
+			}
+		}
+	}
+	return a
+}

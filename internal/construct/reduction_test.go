@@ -1,0 +1,229 @@
+package construct
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+	"bbc/internal/sat"
+)
+
+func disjointFormula(m int) *sat.Formula {
+	clauses := make([]sat.Clause, 0, m)
+	for j := 0; j < m; j++ {
+		clauses = append(clauses, sat.Clause{
+			sat.Literal(3*j + 1), -sat.Literal(3*j + 2), sat.Literal(3*j + 3),
+		})
+	}
+	return sat.MustNew(3*m, clauses...)
+}
+
+// unsatCube is the full polarity cube over 3 variables: 8 clauses covering
+// every sign pattern, hence unsatisfiable.
+func unsatCube() *sat.Formula {
+	var clauses []sat.Clause
+	for mask := 0; mask < 8; mask++ {
+		c := sat.Clause{}
+		for v := 1; v <= 3; v++ {
+			lit := sat.Literal(v)
+			if mask&(1<<(v-1)) != 0 {
+				lit = -lit
+			}
+			c = append(c, lit)
+		}
+		clauses = append(clauses, c)
+	}
+	return sat.MustNew(3, clauses...)
+}
+
+func TestFromCNFValidation(t *testing.T) {
+	if _, err := FromCNF(sat.MustNew(3), DefaultGadgetWeights()); err == nil {
+		t.Fatal("no clauses should be rejected")
+	}
+	twoLit := sat.MustNew(2, sat.Clause{1, 2})
+	if _, err := FromCNF(twoLit, DefaultGadgetWeights()); err == nil {
+		t.Fatal("non-3-literal clause should be rejected")
+	}
+}
+
+func TestReductionLayout(t *testing.T) {
+	f := disjointFormula(2)
+	r, err := FromCNF(f, DefaultGadgetWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := 3*6 + 4*2 + 1 + gadgetSize
+	if r.Spec.N() != wantN {
+		t.Fatalf("N = %d, want %d", r.Spec.N(), wantN)
+	}
+	// Truth nodes have budget 0; S has budget m; everyone else budget 1.
+	for i := 1; i <= f.NumVars; i++ {
+		if r.Spec.Budget(r.TruthNode(i, true)) != 0 || r.Spec.Budget(r.TruthNode(i, false)) != 0 {
+			t.Fatalf("truth nodes of var %d must have budget 0", i)
+		}
+		if r.Spec.Budget(r.VarNode(i)) != 1 {
+			t.Fatalf("variable node %d must have budget 1", i)
+		}
+	}
+	if r.Spec.Budget(r.S) != int64(len(f.Clauses)) {
+		t.Fatalf("S budget = %d, want m = %d", r.Spec.Budget(r.S), len(f.Clauses))
+	}
+	// Figure edges are short; non-figure links are long.
+	if r.Spec.Length(r.VarNode(1), r.TruthNode(1, true)) != 1 {
+		t.Fatal("X1 -> X1T should be short")
+	}
+	if r.Spec.Length(r.VarNode(1), r.VarNode(2)) == 1 {
+		t.Fatal("X1 -> X2 should be long")
+	}
+	if r.Spec.UnitLengths() {
+		t.Fatal("reduction must be a non-uniform-length game")
+	}
+	// Centers carry the 2m-1 resolution weight.
+	if got := r.Spec.Weight(r.GadgetBase+G0C, r.GadgetBase+G1C); got != int64(2*len(f.Clauses)-1) {
+		t.Fatalf("center resolution weight = %d, want %d", got, 2*len(f.Clauses)-1)
+	}
+}
+
+func TestAssignmentProfileRoundTrip(t *testing.T) {
+	f := disjointFormula(2)
+	a, ok := f.Solve()
+	if !ok {
+		t.Fatal("disjoint formula must be satisfiable")
+	}
+	r, err := FromCNF(f, DefaultGadgetWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.AssignmentProfile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := r.DecodeAssignment(p)
+	for i := 1; i <= f.NumVars; i++ {
+		if back[i] != a[i] {
+			t.Fatalf("decode mismatch at var %d", i)
+		}
+	}
+	if !f.Satisfies(back) {
+		t.Fatal("decoded assignment does not satisfy the formula")
+	}
+}
+
+func TestAssignmentProfileRejectsNonSatisfying(t *testing.T) {
+	f := sat.MustNew(3, sat.Clause{1, 2, 3})
+	r, err := FromCNF(f, DefaultGadgetWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make(sat.Assignment, 4) // all false: clause unsatisfied
+	if _, err := r.AssignmentProfile(all); err == nil {
+		t.Fatal("expected error for non-satisfying assignment")
+	}
+}
+
+// TestReductionTranscriptionGap certifies the machine-found gap in the
+// transcribed Theorem 2 construction (DESIGN.md, experiment E2): the
+// intended stable profile for a satisfiable formula admits a strictly
+// improving deviation by a gadget center — the other central node becomes
+// an orphaned weight-(2m−1) target once both centers resolve to S, so a
+// direct length-L link to it beats the penalty M = nL. This test pins the
+// finding so any future repair of the construction must consciously
+// revisit it.
+func TestReductionTranscriptionGap(t *testing.T) {
+	f := disjointFormula(1)
+	a, ok := f.Solve()
+	if !ok {
+		t.Fatal("formula must be satisfiable")
+	}
+	r, err := FromCNF(f, DefaultGadgetWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.AssignmentProfile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := core.FindDeviation(r.Spec, p, core.SumDistances,
+		core.Options{Method: core.Exact, EnumLimit: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev == nil {
+		t.Fatal("expected the transcription-gap deviation; if this fails the construction was repaired — update DESIGN.md E2")
+	}
+	if dev.Node != r.GadgetBase+G0C && dev.Node != r.GadgetBase+G1C {
+		t.Fatalf("expected a gadget center to deviate, got node %d -> %v", dev.Node, dev.Strategy)
+	}
+}
+
+// TestReductionSharedVariableHubShortcut certifies the second gap: with
+// shared variables, a clause node strictly prefers linking the hub S
+// (reaching other clauses' satisfied truth nodes transitively) over its
+// own intermediate — contradicting the paper's "the three-hop path ... is
+// the shortest possible" step.
+func TestReductionSharedVariableHubShortcut(t *testing.T) {
+	// Two clauses sharing all variables; satisfiable.
+	f := sat.MustNew(3, sat.Clause{1, 2, 3}, sat.Clause{-1, 2, 3})
+	a, ok := f.Solve()
+	if !ok {
+		t.Fatal("formula must be satisfiable")
+	}
+	r, err := FromCNF(f, DefaultGadgetWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.AssignmentProfile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Realize(r.Spec)
+	foundClauseDeviation := false
+	for j := range f.Clauses {
+		dev, err := core.NodeDeviation(r.Spec, g, p, r.ClauseNode(j), core.SumDistances,
+			core.Options{Method: core.Exact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil && dev.Strategy.Contains(r.S) {
+			foundClauseDeviation = true
+		}
+	}
+	if !foundClauseDeviation {
+		t.Fatal("expected a clause node to deviate to S via shared-variable routes")
+	}
+}
+
+func TestReductionDynamicsBehavior(t *testing.T) {
+	// Empirical E2 companion: greedy best-response dynamics on the
+	// reduction run to completion without error, and the converged
+	// profiles' assignments decode consistently.
+	if testing.Short() {
+		t.Skip("reduction dynamics skipped in -short")
+	}
+	f := unsatCube()
+	if f.Satisfiable() {
+		t.Fatal("cube must be unsatisfiable")
+	}
+	r, err := FromCNF(f, DefaultGadgetWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.Spec.N()
+	rng := rand.New(rand.NewSource(5))
+	start := core.NewEmptyProfile(n)
+	_ = rng
+	res, err := dynamics.Run(r.Spec, start, dynamics.NewRoundRobin(n), core.SumDistances,
+		dynamics.Options{MaxSteps: 30 * n, BR: core.Options{Method: core.GreedySwap}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("dynamics made no steps")
+	}
+	// Decoding must be well-formed regardless of convergence.
+	a := r.DecodeAssignment(res.Final)
+	if len(a) != f.NumVars+1 {
+		t.Fatalf("decoded assignment has length %d", len(a))
+	}
+}

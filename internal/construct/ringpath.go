@@ -1,0 +1,58 @@
+package construct
+
+import (
+	"fmt"
+
+	"bbc/internal/core"
+)
+
+// RingPath builds the Section 4.3 lower-bound instance for convergence to
+// strong connectivity: a directed ring over r nodes together with a
+// directed path of p = n − r nodes whose last node points into the ring.
+// With k = 1 and a round-robin order that starts at the tail of the path
+// and proceeds along the path and then around the ring, a best-response
+// walk needs Ω(n²) steps to reach strong connectivity.
+//
+// Node layout: 0..p-1 is the path (0 is the tail T), p..n-1 is the ring;
+// path node p-1 points at ring node p, and ring node i points at the next
+// ring node cyclically.
+func RingPath(ringSize, pathSize int) (*core.Uniform, core.Profile, error) {
+	if ringSize < 2 {
+		return nil, nil, fmt.Errorf("construct: ring needs at least 2 nodes, got %d", ringSize)
+	}
+	if pathSize < 1 {
+		return nil, nil, fmt.Errorf("construct: path needs at least 1 node, got %d", pathSize)
+	}
+	n := ringSize + pathSize
+	spec, err := core.NewUniform(n, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := core.NewEmptyProfile(n)
+	for i := 0; i < pathSize; i++ {
+		p[i] = core.Strategy{i + 1} // path node i -> i+1 (p-1 -> p enters the ring)
+	}
+	for i := pathSize; i < n; i++ {
+		next := i + 1
+		if next == n {
+			next = pathSize
+		}
+		p[i] = core.Strategy{next}
+	}
+	if err := p.Validate(spec); err != nil {
+		return nil, nil, fmt.Errorf("construct: ring+path produced invalid profile: %w", err)
+	}
+	return spec, p, nil
+}
+
+// RingPathRoundRobinOrder returns the round order the paper's lower bound
+// uses: the path tail first, then along the path, then around the ring in
+// ring direction.
+func RingPathRoundRobinOrder(ringSize, pathSize int) []int {
+	n := ringSize + pathSize
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		order = append(order, i)
+	}
+	return order
+}

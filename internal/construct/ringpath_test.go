@@ -1,0 +1,119 @@
+package construct
+
+import (
+	"testing"
+
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+)
+
+func TestRingPathValidation(t *testing.T) {
+	if _, _, err := RingPath(1, 3); err == nil {
+		t.Fatal("ring of 1 should be rejected")
+	}
+	if _, _, err := RingPath(4, 0); err == nil {
+		t.Fatal("empty path should be rejected")
+	}
+}
+
+func TestRingPathShape(t *testing.T) {
+	spec, p, err := RingPath(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N() != 9 {
+		t.Fatalf("N = %d, want 9", spec.N())
+	}
+	g := p.Realize(spec)
+	// Path tail reaches everything; ring nodes reach only the ring.
+	if got := g.ReachOf(0); got != 9 {
+		t.Fatalf("tail reach = %d, want 9", got)
+	}
+	if got := g.ReachOf(3); got != 6 {
+		t.Fatalf("ring node reach = %d, want 6", got)
+	}
+	if g.StronglyConnected() {
+		t.Fatal("ring+path must not start strongly connected")
+	}
+}
+
+func TestRingPathSlowConvergence(t *testing.T) {
+	// The Section 4.3 lower bound: round-robin (tail-first, then path, then
+	// ring direction) takes Ω(n²) steps to reach strong connectivity.
+	// Quantitatively, each round only grows the ring by one node, so
+	// connectivity needs about (ring-growth) rounds of n steps each.
+	ringSize, pathSize := 8, 4
+	n := ringSize + pathSize
+	spec, p, err := RingPath(ringSize, pathSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := RingPathRoundRobinOrder(ringSize, pathSize)
+	res, err := dynamics.Run(spec, p, &dynamics.RoundRobin{Order: order}, core.SumDistances,
+		dynamics.Options{MaxSteps: 20 * n * n, StopAtStrongConnectivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConnectivityStep < 0 {
+		t.Fatal("never reached strong connectivity")
+	}
+	if res.ConnectivityStep > n*n {
+		t.Fatalf("connectivity took %d steps, above the paper's n² = %d bound", res.ConnectivityStep, n*n)
+	}
+	// The lower-bound structure: with exact best responses the ring absorbs
+	// two path nodes per round, so connectivity needs about p/2 rounds of n
+	// steps each (measured: steps = (p/2 + 1/3)·n exactly).
+	if res.ConnectivityStep < (pathSize/2)*n {
+		t.Fatalf("connectivity after only %d steps; expected at least %d (slow instance)",
+			res.ConnectivityStep, (pathSize/2)*n)
+	}
+}
+
+func TestRingPathScalesQuadratically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling check skipped in -short")
+	}
+	steps := func(ring, path int) int {
+		spec, p, err := RingPath(ring, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dynamics.Run(spec, p, &dynamics.RoundRobin{Order: RingPathRoundRobinOrder(ring, path)},
+			core.SumDistances, dynamics.Options{MaxSteps: 50 * (ring + path) * (ring + path), StopAtStrongConnectivity: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ConnectivityStep
+	}
+	// Doubling n (keeping ring ≈ 2·path) should roughly quadruple steps.
+	s1 := steps(8, 4)
+	s2 := steps(16, 8)
+	if s2 < 3*s1 {
+		t.Fatalf("expected superlinear growth: steps(12)=%d steps(24)=%d", s1, s2)
+	}
+}
+
+func TestFigure4LoopReplays(t *testing.T) {
+	spec, start := Figure4Start()
+	res, err := dynamics.Run(spec, start, dynamics.NewRoundRobin(7), core.SumDistances,
+		dynamics.Options{MaxSteps: 200, DetectLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loop == nil {
+		t.Fatal("Figure 4 start must produce a certified loop")
+	}
+	if len(res.Loop.Moves) != 6 {
+		t.Fatalf("loop has %d moves, want 6 (two rounds of three movers)", len(res.Loop.Moves))
+	}
+	movers := map[int]bool{}
+	for _, mv := range res.Loop.Moves {
+		movers[mv.Node] = true
+	}
+	if len(movers) != 3 {
+		t.Fatalf("loop involves %d distinct nodes, want 3", len(movers))
+	}
+	if res.Converged {
+		t.Fatal("looping walk must not be reported as converged")
+	}
+}

@@ -1,0 +1,193 @@
+// Package construct builds every explicit instance in the BBC paper: the
+// Forest of Willows stable graphs (Definition 1, Figure 3), the
+// matching-pennies gadgets behind the no-equilibrium results (Theorems 1
+// and 7, Figures 1 and 5), the 3SAT reduction (Theorem 2, Figure 2), the
+// ring+path slow-convergence instance (Section 4.3), and the high-cost
+// BBC-max Nash graph (Theorem 8, Figure 6).
+package construct
+
+import (
+	"fmt"
+
+	"bbc/internal/core"
+)
+
+// WillowsParams selects a Forest of Willows graph: K trees (and budget K),
+// each a complete K-ary tree of height H, with a tail of L extra nodes
+// hanging beneath every leaf.
+type WillowsParams struct {
+	K, H, L int
+}
+
+// Validate checks basic shape requirements (positive K, non-negative H and
+// L, and at least two nodes overall).
+func (p WillowsParams) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("construct: willows needs K >= 1, got %d", p.K)
+	}
+	if p.H < 0 || p.L < 0 {
+		return fmt.Errorf("construct: willows needs H, L >= 0, got H=%d L=%d", p.H, p.L)
+	}
+	if p.H == 0 && p.L == 0 {
+		// The chain's last node would be the root itself and point to all
+		// roots, creating a self link.
+		return fmt.Errorf("construct: willows needs H >= 1 or L >= 1")
+	}
+	if p.N() < 2 {
+		return fmt.Errorf("construct: willows with K=%d H=%d L=%d has fewer than 2 nodes", p.K, p.H, p.L)
+	}
+	return nil
+}
+
+// MeetsPaperConstraint reports whether the parameters satisfy the paper's
+// stability precondition (h+l)²/4 + h + 2l + 1 < n/k. Definition 1 proves
+// stability only under this constraint; smaller instances may or may not be
+// stable and are checked computationally in the experiments.
+func (p WillowsParams) MeetsPaperConstraint() bool {
+	n := p.N()
+	lhs := float64(p.H+p.L)*float64(p.H+p.L)/4 + float64(p.H) + 2*float64(p.L) + 1
+	return lhs < float64(n)/float64(p.K)
+}
+
+// TreeSize returns the number of nodes in one complete K-ary tree of
+// height H, i.e. (K^(H+1)-1)/(K-1), or H+1 when K = 1.
+func (p WillowsParams) TreeSize() int {
+	if p.K == 1 {
+		return p.H + 1
+	}
+	size := 0
+	pow := 1
+	for d := 0; d <= p.H; d++ {
+		size += pow
+		pow *= p.K
+	}
+	return size
+}
+
+// Leaves returns the number of leaves per tree, K^H.
+func (p WillowsParams) Leaves() int {
+	pow := 1
+	for d := 0; d < p.H; d++ {
+		pow *= p.K
+	}
+	return pow
+}
+
+// SectionSize returns the number of nodes in one section R_i: the tree
+// plus all its tails.
+func (p WillowsParams) SectionSize() int {
+	return p.TreeSize() + p.Leaves()*p.L
+}
+
+// N returns the total number of nodes, K · SectionSize.
+func (p WillowsParams) N() int { return p.K * p.SectionSize() }
+
+// Willows holds a constructed Forest of Willows instance: the uniform game
+// spec, the strategy profile realizing the graph, and the node layout.
+type Willows struct {
+	Params  WillowsParams
+	Spec    *core.Uniform
+	Profile core.Profile
+	// Roots[i] is the node id of root r_i.
+	Roots []int
+	// Sections[i] lists the node ids of R_i (tree plus tails).
+	Sections [][]int
+}
+
+// NewWillows builds the Forest of Willows graph for the given parameters.
+// Node ids are laid out section by section; within a section the tree is in
+// level order followed by the tails leaf by leaf.
+func NewWillows(p WillowsParams) (*Willows, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	spec, err := core.NewUniform(n, p.K)
+	if err != nil {
+		return nil, fmt.Errorf("construct: willows: %w", err)
+	}
+	w := &Willows{
+		Params:   p,
+		Spec:     spec,
+		Profile:  core.NewEmptyProfile(n),
+		Roots:    make([]int, p.K),
+		Sections: make([][]int, p.K),
+	}
+	secSize := p.SectionSize()
+	treeSize := p.TreeSize()
+	leaves := p.Leaves()
+	for i := 0; i < p.K; i++ {
+		w.Roots[i] = i * secSize
+		ids := make([]int, secSize)
+		for j := range ids {
+			ids[j] = i*secSize + j
+		}
+		w.Sections[i] = ids
+	}
+
+	for sec := 0; sec < p.K; sec++ {
+		base := sec * secSize
+		// Tree edges: level-order (heap) layout; node j's children are
+		// K*j+1 .. K*j+K for j in the internal levels.
+		internal := treeSize - leaves
+		for j := 0; j < internal; j++ {
+			targets := make([]int, 0, p.K)
+			for c := 1; c <= p.K; c++ {
+				child := p.K*j + c
+				targets = append(targets, base+child)
+			}
+			w.Profile[base+j] = core.NormalizeStrategy(targets)
+		}
+		// Chains: each leaf plus its tail of L nodes.
+		firstLeaf := internal
+		for lf := 0; lf < leaves; lf++ {
+			chain := make([]int, 0, p.L+1)
+			chain = append(chain, base+firstLeaf+lf)
+			for t := 0; t < p.L; t++ {
+				chain = append(chain, base+treeSize+lf*p.L+t)
+			}
+			w.wireChain(sec, chain)
+		}
+	}
+	if err := w.Profile.Validate(spec); err != nil {
+		return nil, fmt.Errorf("construct: willows produced invalid profile: %w", err)
+	}
+	return w, nil
+}
+
+// wireChain assigns strategies to a leaf-plus-tail chain in section sec.
+// The last chain node points at every root. Above it, nodes point one step
+// down the chain plus K-1 roots chosen by the paper's alternating rule:
+// odd distance from the bottom omits the section's own root; even distance
+// (>= 2) keeps the own root and omits one arbitrary other root.
+func (w *Willows) wireChain(sec int, chain []int) {
+	k := w.Params.K
+	for pos, node := range chain {
+		fromBottom := len(chain) - 1 - pos
+		var targets []int
+		if fromBottom == 0 {
+			targets = append(targets, w.Roots...)
+		} else {
+			targets = append(targets, chain[pos+1])
+			if fromBottom%2 == 1 {
+				// All roots except the section's own.
+				for i, r := range w.Roots {
+					if i != sec {
+						targets = append(targets, r)
+					}
+				}
+			} else if k > 1 {
+				// Own root plus all others except one arbitrary non-own
+				// root (the next section cyclically). For k = 1 there are
+				// k-1 = 0 root edges above the bottom node.
+				skip := (sec + 1) % k
+				for i, r := range w.Roots {
+					if i != skip {
+						targets = append(targets, r)
+					}
+				}
+			}
+		}
+		w.Profile[node] = core.NormalizeStrategy(targets)
+	}
+}

@@ -1,0 +1,148 @@
+package construct
+
+import (
+	"fmt"
+
+	"bbc/internal/core"
+)
+
+// UnevenWillows builds a Forest-of-Willows-shaped graph in which each
+// leaf's tail may have its own length — the machinery behind the paper's
+// "this can be extended to other values of n by adding additional [nodes]
+// as evenly as possible across the trees". tailLens[s][i] is the tail
+// length under leaf i of section s; it must cover K sections × K^H leaves.
+func UnevenWillows(k, h int, tailLens [][]int) (*Willows, error) {
+	base := WillowsParams{K: k, H: h}
+	if k < 1 || h < 0 {
+		return nil, fmt.Errorf("construct: uneven willows needs K >= 1, H >= 0")
+	}
+	leaves := base.Leaves()
+	if len(tailLens) != k {
+		return nil, fmt.Errorf("construct: tail lengths cover %d sections, want %d", len(tailLens), k)
+	}
+	treeSize := base.TreeSize()
+	secSizes := make([]int, k)
+	n := 0
+	for s := 0; s < k; s++ {
+		if len(tailLens[s]) != leaves {
+			return nil, fmt.Errorf("construct: section %d has %d tail lengths, want %d", s, len(tailLens[s]), leaves)
+		}
+		secSizes[s] = treeSize
+		for _, l := range tailLens[s] {
+			if l < 0 {
+				return nil, fmt.Errorf("construct: negative tail length in section %d", s)
+			}
+			secSizes[s] += l
+		}
+		n += secSizes[s]
+	}
+	if h == 0 {
+		for s := 0; s < k; s++ {
+			if tailLens[s][0] == 0 {
+				return nil, fmt.Errorf("construct: H=0 requires every tail non-empty (the root cannot self-link)")
+			}
+		}
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("construct: uneven willows has fewer than 2 nodes")
+	}
+	spec, err := core.NewUniform(n, k)
+	if err != nil {
+		return nil, fmt.Errorf("construct: uneven willows: %w", err)
+	}
+	w := &Willows{
+		Params:   WillowsParams{K: k, H: h, L: -1}, // L is per-tail; -1 marks uneven
+		Spec:     spec,
+		Profile:  core.NewEmptyProfile(n),
+		Roots:    make([]int, k),
+		Sections: make([][]int, k),
+	}
+	offset := 0
+	for s := 0; s < k; s++ {
+		w.Roots[s] = offset
+		ids := make([]int, secSizes[s])
+		for j := range ids {
+			ids[j] = offset + j
+		}
+		w.Sections[s] = ids
+		offset += secSizes[s]
+	}
+	for sec := 0; sec < k; sec++ {
+		base := w.Roots[sec]
+		internal := treeSize - leaves
+		for j := 0; j < internal; j++ {
+			targets := make([]int, 0, k)
+			for c := 1; c <= k; c++ {
+				targets = append(targets, base+k*j+c)
+			}
+			w.Profile[base+j] = core.NormalizeStrategy(targets)
+		}
+		tailBase := base + treeSize
+		for lf := 0; lf < leaves; lf++ {
+			l := tailLens[sec][lf]
+			chain := make([]int, 0, l+1)
+			chain = append(chain, base+internal+lf)
+			for t := 0; t < l; t++ {
+				chain = append(chain, tailBase+t)
+			}
+			tailBase += l
+			w.wireChain(sec, chain)
+		}
+	}
+	if err := w.Profile.Validate(spec); err != nil {
+		return nil, fmt.Errorf("construct: uneven willows produced invalid profile: %w", err)
+	}
+	return w, nil
+}
+
+// FitWillows builds a Willows-shaped graph on exactly n nodes with budget
+// k, realizing the paper's remark that the construction "can be extended
+// to other values of n". It picks the largest height H whose bare forest
+// fits, spreads the remaining nodes as uniform tail length L, and
+// distributes the final remainder one extra tail node at a time round-robin
+// across sections (and leaves within a section) — "as evenly as possible
+// across the trees". Stability of the fitted instances is checked
+// empirically (experiment E22); the paper asserts it only for the uniform
+// shape under its parameter constraint.
+func FitWillows(n, k int) (*Willows, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("construct: FitWillows needs k >= 1")
+	}
+	minN := (WillowsParams{K: k, H: 1}).N() // the smallest regular shape with a real tree
+	if k == 1 {
+		minN = 2 // a 2-cycle: H=1 tree is a 2-path with the leaf linking the root
+	}
+	if n < minN {
+		return nil, fmt.Errorf("construct: FitWillows needs n >= %d for k=%d, got %d", minN, k, n)
+	}
+	// Largest H whose bare forest (L=0) fits in n.
+	h := 1
+	for {
+		next := WillowsParams{K: k, H: h + 1}
+		if next.N() > n {
+			break
+		}
+		h++
+	}
+	base := WillowsParams{K: k, H: h}
+	leaves := base.Leaves()
+	chains := k * leaves
+	remaining := n - base.N()
+	l := remaining / chains
+	extra := remaining % chains
+	tailLens := make([][]int, k)
+	for s := 0; s < k; s++ {
+		tailLens[s] = make([]int, leaves)
+		for i := range tailLens[s] {
+			tailLens[s][i] = l
+		}
+	}
+	// Distribute the remainder round-robin across sections first, then
+	// leaves, so no tree is more than one node longer than another.
+	for e := 0; e < extra; e++ {
+		sec := e % k
+		leaf := (e / k) % leaves
+		tailLens[sec][leaf]++
+	}
+	return UnevenWillows(k, h, tailLens)
+}

@@ -1,0 +1,108 @@
+package construct
+
+import (
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestUnevenWillowsValidation(t *testing.T) {
+	if _, err := UnevenWillows(0, 1, nil); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := UnevenWillows(2, 1, [][]int{{1, 1}}); err == nil {
+		t.Fatal("expected error for missing section")
+	}
+	if _, err := UnevenWillows(2, 1, [][]int{{1}, {1, 1}}); err == nil {
+		t.Fatal("expected error for wrong leaf count")
+	}
+	if _, err := UnevenWillows(2, 1, [][]int{{1, -1}, {1, 1}}); err == nil {
+		t.Fatal("expected error for negative tail")
+	}
+	if _, err := UnevenWillows(2, 0, [][]int{{0}, {0}}); err == nil {
+		t.Fatal("expected error for H=0 with empty tails")
+	}
+}
+
+func TestUnevenWillowsMatchesUniformWhenEqual(t *testing.T) {
+	// Equal tail lengths must reproduce the regular construction exactly.
+	reg, err := NewWillows(WillowsParams{K: 2, H: 2, L: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tails := [][]int{{1, 1, 1, 1}, {1, 1, 1, 1}}
+	un, err := UnevenWillows(2, 2, tails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !un.Profile.Equal(reg.Profile) {
+		t.Fatal("uneven construction with equal tails differs from the regular one")
+	}
+}
+
+func TestFitWillowsExactNodeCount(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		min := 2
+		if k > 1 {
+			min = (WillowsParams{K: k, H: 1}).N()
+		}
+		for n := min; n <= min+15; n++ {
+			w, err := FitWillows(n, k)
+			if err != nil {
+				t.Fatalf("k=%d n=%d: %v", k, n, err)
+			}
+			if w.Spec.N() != n {
+				t.Fatalf("k=%d n=%d: built %d nodes", k, n, w.Spec.N())
+			}
+			if err := w.Profile.Validate(w.Spec); err != nil {
+				t.Fatalf("k=%d n=%d: %v", k, n, err)
+			}
+			if !w.Profile.Realize(w.Spec).StronglyConnected() {
+				t.Fatalf("k=%d n=%d: not strongly connected", k, n)
+			}
+		}
+	}
+}
+
+func TestFitWillowsRejectsTooSmall(t *testing.T) {
+	if _, err := FitWillows(5, 3); err == nil {
+		t.Fatal("expected error for n below the minimal k=3 shape")
+	}
+}
+
+func TestFitWillowsUniformShapesAreStable(t *testing.T) {
+	// When the fit lands on a regular shape (zero remainder), the paper's
+	// stability theorem applies and the exact check must agree.
+	for _, tc := range []struct{ n, k int }{{10, 2}, {14, 2}, {30, 2}, {12, 3}} {
+		w, err := FitWillows(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := core.FindDeviation(w.Spec, w.Profile, core.SumDistances, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil {
+			t.Fatalf("uniform-shape fit (n=%d,k=%d) unstable: %+v", tc.n, tc.k, dev)
+		}
+	}
+}
+
+// TestFitWillowsPaddingCanBreakStability pins the E22 finding: the paper's
+// "extended to other values of n by adding additional leaves as evenly as
+// possible" remark does not survive exact checking under the natural
+// even-tail-padding interpretation — unbalanced tails admit strictly
+// improving rewires.
+func TestFitWillowsPaddingCanBreakStability(t *testing.T) {
+	w, err := FitWillows(38, 2) // H=3 forest of 30 + 8 extra over 16 chains
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := core.FindDeviation(w.Spec, w.Profile, core.SumDistances, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev == nil {
+		t.Fatal("expected the padded (38,2) willows to be unstable; if this fails the padding scheme was repaired — update E22")
+	}
+}

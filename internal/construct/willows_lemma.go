@@ -1,0 +1,83 @@
+package construct
+
+// NodeStructure describes a Willows node's position in its section, in
+// the paper's terminology: Delta is the number of ancestors (hops from the
+// section root) and Descendants the number of nodes in its subtree
+// including itself (tree descendants plus all tails hanging beneath).
+type NodeStructure struct {
+	Section     int
+	Delta       int
+	Descendants int
+}
+
+// Structure computes depth and descendant counts for every node of a
+// regular (uniform-tail) Willows instance, for checking the paper's
+// Lemma 2 inequalities. It panics on uneven instances (Params.L < 0).
+func (w *Willows) Structure() []NodeStructure {
+	if w.Params.L < 0 {
+		panic("construct: Structure requires a regular willows instance")
+	}
+	p := w.Params
+	n := p.N()
+	out := make([]NodeStructure, n)
+	treeSize := p.TreeSize()
+	leaves := p.Leaves()
+	internal := treeSize - leaves
+
+	// Subtree sizes in the heap-layout tree: a node at depth d has
+	// (k^(H-d+1)-1)/(k-1) tree descendants (or H-d+1 when k=1), plus
+	// l tail nodes under each of its k^(H-d) leaf descendants.
+	treeSub := func(depth int) int {
+		hRem := p.H - depth
+		var sub, leafCount int
+		if p.K == 1 {
+			sub = hRem + 1
+			leafCount = 1
+		} else {
+			sub = 0
+			pow := 1
+			for d := 0; d <= hRem; d++ {
+				sub += pow
+				pow *= p.K
+			}
+			leafCount = 1
+			for d := 0; d < hRem; d++ {
+				leafCount *= p.K
+			}
+		}
+		return sub + leafCount*p.L
+	}
+	// Depth of heap index j: the level such that the level-start offset
+	// covers j.
+	depthOf := func(j int) int {
+		start, width, depth := 0, 1, 0
+		for {
+			if j < start+width {
+				return depth
+			}
+			start += width
+			width *= p.K
+			depth++
+		}
+	}
+
+	for sec := 0; sec < p.K; sec++ {
+		base := sec * p.SectionSize()
+		for j := 0; j < treeSize; j++ {
+			d := depthOf(j)
+			out[base+j] = NodeStructure{Section: sec, Delta: d, Descendants: treeSub(d)}
+		}
+		_ = internal
+		for lf := 0; lf < leaves; lf++ {
+			for t := 0; t < p.L; t++ {
+				id := base + treeSize + lf*p.L + t
+				out[id] = NodeStructure{
+					Section:     sec,
+					Delta:       p.H + 1 + t,
+					Descendants: p.L - t,
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package construct
+
+import (
+	"testing"
+)
+
+func TestStructureCounts(t *testing.T) {
+	p := WillowsParams{K: 2, H: 2, L: 1}
+	w, err := NewWillows(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Structure()
+	if len(st) != p.N() {
+		t.Fatalf("structure covers %d nodes, want %d", len(st), p.N())
+	}
+	// Roots: delta 0, descendants = whole section.
+	for sec, r := range w.Roots {
+		if st[r].Delta != 0 {
+			t.Fatalf("root %d delta = %d", sec, st[r].Delta)
+		}
+		if st[r].Descendants != p.SectionSize() {
+			t.Fatalf("root %d descendants = %d, want %d", sec, st[r].Descendants, p.SectionSize())
+		}
+		if st[r].Section != sec {
+			t.Fatalf("root %d in section %d", sec, st[r].Section)
+		}
+	}
+	// Descendant totals per section: sum over nodes of (delta contribution)
+	// is hard; instead check each leaf: delta = H, descendants = 1 + L.
+	treeSize := p.TreeSize()
+	leaves := p.Leaves()
+	for sec := 0; sec < p.K; sec++ {
+		base := sec * p.SectionSize()
+		for lf := 0; lf < leaves; lf++ {
+			leaf := base + treeSize - leaves + lf
+			if st[leaf].Delta != p.H {
+				t.Fatalf("leaf delta = %d, want %d", st[leaf].Delta, p.H)
+			}
+			if st[leaf].Descendants != 1+p.L {
+				t.Fatalf("leaf descendants = %d, want %d", st[leaf].Descendants, 1+p.L)
+			}
+		}
+		// Last tail node: delta = H+L, descendants = 1... wait: tails have
+		// length L; the last tail node has descendants 1.
+		if p.L > 0 {
+			last := base + treeSize + 0*p.L + (p.L - 1)
+			if st[last].Descendants != 1 {
+				t.Fatalf("last tail node descendants = %d, want 1", st[last].Descendants)
+			}
+			if st[last].Delta != p.H+p.L {
+				t.Fatalf("last tail node delta = %d, want %d", st[last].Delta, p.H+p.L)
+			}
+		}
+	}
+}
+
+// TestLemma2Inequality verifies the paper's Lemma 2 on constructed
+// instances satisfying the Definition 1 constraint: for any non-root node
+// u with delta > 1, n/k − D_u − l ≥ D_u·δ_u, and for delta = 1,
+// n/k − D_u ≥ D_u.
+func TestLemma2Inequality(t *testing.T) {
+	params := []WillowsParams{
+		{K: 2, H: 2, L: 0},
+		{K: 2, H: 2, L: 1},
+		{K: 2, H: 3, L: 0},
+		{K: 2, H: 3, L: 2},
+		{K: 3, H: 2, L: 0},
+		{K: 3, H: 2, L: 1},
+	}
+	for _, p := range params {
+		if !p.MeetsPaperConstraint() {
+			t.Fatalf("test params %+v must satisfy the Definition 1 constraint", p)
+		}
+		w, err := NewWillows(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := w.Structure()
+		nOverK := p.N() / p.K
+		for id, s := range st {
+			switch {
+			case s.Delta == 0:
+				continue // roots are out of scope for the lemma
+			case s.Delta == 1:
+				if nOverK-s.Descendants < s.Descendants {
+					t.Fatalf("%+v node %d (delta 1, D=%d): n/k−D < D", p, id, s.Descendants)
+				}
+			default:
+				lhs := nOverK - s.Descendants - p.L
+				rhs := s.Descendants * s.Delta
+				if lhs < rhs {
+					t.Fatalf("%+v node %d (delta %d, D=%d): n/k−D−l = %d < D·δ = %d",
+						p, id, s.Delta, s.Descendants, lhs, rhs)
+				}
+			}
+		}
+	}
+}
+
+func TestStructurePanicsOnUneven(t *testing.T) {
+	w, err := FitWillows(13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Params.L >= 0 {
+		t.Skip("fit landed on a regular shape; nothing to check")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for uneven instance")
+		}
+	}()
+	w.Structure()
+}

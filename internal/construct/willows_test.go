@@ -1,0 +1,189 @@
+package construct
+
+import (
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestWillowsParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       WillowsParams
+		wantErr bool
+	}{
+		{name: "cycle k1", p: WillowsParams{K: 1, H: 2, L: 3}},
+		{name: "k2 h2", p: WillowsParams{K: 2, H: 2, L: 1}},
+		{name: "zero k", p: WillowsParams{K: 0, H: 1, L: 1}, wantErr: true},
+		{name: "negative h", p: WillowsParams{K: 2, H: -1, L: 0}, wantErr: true},
+		{name: "h0 l0", p: WillowsParams{K: 2, H: 0, L: 0}, wantErr: true},
+		{name: "h0 l1 ok", p: WillowsParams{K: 2, H: 0, L: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestWillowsShape(t *testing.T) {
+	tests := []struct {
+		p                   WillowsParams
+		treeSize, leaves, n int
+	}{
+		{p: WillowsParams{K: 2, H: 2, L: 1}, treeSize: 7, leaves: 4, n: 2 * (7 + 4)},
+		{p: WillowsParams{K: 3, H: 2, L: 0}, treeSize: 13, leaves: 9, n: 39},
+		{p: WillowsParams{K: 1, H: 3, L: 2}, treeSize: 4, leaves: 1, n: 6},
+		{p: WillowsParams{K: 2, H: 3, L: 2}, treeSize: 15, leaves: 8, n: 2 * 31},
+	}
+	for _, tt := range tests {
+		if got := tt.p.TreeSize(); got != tt.treeSize {
+			t.Errorf("%+v TreeSize = %d, want %d", tt.p, got, tt.treeSize)
+		}
+		if got := tt.p.Leaves(); got != tt.leaves {
+			t.Errorf("%+v Leaves = %d, want %d", tt.p, got, tt.leaves)
+		}
+		if got := tt.p.N(); got != tt.n {
+			t.Errorf("%+v N = %d, want %d", tt.p, got, tt.n)
+		}
+	}
+}
+
+func TestWillowsStructure(t *testing.T) {
+	w, err := NewWillows(WillowsParams{K: 2, H: 2, L: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.Params.N()
+	if len(w.Profile) != n {
+		t.Fatalf("profile length %d, want %d", len(w.Profile), n)
+	}
+	// Every node spends exactly its budget K (maximal strategies).
+	for u, s := range w.Profile {
+		if len(s) != w.Params.K {
+			t.Fatalf("node %d buys %d links, want %d", u, len(s), w.Params.K)
+		}
+	}
+	// Roots are section starts.
+	if w.Roots[0] != 0 || w.Roots[1] != w.Params.SectionSize() {
+		t.Fatalf("roots = %v", w.Roots)
+	}
+	// Realized graph must be strongly connected.
+	if !w.Profile.Realize(w.Spec).StronglyConnected() {
+		t.Fatal("willows graph should be strongly connected")
+	}
+}
+
+func TestWillowsK1IsCycle(t *testing.T) {
+	w, err := NewWillows(WillowsParams{K: 1, H: 2, L: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Profile.Realize(w.Spec)
+	diam, strong := g.Diameter(true)
+	if !strong || diam != int64(w.Params.N()-1) {
+		t.Fatalf("k=1 willows should be the directed cycle: diam=%d strong=%v", diam, strong)
+	}
+}
+
+func TestWillowsStability(t *testing.T) {
+	// Definition 1's stability theorem, verified exactly for a family of
+	// parameters (including some below the paper's constraint, which this
+	// implementation also finds stable).
+	params := []WillowsParams{
+		{K: 1, H: 2, L: 3},
+		{K: 2, H: 1, L: 1},
+		{K: 2, H: 2, L: 0},
+		{K: 2, H: 2, L: 1},
+		{K: 3, H: 1, L: 0},
+	}
+	for _, p := range params {
+		w, err := NewWillows(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := core.FindDeviation(w.Spec, w.Profile, core.SumDistances, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil {
+			t.Fatalf("%+v (n=%d): not stable, deviation %+v", p, p.N(), dev)
+		}
+	}
+}
+
+func TestWillowsStabilityLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger stability checks skipped in -short")
+	}
+	params := []WillowsParams{
+		{K: 2, H: 2, L: 2},
+		{K: 2, H: 3, L: 0},
+		{K: 2, H: 3, L: 2},
+		{K: 3, H: 2, L: 0},
+	}
+	for _, p := range params {
+		w, err := NewWillows(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, agg := range []core.Aggregation{core.SumDistances, core.MaxDistance} {
+			dev, err := core.FindDeviation(w.Spec, w.Profile, agg, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dev != nil {
+				t.Fatalf("%+v agg=%v: not stable, deviation %+v", p, agg, dev)
+			}
+		}
+	}
+}
+
+func TestWillowsMaxStability(t *testing.T) {
+	// Theorem 9: willows with l=0 are stable under the max cost too.
+	w, err := NewWillows(WillowsParams{K: 2, H: 2, L: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := core.FindDeviation(w.Spec, w.Profile, core.MaxDistance, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != nil {
+		t.Fatalf("l=0 willows not stable under max cost: %+v", dev)
+	}
+}
+
+func TestWillowsSocialCostGrowsWithTailLength(t *testing.T) {
+	// The l=0 end of the family has per-node cost O(n log n); the long-tail
+	// end is Ω(n sqrt(n/k)). With n held roughly comparable, social cost
+	// must increase in l.
+	base, err := NewWillows(WillowsParams{K: 2, H: 3, L: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailed, err := NewWillows(WillowsParams{K: 2, H: 2, L: 2}) // same n=30
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Params.N() != tailed.Params.N() {
+		t.Fatalf("test setup: n mismatch %d vs %d", base.Params.N(), tailed.Params.N())
+	}
+	c0 := core.SocialCost(base.Spec, base.Profile, core.SumDistances)
+	c1 := core.SocialCost(tailed.Spec, tailed.Profile, core.SumDistances)
+	if c1 <= c0 {
+		t.Fatalf("social cost should grow with tails: l=0 gives %d, tails give %d", c0, c1)
+	}
+}
+
+func TestWillowsMeetsPaperConstraint(t *testing.T) {
+	if !(WillowsParams{K: 2, H: 3, L: 0}).MeetsPaperConstraint() {
+		t.Fatal("K=2 H=3 L=0 should meet the constraint")
+	}
+	if (WillowsParams{K: 2, H: 1, L: 1}).MeetsPaperConstraint() {
+		t.Fatal("K=2 H=1 L=1 should not meet the constraint (5 < 5 fails)")
+	}
+}

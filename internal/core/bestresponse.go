@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bbc/internal/graph"
+)
+
+// infDist is the internal sentinel for "no path"; it is mapped to the
+// spec's penalty M at aggregation time so that the min over candidate rows
+// stays well-defined.
+const infDist = int64(1) << 60
+
+// Oracle answers best-response queries for one node against a fixed rest-
+// of-profile. It exploits the structural fact that a shortest path from u
+// never revisits u, so u's distance to v under strategy S decomposes as
+//
+//	d(u, v) = min_{t ∈ S} ( ℓ(u,t) + d_{G−u}(t, v) )
+//
+// where d_{G−u} is the distance in the realized graph with u deleted. The
+// oracle precomputes one row per candidate target t: row_t[v] = ℓ(u,t) +
+// d_{G−u}(t, v). Best response is then a budget-constrained weighted
+// k-median over the rows; the oracle offers exact enumeration, greedy, and
+// swap local search.
+//
+// The oracle is independent of u's own current strategy (u is deleted from
+// every traversal), so one oracle serves both "is u stable?" and "what is
+// u's best response?".
+type Oracle struct {
+	spec    Spec
+	u       int
+	agg     Aggregation
+	cands   []int     // candidate targets, ascending, excludes u
+	rows    [][]int64 // rows[i][v] = ℓ(u,cands[i]) + d_{G−u}(cands[i],v); infDist if unreachable
+	weights []int64   // weights[v] = w(u, v)
+	costs   []int64   // costs[i] = c(u, cands[i])
+}
+
+// NewOracle precomputes the candidate distance rows for node u against the
+// given realized graph (whose arcs out of u are ignored).
+func NewOracle(spec Spec, g *graph.Digraph, u int, agg Aggregation) *Oracle {
+	n := spec.N()
+	if g.N() != n {
+		panic(fmt.Sprintf("core: graph has %d nodes, spec has %d", g.N(), n))
+	}
+	if u < 0 || u >= n {
+		panic(fmt.Sprintf("core: node %d out of range", u))
+	}
+	o := &Oracle{
+		spec:    spec,
+		u:       u,
+		agg:     agg,
+		cands:   make([]int, 0, n-1),
+		rows:    make([][]int64, 0, n-1),
+		weights: make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		if v != u {
+			o.weights[v] = spec.Weight(u, v)
+		}
+	}
+	unit := spec.UnitLengths()
+	opt := graph.Options{Skip: u}
+	for t := 0; t < n; t++ {
+		if t == u {
+			continue
+		}
+		var dist []int64
+		if unit {
+			dist = g.BFS(t, opt)
+		} else {
+			dist = g.Dijkstra(t, opt)
+		}
+		row := make([]int64, n)
+		offset := spec.Length(u, t)
+		for v := 0; v < n; v++ {
+			if dist[v] == graph.Unreachable {
+				row[v] = infDist
+			} else {
+				row[v] = offset + dist[v]
+			}
+		}
+		o.cands = append(o.cands, t)
+		o.rows = append(o.rows, row)
+		o.costs = append(o.costs, spec.LinkCost(u, t))
+	}
+	return o
+}
+
+// Node returns the node this oracle answers for.
+func (o *Oracle) Node() int { return o.u }
+
+// Evaluate returns u's cost when playing the given (feasible, normalized)
+// strategy against the fixed rest-of-profile.
+func (o *Oracle) Evaluate(s Strategy) int64 {
+	n := o.spec.N()
+	min := make([]int64, n)
+	for v := range min {
+		min[v] = infDist
+	}
+	for _, t := range s {
+		row := o.rows[o.rowIndex(t)]
+		for v := 0; v < n; v++ {
+			if row[v] < min[v] {
+				min[v] = row[v]
+			}
+		}
+	}
+	return o.foldCost(min)
+}
+
+// foldCost aggregates a per-target min-distance vector into u's cost.
+func (o *Oracle) foldCost(min []int64) int64 {
+	var total int64
+	m := o.spec.Penalty()
+	for v, d := range min {
+		if v == o.u {
+			continue
+		}
+		w := o.weights[v]
+		if w == 0 {
+			continue
+		}
+		if d >= infDist {
+			d = m
+		}
+		term := w * d
+		switch o.agg {
+		case SumDistances:
+			total += term
+		case MaxDistance:
+			if term > total {
+				total = term
+			}
+		default:
+			panic("core: unknown aggregation")
+		}
+	}
+	return total
+}
+
+// LowerBound returns a certified lower bound on u's achievable cost
+// against the fixed rest-of-profile: the cost u would have if it could buy
+// every link at once (the column-wise minimum over all candidate rows).
+// Any strategy's distance to v is the minimum over its chosen rows, hence
+// at least this bound; a node whose current cost equals the bound is
+// provably playing a best response, which lets stability checks skip the
+// exponential enumeration for large-budget nodes.
+func (o *Oracle) LowerBound() int64 {
+	n := o.spec.N()
+	min := make([]int64, n)
+	for v := range min {
+		min[v] = infDist
+	}
+	for _, row := range o.rows {
+		for v := 0; v < n; v++ {
+			if row[v] < min[v] {
+				min[v] = row[v]
+			}
+		}
+	}
+	return o.foldCost(min)
+}
+
+// rowIndex maps a target node id to its candidate row index.
+func (o *Oracle) rowIndex(t int) int {
+	i := sort.SearchInts(o.cands, t)
+	if i >= len(o.cands) || o.cands[i] != t {
+		panic(fmt.Sprintf("core: node %d is not a candidate target for %d", t, o.u))
+	}
+	return i
+}
+
+// EnumerationLimitError is returned by BestExact when the number of
+// feasible maximal strategies exceeds the caller's limit.
+type EnumerationLimitError struct {
+	Node  int
+	Limit int
+}
+
+func (e *EnumerationLimitError) Error() string {
+	return fmt.Sprintf("core: best-response enumeration for node %d exceeded limit %d", e.Node, e.Limit)
+}
+
+// BestExact enumerates every maximal budget-feasible strategy and returns a
+// minimum-cost one (ties broken toward the lexicographically smallest
+// strategy, so the result is deterministic). Because weights are
+// non-negative, cost is monotone non-increasing under adding links, so
+// restricting to maximal sets is lossless.
+//
+// limit caps the number of strategies examined; 0 means no cap. When the
+// cap is hit, an *EnumerationLimitError is returned.
+func (o *Oracle) BestExact(limit int) (Strategy, int64, error) {
+	n := o.spec.N()
+	budget := o.spec.Budget(o.u)
+
+	cur := make([]int64, n)
+	for v := range cur {
+		cur[v] = infDist
+	}
+	var (
+		chosen   []int // candidate indices currently included
+		best     Strategy
+		bestCost = int64(1)<<62 - 1
+		examined int
+		limitHit bool
+	)
+	// cell records an overwritten entry of cur so include branches can undo.
+	type cell struct {
+		v   int
+		old int64
+	}
+
+	// minRemainCost[i] = the cheapest link cost among candidates i..end;
+	// used to decide maximality at leaves.
+	minRemain := make([]int64, len(o.cands)+1)
+	minRemain[len(o.cands)] = int64(1)<<62 - 1
+	for i := len(o.cands) - 1; i >= 0; i-- {
+		minRemain[i] = o.costs[i]
+		if minRemain[i+1] < minRemain[i] {
+			minRemain[i] = minRemain[i+1]
+		}
+	}
+
+	record := func() {
+		examined++
+		cost := o.foldCost(cur)
+		if cost < bestCost {
+			bestCost = cost
+			best = make(Strategy, len(chosen))
+			for i, ci := range chosen {
+				best[i] = o.cands[ci]
+			}
+			sort.Ints(best)
+		}
+	}
+
+	var dfs func(i int, rem int64)
+	dfs = func(i int, rem int64) {
+		if limitHit {
+			return
+		}
+		if limit > 0 && examined >= limit {
+			limitHit = true
+			return
+		}
+		if i == len(o.cands) {
+			record()
+			return
+		}
+		// Prune: if nothing from here on fits, this branch is one leaf.
+		if minRemain[i] > rem {
+			record()
+			return
+		}
+		// Include candidate i when affordable.
+		if o.costs[i] <= rem {
+			cells := make([]cell, 0, 8)
+			row := o.rows[i]
+			for v := 0; v < n; v++ {
+				if row[v] < cur[v] {
+					cells = append(cells, cell{v: v, old: cur[v]})
+					cur[v] = row[v]
+				}
+			}
+			chosen = append(chosen, i)
+			dfs(i+1, rem-o.costs[i])
+			chosen = chosen[:len(chosen)-1]
+			for _, c := range cells {
+				cur[c.v] = c.old
+			}
+		}
+		// Exclude candidate i — but only if a maximal set can still be
+		// completed, i.e. some later candidate is affordable, OR excluding i
+		// is forced because i itself is unaffordable.
+		if o.costs[i] > rem {
+			dfs(i+1, rem)
+			return
+		}
+		if minRemain[i+1] <= rem {
+			dfs(i+1, rem)
+			return
+		}
+		// Excluding i would end at a non-maximal leaf (i still fits and
+		// nothing after it does): skip, since some maximal superset
+		// dominates it.
+	}
+	dfs(0, budget)
+	if limitHit {
+		return nil, 0, &EnumerationLimitError{Node: o.u, Limit: limit}
+	}
+	if best == nil {
+		// No candidate affordable at all: the empty strategy is the only
+		// option.
+		return Strategy{}, o.Evaluate(Strategy{}), nil
+	}
+	return best, bestCost, nil
+}
+
+// BestGreedy builds a strategy by repeatedly adding the affordable link
+// with the largest marginal cost decrease (k-median greedy). Ties break
+// toward the lowest candidate index. It returns the strategy and its cost.
+// Greedy continues adding links while budget remains even when the marginal
+// gain is zero, since extra links never hurt and maximality matches the
+// exact oracle's search space.
+func (o *Oracle) BestGreedy() (Strategy, int64) {
+	n := o.spec.N()
+	budget := o.spec.Budget(o.u)
+	cur := make([]int64, n)
+	for v := range cur {
+		cur[v] = infDist
+	}
+	taken := make([]bool, len(o.cands))
+	var out Strategy
+	for {
+		bestIdx := -1
+		bestCost := int64(1)<<62 - 1
+		for i := range o.cands {
+			if taken[i] || o.costs[i] > budget {
+				continue
+			}
+			cost := o.foldCostWithRow(cur, o.rows[i])
+			if cost < bestCost {
+				bestCost = cost
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		taken[bestIdx] = true
+		budget -= o.costs[bestIdx]
+		row := o.rows[bestIdx]
+		for v := 0; v < n; v++ {
+			if row[v] < cur[v] {
+				cur[v] = row[v]
+			}
+		}
+		out = append(out, o.cands[bestIdx])
+	}
+	sort.Ints(out)
+	return out, o.foldCost(cur)
+}
+
+// foldCostWithRow computes the cost of cur overlaid with one extra row,
+// without mutating cur.
+func (o *Oracle) foldCostWithRow(cur, row []int64) int64 {
+	var total int64
+	m := o.spec.Penalty()
+	for v := range cur {
+		if v == o.u {
+			continue
+		}
+		w := o.weights[v]
+		if w == 0 {
+			continue
+		}
+		d := cur[v]
+		if row[v] < d {
+			d = row[v]
+		}
+		if d >= infDist {
+			d = m
+		}
+		term := w * d
+		switch o.agg {
+		case SumDistances:
+			total += term
+		case MaxDistance:
+			if term > total {
+				total = term
+			}
+		}
+	}
+	return total
+}
+
+// ImproveBySwaps runs 1-swap local search from the given strategy: replace
+// one bought link with one unbought affordable link whenever that strictly
+// lowers cost, until a local optimum or maxRounds is reached. It returns
+// the improved strategy and its cost.
+func (o *Oracle) ImproveBySwaps(s Strategy, maxRounds int) (Strategy, int64) {
+	cur := append(Strategy(nil), s...)
+	curCost := o.Evaluate(cur)
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		spent := cur.TotalCost(o.spec, o.u)
+		budget := o.spec.Budget(o.u)
+		for si := 0; si < len(cur) && !improved; si++ {
+			old := cur[si]
+			oldCost := o.spec.LinkCost(o.u, old)
+			for _, t := range o.cands {
+				if cur.Contains(t) {
+					continue
+				}
+				if spent-oldCost+o.spec.LinkCost(o.u, t) > budget {
+					continue
+				}
+				trial := append(Strategy(nil), cur...)
+				trial[si] = t
+				trial = NormalizeStrategy(trial)
+				if c := o.Evaluate(trial); c < curCost {
+					cur, curCost = trial, c
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curCost
+}

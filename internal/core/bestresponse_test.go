@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestOracleEvaluateMatchesNodeCost is the load-bearing consistency check
+// for the best-response decomposition d(u,v) = min_t (ℓ(u,t) + d_{G−u}(t,v)):
+// evaluating u's current strategy through the oracle must equal the direct
+// shortest-path cost in the realized graph.
+func TestOracleEvaluateMatchesNodeCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(8)
+		k := 1 + rng.Intn(minInt(3, n-1))
+		spec := MustUniform(n, k)
+		p := randomProfile(rng, n, k)
+		g := p.Realize(spec)
+		for u := 0; u < n; u++ {
+			for _, agg := range []Aggregation{SumDistances, MaxDistance} {
+				o := NewOracle(spec, g, u, agg)
+				want := NodeCost(spec, g, u, agg)
+				if got := o.Evaluate(p[u]); got != want {
+					t.Fatalf("trial %d node %d agg %v: oracle %d != direct %d (profile %v)",
+						trial, u, agg, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+func TestOracleEvaluateMatchesNodeCostWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		d := NewDense(n)
+		for u := 0; u < n; u++ {
+			d.Budgets[u] = int64(1 + rng.Intn(3))
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				d.Weights[u][v] = int64(rng.Intn(4))
+				d.Lengths[u][v] = int64(1 + rng.Intn(5))
+				d.Costs[u][v] = int64(1 + rng.Intn(2))
+			}
+		}
+		d.M = 10_000
+		d.MustSeal()
+		p := randomFeasibleProfile(rng, d)
+		g := p.Realize(d)
+		for u := 0; u < n; u++ {
+			for _, agg := range []Aggregation{SumDistances, MaxDistance} {
+				o := NewOracle(d, g, u, agg)
+				want := NodeCost(d, g, u, agg)
+				if got := o.Evaluate(p[u]); got != want {
+					t.Fatalf("trial %d node %d agg %v: oracle %d != direct %d",
+						trial, u, agg, got, want)
+				}
+			}
+		}
+	}
+}
+
+// randomFeasibleProfile draws a random feasible strategy for each node of a
+// dense spec by greedy random inclusion.
+func randomFeasibleProfile(rng *rand.Rand, spec Spec) Profile {
+	n := spec.N()
+	p := make(Profile, n)
+	for u := 0; u < n; u++ {
+		rem := spec.Budget(u)
+		var s []int
+		for _, v := range rng.Perm(n) {
+			if v == u || rng.Intn(2) == 0 {
+				continue
+			}
+			if c := spec.LinkCost(u, v); c <= rem {
+				rem -= c
+				s = append(s, v)
+			}
+		}
+		p[u] = NormalizeStrategy(s)
+	}
+	return p
+}
+
+// bruteForceBest computes u's true best response by scoring every feasible
+// strategy through the oracle (independent of BestExact's pruning).
+func bruteForceBest(t *testing.T, spec Spec, o *Oracle, u int) int64 {
+	t.Helper()
+	all, err := AllStrategies(spec, u, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := int64(1)<<62 - 1
+	for _, s := range all {
+		if c := o.Evaluate(s); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func TestBestExactMatchesBruteForceUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(5)
+		k := 1 + rng.Intn(minInt(2, n-1))
+		spec := MustUniform(n, k)
+		p := randomProfile(rng, n, k)
+		g := p.Realize(spec)
+		for u := 0; u < n; u++ {
+			for _, agg := range []Aggregation{SumDistances, MaxDistance} {
+				o := NewOracle(spec, g, u, agg)
+				s, got, err := o.BestExact(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := bruteForceBest(t, spec, o, u); got != want {
+					t.Fatalf("trial %d node %d agg %v: BestExact %d != brute force %d",
+						trial, u, agg, got, want)
+				}
+				if got2 := o.Evaluate(s); got2 != got {
+					t.Fatalf("returned strategy %v evaluates to %d, reported %d", s, got2, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBestExactMatchesBruteForceNonuniformCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(4)
+		d := NewDense(n)
+		for u := 0; u < n; u++ {
+			d.Budgets[u] = int64(1 + rng.Intn(4))
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				d.Weights[u][v] = int64(rng.Intn(3))
+				d.Costs[u][v] = int64(1 + rng.Intn(3))
+			}
+		}
+		d.MustSeal()
+		p := randomFeasibleProfile(rng, d)
+		g := p.Realize(d)
+		for u := 0; u < n; u++ {
+			o := NewOracle(d, g, u, SumDistances)
+			_, got, err := o.BestExact(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := bruteForceBest(t, d, o, u); got != want {
+				t.Fatalf("trial %d node %d: BestExact %d != brute force %d", trial, u, got, want)
+			}
+		}
+	}
+}
+
+func TestGreedyNeverBeatsExactAndSwapHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(6)
+		k := 1 + rng.Intn(minInt(3, n-1))
+		spec := MustUniform(n, k)
+		p := randomProfile(rng, n, k)
+		g := p.Realize(spec)
+		u := rng.Intn(n)
+		o := NewOracle(spec, g, u, SumDistances)
+		_, exact, err := o.BestExact(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, greedy := o.BestGreedy()
+		if greedy < exact {
+			t.Fatalf("greedy %d beat exact %d", greedy, exact)
+		}
+		_, swapped := o.ImproveBySwaps(gs, 50)
+		if swapped > greedy {
+			t.Fatalf("swap made things worse: %d > %d", swapped, greedy)
+		}
+		if swapped < exact {
+			t.Fatalf("swap %d beat exact %d", swapped, exact)
+		}
+	}
+}
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(4)
+		d := NewDense(n)
+		for u := 0; u < n; u++ {
+			d.Budgets[u] = int64(1 + rng.Intn(4))
+			for v := 0; v < n; v++ {
+				if u != v {
+					d.Costs[u][v] = int64(1 + rng.Intn(3))
+				}
+			}
+		}
+		d.MustSeal()
+		p := randomFeasibleProfile(rng, d)
+		g := p.Realize(d)
+		for u := 0; u < n; u++ {
+			o := NewOracle(d, g, u, SumDistances)
+			s, _ := o.BestGreedy()
+			if got := s.TotalCost(d, u); got > d.Budget(u) {
+				t.Fatalf("greedy strategy %v costs %d > budget %d", s, got, d.Budget(u))
+			}
+		}
+	}
+}
+
+func TestBestExactEnumerationLimit(t *testing.T) {
+	spec := MustUniform(10, 4)
+	p := randomProfile(rand.New(rand.NewSource(87)), 10, 4)
+	g := p.Realize(spec)
+	o := NewOracle(spec, g, 0, SumDistances)
+	_, _, err := o.BestExact(3)
+	var lim *EnumerationLimitError
+	if !errors.As(err, &lim) {
+		t.Fatalf("err = %v, want EnumerationLimitError", err)
+	}
+	if lim.Node != 0 || lim.Limit != 3 {
+		t.Fatalf("error fields = %+v", lim)
+	}
+}
+
+func TestBestResponseDispatch(t *testing.T) {
+	spec := MustUniform(5, 2)
+	p := ringProfile(5)
+	g := p.Realize(spec)
+	for _, m := range []Method{Exact, Greedy, GreedySwap} {
+		s, c, err := BestResponse(spec, g, 0, SumDistances, Options{Method: m})
+		if err != nil {
+			t.Fatalf("method %d: %v", m, err)
+		}
+		if len(s) == 0 || c <= 0 {
+			t.Fatalf("method %d: degenerate response %v cost %d", m, s, c)
+		}
+	}
+	if _, _, err := BestResponse(spec, g, 0, SumDistances, Options{Method: Method(42)}); err == nil {
+		t.Fatal("unknown method should error")
+	}
+}
+
+func TestOracleRowIndexPanicsOnNonCandidate(t *testing.T) {
+	spec := MustUniform(3, 1)
+	g := ringProfile(3).Realize(spec)
+	o := NewOracle(spec, g, 0, SumDistances)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for self target")
+		}
+	}()
+	o.Evaluate(Strategy{0})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

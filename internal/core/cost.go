@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bbc/internal/graph"
+)
+
+// NodeCost returns the cost of node u in the realized graph g: the
+// preference-weighted sum (or max) of distances to all other nodes, with
+// unreachable nodes charged the disconnection penalty M. The paper's
+// utility is the negation of this cost; we work with costs throughout and
+// minimize.
+func NodeCost(spec Spec, g *graph.Digraph, u int, agg Aggregation) int64 {
+	var dist []int64
+	if spec.UnitLengths() {
+		dist = g.BFS(u, graph.Options{Skip: -1})
+	} else {
+		dist = g.Dijkstra(u, graph.Options{Skip: -1})
+	}
+	return aggregate(spec, u, dist, agg)
+}
+
+// aggregate folds a distance vector into a node cost. dist uses
+// graph.Unreachable for missing paths.
+func aggregate(spec Spec, u int, dist []int64, agg Aggregation) int64 {
+	var total int64
+	m := spec.Penalty()
+	for v, d := range dist {
+		if v == u {
+			continue
+		}
+		w := spec.Weight(u, v)
+		if w == 0 {
+			continue
+		}
+		if d == graph.Unreachable {
+			d = m
+		}
+		term := w * d
+		switch agg {
+		case SumDistances:
+			total += term
+		case MaxDistance:
+			if term > total {
+				total = term
+			}
+		default:
+			panic("core: unknown aggregation")
+		}
+	}
+	return total
+}
+
+// CostVector returns every node's cost under the profile.
+func CostVector(spec Spec, p Profile, agg Aggregation) []int64 {
+	g := p.Realize(spec)
+	costs := make([]int64, spec.N())
+	for u := range costs {
+		costs[u] = NodeCost(spec, g, u, agg)
+	}
+	return costs
+}
+
+// SocialCost returns the sum of all node costs (the negation of the
+// paper's total social utility).
+func SocialCost(spec Spec, p Profile, agg Aggregation) int64 {
+	var total int64
+	for _, c := range CostVector(spec, p, agg) {
+		total += c
+	}
+	return total
+}
+
+// SocialCostOnGraph is SocialCost for an already-realized graph.
+func SocialCostOnGraph(spec Spec, g *graph.Digraph, agg Aggregation) int64 {
+	var total int64
+	for u := 0; u < spec.N(); u++ {
+		total += NodeCost(spec, g, u, agg)
+	}
+	return total
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ringProfile is the directed cycle 0→1→...→n-1→0.
+func ringProfile(n int) Profile {
+	p := make(Profile, n)
+	for u := 0; u < n; u++ {
+		p[u] = Strategy{(u + 1) % n}
+	}
+	return p
+}
+
+func TestNodeCostOnRing(t *testing.T) {
+	const n = 6
+	spec := MustUniform(n, 1)
+	p := ringProfile(n)
+	g := p.Realize(spec)
+	want := int64(n * (n - 1) / 2) // 1+2+...+(n-1)
+	for u := 0; u < n; u++ {
+		if got := NodeCost(spec, g, u, SumDistances); got != want {
+			t.Fatalf("node %d sum cost = %d, want %d", u, got, want)
+		}
+		if got := NodeCost(spec, g, u, MaxDistance); got != int64(n-1) {
+			t.Fatalf("node %d max cost = %d, want %d", u, got, n-1)
+		}
+	}
+}
+
+func TestNodeCostPenalty(t *testing.T) {
+	spec := MustUniform(4, 1)
+	p := Profile{{1}, {}, {}, {}}
+	g := p.Realize(spec)
+	m := spec.Penalty()
+	if got := NodeCost(spec, g, 0, SumDistances); got != 1+2*m {
+		t.Fatalf("cost = %d, want %d", got, 1+2*m)
+	}
+	if got := NodeCost(spec, g, 1, SumDistances); got != 3*m {
+		t.Fatalf("isolated-out node cost = %d, want %d", got, 3*m)
+	}
+	if got := NodeCost(spec, g, 0, MaxDistance); got != m {
+		t.Fatalf("max cost = %d, want %d", got, m)
+	}
+}
+
+func TestNodeCostZeroWeightsIgnored(t *testing.T) {
+	d := NewDense(3)
+	d.Weights[0][2] = 0 // 0 does not care about 2
+	d.MustSeal()
+	p := Profile{{1}, {}, {}}
+	g := p.Realize(d)
+	if got := NodeCost(d, g, 0, SumDistances); got != 1 {
+		t.Fatalf("cost = %d, want 1 (unreachable zero-weight target must not be charged)", got)
+	}
+}
+
+func TestNodeCostWeightedLengths(t *testing.T) {
+	d := NewDense(3)
+	d.Lengths[0][1] = 4
+	d.Lengths[1][2] = 5
+	d.M = 1000
+	d.MustSeal()
+	p := Profile{{1}, {2}, {}}
+	g := p.Realize(d)
+	if got := NodeCost(d, g, 0, SumDistances); got != 4+9 {
+		t.Fatalf("cost = %d, want 13", got)
+	}
+	if got := NodeCost(d, g, 0, MaxDistance); got != 9 {
+		t.Fatalf("max cost = %d, want 9", got)
+	}
+}
+
+func TestSocialCostMatchesCostVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	spec := MustUniform(7, 2)
+	for trial := 0; trial < 30; trial++ {
+		p := randomProfile(rng, 7, 2)
+		var sum int64
+		for _, c := range CostVector(spec, p, SumDistances) {
+			sum += c
+		}
+		if got := SocialCost(spec, p, SumDistances); got != sum {
+			t.Fatalf("SocialCost = %d, CostVector sum = %d", got, sum)
+		}
+		if got := SocialCostOnGraph(spec, p.Realize(spec), SumDistances); got != sum {
+			t.Fatalf("SocialCostOnGraph = %d, want %d", got, sum)
+		}
+	}
+}
+
+func TestCompleteGraphCost(t *testing.T) {
+	const n = 5
+	spec := MustUniform(n, n-1)
+	p := make(Profile, n)
+	for u := range p {
+		s := make(Strategy, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u {
+				s = append(s, v)
+			}
+		}
+		p[u] = s
+	}
+	for u, c := range CostVector(spec, p, SumDistances) {
+		if c != n-1 {
+			t.Fatalf("node %d cost = %d, want %d", u, c, n-1)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bbc/internal/graph"
+)
+
+// AllStrategies enumerates feasible strategies for node u. When maximalOnly
+// is set, only budget-maximal sets are returned (no affordable link can be
+// added); otherwise every feasible set including the empty one is returned.
+// limit caps the result length (0 = unlimited); exceeding it returns an
+// *EnumerationLimitError.
+func AllStrategies(spec Spec, u int, maximalOnly bool, limit int) ([]Strategy, error) {
+	n := spec.N()
+	cands := make([]int, 0, n-1)
+	costs := make([]int64, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != u {
+			cands = append(cands, v)
+			costs = append(costs, spec.LinkCost(u, v))
+		}
+	}
+	minRemain := make([]int64, len(cands)+1)
+	minRemain[len(cands)] = int64(1)<<62 - 1
+	for i := len(cands) - 1; i >= 0; i-- {
+		minRemain[i] = costs[i]
+		if minRemain[i+1] < minRemain[i] {
+			minRemain[i] = minRemain[i+1]
+		}
+	}
+	var (
+		out      []Strategy
+		chosen   []int
+		inSet    = make([]bool, len(cands))
+		limitHit bool
+	)
+	// isMaximal reports whether no unchosen candidate fits in rem.
+	isMaximal := func(rem int64) bool {
+		for i := range cands {
+			if !inSet[i] && costs[i] <= rem {
+				return false
+			}
+		}
+		return true
+	}
+	emit := func(rem int64) {
+		if maximalOnly && !isMaximal(rem) {
+			return
+		}
+		if limit > 0 && len(out) >= limit {
+			limitHit = true
+			return
+		}
+		s := make(Strategy, len(chosen))
+		copy(s, chosen)
+		out = append(out, s)
+	}
+	var dfs func(i int, rem int64)
+	dfs = func(i int, rem int64) {
+		if limitHit {
+			return
+		}
+		if i == len(cands) {
+			emit(rem)
+			return
+		}
+		if maximalOnly && minRemain[i] > rem {
+			emit(rem)
+			return
+		}
+		if costs[i] <= rem {
+			chosen = append(chosen, cands[i])
+			inSet[i] = true
+			dfs(i+1, rem-costs[i])
+			inSet[i] = false
+			chosen = chosen[:len(chosen)-1]
+		}
+		if limitHit {
+			return
+		}
+		if !maximalOnly {
+			dfs(i+1, rem)
+			return
+		}
+		if costs[i] > rem || minRemain[i+1] <= rem {
+			dfs(i+1, rem)
+		}
+	}
+	dfs(0, spec.Budget(u))
+	if limitHit {
+		return nil, &EnumerationLimitError{Node: u, Limit: limit}
+	}
+	return out, nil
+}
+
+// SearchSpace restricts the per-node strategy sets explored by
+// EnumeratePureNE. A nil entry means "not restricted" and is invalid; use
+// FullSpace or PinnedSpace to build one.
+type SearchSpace struct {
+	PerNode [][]Strategy
+}
+
+// Size returns the number of profiles in the product space, saturating at
+// 2^63-1.
+func (ss *SearchSpace) Size() uint64 {
+	size := uint64(1)
+	const cap64 = uint64(1) << 63
+	for _, set := range ss.PerNode {
+		if uint64(len(set)) == 0 {
+			return 0
+		}
+		if size > cap64/uint64(len(set)) {
+			return cap64
+		}
+		size *= uint64(len(set))
+	}
+	return size
+}
+
+// FullSpace builds the unrestricted search space: every feasible strategy
+// for every node (including non-maximal ones, since ties can make
+// non-maximal strategies equilibrium components).
+func FullSpace(spec Spec, limitPerNode int) (*SearchSpace, error) {
+	ss := &SearchSpace{PerNode: make([][]Strategy, spec.N())}
+	for u := 0; u < spec.N(); u++ {
+		set, err := AllStrategies(spec, u, false, limitPerNode)
+		if err != nil {
+			return nil, err
+		}
+		ss.PerNode[u] = set
+	}
+	return ss, nil
+}
+
+// PinnedSpace builds a search space with the singleton-support pin rule
+// applied: in a unit-length game, a node u whose preference weights are
+// positive for exactly one target v (and which can afford the link to v)
+// achieves distance 1 to v only by buying that link, so every best response
+// of u contains v; strategies omitting v can be soundly excluded. The rule
+// preserves all pure Nash equilibria, so "no NE in the pinned space"
+// implies "no NE at all".
+func PinnedSpace(spec Spec, limitPerNode int) (*SearchSpace, error) {
+	if !spec.UnitLengths() {
+		return nil, fmt.Errorf("core: PinnedSpace requires unit link lengths")
+	}
+	full, err := FullSpace(spec, limitPerNode)
+	if err != nil {
+		return nil, err
+	}
+	n := spec.N()
+	for u := 0; u < n; u++ {
+		support := -1
+		multi := false
+		for v := 0; v < n; v++ {
+			if v != u && spec.Weight(u, v) > 0 {
+				if support >= 0 {
+					multi = true
+					break
+				}
+				support = v
+			}
+		}
+		if multi || support < 0 || spec.LinkCost(u, support) > spec.Budget(u) {
+			continue
+		}
+		kept := full.PerNode[u][:0]
+		for _, s := range full.PerNode[u] {
+			if s.Contains(support) {
+				kept = append(kept, s)
+			}
+		}
+		full.PerNode[u] = kept
+	}
+	return full, nil
+}
+
+// NEResult reports the outcome of an exhaustive equilibrium search.
+type NEResult struct {
+	// Equilibria holds the pure Nash equilibria found (up to the caller's
+	// cap), in odometer order.
+	Equilibria []Profile
+	// Checked is the number of profiles whose stability was tested.
+	Checked uint64
+	// Complete is true when the whole space was scanned (the search did not
+	// stop early at maxEquilibria).
+	Complete bool
+}
+
+// EnumeratePureNE scans the product space and returns all pure Nash
+// equilibria it contains (up to maxEquilibria; 0 means collect all). The
+// stability test is exact. The scan maintains the realized graph
+// incrementally, so successive profiles that differ in one node's strategy
+// cost only that node's rewiring.
+func EnumeratePureNE(spec Spec, agg Aggregation, ss *SearchSpace, maxEquilibria int) (*NEResult, error) {
+	n := spec.N()
+	if len(ss.PerNode) != n {
+		return nil, fmt.Errorf("core: search space covers %d nodes, spec has %d", len(ss.PerNode), n)
+	}
+	for u, set := range ss.PerNode {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("core: node %d has an empty strategy set", u)
+		}
+	}
+	res := &NEResult{Complete: true}
+	idx := make([]int, n)
+	p := make(Profile, n)
+	for u := range p {
+		p[u] = ss.PerNode[u][0]
+	}
+	g := p.Realize(spec)
+
+	// Check nodes with larger strategy sets first: they are the ones whose
+	// current strategy is least likely to be a best response, so the
+	// early-exit in profileStable fires sooner. (Pure reordering — the
+	// stability verdict is order-independent.)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(ss.PerNode[order[a]]) > len(ss.PerNode[order[b]])
+	})
+
+	for {
+		res.Checked++
+		if profileStable(spec, g, p, agg, order) {
+			res.Equilibria = append(res.Equilibria, p.Clone())
+			if maxEquilibria > 0 && len(res.Equilibria) >= maxEquilibria {
+				res.Complete = false
+				return res, nil
+			}
+		}
+		// Odometer step.
+		u := n - 1
+		for u >= 0 {
+			idx[u]++
+			if idx[u] < len(ss.PerNode[u]) {
+				p[u] = ss.PerNode[u][idx[u]]
+				setStrategyArcs(spec, g, u, p[u])
+				break
+			}
+			idx[u] = 0
+			p[u] = ss.PerNode[u][0]
+			setStrategyArcs(spec, g, u, p[u])
+			u--
+		}
+		if u < 0 {
+			return res, nil
+		}
+	}
+}
+
+// setStrategyArcs rewires node u's out-arcs in g to match strategy s.
+func setStrategyArcs(spec Spec, g *graph.Digraph, u int, s Strategy) {
+	g.RemoveArcs(u)
+	for _, v := range s {
+		g.AddArc(u, v, spec.Length(u, v))
+	}
+}
+
+// profileStable is an exact per-profile stability check with early exit at
+// the first node (in the given check order) that has a strictly improving
+// deviation.
+func profileStable(spec Spec, g *graph.Digraph, p Profile, agg Aggregation, order []int) bool {
+	for _, u := range order {
+		o := NewOracle(spec, g, u, agg)
+		cur := o.Evaluate(p[u])
+		if cur == o.LowerBound() {
+			continue // provably optimal
+		}
+		_, bestCost, err := o.BestExact(0)
+		if err != nil {
+			panic(err) // unreachable: limit 0 never errors
+		}
+		if bestCost < cur {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// EnumeratePureNEParallel is EnumeratePureNE with the product space
+// partitioned across workers: the scan fixes each strategy of the first
+// node whose strategy set has more than one entry and hands the resulting
+// subspace to a worker. Results are merged in partition order, so the
+// equilibria come back in the same order as the serial scan. maxEquilibria
+// caps the total collected (0 = all); when the cap is hit remaining
+// partitions are still scanned but stop collecting, and Complete reports
+// whether every profile was checked before the cap ended the collection.
+func EnumeratePureNEParallel(spec Spec, agg Aggregation, ss *SearchSpace, maxEquilibria, workers int) (*NEResult, error) {
+	n := spec.N()
+	if len(ss.PerNode) != n {
+		return nil, fmt.Errorf("core: search space covers %d nodes, spec has %d", len(ss.PerNode), n)
+	}
+	pivot := -1
+	for u, set := range ss.PerNode {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("core: node %d has an empty strategy set", u)
+		}
+		if pivot < 0 && len(set) > 1 {
+			pivot = u
+		}
+	}
+	if pivot < 0 {
+		// Single profile; no parallelism to extract.
+		return EnumeratePureNE(spec, agg, ss, maxEquilibria)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	parts := ss.PerNode[pivot]
+	results := make([]*NEResult, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub := &SearchSpace{PerNode: make([][]Strategy, n)}
+			copy(sub.PerNode, ss.PerNode)
+			sub.PerNode[pivot] = []Strategy{parts[i]}
+			results[i], errs[i] = EnumeratePureNE(spec, agg, sub, maxEquilibria)
+		}(i)
+	}
+	wg.Wait()
+
+	merged := &NEResult{Complete: true}
+	for i := range parts {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		merged.Checked += results[i].Checked
+		if !results[i].Complete {
+			merged.Complete = false
+		}
+		for _, p := range results[i].Equilibria {
+			if maxEquilibria > 0 && len(merged.Equilibria) >= maxEquilibria {
+				merged.Complete = false
+				return merged, nil
+			}
+			merged.Equilibria = append(merged.Equilibria, p)
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func TestAllStrategiesCounts(t *testing.T) {
+	tests := []struct {
+		n, k int
+	}{
+		{n: 4, k: 1}, {n: 5, k: 2}, {n: 6, k: 3}, {n: 5, k: 4},
+	}
+	for _, tt := range tests {
+		spec := MustUniform(tt.n, tt.k)
+		maximal, err := AllStrategies(spec, 0, true, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := binom(tt.n-1, tt.k); len(maximal) != want {
+			t.Fatalf("n=%d k=%d: %d maximal strategies, want C(%d,%d)=%d",
+				tt.n, tt.k, len(maximal), tt.n-1, tt.k, want)
+		}
+		full, err := AllStrategies(spec, 0, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := 0; i <= tt.k; i++ {
+			want += binom(tt.n-1, i)
+		}
+		if len(full) != want {
+			t.Fatalf("n=%d k=%d: %d full strategies, want %d", tt.n, tt.k, len(full), want)
+		}
+	}
+}
+
+func TestAllStrategiesNonuniformCostsMaximality(t *testing.T) {
+	d := NewDense(4)
+	d.Budgets[0] = 3
+	d.Costs[0][1] = 1
+	d.Costs[0][2] = 2
+	d.Costs[0][3] = 3
+	d.MustSeal()
+	maximal, err := AllStrategies(d, 0, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maximal sets within budget 3: {1,2} (cost 3), {3} (cost 3).
+	// {1} (cost 1, can add 2), {2} (can add 1) are not maximal.
+	want := map[string]bool{"[1 2]": true, "[3]": true}
+	if len(maximal) != len(want) {
+		t.Fatalf("maximal = %v, want two sets", maximal)
+	}
+	for _, s := range maximal {
+		key := ""
+		if len(s) == 1 {
+			key = "[3]"
+			if s[0] != 3 {
+				t.Fatalf("unexpected singleton %v", s)
+			}
+		} else {
+			key = "[1 2]"
+			if s[0] != 1 || s[1] != 2 {
+				t.Fatalf("unexpected pair %v", s)
+			}
+		}
+		if !want[key] {
+			t.Fatalf("unexpected maximal set %v", s)
+		}
+	}
+}
+
+func TestAllStrategiesLimit(t *testing.T) {
+	spec := MustUniform(10, 3)
+	_, err := AllStrategies(spec, 0, true, 5)
+	if err == nil {
+		t.Fatal("expected limit error")
+	}
+}
+
+func TestSearchSpaceSize(t *testing.T) {
+	spec := MustUniform(4, 1)
+	ss, err := FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each node: 3 singletons + empty = 4 strategies; 4 nodes -> 256.
+	if got := ss.Size(); got != 256 {
+		t.Fatalf("Size = %d, want 256", got)
+	}
+}
+
+func TestEnumeratePureNEFindsCycleEquilibria(t *testing.T) {
+	// In the (3,1)-uniform game the equilibria are exactly the two directed
+	// 3-cycles (every node must reach both others; with one link each the
+	// only strongly connected 1-out-regular graphs are the two rotations).
+	spec := MustUniform(3, 1)
+	ss, err := FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EnumeratePureNE(spec, SumDistances, ss, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("scan should complete")
+	}
+	// Each node has 2 candidate targets: empty + 2 singletons = 3
+	// strategies, so the space has 3^3 = 27 profiles.
+	if res.Checked != 27 {
+		t.Fatalf("checked %d profiles, want 3^3 = 27", res.Checked)
+	}
+	if len(res.Equilibria) != 2 {
+		t.Fatalf("found %d equilibria, want 2: %v", len(res.Equilibria), res.Equilibria)
+	}
+	for _, p := range res.Equilibria {
+		if !p.Realize(spec).StronglyConnected() {
+			t.Fatalf("equilibrium %v is not strongly connected", p)
+		}
+	}
+}
+
+func TestEnumeratePureNEAgreesWithIsEquilibrium(t *testing.T) {
+	// Every profile the enumerator labels stable must pass IsEquilibrium,
+	// and sampling other profiles must find them unstable.
+	spec := MustUniform(4, 1)
+	ss, err := FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EnumeratePureNE(spec, SumDistances, ss, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[string]bool, len(res.Equilibria))
+	for _, p := range res.Equilibria {
+		stable, err := IsEquilibrium(spec, p, SumDistances)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stable {
+			t.Fatalf("enumerator returned non-equilibrium %v", p)
+		}
+		found[p.Key()] = true
+	}
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProfile(rng, 4, 1)
+		stable, err := IsEquilibrium(spec, p, SumDistances)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stable && !found[p.Key()] {
+			t.Fatalf("IsEquilibrium found %v stable but the enumerator missed it", p)
+		}
+	}
+}
+
+func TestEnumeratePureNEMaxCap(t *testing.T) {
+	spec := MustUniform(3, 1)
+	ss, err := FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EnumeratePureNE(spec, SumDistances, ss, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Equilibria) != 1 || res.Complete {
+		t.Fatalf("cap not honored: %d equilibria, complete=%v", len(res.Equilibria), res.Complete)
+	}
+}
+
+func TestPinnedSpaceSoundness(t *testing.T) {
+	// Build a game where several nodes have singleton support; the pinned
+	// space must contain exactly the same equilibria as the full space.
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 10; trial++ {
+		n := 4
+		d := NewDense(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v {
+					d.Weights[u][v] = 0
+				}
+			}
+			// Half the nodes get singleton support, half get two targets.
+			v1 := (u + 1 + rng.Intn(n-1)) % n
+			if v1 == u {
+				v1 = (u + 1) % n
+			}
+			d.Weights[u][v1] = int64(1 + rng.Intn(3))
+			if u%2 == 0 {
+				v2 := (v1 + 1) % n
+				if v2 == u {
+					v2 = (v2 + 1) % n
+				}
+				d.Weights[u][v2] = int64(1 + rng.Intn(3))
+			}
+		}
+		d.MustSeal()
+
+		full, err := FullSpace(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned, err := PinnedSpace(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pinned.Size() > full.Size() {
+			t.Fatal("pinning enlarged the space")
+		}
+		fullRes, err := EnumeratePureNE(d, SumDistances, full, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinRes, err := EnumeratePureNE(d, SumDistances, pinned, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullKeys := map[string]bool{}
+		for _, p := range fullRes.Equilibria {
+			fullKeys[p.Key()] = true
+		}
+		pinKeys := map[string]bool{}
+		for _, p := range pinRes.Equilibria {
+			pinKeys[p.Key()] = true
+		}
+		// Every pinned equilibrium is a full equilibrium...
+		for k := range pinKeys {
+			if !fullKeys[k] {
+				t.Fatalf("trial %d: pinned space found spurious equilibrium", trial)
+			}
+		}
+		// ...and pinning must not lose any equilibrium whose pinned nodes
+		// play strategies containing their support (the pin-rule guarantee:
+		// all equilibria satisfy this).
+		for k := range fullKeys {
+			if !pinKeys[k] {
+				t.Fatalf("trial %d: pinned space lost equilibrium %s", trial, k)
+			}
+		}
+	}
+}
+
+func TestPinnedSpaceRejectsNonUnitLengths(t *testing.T) {
+	d := NewDense(3)
+	d.Lengths[0][1] = 2
+	d.M = 100
+	d.MustSeal()
+	if _, err := PinnedSpace(d, 0); err == nil {
+		t.Fatal("expected error for non-unit lengths")
+	}
+}
+
+func TestEnumerateRejectsBadSpace(t *testing.T) {
+	spec := MustUniform(3, 1)
+	_, err := EnumeratePureNE(spec, SumDistances, &SearchSpace{PerNode: make([][]Strategy, 2)}, 0)
+	if err == nil {
+		t.Fatal("expected error for wrong node count")
+	}
+	_, err = EnumeratePureNE(spec, SumDistances, &SearchSpace{PerNode: make([][]Strategy, 3)}, 0)
+	if err == nil {
+		t.Fatal("expected error for empty strategy sets")
+	}
+}

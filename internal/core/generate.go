@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenerateParams shapes a random Dense instance. Zero values mean "uniform
+// in that dimension": MaxWeight 0 keeps all weights 1, MaxCost 0 keeps all
+// link costs 1, MaxLength 0 keeps all lengths 1, MaxBudget 0 keeps all
+// budgets 1.
+type GenerateParams struct {
+	N int
+	// MaxWeight draws weights uniformly from 0..MaxWeight (0 = uniform 1).
+	MaxWeight int64
+	// EnsureSupport re-draws any node whose weights all came up zero, so
+	// every player wants something (only meaningful with MaxWeight > 0).
+	EnsureSupport bool
+	// MaxCost draws link costs from 1..MaxCost (0 = uniform 1).
+	MaxCost int64
+	// MaxLength draws lengths from 1..MaxLength (0 = uniform 1).
+	MaxLength int64
+	// MaxBudget draws budgets from 1..MaxBudget (0 = uniform 1).
+	MaxBudget int64
+}
+
+// GenerateDense draws a random sealed Dense instance. It is the shared
+// workload generator behind the randomized experiments (no-equilibrium
+// searches, the budget-conjecture probe E17, fuzz-style property tests).
+func GenerateDense(rng *rand.Rand, p GenerateParams) (*Dense, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("core: generate needs N >= 2, got %d", p.N)
+	}
+	d := NewDense(p.N)
+	var maxLen int64 = 1
+	for u := 0; u < p.N; u++ {
+		if p.MaxBudget > 0 {
+			d.Budgets[u] = 1 + rng.Int63n(p.MaxBudget)
+		}
+		for v := 0; v < p.N; v++ {
+			if u == v {
+				continue
+			}
+			if p.MaxWeight > 0 {
+				d.Weights[u][v] = rng.Int63n(p.MaxWeight + 1)
+			}
+			if p.MaxCost > 0 {
+				d.Costs[u][v] = 1 + rng.Int63n(p.MaxCost)
+			}
+			if p.MaxLength > 0 {
+				d.Lengths[u][v] = 1 + rng.Int63n(p.MaxLength)
+				if d.Lengths[u][v] > maxLen {
+					maxLen = d.Lengths[u][v]
+				}
+			}
+		}
+		if p.EnsureSupport && p.MaxWeight > 0 {
+			hasSupport := false
+			for v := 0; v < p.N; v++ {
+				if v != u && d.Weights[u][v] > 0 {
+					hasSupport = true
+					break
+				}
+			}
+			if !hasSupport {
+				v := rng.Intn(p.N - 1)
+				if v >= u {
+					v++
+				}
+				d.Weights[u][v] = 1 + rng.Int63n(p.MaxWeight)
+			}
+		}
+	}
+	d.M = int64(p.N)*maxLen*int64(p.N) + 1
+	if err := d.Seal(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

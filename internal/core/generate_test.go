@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateDenseShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	tests := []struct {
+		name string
+		p    GenerateParams
+	}{
+		{name: "all uniform", p: GenerateParams{N: 6}},
+		{name: "weights only", p: GenerateParams{N: 6, MaxWeight: 4}},
+		{name: "weights with support", p: GenerateParams{N: 6, MaxWeight: 3, EnsureSupport: true}},
+		{name: "full nonuniform", p: GenerateParams{N: 5, MaxWeight: 3, MaxCost: 2, MaxLength: 4, MaxBudget: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				d, err := GenerateDense(rng, tt.p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.N() != tt.p.N {
+					t.Fatalf("N = %d", d.N())
+				}
+				for u := 0; u < d.N(); u++ {
+					if tt.p.MaxBudget == 0 && d.Budget(u) != 1 {
+						t.Fatal("budget should default to 1")
+					}
+					if tt.p.MaxBudget > 0 && (d.Budget(u) < 1 || d.Budget(u) > tt.p.MaxBudget) {
+						t.Fatalf("budget %d out of range", d.Budget(u))
+					}
+					support := false
+					for v := 0; v < d.N(); v++ {
+						if u == v {
+							continue
+						}
+						if tt.p.MaxWeight == 0 && d.Weight(u, v) != 1 {
+							t.Fatal("weight should default to 1")
+						}
+						if d.Weight(u, v) > 0 {
+							support = true
+						}
+						if tt.p.MaxCost == 0 && d.LinkCost(u, v) != 1 {
+							t.Fatal("cost should default to 1")
+						}
+						if tt.p.MaxLength == 0 && d.Length(u, v) != 1 {
+							t.Fatal("length should default to 1")
+						}
+					}
+					if tt.p.EnsureSupport && !support {
+						t.Fatalf("node %d has no positive weight despite EnsureSupport", u)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDenseValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	if _, err := GenerateDense(rng, GenerateParams{N: 1}); err == nil {
+		t.Fatal("expected error for N=1")
+	}
+}
+
+func TestGenerateDensePenaltyDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	d, err := GenerateDense(rng, GenerateParams{N: 8, MaxLength: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxLen int64
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			if u != v && d.Length(u, v) > maxLen {
+				maxLen = d.Length(u, v)
+			}
+		}
+	}
+	if d.Penalty() <= 8*maxLen {
+		t.Fatalf("penalty %d does not dominate n·maxLen = %d", d.Penalty(), 8*maxLen)
+	}
+}

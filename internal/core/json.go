@@ -1,0 +1,143 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// gameJSON is the on-disk representation of a BBC game instance. Uniform
+// games are stored compactly; dense games carry their full matrices.
+type gameJSON struct {
+	// Kind is "uniform" or "dense".
+	Kind string `json:"kind"`
+	// N and K describe uniform games.
+	N int `json:"n,omitempty"`
+	K int `json:"k,omitempty"`
+	// Dense payload.
+	Weights [][]int64 `json:"weights,omitempty"`
+	Costs   [][]int64 `json:"costs,omitempty"`
+	Lengths [][]int64 `json:"lengths,omitempty"`
+	Budgets []int64   `json:"budgets,omitempty"`
+	Penalty int64     `json:"penalty,omitempty"`
+}
+
+// MarshalSpec encodes a Uniform or Dense spec as JSON. Other Spec
+// implementations are rejected.
+func MarshalSpec(spec Spec) ([]byte, error) {
+	switch s := spec.(type) {
+	case *Uniform:
+		return json.Marshal(gameJSON{Kind: "uniform", N: s.N(), K: s.K()})
+	case *Dense:
+		return json.Marshal(gameJSON{
+			Kind:    "dense",
+			Weights: s.Weights,
+			Costs:   s.Costs,
+			Lengths: s.Lengths,
+			Budgets: s.Budgets,
+			Penalty: s.M,
+		})
+	default:
+		return nil, fmt.Errorf("core: cannot marshal spec of type %T", spec)
+	}
+}
+
+// UnmarshalSpec decodes a spec written by MarshalSpec, validating it
+// (dense games are sealed).
+func UnmarshalSpec(data []byte) (Spec, error) {
+	var g gameJSON
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("core: decode spec: %w", err)
+	}
+	switch g.Kind {
+	case "uniform":
+		return NewUniform(g.N, g.K)
+	case "dense":
+		n := len(g.Budgets)
+		if n < 2 {
+			return nil, fmt.Errorf("core: dense spec needs at least 2 budgets")
+		}
+		d := NewDense(n)
+		if len(g.Weights) != n || len(g.Costs) != n || len(g.Lengths) != n {
+			return nil, fmt.Errorf("core: dense spec matrices must be %dx%d", n, n)
+		}
+		for u := 0; u < n; u++ {
+			if len(g.Weights[u]) != n || len(g.Costs[u]) != n || len(g.Lengths[u]) != n {
+				return nil, fmt.Errorf("core: dense spec row %d has wrong length", u)
+			}
+			copy(d.Weights[u], g.Weights[u])
+			copy(d.Costs[u], g.Costs[u])
+			copy(d.Lengths[u], g.Lengths[u])
+		}
+		copy(d.Budgets, g.Budgets)
+		d.M = g.Penalty
+		if err := d.Seal(); err != nil {
+			return nil, err
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("core: unknown spec kind %q", g.Kind)
+	}
+}
+
+// MarshalJSON encodes a profile as a JSON array of target lists.
+func (p Profile) MarshalJSON() ([]byte, error) {
+	lists := make([][]int, len(p))
+	for u, s := range p {
+		lists[u] = append([]int{}, s...)
+	}
+	return json.Marshal(lists)
+}
+
+// UnmarshalJSON decodes a profile, normalizing every strategy.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var lists [][]int
+	if err := json.Unmarshal(data, &lists); err != nil {
+		return fmt.Errorf("core: decode profile: %w", err)
+	}
+	out := make(Profile, len(lists))
+	for u, l := range lists {
+		out[u] = NormalizeStrategy(l)
+	}
+	*p = out
+	return nil
+}
+
+// Instance bundles a game and a profile for save/load round trips (used
+// by tooling to persist interesting configurations, e.g. loop starts).
+type Instance struct {
+	Spec    Spec
+	Profile Profile
+}
+
+type instanceJSON struct {
+	Game    json.RawMessage `json:"game"`
+	Profile Profile         `json:"profile"`
+}
+
+// MarshalJSON encodes the instance.
+func (in Instance) MarshalJSON() ([]byte, error) {
+	game, err := MarshalSpec(in.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(instanceJSON{Game: game, Profile: in.Profile})
+}
+
+// UnmarshalJSON decodes and validates the instance (the profile must be
+// feasible for the game).
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var raw instanceJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("core: decode instance: %w", err)
+	}
+	spec, err := UnmarshalSpec(raw.Game)
+	if err != nil {
+		return err
+	}
+	if err := raw.Profile.Validate(spec); err != nil {
+		return err
+	}
+	in.Spec = spec
+	in.Profile = raw.Profile
+	return nil
+}

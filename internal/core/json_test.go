@@ -1,0 +1,162 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestSpecJSONRoundTripUniform(t *testing.T) {
+	spec := MustUniform(9, 3)
+	data, err := MarshalSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := back.(*Uniform)
+	if !ok {
+		t.Fatalf("decoded type %T, want *Uniform", back)
+	}
+	if u.N() != 9 || u.K() != 3 {
+		t.Fatalf("round trip changed (n,k) to (%d,%d)", u.N(), u.K())
+	}
+}
+
+func TestSpecJSONRoundTripDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	d := NewDense(5)
+	for u := 0; u < 5; u++ {
+		d.Budgets[u] = int64(1 + rng.Intn(3))
+		for v := 0; v < 5; v++ {
+			if u != v {
+				d.Weights[u][v] = int64(rng.Intn(5))
+				d.Costs[u][v] = int64(1 + rng.Intn(3))
+				d.Lengths[u][v] = int64(1 + rng.Intn(4))
+			}
+		}
+	}
+	d.M = 1000
+	d.MustSeal()
+	data, err := MarshalSpec(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		if back.Budget(u) != d.Budget(u) {
+			t.Fatalf("budget mismatch at %d", u)
+		}
+		for v := 0; v < 5; v++ {
+			if u == v {
+				continue
+			}
+			if back.Weight(u, v) != d.Weight(u, v) ||
+				back.LinkCost(u, v) != d.LinkCost(u, v) ||
+				back.Length(u, v) != d.Length(u, v) {
+				t.Fatalf("entry mismatch at (%d,%d)", u, v)
+			}
+		}
+	}
+	if back.Penalty() != d.Penalty() {
+		t.Fatal("penalty mismatch")
+	}
+	if back.UnitLengths() != d.UnitLengths() {
+		t.Fatal("unit-length flag mismatch")
+	}
+}
+
+func TestUnmarshalSpecErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{name: "bad json", data: "{"},
+		{name: "unknown kind", data: `{"kind":"weird"}`},
+		{name: "uniform invalid", data: `{"kind":"uniform","n":1,"k":1}`},
+		{name: "dense too small", data: `{"kind":"dense","budgets":[1]}`},
+		{name: "dense wrong rows", data: `{"kind":"dense","budgets":[1,1],"weights":[[0,1]],"costs":[[0,1],[1,0]],"lengths":[[0,1],[1,0]],"penalty":100}`},
+		{name: "dense seal failure", data: `{"kind":"dense","budgets":[1,1],"weights":[[0,1],[1,0]],"costs":[[0,1],[1,0]],"lengths":[[0,1],[1,0]],"penalty":1}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalSpec([]byte(tt.data)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := Profile{{1, 3}, {}, {0}, {0, 1, 2}}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(p) {
+		t.Fatalf("round trip changed profile: %v -> %v", p, back)
+	}
+}
+
+func TestProfileJSONNormalizes(t *testing.T) {
+	var p Profile
+	if err := json.Unmarshal([]byte(`[[3,1,3],[]]`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if !p[0].Equal(Strategy{1, 3}) {
+		t.Fatalf("strategy not normalized: %v", p[0])
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	spec := MustUniform(5, 1)
+	in := Instance{Spec: spec, Profile: ringProfile(5)}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Profile.Equal(in.Profile) {
+		t.Fatal("profile changed in round trip")
+	}
+	if back.Spec.N() != 5 {
+		t.Fatal("spec changed in round trip")
+	}
+}
+
+func TestInstanceRejectsInfeasibleProfile(t *testing.T) {
+	data := []byte(`{"game":{"kind":"uniform","n":4,"k":1},"profile":[[1,2],[],[],[]]}`)
+	var in Instance
+	if err := json.Unmarshal(data, &in); err == nil {
+		t.Fatal("expected feasibility error (two links on budget 1)")
+	}
+}
+
+func TestMarshalSpecRejectsUnknownTypes(t *testing.T) {
+	if _, err := MarshalSpec(fakeSpec{}); err == nil {
+		t.Fatal("expected error for unknown spec type")
+	}
+}
+
+// fakeSpec is a minimal Spec used to exercise the marshal type check.
+type fakeSpec struct{}
+
+func (fakeSpec) N() int                  { return 2 }
+func (fakeSpec) Weight(_, _ int) int64   { return 1 }
+func (fakeSpec) LinkCost(_, _ int) int64 { return 1 }
+func (fakeSpec) Length(_, _ int) int64   { return 1 }
+func (fakeSpec) Budget(_ int) int64      { return 1 }
+func (fakeSpec) Penalty() int64          { return 100 }
+func (fakeSpec) UnitLengths() bool       { return true }

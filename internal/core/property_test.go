@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// profileFromSeed deterministically derives a random (n,k)-uniform game
+// and feasible profile from a compact seed, for quick.Check generators.
+func profileFromSeed(seed int64, maxN, maxK int) (*Uniform, Profile) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(maxN-2)
+	k := 1 + rng.Intn(minInt(maxK, n-1))
+	spec := MustUniform(n, k)
+	return spec, randomProfile(rng, n, k)
+}
+
+// TestQuickCostMonotoneUnderAddedLinks: adding a link never increases any
+// node cost (weights are non-negative), under both aggregations.
+func TestQuickCostMonotoneUnderAddedLinks(t *testing.T) {
+	f := func(seed int64, whoRaw, targetRaw uint8) bool {
+		spec, p := profileFromSeed(seed, 9, 3)
+		n := spec.N()
+		who := int(whoRaw) % n
+		target := int(targetRaw) % n
+		if target == who || p[who].Contains(target) {
+			return true // nothing to add
+		}
+		if int64(len(p[who])+1) > spec.Budget(who) {
+			return true // over budget; skip
+		}
+		q := p.Clone()
+		q[who] = NormalizeStrategy(append(append([]int{}, p[who]...), target))
+		gBefore := p.Realize(spec)
+		gAfter := q.Realize(spec)
+		for u := 0; u < n; u++ {
+			for _, agg := range []Aggregation{SumDistances, MaxDistance} {
+				if NodeCost(spec, gAfter, u, agg) > NodeCost(spec, gBefore, u, agg) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOracleBoundsChain: LowerBound <= BestExact <= Evaluate(current)
+// for every node of every random profile.
+func TestQuickOracleBoundsChain(t *testing.T) {
+	f := func(seed int64) bool {
+		spec, p := profileFromSeed(seed, 8, 2)
+		g := p.Realize(spec)
+		for u := 0; u < spec.N(); u++ {
+			o := NewOracle(spec, g, u, SumDistances)
+			lb := o.LowerBound()
+			_, best, err := o.BestExact(0)
+			if err != nil {
+				return false
+			}
+			cur := o.Evaluate(p[u])
+			if lb > best || best > cur {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBestExactFeasible: the exact best response always respects the
+// budget and never self-links.
+func TestQuickBestExactFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		spec, p := profileFromSeed(seed, 8, 3)
+		g := p.Realize(spec)
+		for u := 0; u < spec.N(); u++ {
+			o := NewOracle(spec, g, u, SumDistances)
+			s, _, err := o.BestExact(0)
+			if err != nil {
+				return false
+			}
+			if s.Contains(u) {
+				return false
+			}
+			if s.TotalCost(spec, u) > spec.Budget(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNormalizeIdempotent: NormalizeStrategy is idempotent and sorted.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(raw []uint8) bool {
+		targets := make([]int, len(raw))
+		for i, r := range raw {
+			targets[i] = int(r % 20)
+		}
+		s := NormalizeStrategy(targets)
+		if !NormalizeStrategy(s).Equal(s) {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				return false
+			}
+		}
+		for _, v := range targets {
+			if !s.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickProfileKeyFaithful: two profiles have equal keys iff Equal.
+func TestQuickProfileKeyFaithful(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		specA, a := profileFromSeed(seedA, 7, 2)
+		specB, b := profileFromSeed(seedB, 7, 2)
+		if specA.N() != specB.N() {
+			return true // different games; keys compare only within a game size
+		}
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSocialCostDecomposition: SocialCost equals the sum of node
+// costs and is non-negative.
+func TestQuickSocialCostDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		spec, p := profileFromSeed(seed, 9, 3)
+		var sum int64
+		for _, c := range CostVector(spec, p, SumDistances) {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return SocialCost(spec, p, SumDistances) == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMaxLeqSum: for the uniform game (all weights 1) the max cost
+// never exceeds the sum cost, and both are at least n-1 on strongly
+// connected profiles.
+func TestQuickMaxLeqSum(t *testing.T) {
+	f := func(seed int64) bool {
+		spec, p := profileFromSeed(seed, 9, 3)
+		g := p.Realize(spec)
+		for u := 0; u < spec.N(); u++ {
+			if NodeCost(spec, g, u, MaxDistance) > NodeCost(spec, g, u, SumDistances) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeviationImprovesWhenApplied: any deviation reported by
+// FindDeviation, when applied, yields exactly its promised cost.
+func TestQuickDeviationImprovesWhenApplied(t *testing.T) {
+	f := func(seed int64) bool {
+		spec, p := profileFromSeed(seed, 7, 2)
+		dev, err := FindDeviation(spec, p, SumDistances, Options{})
+		if err != nil {
+			return false
+		}
+		if dev == nil {
+			return true
+		}
+		q := p.Clone()
+		q[dev.Node] = dev.Strategy
+		got := NodeCost(spec, q.Realize(spec), dev.Node, SumDistances)
+		return got == dev.NewCost && got < dev.OldCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

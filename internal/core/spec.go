@@ -1,0 +1,242 @@
+// Package core implements the Bounded Budget Connection (BBC) game of
+// Laoutaris et al. (PODC 2008): n players each buy a set of outgoing links
+// subject to a budget, and seek to minimize their preference-weighted
+// distances (sum or max) to the other players in the resulting digraph.
+//
+// The package provides the game specification (V, w, c, ℓ, b, M), strategy
+// profiles and their realized graphs, node cost under the Sum (BBC) and Max
+// (BBC-max) aggregations, exact and approximate best-response oracles,
+// pure-Nash-equilibrium (stability) checking, and exhaustive equilibrium
+// search for small games.
+package core
+
+import (
+	"fmt"
+)
+
+// Aggregation selects the utility variant of the game.
+type Aggregation int
+
+const (
+	// SumDistances is the standard BBC cost: sum over v of w(u,v)·d(u,v).
+	SumDistances Aggregation = iota + 1
+	// MaxDistance is the BBC-max cost of Section 5: max over v of
+	// w(u,v)·d(u,v).
+	MaxDistance
+)
+
+// String returns a human-readable name for the aggregation.
+func (a Aggregation) String() string {
+	switch a {
+	case SumDistances:
+		return "sum"
+	case MaxDistance:
+		return "max"
+	default:
+		return fmt.Sprintf("Aggregation(%d)", int(a))
+	}
+}
+
+// Spec describes a BBC game instance 〈V, w, c, ℓ, b〉 plus the
+// disconnection penalty M. Nodes are indices in [0, N()).
+//
+// Implementations must be immutable while a game is being analyzed, and all
+// returned values must be non-negative with Penalty() strictly larger than
+// N() times the largest link length, matching the paper's M ≫ n·max ℓ.
+type Spec interface {
+	// N is the number of players.
+	N() int
+	// Weight is u's preference for communicating with v (w in the paper).
+	Weight(u, v int) int64
+	// LinkCost is the cost for u to buy the link (u, v) (c in the paper).
+	LinkCost(u, v int) int64
+	// Length is the length of the link (u, v) if established (ℓ).
+	Length(u, v int) int64
+	// Budget is u's total link-purchase budget (b).
+	Budget(u int) int64
+	// Penalty is the distance charged for unreachable targets (M).
+	Penalty() int64
+	// UnitLengths reports whether every link length equals 1, enabling the
+	// BFS fast path in distance computations.
+	UnitLengths() bool
+}
+
+// Uniform is the (n, k)-uniform game of Section 4: all weights, link costs
+// and lengths are 1 and every budget is k.
+type Uniform struct {
+	n, k    int
+	penalty int64
+}
+
+// NewUniform returns an (n, k)-uniform game. The disconnection penalty is
+// set to n² + n + 1, comfortably above the n·max ℓ = n threshold the paper
+// requires, while keeping total costs within int64 for any practical n.
+func NewUniform(n, k int) (*Uniform, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: uniform game needs n >= 2, got %d", n)
+	}
+	if k < 1 || k > n-1 {
+		return nil, fmt.Errorf("core: uniform budget k=%d out of range [1,%d]", k, n-1)
+	}
+	return &Uniform{n: n, k: k, penalty: int64(n)*int64(n) + int64(n) + 1}, nil
+}
+
+// MustUniform is NewUniform that panics on error; for fixtures.
+func MustUniform(n, k int) *Uniform {
+	u, err := NewUniform(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// N returns the number of players.
+func (u *Uniform) N() int { return u.n }
+
+// K returns the per-node link budget.
+func (u *Uniform) K() int { return u.k }
+
+// Weight returns 1 for every ordered pair of distinct players.
+func (u *Uniform) Weight(_, _ int) int64 { return 1 }
+
+// LinkCost returns 1 for every link.
+func (u *Uniform) LinkCost(_, _ int) int64 { return 1 }
+
+// Length returns 1 for every link.
+func (u *Uniform) Length(_, _ int) int64 { return 1 }
+
+// Budget returns k for every player.
+func (u *Uniform) Budget(_ int) int64 { return int64(u.k) }
+
+// Penalty returns the disconnection penalty M.
+func (u *Uniform) Penalty() int64 { return u.penalty }
+
+// UnitLengths reports true: uniform games use hop counts.
+func (u *Uniform) UnitLengths() bool { return true }
+
+// Dense is a fully general BBC game backed by explicit matrices. The zero
+// value is unusable; construct with NewDense and then adjust entries.
+type Dense struct {
+	Weights [][]int64
+	Costs   [][]int64
+	Lengths [][]int64
+	Budgets []int64
+	M       int64
+	unit    bool
+	sealed  bool
+}
+
+// NewDense returns an n-player game with all weights, costs and lengths 1,
+// all budgets 1, and penalty M = n²+n+1. Callers mutate the exported
+// matrices to shape the instance and then call Seal.
+func NewDense(n int) *Dense {
+	if n < 2 {
+		panic(fmt.Sprintf("core: dense game needs n >= 2, got %d", n))
+	}
+	d := &Dense{
+		Weights: ones(n),
+		Costs:   ones(n),
+		Lengths: ones(n),
+		Budgets: make([]int64, n),
+		M:       int64(n)*int64(n) + int64(n) + 1,
+	}
+	for i := range d.Budgets {
+		d.Budgets[i] = 1
+	}
+	return d
+}
+
+func ones(n int) [][]int64 {
+	m := make([][]int64, n)
+	row := make([]int64, n*n)
+	for i := range row {
+		row[i] = 1
+	}
+	for i := range m {
+		m[i] = row[i*n : (i+1)*n : (i+1)*n]
+		m[i][i] = 0
+	}
+	return m
+}
+
+// Seal validates the instance and freezes derived properties (the
+// unit-length fast path flag). It must be called after the matrices are
+// shaped and before the game is analyzed.
+func (d *Dense) Seal() error {
+	n := len(d.Budgets)
+	if n < 2 {
+		return fmt.Errorf("core: dense game needs n >= 2, got %d", n)
+	}
+	if len(d.Weights) != n || len(d.Costs) != n || len(d.Lengths) != n {
+		return fmt.Errorf("core: matrix dimensions disagree with budget vector length %d", n)
+	}
+	d.unit = true
+	var maxLen int64 = 1
+	for u := 0; u < n; u++ {
+		if len(d.Weights[u]) != n || len(d.Costs[u]) != n || len(d.Lengths[u]) != n {
+			return fmt.Errorf("core: row %d has wrong length", u)
+		}
+		if d.Budgets[u] < 0 {
+			return fmt.Errorf("core: negative budget %d for node %d", d.Budgets[u], u)
+		}
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if d.Weights[u][v] < 0 {
+				return fmt.Errorf("core: negative weight w(%d,%d)=%d", u, v, d.Weights[u][v])
+			}
+			if d.Costs[u][v] <= 0 {
+				return fmt.Errorf("core: non-positive link cost c(%d,%d)=%d", u, v, d.Costs[u][v])
+			}
+			if d.Lengths[u][v] <= 0 {
+				return fmt.Errorf("core: non-positive length ℓ(%d,%d)=%d", u, v, d.Lengths[u][v])
+			}
+			if d.Lengths[u][v] != 1 {
+				d.unit = false
+			}
+			if d.Lengths[u][v] > maxLen {
+				maxLen = d.Lengths[u][v]
+			}
+		}
+	}
+	if d.M <= int64(n)*maxLen {
+		return fmt.Errorf("core: penalty M=%d must exceed n·max ℓ = %d", d.M, int64(n)*maxLen)
+	}
+	d.sealed = true
+	return nil
+}
+
+// MustSeal is Seal that panics on error; for fixtures.
+func (d *Dense) MustSeal() *Dense {
+	if err := d.Seal(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// N returns the number of players.
+func (d *Dense) N() int { return len(d.Budgets) }
+
+// Weight returns w(u, v).
+func (d *Dense) Weight(u, v int) int64 { return d.Weights[u][v] }
+
+// LinkCost returns c(u, v).
+func (d *Dense) LinkCost(u, v int) int64 { return d.Costs[u][v] }
+
+// Length returns ℓ(u, v).
+func (d *Dense) Length(u, v int) int64 { return d.Lengths[u][v] }
+
+// Budget returns b(u).
+func (d *Dense) Budget(u int) int64 { return d.Budgets[u] }
+
+// Penalty returns the disconnection penalty M.
+func (d *Dense) Penalty() int64 { return d.M }
+
+// UnitLengths reports whether all lengths are 1 (valid only after Seal).
+func (d *Dense) UnitLengths() bool {
+	if !d.sealed {
+		panic("core: Dense spec used before Seal")
+	}
+	return d.unit
+}

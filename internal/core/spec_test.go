@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestNewUniformValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n, k    int
+		wantErr bool
+	}{
+		{name: "minimal", n: 2, k: 1},
+		{name: "typical", n: 10, k: 3},
+		{name: "k equals n-1", n: 5, k: 4},
+		{name: "n too small", n: 1, k: 1, wantErr: true},
+		{name: "k zero", n: 5, k: 0, wantErr: true},
+		{name: "k too large", n: 5, k: 5, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			u, err := NewUniform(tt.n, tt.k)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if u.N() != tt.n || u.K() != tt.k {
+				t.Fatalf("N,K = %d,%d want %d,%d", u.N(), u.K(), tt.n, tt.k)
+			}
+			if u.Weight(0, 1) != 1 || u.LinkCost(0, 1) != 1 || u.Length(0, 1) != 1 {
+				t.Fatal("uniform game entries must all be 1")
+			}
+			if u.Budget(0) != int64(tt.k) {
+				t.Fatalf("Budget = %d, want %d", u.Budget(0), tt.k)
+			}
+			if u.Penalty() <= int64(tt.n) {
+				t.Fatalf("Penalty %d must exceed n·maxℓ = %d", u.Penalty(), tt.n)
+			}
+			if !u.UnitLengths() {
+				t.Fatal("uniform game must report unit lengths")
+			}
+		})
+	}
+}
+
+func TestDenseSealValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(d *Dense)
+		wantErr bool
+	}{
+		{name: "default valid", mutate: func(*Dense) {}},
+		{name: "negative weight", mutate: func(d *Dense) { d.Weights[0][1] = -1 }, wantErr: true},
+		{name: "zero link cost", mutate: func(d *Dense) { d.Costs[0][1] = 0 }, wantErr: true},
+		{name: "zero length", mutate: func(d *Dense) { d.Lengths[1][2] = 0 }, wantErr: true},
+		{name: "negative budget", mutate: func(d *Dense) { d.Budgets[2] = -1 }, wantErr: true},
+		{name: "penalty too small", mutate: func(d *Dense) { d.M = 3 }, wantErr: true},
+		{name: "zero budget allowed", mutate: func(d *Dense) { d.Budgets[0] = 0 }},
+		{name: "bigger weights ok", mutate: func(d *Dense) { d.Weights[0][1] = 100 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := NewDense(4)
+			tt.mutate(d)
+			err := d.Seal()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Seal err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDenseUnitLengthDetection(t *testing.T) {
+	d := NewDense(3)
+	d.MustSeal()
+	if !d.UnitLengths() {
+		t.Fatal("all-ones lengths should be unit")
+	}
+	d2 := NewDense(3)
+	d2.Lengths[0][1] = 5
+	d2.M = 100
+	d2.MustSeal()
+	if d2.UnitLengths() {
+		t.Fatal("length 5 present, should not be unit")
+	}
+}
+
+func TestDenseUnsealedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic using UnitLengths before Seal")
+		}
+	}()
+	NewDense(3).UnitLengths()
+}
+
+func TestAggregationString(t *testing.T) {
+	if SumDistances.String() != "sum" || MaxDistance.String() != "max" {
+		t.Fatal("aggregation names wrong")
+	}
+	if Aggregation(99).String() == "" {
+		t.Fatal("unknown aggregation should still render")
+	}
+}
+
+func TestDenseDiagonalUntouched(t *testing.T) {
+	d := NewDense(3)
+	for i := 0; i < 3; i++ {
+		if d.Weights[i][i] != 0 || d.Costs[i][i] != 0 || d.Lengths[i][i] != 0 {
+			t.Fatal("diagonal entries should be zero")
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"bbc/internal/graph"
+)
+
+// Method selects the best-response oracle implementation.
+type Method int
+
+const (
+	// Exact enumerates all maximal feasible strategies (may be exponential;
+	// bounded by Options.EnumLimit).
+	Exact Method = iota + 1
+	// Greedy uses marginal-gain link addition.
+	Greedy
+	// GreedySwap runs greedy followed by 1-swap local search.
+	GreedySwap
+)
+
+// Options tunes best-response and stability computations.
+type Options struct {
+	// Method picks the oracle; the zero value means Exact.
+	Method Method
+	// EnumLimit caps the number of strategies Exact examines per node;
+	// 0 means unlimited.
+	EnumLimit int
+	// SwapRounds bounds GreedySwap's local search; 0 means 50.
+	SwapRounds int
+}
+
+func (o Options) method() Method {
+	if o.Method == 0 {
+		return Exact
+	}
+	return o.Method
+}
+
+func (o Options) swapRounds() int {
+	if o.SwapRounds == 0 {
+		return 50
+	}
+	return o.SwapRounds
+}
+
+// BestResponse computes node u's best response against the rest of the
+// realized graph g, returning the strategy and its cost. With Method
+// Exact the result is a true best response; with Greedy/GreedySwap it is a
+// heuristic response whose cost is an upper bound.
+func BestResponse(spec Spec, g *graph.Digraph, u int, agg Aggregation, opts Options) (Strategy, int64, error) {
+	o := NewOracle(spec, g, u, agg)
+	return bestFromOracle(o, opts)
+}
+
+func bestFromOracle(o *Oracle, opts Options) (Strategy, int64, error) {
+	switch opts.method() {
+	case Exact:
+		return o.BestExact(opts.EnumLimit)
+	case Greedy:
+		s, c := o.BestGreedy()
+		return s, c, nil
+	case GreedySwap:
+		s, _ := o.BestGreedy()
+		s, c := o.ImproveBySwaps(s, opts.swapRounds())
+		return s, c, nil
+	default:
+		return nil, 0, fmt.Errorf("core: unknown best-response method %d", opts.Method)
+	}
+}
+
+// Deviation describes a strictly improving unilateral move.
+type Deviation struct {
+	Node     int
+	Strategy Strategy
+	OldCost  int64
+	NewCost  int64
+}
+
+// Improvement returns how much the deviation lowers the node's cost.
+func (d *Deviation) Improvement() int64 { return d.OldCost - d.NewCost }
+
+// NodeDeviation checks whether node u has a strictly improving deviation
+// from profile p (with realized graph g). It returns nil when u is stable.
+// The current cost is computed through the same oracle used for the best
+// response, so the comparison is exact.
+func NodeDeviation(spec Spec, g *graph.Digraph, p Profile, u int, agg Aggregation, opts Options) (*Deviation, error) {
+	o := NewOracle(spec, g, u, agg)
+	cur := o.Evaluate(p[u])
+	if cur == o.LowerBound() {
+		return nil, nil // provably optimal, skip enumeration
+	}
+	best, bestCost, err := bestFromOracle(o, opts)
+	if err != nil {
+		return nil, err
+	}
+	if bestCost < cur {
+		return &Deviation{Node: u, Strategy: best, OldCost: cur, NewCost: bestCost}, nil
+	}
+	return nil, nil
+}
+
+// FindDeviation scans all nodes and returns the first strictly improving
+// deviation, or nil when the profile is a pure Nash equilibrium. Exactness
+// of the verdict requires Method Exact (the default); heuristic methods may
+// miss deviations.
+func FindDeviation(spec Spec, p Profile, agg Aggregation, opts Options) (*Deviation, error) {
+	g := p.Realize(spec)
+	for u := 0; u < spec.N(); u++ {
+		dev, err := NodeDeviation(spec, g, p, u, agg, opts)
+		if err != nil {
+			return nil, err
+		}
+		if dev != nil {
+			return dev, nil
+		}
+	}
+	return nil, nil
+}
+
+// IsEquilibrium reports whether the profile is a pure Nash equilibrium
+// (the paper's "stable graph"). It uses the exact oracle.
+func IsEquilibrium(spec Spec, p Profile, agg Aggregation) (bool, error) {
+	dev, err := FindDeviation(spec, p, agg, Options{Method: Exact})
+	if err != nil {
+		return false, err
+	}
+	return dev == nil, nil
+}
+
+// MustBeEquilibrium panics when the profile is not stable; used by
+// constructions whose stability is a theorem.
+func MustBeEquilibrium(spec Spec, p Profile, agg Aggregation) {
+	stable, err := IsEquilibrium(spec, p, agg)
+	if err != nil {
+		panic(err)
+	}
+	if !stable {
+		panic("core: profile expected to be a pure Nash equilibrium is not")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDirectedCycleIsStableForK1(t *testing.T) {
+	// The paper notes the simple directed cycle is stable for k=1 (it is
+	// the k=1 Abelian Cayley graph).
+	for _, n := range []int{3, 5, 8, 12} {
+		spec := MustUniform(n, 1)
+		stable, err := IsEquilibrium(spec, ringProfile(n), SumDistances)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stable {
+			t.Fatalf("n=%d: directed cycle not stable", n)
+		}
+	}
+}
+
+func TestCompleteGraphIsStable(t *testing.T) {
+	const n = 5
+	spec := MustUniform(n, n-1)
+	p := make(Profile, n)
+	for u := range p {
+		s := make(Strategy, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u {
+				s = append(s, v)
+			}
+		}
+		p[u] = s
+	}
+	stable, err := IsEquilibrium(spec, p, SumDistances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("complete graph should be stable for k=n-1")
+	}
+}
+
+func TestEmptyProfileIsUnstable(t *testing.T) {
+	spec := MustUniform(5, 1)
+	dev, err := FindDeviation(spec, NewEmptyProfile(5), SumDistances, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev == nil {
+		t.Fatal("empty profile should admit a deviation")
+	}
+	if dev.Improvement() <= 0 {
+		t.Fatalf("deviation improvement = %d, want > 0", dev.Improvement())
+	}
+	if len(dev.Strategy) != 1 {
+		t.Fatalf("best deviation for k=1 should buy one link, got %v", dev.Strategy)
+	}
+}
+
+func TestDeviationActuallyImproves(t *testing.T) {
+	// Whatever deviation is reported must, when applied, give exactly the
+	// promised new cost.
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(5)
+		k := 1 + rng.Intn(2)
+		spec := MustUniform(n, k)
+		p := randomProfile(rng, n, k)
+		dev, err := FindDeviation(spec, p, SumDistances, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev == nil {
+			continue
+		}
+		q := p.Clone()
+		q[dev.Node] = dev.Strategy
+		gOld := p.Realize(spec)
+		gNew := q.Realize(spec)
+		oldCost := NodeCost(spec, gOld, dev.Node, SumDistances)
+		newCost := NodeCost(spec, gNew, dev.Node, SumDistances)
+		if oldCost != dev.OldCost || newCost != dev.NewCost {
+			t.Fatalf("trial %d: reported %d→%d, actual %d→%d",
+				trial, dev.OldCost, dev.NewCost, oldCost, newCost)
+		}
+		if newCost >= oldCost {
+			t.Fatalf("trial %d: deviation does not improve (%d → %d)", trial, oldCost, newCost)
+		}
+	}
+}
+
+func TestRingStableUnderMaxCost(t *testing.T) {
+	// Under max-distance cost with k=1, rewiring breaks reachability of the
+	// successor, so the cycle remains stable.
+	spec := MustUniform(6, 1)
+	stable, err := IsEquilibrium(spec, ringProfile(6), MaxDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("cycle should be stable under max cost for k=1")
+	}
+}
+
+func TestMustBeEquilibriumPanicsOnUnstable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustBeEquilibrium(MustUniform(4, 1), NewEmptyProfile(4), SumDistances)
+}
+
+func TestHeuristicStabilityCheckIsConservative(t *testing.T) {
+	// A deviation found by Greedy must also exist under Exact.
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(5)
+		spec := MustUniform(n, 2)
+		p := randomProfile(rng, n, 2)
+		devGreedy, err := FindDeviation(spec, p, SumDistances, Options{Method: Greedy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if devGreedy == nil {
+			continue
+		}
+		devExact, err := FindDeviation(spec, p, SumDistances, Options{Method: Exact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if devExact == nil {
+			t.Fatalf("trial %d: greedy found a deviation but exact says stable", trial)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package dynamics
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bbc/internal/core"
+)
+
+// EnsembleConfig describes a batch of best-response walks over random
+// starting configurations of a uniform game, used by the convergence
+// experiments (Theorem 6, Section 4.3).
+type EnsembleConfig struct {
+	N, K int
+	// Trials is the number of random starts.
+	Trials int
+	// Seed feeds the per-trial RNGs (trial t uses Seed + t), so runs are
+	// reproducible regardless of scheduling.
+	Seed int64
+	// Scheduler names the walk variant: "round-robin", "max-cost-first" or
+	// "random".
+	Scheduler string
+	// Agg is the cost aggregation (zero value means SumDistances).
+	Agg core.Aggregation
+	// Walk options applied to every trial.
+	Walk Options
+	// EmptyStart uses the empty profile instead of a random one.
+	EmptyStart bool
+	// Workers bounds the concurrent trials; 0 means NumCPU.
+	Workers int
+}
+
+func (c EnsembleConfig) agg() core.Aggregation {
+	if c.Agg == 0 {
+		return core.SumDistances
+	}
+	return c.Agg
+}
+
+// EnsembleStats aggregates walk outcomes over the ensemble.
+type EnsembleStats struct {
+	Trials int
+	// Converged counts walks that reached a pure Nash equilibrium.
+	Converged int
+	// Looped counts walks that produced a certified best-response loop
+	// (only populated when Walk.DetectLoops is set).
+	Looped int
+	// Exhausted counts walks that hit MaxSteps without converging or
+	// looping.
+	Exhausted int
+	// ConnectivitySteps holds, for each trial that reached strong
+	// connectivity, the step count at which it did (sorted ascending).
+	ConnectivitySteps []int
+	// MaxConnectivityStep is the worst observed step count (0 when no
+	// trial reached connectivity).
+	MaxConnectivityStep int
+}
+
+// ConnectivityQuantile returns the q-quantile (0..1) of the connectivity
+// step counts, or -1 when no trial reached connectivity.
+func (s *EnsembleStats) ConnectivityQuantile(q float64) int {
+	if len(s.ConnectivitySteps) == 0 {
+		return -1
+	}
+	idx := int(q * float64(len(s.ConnectivitySteps)-1))
+	return s.ConnectivitySteps[idx]
+}
+
+// RunEnsemble executes the configured batch of walks concurrently and
+// aggregates the outcomes. Results are deterministic for a fixed Seed: the
+// per-trial randomness is derived from Seed+trial, never from scheduling.
+func RunEnsemble(spec *core.Uniform, cfg EnsembleConfig) (*EnsembleStats, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("dynamics: ensemble needs at least one trial")
+	}
+	if spec.N() != cfg.N || spec.K() != cfg.K {
+		return nil, fmt.Errorf("dynamics: spec is (%d,%d), config says (%d,%d)", spec.N(), spec.K(), cfg.N, cfg.K)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	type outcome struct {
+		converged, looped, exhausted bool
+		connectivity                 int
+		err                          error
+	}
+	outcomes := make([]outcome, cfg.Trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		wg.Add(1)
+		go func(trial int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
+			var start core.Profile
+			if cfg.EmptyStart {
+				start = core.NewEmptyProfile(cfg.N)
+			} else {
+				start = RandomStart(rng, cfg.N, cfg.K)
+			}
+			sched, err := newScheduler(cfg, rng)
+			if err != nil {
+				outcomes[trial] = outcome{err: err}
+				return
+			}
+			res, err := Run(spec, start, sched, cfg.agg(), cfg.Walk)
+			if err != nil {
+				outcomes[trial] = outcome{err: err}
+				return
+			}
+			outcomes[trial] = outcome{
+				converged:    res.Converged,
+				looped:       res.Loop != nil,
+				exhausted:    !res.Converged && res.Loop == nil,
+				connectivity: res.ConnectivityStep,
+			}
+		}(trial)
+	}
+	wg.Wait()
+
+	stats := &EnsembleStats{Trials: cfg.Trials}
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.converged {
+			stats.Converged++
+		}
+		if o.looped {
+			stats.Looped++
+		}
+		if o.exhausted {
+			stats.Exhausted++
+		}
+		if o.connectivity >= 0 {
+			stats.ConnectivitySteps = append(stats.ConnectivitySteps, o.connectivity)
+			if o.connectivity > stats.MaxConnectivityStep {
+				stats.MaxConnectivityStep = o.connectivity
+			}
+		}
+	}
+	sort.Ints(stats.ConnectivitySteps)
+	return stats, nil
+}
+
+// newScheduler builds the per-trial scheduler named by the config.
+func newScheduler(cfg EnsembleConfig, rng *rand.Rand) (Scheduler, error) {
+	switch cfg.Scheduler {
+	case "", "round-robin":
+		return NewRoundRobin(cfg.N), nil
+	case "max-cost-first":
+		return &MaxCostFirst{Agg: cfg.agg(), BR: cfg.Walk.BR}, nil
+	case "random":
+		return &RandomScheduler{Rng: rng}, nil
+	default:
+		return nil, fmt.Errorf("dynamics: unknown scheduler %q", cfg.Scheduler)
+	}
+}
+
+// RandomStart draws a uniformly random maximal profile for an (n, k)
+// uniform game: every node buys exactly min(k, n-1) distinct targets.
+func RandomStart(rng *rand.Rand, n, k int) core.Profile {
+	p := core.NewEmptyProfile(n)
+	for u := 0; u < n; u++ {
+		perm := rng.Perm(n)
+		s := make([]int, 0, k)
+		for _, v := range perm {
+			if v != u && len(s) < k {
+				s = append(s, v)
+			}
+		}
+		p[u] = core.NormalizeStrategy(s)
+	}
+	return p
+}

@@ -1,0 +1,113 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestRunEnsembleValidation(t *testing.T) {
+	spec := core.MustUniform(6, 2)
+	if _, err := RunEnsemble(spec, EnsembleConfig{N: 6, K: 2, Trials: 0}); err == nil {
+		t.Fatal("zero trials should error")
+	}
+	if _, err := RunEnsemble(spec, EnsembleConfig{N: 5, K: 2, Trials: 1}); err == nil {
+		t.Fatal("mismatched spec should error")
+	}
+	if _, err := RunEnsemble(spec, EnsembleConfig{N: 6, K: 2, Trials: 1, Scheduler: "bogus"}); err == nil {
+		t.Fatal("unknown scheduler should error")
+	}
+}
+
+func TestRunEnsembleConnectivityWithinBound(t *testing.T) {
+	// Theorem 6 over an ensemble: every random start reaches strong
+	// connectivity within n² steps.
+	spec := core.MustUniform(7, 2)
+	stats, err := RunEnsemble(spec, EnsembleConfig{
+		N: 7, K: 2, Trials: 20, Seed: 42,
+		Walk: Options{StopAtStrongConnectivity: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.ConnectivitySteps) != 20 {
+		t.Fatalf("only %d/20 trials reached connectivity", len(stats.ConnectivitySteps))
+	}
+	if stats.MaxConnectivityStep > 49 {
+		t.Fatalf("worst connectivity step %d exceeds n² = 49", stats.MaxConnectivityStep)
+	}
+	if q := stats.ConnectivityQuantile(0.5); q < 0 || q > stats.MaxConnectivityStep {
+		t.Fatalf("median quantile %d inconsistent", q)
+	}
+}
+
+func TestRunEnsembleDeterministic(t *testing.T) {
+	spec := core.MustUniform(6, 1)
+	cfg := EnsembleConfig{N: 6, K: 1, Trials: 10, Seed: 7, Walk: Options{MaxSteps: 300}}
+	a, err := RunEnsemble(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEnsemble(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Converged != b.Converged || a.Looped != b.Looped || a.MaxConnectivityStep != b.MaxConnectivityStep {
+		t.Fatalf("ensemble not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunEnsembleMaxCostFirstLoops(t *testing.T) {
+	// From random (6,2) starts, max-cost-first walks either converge or
+	// loop; with loop detection on, nothing should be left "exhausted"
+	// within a generous step bound.
+	spec := core.MustUniform(6, 2)
+	stats, err := RunEnsemble(spec, EnsembleConfig{
+		N: 6, K: 2, Trials: 10, Seed: 3, Scheduler: "max-cost-first",
+		Walk: Options{MaxSteps: 2000, DetectLoops: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Converged+stats.Looped != stats.Trials {
+		t.Fatalf("unexpected exhausted walks: %+v", stats)
+	}
+}
+
+func TestRunEnsembleRandomScheduler(t *testing.T) {
+	spec := core.MustUniform(5, 1)
+	stats, err := RunEnsemble(spec, EnsembleConfig{
+		N: 5, K: 1, Trials: 5, Seed: 11, Scheduler: "random",
+		Walk: Options{MaxSteps: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Trials != 5 {
+		t.Fatalf("stats.Trials = %d", stats.Trials)
+	}
+}
+
+func TestConnectivityQuantileEmpty(t *testing.T) {
+	s := &EnsembleStats{}
+	if s.ConnectivityQuantile(0.5) != -1 {
+		t.Fatal("empty quantile should be -1")
+	}
+}
+
+func TestRandomStartIsMaximalAndFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	spec := core.MustUniform(9, 3)
+	for trial := 0; trial < 20; trial++ {
+		p := RandomStart(rng, 9, 3)
+		if err := p.Validate(spec); err != nil {
+			t.Fatal(err)
+		}
+		for u, s := range p {
+			if len(s) != 3 {
+				t.Fatalf("node %d has %d links, want 3", u, len(s))
+			}
+		}
+	}
+}

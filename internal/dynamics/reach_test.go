@@ -1,0 +1,109 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbc/internal/core"
+)
+
+// TestLemma9ReachMonotone reproduces Lemma 9: when node u executes a best
+// response step, u's reach cannot decrease, and every other node's reach
+// either stays the same or is at least u's new reach.
+func TestLemma9ReachMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(5)
+		k := 1 + rng.Intn(2)
+		spec := core.MustUniform(n, k)
+		p := RandomStart(rng, n, k)
+		// Sparsify so disconnection is common (the lemma is about
+		// non-strongly-connected graphs).
+		for u := 0; u < n; u++ {
+			if rng.Intn(2) == 0 {
+				p[u] = core.Strategy{}
+			}
+		}
+		g := p.Realize(spec)
+		if g.StronglyConnected() {
+			continue
+		}
+		reachBefore := g.Reach()
+		u := rng.Intn(n)
+		o := core.NewOracle(spec, g, u, core.SumDistances)
+		best, bestCost, err := o.BestExact(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestCost >= o.Evaluate(p[u]) {
+			continue // no move
+		}
+		q := p.Clone()
+		q[u] = best
+		after := q.Realize(spec).Reach()
+		if after[u] < reachBefore[u] {
+			t.Fatalf("trial %d: mover's reach decreased %d -> %d", trial, reachBefore[u], after[u])
+		}
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			if after[v] != reachBefore[v] && after[v] < after[u] {
+				t.Fatalf("trial %d: node %d reach changed to %d < mover's new reach %d",
+					trial, v, after[v], after[u])
+			}
+		}
+	}
+}
+
+// TestLemma10MinReachIncreasesPerRound reproduces Lemma 10: while the
+// graph is not strongly connected, each full round-robin round increases
+// the minimum reach by at least one.
+func TestLemma10MinReachIncreasesPerRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(4)
+		k := 1 + rng.Intn(2)
+		spec := core.MustUniform(n, k)
+		p := RandomStart(rng, n, k)
+		for u := 0; u < n; u++ {
+			if rng.Intn(3) == 0 {
+				p[u] = core.Strategy{}
+			}
+		}
+		for round := 0; round < n; round++ {
+			g := p.Realize(spec)
+			if g.StronglyConnected() {
+				break
+			}
+			minBefore := minReach(g.Reach())
+			// One full round of best responses.
+			for u := 0; u < n; u++ {
+				gg := p.Realize(spec)
+				o := core.NewOracle(spec, gg, u, core.SumDistances)
+				best, bestCost, err := o.BestExact(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bestCost < o.Evaluate(p[u]) {
+					p[u] = best
+				}
+			}
+			minAfter := minReach(p.Realize(spec).Reach())
+			if minAfter < minBefore+1 {
+				t.Fatalf("trial %d round %d: min reach %d -> %d (Lemma 10 violated)",
+					trial, round, minBefore, minAfter)
+			}
+		}
+	}
+}
+
+func minReach(r []int) int {
+	m := r[0]
+	for _, x := range r[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,44 @@
+package dynamics
+
+import (
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestSocialCostSeriesRecorded(t *testing.T) {
+	spec := core.MustUniform(6, 1)
+	res, err := Run(spec, core.NewEmptyProfile(6), NewRoundRobin(6), core.SumDistances,
+		Options{RecordSocialCost: true, MaxSteps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SocialCostSeries) != res.Steps+1 {
+		t.Fatalf("series length %d, want steps+1 = %d", len(res.SocialCostSeries), res.Steps+1)
+	}
+	// The empty start costs n·(n-1)·M; the series must start there and
+	// drop sharply.
+	want := int64(6*5) * spec.Penalty()
+	if res.SocialCostSeries[0] != want {
+		t.Fatalf("series[0] = %d, want %d", res.SocialCostSeries[0], want)
+	}
+	last := res.SocialCostSeries[len(res.SocialCostSeries)-1]
+	if last >= want {
+		t.Fatal("social cost never improved")
+	}
+	// The final series value must equal the final profile's cost.
+	if got := core.SocialCost(spec, res.Final, core.SumDistances); got != last {
+		t.Fatalf("final series value %d != final profile cost %d", last, got)
+	}
+}
+
+func TestSocialCostSeriesOffByDefault(t *testing.T) {
+	spec := core.MustUniform(4, 1)
+	res, err := Run(spec, core.NewEmptyProfile(4), NewRoundRobin(4), core.SumDistances, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SocialCostSeries != nil {
+		t.Fatal("series should be nil when not requested")
+	}
+}

@@ -1,0 +1,89 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"bbc/internal/core"
+)
+
+// SimultaneousResult reports a synchronous best-response run, where every
+// unstable player rewires at once each round. The paper assumes one mover
+// per step "for convenience"; the synchronous variant models uncoordinated
+// systems (every peer re-optimizes on the same timer) and oscillates in
+// situations the sequential walk would resolve.
+type SimultaneousResult struct {
+	// Final is the profile when the run ended.
+	Final core.Profile
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// Converged is true when a round changed nothing (a pure Nash
+	// equilibrium, since every player best-responds).
+	Converged bool
+	// Loop is non-nil when a previously seen profile recurred: the
+	// synchronous dynamics entered a deterministic cycle of the given
+	// length (in rounds).
+	Loop *SimultaneousLoop
+}
+
+// SimultaneousLoop certifies a cycle of the synchronous dynamics.
+type SimultaneousLoop struct {
+	// Length is the cycle length in rounds.
+	Length int
+	// Start is the first profile on the cycle.
+	Start core.Profile
+}
+
+// RunSimultaneous executes synchronous best-response dynamics: each round,
+// every player computes its exact best response against the *current*
+// profile, and all strictly-improving players switch simultaneously. The
+// dynamics are deterministic, so the run either reaches an equilibrium or
+// enters a cycle within the number of distinct profiles; maxRounds bounds
+// the run (0 means 1000).
+func RunSimultaneous(spec core.Spec, start core.Profile, agg core.Aggregation, maxRounds int) (*SimultaneousResult, error) {
+	if err := start.Validate(spec); err != nil {
+		return nil, fmt.Errorf("dynamics: invalid start profile: %w", err)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+	n := spec.N()
+	p := start.Clone()
+	seen := map[string]int{p.Key(): 0}
+	res := &SimultaneousResult{}
+	for round := 1; round <= maxRounds; round++ {
+		g := p.Realize(spec)
+		next := p.Clone()
+		moved := false
+		for u := 0; u < n; u++ {
+			o := core.NewOracle(spec, g, u, agg)
+			cur := o.Evaluate(p[u])
+			if cur == o.LowerBound() {
+				continue
+			}
+			best, bestCost, err := o.BestExact(0)
+			if err != nil {
+				return nil, err
+			}
+			if bestCost < cur {
+				next[u] = best
+				moved = true
+			}
+		}
+		res.Rounds = round
+		if !moved {
+			res.Converged = true
+			res.Final = p
+			return res, nil
+		}
+		p = next
+		key := p.Key()
+		if first, ok := seen[key]; ok {
+			res.Loop = &SimultaneousLoop{Length: round - first, Start: p.Clone()}
+			res.Final = p
+			return res, nil
+		}
+		seen[key] = round
+	}
+	res.Final = p
+	return res, nil
+}

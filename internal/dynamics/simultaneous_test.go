@@ -1,0 +1,123 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func TestRunSimultaneousStableStart(t *testing.T) {
+	spec := core.MustUniform(6, 1)
+	res, err := RunSimultaneous(spec, ringProfile(6), core.SumDistances, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Rounds != 1 {
+		t.Fatalf("stable start should converge in one round: %+v", res)
+	}
+	if !res.Final.Equal(ringProfile(6)) {
+		t.Fatal("stable start changed")
+	}
+}
+
+func TestRunSimultaneousInvalidStart(t *testing.T) {
+	spec := core.MustUniform(4, 1)
+	if _, err := RunSimultaneous(spec, core.Profile{{0}, {}, {}, {}}, core.SumDistances, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunSimultaneousConvergedIsEquilibrium(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	spec := core.MustUniform(5, 1)
+	converged := 0
+	for trial := 0; trial < 20; trial++ {
+		res, err := RunSimultaneous(spec, RandomStart(rng, 5, 1), core.SumDistances, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			continue
+		}
+		converged++
+		stable, err := core.IsEquilibrium(spec, res.Final, core.SumDistances)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stable {
+			t.Fatalf("trial %d: converged to non-equilibrium %v", trial, res.Final)
+		}
+	}
+	if converged == 0 {
+		t.Skip("no synchronous run converged in this sample")
+	}
+}
+
+func TestRunSimultaneousOscillatesFromEmpty(t *testing.T) {
+	// From the empty profile all players face the same view and make the
+	// same kind of move; synchronous updates commonly oscillate or cycle
+	// where the sequential walk converges. Whatever happens, it must be
+	// classified: converged, looped, or exhausted — and loops must have
+	// positive length.
+	spec := core.MustUniform(6, 1)
+	res, err := RunSimultaneous(spec, core.NewEmptyProfile(6), core.SumDistances, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loop != nil && res.Loop.Length <= 0 {
+		t.Fatalf("loop with non-positive length: %+v", res.Loop)
+	}
+	if res.Converged && res.Loop != nil {
+		t.Fatal("cannot both converge and loop")
+	}
+	t.Logf("synchronous from empty (6,1): converged=%v loop=%v rounds=%d",
+		res.Converged, res.Loop != nil, res.Rounds)
+}
+
+func TestRunSimultaneousDeterministic(t *testing.T) {
+	spec := core.MustUniform(6, 2)
+	rng := rand.New(rand.NewSource(162))
+	start := RandomStart(rng, 6, 2)
+	a, err := RunSimultaneous(spec, start, core.SumDistances, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSimultaneous(spec, start, core.SumDistances, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Converged != b.Converged || !a.Final.Equal(b.Final) {
+		t.Fatal("synchronous dynamics must be deterministic")
+	}
+}
+
+func TestRunSimultaneousVsSequential(t *testing.T) {
+	// Statistical comparison: over random starts, sequential round-robin
+	// should converge at least as often as synchronous updates.
+	spec := core.MustUniform(5, 1)
+	seqConv, simConv := 0, 0
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		start := RandomStart(rng, 5, 1)
+		seq, err := Run(spec, start, NewRoundRobin(5), core.SumDistances, Options{MaxSteps: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Converged {
+			seqConv++
+		}
+		sim, err := RunSimultaneous(spec, start, core.SumDistances, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Converged {
+			simConv++
+		}
+	}
+	t.Logf("(5,1) over 15 random starts: sequential converged %d, synchronous %d", seqConv, simConv)
+	if simConv > seqConv {
+		t.Fatalf("synchronous converged more often (%d) than sequential (%d); unexpected for this game",
+			simConv, seqConv)
+	}
+}

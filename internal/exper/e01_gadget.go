@@ -1,0 +1,84 @@
+package exper
+
+import (
+	"bbc/internal/construct"
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+)
+
+// E1 reproduces Theorem 1 / Figure 1: existence of a non-uniform BBC game
+// (uniform costs, lengths and budgets; non-uniform preferences) with no
+// pure Nash equilibrium. The witness is the 14-node matching-pennies
+// gadget; the quick mode replays the four-state best-response cycle, the
+// full mode additionally enumerates the entire (soundly pinned) strategy
+// space and confirms zero equilibria.
+func E1(cfg Config) *Report {
+	r := &Report{ID: "E1", Title: "Theorem 1 / Figure 1: no-pure-NE non-uniform game", Pass: true}
+	d := construct.MatchingPennies(construct.DefaultGadgetWeights())
+	r.addRow("gadget: n=%d, uniform budget 1, unit lengths, non-uniform preferences", d.N())
+
+	// The intended four states each admit a strictly improving center move.
+	states := []struct {
+		c0, c1 bool
+		name   string
+	}{
+		{true, true, "(L,L)"}, {true, false, "(L,R)"}, {false, true, "(R,L)"}, {false, false, "(R,R)"},
+	}
+	labels := construct.GadgetLabels()
+	for _, st := range states {
+		p := construct.IntendedGadgetProfile(st.c0, st.c1)
+		dev, err := core.FindDeviation(d, p, core.SumDistances, core.Options{})
+		if err != nil {
+			r.Pass = false
+			r.addFinding("error: %v", err)
+			return r
+		}
+		if dev == nil {
+			r.Pass = false
+			r.addFinding("state %s unexpectedly stable", st.name)
+			continue
+		}
+		r.addRow("state %s: deviator %s, cost %d -> %d", st.name, labels[dev.Node], dev.OldCost, dev.NewCost)
+	}
+
+	// A round-robin walk on the gadget must loop, never converge.
+	res, err := dynamics.Run(d, construct.IntendedGadgetProfile(true, true),
+		dynamics.NewRoundRobin(d.N()), core.SumDistances,
+		dynamics.Options{MaxSteps: 30 * d.N(), DetectLoops: true})
+	if err != nil {
+		r.Pass = false
+		r.addFinding("dynamics error: %v", err)
+		return r
+	}
+	if res.Loop == nil || res.Converged {
+		r.Pass = false
+		r.addFinding("expected a certified best-response loop on the gadget")
+	} else {
+		r.addRow("round-robin walk: certified loop of %d moves after %d steps", len(res.Loop.Moves), res.Steps)
+	}
+
+	if cfg.Quick {
+		r.addFinding("quick mode: exhaustive no-NE scan skipped (full scan: 7,529,536 profiles, 0 equilibria; regression-tested)")
+		return r
+	}
+	ss, err := core.PinnedSpace(d, 0)
+	if err != nil {
+		r.Pass = false
+		r.addFinding("pinning error: %v", err)
+		return r
+	}
+	ne, err := core.EnumeratePureNEParallel(d, core.SumDistances, ss, 1, 0)
+	if err != nil {
+		r.Pass = false
+		r.addFinding("enumeration error: %v", err)
+		return r
+	}
+	r.addRow("exhaustive scan: %d profiles checked, %d equilibria", ne.Checked, len(ne.Equilibria))
+	if len(ne.Equilibria) != 0 || !ne.Complete {
+		r.Pass = false
+		r.addFinding("expected zero equilibria over the complete pinned space")
+	} else {
+		r.addFinding("machine-checked certificate: the gadget has no pure Nash equilibrium")
+	}
+	return r
+}

@@ -1,0 +1,122 @@
+package exper
+
+import (
+	"math/rand"
+
+	"bbc/internal/brspace"
+	"bbc/internal/construct"
+	"bbc/internal/core"
+)
+
+// E17 probes the paper's open conjecture (footnote 2): pure Nash
+// equilibria exist in all BBC games where only the budgets are
+// non-uniform. We exhaustively enumerate equilibria in random small games
+// with uniform weights/costs/lengths and random budgets, hunting for a
+// counterexample.
+func E17(cfg Config) *Report {
+	r := &Report{ID: "E17", Title: "Open conjecture (footnote 2): budget-only non-uniform games", Pass: true}
+	trials := 200
+	maxN := 5
+	if !cfg.Quick {
+		trials = 400
+		maxN = 6
+	}
+	checked := 0
+	withNE := 0
+	for seed := int64(0); seed < int64(trials); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(maxN-2)
+		d := core.NewDense(n)
+		for u := 0; u < n; u++ {
+			d.Budgets[u] = int64(1 + rng.Intn(n-1))
+		}
+		if err := d.Seal(); err != nil {
+			r.Pass = false
+			r.addFinding("seal: %v", err)
+			return r
+		}
+		ss, err := core.FullSpace(d, 0)
+		if err != nil {
+			r.Pass = false
+			r.addFinding("space: %v", err)
+			return r
+		}
+		if ss.Size() > 400_000 {
+			continue
+		}
+		res, err := core.EnumeratePureNE(d, core.SumDistances, ss, 1)
+		if err != nil {
+			r.Pass = false
+			r.addFinding("enumerate: %v", err)
+			return r
+		}
+		checked++
+		if len(res.Equilibria) > 0 {
+			withNE++
+		} else {
+			r.Pass = false
+			r.addRow("COUNTEREXAMPLE: n=%d budgets=%v has no pure NE", n, d.Budgets)
+			r.addFinding("the conjecture is false! seed %d", seed)
+			return r
+		}
+	}
+	r.addRow("checked %d random budget-only non-uniform games (n=3..%d): %d/%d had a pure NE",
+		checked, maxN, withNE, checked)
+	r.addFinding("no counterexample found — consistent with the paper's conjecture that budget-only non-uniform games always have pure equilibria")
+	return r
+}
+
+// E18 extends Section 4.3 with full best-response configuration-graph
+// analysis: which uniform games are weakly acyclic (every state has some
+// best-response path to an equilibrium), and do inescapable best-response
+// cycles (sink recurrent classes) exist? The no-NE gadget's reachable
+// space is one giant recurrent class — a strictly stronger fact than the
+// paper's escapable Figure 4 loop.
+func E18(cfg Config) *Report {
+	r := &Report{ID: "E18", Title: "Extension: best-response graph structure & weak acyclicity", Pass: true}
+	games := []struct{ n, k int }{{3, 1}, {4, 1}, {4, 2}, {5, 1}}
+	if !cfg.Quick {
+		games = append(games, struct{ n, k int }{5, 2}, struct{ n, k int }{6, 1})
+	}
+	for _, tc := range games {
+		spec := core.MustUniform(tc.n, tc.k)
+		starts, err := brspace.AllProfiles(spec, 2_000_000)
+		if err != nil {
+			r.addRow("(n=%d,k=%d): state space too large for exhaustive analysis", tc.n, tc.k)
+			continue
+		}
+		e := &brspace.Explorer{Spec: spec, Agg: core.SumDistances, MaxStates: 2_000_000}
+		space, err := e.Explore(starts)
+		if err != nil {
+			r.Pass = false
+			r.addFinding("(n=%d,k=%d): %v", tc.n, tc.k, err)
+			continue
+		}
+		a := space.Analyze()
+		r.addRow("(n=%d,k=%d): %d states, %d equilibria, %d/%d reach an equilibrium, %d recurrent-cycle states",
+			tc.n, tc.k, a.States, a.Equilibria, a.ReachEquilibrium, a.States, a.RecurrentCycleStates)
+		if a.ReachEquilibrium != a.States {
+			r.addFinding("(n=%d,k=%d) is NOT weakly acyclic: %d states cannot reach any equilibrium",
+				tc.n, tc.k, a.States-a.ReachEquilibrium)
+		}
+	}
+	// The gadget: an equilibrium-free reachable space.
+	d := construct.MatchingPennies(construct.DefaultGadgetWeights())
+	e := &brspace.Explorer{Spec: d, Agg: core.SumDistances, MaxStates: 5000}
+	space, err := e.Explore([]core.Profile{construct.IntendedGadgetProfile(true, true)})
+	if err != nil {
+		r.Pass = false
+		r.addFinding("gadget: %v", err)
+		return r
+	}
+	a := space.Analyze()
+	r.addRow("Theorem-1 gadget from (L,L): %d reachable states, %d equilibria, %d recurrent-cycle states (truncated=%v)",
+		a.States, a.Equilibria, a.RecurrentCycleStates, a.Truncated)
+	if a.Equilibria != 0 || a.ReachEquilibrium != 0 {
+		r.Pass = false
+		r.addFinding("gadget space unexpectedly contains/reaches equilibria")
+	} else if !a.Truncated && a.RecurrentClasses > 0 {
+		r.addFinding("the gadget's reachable best-response space is equilibrium-free with an inescapable recurrent class — stronger than an escapable loop")
+	}
+	return r
+}

@@ -1,0 +1,72 @@
+package exper
+
+import (
+	"bbc/internal/construct"
+	"bbc/internal/core"
+)
+
+// E22 tests Definition 1's closing remark — the Forest of Willows "can be
+// extended to other values of n by adding additional leaves as evenly as
+// possible across the trees" — under the natural interpretation that the
+// extra nodes extend tails round-robin across sections. Exact checking
+// shows the remark does not hold as stated: a majority of padded sizes
+// admit strictly improving deviations (nodes rewire toward the interiors
+// of the longer tails), while every zero-remainder (regular-shape) size
+// verifies stable.
+func E22(cfg Config) *Report {
+	r := &Report{ID: "E22", Title: "Definition 1 remark: Willows on arbitrary n (transcription analysis)", Pass: true}
+	for _, k := range []int{2, 3} {
+		lo := (construct.WillowsParams{K: k, H: 1}).N()
+		hi := lo + 18
+		if !cfg.Quick {
+			hi = lo + 26
+		}
+		stable, unstable := 0, 0
+		uniformStable := true
+		for n := lo; n <= hi; n++ {
+			w, err := construct.FitWillows(n, k)
+			if err != nil {
+				r.Pass = false
+				r.addFinding("fit (n=%d,k=%d): %v", n, k, err)
+				continue
+			}
+			dev, err := core.FindDeviation(w.Spec, w.Profile, core.SumDistances, core.Options{})
+			if err != nil {
+				r.Pass = false
+				r.addFinding("check (n=%d,k=%d): %v", n, k, err)
+				continue
+			}
+			if dev == nil {
+				stable++
+			} else {
+				unstable++
+				// Regular shapes must never be unstable.
+				if isRegularShape(n, k) {
+					uniformStable = false
+				}
+			}
+		}
+		r.addRow("k=%d, n=%d..%d: %d stable, %d unstable under even tail padding", k, lo, hi, stable, unstable)
+		if !uniformStable {
+			r.Pass = false
+			r.addFinding("a regular-shape size verified unstable — Theorem 4's core claim would be at risk")
+		}
+		if unstable == 0 {
+			r.addFinding("k=%d: all padded sizes verified stable in this range", k)
+		}
+	}
+	r.addFinding("the \"extends to other n\" remark fails under even tail padding: unbalanced tails admit strictly improving rewires; the regular shapes all verify stable (regression-tested)")
+	return r
+}
+
+// isRegularShape reports whether FitWillows(n, k) lands on a uniform
+// (zero-remainder) Forest of Willows.
+func isRegularShape(n, k int) bool {
+	h := 1
+	for (construct.WillowsParams{K: k, H: h + 1}).N() <= n {
+		h++
+	}
+	base := construct.WillowsParams{K: k, H: h}
+	chains := k * base.Leaves()
+	return (n-base.N())%chains == 0
+}

@@ -1,0 +1,61 @@
+package exper
+
+import (
+	"bbc/internal/analysis"
+	"bbc/internal/core"
+	"bbc/internal/group"
+)
+
+// E23 quantifies Section 4.2's design trade-off: the offset overlays a
+// P2P designer would actually deploy (generators {1, s, s², ...} with
+// s = ⌈n^(1/k)⌉, giving diameter O(k·n^(1/k))) are unstable by Theorem 5 —
+// but by how much? We measure the "instability pressure": the largest
+// cost improvement any node can realize by rewiring, absolutely and
+// relative to its cost. Pressure grows with n, so churn incentives get
+// worse, not better, as the designed overlay scales.
+func E23(cfg Config) *Report {
+	r := &Report{ID: "E23", Title: "Extension: instability pressure on designed overlays (§4.2)", Pass: true}
+	sizes := []int{16, 25, 36, 49}
+	if !cfg.Quick {
+		sizes = append(sizes, 64, 81)
+	}
+	const k = 2
+	prevPressure := int64(-1)
+	grew := 0
+	for _, n := range sizes {
+		gens := group.GeneratorsForDiameter(n, k)
+		ab := group.MustCyclic(n)
+		spec, p, err := analysis.CayleyGame(ab, gens)
+		if err != nil {
+			r.Pass = false
+			r.addFinding("n=%d: %v", n, err)
+			continue
+		}
+		g := p.Realize(spec)
+		dev, err := core.NodeDeviation(spec, g, p, 0, core.SumDistances, core.Options{})
+		if err != nil {
+			r.Pass = false
+			r.addFinding("n=%d: %v", n, err)
+			continue
+		}
+		diam, _ := g.Diameter(true)
+		if dev == nil {
+			r.addRow("n=%-3d k=%d gens=%v: diameter=%-2d STABLE (below the Theorem 5 threshold)", n, k, gens, diam)
+			continue
+		}
+		rel := float64(dev.Improvement()) / float64(dev.OldCost)
+		r.addRow("n=%-3d k=%d gens=%v: diameter=%-2d deviation gain=%d (%.2f%% of cost)",
+			n, k, gens, diam, dev.Improvement(), 100*rel)
+		if dev.Improvement() > prevPressure {
+			grew++
+		}
+		prevPressure = dev.Improvement()
+	}
+	if grew < 2 {
+		r.Pass = false
+		r.addFinding("expected instability pressure to grow with n")
+	} else {
+		r.addFinding("the designed overlay's churn incentive grows with n: regularity costs more stability at scale, sharpening the paper's §4.2 message")
+	}
+	return r
+}

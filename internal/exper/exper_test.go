@@ -1,0 +1,58 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllQuickPass runs the full experiment suite in quick mode; every
+// experiment must pass its reproduction criteria.
+func TestAllQuickPass(t *testing.T) {
+	reports := All(Config{Quick: true})
+	if len(reports) != 23 {
+		t.Fatalf("expected 23 experiments, got %d", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if !r.Pass {
+			t.Errorf("%s failed:\n%s", r.ID, r)
+		}
+		if len(r.Rows) == 0 {
+			t.Errorf("%s produced no measurement rows", r.ID)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "EX", Title: "test", Pass: true}
+	r.addRow("row %d", 1)
+	r.addFinding("finding")
+	s := r.String()
+	for _, want := range []string{"EX", "PASS", "row 1", "finding"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "FAIL") {
+		t.Fatal("failed report should render FAIL")
+	}
+}
+
+func TestSlowExperimentsPass(t *testing.T) {
+	// The heavier variants of selected experiments (still bounded; the
+	// multi-minute exhaustive gadget scan stays in the construct tests).
+	if testing.Short() {
+		t.Skip("slow experiments skipped in -short")
+	}
+	for _, run := range []func(Config) *Report{E8, E10, E11, E15, E16, E17, E18, E19, E20, E21, E22, E23} {
+		r := run(Config{Quick: false})
+		if !r.Pass {
+			t.Errorf("%s failed in full mode:\n%s", r.ID, r)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package flow implements minimum-cost flow on networks with real-valued
+// capacities and non-negative real costs, via successive shortest paths
+// with Johnson potentials. It is the substrate for fractional BBC games
+// (Section 3.2 of the paper), where the cost of a node pair (u, v) is the
+// cost of a minimum-cost unit flow from u to v in the network induced by
+// the players' fractional link purchases.
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used for capacity comparisons. Fractional strategies
+// are real-valued, so exact zero tests are replaced by |x| <= Eps.
+const Eps = 1e-9
+
+// Network is a directed flow network. Arcs are added in forward/reverse
+// pairs internally so the successive-shortest-path algorithm can push flow
+// back along residual arcs.
+type Network struct {
+	n    int
+	arcs []arc
+	head [][]int32 // arc indices out of each node (forward and residual)
+}
+
+type arc struct {
+	to   int32
+	cap  float64 // residual capacity
+	cost float64 // per-unit cost (negative on residual arcs)
+}
+
+// NewNetwork returns an empty network on n nodes.
+func NewNetwork(n int) *Network {
+	if n < 0 {
+		panic(fmt.Sprintf("flow: negative node count %d", n))
+	}
+	return &Network{n: n, head: make([][]int32, n)}
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return nw.n }
+
+// AddArc adds a directed arc from -> to with the given capacity and
+// per-unit cost, returning its id. Capacity may be math.Inf(1) for
+// uncapacitated arcs (the paper's disconnection-penalty arcs). Cost must be
+// non-negative, which holds for the game (lengths and M are non-negative).
+func (nw *Network) AddArc(from, to int, capacity, cost float64) int {
+	nw.check(from)
+	nw.check(to)
+	if capacity < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %v", capacity))
+	}
+	if cost < 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		panic(fmt.Sprintf("flow: invalid cost %v", cost))
+	}
+	id := len(nw.arcs)
+	nw.arcs = append(nw.arcs,
+		arc{to: int32(to), cap: capacity, cost: cost},
+		arc{to: int32(from), cap: 0, cost: -cost},
+	)
+	nw.head[from] = append(nw.head[from], int32(id))
+	nw.head[to] = append(nw.head[to], int32(id+1))
+	return id
+}
+
+// Flow returns the amount of flow currently routed through the arc with the
+// given id (the residual capacity of its reverse arc).
+func (nw *Network) Flow(id int) float64 {
+	if id < 0 || id >= len(nw.arcs) || id%2 != 0 {
+		panic(fmt.Sprintf("flow: invalid arc id %d", id))
+	}
+	return nw.arcs[id^1].cap
+}
+
+// Reset restores all arcs to their original capacities (zero flow). The
+// original capacity is recoverable because forward+reverse capacities are
+// conserved by augmentation.
+func (nw *Network) Reset() {
+	for i := 0; i < len(nw.arcs); i += 2 {
+		nw.arcs[i].cap += nw.arcs[i^1].cap
+		nw.arcs[i^1].cap = 0
+	}
+}
+
+// MinCostFlow ships up to want units of flow from s to t at minimum cost.
+// It returns the amount actually shipped (less than want when the network
+// saturates) and the total cost of the shipped flow. The network retains
+// the flow; call Reset to reuse it.
+func (nw *Network) MinCostFlow(s, t int, want float64) (shipped, cost float64) {
+	nw.check(s)
+	nw.check(t)
+	if s == t || want <= 0 {
+		return 0, 0
+	}
+	pot := make([]float64, nw.n) // Johnson potentials; costs are >= 0 so zero init is valid
+	dist := make([]float64, nw.n)
+	inArc := make([]int32, nw.n)
+	visited := make([]bool, nw.n)
+
+	for shipped < want-Eps {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			visited[i] = false
+			inArc[i] = -1
+		}
+		dist[s] = 0
+		pq := &floatHeap{{node: int32(s), d: 0}}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(floatItem)
+			u := int(it.node)
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			for _, id := range nw.head[u] {
+				a := nw.arcs[id]
+				if a.cap <= Eps {
+					continue
+				}
+				v := int(a.to)
+				if visited[v] {
+					continue
+				}
+				nd := dist[u] + a.cost + pot[u] - pot[v]
+				if nd < dist[v]-Eps {
+					dist[v] = nd
+					inArc[v] = id
+					heap.Push(pq, floatItem{node: a.to, d: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // t unreachable: network saturated
+		}
+		for i := range pot {
+			if !math.IsInf(dist[i], 1) {
+				pot[i] += dist[i]
+			}
+		}
+		// Bottleneck along the augmenting path.
+		push := want - shipped
+		for v := t; v != s; {
+			a := nw.arcs[inArc[v]]
+			if a.cap < push {
+				push = a.cap
+			}
+			v = int(nw.arcs[inArc[v]^1].to)
+		}
+		if push <= Eps {
+			break
+		}
+		// Apply augmentation.
+		for v := t; v != s; {
+			id := inArc[v]
+			nw.arcs[id].cap -= push
+			nw.arcs[id^1].cap += push
+			cost += push * nw.arcs[id].cost
+			v = int(nw.arcs[id^1].to)
+		}
+		shipped += push
+	}
+	return shipped, cost
+}
+
+func (nw *Network) check(u int) {
+	if u < 0 || u >= nw.n {
+		panic(fmt.Sprintf("flow: node %d out of range [0,%d)", u, nw.n))
+	}
+}
+
+type floatItem struct {
+	node int32
+	d    float64
+}
+
+type floatHeap []floatItem
+
+func (h floatHeap) Len() int            { return len(h) }
+func (h floatHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(floatItem)) }
+func (h *floatHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

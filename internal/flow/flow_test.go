@@ -1,0 +1,191 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSinglePath(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.AddArc(0, 1, 1, 2)
+	nw.AddArc(1, 2, 1, 3)
+	shipped, cost := nw.MinCostFlow(0, 2, 1)
+	if !almostEqual(shipped, 1) || !almostEqual(cost, 5) {
+		t.Fatalf("shipped=%v cost=%v, want 1,5", shipped, cost)
+	}
+}
+
+func TestPrefersCheaperPath(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.AddArc(0, 1, 1, 1)
+	nw.AddArc(1, 3, 1, 1)
+	nw.AddArc(0, 2, 1, 5)
+	nw.AddArc(2, 3, 1, 5)
+	shipped, cost := nw.MinCostFlow(0, 3, 1)
+	if !almostEqual(shipped, 1) || !almostEqual(cost, 2) {
+		t.Fatalf("shipped=%v cost=%v, want 1,2", shipped, cost)
+	}
+}
+
+func TestSplitsAcrossPathsWhenSaturated(t *testing.T) {
+	// Cheap path carries 0.6, the rest must take the expensive path.
+	nw := NewNetwork(4)
+	nw.AddArc(0, 1, 0.6, 1)
+	nw.AddArc(1, 3, 0.6, 1)
+	nw.AddArc(0, 2, 1, 10)
+	nw.AddArc(2, 3, 1, 10)
+	shipped, cost := nw.MinCostFlow(0, 3, 1)
+	want := 0.6*2 + 0.4*20
+	if !almostEqual(shipped, 1) || !almostEqual(cost, want) {
+		t.Fatalf("shipped=%v cost=%v, want 1,%v", shipped, cost, want)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.AddArc(0, 1, 0.3, 1)
+	shipped, cost := nw.MinCostFlow(0, 1, 1)
+	if !almostEqual(shipped, 0.3) || !almostEqual(cost, 0.3) {
+		t.Fatalf("shipped=%v cost=%v, want 0.3,0.3", shipped, cost)
+	}
+}
+
+func TestInfiniteCapacityPenaltyArc(t *testing.T) {
+	// The fractional game's structure: a capacitated cheap arc plus an
+	// uncapacitated penalty arc of cost M.
+	const m = 1000.0
+	nw := NewNetwork(2)
+	nw.AddArc(0, 1, 0.25, 1)
+	nw.AddArc(0, 1, math.Inf(1), m)
+	shipped, cost := nw.MinCostFlow(0, 1, 1)
+	want := 0.25*1 + 0.75*m
+	if !almostEqual(shipped, 1) || !almostEqual(cost, want) {
+		t.Fatalf("shipped=%v cost=%v, want 1,%v", shipped, cost, want)
+	}
+}
+
+func TestResidualRerouting(t *testing.T) {
+	// Classic case where the second augmentation must push flow back over
+	// the first path's middle arc.
+	//   0->1 cap1 cost1, 1->3 cap1 cost1 (cheap but shares 1->2)
+	//   0->2 cap1 cost2, 2->3 cap1 cost2
+	//   1->2 cap1 cost0
+	// Want 2 units: optimum uses all four outer arcs, cost 1+1+2+2=6.
+	nw := NewNetwork(4)
+	nw.AddArc(0, 1, 1, 1)
+	nw.AddArc(1, 3, 1, 1)
+	nw.AddArc(0, 2, 1, 2)
+	nw.AddArc(2, 3, 1, 2)
+	nw.AddArc(1, 2, 1, 0)
+	shipped, cost := nw.MinCostFlow(0, 3, 2)
+	if !almostEqual(shipped, 2) || !almostEqual(cost, 6) {
+		t.Fatalf("shipped=%v cost=%v, want 2,6", shipped, cost)
+	}
+}
+
+func TestFlowPerArcAndReset(t *testing.T) {
+	nw := NewNetwork(3)
+	a := nw.AddArc(0, 1, 1, 1)
+	b := nw.AddArc(1, 2, 1, 1)
+	nw.MinCostFlow(0, 2, 0.5)
+	if !almostEqual(nw.Flow(a), 0.5) || !almostEqual(nw.Flow(b), 0.5) {
+		t.Fatalf("flows = %v,%v, want 0.5 each", nw.Flow(a), nw.Flow(b))
+	}
+	nw.Reset()
+	if !almostEqual(nw.Flow(a), 0) {
+		t.Fatalf("flow after reset = %v, want 0", nw.Flow(a))
+	}
+	shipped, _ := nw.MinCostFlow(0, 2, 1)
+	if !almostEqual(shipped, 1) {
+		t.Fatalf("shipped after reset = %v, want 1 (capacity restored)", shipped)
+	}
+}
+
+func TestZeroRequestAndSameNode(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.AddArc(0, 1, 1, 1)
+	if s, c := nw.MinCostFlow(0, 1, 0); s != 0 || c != 0 {
+		t.Fatalf("zero request shipped %v cost %v", s, c)
+	}
+	if s, c := nw.MinCostFlow(0, 0, 1); s != 0 || c != 0 {
+		t.Fatalf("same-node flow shipped %v cost %v", s, c)
+	}
+}
+
+func TestInvalidArcsPanic(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{name: "negative capacity", fn: func() { NewNetwork(2).AddArc(0, 1, -1, 0) }},
+		{name: "negative cost", fn: func() { NewNetwork(2).AddArc(0, 1, 1, -1) }},
+		{name: "nan cost", fn: func() { NewNetwork(2).AddArc(0, 1, 1, math.NaN()) }},
+		{name: "bad node", fn: func() { NewNetwork(2).AddArc(0, 5, 1, 1) }},
+		{name: "bad flow id", fn: func() { NewNetwork(2).Flow(1) }},
+		{name: "negative nodes", fn: func() { NewNetwork(-1) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+// TestAgainstBruteForceTwoPaths checks optimality against an analytic
+// optimum on randomized two-parallel-path instances: route greedily by
+// cost, which is optimal for parallel arcs.
+func TestAgainstBruteForceParallelArcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		narcs := 2 + rng.Intn(4)
+		type pa struct{ cap, cost float64 }
+		arcs := make([]pa, narcs)
+		total := 0.0
+		for i := range arcs {
+			arcs[i] = pa{cap: rng.Float64(), cost: float64(rng.Intn(10))}
+			total += arcs[i].cap
+		}
+		want := rng.Float64() * total
+		nw := NewNetwork(2)
+		for _, a := range arcs {
+			nw.AddArc(0, 1, a.cap, a.cost)
+		}
+		shipped, cost := nw.MinCostFlow(0, 1, want)
+
+		// Greedy analytic optimum.
+		idx := make([]int, narcs)
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := 0; i < narcs; i++ {
+			for j := i + 1; j < narcs; j++ {
+				if arcs[idx[j]].cost < arcs[idx[i]].cost {
+					idx[i], idx[j] = idx[j], idx[i]
+				}
+			}
+		}
+		remaining := want
+		wantCost := 0.0
+		wantShipped := 0.0
+		for _, i := range idx {
+			if remaining <= 0 {
+				break
+			}
+			take := math.Min(remaining, arcs[i].cap)
+			wantCost += take * arcs[i].cost
+			wantShipped += take
+			remaining -= take
+		}
+		if !almostEqual(shipped, wantShipped) || !almostEqual(cost, wantCost) {
+			t.Fatalf("trial %d: shipped=%v cost=%v, want %v,%v", trial, shipped, cost, wantShipped, wantCost)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package fractional implements the fractional BBC games of Section 3.2:
+// each node buys fractions of links subject to its budget, the pairwise
+// cost is the cost of a minimum-cost unit flow in the induced capacitated
+// network (with an uncapacitated penalty arc of length M between every
+// pair), and — by Theorem 3 — a pure Nash equilibrium always exists.
+//
+// The package provides cost evaluation on top of the flow substrate,
+// δ-transfer improvement dynamics (hill climbing over budget-mass
+// transfers between links), and ε-stability certification, which together
+// demonstrate the theorem computationally: improvement dynamics settle at
+// an ε-stable fractional profile even on games whose integral version has
+// no pure equilibrium.
+package fractional
+
+import (
+	"fmt"
+	"math"
+
+	"bbc/internal/core"
+	"bbc/internal/flow"
+)
+
+// Game is a fractional BBC game sharing the integral game's spec.
+type Game struct {
+	Spec core.Spec
+}
+
+// Profile is a fractional strategy selection: Alloc[u][v] is the fraction
+// a_u(v) of link (u, v) that u buys. Diagonal entries must be zero.
+type Profile struct {
+	Alloc [][]float64
+}
+
+// NewProfile returns the all-zero fractional profile for n nodes.
+func NewProfile(n int) Profile {
+	alloc := make([][]float64, n)
+	for u := range alloc {
+		alloc[u] = make([]float64, n)
+	}
+	return Profile{Alloc: alloc}
+}
+
+// FromIntegral lifts an integral profile into the fractional space with
+// allocation 1 on every bought link.
+func FromIntegral(spec core.Spec, p core.Profile) Profile {
+	fp := NewProfile(spec.N())
+	for u, s := range p {
+		for _, v := range s {
+			fp.Alloc[u][v] = 1
+		}
+	}
+	return fp
+}
+
+// Clone deep-copies the profile.
+func (p Profile) Clone() Profile {
+	c := NewProfile(len(p.Alloc))
+	for u := range p.Alloc {
+		copy(c.Alloc[u], p.Alloc[u])
+	}
+	return c
+}
+
+// Validate checks non-negativity, zero diagonal and the budget constraint
+// Σ_v a_u(v)·c(u,v) ≤ b(u) (with a small tolerance for float drift).
+func (g *Game) Validate(p Profile) error {
+	n := g.Spec.N()
+	if len(p.Alloc) != n {
+		return fmt.Errorf("fractional: profile covers %d nodes, want %d", len(p.Alloc), n)
+	}
+	for u := 0; u < n; u++ {
+		if len(p.Alloc[u]) != n {
+			return fmt.Errorf("fractional: row %d has length %d, want %d", u, len(p.Alloc[u]), n)
+		}
+		if p.Alloc[u][u] != 0 {
+			return fmt.Errorf("fractional: node %d allocates to itself", u)
+		}
+		spent := 0.0
+		for v := 0; v < n; v++ {
+			a := p.Alloc[u][v]
+			if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("fractional: invalid allocation a[%d][%d] = %v", u, v, a)
+			}
+			if u != v {
+				spent += a * float64(g.Spec.LinkCost(u, v))
+			}
+		}
+		if spent > float64(g.Spec.Budget(u))+1e-6 {
+			return fmt.Errorf("fractional: node %d spends %v, budget %d", u, spent, g.Spec.Budget(u))
+		}
+	}
+	return nil
+}
+
+// PairCost returns cost_{uv}: the cost of a minimum-cost unit flow from u
+// to v in the network induced by the profile, where any shortfall routes
+// over the uncapacitated penalty arc at cost M. (An intermediate penalty
+// arc never beats the direct one, so only the direct arc is materialized.)
+func (g *Game) PairCost(p Profile, u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	nw := g.network(p)
+	shipped, cost := nw.MinCostFlow(u, v, 1)
+	return cost + (1-shipped)*float64(g.Spec.Penalty())
+}
+
+// network builds the capacitated flow network for the profile.
+func (g *Game) network(p Profile) *flow.Network {
+	n := g.Spec.N()
+	nw := flow.NewNetwork(n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x == y {
+				continue
+			}
+			if a := p.Alloc[x][y]; a > flow.Eps {
+				nw.AddArc(x, y, a, float64(g.Spec.Length(x, y)))
+			}
+		}
+	}
+	return nw
+}
+
+// NodeCost returns u's fractional cost Σ_v w(u,v)·cost_{uv}. The flow
+// network is rebuilt per destination via Reset, so the evaluation runs
+// n−1 min-cost-flow computations.
+func (g *Game) NodeCost(p Profile, u int) float64 {
+	n := g.Spec.N()
+	nw := g.network(p)
+	total := 0.0
+	m := float64(g.Spec.Penalty())
+	for v := 0; v < n; v++ {
+		if v == u {
+			continue
+		}
+		w := g.Spec.Weight(u, v)
+		if w == 0 {
+			continue
+		}
+		shipped, cost := nw.MinCostFlow(u, v, 1)
+		nw.Reset()
+		total += float64(w) * (cost + (1-shipped)*m)
+	}
+	return total
+}
+
+// SocialCost returns the sum of all node costs.
+func (g *Game) SocialCost(p Profile) float64 {
+	total := 0.0
+	for u := 0; u < g.Spec.N(); u++ {
+		total += g.NodeCost(p, u)
+	}
+	return total
+}
+
+// Spend returns how much of u's budget the profile consumes.
+func (g *Game) Spend(p Profile, u int) float64 {
+	spent := 0.0
+	for v, a := range p.Alloc[u] {
+		if v != u {
+			spent += a * float64(g.Spec.LinkCost(u, v))
+		}
+	}
+	return spent
+}
+
+// TransferImprove greedily improves node u's allocation by δ-granularity
+// budget-mass moves: shifting δ worth of budget from one link (or from
+// unspent budget) to another link whenever that strictly lowers u's cost
+// by more than eps. It returns the improved profile (others' rows shared,
+// u's row fresh) and the total improvement achieved.
+func (g *Game) TransferImprove(p Profile, u int, delta, eps float64, maxMoves int) (Profile, float64) {
+	cur := p.Clone()
+	curCost := g.NodeCost(cur, u)
+	improved := 0.0
+	n := g.Spec.N()
+	for move := 0; move < maxMoves; move++ {
+		bestCost := curCost
+		var bestRow []float64
+		// Sources of mass: each link with positive allocation, or budget
+		// slack (source = -1).
+		sources := []int{-1}
+		for v := 0; v < n; v++ {
+			if v != u && cur.Alloc[u][v] > flow.Eps {
+				sources = append(sources, v)
+			}
+		}
+		slack := float64(g.Spec.Budget(u)) - g.Spend(cur, u)
+		for _, src := range sources {
+			for dst := 0; dst < n; dst++ {
+				if dst == u || dst == src {
+					continue
+				}
+				row := append([]float64(nil), cur.Alloc[u]...)
+				dstCost := float64(g.Spec.LinkCost(u, dst))
+				var amount float64
+				if src < 0 {
+					amount = math.Min(delta, slack/dstCost)
+				} else {
+					srcCost := float64(g.Spec.LinkCost(u, src))
+					amount = math.Min(delta, row[src]*srcCost/dstCost)
+					if amount <= flow.Eps {
+						continue
+					}
+					row[src] -= amount * dstCost / srcCost
+					if row[src] < 0 {
+						row[src] = 0
+					}
+				}
+				if amount <= flow.Eps {
+					continue
+				}
+				row[dst] += amount
+				trial := Profile{Alloc: cur.Alloc}
+				trialAlloc := make([][]float64, n)
+				copy(trialAlloc, cur.Alloc)
+				trialAlloc[u] = row
+				trial.Alloc = trialAlloc
+				if c := g.NodeCost(trial, u); c < bestCost-eps {
+					bestCost = c
+					bestRow = row
+				}
+			}
+		}
+		if bestRow == nil {
+			break
+		}
+		alloc := make([][]float64, n)
+		copy(alloc, cur.Alloc)
+		alloc[u] = bestRow
+		cur = Profile{Alloc: alloc}
+		improved += curCost - bestCost
+		curCost = bestCost
+	}
+	return cur, improved
+}
+
+// Options tunes the improvement dynamics.
+type Options struct {
+	// Delta is the transfer granularity; zero means 0.25.
+	Delta float64
+	// Eps is the improvement threshold; zero means 1e-6.
+	Eps float64
+	// MaxRounds bounds full passes over the nodes; zero means 200.
+	MaxRounds int
+	// MovesPerTurn bounds transfers per node per turn; zero means 50.
+	MovesPerTurn int
+}
+
+func (o Options) delta() float64 {
+	if o.Delta > 0 {
+		return o.Delta
+	}
+	return 0.25
+}
+
+func (o Options) eps() float64 {
+	if o.Eps > 0 {
+		return o.Eps
+	}
+	return 1e-6
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 200
+}
+
+func (o Options) movesPerTurn() int {
+	if o.MovesPerTurn > 0 {
+		return o.MovesPerTurn
+	}
+	return 50
+}
+
+// ImprovementDynamics runs round-robin δ-transfer improvement until a full
+// round produces no improvement (a δ-granular equilibrium) or rounds run
+// out. It reports the final profile and whether it settled.
+func (g *Game) ImprovementDynamics(start Profile, opts Options) (Profile, bool) {
+	cur := start.Clone()
+	n := g.Spec.N()
+	for round := 0; round < opts.maxRounds(); round++ {
+		roundGain := 0.0
+		for u := 0; u < n; u++ {
+			next, gain := g.TransferImprove(cur, u, opts.delta(), opts.eps(), opts.movesPerTurn())
+			cur = next
+			roundGain += gain
+		}
+		if roundGain <= opts.eps() {
+			return cur, true
+		}
+	}
+	return cur, false
+}
+
+// EpsilonStable reports whether no node can lower its cost by more than
+// eps with a single δ-granularity transfer. It is the (δ, ε)-equilibrium
+// certificate for the Theorem 3 demonstration.
+func (g *Game) EpsilonStable(p Profile, delta, eps float64) bool {
+	for u := 0; u < g.Spec.N(); u++ {
+		_, gain := g.TransferImprove(p, u, delta, eps, 1)
+		if gain > eps {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package fractional
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bbc/internal/core"
+)
+
+func ringProfile(n int) core.Profile {
+	p := core.NewEmptyProfile(n)
+	for u := 0; u < n; u++ {
+		p[u] = core.Strategy{(u + 1) % n}
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	spec := core.MustUniform(4, 2)
+	g := &Game{Spec: spec}
+	tests := []struct {
+		name    string
+		mutate  func(p *Profile)
+		wantErr bool
+	}{
+		{name: "zero profile ok", mutate: func(*Profile) {}},
+		{name: "within budget", mutate: func(p *Profile) { p.Alloc[0][1] = 1; p.Alloc[0][2] = 1 }},
+		{name: "fractional ok", mutate: func(p *Profile) { p.Alloc[0][1] = 0.3; p.Alloc[0][2] = 0.9 }},
+		{name: "over budget", mutate: func(p *Profile) { p.Alloc[0][1] = 1.5; p.Alloc[0][2] = 0.6 }, wantErr: true},
+		{name: "negative", mutate: func(p *Profile) { p.Alloc[0][1] = -0.1 }, wantErr: true},
+		{name: "self allocation", mutate: func(p *Profile) { p.Alloc[2][2] = 0.5 }, wantErr: true},
+		{name: "nan", mutate: func(p *Profile) { p.Alloc[0][1] = math.NaN() }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := NewProfile(4)
+			tt.mutate(&p)
+			err := g.Validate(p)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFromIntegralMatchesIntegralCosts(t *testing.T) {
+	// With 0/1 allocations the min-cost unit flow routes along shortest
+	// paths, so fractional costs must equal the integral game's costs.
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(5)
+		k := 1 + rng.Intn(2)
+		spec := core.MustUniform(n, k)
+		p := core.NewEmptyProfile(n)
+		for u := 0; u < n; u++ {
+			perm := rng.Perm(n)
+			s := make([]int, 0, k)
+			for _, v := range perm {
+				if v != u && len(s) < k {
+					s = append(s, v)
+				}
+			}
+			p[u] = core.NormalizeStrategy(s)
+		}
+		g := &Game{Spec: spec}
+		fp := FromIntegral(spec, p)
+		if err := g.Validate(fp); err != nil {
+			t.Fatal(err)
+		}
+		realized := p.Realize(spec)
+		for u := 0; u < n; u++ {
+			want := float64(core.NodeCost(spec, realized, u, core.SumDistances))
+			got := g.NodeCost(fp, u)
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("trial %d node %d: fractional %v != integral %v", trial, u, got, want)
+			}
+		}
+	}
+}
+
+func TestPairCostSplitsAcrossHalfLinks(t *testing.T) {
+	// 0 buys half of a direct link to 1 and half of a link to 2, and 2
+	// fully links 1: the unit flow from 0 to 1 splits 0.5 direct (cost 1)
+	// and 0.5 via 2 (cost 2), total 1.5.
+	spec := core.MustUniform(3, 1)
+	g := &Game{Spec: spec}
+	p := NewProfile(3)
+	p.Alloc[0][1] = 0.5
+	p.Alloc[0][2] = 0.5
+	p.Alloc[2][1] = 1
+	if err := g.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	got := g.PairCost(p, 0, 1)
+	if math.Abs(got-1.5) > 1e-6 {
+		t.Fatalf("PairCost = %v, want 1.5", got)
+	}
+}
+
+func TestPairCostShortfallPaysPenalty(t *testing.T) {
+	spec := core.MustUniform(3, 1)
+	g := &Game{Spec: spec}
+	p := NewProfile(3)
+	p.Alloc[0][1] = 0.25
+	got := g.PairCost(p, 0, 1)
+	want := 0.25*1 + 0.75*float64(spec.Penalty())
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("PairCost = %v, want %v", got, want)
+	}
+	if g.PairCost(p, 1, 1) != 0 {
+		t.Fatal("self pair cost must be 0")
+	}
+}
+
+func TestRingLiftsToFractionalEquilibrium(t *testing.T) {
+	// Theorem 3 companion: the integral (n,1) equilibrium (directed ring)
+	// remains a fractional ε-equilibrium at several transfer granularities.
+	spec := core.MustUniform(6, 1)
+	g := &Game{Spec: spec}
+	fp := FromIntegral(spec, ringProfile(6))
+	for _, delta := range []float64{0.5, 0.25, 0.1} {
+		if !g.EpsilonStable(fp, delta, 1e-6) {
+			t.Fatalf("ring is not fractionally stable at delta %v", delta)
+		}
+	}
+}
+
+func TestTransferImproveFindsGains(t *testing.T) {
+	// A node with unspent budget and a disconnection penalty must improve.
+	spec := core.MustUniform(4, 1)
+	g := &Game{Spec: spec}
+	fp := FromIntegral(spec, ringProfile(4))
+	fp.Alloc[0] = make([]float64, 4) // node 0 buys nothing
+	_, gain := g.TransferImprove(fp, 0, 0.5, 1e-9, 10)
+	if gain <= 0 {
+		t.Fatal("expected improvement from spending idle budget")
+	}
+}
+
+func TestTransferImproveRespectsBudget(t *testing.T) {
+	spec := core.MustUniform(5, 2)
+	g := &Game{Spec: spec}
+	rng := rand.New(rand.NewSource(122))
+	fp := NewProfile(5)
+	for u := 0; u < 5; u++ {
+		rem := 2.0
+		for v := 0; v < 5; v++ {
+			if v == u || rem <= 0 {
+				continue
+			}
+			a := rng.Float64() * rem
+			fp.Alloc[u][v] = a
+			rem -= a
+		}
+	}
+	if err := g.Validate(fp); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		next, _ := g.TransferImprove(fp, u, 0.3, 1e-9, 20)
+		if err := g.Validate(next); err != nil {
+			t.Fatalf("node %d: transfer broke feasibility: %v", u, err)
+		}
+	}
+}
+
+func TestSpend(t *testing.T) {
+	spec := core.MustUniform(3, 2)
+	g := &Game{Spec: spec}
+	p := NewProfile(3)
+	p.Alloc[0][1] = 0.75
+	p.Alloc[0][2] = 0.5
+	if got := g.Spend(p, 0); math.Abs(got-1.25) > 1e-9 {
+		t.Fatalf("Spend = %v, want 1.25", got)
+	}
+}
+
+func TestImprovementDynamicsSettlesOnStableStart(t *testing.T) {
+	spec := core.MustUniform(5, 1)
+	g := &Game{Spec: spec}
+	fp := FromIntegral(spec, ringProfile(5))
+	final, settled := g.ImprovementDynamics(fp, Options{Delta: 0.5, MaxRounds: 5})
+	if !settled {
+		t.Fatal("dynamics should settle immediately on a fractional equilibrium")
+	}
+	if g.SocialCost(final) != g.SocialCost(fp) {
+		t.Fatal("settled profile changed social cost")
+	}
+}
+
+func TestSocialCostAdditive(t *testing.T) {
+	spec := core.MustUniform(4, 1)
+	g := &Game{Spec: spec}
+	fp := FromIntegral(spec, ringProfile(4))
+	total := 0.0
+	for u := 0; u < 4; u++ {
+		total += g.NodeCost(fp, u)
+	}
+	if math.Abs(g.SocialCost(fp)-total) > 1e-9 {
+		t.Fatal("SocialCost must equal the sum of node costs")
+	}
+}

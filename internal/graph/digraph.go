@@ -1,0 +1,191 @@
+// Package graph provides the directed-graph substrate used by the BBC game
+// engine: weighted digraphs, single-source shortest paths (BFS for uniform
+// lengths, Dijkstra for general integer lengths), strongly connected
+// components, reachability, distance metrics, canonical configuration
+// hashing, and DOT export.
+//
+// Nodes are dense integer indices in [0, N). Arc lengths are non-negative
+// int64 values; the special traversal option Skip lets callers compute
+// distances in the graph with one node deleted, which is the structure the
+// best-response oracle of the BBC game relies on (a shortest path from u
+// never revisits u, so d(u, v) decomposes over d_{G−u}).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arc is a directed edge to a target node with a non-negative length.
+type Arc struct {
+	To  int
+	Len int64
+}
+
+// Digraph is a mutable directed graph over nodes 0..n-1 with weighted arcs.
+// The zero value is an empty graph with no nodes; use New to create a graph
+// with a fixed node count.
+type Digraph struct {
+	adj [][]Arc
+}
+
+// New returns an empty digraph on n nodes.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Digraph{adj: make([][]Arc, n)}
+}
+
+// FromAdjacency builds a digraph from unit-length adjacency lists.
+// adj[u] lists the out-neighbors of u. Targets must be in range.
+func FromAdjacency(adj [][]int) *Digraph {
+	g := New(len(adj))
+	for u, outs := range adj {
+		for _, v := range outs {
+			g.AddArc(u, v, 1)
+		}
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return len(g.adj) }
+
+// M returns the number of arcs.
+func (g *Digraph) M() int {
+	m := 0
+	for _, outs := range g.adj {
+		m += len(outs)
+	}
+	return m
+}
+
+// AddArc adds a directed arc u -> v with the given length. Parallel arcs are
+// permitted (shortest-path routines simply ignore the longer one). Self
+// loops are rejected because they can never lie on a shortest path and the
+// game model disallows buying them.
+func (g *Digraph) AddArc(u, v int, length int64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop on node %d", u))
+	}
+	if length < 0 {
+		panic(fmt.Sprintf("graph: negative arc length %d", length))
+	}
+	g.adj[u] = append(g.adj[u], Arc{To: v, Len: length})
+}
+
+// RemoveArcs deletes all arcs out of u. It is used when a game node rewires:
+// its entire out-neighborhood is replaced by the new strategy.
+func (g *Digraph) RemoveArcs(u int) {
+	g.check(u)
+	g.adj[u] = g.adj[u][:0]
+}
+
+// SetArcs replaces the out-neighborhood of u with unit-length arcs to the
+// given targets.
+func (g *Digraph) SetArcs(u int, targets []int) {
+	g.RemoveArcs(u)
+	for _, v := range targets {
+		g.AddArc(u, v, 1)
+	}
+}
+
+// Out returns the arcs out of u. The returned slice is owned by the graph
+// and must not be mutated by the caller.
+func (g *Digraph) Out(u int) []Arc {
+	g.check(u)
+	return g.adj[u]
+}
+
+// OutDegree returns the number of arcs leaving u.
+func (g *Digraph) OutDegree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// HasArc reports whether an arc u -> v exists (any length).
+func (g *Digraph) HasArc(u, v int) bool {
+	g.check(u)
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := New(g.N())
+	for u, outs := range g.adj {
+		c.adj[u] = append([]Arc(nil), outs...)
+	}
+	return c
+}
+
+// Reverse returns a new graph with every arc reversed.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.N())
+	for u, outs := range g.adj {
+		for _, a := range outs {
+			r.adj[a.To] = append(r.adj[a.To], Arc{To: u, Len: a.Len})
+		}
+	}
+	return r
+}
+
+// Targets returns the sorted list of distinct out-neighbors of u.
+func (g *Digraph) Targets(u int) []int {
+	g.check(u)
+	seen := make(map[int]bool, len(g.adj[u]))
+	ts := make([]int, 0, len(g.adj[u]))
+	for _, a := range g.adj[u] {
+		if !seen[a.To] {
+			seen[a.To] = true
+			ts = append(ts, a.To)
+		}
+	}
+	sort.Ints(ts)
+	return ts
+}
+
+// Equal reports whether two graphs have identical node counts and identical
+// arc multisets (order-insensitive per node).
+func (g *Digraph) Equal(h *Digraph) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	for u := range g.adj {
+		a := append([]Arc(nil), g.adj[u]...)
+		b := append([]Arc(nil), h.adj[u]...)
+		if len(a) != len(b) {
+			return false
+		}
+		sortArcs(a)
+		sortArcs(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortArcs(arcs []Arc) {
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].To != arcs[j].To {
+			return arcs[i].To < arcs[j].To
+		}
+		return arcs[i].Len < arcs[j].Len
+	})
+}
+
+func (g *Digraph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, len(g.adj)))
+	}
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndCounts(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		arcs [][2]int
+		m    int
+	}{
+		{name: "empty", n: 0, m: 0},
+		{name: "isolated", n: 5, m: 0},
+		{name: "triangle", n: 3, arcs: [][2]int{{0, 1}, {1, 2}, {2, 0}}, m: 3},
+		{name: "parallel", n: 2, arcs: [][2]int{{0, 1}, {0, 1}}, m: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := New(tt.n)
+			for _, a := range tt.arcs {
+				g.AddArc(a[0], a[1], 1)
+			}
+			if got := g.N(); got != tt.n {
+				t.Errorf("N() = %d, want %d", got, tt.n)
+			}
+			if got := g.M(); got != tt.m {
+				t.Errorf("M() = %d, want %d", got, tt.m)
+			}
+		})
+	}
+}
+
+func TestAddArcPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func(g *Digraph)
+	}{
+		{name: "self loop", fn: func(g *Digraph) { g.AddArc(1, 1, 1) }},
+		{name: "negative length", fn: func(g *Digraph) { g.AddArc(0, 1, -1) }},
+		{name: "source out of range", fn: func(g *Digraph) { g.AddArc(5, 1, 1) }},
+		{name: "target out of range", fn: func(g *Digraph) { g.AddArc(0, -2, 1) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tt.fn(New(3))
+		})
+	}
+}
+
+func TestSetArcsReplaces(t *testing.T) {
+	g := New(4)
+	g.SetArcs(0, []int{1, 2})
+	if !g.HasArc(0, 1) || !g.HasArc(0, 2) || g.HasArc(0, 3) {
+		t.Fatalf("unexpected arcs after first SetArcs: %v", g.Out(0))
+	}
+	g.SetArcs(0, []int{3})
+	if g.HasArc(0, 1) || g.HasArc(0, 2) || !g.HasArc(0, 3) {
+		t.Fatalf("unexpected arcs after second SetArcs: %v", g.Out(0))
+	}
+	if g.OutDegree(0) != 1 {
+		t.Fatalf("OutDegree = %d, want 1", g.OutDegree(0))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 2)
+	c := g.Clone()
+	c.AddArc(1, 2, 1)
+	if g.HasArc(1, 2) {
+		t.Fatal("mutating clone changed the original")
+	}
+	if !c.HasArc(0, 1) {
+		t.Fatal("clone lost an arc")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 5)
+	g.AddArc(1, 2, 7)
+	r := g.Reverse()
+	if !r.HasArc(1, 0) || !r.HasArc(2, 1) {
+		t.Fatalf("reverse arcs missing")
+	}
+	if r.M() != 2 {
+		t.Fatalf("reverse M = %d, want 2", r.M())
+	}
+	if r.Out(1)[0].Len != 5 {
+		t.Fatalf("reverse lost arc length: %v", r.Out(1))
+	}
+}
+
+func TestReverseTwiceIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(rng, 1+rng.Intn(12), 0.3)
+		if !g.Reverse().Reverse().Equal(g) {
+			t.Fatalf("trial %d: reverse twice differs from original", trial)
+		}
+	}
+}
+
+func TestTargetsSortedDistinct(t *testing.T) {
+	g := New(5)
+	g.AddArc(0, 3, 1)
+	g.AddArc(0, 1, 1)
+	g.AddArc(0, 3, 2)
+	got := g.Targets(0)
+	want := []int{1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Targets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Targets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(3)
+	a.AddArc(0, 1, 1)
+	a.AddArc(0, 2, 1)
+	b := New(3)
+	b.AddArc(0, 2, 1)
+	b.AddArc(0, 1, 1)
+	if !a.Equal(b) {
+		t.Fatal("graphs with same arcs in different order should be Equal")
+	}
+	b.AddArc(1, 2, 1)
+	if a.Equal(b) {
+		t.Fatal("graphs with different arcs should not be Equal")
+	}
+	if a.Equal(New(4)) {
+		t.Fatal("graphs with different node counts should not be Equal")
+	}
+}
+
+func TestFromAdjacency(t *testing.T) {
+	g := FromAdjacency([][]int{{1, 2}, {2}, {}})
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d, want 3,3", g.N(), g.M())
+	}
+	if !g.HasArc(0, 2) || g.HasArc(2, 0) {
+		t.Fatal("adjacency not respected")
+	}
+}
+
+// randomGraph builds a random simple digraph on n nodes where each ordered
+// pair gets an arc with probability p (unit lengths).
+func randomGraph(rng *rand.Rand, n int, p float64) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.AddArc(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// randomWeightedGraph builds a random digraph with lengths in [1, maxLen].
+func randomWeightedGraph(rng *rand.Rand, n int, p float64, maxLen int64) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.AddArc(u, v, 1+rng.Int63n(maxLen))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a 64-bit hash of the graph's structure (node count
+// plus the sorted arc multiset of every node). Two graphs with equal
+// structure always produce the same fingerprint, so it is suitable for
+// detecting repeated configurations in best-response walks; hash collisions
+// are resolved by the callers via Equal when a repeat is suspected.
+func (g *Digraph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [10]byte
+	writeInt := func(x int64) {
+		n := 0
+		u := uint64(x)
+		for {
+			b := byte(u & 0x7f)
+			u >>= 7
+			if u != 0 {
+				b |= 0x80
+			}
+			buf[n] = b
+			n++
+			if u == 0 {
+				break
+			}
+		}
+		h.Write(buf[:n])
+	}
+	writeInt(int64(g.N()))
+	scratch := make([]Arc, 0, 8)
+	for u := range g.adj {
+		scratch = append(scratch[:0], g.adj[u]...)
+		sortArcs(scratch)
+		writeInt(int64(len(scratch)))
+		for _, a := range scratch {
+			writeInt(int64(a.To))
+			writeInt(a.Len)
+		}
+	}
+	return h.Sum64()
+}
+
+// Key returns a canonical string encoding of the graph structure, usable as
+// an exact map key for configuration-space exploration.
+func (g *Digraph) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d", g.N())
+	scratch := make([]Arc, 0, 8)
+	for u := range g.adj {
+		scratch = append(scratch[:0], g.adj[u]...)
+		sortArcs(scratch)
+		b.WriteByte('|')
+		for i, a := range scratch {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d:%d", a.To, a.Len)
+		}
+	}
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz DOT format. Labels maps node index to a
+// display label; nil means the numeric index is used.
+func (g *Digraph) DOT(name string, labels map[int]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for u := 0; u < g.N(); u++ {
+		label := fmt.Sprintf("%d", u)
+		if labels != nil {
+			if l, ok := labels[u]; ok {
+				label = l
+			}
+		}
+		fmt.Fprintf(&b, "  %d [label=%q];\n", u, label)
+	}
+	for u := range g.adj {
+		outs := append([]Arc(nil), g.adj[u]...)
+		sort.Slice(outs, func(i, j int) bool { return outs[i].To < outs[j].To })
+		for _, a := range outs {
+			if a.Len == 1 {
+				fmt.Fprintf(&b, "  %d -> %d;\n", u, a.To)
+			} else {
+				fmt.Fprintf(&b, "  %d -> %d [label=\"%d\"];\n", u, a.To, a.Len)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

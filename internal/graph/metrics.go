@@ -1,0 +1,104 @@
+package graph
+
+// Reach returns, for every node, the number of nodes it can reach
+// (including itself), matching the "reach" quantity of Section 4.3 of the
+// paper. It runs one BFS per node; use ReachOf for a single node.
+func (g *Digraph) Reach() []int {
+	r := make([]int, g.N())
+	for u := range r {
+		r[u] = g.ReachOf(u)
+	}
+	return r
+}
+
+// ReachOf returns the number of nodes reachable from u, including u.
+func (g *Digraph) ReachOf(u int) int {
+	dist := g.BFS(u, Options{Skip: -1})
+	count := 0
+	for _, d := range dist {
+		if d != Unreachable {
+			count++
+		}
+	}
+	return count
+}
+
+// Eccentricity returns the maximum finite distance from u to any other
+// node, and whether u reaches every node. If u does not reach every node,
+// the returned eccentricity covers only the reachable set.
+func (g *Digraph) Eccentricity(u int, unit bool) (ecc int64, reachesAll bool) {
+	var dist []int64
+	if unit {
+		dist = g.BFS(u, Options{Skip: -1})
+	} else {
+		dist = g.Dijkstra(u, Options{Skip: -1})
+	}
+	reachesAll = true
+	for _, d := range dist {
+		if d == Unreachable {
+			reachesAll = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, reachesAll
+}
+
+// Diameter returns the maximum eccentricity over all nodes and whether the
+// graph is strongly connected. If it is not, the diameter covers only
+// finite distances.
+func (g *Digraph) Diameter(unit bool) (diam int64, strongly bool) {
+	strongly = true
+	for u := 0; u < g.N(); u++ {
+		ecc, all := g.Eccentricity(u, unit)
+		if !all {
+			strongly = false
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, strongly
+}
+
+// Radius returns the minimum eccentricity over nodes that reach every other
+// node, and whether such a node exists. Lemma 7 of the paper asserts that a
+// stable uniform graph has a node of eccentricity O(sqrt(n)).
+func (g *Digraph) Radius(unit bool) (radius int64, ok bool) {
+	for u := 0; u < g.N(); u++ {
+		ecc, all := g.Eccentricity(u, unit)
+		if !all {
+			continue
+		}
+		if !ok || ecc < radius {
+			radius = ecc
+			ok = true
+		}
+	}
+	return radius, ok
+}
+
+// SumDistances returns the sum of distances from u to every other node,
+// charging penalty for each unreachable node.
+func (g *Digraph) SumDistances(u int, unit bool, penalty int64) int64 {
+	var dist []int64
+	if unit {
+		dist = g.BFS(u, Options{Skip: -1})
+	} else {
+		dist = g.Dijkstra(u, Options{Skip: -1})
+	}
+	var sum int64
+	for v, d := range dist {
+		if v == u {
+			continue
+		}
+		if d == Unreachable {
+			sum += penalty
+		} else {
+			sum += d
+		}
+	}
+	return sum
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ringGraph(n int) *Digraph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddArc(i, (i+1)%n, 1)
+	}
+	return g
+}
+
+func TestReach(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	r := g.Reach()
+	want := []int{3, 2, 1, 1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Reach = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestReachOnRing(t *testing.T) {
+	g := ringGraph(6)
+	for u := 0; u < 6; u++ {
+		if got := g.ReachOf(u); got != 6 {
+			t.Fatalf("ReachOf(%d) = %d, want 6", u, got)
+		}
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := ringGraph(5)
+	ecc, all := g.Eccentricity(0, true)
+	if !all || ecc != 4 {
+		t.Fatalf("Eccentricity = %d,%v, want 4,true", ecc, all)
+	}
+	diam, strong := g.Diameter(true)
+	if !strong || diam != 4 {
+		t.Fatalf("Diameter = %d,%v, want 4,true", diam, strong)
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 1)
+	diam, strong := g.Diameter(true)
+	if strong {
+		t.Fatal("disconnected graph reported strongly connected")
+	}
+	if diam != 1 {
+		t.Fatalf("finite diameter = %d, want 1", diam)
+	}
+}
+
+func TestRadius(t *testing.T) {
+	// Star with a back-ring so only the center has small eccentricity.
+	g := New(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(0, 2, 1)
+	g.AddArc(0, 3, 1)
+	g.AddArc(1, 0, 1)
+	g.AddArc(2, 0, 1)
+	g.AddArc(3, 0, 1)
+	r, ok := g.Radius(true)
+	if !ok || r != 1 {
+		t.Fatalf("Radius = %d,%v, want 1,true", r, ok)
+	}
+	// No node reaches everything -> ok=false.
+	h := New(2)
+	if _, ok := h.Radius(true); ok {
+		t.Fatal("Radius on edgeless graph should report no all-reaching node")
+	}
+}
+
+func TestSumDistancesWithPenalty(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 1)
+	const penalty = 100
+	if got := g.SumDistances(0, true, penalty); got != 1+penalty {
+		t.Fatalf("SumDistances = %d, want %d", got, 1+penalty)
+	}
+	if got := g.SumDistances(2, true, penalty); got != 2*penalty {
+		t.Fatalf("SumDistances = %d, want %d", got, 2*penalty)
+	}
+}
+
+func TestRingDiameterProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%20) + 2
+		diam, strong := ringGraph(n).Diameter(true)
+		return strong && diam == int64(n-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintAndKey(t *testing.T) {
+	a := New(3)
+	a.AddArc(0, 1, 1)
+	a.AddArc(0, 2, 1)
+	b := New(3)
+	b.AddArc(0, 2, 1)
+	b.AddArc(0, 1, 1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal graphs have different fingerprints")
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("equal graphs have different keys")
+	}
+	b.AddArc(1, 2, 1)
+	if a.Key() == b.Key() {
+		t.Fatal("different graphs share a key")
+	}
+}
+
+func TestKeyDistinguishesRandomRewirings(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := make(map[string]*Digraph)
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng, 6, 0.3)
+		key := g.Key()
+		if prev, ok := seen[key]; ok {
+			if !prev.Equal(g) {
+				t.Fatalf("key collision between structurally different graphs")
+			}
+		}
+		seen[key] = g
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 1)
+	dot := g.DOT("test", map[int]string{0: "src"})
+	for _, want := range []string{"digraph", "0 -> 1", `"src"`} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	g2 := New(2)
+	g2.AddArc(0, 1, 7)
+	if !strings.Contains(g2.DOT("w", nil), `label="7"`) {
+		t.Fatal("weighted DOT output missing length label")
+	}
+}

@@ -1,0 +1,92 @@
+package graph
+
+// PathResult carries a single-source shortest-path computation with enough
+// information to reconstruct the actual routes (used by the visualization
+// tooling and the examples to show how traffic flows in an equilibrium).
+type PathResult struct {
+	// Dist[v] is the distance from the source, or Unreachable.
+	Dist []int64
+	// Parent[v] is the predecessor of v on a shortest path from the
+	// source, or -1 for the source and unreachable nodes.
+	Parent []int
+	// Source is the traversal origin.
+	Source int
+}
+
+// Paths computes shortest paths with parents from src (BFS when unit is
+// true, Dijkstra otherwise).
+func (g *Digraph) Paths(src int, unit bool, opt Options) *PathResult {
+	g.check(src)
+	if opt.Skip == src {
+		panic("graph: cannot skip the source")
+	}
+	res := &PathResult{
+		Dist:   make([]int64, g.N()),
+		Parent: make([]int, g.N()),
+		Source: src,
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Unreachable
+		res.Parent[i] = -1
+	}
+	res.Dist[src] = 0
+	if unit {
+		queue := make([]int, 0, g.N())
+		queue = append(queue, src)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range g.adj[u] {
+				v := a.To
+				if v == opt.Skip || res.Dist[v] != Unreachable {
+					continue
+				}
+				res.Dist[v] = res.Dist[u] + 1
+				res.Parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+		return res
+	}
+	// Weighted: run Dijkstra and recover parents by edge relaxation
+	// against the final distances (deterministic: smallest parent id).
+	res.Dist = g.Dijkstra(src, opt)
+	for u := 0; u < g.N(); u++ {
+		if res.Dist[u] == Unreachable || u == opt.Skip {
+			continue
+		}
+		for _, a := range g.adj[u] {
+			v := a.To
+			if v == opt.Skip || res.Dist[v] == Unreachable {
+				continue
+			}
+			if res.Dist[u]+a.Len == res.Dist[v] && (res.Parent[v] == -1 || u < res.Parent[v]) && v != src {
+				res.Parent[v] = u
+			}
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the node sequence from the source to v (inclusive),
+// or nil when v is unreachable.
+func (r *PathResult) PathTo(v int) []int {
+	if v < 0 || v >= len(r.Dist) || r.Dist[v] == Unreachable {
+		return nil
+	}
+	var rev []int
+	for cur := v; cur != -1; cur = r.Parent[cur] {
+		rev = append(rev, cur)
+		if cur == r.Source {
+			break
+		}
+	}
+	if rev[len(rev)-1] != r.Source {
+		return nil
+	}
+	out := make([]int, len(rev))
+	for i, x := range rev {
+		out[len(rev)-1-i] = x
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPathsUnit(t *testing.T) {
+	g := New(5)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(0, 3, 1)
+	g.AddArc(3, 2, 1)
+	res := g.Paths(0, true, Options{Skip: -1})
+	if res.Dist[2] != 2 {
+		t.Fatalf("dist[2] = %d", res.Dist[2])
+	}
+	path := res.PathTo(2)
+	if len(path) != 3 || path[0] != 0 || path[2] != 2 {
+		t.Fatalf("path = %v", path)
+	}
+	if res.PathTo(4) != nil {
+		t.Fatal("unreachable node should have nil path")
+	}
+	if p := res.PathTo(0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("path to source = %v", p)
+	}
+}
+
+func TestPathsWeighted(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1, 5)
+	g.AddArc(0, 2, 1)
+	g.AddArc(2, 1, 1)
+	g.AddArc(1, 3, 1)
+	res := g.Paths(0, false, Options{Skip: -1})
+	if res.Dist[1] != 2 {
+		t.Fatalf("dist[1] = %d, want 2 (via 2)", res.Dist[1])
+	}
+	path := res.PathTo(3)
+	want := []int{0, 2, 1, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestPathsConsistentWithBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(10), 0.3)
+		src := rng.Intn(g.N())
+		res := g.Paths(src, true, Options{Skip: -1})
+		bfs := g.BFS(src, Options{Skip: -1})
+		for v := range bfs {
+			if res.Dist[v] != bfs[v] {
+				t.Fatalf("trial %d: dist mismatch at %d", trial, v)
+			}
+			path := res.PathTo(v)
+			if bfs[v] == Unreachable {
+				if path != nil {
+					t.Fatalf("trial %d: path to unreachable %d", trial, v)
+				}
+				continue
+			}
+			if int64(len(path)-1) != bfs[v] {
+				t.Fatalf("trial %d: path length %d != dist %d", trial, len(path)-1, bfs[v])
+			}
+			// Every hop must be a real arc.
+			for i := 1; i < len(path); i++ {
+				if !g.HasArc(path[i-1], path[i]) {
+					t.Fatalf("trial %d: fake arc %d->%d in path", trial, path[i-1], path[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPathsSkip(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	res := g.Paths(0, true, Options{Skip: 1})
+	if res.Dist[2] != Unreachable {
+		t.Fatal("skip not respected")
+	}
+}

@@ -1,0 +1,116 @@
+package graph
+
+// SCC computes the strongly connected components of the graph using
+// Tarjan's algorithm (iterative, so deep graphs do not overflow the
+// goroutine stack). It returns comp, a slice mapping each node to its
+// component id, and the number of components. Component ids are in reverse
+// topological order of the condensation: if there is an arc from component
+// a to component b (a != b), then comp id of a is greater than that of b.
+func (g *Digraph) SCC() (comp []int, count int) {
+	n := g.N()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	stack := make([]int, 0, n)
+	next := 0
+
+	type frame struct {
+		node int
+		arc  int
+	}
+	var frames []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{node: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			u := f.node
+			if f.arc < len(g.adj[u]) {
+				v := g.adj[u][f.arc].To
+				f.arc++
+				if index[v] == -1 {
+					index[v] = next
+					low[v] = next
+					next++
+					stack = append(stack, v)
+					onStack[v] = true
+					frames = append(frames, frame{node: v})
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			// All arcs of u explored.
+			if low[u] == index[u] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == u {
+						break
+					}
+				}
+				count++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[u] < low[parent] {
+					low[parent] = low[u]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// Condensation returns the DAG over the SCCs of g: one node per component,
+// with a (deduplicated, unit-length) arc between components that have any
+// cross arc in g.
+func (g *Digraph) Condensation() (dag *Digraph, comp []int) {
+	comp, count := g.SCC()
+	dag = New(count)
+	seen := make(map[[2]int]bool)
+	for u, outs := range g.adj {
+		for _, a := range outs {
+			cu, cv := comp[u], comp[a.To]
+			if cu == cv {
+				continue
+			}
+			key := [2]int{cu, cv}
+			if !seen[key] {
+				seen[key] = true
+				dag.AddArc(cu, cv, 1)
+			}
+		}
+	}
+	return dag, comp
+}
+
+// StronglyConnected reports whether the graph consists of a single strongly
+// connected component. The empty graph and the 1-node graph are considered
+// strongly connected.
+func (g *Digraph) StronglyConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	_, count := g.SCC()
+	return count == 1
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSCCKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		arcs  [][2]int
+		count int
+	}{
+		{name: "empty", n: 0, count: 0},
+		{name: "singleton", n: 1, count: 1},
+		{name: "two isolated", n: 2, count: 2},
+		{name: "directed cycle", n: 4, arcs: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, count: 1},
+		{name: "path", n: 3, arcs: [][2]int{{0, 1}, {1, 2}}, count: 3},
+		{
+			name: "two cycles bridged",
+			n:    6,
+			arcs: [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}, {4, 5}},
+			// {0,1}, {2,3}, {4}, {5}
+			count: 4,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := New(tt.n)
+			for _, a := range tt.arcs {
+				g.AddArc(a[0], a[1], 1)
+			}
+			comp, count := g.SCC()
+			if count != tt.count {
+				t.Fatalf("count = %d, want %d (comp=%v)", count, tt.count, comp)
+			}
+		})
+	}
+}
+
+func TestSCCMatchesMutualReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(rng, 1+rng.Intn(14), 0.2)
+		comp, _ := g.SCC()
+		n := g.N()
+		reach := make([][]int64, n)
+		for u := 0; u < n; u++ {
+			reach[u] = g.BFS(u, Options{Skip: -1})
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				mutual := reach[u][v] != Unreachable && reach[v][u] != Unreachable
+				same := comp[u] == comp[v]
+				if mutual != same {
+					t.Fatalf("trial %d: nodes %d,%d mutual=%v same-comp=%v", trial, u, v, mutual, same)
+				}
+			}
+		}
+	}
+}
+
+func TestSCCTopologicalOrder(t *testing.T) {
+	// Tarjan component ids must be a reverse topological order: an arc from
+	// component a to component b (a != b) implies comp id a > comp id b.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(rng, 1+rng.Intn(14), 0.25)
+		comp, _ := g.SCC()
+		for u := 0; u < g.N(); u++ {
+			for _, a := range g.Out(u) {
+				if comp[u] != comp[a.To] && comp[u] <= comp[a.To] {
+					t.Fatalf("trial %d: arc %d->%d violates reverse topo order (%d vs %d)",
+						trial, u, a.To, comp[u], comp[a.To])
+				}
+			}
+		}
+	}
+}
+
+func TestCondensationIsDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(12), 0.3)
+		dag, comp := g.Condensation()
+		if dag.N() == 0 {
+			t.Fatal("condensation has no nodes")
+		}
+		// Each dag node must have at least one preimage.
+		seen := make([]bool, dag.N())
+		for _, c := range comp {
+			seen[c] = true
+		}
+		for c, ok := range seen {
+			if !ok {
+				t.Fatalf("component %d has no member", c)
+			}
+		}
+		// DAG check: every SCC of the condensation must be a singleton.
+		_, count := dag.SCC()
+		if count != dag.N() {
+			t.Fatalf("condensation is not a DAG: %d SCCs over %d nodes", count, dag.N())
+		}
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	cycle := New(5)
+	for i := 0; i < 5; i++ {
+		cycle.AddArc(i, (i+1)%5, 1)
+	}
+	if !cycle.StronglyConnected() {
+		t.Fatal("cycle should be strongly connected")
+	}
+	path := New(3)
+	path.AddArc(0, 1, 1)
+	path.AddArc(1, 2, 1)
+	if path.StronglyConnected() {
+		t.Fatal("path should not be strongly connected")
+	}
+	if !New(1).StronglyConnected() || !New(0).StronglyConnected() {
+		t.Fatal("trivial graphs should be strongly connected")
+	}
+}
+
+func TestSCCDeepGraphNoStackOverflow(t *testing.T) {
+	// A long path exercises the iterative Tarjan implementation.
+	const n = 200_000
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddArc(i, i+1, 1)
+	}
+	_, count := g.SCC()
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+import "container/heap"
+
+// Unreachable is the distance reported for nodes with no path from the
+// source. Callers in the game layer translate it into the disconnection
+// penalty M of the game spec.
+const Unreachable = int64(-1)
+
+// Options tunes a shortest-path traversal.
+type Options struct {
+	// Skip, if >= 0, deletes the given node from the graph for the purposes
+	// of this traversal: no path may enter or leave it. The source itself
+	// may not be skipped.
+	Skip int
+}
+
+// BFS computes hop-count distances from src, treating every arc as length 1
+// regardless of its stored length. Unreached nodes get Unreachable.
+func (g *Digraph) BFS(src int, opt Options) []int64 {
+	g.check(src)
+	dist := make([]int64, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if opt.Skip == src {
+		panic("graph: cannot skip the BFS source")
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[u] {
+			v := a.To
+			if v == opt.Skip || dist[v] != Unreachable {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			queue = append(queue, v)
+		}
+	}
+	return dist
+}
+
+// BFSFrontier runs a multi-source traversal treating every arc as length 1:
+// each seed (t, d0) starts node t at distance d0. It is the primitive
+// behind the best-response oracle, which evaluates a candidate link set
+// {t1..tk} by seeding each target at distance ℓ(u, ti) in the graph with u
+// skipped. Because seed offsets may differ, the traversal uses the same
+// heap as Dijkstra with the arc length forced to 1.
+func (g *Digraph) BFSFrontier(seeds []Arc, opt Options) []int64 {
+	return g.frontier(seeds, opt, true)
+}
+
+// Dijkstra computes shortest-path distances from src using stored arc
+// lengths. Unreached nodes get Unreachable.
+func (g *Digraph) Dijkstra(src int, opt Options) []int64 {
+	g.check(src)
+	if opt.Skip == src {
+		panic("graph: cannot skip the Dijkstra source")
+	}
+	return g.dijkstraSeeded([]Arc{{To: src, Len: 0}}, opt)
+}
+
+// DijkstraFrontier is the weighted analogue of BFSFrontier: each seed (t,
+// d0) enters the priority queue at distance d0.
+func (g *Digraph) DijkstraFrontier(seeds []Arc, opt Options) []int64 {
+	return g.frontier(seeds, opt, false)
+}
+
+func (g *Digraph) dijkstraSeeded(seeds []Arc, opt Options) []int64 {
+	return g.frontier(seeds, opt, false)
+}
+
+// frontier is the shared multi-source shortest-path core. When unit is
+// true, arc lengths are treated as 1 (BFS semantics with offsets).
+func (g *Digraph) frontier(seeds []Arc, opt Options, unit bool) []int64 {
+	dist := make([]int64, g.N())
+	done := make([]bool, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	pq := &arcHeap{}
+	heap.Init(pq)
+	for _, s := range seeds {
+		if s.To == opt.Skip {
+			continue
+		}
+		if dist[s.To] == Unreachable || s.Len < dist[s.To] {
+			dist[s.To] = s.Len
+			heap.Push(pq, s)
+		}
+	}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(Arc)
+		u := top.To
+		if done[u] || dist[u] != top.Len {
+			continue
+		}
+		done[u] = true
+		for _, a := range g.adj[u] {
+			v := a.To
+			if v == opt.Skip {
+				continue
+			}
+			step := a.Len
+			if unit {
+				step = 1
+			}
+			nd := dist[u] + step
+			if dist[v] == Unreachable || nd < dist[v] {
+				dist[v] = nd
+				heap.Push(pq, Arc{To: v, Len: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// arcHeap is a min-heap of Arc keyed by Len, reusing Arc as (node, dist).
+type arcHeap []Arc
+
+func (h arcHeap) Len() int            { return len(h) }
+func (h arcHeap) Less(i, j int) bool  { return h[i].Len < h[j].Len }
+func (h arcHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arcHeap) Push(x interface{}) { *h = append(*h, x.(Arc)) }
+func (h *arcHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// AllDistances returns the full distance matrix. If unit is true, hop
+// counts are used (BFS); otherwise stored lengths (Dijkstra).
+func (g *Digraph) AllDistances(unit bool) [][]int64 {
+	d := make([][]int64, g.N())
+	for u := range d {
+		if unit {
+			d[u] = g.BFS(u, Options{Skip: -1})
+		} else {
+			d[u] = g.Dijkstra(u, Options{Skip: -1})
+		}
+	}
+	return d
+}

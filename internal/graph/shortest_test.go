@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBFSPath(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, plus shortcut 0 -> 2.
+	g := New(5)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(2, 3, 1)
+	g.AddArc(0, 2, 1)
+	dist := g.BFS(0, Options{Skip: -1})
+	want := []int64{0, 1, 1, 2, Unreachable}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], d)
+		}
+	}
+}
+
+func TestBFSSkipDeletesNode(t *testing.T) {
+	// 0 -> 1 -> 2 and 0 -> 3 -> 2; skipping 1 forces the long way.
+	g := New(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(0, 3, 1)
+	g.AddArc(3, 2, 1)
+	dist := g.BFS(0, Options{Skip: 1})
+	if dist[1] != Unreachable {
+		t.Errorf("skipped node should be unreachable, got %d", dist[1])
+	}
+	if dist[2] != 2 {
+		t.Errorf("dist[2] = %d, want 2", dist[2])
+	}
+	// Skipping a cut node disconnects.
+	g2 := New(3)
+	g2.AddArc(0, 1, 1)
+	g2.AddArc(1, 2, 1)
+	d2 := g2.BFS(0, Options{Skip: 1})
+	if d2[2] != Unreachable {
+		t.Errorf("dist[2] with cut node skipped = %d, want Unreachable", d2[2])
+	}
+}
+
+func TestBFSSkipSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when skipping the source")
+		}
+	}()
+	New(2).BFS(0, Options{Skip: 0})
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Direct 0->2 of length 10 vs 0->1->2 of length 3.
+	g := New(3)
+	g.AddArc(0, 2, 10)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 2)
+	dist := g.Dijkstra(0, Options{Skip: -1})
+	if dist[2] != 3 {
+		t.Errorf("dist[2] = %d, want 3", dist[2])
+	}
+	// With node 1 skipped the direct arc wins.
+	dist = g.Dijkstra(0, Options{Skip: 1})
+	if dist[2] != 10 {
+		t.Errorf("dist[2] skip 1 = %d, want 10", dist[2])
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(rng, 1+rng.Intn(15), 0.25)
+		src := rng.Intn(g.N())
+		bfs := g.BFS(src, Options{Skip: -1})
+		dij := g.Dijkstra(src, Options{Skip: -1})
+		for v := range bfs {
+			if bfs[v] != dij[v] {
+				t.Fatalf("trial %d: node %d: BFS %d != Dijkstra %d", trial, v, bfs[v], dij[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraAgainstBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		g := randomWeightedGraph(rng, 2+rng.Intn(12), 0.3, 9)
+		src := rng.Intn(g.N())
+		want := bellmanFord(g, src)
+		got := g.Dijkstra(src, Options{Skip: -1})
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("trial %d node %d: Bellman-Ford %d != Dijkstra %d", trial, v, want[v], got[v])
+			}
+		}
+	}
+}
+
+// bellmanFord is an independent O(nm) reference implementation.
+func bellmanFord(g *Digraph, src int) []int64 {
+	dist := make([]int64, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	for i := 0; i < g.N(); i++ {
+		changed := false
+		for u := 0; u < g.N(); u++ {
+			if dist[u] == Unreachable {
+				continue
+			}
+			for _, a := range g.Out(u) {
+				nd := dist[u] + a.Len
+				if dist[a.To] == Unreachable || nd < dist[a.To] {
+					dist[a.To] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestBFSFrontierMatchesAugmentedGraph(t *testing.T) {
+	// Seeding targets {t} at offset d0 with node u skipped must equal a BFS
+	// in the graph where u keeps only arcs of length d0 to those targets.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(12)
+		g := randomGraph(rng, n, 0.25)
+		u := rng.Intn(n)
+		// Pick 1..3 distinct seed targets different from u.
+		k := 1 + rng.Intn(3)
+		seeds := make([]Arc, 0, k)
+		used := map[int]bool{u: true}
+		for len(seeds) < k && len(used) < n {
+			v := rng.Intn(n)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			seeds = append(seeds, Arc{To: v, Len: 1})
+		}
+		got := g.BFSFrontier(seeds, Options{Skip: u})
+
+		aug := g.Clone()
+		aug.SetArcs(u, nil)
+		for _, s := range seeds {
+			aug.AddArc(u, s.To, 1)
+		}
+		want := aug.BFS(u, Options{Skip: -1})
+		for v := range want {
+			if v == u {
+				continue
+			}
+			if got[v] != want[v] {
+				t.Fatalf("trial %d node %d: frontier %d != augmented BFS %d (seeds %v, u=%d)",
+					trial, v, got[v], want[v], seeds, u)
+			}
+		}
+	}
+}
+
+func TestFrontierWithOffsets(t *testing.T) {
+	// Two seeds at different offsets; the nearer one should dominate.
+	g := New(4)
+	g.AddArc(1, 3, 1)
+	g.AddArc(2, 3, 1)
+	dist := g.BFSFrontier([]Arc{{To: 1, Len: 5}, {To: 2, Len: 1}}, Options{Skip: -1})
+	if dist[2] != 1 || dist[1] != 5 {
+		t.Fatalf("seed offsets not respected: %v", dist)
+	}
+	if dist[3] != 2 {
+		t.Fatalf("dist[3] = %d, want 2 (via the closer seed)", dist[3])
+	}
+	if dist[0] != Unreachable {
+		t.Fatalf("dist[0] = %d, want Unreachable", dist[0])
+	}
+}
+
+func TestDijkstraFrontierRespectsLengths(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 4)
+	g.AddArc(1, 2, 4)
+	dist := g.DijkstraFrontier([]Arc{{To: 0, Len: 2}}, Options{Skip: -1})
+	if dist[0] != 2 || dist[1] != 6 || dist[2] != 10 {
+		t.Fatalf("weighted frontier wrong: %v", dist)
+	}
+}
+
+func TestFrontierSkipsSeedOnSkippedNode(t *testing.T) {
+	g := New(3)
+	g.AddArc(1, 2, 1)
+	dist := g.BFSFrontier([]Arc{{To: 1, Len: 1}}, Options{Skip: 1})
+	for v, d := range dist {
+		if d != Unreachable {
+			t.Fatalf("node %d reachable (%d) though the only seed was skipped", v, d)
+		}
+	}
+}
+
+func TestAllDistances(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(2, 0, 1)
+	d := g.AllDistances(true)
+	if d[0][2] != 2 || d[2][1] != 2 || d[1][1] != 0 {
+		t.Fatalf("AllDistances wrong: %v", d)
+	}
+}

@@ -1,0 +1,103 @@
+package group
+
+import (
+	"fmt"
+
+	"bbc/internal/graph"
+)
+
+// Cayley builds the directed Cayley graph of g over the generator set S:
+// nodes are group elements (by index) and each node x has an arc to x + a
+// for every a in S. Generators must exclude the identity. The out-degree of
+// every node is |S| after deduplication, matching a uniform budget of k=|S|
+// in the BBC game.
+func Cayley(g *Abelian, gens []int) (*graph.Digraph, error) {
+	norm, err := g.NormalizeGens(gens)
+	if err != nil {
+		return nil, err
+	}
+	if len(norm) == 0 {
+		return nil, fmt.Errorf("group: empty generator set")
+	}
+	dg := graph.New(g.Order())
+	for x := 0; x < g.Order(); x++ {
+		for _, a := range norm {
+			dg.AddArc(x, g.Add(x, a), 1)
+		}
+	}
+	return dg, nil
+}
+
+// OffsetGraph builds the "regular graph" of Section 4.2: nodes are Z_n and
+// the i-th arc from node x goes to x + offsets[i] mod n. It is exactly the
+// Cayley graph of the cyclic group.
+func OffsetGraph(n int, offsets []int) (*graph.Digraph, error) {
+	g := MustCyclic(n)
+	reduced := make([]int, len(offsets))
+	for i, o := range offsets {
+		r := o % n
+		if r < 0 {
+			r += n
+		}
+		reduced[i] = r
+	}
+	return Cayley(g, reduced)
+}
+
+// Hypercube builds the directed d-dimensional hypercube: the Cayley graph
+// of Z_2^d over the unit vectors. Every undirected hypercube edge appears
+// as two opposite arcs, giving each node out-degree d (Corollary 1 of the
+// paper concerns the (2^k, k)-uniform game on this graph).
+func Hypercube(d int) (*graph.Digraph, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("group: hypercube dimension %d must be >= 1", d)
+	}
+	g := MustBoolean(d)
+	gens := make([]int, d)
+	for i := 0; i < d; i++ {
+		coords := make([]int, d)
+		coords[i] = 1
+		gens[i] = g.Encode(coords)
+	}
+	return Cayley(g, gens)
+}
+
+// GeneratorsForDiameter returns the classic k-offset set {1, s, s^2, ...}
+// with s = ceil(n^(1/k)), which yields a Z_n Cayley graph of diameter
+// O(k · n^(1/k)). It is the natural "designed" regular overlay the paper
+// alludes to when discussing P2P networks.
+func GeneratorsForDiameter(n, k int) []int {
+	if k < 1 || n < 2 {
+		return nil
+	}
+	// s = smallest integer with s^k >= n.
+	s := 1
+	for pow(s, k) < n {
+		s++
+	}
+	gens := make([]int, 0, k)
+	val := 1
+	for i := 0; i < k; i++ {
+		gens = append(gens, val%n)
+		val *= s
+	}
+	return gens
+}
+
+func pow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		if r > 1<<30/maxInt(base, 1) {
+			return 1 << 30
+		}
+		r *= base
+	}
+	return r
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package group
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbc/internal/graph"
+)
+
+func TestCayleyCycle(t *testing.T) {
+	g, err := Cayley(MustCyclic(5), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 5 {
+		t.Fatalf("N=%d M=%d, want 5,5", g.N(), g.M())
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("directed cycle should be strongly connected")
+	}
+	diam, _ := g.Diameter(true)
+	if diam != 4 {
+		t.Fatalf("diameter = %d, want 4", diam)
+	}
+}
+
+func TestCayleyVertexTransitiveDistances(t *testing.T) {
+	// In any Cayley graph the multiset of distances from every node is the
+	// same (vertex transitivity); check sums of distances match.
+	rng := rand.New(rand.NewSource(31))
+	groups := []*Abelian{MustCyclic(12), MustBoolean(3), mustNewB(t, 3, 4)}
+	for _, ab := range groups {
+		for trial := 0; trial < 10; trial++ {
+			k := 1 + rng.Intn(3)
+			gens := make([]int, 0, k)
+			for len(gens) < k {
+				a := 1 + rng.Intn(ab.Order()-1)
+				gens = append(gens, a)
+			}
+			dg, err := Cayley(ab, gens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := dg.SumDistances(0, true, 1_000)
+			for u := 1; u < dg.N(); u++ {
+				if got := dg.SumDistances(u, true, 1_000); got != base {
+					t.Fatalf("%s gens %v: node %d sum %d != node 0 sum %d",
+						ab, gens, u, got, base)
+				}
+			}
+		}
+	}
+}
+
+func mustNewB(t *testing.T, moduli ...int) *Abelian {
+	t.Helper()
+	g, err := NewAbelian(moduli...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCayleyRejectsIdentityAndEmpty(t *testing.T) {
+	if _, err := Cayley(MustCyclic(4), []int{0}); err == nil {
+		t.Fatal("expected error for identity generator")
+	}
+	if _, err := Cayley(MustCyclic(4), nil); err == nil {
+		t.Fatal("expected error for empty generator set")
+	}
+}
+
+func TestOffsetGraph(t *testing.T) {
+	g, err := OffsetGraph(8, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutDegree(0) != 2 {
+		t.Fatalf("out-degree = %d, want 2", g.OutDegree(0))
+	}
+	if !g.HasArc(6, 7) || !g.HasArc(6, 1) {
+		t.Fatal("offset arcs missing")
+	}
+	// Negative offsets are reduced mod n.
+	g2, err := OffsetGraph(8, []int{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.HasArc(0, 7) {
+		t.Fatal("negative offset not reduced")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		g, err := Hypercube(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 1<<d {
+			t.Fatalf("d=%d: N=%d, want %d", d, g.N(), 1<<d)
+		}
+		if g.M() != d*(1<<d) {
+			t.Fatalf("d=%d: M=%d, want %d", d, g.M(), d*(1<<d))
+		}
+		diam, strong := g.Diameter(true)
+		if !strong || diam != int64(d) {
+			t.Fatalf("d=%d: diameter=%d strong=%v, want %d,true", d, diam, strong, d)
+		}
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Fatal("expected error for dimension 0")
+	}
+}
+
+func TestHypercubeNeighborsDifferInOneBit(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, a := range g.Out(u) {
+			x := u ^ a.To
+			if x&(x-1) != 0 || x == 0 {
+				t.Fatalf("arc %d->%d differs in more than one bit", u, a.To)
+			}
+		}
+	}
+}
+
+func TestGeneratorsForDiameter(t *testing.T) {
+	tests := []struct {
+		n, k int
+	}{
+		{n: 64, k: 2}, {n: 100, k: 3}, {n: 17, k: 1}, {n: 1000, k: 4},
+	}
+	for _, tt := range tests {
+		gens := GeneratorsForDiameter(tt.n, tt.k)
+		if len(gens) != tt.k {
+			t.Fatalf("n=%d k=%d: got %d gens", tt.n, tt.k, len(gens))
+		}
+		dg, err := OffsetGraph(tt.n, gens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dg.StronglyConnected() {
+			t.Fatalf("n=%d k=%d gens=%v: graph not strongly connected", tt.n, tt.k, gens)
+		}
+		// Diameter should be at most k * ceil(n^{1/k}) (generous bound).
+		diam, _ := dg.Diameter(true)
+		s := 1
+		for pow(s, tt.k) < tt.n {
+			s++
+		}
+		if diam > int64(tt.k*s) {
+			t.Fatalf("n=%d k=%d: diameter %d exceeds %d", tt.n, tt.k, diam, tt.k*s)
+		}
+	}
+	if GeneratorsForDiameter(1, 2) != nil || GeneratorsForDiameter(10, 0) != nil {
+		t.Fatal("degenerate parameters should return nil")
+	}
+}
+
+func TestCayleyMatchesManualRing(t *testing.T) {
+	want := graph.New(4)
+	for i := 0; i < 4; i++ {
+		want.AddArc(i, (i+1)%4, 1)
+	}
+	got, err := Cayley(MustCyclic(4), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("Cayley(Z4, {1}) differs from the directed 4-cycle")
+	}
+}

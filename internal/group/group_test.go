@@ -1,0 +1,179 @@
+package group
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAbelianValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		moduli  []int
+		wantErr bool
+		order   int
+	}{
+		{name: "cyclic", moduli: []int{7}, order: 7},
+		{name: "product", moduli: []int{2, 3, 4}, order: 24},
+		{name: "trivial factor", moduli: []int{1, 5}, order: 5},
+		{name: "empty", moduli: nil, wantErr: true},
+		{name: "zero modulus", moduli: []int{0}, wantErr: true},
+		{name: "negative modulus", moduli: []int{3, -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := NewAbelian(tt.moduli...)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if g.Order() != tt.order {
+				t.Fatalf("Order = %d, want %d", g.Order(), tt.order)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g, err := NewAbelian(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < g.Order(); x++ {
+		if got := g.Encode(g.Decode(x)); got != x {
+			t.Fatalf("Encode(Decode(%d)) = %d", x, got)
+		}
+	}
+	// Negative and oversized coordinates are reduced.
+	if g.Encode([]int{-1, 5, 7}) != g.Encode([]int{2, 1, 2}) {
+		t.Fatal("Encode did not reduce coordinates modulo factor sizes")
+	}
+}
+
+func TestGroupAxioms(t *testing.T) {
+	groups := []*Abelian{
+		MustCyclic(1),
+		MustCyclic(8),
+		MustBoolean(4),
+		mustNew(t, 2, 3),
+		mustNew(t, 4, 5, 3),
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, g := range groups {
+		t.Run(g.String(), func(t *testing.T) {
+			for trial := 0; trial < 200; trial++ {
+				x := rng.Intn(g.Order())
+				y := rng.Intn(g.Order())
+				z := rng.Intn(g.Order())
+				if g.Add(x, y) != g.Add(y, x) {
+					t.Fatalf("commutativity failed on %d,%d", x, y)
+				}
+				if g.Add(g.Add(x, y), z) != g.Add(x, g.Add(y, z)) {
+					t.Fatalf("associativity failed on %d,%d,%d", x, y, z)
+				}
+				if g.Add(x, g.Identity()) != x {
+					t.Fatalf("identity failed on %d", x)
+				}
+				if g.Add(x, g.Neg(x)) != g.Identity() {
+					t.Fatalf("inverse failed on %d", x)
+				}
+				if g.Sub(x, y) != g.Add(x, g.Neg(y)) {
+					t.Fatalf("Sub inconsistent on %d,%d", x, y)
+				}
+				if g.Double(x) != g.Add(x, x) {
+					t.Fatalf("Double inconsistent on %d", x)
+				}
+			}
+		})
+	}
+}
+
+func mustNew(t *testing.T, moduli ...int) *Abelian {
+	t.Helper()
+	g, err := NewAbelian(moduli...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestElementOrderDividesGroupOrder(t *testing.T) {
+	f := func(rawN, rawX uint8) bool {
+		n := int(rawN%30) + 1
+		g := MustCyclic(n)
+		x := int(rawX) % n
+		ord := g.ElementOrder(x)
+		return ord >= 1 && g.Order()%ord == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementOrderKnown(t *testing.T) {
+	g := MustCyclic(12)
+	tests := []struct{ x, order int }{
+		{0, 1}, {1, 12}, {2, 6}, {3, 4}, {4, 3}, {6, 2}, {8, 3},
+	}
+	for _, tt := range tests {
+		if got := g.ElementOrder(tt.x); got != tt.order {
+			t.Errorf("ElementOrder(%d) = %d, want %d", tt.x, got, tt.order)
+		}
+	}
+}
+
+func TestGenerates(t *testing.T) {
+	z12 := MustCyclic(12)
+	tests := []struct {
+		name string
+		g    *Abelian
+		gens []int
+		want bool
+	}{
+		{name: "1 generates Z12", g: z12, gens: []int{1}, want: true},
+		{name: "5 generates Z12", g: z12, gens: []int{5}, want: true},
+		{name: "2 does not generate Z12", g: z12, gens: []int{2}, want: false},
+		{name: "2 and 3 together generate", g: z12, gens: []int{2, 3}, want: true},
+		{name: "unit vectors generate boolean cube", g: MustBoolean(3), gens: []int{1, 2, 4}, want: true},
+		{name: "missing dimension fails", g: MustBoolean(3), gens: []int{1, 2}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Generates(tt.gens); got != tt.want {
+				t.Fatalf("Generates(%v) = %v, want %v", tt.gens, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeGens(t *testing.T) {
+	g := MustCyclic(10)
+	norm, err := g.NormalizeGens([]int{3, 7, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 7}
+	if len(norm) != len(want) {
+		t.Fatalf("NormalizeGens = %v, want %v", norm, want)
+	}
+	for i := range want {
+		if norm[i] != want[i] {
+			t.Fatalf("NormalizeGens = %v, want %v", norm, want)
+		}
+	}
+	if _, err := g.NormalizeGens([]int{0, 1}); err == nil {
+		t.Fatal("expected error for identity generator")
+	}
+}
+
+func TestString(t *testing.T) {
+	g := mustNew(t, 2, 5)
+	if got := g.String(); got != "Z_2 x Z_5" {
+		t.Fatalf("String = %q", got)
+	}
+}

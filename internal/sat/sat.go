@@ -1,0 +1,319 @@
+// Package sat provides CNF formulas and a small DPLL solver. It is the
+// substrate for the Theorem 2 reproduction: the paper reduces 3SAT to
+// pure-Nash-equilibrium existence in non-uniform BBC games, and we verify
+// the reduction on concrete formulas by comparing the game-side outcome
+// against this solver.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Literal encodes variable v (1-based) as +v and its negation as -v.
+type Literal int
+
+// Var returns the 1-based variable index of the literal.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is un-negated.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a CNF formula over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// New builds a formula, validating that every literal references a variable
+// in range and no clause is empty.
+func New(numVars int, clauses ...Clause) (*Formula, error) {
+	if numVars < 0 {
+		return nil, fmt.Errorf("sat: negative variable count %d", numVars)
+	}
+	f := &Formula{NumVars: numVars}
+	for i, c := range clauses {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("sat: clause %d is empty", i)
+		}
+		for _, l := range c {
+			if l == 0 || l.Var() > numVars {
+				return nil, fmt.Errorf("sat: clause %d has invalid literal %d", i, l)
+			}
+		}
+		f.Clauses = append(f.Clauses, append(Clause(nil), c...))
+	}
+	return f, nil
+}
+
+// MustNew is New that panics on error; intended for literal test fixtures.
+func MustNew(numVars int, clauses ...Clause) *Formula {
+	f, err := New(numVars, clauses...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Assignment maps 1-based variable indices to truth values. Index 0 is
+// unused.
+type Assignment []bool
+
+// Satisfies reports whether the assignment satisfies the formula.
+func (f *Formula) Satisfies(a Assignment) bool {
+	if len(a) < f.NumVars+1 {
+		return false
+	}
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if a[l.Var()] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve runs DPLL with unit propagation and pure-literal elimination. It
+// returns a satisfying assignment and true, or nil and false when the
+// formula is unsatisfiable.
+func (f *Formula) Solve() (Assignment, bool) {
+	// values: 0 unassigned, 1 true, -1 false.
+	values := make([]int8, f.NumVars+1)
+	if !dpll(f.Clauses, values) {
+		return nil, false
+	}
+	a := make(Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		a[v] = values[v] == 1
+	}
+	if !f.Satisfies(a) {
+		panic("sat: internal error: DPLL produced a non-satisfying assignment")
+	}
+	return a, true
+}
+
+// Satisfiable reports whether the formula has a satisfying assignment.
+func (f *Formula) Satisfiable() bool {
+	_, ok := f.Solve()
+	return ok
+}
+
+func dpll(clauses []Clause, values []int8) bool {
+	// Simplify: detect satisfied clauses, unit clauses, conflicts.
+	for {
+		unit := Literal(0)
+		allSat := true
+		for _, c := range clauses {
+			sat := false
+			unassigned := 0
+			var last Literal
+			for _, l := range c {
+				switch values[l.Var()] {
+				case 0:
+					unassigned++
+					last = l
+				case 1:
+					if l.Positive() {
+						sat = true
+					}
+				case -1:
+					if !l.Positive() {
+						sat = true
+					}
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			allSat = false
+			if unassigned == 0 {
+				return false // conflict
+			}
+			if unassigned == 1 {
+				unit = last
+			}
+		}
+		if allSat {
+			// Assign remaining variables arbitrarily (true).
+			for v := 1; v < len(values); v++ {
+				if values[v] == 0 {
+					values[v] = 1
+				}
+			}
+			return true
+		}
+		if unit == 0 {
+			break
+		}
+		assign(values, unit)
+	}
+
+	// Pure literal elimination. Assigning a pure literal true never loses
+	// satisfiability, so no backtracking point is needed here.
+	if lit := findPure(clauses, values); lit != 0 {
+		assign(values, lit)
+		return dpll(clauses, values)
+	}
+
+	// Branch on the first unassigned variable.
+	v := 0
+	for i := 1; i < len(values); i++ {
+		if values[i] == 0 {
+			v = i
+			break
+		}
+	}
+	if v == 0 {
+		// All assigned but not allSat -> some clause must be violated; the
+		// simplification loop would have returned false, so this is
+		// unreachable, kept as a guard.
+		return false
+	}
+	for _, val := range []int8{1, -1} {
+		values[v] = val
+		snapshot := append([]int8(nil), values...)
+		if dpll(clauses, values) {
+			return true
+		}
+		copy(values, snapshot)
+		values[v] = 0
+	}
+	return false
+}
+
+func assign(values []int8, l Literal) {
+	if l.Positive() {
+		values[l.Var()] = 1
+	} else {
+		values[l.Var()] = -1
+	}
+}
+
+// findPure returns a literal whose variable occurs with only one polarity
+// among not-yet-satisfied clauses, or 0 if none exists.
+func findPure(clauses []Clause, values []int8) Literal {
+	pos := make(map[int]bool)
+	neg := make(map[int]bool)
+	for _, c := range clauses {
+		sat := false
+		for _, l := range c {
+			if (values[l.Var()] == 1 && l.Positive()) || (values[l.Var()] == -1 && !l.Positive()) {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		for _, l := range c {
+			if values[l.Var()] != 0 {
+				continue
+			}
+			if l.Positive() {
+				pos[l.Var()] = true
+			} else {
+				neg[l.Var()] = true
+			}
+		}
+	}
+	vars := make([]int, 0, len(pos)+len(neg))
+	for v := range pos {
+		vars = append(vars, v)
+	}
+	for v := range neg {
+		if !pos[v] {
+			vars = append(vars, v)
+		}
+	}
+	sort.Ints(vars) // determinism
+	for _, v := range vars {
+		if pos[v] && !neg[v] {
+			return Literal(v)
+		}
+		if neg[v] && !pos[v] {
+			return Literal(-v)
+		}
+	}
+	return 0
+}
+
+// SolveBruteForce enumerates all assignments; it is the independent
+// reference oracle used in tests (exponential, keep NumVars small).
+func (f *Formula) SolveBruteForce() (Assignment, bool) {
+	if f.NumVars > 24 {
+		panic("sat: brute force limited to 24 variables")
+	}
+	a := make(Assignment, f.NumVars+1)
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		for v := 1; v <= f.NumVars; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Satisfies(a) {
+			return append(Assignment(nil), a...), true
+		}
+	}
+	return nil, false
+}
+
+// Random3SAT generates a random 3SAT formula with the given clause count.
+// Each clause has three distinct variables with random polarities.
+func Random3SAT(rng *rand.Rand, numVars, numClauses int) *Formula {
+	if numVars < 3 {
+		panic("sat: Random3SAT needs at least 3 variables")
+	}
+	f := &Formula{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		perm := rng.Perm(numVars)[:3]
+		c := make(Clause, 3)
+		for j, v := range perm {
+			lit := Literal(v + 1)
+			if rng.Intn(2) == 0 {
+				lit = -lit
+			}
+			c[j] = lit
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// String renders the formula in a compact human-readable form.
+func (f *Formula) String() string {
+	var b strings.Builder
+	for i, c := range f.Clauses {
+		if i > 0 {
+			b.WriteString(" & ")
+		}
+		b.WriteByte('(')
+		for j, l := range c {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			if !l.Positive() {
+				b.WriteByte('!')
+			}
+			fmt.Fprintf(&b, "x%d", l.Var())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		vars    int
+		clauses []Clause
+		wantErr bool
+	}{
+		{name: "valid", vars: 2, clauses: []Clause{{1, -2}}},
+		{name: "no clauses", vars: 3},
+		{name: "negative vars", vars: -1, wantErr: true},
+		{name: "empty clause", vars: 2, clauses: []Clause{{}}, wantErr: true},
+		{name: "zero literal", vars: 2, clauses: []Clause{{0}}, wantErr: true},
+		{name: "out of range literal", vars: 2, clauses: []Clause{{3}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.vars, tt.clauses...)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSolveKnownFormulas(t *testing.T) {
+	tests := []struct {
+		name string
+		f    *Formula
+		sat  bool
+	}{
+		{name: "trivially sat", f: MustNew(1, Clause{1}), sat: true},
+		{name: "contradiction", f: MustNew(1, Clause{1}, Clause{-1}), sat: false},
+		{name: "empty formula", f: MustNew(3), sat: true},
+		{
+			name: "3sat satisfiable",
+			f:    MustNew(3, Clause{1, 2, 3}, Clause{-1, -2, 3}, Clause{1, -2, -3}),
+			sat:  true,
+		},
+		{
+			name: "pigeonhole 2 into 1",
+			// x1: pigeon1 in hole1, x2: pigeon2 in hole1; both must be
+			// placed, hole holds one.
+			f:   MustNew(2, Clause{1}, Clause{2}, Clause{-1, -2}),
+			sat: false,
+		},
+		{
+			name: "all 2-clauses over 2 vars",
+			f: MustNew(2,
+				Clause{1, 2}, Clause{1, -2}, Clause{-1, 2}, Clause{-1, -2}),
+			sat: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a, ok := tt.f.Solve()
+			if ok != tt.sat {
+				t.Fatalf("Solve sat = %v, want %v", ok, tt.sat)
+			}
+			if ok && !tt.f.Satisfies(a) {
+				t.Fatalf("returned assignment %v does not satisfy %v", a, tt.f)
+			}
+		})
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 300; trial++ {
+		numVars := 3 + rng.Intn(6)
+		numClauses := rng.Intn(5 * numVars)
+		f := Random3SAT(rng, numVars, numClauses)
+		_, wantSat := f.SolveBruteForce()
+		a, gotSat := f.Solve()
+		if gotSat != wantSat {
+			t.Fatalf("trial %d (%v): DPLL %v, brute force %v", trial, f, gotSat, wantSat)
+		}
+		if gotSat && !f.Satisfies(a) {
+			t.Fatalf("trial %d: invalid assignment", trial)
+		}
+	}
+}
+
+func TestHardUnsatRegion(t *testing.T) {
+	// Random 3SAT at clause/var ratio 6 is almost surely unsatisfiable;
+	// solving it exercises full backtracking.
+	rng := rand.New(rand.NewSource(52))
+	unsat := 0
+	for trial := 0; trial < 20; trial++ {
+		f := Random3SAT(rng, 10, 60)
+		_, bf := f.SolveBruteForce()
+		_, got := f.Solve()
+		if got != bf {
+			t.Fatalf("trial %d: DPLL %v != brute force %v", trial, got, bf)
+		}
+		if !got {
+			unsat++
+		}
+	}
+	if unsat == 0 {
+		t.Fatal("expected at least one unsatisfiable dense formula")
+	}
+}
+
+func TestLiteralAccessors(t *testing.T) {
+	if Literal(3).Var() != 3 || Literal(-3).Var() != 3 {
+		t.Fatal("Var wrong")
+	}
+	if !Literal(3).Positive() || Literal(-3).Positive() {
+		t.Fatal("Positive wrong")
+	}
+}
+
+func TestSatisfiesRejectsShortAssignment(t *testing.T) {
+	f := MustNew(3, Clause{3})
+	if f.Satisfies(Assignment{true, true}) {
+		t.Fatal("short assignment should not satisfy")
+	}
+}
+
+func TestString(t *testing.T) {
+	f := MustNew(2, Clause{1, -2})
+	if got := f.String(); got != "(x1 | !x2)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRandom3SATShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	f := Random3SAT(rng, 5, 12)
+	if len(f.Clauses) != 12 {
+		t.Fatalf("clauses = %d, want 12", len(f.Clauses))
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause %v does not have 3 literals", c)
+		}
+		vars := map[int]bool{}
+		for _, l := range c {
+			if l.Var() < 1 || l.Var() > 5 {
+				t.Fatalf("literal %d out of range", l)
+			}
+			vars[l.Var()] = true
+		}
+		if len(vars) != 3 {
+			t.Fatalf("clause %v repeats a variable", c)
+		}
+	}
+}
