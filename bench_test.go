@@ -11,6 +11,7 @@ package bbc
 
 import (
 	"math/rand"
+	"os"
 	"testing"
 
 	"bbc/internal/analysis"
@@ -19,18 +20,61 @@ import (
 	"bbc/internal/dynamics"
 	"bbc/internal/exper"
 	"bbc/internal/group"
+	"bbc/internal/obs"
 )
+
+// benchRegistry installs a fresh obs registry for the benchmark so work
+// counters (profiles, oracle evals, BFS traversals) can be reported per
+// op alongside ns/op. Set BBC_BENCH_OBS=off to benchmark the
+// uninstrumented nil-registry baseline instead.
+func benchRegistry(b *testing.B) *obs.Registry {
+	b.Helper()
+	if os.Getenv("BBC_BENCH_OBS") == "off" {
+		return nil
+	}
+	reg := obs.NewRegistry()
+	prev := obs.SetGlobal(reg)
+	b.Cleanup(func() { obs.SetGlobal(prev) })
+	return reg
+}
+
+// benchObsMetrics is the metric set exported into benchmark output (and
+// hence BENCH_*.json): work done per op, not just time per op.
+var benchObsMetrics = []struct {
+	m    obs.Metric
+	name string
+}{
+	{obs.MProfilesChecked, "profiles/op"},
+	{obs.MOracleBuild, "oracle-builds/op"},
+	{obs.MOracleEval, "oracle-evals/op"},
+	{obs.MBestExactLeaves, "exact-leaves/op"},
+	{obs.MBFS, "bfs/op"},
+	{obs.MDeviationChecks, "dev-checks/op"},
+	{obs.MWalkSteps, "steps/op"},
+}
+
+// reportObsMetrics emits the nonzero registry counters scaled per op.
+func reportObsMetrics(b *testing.B, reg *obs.Registry) {
+	b.Helper()
+	for _, mm := range benchObsMetrics {
+		if v := reg.Get(mm.m); v > 0 {
+			b.ReportMetric(float64(v)/float64(b.N), mm.name)
+		}
+	}
+}
 
 // benchExperiment runs one experiment per iteration and fails the bench if
 // its reproduction criteria do not hold.
 func benchExperiment(b *testing.B, run func(exper.Config) *exper.Report) {
 	b.Helper()
+	reg := benchRegistry(b)
 	for i := 0; i < b.N; i++ {
 		r := run(exper.Config{Quick: true})
 		if !r.Pass {
 			b.Fatalf("experiment %s failed:\n%s", r.ID, r)
 		}
 	}
+	reportObsMetrics(b, reg)
 }
 
 func BenchmarkE1GadgetNoNE(b *testing.B)            { benchExperiment(b, exper.E1) }
@@ -87,22 +131,28 @@ func BenchmarkBestResponse(b *testing.B) {
 		oracles[u] = core.NewOracle(spec, g, u, core.SumDistances)
 	}
 	b.Run("exact", func(b *testing.B) {
+		reg := benchRegistry(b)
 		for i := 0; i < b.N; i++ {
 			if _, _, err := oracles[i%n].BestExact(0); err != nil {
 				b.Fatal(err)
 			}
 		}
+		reportObsMetrics(b, reg)
 	})
 	b.Run("greedy", func(b *testing.B) {
+		reg := benchRegistry(b)
 		for i := 0; i < b.N; i++ {
 			oracles[i%n].BestGreedy()
 		}
+		reportObsMetrics(b, reg)
 	})
 	b.Run("greedy-swap", func(b *testing.B) {
+		reg := benchRegistry(b)
 		for i := 0; i < b.N; i++ {
 			s, _ := oracles[i%n].BestGreedy()
 			oracles[i%n].ImproveBySwaps(s, 50)
 		}
+		reportObsMetrics(b, reg)
 	})
 }
 
@@ -140,6 +190,8 @@ func BenchmarkStabilityCheck(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(sizeName(p.N()), func(b *testing.B) {
+			reg := benchRegistry(b)
+			defer func() { reportObsMetrics(b, reg) }()
 			for i := 0; i < b.N; i++ {
 				dev, err := core.FindDeviation(w.Spec, w.Profile, core.SumDistances, core.Options{})
 				if err != nil {
@@ -160,6 +212,8 @@ func BenchmarkDynamicsRound(b *testing.B) {
 		b.Run(sizeName(n), func(b *testing.B) {
 			spec := core.MustUniform(n, 2)
 			rng := rand.New(rand.NewSource(4))
+			reg := benchRegistry(b)
+			defer func() { reportObsMetrics(b, reg) }()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()

@@ -4,10 +4,23 @@
 //
 // Usage:
 //
-//	bbcexp [-quick] [-only E4,E12]
+//	bbcexp [-quick] [-only E4,E12] [-json]
+//	       [-journal suite.jsonl] [-progress] [-pprof :6060]
 //
 // -quick skips the multi-minute exhaustive scans; -only restricts the run
 // to a comma-separated list of experiment ids.
+//
+// Output contract: stdout carries only the experiment reports (text, or
+// a JSON array with -json); progress lines and diagnostics go to stderr,
+// so stdout stays machine-parseable.
+//
+// Observability: every report includes its wall time and the solver
+// counter deltas it caused (oracle builds, BFS traversals, profiles
+// checked, ...), so suite runs double as perf baselines. -journal
+// additionally writes one JSONL "experiment" record per report,
+// -progress prints completion/ETA lines to stderr, and -pprof serves
+// net/http/pprof and the counter registry (expvar "bbc_counters") while
+// the suite runs.
 package main
 
 import (
@@ -15,15 +28,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"bbc/internal/exper"
+	"bbc/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "skip the multi-minute exhaustive scans")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	journal := flag.String("journal", "", "write a JSONL run journal to this file")
+	progress := flag.Bool("progress", false, "print progress/ETA to stderr")
+	pprofAddr := flag.String("pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -32,14 +52,48 @@ func main() {
 			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
+	var suite []exper.Experiment
+	for _, e := range exper.Suite() {
+		if len(wanted) == 0 || wanted[e.ID] {
+			suite = append(suite, e)
+			delete(wanted, e.ID)
+		}
+	}
+	if len(wanted) > 0 {
+		var unknown []string
+		for id := range wanted {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "bbcexp: unknown experiment id(s): %s\n", strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+
+	rt, err := obs.StartCLI("bbcexp", *journal, *pprofAddr, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbcexp: %v\n", err)
+		os.Exit(1)
+	}
+	var completed atomic.Int64
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.StartProgress(os.Stderr, "experiments", uint64(len(suite)),
+			func() uint64 { return uint64(completed.Load()) }, time.Second)
+	}
 
 	var selected []*exper.Report
 	failures := 0
-	for _, r := range exper.All(exper.Config{Quick: *quick}) {
-		if len(wanted) > 0 && !wanted[r.ID] {
-			continue
-		}
+	for _, e := range suite {
+		r := exper.Instrumented(e.Run, exper.Config{Quick: *quick})
+		completed.Add(1)
 		selected = append(selected, r)
+		rt.Journal.Event("experiment", map[string]any{
+			"id":       r.ID,
+			"title":    r.Title,
+			"pass":     r.Pass,
+			"wall_ms":  r.WallMS,
+			"counters": r.Counters,
+		})
 		if !*asJSON {
 			fmt.Print(r)
 			fmt.Println()
@@ -48,6 +102,7 @@ func main() {
 			failures++
 		}
 	}
+	prog.Stop()
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -55,6 +110,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bbcexp: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if err := rt.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "bbcexp: %v\n", err)
+		os.Exit(1)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "bbcexp: %d experiment(s) failed\n", failures)

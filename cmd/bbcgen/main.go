@@ -12,6 +12,11 @@
 // The emitted instance carries a profile: empty for uniform/random, the
 // stable construction profile for willows, and the (L,L) intended state
 // for the gadget.
+//
+// Output contract: stdout carries only the instance JSON; progress lines
+// and diagnostics go to stderr. The shared observability flags are
+// -journal out.jsonl (one "generate" record per run), -progress
+// (completion line on stderr) and -pprof addr (pprof + expvar counters).
 package main
 
 import (
@@ -20,9 +25,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"bbc/internal/construct"
 	"bbc/internal/core"
+	"bbc/internal/obs"
 )
 
 func main() {
@@ -37,16 +44,37 @@ func main() {
 		maxLength = flag.Int64("max-length", 0, "random: lengths drawn from 1..max-length (0 = uniform)")
 		maxBudget = flag.Int64("max-budget", 2, "random: budgets drawn from 1..max-budget")
 		seed      = flag.Int64("seed", 1, "random seed")
+		journal   = flag.String("journal", "", "write a JSONL run journal to this file")
+		progress  = flag.Bool("progress", false, "print a completion line to stderr")
+		pprofAddr = flag.String("pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	)
 	flag.Parse()
+	rt, err := obs.StartCLI("bbcgen", *journal, *pprofAddr, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
+		os.Exit(1)
+	}
+	start := time.Now()
 	inst, err := generate(*kind, *n, *k, *h, *l, *maxWeight, *maxCost, *maxLength, *maxBudget, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
 		os.Exit(1)
 	}
+	rt.Journal.Event("generate", map[string]any{
+		"kind": *kind, "n": inst.Spec.N(), "seed": *seed,
+		"wall_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(inst); err != nil {
+		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "bbc: generate %s n=%d done in %s\n",
+			*kind, inst.Spec.N(), time.Since(start).Round(time.Millisecond))
+	}
+	if err := rt.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
 		os.Exit(1)
 	}

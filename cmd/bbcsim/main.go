@@ -5,111 +5,240 @@
 // Usage:
 //
 //	bbcsim -n 12 -k 2 [-agg sum|max] [-sched round-robin|max-cost-first|random]
-//	       [-start empty|random] [-seed 1] [-steps 0] [-trace]
+//	       [-start empty|random] [-seed 1] [-steps 0] [-trace] [-json]
+//	       [-journal run.jsonl] [-progress] [-pprof :6060]
+//
+// Output contract: stdout carries only the final run result — the text
+// summary, or a single JSON object with -json — so it stays
+// machine-parseable. Trace lines (-trace), progress/ETA lines
+// (-progress) and all diagnostics go to stderr.
+//
+// Observability: -journal writes a JSONL run journal (one "move" record
+// per rewiring step plus a final "summary" record, each with wall time
+// and solver counter snapshots), -progress prints a throttled rate/ETA
+// line to stderr, and -pprof serves net/http/pprof and the counter
+// registry (expvar "bbc_counters") at the given address while the walk
+// runs.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"bbc/internal/analysis"
 	"bbc/internal/core"
 	"bbc/internal/dynamics"
+	"bbc/internal/obs"
 )
 
-func main() {
-	var (
-		n     = flag.Int("n", 12, "number of players")
-		k     = flag.Int("k", 2, "per-player link budget")
-		agg   = flag.String("agg", "sum", "cost aggregation: sum or max")
-		sched = flag.String("sched", "round-robin", "scheduler: round-robin, max-cost-first or random")
-		start = flag.String("start", "empty", "starting profile: empty or random")
-		seed  = flag.Int64("seed", 1, "random seed")
-		steps = flag.Int("steps", 0, "max steps (0 = 10·n²)")
-		trace = flag.Bool("trace", false, "print every move")
-		load  = flag.String("load", "", "load a core.Instance JSON file (e.g. from bbcgen) instead of -n/-k/-start")
-	)
-	flag.Parse()
+// options collects every flag; run consumes it so tests can drive the
+// command without a process boundary.
+type options struct {
+	n, k     int
+	agg      string
+	sched    string
+	start    string
+	load     string
+	seed     int64
+	steps    int
+	trace    bool
+	jsonOut  bool
+	journal  string
+	progress bool
+	pprof    string
 
-	var err error
-	if *load != "" {
-		err = runLoaded(*load, *agg, *sched, *seed, *steps, *trace)
-	} else {
-		err = run(*n, *k, *agg, *sched, *start, *seed, *steps, *trace)
-	}
-	if err != nil {
+	stdout, stderr io.Writer
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.n, "n", 12, "number of players")
+	flag.IntVar(&o.k, "k", 2, "per-player link budget")
+	flag.StringVar(&o.agg, "agg", "sum", "cost aggregation: sum or max")
+	flag.StringVar(&o.sched, "sched", "round-robin", "scheduler: round-robin, max-cost-first or random")
+	flag.StringVar(&o.start, "start", "empty", "starting profile: empty or random")
+	flag.StringVar(&o.load, "load", "", "load a core.Instance JSON file (e.g. from bbcgen) instead of -n/-k/-start")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.steps, "steps", 0, "max steps (0 = 10·n²)")
+	flag.BoolVar(&o.trace, "trace", false, "print every move to stderr")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the result as one JSON object on stdout")
+	flag.StringVar(&o.journal, "journal", "", "write a JSONL run journal to this file")
+	flag.BoolVar(&o.progress, "progress", false, "print progress/ETA to stderr")
+	flag.StringVar(&o.pprof, "pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
+	flag.Parse()
+	o.stdout, o.stderr = os.Stdout, os.Stderr
+
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "bbcsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// runLoaded runs a walk on an instance loaded from a JSON file: the
-// instance's profile is the starting configuration.
-func runLoaded(path, aggName, schedName string, seed int64, steps int, trace bool) error {
-	data, err := os.ReadFile(path)
+// run executes one walk according to the options.
+func run(o options) error {
+	agg, err := parseAgg(o.agg)
 	if err != nil {
 		return err
 	}
-	var inst core.Instance
-	if err := json.Unmarshal(data, &inst); err != nil {
-		return err
+	rng := rand.New(rand.NewSource(o.seed))
+
+	var (
+		spec      core.Spec
+		p         core.Profile
+		startName string
+	)
+	if o.load != "" {
+		data, err := os.ReadFile(o.load)
+		if err != nil {
+			return err
+		}
+		var inst core.Instance
+		if err := json.Unmarshal(data, &inst); err != nil {
+			return err
+		}
+		spec, p, startName = inst.Spec, inst.Profile, "loaded:"+o.load
+	} else {
+		uni, err := core.NewUniform(o.n, o.k)
+		if err != nil {
+			return err
+		}
+		spec = uni
+		startName = o.start
+		switch o.start {
+		case "empty":
+			p = core.NewEmptyProfile(o.n)
+		case "random":
+			p = dynamics.RandomStart(rng, o.n, o.k)
+		default:
+			return fmt.Errorf("unknown start %q", o.start)
+		}
 	}
-	agg, err := parseAgg(aggName)
+	n := spec.N()
+	sched, err := parseScheduler(o.sched, n, agg, rng)
 	if err != nil {
 		return err
 	}
-	sched, err := parseScheduler(schedName, inst.Spec.N(), agg, rand.New(rand.NewSource(seed)))
+
+	rt, err := obs.StartCLI("bbcsim", o.journal, o.pprof, o.stderr)
 	if err != nil {
 		return err
 	}
-	res, err := dynamics.Run(inst.Spec, inst.Profile, sched, agg, dynamics.Options{
-		MaxSteps:    steps,
-		DetectLoops: schedName != "random",
-		Trace:       trace,
+	var prog *obs.Progress
+	if o.progress {
+		maxSteps := o.steps
+		if maxSteps <= 0 {
+			maxSteps = 10 * n * n
+		}
+		prog = obs.StartProgress(o.stderr, "walk", uint64(maxSteps),
+			obs.MetricReader(rt.Reg, obs.MWalkSteps), time.Second)
+	}
+	res, err := dynamics.Run(spec, p, sched, agg, dynamics.Options{
+		MaxSteps:    o.steps,
+		DetectLoops: o.sched != "random",
+		Trace:       o.trace,
+		Journal:     rt.Journal,
 	})
+	prog.Stop()
 	if err != nil {
+		rt.Close()
 		return err
 	}
-	report(res, inst.Spec, aggName, schedName, "loaded:"+path, seed, trace)
+
+	out := summarize(res, spec, o, startName, rt.Reg)
+	rt.Journal.Event("summary", map[string]any{
+		"n":                 out.N,
+		"agg":               out.Agg,
+		"scheduler":         out.Scheduler,
+		"start":             out.Start,
+		"seed":              out.Seed,
+		"steps":             out.Steps,
+		"moves":             out.Moves,
+		"outcome":           out.Outcome,
+		"connectivity_step": out.ConnectivityStep,
+		"social_cost":       out.SocialCost,
+	})
+	if err := rt.Close(); err != nil {
+		return err
+	}
+
+	if o.trace {
+		for _, rec := range res.Trace {
+			if rec.Moved {
+				fmt.Fprintf(o.stderr, "step %4d: node %d rewires %v -> %v (cost %d -> %d)\n",
+					rec.Step, rec.Node, rec.From, rec.To, rec.CostBefore, rec.CostAfter)
+			}
+		}
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(o.stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	report(o.stdout, res, out, n)
 	return nil
 }
 
-func run(n, k int, aggName, schedName, startName string, seed int64, steps int, trace bool) error {
-	spec, err := core.NewUniform(n, k)
-	if err != nil {
-		return err
+// result is the machine-readable run outcome (-json, and mirrored by the
+// journal's summary record).
+type result struct {
+	N                 int              `json:"n"`
+	Agg               string           `json:"agg"`
+	Scheduler         string           `json:"scheduler"`
+	Start             string           `json:"start"`
+	Seed              int64            `json:"seed"`
+	Steps             int              `json:"steps"`
+	Moves             int              `json:"moves"`
+	Outcome           string           `json:"outcome"` // converged | loop | exhausted
+	LoopLength        int              `json:"loop_length,omitempty"`
+	LoopMoves         int              `json:"loop_moves,omitempty"`
+	ConnectivityStep  int              `json:"connectivity_step"`
+	MinCost           int64            `json:"min_cost"`
+	MaxCost           int64            `json:"max_cost"`
+	FairnessRatio     float64          `json:"fairness_ratio"`
+	Diameter          int64            `json:"diameter"`
+	StronglyConnected bool             `json:"strongly_connected"`
+	SocialCost        int64            `json:"social_cost"`
+	Counters          map[string]int64 `json:"counters,omitempty"`
+}
+
+func summarize(res *dynamics.Result, spec core.Spec, o options, startName string, reg *obs.Registry) *result {
+	agg, _ := parseAgg(o.agg)
+	out := &result{
+		N:                spec.N(),
+		Agg:              o.agg,
+		Scheduler:        o.sched,
+		Start:            startName,
+		Seed:             o.seed,
+		Steps:            res.Steps,
+		Moves:            res.Moves,
+		ConnectivityStep: res.ConnectivityStep,
+		SocialCost:       core.SocialCost(spec, res.Final, agg),
 	}
-	agg, err := parseAgg(aggName)
-	if err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var p core.Profile
-	switch startName {
-	case "empty":
-		p = core.NewEmptyProfile(n)
-	case "random":
-		p = dynamics.RandomStart(rng, n, k)
+	switch {
+	case res.Converged:
+		out.Outcome = "converged"
+	case res.Loop != nil:
+		out.Outcome = "loop"
+		out.LoopLength = res.Loop.Length
+		out.LoopMoves = len(res.Loop.Moves)
 	default:
-		return fmt.Errorf("unknown start %q", startName)
+		out.Outcome = "exhausted"
 	}
-	sched, err := parseScheduler(schedName, n, agg, rng)
-	if err != nil {
-		return err
+	fair := analysis.MeasureFairness(spec, res.Final, agg)
+	out.MinCost, out.MaxCost, out.FairnessRatio = fair.Min, fair.Max, fair.Ratio
+	if math.IsInf(out.FairnessRatio, 0) {
+		out.FairnessRatio = -1 // JSON has no Inf; -1 marks "min cost is zero"
 	}
-	res, err := dynamics.Run(spec, p, sched, agg, dynamics.Options{
-		MaxSteps:    steps,
-		DetectLoops: schedName != "random",
-		Trace:       trace,
-	})
-	if err != nil {
-		return err
-	}
-	report(res, spec, aggName, schedName, startName, seed, trace)
-	return nil
+	d := analysis.MeasureDiameter(spec, res.Final)
+	out.Diameter, out.StronglyConnected = d.Diameter, d.StronglyConnected
+	out.Counters = reg.Snapshot()
+	return out
 }
 
 func parseAgg(name string) (core.Aggregation, error) {
@@ -136,38 +265,26 @@ func parseScheduler(name string, n int, agg core.Aggregation, rng *rand.Rand) (d
 	}
 }
 
-// report prints the walk outcome summary.
-func report(res *dynamics.Result, spec core.Spec, aggName, schedName, startName string, seed int64, trace bool) {
-	agg, _ := parseAgg(aggName)
-	n := spec.N()
-	if trace {
-		for _, rec := range res.Trace {
-			if rec.Moved {
-				fmt.Printf("step %4d: node %d rewires %v -> %v (cost %d -> %d)\n",
-					rec.Step, rec.Node, rec.From, rec.To, rec.CostBefore, rec.CostAfter)
-			}
-		}
-	}
-	fmt.Printf("(n=%d, %s cost, %s walk from %s, seed %d)\n",
-		n, aggName, schedName, startName, seed)
-	fmt.Printf("steps: %d, moves: %d\n", res.Steps, res.Moves)
-	switch {
-	case res.Converged:
-		fmt.Println("outcome: converged to a pure Nash equilibrium")
-	case res.Loop != nil:
-		fmt.Printf("outcome: certified best-response loop (%d moves over %d steps)\n",
-			len(res.Loop.Moves), res.Loop.Length)
+// report prints the human-readable walk summary.
+func report(w io.Writer, res *dynamics.Result, out *result, n int) {
+	fmt.Fprintf(w, "(n=%d, %s cost, %s walk from %s, seed %d)\n",
+		n, out.Agg, out.Scheduler, out.Start, out.Seed)
+	fmt.Fprintf(w, "steps: %d, moves: %d\n", res.Steps, res.Moves)
+	switch out.Outcome {
+	case "converged":
+		fmt.Fprintln(w, "outcome: converged to a pure Nash equilibrium")
+	case "loop":
+		fmt.Fprintf(w, "outcome: certified best-response loop (%d moves over %d steps)\n",
+			out.LoopMoves, out.LoopLength)
 	default:
-		fmt.Println("outcome: step budget exhausted without convergence or loop")
+		fmt.Fprintln(w, "outcome: step budget exhausted without convergence or loop")
 	}
 	if res.ConnectivityStep >= 0 {
-		fmt.Printf("strong connectivity reached at step %d (n² = %d)\n", res.ConnectivityStep, n*n)
+		fmt.Fprintf(w, "strong connectivity reached at step %d (n² = %d)\n", res.ConnectivityStep, n*n)
 	} else {
-		fmt.Println("strong connectivity never reached")
+		fmt.Fprintln(w, "strong connectivity never reached")
 	}
-	fair := analysis.MeasureFairness(spec, res.Final, agg)
-	fmt.Printf("final costs: min=%d max=%d ratio=%.3f\n", fair.Min, fair.Max, fair.Ratio)
-	d := analysis.MeasureDiameter(spec, res.Final)
-	fmt.Printf("final graph: diameter=%d stronglyConnected=%v socialCost=%d\n",
-		d.Diameter, d.StronglyConnected, core.SocialCost(spec, res.Final, agg))
+	fmt.Fprintf(w, "final costs: min=%d max=%d ratio=%.3f\n", out.MinCost, out.MaxCost, out.FairnessRatio)
+	fmt.Fprintf(w, "final graph: diameter=%d stronglyConnected=%v socialCost=%d\n",
+		out.Diameter, out.StronglyConnected, out.SocialCost)
 }

@@ -1,9 +1,26 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"os"
+	"strings"
 	"testing"
+
+	"bbc/internal/obs"
 )
+
+// testOptions returns a baseline option set writing to in-memory buffers.
+func testOptions(n, k int) (options, *bytes.Buffer, *bytes.Buffer) {
+	var stdout, stderr bytes.Buffer
+	return options{
+		n: n, k: k,
+		agg: "sum", sched: "round-robin", start: "empty",
+		seed: 1, steps: 200,
+		stdout: &stdout, stderr: &stderr,
+	}, &stdout, &stderr
+}
 
 func TestRunValidConfigurations(t *testing.T) {
 	tests := []struct {
@@ -17,16 +34,49 @@ func TestRunValidConfigurations(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := run(6, 1, tt.agg, tt.sched, tt.start, 1, 200, false); err != nil {
+			o, _, _ := testOptions(6, 1)
+			o.agg, o.sched, o.start = tt.agg, tt.sched, tt.start
+			if err := run(o); err != nil {
 				t.Fatal(err)
 			}
 		})
 	}
 }
 
-func TestRunTrace(t *testing.T) {
-	if err := run(5, 1, "sum", "round-robin", "empty", 2, 100, true); err != nil {
+// TestRunTraceToStderr pins the output contract: trace lines go to
+// stderr, the result summary to stdout.
+func TestRunTraceToStderr(t *testing.T) {
+	o, stdout, stderr := testOptions(5, 1)
+	o.seed, o.steps, o.trace = 2, 100, true
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+	if strings.Contains(stdout.String(), "rewires") {
+		t.Error("trace lines leaked to stdout")
+	}
+	if !strings.Contains(stderr.String(), "rewires") {
+		t.Error("trace lines missing from stderr")
+	}
+	if !strings.Contains(stdout.String(), "outcome:") {
+		t.Error("summary missing from stdout")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	o, stdout, _ := testOptions(6, 1)
+	o.jsonOut = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var out result
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if out.N != 6 || out.Outcome == "" || out.Steps <= 0 {
+		t.Errorf("implausible JSON result: %+v", out)
+	}
+	if len(out.Counters) == 0 {
+		t.Error("JSON result carries no registry counters")
 	}
 }
 
@@ -43,7 +93,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := run(tt.n, tt.k, tt.agg, tt.sched, tt.start, 1, 50, false); err == nil {
+			o, _, _ := testOptions(tt.n, tt.k)
+			o.agg, o.sched, o.start, o.steps = tt.agg, tt.sched, tt.start, 50
+			if err := run(o); err == nil {
 				t.Fatal("expected error")
 			}
 		})
@@ -58,16 +110,108 @@ func TestRunLoadedInstance(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := runLoaded(path, "sum", "round-robin", 1, 100, false); err != nil {
+	o, _, _ := testOptions(0, 0)
+	o.load, o.steps = path, 100
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if err := runLoaded(dir+"/missing.json", "sum", "round-robin", 1, 100, false); err == nil {
+	o.load = dir + "/missing.json"
+	if err := run(o); err == nil {
 		t.Fatal("expected error for missing file")
 	}
 	if err := os.WriteFile(path, []byte("{"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := runLoaded(path, "sum", "round-robin", 1, 100, false); err == nil {
+	o.load = path
+	if err := run(o); err == nil {
 		t.Fatal("expected error for corrupt file")
+	}
+}
+
+// TestJournalGolden pins the JSONL journal contract: every line is a
+// valid obs.Record with the stable top-level schema, move records carry
+// the move payload, and the file ends with exactly one summary record
+// whose move count matches the number of move records.
+func TestJournalGolden(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/run.jsonl"
+	o, _, stderr := testOptions(8, 2)
+	o.steps, o.journal, o.progress = 0, path, true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "bbc: walk") {
+		t.Errorf("progress reporter printed nothing to stderr:\n%s", stderr.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var (
+		moves     int
+		summaries int
+		lastType  string
+		seq       int64
+	)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec obs.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		// Top-level schema stability: exactly the known keys.
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(line, &raw); err != nil {
+			t.Fatal(err)
+		}
+		for key := range raw {
+			switch key {
+			case "type", "seq", "elapsed_ms", "data", "counters":
+			default:
+				t.Errorf("unexpected top-level journal key %q", key)
+			}
+		}
+		if rec.Seq != seq {
+			t.Errorf("journal seq gap: got %d, want %d", rec.Seq, seq)
+		}
+		seq++
+		if rec.ElapsedMS < 0 {
+			t.Errorf("negative elapsed_ms in %s record", rec.Type)
+		}
+		if len(rec.Counters) == 0 {
+			t.Errorf("%s record lacks counters", rec.Type)
+		}
+		lastType = rec.Type
+		switch rec.Type {
+		case "move":
+			moves++
+			for _, want := range []string{"step", "node", "from", "to", "cost_before", "cost_after"} {
+				if _, ok := rec.Data[want]; !ok {
+					t.Errorf("move record missing data key %q", want)
+				}
+			}
+		case "summary":
+			summaries++
+			if got := rec.Data["moves"]; got != float64(moves) {
+				t.Errorf("summary moves = %v, want %d", got, moves)
+			}
+			if rec.Data["outcome"] == "" {
+				t.Error("summary lacks outcome")
+			}
+		default:
+			t.Errorf("unexpected record type %q", rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Error("journal recorded no moves for a converging walk")
+	}
+	if summaries != 1 || lastType != "summary" {
+		t.Errorf("journal must end with exactly one summary record (got %d, last %q)", summaries, lastType)
 	}
 }

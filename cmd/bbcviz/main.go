@@ -8,32 +8,59 @@
 //	bbcviz -what figure4 > figure4.dot
 //	bbcviz -what maxpoa -k 3 -l 3 > maxpoa.dot
 //	bbcviz -what ringpath -ring 8 -path 4 > ringpath.dot
+//
+// Output contract: stdout carries only the DOT document; progress lines
+// and diagnostics go to stderr. The shared observability flags are
+// -journal out.jsonl (one "render" record per run), -progress
+// (completion line on stderr) and -pprof addr (pprof + expvar counters).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bbc/internal/construct"
+	"bbc/internal/obs"
 )
 
 func main() {
 	var (
-		what = flag.String("what", "willows", "construction: willows, gadget, figure4, maxpoa or ringpath")
-		k    = flag.Int("k", 2, "budget / tree count (willows, maxpoa)")
-		h    = flag.Int("h", 2, "tree height (willows)")
-		l    = flag.Int("l", 1, "tail length (willows, maxpoa)")
-		ring = flag.Int("ring", 8, "ring size (ringpath)")
-		path = flag.Int("path", 4, "path size (ringpath)")
+		what      = flag.String("what", "willows", "construction: willows, gadget, figure4, maxpoa or ringpath")
+		k         = flag.Int("k", 2, "budget / tree count (willows, maxpoa)")
+		h         = flag.Int("h", 2, "tree height (willows)")
+		l         = flag.Int("l", 1, "tail length (willows, maxpoa)")
+		ring      = flag.Int("ring", 8, "ring size (ringpath)")
+		path      = flag.Int("path", 4, "path size (ringpath)")
+		journal   = flag.String("journal", "", "write a JSONL run journal to this file")
+		progress  = flag.Bool("progress", false, "print a completion line to stderr")
+		pprofAddr = flag.String("pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	)
 	flag.Parse()
+	rt, err := obs.StartCLI("bbcviz", *journal, *pprofAddr, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
+		os.Exit(1)
+	}
+	start := time.Now()
 	dot, err := render(*what, *k, *h, *l, *ring, *path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
 		os.Exit(1)
 	}
+	rt.Journal.Event("render", map[string]any{
+		"what": *what, "bytes": len(dot),
+		"wall_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
 	fmt.Print(dot)
+	if *progress {
+		fmt.Fprintf(os.Stderr, "bbc: render %s done in %s\n", *what, time.Since(start).Round(time.Millisecond))
+	}
+	if err := rt.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func render(what string, k, h, l, ring, path int) (string, error) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"bbc/internal/graph"
+	"bbc/internal/obs"
 )
 
 // infDist is the internal sentinel for "no path"; it is mapped to the
@@ -47,6 +48,9 @@ func NewOracle(spec Spec, g *graph.Digraph, u int, agg Aggregation) *Oracle {
 	if u < 0 || u >= n {
 		panic(fmt.Sprintf("core: node %d out of range", u))
 	}
+	reg := obs.Global()
+	reg.Inc(obs.MOracleBuild)
+	defer reg.Time(obs.MOracleBuildNanos)()
 	o := &Oracle{
 		spec:    spec,
 		u:       u,
@@ -94,6 +98,7 @@ func (o *Oracle) Node() int { return o.u }
 // Evaluate returns u's cost when playing the given (feasible, normalized)
 // strategy against the fixed rest-of-profile.
 func (o *Oracle) Evaluate(s Strategy) int64 {
+	obs.Global().Inc(obs.MOracleEval)
 	n := o.spec.N()
 	min := make([]int64, n)
 	for v := range min {
@@ -192,6 +197,8 @@ func (e *EnumerationLimitError) Error() string {
 // limit caps the number of strategies examined; 0 means no cap. When the
 // cap is hit, an *EnumerationLimitError is returned.
 func (o *Oracle) BestExact(limit int) (Strategy, int64, error) {
+	reg := obs.Global()
+	reg.Inc(obs.MBestExact)
 	n := o.spec.N()
 	budget := o.spec.Budget(o.u)
 
@@ -287,6 +294,7 @@ func (o *Oracle) BestExact(limit int) (Strategy, int64, error) {
 		// dominates it.
 	}
 	dfs(0, budget)
+	reg.Add(obs.MBestExactLeaves, int64(examined))
 	if limitHit {
 		return nil, 0, &EnumerationLimitError{Node: o.u, Limit: limit}
 	}
@@ -305,6 +313,7 @@ func (o *Oracle) BestExact(limit int) (Strategy, int64, error) {
 // gain is zero, since extra links never hurt and maximality matches the
 // exact oracle's search space.
 func (o *Oracle) BestGreedy() (Strategy, int64) {
+	obs.Global().Inc(obs.MBestGreedy)
 	n := o.spec.N()
 	budget := o.spec.Budget(o.u)
 	cur := make([]int64, n)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"bbc/internal/graph"
+	"bbc/internal/obs"
 )
 
 // AllStrategies enumerates feasible strategies for node u. When maximalOnly
@@ -223,9 +224,12 @@ func EnumeratePureNE(spec Spec, agg Aggregation, ss *SearchSpace, maxEquilibria 
 		return len(ss.PerNode[order[a]]) > len(ss.PerNode[order[b]])
 	})
 
+	reg := obs.Global()
 	for {
 		res.Checked++
+		reg.Inc(obs.MProfilesChecked)
 		if profileStable(spec, g, p, agg, order) {
+			reg.Inc(obs.MEquilibriaFound)
 			res.Equilibria = append(res.Equilibria, p.Clone())
 			if maxEquilibria > 0 && len(res.Equilibria) >= maxEquilibria {
 				res.Complete = false
@@ -264,6 +268,7 @@ func setStrategyArcs(spec Spec, g *graph.Digraph, u int, s Strategy) {
 // the first node (in the given check order) that has a strictly improving
 // deviation.
 func profileStable(spec Spec, g *graph.Digraph, p Profile, agg Aggregation, order []int) bool {
+	obs.Global().Inc(obs.MStabilityChecks)
 	for _, u := range order {
 		o := NewOracle(spec, g, u, agg)
 		cur := o.Evaluate(p[u])

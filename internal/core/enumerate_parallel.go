@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"bbc/internal/obs"
 )
 
 // EnumeratePureNEParallel is EnumeratePureNE with the product space
@@ -47,6 +49,9 @@ func EnumeratePureNEParallel(spec Spec, agg Aggregation, ss *SearchSpace, maxEqu
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			reg := obs.Global()
+			reg.Inc(obs.MWorkerTasks)
+			defer reg.Time(obs.MWorkerBusyNanos)()
 			sub := &SearchSpace{PerNode: make([][]Strategy, n)}
 			copy(sub.PerNode, ss.PerNode)
 			sub.PerNode[pivot] = []Strategy{parts[i]}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"bbc/internal/obs"
+)
+
+// withRegistry installs a fresh global registry for the test and restores
+// the previous one afterwards.
+func withRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	prev := obs.SetGlobal(reg)
+	t.Cleanup(func() { obs.SetGlobal(prev) })
+	return reg
+}
+
+// TestObsCountersUnderParallelEnumeration hammers the registry from the
+// partitioned NE scan's workers and checks the counts reconcile with the
+// serial result. Run with -race: this is the instrumentation data-race
+// test for the enumeration path.
+func TestObsCountersUnderParallelEnumeration(t *testing.T) {
+	reg := withRegistry(t)
+	spec := MustUniform(5, 1)
+	ss, err := FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EnumeratePureNEParallel(spec, SumDistances, ss, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Get(obs.MProfilesChecked); got != int64(res.Checked) {
+		t.Errorf("profiles counter = %d, enumeration checked %d", got, res.Checked)
+	}
+	if got := reg.Get(obs.MEquilibriaFound); got != int64(len(res.Equilibria)) {
+		t.Errorf("equilibria counter = %d, found %d", got, len(res.Equilibria))
+	}
+	if got := reg.Get(obs.MStabilityChecks); got != int64(res.Checked) {
+		t.Errorf("stability counter = %d, want %d", got, res.Checked)
+	}
+	if reg.Get(obs.MWorkerTasks) == 0 || reg.Get(obs.MWorkerBusyNanos) == 0 {
+		t.Error("worker utilization counters stayed zero during a parallel scan")
+	}
+	if reg.Get(obs.MBFS) == 0 || reg.Get(obs.MOracleBuild) == 0 {
+		t.Error("oracle/BFS counters stayed zero during enumeration")
+	}
+}
+
+// TestObsCountersUnderParallelDeviationScan drives FindDeviationParallel
+// from several goroutines at once against one shared registry.
+func TestObsCountersUnderParallelDeviationScan(t *testing.T) {
+	reg := withRegistry(t)
+	spec := MustUniform(8, 2)
+	p := NewEmptyProfile(8)
+	const scans = 6
+	var wg sync.WaitGroup
+	for i := 0; i < scans; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev, err := FindDeviationParallel(context.Background(), spec, p, SumDistances, ParallelOptions{Workers: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if dev == nil {
+				t.Error("empty profile must have a deviation")
+			}
+		}()
+	}
+	wg.Wait()
+	// Each scan checks up to n nodes but stops counting reliably at the
+	// per-node granularity: every job that ran incremented MWorkerTasks
+	// and MDeviationChecks once.
+	if tasks := reg.Get(obs.MWorkerTasks); tasks == 0 || tasks > scans*8 {
+		t.Errorf("worker tasks = %d, want in (0, %d]", tasks, scans*8)
+	}
+	if reg.Get(obs.MDeviationChecks) == 0 {
+		t.Error("deviation check counter stayed zero")
+	}
+	if reg.Get(obs.MDeviationsFound) == 0 {
+		t.Error("deviations-found counter stayed zero for an unstable profile")
+	}
+	if got := reg.Get(obs.MStabilityChecks); got != scans {
+		t.Errorf("stability checks = %d, want %d", got, scans)
+	}
+}
+
+// TestEnumerationUnaffectedByRegistry pins that instrumentation does not
+// change results: the same scan with and without a registry returns the
+// same equilibria.
+func TestEnumerationUnaffectedByRegistry(t *testing.T) {
+	spec := MustUniform(4, 1)
+	ss, err := FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := obs.SetGlobal(nil)
+	t.Cleanup(func() { obs.SetGlobal(prev) })
+	bare, err := EnumeratePureNE(spec, SumDistances, ss, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.SetGlobal(obs.NewRegistry())
+	instrumented, err := EnumeratePureNE(spec, SumDistances, ss, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Checked != instrumented.Checked || len(bare.Equilibria) != len(instrumented.Equilibria) {
+		t.Errorf("instrumentation changed results: %d/%d vs %d/%d",
+			bare.Checked, len(bare.Equilibria), instrumented.Checked, len(instrumented.Equilibria))
+	}
+}

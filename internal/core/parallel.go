@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"bbc/internal/obs"
 )
 
 // ParallelOptions extends Options with a worker count for the concurrent
@@ -30,6 +32,7 @@ func (o ParallelOptions) workers() int {
 // returned to keep the result deterministic and identical to the serial
 // scan.
 func FindDeviationParallel(ctx context.Context, spec Spec, p Profile, agg Aggregation, opts ParallelOptions) (*Deviation, error) {
+	obs.Global().Inc(obs.MStabilityChecks)
 	n := spec.N()
 	g := p.Realize(spec)
 
@@ -48,8 +51,12 @@ func FindDeviationParallel(ctx context.Context, spec Spec, p Profile, agg Aggreg
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			reg := obs.Global()
 			for u := range jobs {
+				reg.Inc(obs.MWorkerTasks)
+				stop := reg.Time(obs.MWorkerBusyNanos)
 				dev, err := NodeDeviation(spec, g, p, u, agg, opts.Options)
+				stop()
 				select {
 				case results <- result{node: u, dev: dev, err: err}:
 				case <-ctx.Done():

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bbc/internal/graph"
+	"bbc/internal/obs"
 )
 
 // Method selects the best-response oracle implementation.
@@ -85,6 +86,7 @@ func (d *Deviation) Improvement() int64 { return d.OldCost - d.NewCost }
 // The current cost is computed through the same oracle used for the best
 // response, so the comparison is exact.
 func NodeDeviation(spec Spec, g *graph.Digraph, p Profile, u int, agg Aggregation, opts Options) (*Deviation, error) {
+	obs.Global().Inc(obs.MDeviationChecks)
 	o := NewOracle(spec, g, u, agg)
 	cur := o.Evaluate(p[u])
 	if cur == o.LowerBound() {
@@ -95,6 +97,7 @@ func NodeDeviation(spec Spec, g *graph.Digraph, p Profile, u int, agg Aggregatio
 		return nil, err
 	}
 	if bestCost < cur {
+		obs.Global().Inc(obs.MDeviationsFound)
 		return &Deviation{Node: u, Strategy: best, OldCost: cur, NewCost: bestCost}, nil
 	}
 	return nil, nil
@@ -105,6 +108,7 @@ func NodeDeviation(spec Spec, g *graph.Digraph, p Profile, u int, agg Aggregatio
 // of the verdict requires Method Exact (the default); heuristic methods may
 // miss deviations.
 func FindDeviation(spec Spec, p Profile, agg Aggregation, opts Options) (*Deviation, error) {
+	obs.Global().Inc(obs.MStabilityChecks)
 	g := p.Realize(spec)
 	for u := 0; u < spec.N(); u++ {
 		dev, err := NodeDeviation(spec, g, p, u, agg, opts)

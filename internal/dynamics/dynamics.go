@@ -12,6 +12,7 @@ import (
 
 	"bbc/internal/core"
 	"bbc/internal/graph"
+	"bbc/internal/obs"
 )
 
 // Scheduler picks which node attempts a best-response step next.
@@ -148,6 +149,10 @@ type Options struct {
 	// Result.SocialCostSeries (index 0 is the starting profile's cost),
 	// for convergence plots.
 	RecordSocialCost bool
+	// Journal, when non-nil, receives one "move" record per step that
+	// rewired the graph (type move; data: step, node, from, to,
+	// cost_before, cost_after). Callers emit their own summary record.
+	Journal *obs.Journal
 }
 
 func (o Options) maxSteps(n int) int {
@@ -217,6 +222,7 @@ func Run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregati
 
 	quiet := 0
 	maxSteps := opts.maxSteps(n)
+	reg := obs.Global()
 	for step := 0; step < maxSteps; step++ {
 		if opts.DetectLoops {
 			key := fmt.Sprintf("%d|%s", sched.Phase(step), p.Key())
@@ -249,12 +255,22 @@ func Run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregati
 				relink(spec, g, u, best)
 			}
 			res.Moves++
+			reg.Inc(obs.MWalkMoves)
+			opts.Journal.Event("move", map[string]any{
+				"step":        step,
+				"node":        u,
+				"from":        strategyList(rec.From),
+				"to":          strategyList(rec.To),
+				"cost_before": rec.CostBefore,
+				"cost_after":  rec.CostAfter,
+			})
 			quiet = 0
 		} else {
 			rec.To = p[u]
 			quiet++
 		}
 		res.Steps++
+		reg.Inc(obs.MWalkSteps)
 		if keepHistory {
 			history = append(history, rec)
 		}
@@ -277,6 +293,15 @@ func Run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregati
 		res.Trace = history
 	}
 	return res, nil
+}
+
+// strategyList normalizes a strategy for JSON journaling: the empty
+// strategy serializes as [], never null.
+func strategyList(s core.Strategy) []int {
+	if s == nil {
+		return []int{}
+	}
+	return s
 }
 
 // bestWith dispatches on the configured best-response method.

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"bbc/internal/core"
+	"bbc/internal/obs"
 )
 
 // EnsembleConfig describes a batch of best-response walks over random
@@ -31,6 +32,11 @@ type EnsembleConfig struct {
 	EmptyStart bool
 	// Workers bounds the concurrent trials; 0 means NumCPU.
 	Workers int
+	// Journal, when non-nil, receives one "trial" record per completed
+	// walk (the journal is mutex-protected, so concurrent trials may
+	// share it). Per-move records stay off in ensembles; set Walk.Journal
+	// explicitly to capture them.
+	Journal *obs.Journal
 }
 
 func (c EnsembleConfig) agg() core.Aggregation {
@@ -109,11 +115,24 @@ func RunEnsemble(spec *core.Uniform, cfg EnsembleConfig) (*EnsembleStats, error)
 				outcomes[trial] = outcome{err: err}
 				return
 			}
+			reg := obs.Global()
+			reg.Inc(obs.MWorkerTasks)
+			stop := reg.Time(obs.MWorkerBusyNanos)
 			res, err := Run(spec, start, sched, cfg.agg(), cfg.Walk)
+			stop()
 			if err != nil {
 				outcomes[trial] = outcome{err: err}
 				return
 			}
+			reg.Inc(obs.MTrials)
+			cfg.Journal.Event("trial", map[string]any{
+				"trial":             trial,
+				"steps":             res.Steps,
+				"moves":             res.Moves,
+				"converged":         res.Converged,
+				"looped":            res.Loop != nil,
+				"connectivity_step": res.ConnectivityStep,
+			})
 			outcomes[trial] = outcome{
 				converged:    res.Converged,
 				looped:       res.Loop != nil,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bbc/internal/core"
+	"bbc/internal/obs"
 )
 
 // SimultaneousResult reports a synchronous best-response run, where every
@@ -33,6 +34,15 @@ type SimultaneousLoop struct {
 	Start core.Profile
 }
 
+// SimOptions tunes RunSimultaneousOpts.
+type SimOptions struct {
+	// MaxRounds bounds the run; 0 means 1000.
+	MaxRounds int
+	// Journal, when non-nil, receives one "round" record per synchronous
+	// round (data: round, movers).
+	Journal *obs.Journal
+}
+
 // RunSimultaneous executes synchronous best-response dynamics: each round,
 // every player computes its exact best response against the *current*
 // profile, and all strictly-improving players switch simultaneously. The
@@ -40,9 +50,15 @@ type SimultaneousLoop struct {
 // enters a cycle within the number of distinct profiles; maxRounds bounds
 // the run (0 means 1000).
 func RunSimultaneous(spec core.Spec, start core.Profile, agg core.Aggregation, maxRounds int) (*SimultaneousResult, error) {
+	return RunSimultaneousOpts(spec, start, agg, SimOptions{MaxRounds: maxRounds})
+}
+
+// RunSimultaneousOpts is RunSimultaneous with observability hooks.
+func RunSimultaneousOpts(spec core.Spec, start core.Profile, agg core.Aggregation, opts SimOptions) (*SimultaneousResult, error) {
 	if err := start.Validate(spec); err != nil {
 		return nil, fmt.Errorf("dynamics: invalid start profile: %w", err)
 	}
+	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 1000
 	}
@@ -50,10 +66,13 @@ func RunSimultaneous(spec core.Spec, start core.Profile, agg core.Aggregation, m
 	p := start.Clone()
 	seen := map[string]int{p.Key(): 0}
 	res := &SimultaneousResult{}
+	reg := obs.Global()
 	for round := 1; round <= maxRounds; round++ {
+		reg.Inc(obs.MSimRounds)
 		g := p.Realize(spec)
 		next := p.Clone()
 		moved := false
+		movers := 0
 		for u := 0; u < n; u++ {
 			o := core.NewOracle(spec, g, u, agg)
 			cur := o.Evaluate(p[u])
@@ -67,9 +86,11 @@ func RunSimultaneous(spec core.Spec, start core.Profile, agg core.Aggregation, m
 			if bestCost < cur {
 				next[u] = best
 				moved = true
+				movers++
 			}
 		}
 		res.Rounds = round
+		opts.Journal.Event("round", map[string]any{"round": round, "movers": movers})
 		if !moved {
 			res.Converged = true
 			res.Final = p

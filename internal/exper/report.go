@@ -7,7 +7,11 @@ package exper
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
+	"time"
+
+	"bbc/internal/obs"
 )
 
 // Report is the outcome of one experiment.
@@ -23,6 +27,13 @@ type Report struct {
 	Findings []string
 	// Pass reports whether the experiment's reproduction criteria held.
 	Pass bool
+	// WallMS is the experiment's wall time in milliseconds, filled in by
+	// All so bbcexp runs double as perf baselines.
+	WallMS float64
+	// Counters holds the observability registry deltas attributable to
+	// this experiment (work done: oracle builds, BFS traversals, profiles
+	// checked, ...). Empty when no registry is installed.
+	Counters map[string]int64
 }
 
 func (r *Report) addRow(format string, args ...interface{}) {
@@ -47,6 +58,27 @@ func (r *Report) String() string {
 	for _, f := range r.Findings {
 		fmt.Fprintf(&b, "  * %s\n", f)
 	}
+	if r.WallMS > 0 {
+		fmt.Fprintf(&b, "  ~ wall %.1fms%s\n", r.WallMS, countersLine(r.Counters))
+	}
+	return b.String()
+}
+
+// countersLine renders counter deltas compactly and deterministically.
+func countersLine(counters map[string]int64) string {
+	if len(counters) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(" |")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, counters[k])
+	}
 	return b.String()
 }
 
@@ -58,16 +90,53 @@ type Config struct {
 	Quick bool
 }
 
-// All runs every experiment in order: E1–E16 reproduce the paper's
-// figures and theorems, E17–E20 are extension experiments (the open
+// Experiment couples an experiment id with its runner, so callers can
+// select experiments without running them first.
+type Experiment struct {
+	ID  string
+	Run func(Config) *Report
+}
+
+// Suite lists every experiment in order: E1–E16 reproduce the paper's
+// figures and theorems, E17–E23 are extension experiments (the open
 // conjecture probe, best-response-graph structure, the solver ablation,
-// and gadget weight-space robustness).
-func All(cfg Config) []*Report {
-	return []*Report{
-		E1(cfg), E2(cfg), E3(cfg), E4(cfg), E5(cfg), E6(cfg), E7(cfg), E8(cfg),
-		E9(cfg), E10(cfg), E11(cfg), E12(cfg), E13(cfg), E14(cfg), E15(cfg), E16(cfg),
-		E17(cfg), E18(cfg), E19(cfg), E20(cfg), E21(cfg), E22(cfg), E23(cfg),
+// gadget weight-space robustness, synchronous dynamics, willows padding,
+// and overlay pressure).
+func Suite() []Experiment {
+	return []Experiment{
+		{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5},
+		{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
+		{"E11", E11}, {"E12", E12}, {"E13", E13}, {"E14", E14},
+		{"E15", E15}, {"E16", E16}, {"E17", E17}, {"E18", E18},
+		{"E19", E19}, {"E20", E20}, {"E21", E21}, {"E22", E22},
+		{"E23", E23},
 	}
+}
+
+// All runs the whole suite. Each report is annotated with its wall time
+// and, when an obs registry is installed, the counter deltas of the work
+// it performed.
+func All(cfg Config) []*Report {
+	suite := Suite()
+	out := make([]*Report, 0, len(suite))
+	for _, e := range suite {
+		out = append(out, Instrumented(e.Run, cfg))
+	}
+	return out
+}
+
+// Instrumented runs one experiment and annotates its report with wall
+// time and the global registry's counter deltas. Deltas are attributable
+// to the experiment only when nothing else drives the registry
+// concurrently, which holds for the serial suite runner.
+func Instrumented(run func(Config) *Report, cfg Config) *Report {
+	reg := obs.Global()
+	before := reg.Snapshot()
+	t0 := time.Now()
+	r := run(cfg)
+	r.WallMS = float64(time.Since(t0).Microseconds()) / 1000
+	r.Counters = obs.Diff(before, reg.Snapshot())
+	return r
 }
 
 // newSeededRand returns a rand.Rand seeded deterministically; a shared

@@ -1,6 +1,10 @@
 package graph
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"bbc/internal/obs"
+)
 
 // Unreachable is the distance reported for nodes with no path from the
 // source. Callers in the game layer translate it into the disconnection
@@ -19,6 +23,7 @@ type Options struct {
 // regardless of its stored length. Unreached nodes get Unreachable.
 func (g *Digraph) BFS(src int, opt Options) []int64 {
 	g.check(src)
+	obs.Global().Inc(obs.MBFS)
 	dist := make([]int64, g.N())
 	for i := range dist {
 		dist[i] = Unreachable
@@ -77,6 +82,11 @@ func (g *Digraph) dijkstraSeeded(seeds []Arc, opt Options) []int64 {
 // frontier is the shared multi-source shortest-path core. When unit is
 // true, arc lengths are treated as 1 (BFS semantics with offsets).
 func (g *Digraph) frontier(seeds []Arc, opt Options, unit bool) []int64 {
+	if unit {
+		obs.Global().Inc(obs.MBFS)
+	} else {
+		obs.Global().Inc(obs.MDijkstra)
+	}
 	dist := make([]int64, g.N())
 	done := make([]bool, g.N())
 	for i := range dist {

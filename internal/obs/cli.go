@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Runtime bundles the observability facilities a CLI enabled: the
+// process-wide registry (always installed) and the optional journal. The
+// zero value / nil pointer is inert, so error paths can Close it blindly.
+type Runtime struct {
+	Reg     *Registry
+	Journal *Journal
+}
+
+// StartCLI installs a fresh global registry and wires the standard
+// observability flags shared by the bbc commands: journalPath ("" = off)
+// opens a JSONL run journal, pprofAddr ("" = off) starts the
+// pprof/expvar debug server and announces its address on stderr. The
+// caller owns Close, which flushes the journal and surfaces its first
+// write error.
+func StartCLI(name, journalPath, pprofAddr string, stderr io.Writer) (*Runtime, error) {
+	rt := &Runtime{Reg: NewRegistry()}
+	SetGlobal(rt.Reg)
+	if journalPath != "" {
+		j, err := OpenJournal(journalPath, rt.Reg)
+		if err != nil {
+			return nil, err
+		}
+		rt.Journal = j
+	}
+	if pprofAddr != "" {
+		addr, err := ServeDebug(pprofAddr)
+		if err != nil {
+			rt.Journal.Close()
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "%s: debug server at http://%s/debug/pprof/ (counters at /debug/vars)\n", name, addr)
+	}
+	return rt, nil
+}
+
+// Close flushes the journal (when one was opened) and returns its first
+// write error. Safe on a nil runtime.
+func (rt *Runtime) Close() error {
+	if rt == nil {
+		return nil
+	}
+	return rt.Journal.Close()
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Record is one line of a JSONL run journal. The schema is stable:
+// every line carries type, seq and elapsed_ms; data holds the
+// event-specific payload and counters a registry snapshot at write time.
+// encoding/json sorts map keys, so records marshal deterministically for
+// a given payload.
+type Record struct {
+	// Type names the event: "move", "round", "trial", "experiment",
+	// "generate", "render", "summary", ...
+	Type string `json:"type"`
+	// Seq is the 0-based write sequence number within the journal.
+	Seq int64 `json:"seq"`
+	// ElapsedMS is wall time since the journal was opened.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Data is the event payload.
+	Data map[string]any `json:"data,omitempty"`
+	// Counters is the registry snapshot at write time, when a registry is
+	// attached.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Journal writes self-describing JSONL run records. It is safe for
+// concurrent use (ensemble trials share one journal); a nil *Journal
+// drops every event, so instrumented code never branches on "is
+// journaling on".
+type Journal struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer
+	reg    *Registry
+	start  time.Time
+	seq    int64
+	err    error
+}
+
+// NewJournal writes records to w, snapshotting reg (which may be nil)
+// into each record.
+func NewJournal(w io.Writer, reg *Registry) *Journal {
+	return &Journal{w: w, reg: reg, start: time.Now()}
+}
+
+// OpenJournal creates (truncating) the JSONL file at path.
+func OpenJournal(path string, reg *Registry) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open journal: %w", err)
+	}
+	j := NewJournal(f, reg)
+	j.closer = f
+	return j, nil
+}
+
+// Event appends one record. The first write error is retained and
+// surfaced by Close; later events after an error are dropped. No-op on a
+// nil journal.
+func (j *Journal) Event(typ string, data map[string]any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	rec := Record{
+		Type:      typ,
+		Seq:       j.seq,
+		ElapsedMS: float64(time.Since(j.start).Microseconds()) / 1000,
+		Data:      data,
+		Counters:  j.reg.Snapshot(),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.err = fmt.Errorf("obs: marshal journal record: %w", err)
+		return
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		j.err = fmt.Errorf("obs: write journal record: %w", err)
+		return
+	}
+	j.seq++
+}
+
+// Len returns the number of records written so far.
+func (j *Journal) Len() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Close flushes and closes the underlying file (when the journal owns
+// one) and returns the first write error, if any. No-op on nil.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closer != nil {
+		if err := j.closer.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.closer = nil
+	}
+	return j.err
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalNilIsInert(t *testing.T) {
+	var j *Journal
+	j.Event("move", map[string]any{"x": 1})
+	if j.Len() != 0 {
+		t.Error("nil journal reported records")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("nil journal Close = %v", err)
+	}
+}
+
+func TestJournalSchema(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	reg.Add(MBFS, 7)
+	j := NewJournal(&buf, reg)
+	j.Event("move", map[string]any{"step": 1, "node": 2})
+	j.Event("summary", nil)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var types []string
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		types = append(types, rec.Type)
+		if rec.Counters["graph.bfs"] != 7 {
+			t.Errorf("record lacks counter snapshot: %v", rec.Counters)
+		}
+		if rec.ElapsedMS < 0 {
+			t.Error("negative elapsed_ms")
+		}
+	}
+	if len(types) != 2 || types[0] != "move" || types[1] != "summary" {
+		t.Errorf("record types = %v", types)
+	}
+}
+
+func TestJournalConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, nil)
+	const writers, events = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				j.Event("trial", map[string]any{"writer": w, "i": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := j.Len(); got != writers*events {
+		t.Fatalf("journal recorded %d events, want %d", got, writers*events)
+	}
+	// Every line must be intact JSON with a distinct in-order seq.
+	sc := bufio.NewScanner(&buf)
+	var lines int64
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("interleaved/corrupt line %q: %v", sc.Text(), err)
+		}
+		if rec.Seq != lines {
+			t.Fatalf("seq %d at line %d", rec.Seq, lines)
+		}
+		lines++
+	}
+	if lines != writers*events {
+		t.Fatalf("found %d lines, want %d", lines, writers*events)
+	}
+}
+
+func TestOpenJournalWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Event("summary", map[string]any{"ok": true})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"type":"summary"`) {
+		t.Errorf("journal file content: %s", data)
+	}
+	if _, err := OpenJournal(filepath.Join(t.TempDir(), "no/such/dir/x.jsonl"), nil); err == nil {
+		t.Error("expected error for unwritable journal path")
+	}
+}
+
+// failWriter fails every write.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJournalSurfacesWriteError(t *testing.T) {
+	j := NewJournal(failWriter{}, nil)
+	j.Event("move", nil)
+	j.Event("move", nil) // dropped after first error
+	if err := j.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Close = %v, want disk full error", err)
+	}
+	if j.Len() != 0 {
+		t.Error("failed writes must not advance seq")
+	}
+}
+
+func TestProgressEmitsFinalLine(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	var n int64 = 500
+	p := StartProgress(w, "enumerate", 1000, func() uint64 { return uint64(n) }, 10*time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "enumerate") {
+		t.Fatalf("no progress output: %q", out)
+	}
+	if !strings.Contains(out, "done") {
+		t.Errorf("missing final line: %q", out)
+	}
+	if !strings.Contains(out, "%") {
+		t.Errorf("missing percentage while total known: %q", out)
+	}
+	var nilP *Progress
+	nilP.Stop() // must not panic
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestHumanFormats(t *testing.T) {
+	cases := map[uint64]string{
+		12:            "12",
+		9_999:         "9999",
+		123_456:       "123.5k",
+		1_234_567:     "1.23M",
+		2_500_000_000: "2.50G",
+	}
+	for in, want := range cases {
+		if got := humanCount(in); got != want {
+			t.Errorf("humanCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if got := humanRate(1500); got != "1.5k" {
+		t.Errorf("humanRate(1500) = %q", got)
+	}
+}

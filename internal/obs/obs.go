@@ -1,0 +1,219 @@
+// Package obs is the observability substrate of the BBC solver stack:
+// race-safe atomic counters and timers collected in a Registry, a
+// structured JSONL run journal, and a throttled progress/ETA reporter.
+//
+// Everything is nil-safe: a nil *Registry, *Journal or *Progress accepts
+// every call as a no-op, so instrumented hot paths (oracle builds, BFS
+// traversals, profile enumeration) pay only a nil check when observation
+// is off. The package depends on the standard library only and sits below
+// every other package in the repository.
+//
+// The registry is global-but-injectable: library code reads Global() at
+// operation entry, CLIs and tests install one with SetGlobal. The global
+// defaults to nil (observation off), so test and benchmark baselines are
+// unaffected unless a registry is explicitly installed.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metric identifies one counter in a Registry. Counter metrics count
+// events; *Nanos metrics accumulate wall time in nanoseconds.
+type Metric int
+
+const (
+	// MBFS counts unit-length shortest-path traversals (BFS and
+	// BFS-frontier), the innermost primitive of the best-response oracle.
+	MBFS Metric = iota
+	// MDijkstra counts weighted shortest-path traversals.
+	MDijkstra
+	// MOracleBuild counts best-response oracle constructions (each is n−1
+	// node-deleted traversals).
+	MOracleBuild
+	// MOracleBuildNanos accumulates wall time spent building oracles.
+	MOracleBuildNanos
+	// MOracleEval counts strategy evaluations against an oracle.
+	MOracleEval
+	// MBestExact counts exact best-response enumerations.
+	MBestExact
+	// MBestExactLeaves counts maximal strategies examined across all exact
+	// enumerations (the pruned search-tree leaf count).
+	MBestExactLeaves
+	// MBestGreedy counts greedy best-response computations.
+	MBestGreedy
+	// MStabilityChecks counts whole-profile stability tests.
+	MStabilityChecks
+	// MDeviationChecks counts per-node deviation checks.
+	MDeviationChecks
+	// MDeviationsFound counts strictly improving deviations discovered.
+	MDeviationsFound
+	// MProfilesChecked counts profiles scanned by NE enumeration.
+	MProfilesChecked
+	// MEquilibriaFound counts pure Nash equilibria discovered.
+	MEquilibriaFound
+	// MWalkSteps counts best-response walk steps attempted.
+	MWalkSteps
+	// MWalkMoves counts walk steps that rewired the graph.
+	MWalkMoves
+	// MSimRounds counts synchronous best-response rounds.
+	MSimRounds
+	// MTrials counts completed ensemble trials.
+	MTrials
+	// MWorkerTasks counts tasks executed by parallel workers.
+	MWorkerTasks
+	// MWorkerBusyNanos accumulates worker busy time; divided by wall time ×
+	// worker count it yields pool utilization.
+	MWorkerBusyNanos
+
+	metricCount // sentinel, keep last
+)
+
+// metricNames are the stable external names used in snapshots, journals,
+// expvar exports and benchmark metrics. Renaming one is a schema change.
+var metricNames = [metricCount]string{
+	MBFS:              "graph.bfs",
+	MDijkstra:         "graph.dijkstra",
+	MOracleBuild:      "oracle.builds",
+	MOracleBuildNanos: "oracle.build_nanos",
+	MOracleEval:       "oracle.evals",
+	MBestExact:        "oracle.best_exact",
+	MBestExactLeaves:  "oracle.best_exact_leaves",
+	MBestGreedy:       "oracle.best_greedy",
+	MStabilityChecks:  "core.stability_checks",
+	MDeviationChecks:  "core.deviation_checks",
+	MDeviationsFound:  "core.deviations_found",
+	MProfilesChecked:  "core.profiles_checked",
+	MEquilibriaFound:  "core.equilibria_found",
+	MWalkSteps:        "dynamics.steps",
+	MWalkMoves:        "dynamics.moves",
+	MSimRounds:        "dynamics.sim_rounds",
+	MTrials:           "dynamics.trials",
+	MWorkerTasks:      "parallel.tasks",
+	MWorkerBusyNanos:  "parallel.busy_nanos",
+}
+
+// String returns the metric's stable external name.
+func (m Metric) String() string {
+	if m < 0 || m >= metricCount {
+		return "unknown"
+	}
+	return metricNames[m]
+}
+
+// Metrics returns every defined metric, in declaration order.
+func Metrics() []Metric {
+	out := make([]Metric, metricCount)
+	for i := range out {
+		out[i] = Metric(i)
+	}
+	return out
+}
+
+// Registry is a fixed set of race-safe counters. The zero value is ready
+// to use; a nil *Registry ignores all updates and reads as empty.
+type Registry struct {
+	counters [metricCount]atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add adds n to the metric. No-op on a nil registry.
+func (r *Registry) Add(m Metric, n int64) {
+	if r != nil {
+		r.counters[m].Add(n)
+	}
+}
+
+// Inc adds 1 to the metric. No-op on a nil registry.
+func (r *Registry) Inc(m Metric) {
+	if r != nil {
+		r.counters[m].Add(1)
+	}
+}
+
+// Get returns the metric's current value; 0 on a nil registry.
+func (r *Registry) Get(m Metric) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[m].Load()
+}
+
+// noopStop is the shared timer closure returned when timing is off.
+var noopStop = func() {}
+
+// Time starts a timer for a *Nanos metric and returns the stop function
+// that records the elapsed wall time. On a nil registry the returned stop
+// is a shared no-op and no clock is read.
+func (r *Registry) Time(m Metric) func() {
+	if r == nil {
+		return noopStop
+	}
+	t0 := time.Now()
+	return func() { r.counters[m].Add(time.Since(t0).Nanoseconds()) }
+}
+
+// Reset zeroes every counter. No-op on a nil registry.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.counters {
+		r.counters[i].Store(0)
+	}
+}
+
+// Snapshot returns the current nonzero counters keyed by stable metric
+// name. A nil registry snapshots to nil.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]int64)
+	for i := range r.counters {
+		if v := r.counters[i].Load(); v != 0 {
+			out[metricNames[i]] = v
+		}
+	}
+	return out
+}
+
+// Diff returns after−before per key, omitting zero deltas. Either map may
+// be nil.
+func Diff(before, after map[string]int64) map[string]int64 {
+	if len(after) == 0 && len(before) == 0 {
+		return nil
+	}
+	out := make(map[string]int64)
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	for k, v := range before {
+		if _, ok := after[k]; !ok && v != 0 {
+			out[k] = -v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// global holds the process-wide registry; nil means observation off.
+var global atomic.Pointer[Registry]
+
+// Global returns the installed process-wide registry, or nil when
+// observation is off. Library hot paths read it once per operation.
+func Global() *Registry { return global.Load() }
+
+// SetGlobal installs r as the process-wide registry (nil turns
+// observation off) and returns the previous registry so callers — tests
+// in particular — can restore it.
+func SetGlobal(r *Registry) *Registry {
+	return global.Swap(r)
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Inc(MBFS)
+	r.Add(MOracleEval, 10)
+	r.Reset()
+	r.Time(MOracleBuildNanos)()
+	if got := r.Get(MBFS); got != 0 {
+		t.Errorf("nil registry Get = %d, want 0", got)
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Errorf("nil registry Snapshot = %v, want nil", snap)
+	}
+}
+
+func TestRegistryCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Inc(MProfilesChecked)
+				r.Add(MOracleEval, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get(MProfilesChecked); got != workers*perWorker {
+		t.Errorf("profiles = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Get(MOracleEval); got != 2*workers*perWorker {
+		t.Errorf("evals = %d, want %d", got, 2*workers*perWorker)
+	}
+	snap := r.Snapshot()
+	if snap["core.profiles_checked"] != workers*perWorker {
+		t.Errorf("snapshot mismatch: %v", snap)
+	}
+	if _, ok := snap["graph.bfs"]; ok {
+		t.Error("snapshot should omit zero counters")
+	}
+	r.Reset()
+	if got := r.Get(MProfilesChecked); got != 0 {
+		t.Errorf("after Reset, profiles = %d", got)
+	}
+}
+
+func TestRegistryTime(t *testing.T) {
+	r := NewRegistry()
+	stop := r.Time(MWorkerBusyNanos)
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if got := r.Get(MWorkerBusyNanos); got < int64(time.Millisecond) {
+		t.Errorf("timer recorded %dns, want >= 1ms", got)
+	}
+}
+
+func TestMetricNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Metrics() {
+		name := m.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("metric %d has no stable name", m)
+		}
+		if seen[name] {
+			t.Errorf("duplicate metric name %q", name)
+		}
+		seen[name] = true
+	}
+	if Metric(-1).String() != "unknown" || Metric(metricCount).String() != "unknown" {
+		t.Error("out-of-range metrics must stringify as unknown")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	before := map[string]int64{"a": 1, "b": 5, "gone": 3}
+	after := map[string]int64{"a": 4, "b": 5, "new": 2}
+	d := Diff(before, after)
+	want := map[string]int64{"a": 3, "new": 2, "gone": -3}
+	if len(d) != len(want) {
+		t.Fatalf("Diff = %v, want %v", d, want)
+	}
+	for k, v := range want {
+		if d[k] != v {
+			t.Errorf("Diff[%q] = %d, want %d", k, d[k], v)
+		}
+	}
+	if Diff(nil, nil) != nil {
+		t.Error("Diff(nil, nil) should be nil")
+	}
+	if d := Diff(map[string]int64{"a": 1}, map[string]int64{"a": 1}); d != nil {
+		t.Errorf("identical maps should diff to nil, got %v", d)
+	}
+}
+
+func TestGlobalSwapAndRestore(t *testing.T) {
+	r := NewRegistry()
+	prev := SetGlobal(r)
+	defer SetGlobal(prev)
+	if Global() != r {
+		t.Fatal("Global did not return the installed registry")
+	}
+	Global().Inc(MBFS)
+	if r.Get(MBFS) != 1 {
+		t.Error("increment through Global missed the registry")
+	}
+	if got := SetGlobal(prev); got != r {
+		t.Error("SetGlobal did not return the displaced registry")
+	}
+	SetGlobal(prev) // leave state as we found it for the deferred restore
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// publishOnce guards the expvar registration, which panics on duplicates.
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP debug server on addr (e.g. ":6060") exposing
+// the standard pprof endpoints under /debug/pprof/ and expvar under
+// /debug/vars, with the process-wide registry exported as "bbc_counters".
+// It listens synchronously (so bad addresses fail fast), serves in the
+// background for the life of the process, and returns the bound address.
+func ServeDebug(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("bbc_counters", expvar.Func(func() any {
+			snap := Global().Snapshot()
+			if snap == nil {
+				snap = map[string]int64{}
+			}
+			return snap
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen: %w", err)
+	}
+	go func() {
+		// The server lives until process exit; Serve only returns on
+		// listener failure, which there is no caller left to report to.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeDebugExportsCounters(t *testing.T) {
+	reg := NewRegistry()
+	prev := SetGlobal(reg)
+	defer SetGlobal(prev)
+	reg.Add(MProfilesChecked, 42)
+
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen in this environment: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Counters map[string]int64 `json:"bbc_counters"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if vars.Counters["core.profiles_checked"] != 42 {
+		t.Errorf("exported counters = %v, want core.profiles_checked=42", vars.Counters)
+	}
+
+	// The pprof index must be mounted too.
+	resp2, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp2.StatusCode)
+	}
+
+	if _, err := ServeDebug("256.256.256.256:1"); err == nil {
+		t.Error("expected error for bad listen address")
+	}
+}
