@@ -4,11 +4,23 @@
 //
 // Usage:
 //
-//	bbcexp [-quick] [-only E4,E12] [-json]
+//	bbcexp [-quick] [-only E4,E12] [-json] [-timeout 0]
+//	       [-checkpoint suite.ckpt] [-resume suite.ckpt]
 //	       [-journal suite.jsonl] [-progress] [-pprof :6060]
 //
 // -quick skips the multi-minute exhaustive scans; -only restricts the run
 // to a comma-separated list of experiment ids.
+//
+// Run control: SIGINT/SIGTERM stop the suite gracefully — the running
+// experiment observes the cancellation (long scans and ensembles return
+// partial, failing reports instead of hanging), no further experiments
+// are scheduled, the reports collected so far are printed, and the
+// journal receives a final run_status record. -timeout bounds the whole
+// suite's wall time the same way. -checkpoint persists every completed
+// experiment report (atomic write-rename, after each experiment);
+// -resume replays those reports and runs only the remaining
+// experiments. Exit codes: 0 full pass, 1 experiment failure or error,
+// 2 usage, 3 deadline truncation, 130 interrupted by signal.
 //
 // Output contract: stdout carries only the experiment reports (text, or
 // a JSON array with -json); progress lines and diagnostics go to stderr,
@@ -17,16 +29,20 @@
 // Observability: every report includes its wall time and the solver
 // counter deltas it caused (oracle builds, BFS traversals, profiles
 // checked, ...), so suite runs double as perf baselines. -journal
-// additionally writes one JSONL "experiment" record per report,
-// -progress prints completion/ETA lines to stderr, and -pprof serves
-// net/http/pprof and the counter registry (expvar "bbc_counters") while
-// the suite runs.
+// additionally writes one JSONL "experiment" record per report plus
+// "checkpoint" and final "run_status" records, -progress prints
+// completion/ETA lines to stderr, and -pprof serves net/http/pprof and
+// the counter registry (expvar "bbc_counters") while the suite runs.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -35,26 +51,221 @@ import (
 
 	"bbc/internal/exper"
 	"bbc/internal/obs"
+	"bbc/internal/runctl"
 )
 
-func main() {
-	quick := flag.Bool("quick", false, "skip the multi-minute exhaustive scans")
-	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
-	journal := flag.String("journal", "", "write a JSONL run journal to this file")
-	progress := flag.Bool("progress", false, "print progress/ETA to stderr")
-	pprofAddr := flag.String("pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
-	flag.Parse()
+// suiteCheckpointKind names the bbcexp snapshot schema inside the
+// runctl.Checkpoint envelope.
+const suiteCheckpointKind = "suite"
 
+// suiteCheckpoint is the experiment-granular resume state: every
+// completed experiment's full report, keyed by id.
+type suiteCheckpoint struct {
+	Reports map[string]*exper.Report `json:"reports"`
+}
+
+// options collects every flag; run consumes it so tests can drive the
+// command without a process boundary.
+type options struct {
+	quick      bool
+	only       string
+	jsonOut    bool
+	timeout    time.Duration
+	checkpoint string
+	resume     string
+	journal    string
+	progress   bool
+	pprof      string
+
+	stdout, stderr io.Writer
+}
+
+func main() {
+	var o options
+	flag.BoolVar(&o.quick, "quick", false, "skip the multi-minute exhaustive scans")
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to run (default: all)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of text")
+	flag.DurationVar(&o.timeout, "timeout", 0, "wall-time budget for the whole suite, e.g. 10m (0 = none)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "persist completed experiment reports to this file after each experiment")
+	flag.StringVar(&o.resume, "resume", "", "replay completed reports from this snapshot and run only the rest")
+	flag.StringVar(&o.journal, "journal", "", "write a JSONL run journal to this file")
+	flag.BoolVar(&o.progress, "progress", false, "print progress/ETA to stderr")
+	flag.StringVar(&o.pprof, "pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
+	flag.Parse()
+	o.stdout, o.stderr = os.Stdout, os.Stderr
+
+	ctx, signalled, stopSignals := runctl.SignalContext(context.Background())
+	status, failures, err := run(ctx, o)
+	stopSignals()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbcexp: %v\n", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(runctl.ExitUsage)
+		}
+		os.Exit(runctl.ExitError)
+	}
+	if sig := signalled(); sig != nil {
+		fmt.Fprintf(os.Stderr, "bbcexp: interrupted by %v; partial results flushed\n", sig)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bbcexp: %d experiment(s) failed\n", failures)
+		os.Exit(runctl.ExitError)
+	}
+	os.Exit(runctl.ExitCode(status))
+}
+
+// run executes the selected experiments under run control and reports
+// how the suite ended plus the number of failing experiments.
+func run(ctx context.Context, o options) (runctl.Status, int, error) {
+	suite, err := selectSuite(o.only)
+	if err != nil {
+		return runctl.StatusComplete, 0, err
+	}
+	ctx, cancelTimeout := runctl.WithDeadline(ctx, o.timeout)
+	defer cancelTimeout()
+
+	fp := suiteFingerprint(o.quick, suite)
+	done := map[string]*exper.Report{}
+	if o.resume != "" {
+		env, err := runctl.Load(o.resume)
+		if err != nil {
+			return runctl.StatusComplete, 0, err
+		}
+		var cp suiteCheckpoint
+		if err := env.Decode(suiteCheckpointKind, fp, &cp); err != nil {
+			return runctl.StatusComplete, 0, err
+		}
+		done = cp.Reports
+		if done == nil {
+			done = map[string]*exper.Report{}
+		}
+		fmt.Fprintf(o.stderr, "bbcexp: resuming suite from %s (%d of %d experiments already done)\n",
+			o.resume, len(done), len(suite))
+	}
+
+	rt, err := obs.StartCLI("bbcexp", o.journal, o.pprof, o.stderr)
+	if err != nil {
+		return runctl.StatusComplete, 0, err
+	}
+	status, failures, runErr := runSuite(ctx, o, suite, done, fp, rt)
+	if cerr := rt.Close(); runErr == nil && cerr != nil {
+		runErr = cerr
+	}
+	return status, failures, runErr
+}
+
+// runSuite drives the experiment loop: replayed reports come from the
+// resume snapshot, fresh ones run under ctx, and each completion is
+// checkpointed before the next experiment starts.
+func runSuite(ctx context.Context, o options, suite []exper.Experiment, done map[string]*exper.Report, fp string, rt *obs.Runtime) (runctl.Status, int, error) {
+	var completed atomic.Int64
+	var prog *obs.Progress
+	if o.progress {
+		prog = obs.StartProgress(o.stderr, "experiments", uint64(len(suite)),
+			func() uint64 { return uint64(completed.Load()) }, time.Second)
+	}
+	defer prog.Stop()
+
+	save := func() error {
+		if o.checkpoint == "" {
+			return nil
+		}
+		env, err := runctl.NewCheckpoint(suiteCheckpointKind, fp,
+			runctl.StatusFromContext(ctx), rt.Reg.Snapshot(), &suiteCheckpoint{Reports: done})
+		if err != nil {
+			return err
+		}
+		if err := runctl.Save(o.checkpoint, env); err != nil {
+			return err
+		}
+		rt.Journal.Checkpoint(o.checkpoint, suiteCheckpointKind, map[string]any{
+			"completed": len(done),
+		})
+		return nil
+	}
+
+	cfg := exper.Config{Quick: o.quick, Ctx: ctx}
+	selected := []*exper.Report{} // non-nil: an interrupted run still emits [] on stdout
+	failures := 0
+	interrupted := false
+	for _, e := range suite {
+		if cfg.Interrupted() {
+			interrupted = true
+			break
+		}
+		r, resumed := done[e.ID], true
+		if r == nil {
+			r, resumed = exper.Instrumented(e.Run, cfg), false
+			// An experiment cut short by cancellation reports a partial
+			// failure; keep it out of the snapshot so a resumed suite
+			// re-runs it in full.
+			if !cfg.Interrupted() {
+				done[e.ID] = r
+				if err := save(); err != nil {
+					return runctl.StatusComplete, failures, err
+				}
+			}
+		}
+		completed.Add(1)
+		selected = append(selected, r)
+		rt.Journal.Event("experiment", map[string]any{
+			"id":       r.ID,
+			"title":    r.Title,
+			"pass":     r.Pass,
+			"wall_ms":  r.WallMS,
+			"counters": r.Counters,
+			"resumed":  resumed,
+		})
+		if !o.jsonOut {
+			fmt.Fprint(o.stdout, r)
+			fmt.Fprintln(o.stdout)
+		}
+		if !r.Pass {
+			failures++
+		}
+	}
+
+	status := runctl.StatusComplete
+	if interrupted || cfg.Interrupted() {
+		status = runctl.StatusFromContext(ctx)
+		if status == runctl.StatusComplete {
+			status = runctl.StatusCancelled
+		}
+	}
+	rt.Journal.RunStatus(status.String(), status.Complete(), map[string]any{
+		"completed": len(selected),
+		"total":     len(suite),
+		"failures":  failures,
+	})
+	if o.jsonOut {
+		enc := json.NewEncoder(o.stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(selected); err != nil {
+			return status, failures, err
+		}
+	}
+	return status, failures, nil
+}
+
+// errUsage marks command-line mistakes, which exit with ExitUsage.
+var errUsage = errors.New("usage")
+
+// selectSuite resolves -only against the full suite, rejecting unknown
+// ids.
+func selectSuite(only string) ([]exper.Experiment, error) {
 	wanted := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
 			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
+	// Track the full selection and the not-yet-seen ids separately:
+	// deleting matches from the selection set while iterating would turn
+	// "all requested ids seen" into "run everything after them".
+	all := len(wanted) == 0
 	var suite []exper.Experiment
 	for _, e := range exper.Suite() {
-		if len(wanted) == 0 || wanted[e.ID] {
+		if all || wanted[e.ID] {
 			suite = append(suite, e)
 			delete(wanted, e.ID)
 		}
@@ -65,58 +276,19 @@ func main() {
 			unknown = append(unknown, id)
 		}
 		sort.Strings(unknown)
-		fmt.Fprintf(os.Stderr, "bbcexp: unknown experiment id(s): %s\n", strings.Join(unknown, ", "))
-		os.Exit(2)
+		return nil, fmt.Errorf("%w: unknown experiment id(s): %s", errUsage, strings.Join(unknown, ", "))
 	}
+	return suite, nil
+}
 
-	rt, err := obs.StartCLI("bbcexp", *journal, *pprofAddr, os.Stderr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "bbcexp: %v\n", err)
-		os.Exit(1)
-	}
-	var completed atomic.Int64
-	var prog *obs.Progress
-	if *progress {
-		prog = obs.StartProgress(os.Stderr, "experiments", uint64(len(suite)),
-			func() uint64 { return uint64(completed.Load()) }, time.Second)
-	}
-
-	var selected []*exper.Report
-	failures := 0
+// suiteFingerprint ties a suite checkpoint to the experiment selection
+// and quick mode that produced it, so reports are never replayed into a
+// differently-configured run.
+func suiteFingerprint(quick bool, suite []exper.Experiment) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "quick=%v;", quick)
 	for _, e := range suite {
-		r := exper.Instrumented(e.Run, exper.Config{Quick: *quick})
-		completed.Add(1)
-		selected = append(selected, r)
-		rt.Journal.Event("experiment", map[string]any{
-			"id":       r.ID,
-			"title":    r.Title,
-			"pass":     r.Pass,
-			"wall_ms":  r.WallMS,
-			"counters": r.Counters,
-		})
-		if !*asJSON {
-			fmt.Print(r)
-			fmt.Println()
-		}
-		if !r.Pass {
-			failures++
-		}
+		fmt.Fprintf(h, "%s;", e.ID)
 	}
-	prog.Stop()
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(selected); err != nil {
-			fmt.Fprintf(os.Stderr, "bbcexp: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if err := rt.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "bbcexp: %v\n", err)
-		os.Exit(1)
-	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "bbcexp: %d experiment(s) failed\n", failures)
-		os.Exit(1)
-	}
+	return fmt.Sprintf("suite-%016x", h.Sum64())
 }

@@ -17,9 +17,15 @@
 // and diagnostics go to stderr. The shared observability flags are
 // -journal out.jsonl (one "generate" record per run), -progress
 // (completion line on stderr) and -pprof addr (pprof + expvar counters).
+//
+// Run control: a SIGINT/SIGTERM before the instance JSON is written
+// suppresses the (possibly torn) output, flushes a final run_status
+// journal record and exits 130; after the output is written the run is
+// complete and exits 0.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +36,7 @@ import (
 	"bbc/internal/construct"
 	"bbc/internal/core"
 	"bbc/internal/obs"
+	"bbc/internal/runctl"
 )
 
 func main() {
@@ -49,26 +56,35 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	)
 	flag.Parse()
+	ctx, signalled, stopSignals := runctl.SignalContext(context.Background())
+	defer stopSignals()
 	rt, err := obs.StartCLI("bbcgen", *journal, *pprofAddr, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
-		os.Exit(1)
+		os.Exit(runctl.ExitError)
 	}
 	start := time.Now()
 	inst, err := generate(*kind, *n, *k, *h, *l, *maxWeight, *maxCost, *maxLength, *maxBudget, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
-		os.Exit(1)
+		os.Exit(runctl.ExitError)
 	}
 	rt.Journal.Event("generate", map[string]any{
 		"kind": *kind, "n": inst.Spec.N(), "seed": *seed,
 		"wall_ms": float64(time.Since(start).Microseconds()) / 1000,
 	})
+	status := runctl.StatusFromContext(ctx)
+	rt.Journal.RunStatus(status.String(), status.Complete(), map[string]any{"kind": *kind})
+	if !status.Complete() {
+		rt.Close()
+		fmt.Fprintf(os.Stderr, "bbcgen: interrupted by %v before output; no instance written\n", signalled())
+		os.Exit(runctl.ExitCode(status))
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(inst); err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
-		os.Exit(1)
+		os.Exit(runctl.ExitError)
 	}
 	if *progress {
 		fmt.Fprintf(os.Stderr, "bbc: generate %s n=%d done in %s\n",
@@ -76,7 +92,7 @@ func main() {
 	}
 	if err := rt.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
-		os.Exit(1)
+		os.Exit(runctl.ExitError)
 	}
 }
 

@@ -1,12 +1,32 @@
-// Command bbcsim runs a best-response walk on a BBC game and reports the
-// outcome: convergence to a pure Nash equilibrium, a certified loop, or
-// step exhaustion, plus cost and connectivity statistics.
+// Command bbcsim runs a best-response walk — or, with -enumerate, an
+// exhaustive pure-Nash-equilibrium scan — on a BBC game and reports the
+// outcome with full run control: cancellation, deadlines, work budgets
+// and checkpoint/resume.
 //
 // Usage:
 //
 //	bbcsim -n 12 -k 2 [-agg sum|max] [-sched round-robin|max-cost-first|random]
 //	       [-start empty|random] [-seed 1] [-steps 0] [-trace] [-json]
-//	       [-journal run.jsonl] [-progress] [-pprof :6060]
+//	       [-timeout 0] [-journal run.jsonl] [-progress] [-pprof :6060]
+//	bbcsim -enumerate [-load game.json | -n 6 -k 1] [-pin] [-parallel 0]
+//	       [-max-ne 0] [-max-profiles 0] [-timeout 30s]
+//	       [-checkpoint run.ckpt] [-resume run.ckpt] [-json]
+//
+// Run control: SIGINT/SIGTERM cancel the run gracefully — partial
+// results are reported (Complete: false plus a status naming the
+// reason), the journal receives a final run_status record, and when
+// -checkpoint is set a resumable snapshot is flushed. -timeout bounds
+// wall time; -max-profiles (enumeration) and -steps (walks) bound work;
+// both truncate with status "budget". Exit codes: 0 complete, 1 error,
+// 2 usage, 3 budget/deadline truncation, 130 interrupted by signal.
+//
+// Checkpoint/resume: -checkpoint writes a versioned JSON snapshot
+// (atomic write-rename) periodically and on every early stop; -resume
+// continues from one. A resumed enumeration checks exactly the profiles
+// the uninterrupted run would have and returns identical equilibria in
+// identical order. With -parallel 1 the scan is serial and checkpoints
+// at profile granularity; otherwise it checkpoints per completed
+// partition.
 //
 // Output contract: stdout carries only the final run result — the text
 // summary, or a single JSON object with -json — so it stays
@@ -14,14 +34,15 @@
 // (-progress) and all diagnostics go to stderr.
 //
 // Observability: -journal writes a JSONL run journal (one "move" record
-// per rewiring step plus a final "summary" record, each with wall time
-// and solver counter snapshots), -progress prints a throttled rate/ETA
-// line to stderr, and -pprof serves net/http/pprof and the counter
-// registry (expvar "bbc_counters") at the given address while the walk
-// runs.
+// per rewiring step plus "summary", "checkpoint" and a final
+// "run_status" record, each with wall time and solver counter
+// snapshots), -progress prints a throttled rate/ETA line to stderr, and
+// -pprof serves net/http/pprof and the counter registry (expvar
+// "bbc_counters") at the given address while the run is live.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +56,7 @@ import (
 	"bbc/internal/core"
 	"bbc/internal/dynamics"
 	"bbc/internal/obs"
+	"bbc/internal/runctl"
 )
 
 // options collects every flag; run consumes it so tests can drive the
@@ -53,6 +75,15 @@ type options struct {
 	progress bool
 	pprof    string
 
+	enumerate   bool
+	pin         bool
+	parallel    int
+	maxNE       int
+	maxProfiles uint64
+	timeout     time.Duration
+	checkpoint  string
+	resume      string
+
 	stdout, stderr io.Writer
 }
 
@@ -65,27 +96,48 @@ func main() {
 	flag.StringVar(&o.start, "start", "empty", "starting profile: empty or random")
 	flag.StringVar(&o.load, "load", "", "load a core.Instance JSON file (e.g. from bbcgen) instead of -n/-k/-start")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
-	flag.IntVar(&o.steps, "steps", 0, "max steps (0 = 10·n²)")
+	flag.IntVar(&o.steps, "steps", 0, "max walk steps, a work budget (0 = 10·n²)")
 	flag.BoolVar(&o.trace, "trace", false, "print every move to stderr")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the result as one JSON object on stdout")
 	flag.StringVar(&o.journal, "journal", "", "write a JSONL run journal to this file")
 	flag.BoolVar(&o.progress, "progress", false, "print progress/ETA to stderr")
 	flag.StringVar(&o.pprof, "pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
+	flag.BoolVar(&o.enumerate, "enumerate", false, "exhaustively enumerate pure Nash equilibria instead of walking")
+	flag.BoolVar(&o.pin, "pin", false, "enumerate over the soundly pinned search space (unit-length games)")
+	flag.IntVar(&o.parallel, "parallel", 0, "enumeration workers (0 = NumCPU, 1 = serial with fine-grained checkpoints)")
+	flag.IntVar(&o.maxNE, "max-ne", 0, "stop after this many equilibria (0 = all)")
+	flag.Uint64Var(&o.maxProfiles, "max-profiles", 0, "profile budget for enumeration; truncates with status budget (0 = unbounded)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "wall-time budget, e.g. 30s; truncates with status deadline (0 = none)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "write a resumable snapshot to this file (enumerate mode)")
+	flag.StringVar(&o.resume, "resume", "", "resume an enumeration from this snapshot file")
 	flag.Parse()
 	o.stdout, o.stderr = os.Stdout, os.Stderr
 
-	if err := run(o); err != nil {
+	ctx, signalled, stopSignals := runctl.SignalContext(context.Background())
+	status, err := run(ctx, o)
+	stopSignals()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcsim: %v\n", err)
-		os.Exit(1)
+		os.Exit(runctl.ExitError)
 	}
+	if sig := signalled(); sig != nil {
+		fmt.Fprintf(os.Stderr, "bbcsim: interrupted by %v; partial results flushed\n", sig)
+	}
+	os.Exit(runctl.ExitCode(status))
 }
 
-// run executes one walk according to the options.
-func run(o options) error {
+// run executes one walk or enumeration according to the options and
+// reports how the run ended.
+func run(ctx context.Context, o options) (runctl.Status, error) {
 	agg, err := parseAgg(o.agg)
 	if err != nil {
-		return err
+		return runctl.StatusComplete, err
 	}
+	if !o.enumerate && (o.checkpoint != "" || o.resume != "") {
+		return runctl.StatusComplete, fmt.Errorf("-checkpoint/-resume apply to -enumerate runs")
+	}
+	ctx, cancelTimeout := runctl.WithDeadline(ctx, o.timeout)
+	defer cancelTimeout()
 	rng := rand.New(rand.NewSource(o.seed))
 
 	var (
@@ -96,17 +148,17 @@ func run(o options) error {
 	if o.load != "" {
 		data, err := os.ReadFile(o.load)
 		if err != nil {
-			return err
+			return runctl.StatusComplete, err
 		}
 		var inst core.Instance
 		if err := json.Unmarshal(data, &inst); err != nil {
-			return err
+			return runctl.StatusComplete, err
 		}
 		spec, p, startName = inst.Spec, inst.Profile, "loaded:"+o.load
 	} else {
 		uni, err := core.NewUniform(o.n, o.k)
 		if err != nil {
-			return err
+			return runctl.StatusComplete, err
 		}
 		spec = uni
 		startName = o.start
@@ -116,18 +168,34 @@ func run(o options) error {
 		case "random":
 			p = dynamics.RandomStart(rng, o.n, o.k)
 		default:
-			return fmt.Errorf("unknown start %q", o.start)
+			return runctl.StatusComplete, fmt.Errorf("unknown start %q", o.start)
 		}
-	}
-	n := spec.N()
-	sched, err := parseScheduler(o.sched, n, agg, rng)
-	if err != nil {
-		return err
 	}
 
 	rt, err := obs.StartCLI("bbcsim", o.journal, o.pprof, o.stderr)
 	if err != nil {
-		return err
+		return runctl.StatusComplete, err
+	}
+	if o.enumerate {
+		status, err := runEnumerate(ctx, o, spec, agg, rt)
+		if cerr := rt.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		return status, err
+	}
+	status, err := runWalk(ctx, o, spec, p, agg, startName, rng, rt)
+	if cerr := rt.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return status, err
+}
+
+// runWalk executes the best-response walk mode.
+func runWalk(ctx context.Context, o options, spec core.Spec, p core.Profile, agg core.Aggregation, startName string, rng *rand.Rand, rt *obs.Runtime) (runctl.Status, error) {
+	n := spec.N()
+	sched, err := parseScheduler(o.sched, n, agg, rng)
+	if err != nil {
+		return runctl.StatusComplete, err
 	}
 	var prog *obs.Progress
 	if o.progress {
@@ -139,6 +207,7 @@ func run(o options) error {
 			obs.MetricReader(rt.Reg, obs.MWalkSteps), time.Second)
 	}
 	res, err := dynamics.Run(spec, p, sched, agg, dynamics.Options{
+		Ctx:         ctx,
 		MaxSteps:    o.steps,
 		DetectLoops: o.sched != "random",
 		Trace:       o.trace,
@@ -146,8 +215,7 @@ func run(o options) error {
 	})
 	prog.Stop()
 	if err != nil {
-		rt.Close()
-		return err
+		return runctl.StatusComplete, err
 	}
 
 	out := summarize(res, spec, o, startName, rt.Reg)
@@ -163,9 +231,10 @@ func run(o options) error {
 		"connectivity_step": out.ConnectivityStep,
 		"social_cost":       out.SocialCost,
 	})
-	if err := rt.Close(); err != nil {
-		return err
-	}
+	rt.Journal.RunStatus(res.Status.String(), out.Complete, map[string]any{
+		"mode":  "walk",
+		"steps": out.Steps,
+	})
 
 	if o.trace {
 		for _, rec := range res.Trace {
@@ -178,10 +247,23 @@ func run(o options) error {
 	if o.jsonOut {
 		enc := json.NewEncoder(o.stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(out)
+		if err := enc.Encode(out); err != nil {
+			return res.Status, err
+		}
+		return walkExitStatus(res), nil
 	}
 	report(o.stdout, res, out, n)
-	return nil
+	return walkExitStatus(res), nil
+}
+
+// walkExitStatus maps a walk result to the process exit status: budget
+// exhaustion ("exhausted" walks) is an expected outcome for walks that
+// need not converge, so only cancellation and deadlines are non-zero.
+func walkExitStatus(res *dynamics.Result) runctl.Status {
+	if res.Status == runctl.StatusBudget {
+		return runctl.StatusComplete
+	}
+	return res.Status
 }
 
 // result is the machine-readable run outcome (-json, and mirrored by the
@@ -194,7 +276,9 @@ type result struct {
 	Seed              int64            `json:"seed"`
 	Steps             int              `json:"steps"`
 	Moves             int              `json:"moves"`
-	Outcome           string           `json:"outcome"` // converged | loop | exhausted
+	Outcome           string           `json:"outcome"` // converged | loop | exhausted | cancelled | deadline
+	Status            string           `json:"status"`  // complete | cancelled | deadline | budget
+	Complete          bool             `json:"complete"`
 	LoopLength        int              `json:"loop_length,omitempty"`
 	LoopMoves         int              `json:"loop_moves,omitempty"`
 	ConnectivityStep  int              `json:"connectivity_step"`
@@ -217,6 +301,8 @@ func summarize(res *dynamics.Result, spec core.Spec, o options, startName string
 		Seed:             o.seed,
 		Steps:            res.Steps,
 		Moves:            res.Moves,
+		Status:           res.Status.String(),
+		Complete:         res.Status != runctl.StatusCancelled && res.Status != runctl.StatusDeadline,
 		ConnectivityStep: res.ConnectivityStep,
 		SocialCost:       core.SocialCost(spec, res.Final, agg),
 	}
@@ -227,6 +313,10 @@ func summarize(res *dynamics.Result, spec core.Spec, o options, startName string
 		out.Outcome = "loop"
 		out.LoopLength = res.Loop.Length
 		out.LoopMoves = len(res.Loop.Moves)
+	case res.Status == runctl.StatusCancelled:
+		out.Outcome = "cancelled"
+	case res.Status == runctl.StatusDeadline:
+		out.Outcome = "deadline"
 	default:
 		out.Outcome = "exhausted"
 	}
@@ -276,6 +366,10 @@ func report(w io.Writer, res *dynamics.Result, out *result, n int) {
 	case "loop":
 		fmt.Fprintf(w, "outcome: certified best-response loop (%d moves over %d steps)\n",
 			out.LoopMoves, out.LoopLength)
+	case "cancelled":
+		fmt.Fprintln(w, "outcome: interrupted (partial result)")
+	case "deadline":
+		fmt.Fprintln(w, "outcome: wall-time budget exhausted (partial result)")
 	default:
 		fmt.Fprintln(w, "outcome: step budget exhausted without convergence or loop")
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"strings"
@@ -36,7 +37,7 @@ func TestRunValidConfigurations(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			o, _, _ := testOptions(6, 1)
 			o.agg, o.sched, o.start = tt.agg, tt.sched, tt.start
-			if err := run(o); err != nil {
+			if _, err := run(context.Background(), o); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -48,7 +49,7 @@ func TestRunValidConfigurations(t *testing.T) {
 func TestRunTraceToStderr(t *testing.T) {
 	o, stdout, stderr := testOptions(5, 1)
 	o.seed, o.steps, o.trace = 2, 100, true
-	if err := run(o); err != nil {
+	if _, err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(stdout.String(), "rewires") {
@@ -65,7 +66,7 @@ func TestRunTraceToStderr(t *testing.T) {
 func TestRunJSONOutput(t *testing.T) {
 	o, stdout, _ := testOptions(6, 1)
 	o.jsonOut = true
-	if err := run(o); err != nil {
+	if _, err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	var out result
@@ -95,7 +96,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			o, _, _ := testOptions(tt.n, tt.k)
 			o.agg, o.sched, o.start, o.steps = tt.agg, tt.sched, tt.start, 50
-			if err := run(o); err == nil {
+			if _, err := run(context.Background(), o); err == nil {
 				t.Fatal("expected error")
 			}
 		})
@@ -112,18 +113,18 @@ func TestRunLoadedInstance(t *testing.T) {
 	}
 	o, _, _ := testOptions(0, 0)
 	o.load, o.steps = path, 100
-	if err := run(o); err != nil {
+	if _, err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	o.load = dir + "/missing.json"
-	if err := run(o); err == nil {
+	if _, err := run(context.Background(), o); err == nil {
 		t.Fatal("expected error for missing file")
 	}
 	if err := os.WriteFile(path, []byte("{"), 0o600); err != nil {
 		t.Fatal(err)
 	}
 	o.load = path
-	if err := run(o); err == nil {
+	if _, err := run(context.Background(), o); err == nil {
 		t.Fatal("expected error for corrupt file")
 	}
 }
@@ -131,13 +132,14 @@ func TestRunLoadedInstance(t *testing.T) {
 // TestJournalGolden pins the JSONL journal contract: every line is a
 // valid obs.Record with the stable top-level schema, move records carry
 // the move payload, and the file ends with exactly one summary record
-// whose move count matches the number of move records.
+// followed by exactly one run_status record whose move count matches the
+// number of move records.
 func TestJournalGolden(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/run.jsonl"
 	o, _, stderr := testOptions(8, 2)
 	o.steps, o.journal, o.progress = 0, path, true
-	if err := run(o); err != nil {
+	if _, err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(stderr.String(), "bbc: walk") {
@@ -152,6 +154,7 @@ func TestJournalGolden(t *testing.T) {
 	var (
 		moves     int
 		summaries int
+		statuses  int
 		lastType  string
 		seq       int64
 	)
@@ -201,6 +204,14 @@ func TestJournalGolden(t *testing.T) {
 			if rec.Data["outcome"] == "" {
 				t.Error("summary lacks outcome")
 			}
+		case obs.EventRunStatus:
+			statuses++
+			if _, ok := rec.Data["status"]; !ok {
+				t.Error("run_status record lacks status")
+			}
+			if _, ok := rec.Data["complete"]; !ok {
+				t.Error("run_status record lacks complete")
+			}
 		default:
 			t.Errorf("unexpected record type %q", rec.Type)
 		}
@@ -211,7 +222,10 @@ func TestJournalGolden(t *testing.T) {
 	if moves == 0 {
 		t.Error("journal recorded no moves for a converging walk")
 	}
-	if summaries != 1 || lastType != "summary" {
-		t.Errorf("journal must end with exactly one summary record (got %d, last %q)", summaries, lastType)
+	if summaries != 1 {
+		t.Errorf("journal must carry exactly one summary record (got %d)", summaries)
+	}
+	if statuses != 1 || lastType != obs.EventRunStatus {
+		t.Errorf("journal must end with exactly one run_status record (got %d, last %q)", statuses, lastType)
 	}
 }

@@ -13,9 +13,15 @@
 // and diagnostics go to stderr. The shared observability flags are
 // -journal out.jsonl (one "render" record per run), -progress
 // (completion line on stderr) and -pprof addr (pprof + expvar counters).
+//
+// Run control: a SIGINT/SIGTERM before the DOT document is written
+// suppresses the (possibly torn) output, flushes a final run_status
+// journal record and exits 130; after the output is written the run is
+// complete and exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +29,7 @@ import (
 
 	"bbc/internal/construct"
 	"bbc/internal/obs"
+	"bbc/internal/runctl"
 )
 
 func main() {
@@ -38,28 +45,37 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	)
 	flag.Parse()
+	ctx, signalled, stopSignals := runctl.SignalContext(context.Background())
+	defer stopSignals()
 	rt, err := obs.StartCLI("bbcviz", *journal, *pprofAddr, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
-		os.Exit(1)
+		os.Exit(runctl.ExitError)
 	}
 	start := time.Now()
 	dot, err := render(*what, *k, *h, *l, *ring, *path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
-		os.Exit(1)
+		os.Exit(runctl.ExitError)
 	}
 	rt.Journal.Event("render", map[string]any{
 		"what": *what, "bytes": len(dot),
 		"wall_ms": float64(time.Since(start).Microseconds()) / 1000,
 	})
+	status := runctl.StatusFromContext(ctx)
+	rt.Journal.RunStatus(status.String(), status.Complete(), map[string]any{"what": *what})
+	if !status.Complete() {
+		rt.Close()
+		fmt.Fprintf(os.Stderr, "bbcviz: interrupted by %v before output; no document written\n", signalled())
+		os.Exit(runctl.ExitCode(status))
+	}
 	fmt.Print(dot)
 	if *progress {
 		fmt.Fprintf(os.Stderr, "bbc: render %s done in %s\n", *what, time.Since(start).Round(time.Millisecond))
 	}
 	if err := rt.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
-		os.Exit(1)
+		os.Exit(runctl.ExitError)
 	}
 }
 

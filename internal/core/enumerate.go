@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"sync/atomic"
 
 	"bbc/internal/graph"
 	"bbc/internal/obs"
+	"bbc/internal/runctl"
 )
 
 // AllStrategies enumerates feasible strategies for node u. When maximalOnly
@@ -182,12 +186,126 @@ type NEResult struct {
 	// Equilibria holds the pure Nash equilibria found (up to the caller's
 	// cap), in odometer order.
 	Equilibria []Profile
-	// Checked is the number of profiles whose stability was tested.
+	// Checked is the number of profiles whose stability was tested,
+	// including profiles credited from a resumed checkpoint.
 	Checked uint64
 	// Complete is true when the whole space was scanned (the search did not
-	// stop early at maxEquilibria).
+	// stop early at a cap, budget, deadline or cancellation).
 	Complete bool
+	// Status classifies how the scan ended: complete, cancelled (context
+	// cancel / signal), deadline (-timeout), or budget (max-equilibria or
+	// max-profiles cap). Every early stop returns the partial result with
+	// a nil error; hard failures (bad input, worker panic) return errors.
+	Status runctl.Status
+	// Resume, non-nil on an early stop with work left, is the state from
+	// which a new scan continues without re-checking any profile.
+	Resume *EnumCheckpoint
 }
+
+// EnumCheckpoint is the serialized progress of an enumeration scan: the
+// serial scan stores the odometer cursor of the next unchecked profile,
+// the parallel scan stores per-partition completed results. Wrap it in a
+// runctl.Checkpoint envelope (kind "enumeration") to persist it.
+type EnumCheckpoint struct {
+	// Cursor holds the per-node strategy indices of the next profile a
+	// serial scan will check. Nil for parallel checkpoints.
+	Cursor []int `json:"cursor,omitempty"`
+	// Checked is the number of profiles already checked.
+	Checked uint64 `json:"checked"`
+	// Equilibria are the equilibria found so far, in odometer order
+	// (serial scans only; parallel scans keep them per partition).
+	Equilibria []Profile `json:"equilibria,omitempty"`
+	// Parts records, for a parallel scan, each fully-scanned partition's
+	// result; a nil entry is a partition still to do. Nil for serial
+	// checkpoints.
+	Parts []*PartProgress `json:"parts,omitempty"`
+}
+
+// PartProgress is one completed partition of a parallel scan.
+type PartProgress struct {
+	Checked    uint64    `json:"checked"`
+	Equilibria []Profile `json:"equilibria,omitempty"`
+}
+
+// EnumFingerprint identifies a scan configuration for checkpoint
+// validation: two runs share a fingerprint exactly when they scan the
+// same spec, aggregation and per-node strategy sets, so a checkpoint is
+// never resumed against a different search.
+func EnumFingerprint(spec Spec, agg Aggregation, ss *SearchSpace) string {
+	h := fnv.New64a()
+	n := spec.N()
+	fmt.Fprintf(h, "n=%d;agg=%d;M=%d;", n, agg, spec.Penalty())
+	for u := 0; u < n; u++ {
+		fmt.Fprintf(h, "b=%d;", spec.Budget(u))
+		for v := 0; v < n; v++ {
+			if v != u {
+				fmt.Fprintf(h, "%d,%d,%d;", spec.Weight(u, v), spec.LinkCost(u, v), spec.Length(u, v))
+			}
+		}
+	}
+	for _, set := range ss.PerNode {
+		fmt.Fprintf(h, "s=%d;", len(set))
+	}
+	return fmt.Sprintf("enum-%016x", h.Sum64())
+}
+
+// EnumConfig tunes a run-controlled enumeration scan. The zero value
+// reproduces the classic uncontrolled scan.
+type EnumConfig struct {
+	// Ctx, when non-nil, is polled every CheckEvery profiles; a cancel or
+	// deadline stops the scan with a partial result and resume state.
+	Ctx context.Context
+	// MaxEquilibria stops collecting after this many equilibria (0 = all).
+	MaxEquilibria int
+	// MaxProfiles bounds the cumulative number of profiles checked
+	// (including profiles credited from a resumed checkpoint); hitting it
+	// stops the scan with StatusBudget. 0 means unbounded.
+	MaxProfiles uint64
+	// CheckEvery is the context-poll period in profiles (0 = runctl.CheckEvery).
+	CheckEvery uint64
+	// CheckpointEvery is the period, in profiles checked this run, at
+	// which OnCheckpoint fires (0 = every 1<<20 profiles).
+	CheckpointEvery uint64
+	// OnCheckpoint, when non-nil, receives periodic progress snapshots
+	// (serial: every CheckpointEvery profiles; parallel: after each
+	// completed partition). The callback must not mutate the snapshot.
+	OnCheckpoint func(*EnumCheckpoint)
+	// Resume continues a previous scan from its checkpoint instead of
+	// starting at the first profile.
+	Resume *EnumCheckpoint
+	// Workers bounds parallel-scan concurrency (0 = NumCPU); ignored by
+	// the serial scan.
+	Workers int
+
+	// budget, when non-nil, is the shared cross-partition profile budget
+	// of a parallel scan and takes precedence over MaxProfiles.
+	budget *profileBudget
+}
+
+func (c EnumConfig) checkpointEvery() uint64 {
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	return 1 << 20
+}
+
+// profileBudget is a race-safe profile allowance shared by concurrent
+// partition scans.
+type profileBudget struct{ remaining atomic.Int64 }
+
+// newProfileBudget grants max profiles minus the already-spent credit.
+func newProfileBudget(max, spent uint64) *profileBudget {
+	b := &profileBudget{}
+	rem := int64(max) - int64(spent)
+	if rem < 0 {
+		rem = 0
+	}
+	b.remaining.Store(rem)
+	return b
+}
+
+// take debits one profile; false means the budget is exhausted.
+func (b *profileBudget) take() bool { return b.remaining.Add(-1) >= 0 }
 
 // EnumeratePureNE scans the product space and returns all pure Nash
 // equilibria it contains (up to maxEquilibria; 0 means collect all). The
@@ -195,6 +313,16 @@ type NEResult struct {
 // incrementally, so successive profiles that differ in one node's strategy
 // cost only that node's rewiring.
 func EnumeratePureNE(spec Spec, agg Aggregation, ss *SearchSpace, maxEquilibria int) (*NEResult, error) {
+	return EnumeratePureNEOpts(spec, agg, ss, EnumConfig{MaxEquilibria: maxEquilibria})
+}
+
+// EnumeratePureNEOpts is EnumeratePureNE under run control: the scan
+// observes cfg.Ctx within CheckEvery profiles, truncates at the
+// MaxProfiles budget, periodically reports resumable checkpoints, and can
+// itself resume from one. An interrupted-then-resumed scan checks exactly
+// the profiles the uninterrupted scan would have and returns identical
+// equilibria in identical order.
+func EnumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumConfig) (*NEResult, error) {
 	n := spec.N()
 	if len(ss.PerNode) != n {
 		return nil, fmt.Errorf("core: search space covers %d nodes, spec has %d", len(ss.PerNode), n)
@@ -206,9 +334,25 @@ func EnumeratePureNE(spec Spec, agg Aggregation, ss *SearchSpace, maxEquilibria 
 	}
 	res := &NEResult{Complete: true}
 	idx := make([]int, n)
+	if cfg.Resume != nil {
+		if cfg.Resume.Parts != nil {
+			return nil, fmt.Errorf("core: checkpoint is from a parallel scan; resume with EnumeratePureNEParallelOpts")
+		}
+		if len(cfg.Resume.Cursor) != n {
+			return nil, fmt.Errorf("core: checkpoint cursor covers %d nodes, search space has %d", len(cfg.Resume.Cursor), n)
+		}
+		for u, i := range cfg.Resume.Cursor {
+			if i < 0 || i >= len(ss.PerNode[u]) {
+				return nil, fmt.Errorf("core: checkpoint cursor[%d]=%d out of range [0,%d)", u, i, len(ss.PerNode[u]))
+			}
+		}
+		copy(idx, cfg.Resume.Cursor)
+		res.Checked = cfg.Resume.Checked
+		res.Equilibria = append([]Profile(nil), cfg.Resume.Equilibria...)
+	}
 	p := make(Profile, n)
 	for u := range p {
-		p[u] = ss.PerNode[u][0]
+		p[u] = ss.PerNode[u][idx[u]]
 	}
 	g := p.Realize(spec)
 
@@ -224,33 +368,78 @@ func EnumeratePureNE(spec Spec, agg Aggregation, ss *SearchSpace, maxEquilibria 
 		return len(ss.PerNode[order[a]]) > len(ss.PerNode[order[b]])
 	})
 
-	reg := obs.Global()
-	for {
-		res.Checked++
-		reg.Inc(obs.MProfilesChecked)
-		if profileStable(spec, g, p, agg, order) {
-			reg.Inc(obs.MEquilibriaFound)
-			res.Equilibria = append(res.Equilibria, p.Clone())
-			if maxEquilibria > 0 && len(res.Equilibria) >= maxEquilibria {
-				res.Complete = false
-				return res, nil
-			}
-		}
-		// Odometer step.
+	budget := cfg.budget
+	if budget == nil && cfg.MaxProfiles > 0 {
+		budget = newProfileBudget(cfg.MaxProfiles, res.Checked)
+	}
+	poll := runctl.NewPoller(cfg.Ctx, cfg.CheckEvery)
+	ckptEvery := cfg.checkpointEvery()
+
+	// advance steps the odometer to the next profile, rewiring only the
+	// strategies that change; true means the space wrapped around (done).
+	advance := func() bool {
 		u := n - 1
 		for u >= 0 {
 			idx[u]++
 			if idx[u] < len(ss.PerNode[u]) {
 				p[u] = ss.PerNode[u][idx[u]]
 				setStrategyArcs(spec, g, u, p[u])
-				break
+				return false
 			}
 			idx[u] = 0
 			p[u] = ss.PerNode[u][0]
 			setStrategyArcs(spec, g, u, p[u])
 			u--
 		}
-		if u < 0 {
+		return true
+	}
+	// snapshot captures the resume state with the cursor at the next
+	// unchecked profile.
+	snapshot := func() *EnumCheckpoint {
+		return &EnumCheckpoint{
+			Cursor:     append([]int(nil), idx...),
+			Checked:    res.Checked,
+			Equilibria: append([]Profile(nil), res.Equilibria...),
+		}
+	}
+	// stop finalizes an early exit: the partial result is returned with a
+	// nil error, carrying the reason and the resume state.
+	stop := func(st runctl.Status) (*NEResult, error) {
+		res.Complete = false
+		res.Status = st
+		res.Resume = snapshot()
+		return res, nil
+	}
+
+	reg := obs.Global()
+	var sinceCkpt uint64
+	for {
+		if err := poll.Check(); err != nil {
+			return stop(runctl.StatusFromError(err))
+		}
+		if budget != nil && !budget.take() {
+			return stop(runctl.StatusBudget)
+		}
+		if cfg.OnCheckpoint != nil && sinceCkpt >= ckptEvery {
+			sinceCkpt = 0
+			cfg.OnCheckpoint(snapshot())
+		}
+		sinceCkpt++
+		res.Checked++
+		reg.Inc(obs.MProfilesChecked)
+		if profileStable(spec, g, p, agg, order) {
+			reg.Inc(obs.MEquilibriaFound)
+			res.Equilibria = append(res.Equilibria, p.Clone())
+			if cfg.MaxEquilibria > 0 && len(res.Equilibria) >= cfg.MaxEquilibria {
+				res.Complete = false
+				res.Status = runctl.StatusBudget
+				if !advance() {
+					res.Resume = snapshot()
+				}
+				return res, nil
+			}
+		}
+		if advance() {
 			return res, nil
 		}
 	}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"bbc/internal/runctl"
+)
+
+// ctrlTestSpec returns a small non-uniform game whose full space holds a
+// handful of equilibria, so resume tests can compare non-trivial results.
+func ctrlTestSpec(t *testing.T) (Spec, *SearchSpace) {
+	t.Helper()
+	spec := MustUniform(5, 1)
+	ss, err := FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, ss
+}
+
+// mustEnumerate runs an uninterrupted scan as the ground truth.
+func mustEnumerate(t *testing.T, spec Spec, ss *SearchSpace) *NEResult {
+	t.Helper()
+	ref, err := EnumeratePureNE(spec, SumDistances, ss, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Complete || ref.Status != runctl.StatusComplete {
+		t.Fatalf("reference scan incomplete: %+v", ref)
+	}
+	return ref
+}
+
+// TestEnumerateCancelMidScanAndResume is the run-control contract test:
+// cancelling mid-enumeration yields a partial NEResult with
+// Complete==false and resume state, the partial plus the resumed run
+// contain no duplicate equilibria, and the combined result is exactly
+// the uninterrupted result.
+func TestEnumerateCancelMidScanAndResume(t *testing.T) {
+	spec, ss := ctrlTestSpec(t)
+	ref := mustEnumerate(t, spec, ss)
+	if ref.Checked < 100 {
+		t.Fatalf("space too small for a mid-scan cancel: %d profiles", ref.Checked)
+	}
+
+	// Cancel from the first checkpoint callback, mid-scan.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var snap *EnumCheckpoint
+	partial, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{
+		Ctx:             ctx,
+		CheckEvery:      8,
+		CheckpointEvery: 64,
+		OnCheckpoint: func(cp *EnumCheckpoint) {
+			snap = cp
+			cancel()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Complete || partial.Status != runctl.StatusCancelled {
+		t.Fatalf("want cancelled partial result, got complete=%v status=%v", partial.Complete, partial.Status)
+	}
+	if partial.Resume == nil {
+		t.Fatal("cancelled scan carries no resume state")
+	}
+	if snap == nil {
+		t.Fatal("checkpoint callback never fired")
+	}
+	if partial.Checked == 0 || partial.Checked >= ref.Checked {
+		t.Fatalf("implausible partial progress: %d of %d", partial.Checked, ref.Checked)
+	}
+
+	// Resume from the returned state; the combination must reproduce the
+	// uninterrupted scan exactly: same count, same equilibria, same order.
+	rest, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{Resume: partial.Resume})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rest.Complete || rest.Status != runctl.StatusComplete {
+		t.Fatalf("resumed scan did not complete: %+v", rest.Status)
+	}
+	if rest.Checked != ref.Checked {
+		t.Errorf("resumed Checked = %d, want %d", rest.Checked, ref.Checked)
+	}
+	if !reflect.DeepEqual(rest.Equilibria, ref.Equilibria) {
+		t.Errorf("resumed equilibria differ from uninterrupted scan:\n got %v\nwant %v",
+			rest.Equilibria, ref.Equilibria)
+	}
+	seen := map[string]bool{}
+	for _, eq := range rest.Equilibria {
+		key, _ := json.Marshal(eq)
+		if seen[string(key)] {
+			t.Errorf("duplicate equilibrium after resume: %v", eq)
+		}
+		seen[string(key)] = true
+	}
+}
+
+// TestEnumerateCheckpointRoundTripsThroughJSON pins that resume state
+// survives the runctl envelope byte-identically, as the CLI persists it.
+func TestEnumerateCheckpointRoundTripsThroughJSON(t *testing.T) {
+	spec, ss := ctrlTestSpec(t)
+	ref := mustEnumerate(t, spec, ss)
+	fp := EnumFingerprint(spec, SumDistances, ss)
+
+	partial, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{
+		MaxProfiles: ref.Checked / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Status != runctl.StatusBudget || partial.Resume == nil {
+		t.Fatalf("want budget-truncated scan with resume state, got %+v", partial.Status)
+	}
+
+	env, err := runctl.NewCheckpoint("enumeration", fp, partial.Status, nil, partial.Resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded runctl.Checkpoint
+	if err := json.Unmarshal(raw, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	var cp EnumCheckpoint
+	if err := loaded.Decode("enumeration", fp, &cp); err != nil {
+		t.Fatal(err)
+	}
+
+	rest, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{Resume: &cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.Checked != ref.Checked || !reflect.DeepEqual(rest.Equilibria, ref.Equilibria) {
+		t.Errorf("JSON round-tripped resume diverged: checked %d/%d", rest.Checked, ref.Checked)
+	}
+}
+
+// TestEnumerateParallelResume interrupts a parallel scan with a profile
+// budget and resumes it from the partition checkpoint; the merged result
+// must match the serial uninterrupted scan exactly.
+func TestEnumerateParallelResume(t *testing.T) {
+	spec, ss := ctrlTestSpec(t)
+	ref := mustEnumerate(t, spec, ss)
+
+	partial, err := EnumeratePureNEParallelOpts(spec, SumDistances, ss, EnumConfig{
+		MaxProfiles: ref.Checked / 3,
+		Workers:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Complete {
+		t.Fatal("budgeted parallel scan reported complete")
+	}
+	if partial.Status != runctl.StatusBudget {
+		t.Fatalf("want budget status, got %v", partial.Status)
+	}
+	if partial.Resume == nil {
+		t.Fatal("budgeted parallel scan carries no resume state")
+	}
+
+	rest, err := EnumeratePureNEParallelOpts(spec, SumDistances, ss, EnumConfig{
+		Resume:  partial.Resume,
+		Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rest.Complete || rest.Status != runctl.StatusComplete {
+		t.Fatalf("resumed parallel scan did not complete: %v", rest.Status)
+	}
+	if rest.Checked != ref.Checked {
+		t.Errorf("resumed parallel Checked = %d, want %d", rest.Checked, ref.Checked)
+	}
+	if !reflect.DeepEqual(rest.Equilibria, ref.Equilibria) {
+		t.Errorf("resumed parallel equilibria differ from serial reference")
+	}
+}
+
+// TestEnumerateResumeModeMismatch pins the loud failure when a serial
+// cursor checkpoint meets the parallel scanner and vice versa.
+func TestEnumerateResumeModeMismatch(t *testing.T) {
+	spec, ss := ctrlTestSpec(t)
+	serial, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{MaxProfiles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnumeratePureNEParallelOpts(spec, SumDistances, ss, EnumConfig{Resume: serial.Resume}); err == nil {
+		t.Error("parallel scan accepted a serial cursor checkpoint")
+	}
+	par, err := EnumeratePureNEParallelOpts(spec, SumDistances, ss, EnumConfig{MaxProfiles: 10, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{Resume: par.Resume}); err == nil {
+		t.Error("serial scan accepted a parallel partition checkpoint")
+	}
+}
+
+// panicSpec wraps a Spec and panics on the nth Weight call, standing in
+// for a fault deep inside a worker's stability check.
+type panicSpec struct {
+	Spec
+	calls atomic.Int64
+	at    int64
+}
+
+func (p *panicSpec) Weight(u, v int) int64 {
+	if p.calls.Add(1) == p.at {
+		panic("injected fault")
+	}
+	return p.Spec.Weight(u, v)
+}
+
+// TestEnumerateParallelPanicContainment: a worker panic must surface as
+// an error naming the partition, not crash the process.
+func TestEnumerateParallelPanicContainment(t *testing.T) {
+	base := MustUniform(5, 1)
+	ss, err := FullSpace(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &panicSpec{Spec: base, at: 2000}
+	_, err = EnumeratePureNEParallelOpts(spec, SumDistances, ss, EnumConfig{Workers: 2})
+	if err == nil {
+		t.Fatal("worker panic did not surface as an error")
+	}
+	var pe *runctl.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *runctl.PanicError, got %T: %v", err, err)
+	}
+	if !strings.Contains(pe.Label, "partition") {
+		t.Errorf("panic error does not name the partition: %q", pe.Label)
+	}
+	if !strings.Contains(err.Error(), "injected fault") {
+		t.Errorf("panic error lost the cause: %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+}
+
+// TestEnumerateBudgetIsCumulative: resuming with the same MaxProfiles
+// grants only the remainder, so budget semantics do not reset across
+// resume cycles.
+func TestEnumerateBudgetIsCumulative(t *testing.T) {
+	spec, ss := ctrlTestSpec(t)
+	ref := mustEnumerate(t, spec, ss)
+	budget := ref.Checked / 2
+
+	first, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{MaxProfiles: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Checked != budget {
+		t.Fatalf("first leg checked %d, want %d", first.Checked, budget)
+	}
+	second, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{
+		MaxProfiles: budget,
+		Resume:      first.Resume,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Checked != budget {
+		t.Errorf("resumed leg with spent budget checked %d profiles, want no further progress (still %d)",
+			second.Checked, budget)
+	}
+	if second.Status != runctl.StatusBudget || second.Complete {
+		t.Errorf("spent budget must report budget truncation, got %v", second.Status)
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"bbc/internal/obs"
+	"bbc/internal/runctl"
 )
 
 // EnumeratePureNEParallel is EnumeratePureNE with the product space
@@ -17,6 +19,19 @@ import (
 // partitions are still scanned but stop collecting, and Complete reports
 // whether every profile was checked before the cap ended the collection.
 func EnumeratePureNEParallel(spec Spec, agg Aggregation, ss *SearchSpace, maxEquilibria, workers int) (*NEResult, error) {
+	return EnumeratePureNEParallelOpts(spec, agg, ss, EnumConfig{MaxEquilibria: maxEquilibria, Workers: workers})
+}
+
+// EnumeratePureNEParallelOpts is the run-controlled parallel scan. At
+// most cfg.Workers goroutines pull partitions from a queue (never one
+// goroutine per partition), each partition scan observes cfg.Ctx and the
+// shared cfg.MaxProfiles budget, and a panic inside a partition surfaces
+// as an error naming that partition instead of killing the process.
+// Checkpointing is partition-granular: OnCheckpoint fires after each
+// completed partition, and resuming skips completed partitions, so an
+// interrupted-then-resumed scan merges to exactly the uninterrupted
+// result.
+func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumConfig) (*NEResult, error) {
 	n := spec.N()
 	if len(ss.PerNode) != n {
 		return nil, fmt.Errorf("core: search space covers %d nodes, spec has %d", len(ss.PerNode), n)
@@ -32,50 +47,167 @@ func EnumeratePureNEParallel(spec Spec, agg Aggregation, ss *SearchSpace, maxEqu
 	}
 	if pivot < 0 {
 		// Single profile; no parallelism to extract.
-		return EnumeratePureNE(spec, agg, ss, maxEquilibria)
-	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+		if cfg.Resume != nil && cfg.Resume.Parts != nil {
+			return nil, fmt.Errorf("core: parallel checkpoint has %d partitions, search space has none", len(cfg.Resume.Parts))
+		}
+		return EnumeratePureNEOpts(spec, agg, ss, cfg)
 	}
 
 	parts := ss.PerNode[pivot]
+	done := make([]*PartProgress, len(parts))
+	if cfg.Resume != nil {
+		if cfg.Resume.Cursor != nil {
+			return nil, fmt.Errorf("core: checkpoint is from a serial scan; resume with EnumeratePureNEOpts")
+		}
+		if len(cfg.Resume.Parts) != len(parts) {
+			return nil, fmt.Errorf("core: checkpoint has %d partitions, search space has %d", len(cfg.Resume.Parts), len(parts))
+		}
+		copy(done, cfg.Resume.Parts)
+	}
+	var resumedChecked uint64
+	pending := make([]int, 0, len(parts))
+	for i := range parts {
+		if done[i] != nil {
+			resumedChecked += done[i].Checked
+		} else {
+			pending = append(pending, i)
+		}
+	}
+
+	var budget *profileBudget
+	if cfg.MaxProfiles > 0 {
+		budget = newProfileBudget(cfg.MaxProfiles, resumedChecked)
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// ictx lets the first hard error (panic, internal failure) stop the
+	// remaining partitions promptly.
+	ictx, icancel := context.WithCancel(ctx)
+	defer icancel()
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
 	results := make([]*NEResult, len(parts))
 	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range parts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			reg := obs.Global()
-			reg.Inc(obs.MWorkerTasks)
-			defer reg.Time(obs.MWorkerBusyNanos)()
-			sub := &SearchSpace{PerNode: make([][]Strategy, n)}
-			copy(sub.PerNode, ss.PerNode)
-			sub.PerNode[pivot] = []Strategy{parts[i]}
-			results[i], errs[i] = EnumeratePureNE(spec, agg, sub, maxEquilibria)
-		}(i)
+	jobs := make(chan int)
+	var (
+		wg     sync.WaitGroup
+		ckptMu sync.Mutex // serializes done[] updates and OnCheckpoint calls
+	)
+	partSnapshot := func() *EnumCheckpoint {
+		cp := &EnumCheckpoint{Parts: append([]*PartProgress(nil), done...)}
+		for _, pp := range cp.Parts {
+			if pp != nil {
+				cp.Checked += pp.Checked
+			}
+		}
+		return cp
 	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reg := obs.Global()
+			for i := range jobs {
+				reg.Inc(obs.MWorkerTasks)
+				// Busy time covers partition work only, not queue wait:
+				// the timer starts after the job is received.
+				stopTimer := reg.Time(obs.MWorkerBusyNanos)
+				errs[i] = runctl.Guard(fmt.Sprintf("enumeration partition %d (pivot node %d, strategy %v)", i, pivot, parts[i]), func() error {
+					sub := &SearchSpace{PerNode: make([][]Strategy, n)}
+					copy(sub.PerNode, ss.PerNode)
+					sub.PerNode[pivot] = []Strategy{parts[i]}
+					r, err := EnumeratePureNEOpts(spec, agg, sub, EnumConfig{
+						Ctx:           ictx,
+						MaxEquilibria: cfg.MaxEquilibria,
+						CheckEvery:    cfg.CheckEvery,
+						budget:        budget,
+					})
+					results[i] = r
+					return err
+				})
+				stopTimer()
+				if errs[i] != nil {
+					icancel()
+					continue
+				}
+				if results[i].Status.Complete() {
+					ckptMu.Lock()
+					done[i] = &PartProgress{Checked: results[i].Checked, Equilibria: results[i].Equilibria}
+					if cfg.OnCheckpoint != nil {
+						cfg.OnCheckpoint(partSnapshot())
+					}
+					ckptMu.Unlock()
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, i := range pending {
+			select {
+			case jobs <- i:
+			case <-ictx.Done():
+				return
+			}
+		}
+	}()
 	wg.Wait()
 
-	merged := &NEResult{Complete: true}
-	for i := range parts {
+	for _, i := range pending {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
-		merged.Checked += results[i].Checked
-		if !results[i].Complete {
+	}
+
+	merged := &NEResult{Complete: true}
+	budgetSpent := budget != nil && !budget.take()
+	capped := false
+	for i := range parts {
+		var (
+			checked uint64
+			eqs     []Profile
+			status  runctl.Status
+		)
+		switch {
+		case done[i] != nil:
+			checked, eqs, status = done[i].Checked, done[i].Equilibria, runctl.StatusComplete
+		case results[i] != nil:
+			checked, eqs, status = results[i].Checked, results[i].Equilibria, results[i].Status
+			merged.Complete = false
+		default:
+			// Never dispatched: the context stopped the run first, unless
+			// the shared budget drained before this partition's turn.
+			status = runctl.StatusFromContext(ctx)
+			if status == runctl.StatusComplete && budgetSpent {
+				status = runctl.StatusBudget
+			}
 			merged.Complete = false
 		}
-		for _, p := range results[i].Equilibria {
-			if maxEquilibria > 0 && len(merged.Equilibria) >= maxEquilibria {
-				merged.Complete = false
-				return merged, nil
+		merged.Checked += checked
+		merged.Status = runctl.Merge(merged.Status, status)
+		for _, p := range eqs {
+			if cfg.MaxEquilibria > 0 && len(merged.Equilibria) >= cfg.MaxEquilibria {
+				capped = true
+				break
 			}
 			merged.Equilibria = append(merged.Equilibria, p)
 		}
+	}
+	if capped {
+		merged.Complete = false
+		merged.Status = runctl.Merge(merged.Status, runctl.StatusBudget)
+	}
+	if !merged.Status.Complete() {
+		merged.Resume = partSnapshot()
 	}
 	return merged, nil
 }

@@ -7,12 +7,14 @@
 package dynamics
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"bbc/internal/core"
 	"bbc/internal/graph"
 	"bbc/internal/obs"
+	"bbc/internal/runctl"
 )
 
 // Scheduler picks which node attempts a best-response step next.
@@ -133,6 +135,10 @@ type LoopInfo struct {
 
 // Options controls a walk run.
 type Options struct {
+	// Ctx, when non-nil, is checked before every step: a cancel or
+	// deadline stops the walk with a partial Result whose Status explains
+	// why. Nil means the walk cannot be interrupted.
+	Ctx context.Context
 	// MaxSteps bounds the walk; the zero value means 10·n².
 	MaxSteps int
 	// BR configures the best-response oracle (default exact).
@@ -184,6 +190,11 @@ type Result struct {
 	// SocialCostSeries holds the social cost before any step and after
 	// every step, when Options.RecordSocialCost was set.
 	SocialCostSeries []int64
+	// Status classifies how the walk ended: complete (converged, looped,
+	// or reached the requested connectivity stop), budget (MaxSteps
+	// exhausted), or cancelled/deadline (Options.Ctx fired). Partial
+	// results are returned with a nil error in every case.
+	Status runctl.Status
 }
 
 // Run executes a best-response walk from the given starting profile. Each
@@ -224,6 +235,12 @@ func Run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregati
 	maxSteps := opts.maxSteps(n)
 	reg := obs.Global()
 	for step := 0; step < maxSteps; step++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				res.Status = runctl.StatusFromError(err)
+				break
+			}
+		}
 		if opts.DetectLoops {
 			key := fmt.Sprintf("%d|%s", sched.Phase(step), p.Key())
 			if v, ok := seen[key]; ok && res.Moves > v.moves {
@@ -287,6 +304,11 @@ func Run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregati
 			res.Converged = true
 			break
 		}
+	}
+	if res.Status.Complete() && !res.Converged && res.Loop == nil &&
+		!(opts.StopAtStrongConnectivity && res.ConnectivityStep >= 0) {
+		// The step budget ran out before any terminal condition.
+		res.Status = runctl.StatusBudget
 	}
 	res.Final = p
 	if opts.Trace {

@@ -1,0 +1,61 @@
+package dynamics
+
+import (
+	"context"
+	"testing"
+
+	"bbc/internal/core"
+	"bbc/internal/runctl"
+)
+
+// TestRunHonorsCancelledContext: a walk under an already-cancelled
+// context stops immediately with a partial result, not an error.
+func TestRunHonorsCancelledContext(t *testing.T) {
+	spec := core.MustUniform(8, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(spec, core.NewEmptyProfile(8), NewRoundRobin(8), core.SumDistances,
+		Options{Ctx: ctx, MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != runctl.StatusCancelled {
+		t.Fatalf("want cancelled status, got %v", res.Status)
+	}
+	if res.Steps != 0 || res.Converged {
+		t.Errorf("cancelled walk still ran: steps=%d converged=%v", res.Steps, res.Converged)
+	}
+}
+
+// TestRunStatusBudgetOnExhaustion: hitting MaxSteps without converging
+// or looping is classified as budget exhaustion.
+func TestRunStatusBudgetOnExhaustion(t *testing.T) {
+	spec := core.MustUniform(8, 2)
+	res, err := Run(spec, core.NewEmptyProfile(8), NewRoundRobin(8), core.SumDistances,
+		Options{MaxSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Loop != nil {
+		t.Skip("walk finished within one step; no exhaustion to classify")
+	}
+	if res.Status != runctl.StatusBudget {
+		t.Fatalf("want budget status for exhausted walk, got %v", res.Status)
+	}
+}
+
+// TestSimultaneousHonorsCancelledContext mirrors the sequential case for
+// synchronous rounds.
+func TestSimultaneousHonorsCancelledContext(t *testing.T) {
+	spec := core.MustUniform(6, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunSimultaneousOpts(spec, core.NewEmptyProfile(6), core.SumDistances,
+		SimOptions{Ctx: ctx, MaxRounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != runctl.StatusCancelled {
+		t.Fatalf("want cancelled status, got %v", res.Status)
+	}
+}

@@ -1,7 +1,9 @@
 package dynamics
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -9,6 +11,7 @@ import (
 
 	"bbc/internal/core"
 	"bbc/internal/obs"
+	"bbc/internal/runctl"
 )
 
 // EnsembleConfig describes a batch of best-response walks over random
@@ -19,7 +22,9 @@ type EnsembleConfig struct {
 	// Trials is the number of random starts.
 	Trials int
 	// Seed feeds the per-trial RNGs (trial t uses Seed + t), so runs are
-	// reproducible regardless of scheduling.
+	// reproducible regardless of scheduling — and so a resumed run needs
+	// no serialized RNG state beyond this seed and the completed-trial
+	// set.
 	Seed int64
 	// Scheduler names the walk variant: "round-robin", "max-cost-first" or
 	// "random".
@@ -30,13 +35,24 @@ type EnsembleConfig struct {
 	Walk Options
 	// EmptyStart uses the empty profile instead of a random one.
 	EmptyStart bool
-	// Workers bounds the concurrent trials; 0 means NumCPU.
+	// Workers bounds the concurrent trials; 0 means NumCPU. At most
+	// Workers goroutines run regardless of Trials.
 	Workers int
 	// Journal, when non-nil, receives one "trial" record per completed
 	// walk (the journal is mutex-protected, so concurrent trials may
 	// share it). Per-move records stay off in ensembles; set Walk.Journal
 	// explicitly to capture them.
 	Journal *obs.Journal
+	// Ctx, when non-nil, cancels the ensemble: no new trial starts after
+	// it fires, in-flight walks stop at their next step, and the partial
+	// stats are returned with resume state.
+	Ctx context.Context
+	// Resume skips the trials a previous run already completed, crediting
+	// their recorded outcomes.
+	Resume *EnsembleCheckpoint
+	// OnCheckpoint, when non-nil, receives a progress snapshot after each
+	// completed trial. The callback must not mutate the snapshot.
+	OnCheckpoint func(*EnsembleCheckpoint)
 }
 
 func (c EnsembleConfig) agg() core.Aggregation {
@@ -46,9 +62,41 @@ func (c EnsembleConfig) agg() core.Aggregation {
 	return c.Agg
 }
 
+// Fingerprint identifies the ensemble configuration for checkpoint
+// validation: resuming is refused unless game shape, trial count, seed,
+// scheduler, aggregation and walk bounds all match.
+func (c EnsembleConfig) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "n=%d;k=%d;trials=%d;seed=%d;sched=%s;agg=%d;steps=%d;empty=%v;loops=%v;conn=%v;br=%d,%d,%d",
+		c.N, c.K, c.Trials, c.Seed, c.Scheduler, c.agg(), c.Walk.MaxSteps, c.EmptyStart,
+		c.Walk.DetectLoops, c.Walk.StopAtStrongConnectivity,
+		c.Walk.BR.Method, c.Walk.BR.EnumLimit, c.Walk.BR.SwapRounds)
+	return fmt.Sprintf("ensemble-%016x", h.Sum64())
+}
+
+// TrialOutcome is the checkpointable result of one completed trial.
+type TrialOutcome struct {
+	Converged        bool `json:"converged"`
+	Looped           bool `json:"looped"`
+	Exhausted        bool `json:"exhausted"`
+	ConnectivityStep int  `json:"connectivity_step"`
+}
+
+// EnsembleCheckpoint is the resume state of an interrupted ensemble:
+// per-trial outcomes, indexed by trial number (nil = not yet run).
+// Because trial t's randomness derives from Seed+t alone, replaying the
+// missing trials reproduces the uninterrupted run exactly. Wrap it in a
+// runctl.Checkpoint envelope (kind "ensemble") to persist it.
+type EnsembleCheckpoint struct {
+	Outcomes []*TrialOutcome `json:"outcomes"`
+}
+
 // EnsembleStats aggregates walk outcomes over the ensemble.
 type EnsembleStats struct {
 	Trials int
+	// Completed counts trials that actually ran to a verdict (equal to
+	// Trials unless the run was cancelled).
+	Completed int
 	// Converged counts walks that reached a pure Nash equilibrium.
 	Converged int
 	// Looped counts walks that produced a certified best-response loop
@@ -63,6 +111,12 @@ type EnsembleStats struct {
 	// MaxConnectivityStep is the worst observed step count (0 when no
 	// trial reached connectivity).
 	MaxConnectivityStep int
+	// Status classifies how the ensemble ended; partial stats carry a
+	// non-complete status and Resume state.
+	Status runctl.Status
+	// Resume, non-nil when trials remain, continues the ensemble from
+	// where it stopped.
+	Resume *EnsembleCheckpoint
 }
 
 // ConnectivityQuantile returns the q-quantile (0..1) of the connectivity
@@ -78,6 +132,10 @@ func (s *EnsembleStats) ConnectivityQuantile(q float64) int {
 // RunEnsemble executes the configured batch of walks concurrently and
 // aggregates the outcomes. Results are deterministic for a fixed Seed: the
 // per-trial randomness is derived from Seed+trial, never from scheduling.
+// At most cfg.Workers goroutines run; a panic inside one trial surfaces
+// as an error naming that trial while other trials finish; cancelling
+// cfg.Ctx returns partial stats plus checkpoint state from which a
+// resumed run reproduces the uninterrupted result exactly.
 func RunEnsemble(spec *core.Uniform, cfg EnsembleConfig) (*EnsembleStats, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("dynamics: ensemble needs at least one trial")
@@ -85,86 +143,156 @@ func RunEnsemble(spec *core.Uniform, cfg EnsembleConfig) (*EnsembleStats, error)
 	if spec.N() != cfg.N || spec.K() != cfg.K {
 		return nil, fmt.Errorf("dynamics: spec is (%d,%d), config says (%d,%d)", spec.N(), spec.K(), cfg.N, cfg.K)
 	}
+	outcomes := make([]*TrialOutcome, cfg.Trials)
+	if cfg.Resume != nil {
+		if len(cfg.Resume.Outcomes) != cfg.Trials {
+			return nil, fmt.Errorf("dynamics: checkpoint has %d trials, config says %d", len(cfg.Resume.Outcomes), cfg.Trials)
+		}
+		copy(outcomes, cfg.Resume.Outcomes)
+	}
+	pending := make([]int, 0, cfg.Trials)
+	for t := range outcomes {
+		if outcomes[t] == nil {
+			pending = append(pending, t)
+		}
+	}
+
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// ictx stops the remaining trials promptly after the first hard error.
+	ictx, icancel := context.WithCancel(ctx)
+	defer icancel()
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	type outcome struct {
-		converged, looped, exhausted bool
-		connectivity                 int
-		err                          error
+	if workers > len(pending) {
+		workers = len(pending)
 	}
-	outcomes := make([]outcome, cfg.Trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for trial := 0; trial < cfg.Trials; trial++ {
+
+	errs := make([]error, cfg.Trials)
+	jobs := make(chan int)
+	var (
+		wg     sync.WaitGroup
+		ckptMu sync.Mutex // serializes outcomes[] updates and OnCheckpoint calls
+	)
+	snapshot := func() *EnsembleCheckpoint {
+		return &EnsembleCheckpoint{Outcomes: append([]*TrialOutcome(nil), outcomes...)}
+	}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(trial int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
-			var start core.Profile
-			if cfg.EmptyStart {
-				start = core.NewEmptyProfile(cfg.N)
-			} else {
-				start = RandomStart(rng, cfg.N, cfg.K)
-			}
-			sched, err := newScheduler(cfg, rng)
-			if err != nil {
-				outcomes[trial] = outcome{err: err}
-				return
-			}
 			reg := obs.Global()
-			reg.Inc(obs.MWorkerTasks)
-			stop := reg.Time(obs.MWorkerBusyNanos)
-			res, err := Run(spec, start, sched, cfg.agg(), cfg.Walk)
-			stop()
-			if err != nil {
-				outcomes[trial] = outcome{err: err}
+			for trial := range jobs {
+				reg.Inc(obs.MWorkerTasks)
+				// Busy time covers walk work only, not queue wait.
+				stopTimer := reg.Time(obs.MWorkerBusyNanos)
+				errs[trial] = runctl.Guard(fmt.Sprintf("ensemble trial %d", trial), func() error {
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
+					var start core.Profile
+					if cfg.EmptyStart {
+						start = core.NewEmptyProfile(cfg.N)
+					} else {
+						start = RandomStart(rng, cfg.N, cfg.K)
+					}
+					sched, err := newScheduler(cfg, rng)
+					if err != nil {
+						return err
+					}
+					wopts := cfg.Walk
+					wopts.Ctx = ictx
+					res, err := Run(spec, start, sched, cfg.agg(), wopts)
+					if err != nil {
+						return err
+					}
+					if !res.Status.Complete() && res.Status != runctl.StatusBudget {
+						// Cancelled mid-walk: no verdict; the trial stays
+						// pending in the checkpoint and reruns on resume.
+						return nil
+					}
+					reg.Inc(obs.MTrials)
+					cfg.Journal.Event("trial", map[string]any{
+						"trial":             trial,
+						"steps":             res.Steps,
+						"moves":             res.Moves,
+						"converged":         res.Converged,
+						"looped":            res.Loop != nil,
+						"connectivity_step": res.ConnectivityStep,
+					})
+					ckptMu.Lock()
+					outcomes[trial] = &TrialOutcome{
+						Converged:        res.Converged,
+						Looped:           res.Loop != nil,
+						Exhausted:        !res.Converged && res.Loop == nil,
+						ConnectivityStep: res.ConnectivityStep,
+					}
+					if cfg.OnCheckpoint != nil {
+						cfg.OnCheckpoint(snapshot())
+					}
+					ckptMu.Unlock()
+					return nil
+				})
+				stopTimer()
+				if errs[trial] != nil {
+					icancel()
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, t := range pending {
+			select {
+			case jobs <- t:
+			case <-ictx.Done():
 				return
 			}
-			reg.Inc(obs.MTrials)
-			cfg.Journal.Event("trial", map[string]any{
-				"trial":             trial,
-				"steps":             res.Steps,
-				"moves":             res.Moves,
-				"converged":         res.Converged,
-				"looped":            res.Loop != nil,
-				"connectivity_step": res.ConnectivityStep,
-			})
-			outcomes[trial] = outcome{
-				converged:    res.Converged,
-				looped:       res.Loop != nil,
-				exhausted:    !res.Converged && res.Loop == nil,
-				connectivity: res.ConnectivityStep,
-			}
-		}(trial)
-	}
+		}
+	}()
 	wg.Wait()
 
-	stats := &EnsembleStats{Trials: cfg.Trials}
-	for _, o := range outcomes {
-		if o.err != nil {
-			return nil, o.err
+	for _, t := range pending {
+		if errs[t] != nil {
+			return nil, errs[t]
 		}
-		if o.converged {
+	}
+
+	stats := &EnsembleStats{Trials: cfg.Trials}
+	missing := 0
+	for _, o := range outcomes {
+		if o == nil {
+			missing++
+			continue
+		}
+		stats.Completed++
+		if o.Converged {
 			stats.Converged++
 		}
-		if o.looped {
+		if o.Looped {
 			stats.Looped++
 		}
-		if o.exhausted {
+		if o.Exhausted {
 			stats.Exhausted++
 		}
-		if o.connectivity >= 0 {
-			stats.ConnectivitySteps = append(stats.ConnectivitySteps, o.connectivity)
-			if o.connectivity > stats.MaxConnectivityStep {
-				stats.MaxConnectivityStep = o.connectivity
+		if o.ConnectivityStep >= 0 {
+			stats.ConnectivitySteps = append(stats.ConnectivitySteps, o.ConnectivityStep)
+			if o.ConnectivityStep > stats.MaxConnectivityStep {
+				stats.MaxConnectivityStep = o.ConnectivityStep
 			}
 		}
 	}
 	sort.Ints(stats.ConnectivitySteps)
+	if missing > 0 {
+		stats.Status = runctl.StatusFromContext(ctx)
+		if stats.Status.Complete() {
+			stats.Status = runctl.StatusCancelled
+		}
+		stats.Resume = snapshot()
+	}
 	return stats, nil
 }
 

@@ -1,0 +1,84 @@
+package dynamics
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"bbc/internal/core"
+	"bbc/internal/runctl"
+)
+
+// TestRunEnsembleCancelAndResume interrupts an ensemble mid-run and
+// resumes it; the combined stats must equal the uninterrupted run
+// exactly, because per-trial determinism comes from Seed+trial and the
+// checkpoint records complete trials only.
+func TestRunEnsembleCancelAndResume(t *testing.T) {
+	spec := core.MustUniform(6, 1)
+	cfg := EnsembleConfig{
+		N: 6, K: 1, Trials: 12, Seed: 7,
+		Walk:    Options{MaxSteps: 300, DetectLoops: true},
+		Workers: 2,
+	}
+	ref, err := RunEnsemble(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Status != runctl.StatusComplete || ref.Completed != cfg.Trials {
+		t.Fatalf("reference ensemble incomplete: %+v", ref)
+	}
+
+	// Cancel after the first completed trial's checkpoint.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ccfg := cfg
+	ccfg.Ctx = ctx
+	ccfg.OnCheckpoint = func(cp *EnsembleCheckpoint) { cancel() }
+	partial, err := RunEnsemble(spec, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Status != runctl.StatusCancelled {
+		t.Fatalf("want cancelled ensemble, got %v", partial.Status)
+	}
+	if partial.Completed == 0 || partial.Completed >= cfg.Trials {
+		t.Fatalf("implausible partial completion: %d of %d", partial.Completed, cfg.Trials)
+	}
+	if partial.Resume == nil {
+		t.Fatal("cancelled ensemble carries no resume state")
+	}
+
+	// Round-trip the checkpoint through its persistence envelope, as the
+	// CLIs do, then resume.
+	fp := cfg.Fingerprint()
+	env, err := runctl.NewCheckpoint("ensemble", fp, partial.Status, nil, partial.Resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded runctl.Checkpoint
+	if err := json.Unmarshal(raw, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	var cp EnsembleCheckpoint
+	if err := loaded.Decode("ensemble", fp, &cp); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Resume = &cp
+	rest, err := RunEnsemble(spec, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.Status != runctl.StatusComplete || rest.Completed != cfg.Trials {
+		t.Fatalf("resumed ensemble incomplete: %+v", rest.Status)
+	}
+	ref.Resume, rest.Resume = nil, nil
+	if !reflect.DeepEqual(ref, rest) {
+		t.Errorf("resumed ensemble stats diverge from uninterrupted run:\n got %+v\nwant %+v", rest, ref)
+	}
+}

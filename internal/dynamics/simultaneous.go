@@ -1,10 +1,12 @@
 package dynamics
 
 import (
+	"context"
 	"fmt"
 
 	"bbc/internal/core"
 	"bbc/internal/obs"
+	"bbc/internal/runctl"
 )
 
 // SimultaneousResult reports a synchronous best-response run, where every
@@ -24,6 +26,10 @@ type SimultaneousResult struct {
 	// synchronous dynamics entered a deterministic cycle of the given
 	// length (in rounds).
 	Loop *SimultaneousLoop
+	// Status classifies how the run ended: complete (converged or looped),
+	// budget (MaxRounds exhausted), or cancelled/deadline (SimOptions.Ctx
+	// fired mid-run, partial result returned with a nil error).
+	Status runctl.Status
 }
 
 // SimultaneousLoop certifies a cycle of the synchronous dynamics.
@@ -36,6 +42,9 @@ type SimultaneousLoop struct {
 
 // SimOptions tunes RunSimultaneousOpts.
 type SimOptions struct {
+	// Ctx, when non-nil, is checked before every round; a cancel or
+	// deadline ends the run with a partial result.
+	Ctx context.Context
 	// MaxRounds bounds the run; 0 means 1000.
 	MaxRounds int
 	// Journal, when non-nil, receives one "round" record per synchronous
@@ -68,6 +77,13 @@ func RunSimultaneousOpts(spec core.Spec, start core.Profile, agg core.Aggregatio
 	res := &SimultaneousResult{}
 	reg := obs.Global()
 	for round := 1; round <= maxRounds; round++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				res.Status = runctl.StatusFromError(err)
+				res.Final = p
+				return res, nil
+			}
+		}
 		reg.Inc(obs.MSimRounds)
 		g := p.Realize(spec)
 		next := p.Clone()
@@ -106,5 +122,6 @@ func RunSimultaneousOpts(spec core.Spec, start core.Profile, agg core.Aggregatio
 		seen[key] = round
 	}
 	res.Final = p
+	res.Status = runctl.StatusBudget // MaxRounds ran out without a verdict
 	return res, nil
 }

@@ -67,10 +67,16 @@ func E1(cfg Config) *Report {
 		r.addFinding("pinning error: %v", err)
 		return r
 	}
-	ne, err := core.EnumeratePureNEParallel(d, core.SumDistances, ss, 1, 0)
+	ne, err := core.EnumeratePureNEParallelOpts(d, core.SumDistances, ss,
+		core.EnumConfig{Ctx: cfg.Ctx, MaxEquilibria: 1})
 	if err != nil {
 		r.Pass = false
 		r.addFinding("enumeration error: %v", err)
+		return r
+	}
+	if !ne.Status.Complete() && len(ne.Equilibria) == 0 {
+		r.Pass = false
+		r.addFinding("scan interrupted (%s) after %d profiles; rerun or resume to certify", ne.Status, ne.Checked)
 		return r
 	}
 	r.addRow("exhaustive scan: %d profiles checked, %d equilibria", ne.Checked, len(ne.Equilibria))

@@ -19,7 +19,7 @@ func E10(cfg Config) *Report {
 	for _, tc := range cases {
 		spec := core.MustUniform(tc.n, tc.k)
 		stats, err := dynamics.RunEnsemble(spec, dynamics.EnsembleConfig{
-			N: tc.n, K: tc.k, Trials: tc.trials, Seed: 1000,
+			N: tc.n, K: tc.k, Trials: tc.trials, Seed: 1000, Ctx: cfg.Ctx,
 			Walk: dynamics.Options{StopAtStrongConnectivity: true},
 		})
 		if err != nil {
@@ -64,7 +64,7 @@ func E11(cfg Config) *Report {
 		n := tc.ring + tc.path
 		res, err := dynamics.Run(spec, p,
 			&dynamics.RoundRobin{Order: construct.RingPathRoundRobinOrder(tc.ring, tc.path)},
-			core.SumDistances, dynamics.Options{MaxSteps: 50 * n * n, StopAtStrongConnectivity: true})
+			core.SumDistances, dynamics.Options{Ctx: cfg.Ctx, MaxSteps: 50 * n * n, StopAtStrongConnectivity: true})
 		if err != nil {
 			r.Pass = false
 			r.addFinding("run: %v", err)
@@ -128,7 +128,7 @@ func E13(cfg Config) *Report {
 	// Random starts: mixture of convergence and loops.
 	spec := core.MustUniform(6, 2)
 	stats, err := dynamics.RunEnsemble(spec, dynamics.EnsembleConfig{
-		N: 6, K: 2, Trials: 20, Seed: 2000, Scheduler: "max-cost-first",
+		N: 6, K: 2, Trials: 20, Seed: 2000, Scheduler: "max-cost-first", Ctx: cfg.Ctx,
 		Walk: dynamics.Options{MaxSteps: 3000, DetectLoops: true},
 	})
 	if err != nil {
@@ -180,7 +180,8 @@ func E14(cfg Config) *Report {
 		r.addFinding("pinning: %v", err)
 		return r
 	}
-	res, err := core.EnumeratePureNE(d, core.MaxDistance, ss, 1)
+	res, err := core.EnumeratePureNEOpts(d, core.MaxDistance, ss,
+		core.EnumConfig{Ctx: cfg.Ctx, MaxEquilibria: 1})
 	if err != nil {
 		r.Pass = false
 		r.addFinding("enumeration: %v", err)

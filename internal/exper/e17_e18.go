@@ -44,10 +44,16 @@ func E17(cfg Config) *Report {
 		if ss.Size() > 400_000 {
 			continue
 		}
-		res, err := core.EnumeratePureNE(d, core.SumDistances, ss, 1)
+		res, err := core.EnumeratePureNEOpts(d, core.SumDistances, ss,
+			core.EnumConfig{Ctx: cfg.Ctx, MaxEquilibria: 1})
 		if err != nil {
 			r.Pass = false
 			r.addFinding("enumerate: %v", err)
+			return r
+		}
+		if !res.Status.Complete() && len(res.Equilibria) == 0 {
+			r.Pass = false
+			r.addFinding("scan interrupted (%s) after %d games", res.Status, checked)
 			return r
 		}
 		checked++

@@ -30,7 +30,7 @@ func E19(cfg Config) *Report {
 	} {
 		spec := core.MustUniform(tc.n, tc.k)
 		stats, err := dynamics.RunEnsemble(spec, dynamics.EnsembleConfig{
-			N: tc.n, K: tc.k, Trials: trials, Seed: 4000,
+			N: tc.n, K: tc.k, Trials: trials, Seed: 4000, Ctx: cfg.Ctx,
 			Walk: dynamics.Options{MaxSteps: 4000, DetectLoops: true,
 				BR: core.Options{Method: tc.method}},
 		})
@@ -131,7 +131,8 @@ func E20(cfg Config) *Report {
 		r.addFinding("pinning: %v", err)
 		return r
 	}
-	res, err := core.EnumeratePureNE(d, core.SumDistances, ss, 1)
+	res, err := core.EnumeratePureNEOpts(d, core.SumDistances, ss,
+		core.EnumConfig{Ctx: cfg.Ctx, MaxEquilibria: 1})
 	if err != nil {
 		r.Pass = false
 		r.addFinding("enumeration: %v", err)

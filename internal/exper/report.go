@@ -5,6 +5,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -88,6 +89,25 @@ type Config struct {
 	// no-NE enumerations); their results are then reported from the
 	// regression-tested fast witnesses instead.
 	Quick bool
+	// Ctx, when non-nil, propagates cancellation and deadlines into the
+	// long scans (exhaustive enumerations, ensembles): an interrupted
+	// experiment reports a partial, failing result instead of hanging,
+	// and the suite runner stops scheduling further experiments.
+	Ctx context.Context
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// Interrupted reports whether the configured context has fired; suite
+// runners use it to stop scheduling experiments after a signal.
+func (c Config) Interrupted() bool {
+	return c.Ctx != nil && c.Ctx.Err() != nil
 }
 
 // Experiment couples an experiment id with its runner, so callers can
@@ -120,6 +140,9 @@ func All(cfg Config) []*Report {
 	suite := Suite()
 	out := make([]*Report, 0, len(suite))
 	for _, e := range suite {
+		if cfg.Interrupted() {
+			break
+		}
 		out = append(out, Instrumented(e.Run, cfg))
 	}
 	return out

@@ -92,6 +92,39 @@ func (j *Journal) Event(typ string, data map[string]any) {
 	j.seq++
 }
 
+// Canonical journal event types emitted by the run-control layer, in
+// addition to the per-domain events ("move", "trial", "experiment", ...).
+const (
+	// EventCheckpoint records that a resumable snapshot was persisted
+	// (data: path, kind, checked/completed progress fields).
+	EventCheckpoint = "checkpoint"
+	// EventRunStatus is the final record of a controlled run (data:
+	// status, complete, plus run-specific progress); it is written even
+	// when the run was interrupted, so a journal never just stops.
+	EventRunStatus = "run_status"
+)
+
+// Checkpoint appends an EventCheckpoint record describing a persisted
+// snapshot. No-op on a nil journal.
+func (j *Journal) Checkpoint(path, kind string, progress map[string]any) {
+	data := map[string]any{"path": path, "kind": kind}
+	for k, v := range progress {
+		data[k] = v
+	}
+	j.Event(EventCheckpoint, data)
+}
+
+// RunStatus appends the final EventRunStatus record: how the run ended
+// (a runctl status name) and whether the computation was complete.
+// No-op on a nil journal.
+func (j *Journal) RunStatus(status string, complete bool, extra map[string]any) {
+	data := map[string]any{"status": status, "complete": complete}
+	for k, v := range extra {
+		data[k] = v
+	}
+	j.Event(EventRunStatus, data)
+}
+
 // Len returns the number of records written so far.
 func (j *Journal) Len() int64 {
 	if j == nil {

@@ -1,0 +1,120 @@
+package runctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointVersion is the current snapshot schema version. Loaders
+// reject other versions explicitly instead of misreading them.
+const CheckpointVersion = 1
+
+// Checkpoint is the versioned envelope of a run snapshot. Kind names the
+// payload schema ("enumeration", "ensemble", "suite", ...), and Payload
+// holds the kind-specific state (search-space cursor, equilibria found,
+// trial outcomes, RNG seed, counter deltas) marshaled by the producer.
+type Checkpoint struct {
+	// Version is the envelope schema version (CheckpointVersion).
+	Version int `json:"version"`
+	// Kind names the payload schema.
+	Kind string `json:"kind"`
+	// Fingerprint ties the snapshot to the run configuration that
+	// produced it (spec shape, seed, flags); resuming under a different
+	// fingerprint is refused rather than silently producing garbage.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Status records how the producing run had ended at save time
+	// (usually cancelled/deadline for an interrupt snapshot).
+	Status Status `json:"status"`
+	// Counters carries the producing run's observability counter
+	// snapshot, so resumed runs can report cumulative work.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Payload is the kind-specific resume state.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// NewCheckpoint wraps a payload value into a versioned envelope.
+func NewCheckpoint(kind, fingerprint string, status Status, counters map[string]int64, payload any) (*Checkpoint, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("runctl: marshal %s checkpoint payload: %w", kind, err)
+	}
+	return &Checkpoint{
+		Version:     CheckpointVersion,
+		Kind:        kind,
+		Fingerprint: fingerprint,
+		Status:      status,
+		Counters:    counters,
+		Payload:     raw,
+	}, nil
+}
+
+// Decode unmarshals the payload into out after validating version, kind
+// and fingerprint, so a resume from the wrong snapshot fails loudly.
+func (c *Checkpoint) Decode(kind, fingerprint string, out any) error {
+	if c.Version != CheckpointVersion {
+		return fmt.Errorf("runctl: checkpoint version %d, want %d", c.Version, CheckpointVersion)
+	}
+	if c.Kind != kind {
+		return fmt.Errorf("runctl: checkpoint kind %q, want %q", c.Kind, kind)
+	}
+	if fingerprint != "" && c.Fingerprint != fingerprint {
+		return fmt.Errorf("runctl: checkpoint was taken for a different run (fingerprint %q, want %q)", c.Fingerprint, fingerprint)
+	}
+	if err := json.Unmarshal(c.Payload, out); err != nil {
+		return fmt.Errorf("runctl: decode %s checkpoint payload: %w", kind, err)
+	}
+	return nil
+}
+
+// Save writes the checkpoint atomically: marshal to a temp file in the
+// destination directory, fsync, then rename over the target, so a crash
+// mid-write leaves either the previous snapshot or the new one, never a
+// torn file.
+func Save(path string, c *Checkpoint) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runctl: marshal checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runctl: create checkpoint temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runctl: close checkpoint temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("runctl: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a checkpoint envelope from path. The payload
+// stays raw; call Decode with the expected kind to unpack it.
+func Load(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runctl: read checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("runctl: parse checkpoint %s: %w", path, err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("runctl: checkpoint %s has version %d, this build reads %d", path, c.Version, CheckpointVersion)
+	}
+	return &c, nil
+}

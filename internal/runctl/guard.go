@@ -1,0 +1,38 @@
+package runctl
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError carries a recovered worker panic out of a pool as an
+// ordinary error naming the unit of work that blew up (partition,
+// trial), so one poisoned input degrades a run instead of killing the
+// process.
+type PanicError struct {
+	// Label names the failed work unit, e.g. "enumeration partition 17"
+	// or "ensemble trial 3".
+	Label string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error summarizes the panic; the stack is available via the struct for
+// diagnostic output.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runctl: panic in %s: %v", e.Label, e.Value)
+}
+
+// Guard runs fn, converting a panic into a *PanicError wrapping label.
+// Use it as the body of pool workers: a panic in one task surfaces as
+// that task's error while the other workers keep draining the queue.
+func Guard(label string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Label: label, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

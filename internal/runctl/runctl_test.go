@@ -1,0 +1,280 @@
+package runctl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStatusNamesAndJSON(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusComplete:  "complete",
+		StatusCancelled: "cancelled",
+		StatusDeadline:  "deadline",
+		StatusBudget:    "budget",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != `"`+want+`"` {
+			t.Errorf("marshal %v = %s", s, data)
+		}
+		var back Status
+		if err := json.Unmarshal(data, &back); err != nil || back != s {
+			t.Errorf("unmarshal %s = %v, %v", data, back, err)
+		}
+	}
+	var bad Status
+	if err := json.Unmarshal([]byte(`"sideways"`), &bad); err == nil {
+		t.Error("expected error for unknown status name")
+	}
+}
+
+func TestStatusFromError(t *testing.T) {
+	if got := StatusFromError(nil); got != StatusComplete {
+		t.Errorf("nil -> %v", got)
+	}
+	if got := StatusFromError(fmt.Errorf("wrap: %w", ErrBudget)); got != StatusBudget {
+		t.Errorf("ErrBudget -> %v", got)
+	}
+	if got := StatusFromError(context.DeadlineExceeded); got != StatusDeadline {
+		t.Errorf("deadline -> %v", got)
+	}
+	if got := StatusFromError(context.Canceled); got != StatusCancelled {
+		t.Errorf("canceled -> %v", got)
+	}
+	if got := StatusFromError(errors.New("boom")); got != StatusCancelled {
+		t.Errorf("unknown -> %v", got)
+	}
+}
+
+func TestStatusMerge(t *testing.T) {
+	if got := Merge(StatusComplete, StatusComplete); got != StatusComplete {
+		t.Errorf("complete+complete = %v", got)
+	}
+	if got := Merge(StatusBudget, StatusCancelled); got != StatusCancelled {
+		t.Errorf("budget+cancelled = %v", got)
+	}
+	if got := Merge(StatusDeadline, StatusBudget); got != StatusDeadline {
+		t.Errorf("deadline+budget = %v", got)
+	}
+	if got := Merge(StatusComplete, StatusBudget); got != StatusBudget {
+		t.Errorf("complete+budget = %v", got)
+	}
+}
+
+func TestPollerObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPoller(ctx, 8)
+	for i := 0; i < 20; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("premature stop at iteration %d: %v", i, err)
+		}
+	}
+	cancel()
+	var stopped bool
+	for i := 0; i < 16; i++ { // must notice within one polling period
+		if p.Check() != nil {
+			stopped = true
+			break
+		}
+	}
+	if !stopped {
+		t.Fatal("poller never observed the cancelled context")
+	}
+	if p.Check() == nil {
+		t.Fatal("poller error must be sticky")
+	}
+}
+
+func TestPollerNilContextNeverStops(t *testing.T) {
+	p := NewPoller(nil, 1)
+	for i := 0; i < 100; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("nil-context poller stopped: %v", err)
+		}
+	}
+}
+
+func TestPollerChecksFirstIteration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewPoller(ctx, 1_000_000)
+	if err := p.Check(); err == nil {
+		t.Fatal("an already-cancelled context must stop the first check")
+	}
+}
+
+func TestCheckpointSaveLoadRoundtrip(t *testing.T) {
+	type payload struct {
+		Cursor  []int    `json:"cursor"`
+		Checked uint64   `json:"checked"`
+		Found   []string `json:"found"`
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	in := payload{Cursor: []int{3, 0, 7}, Checked: 12345, Found: []string{"a", "b"}}
+	cp, err := NewCheckpoint("enumeration", "fp-1", StatusCancelled, map[string]int64{"core.profiles_checked": 12345}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter after a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir has %d entries, want 1", len(entries))
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "enumeration" || got.Status != StatusCancelled || got.Counters["core.profiles_checked"] != 12345 {
+		t.Fatalf("envelope mismatch: %+v", got)
+	}
+	var out payload
+	if err := got.Decode("enumeration", "fp-1", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Checked != in.Checked || len(out.Cursor) != 3 || out.Cursor[2] != 7 {
+		t.Fatalf("payload mismatch: %+v", out)
+	}
+}
+
+func TestCheckpointDecodeValidation(t *testing.T) {
+	cp, err := NewCheckpoint("enumeration", "fp-1", StatusComplete, nil, map[string]int{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if err := cp.Decode("ensemble", "fp-1", &out); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Errorf("wrong kind accepted: %v", err)
+	}
+	if err := cp.Decode("enumeration", "fp-2", &out); err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Errorf("wrong fingerprint accepted: %v", err)
+	}
+	if err := cp.Decode("enumeration", "", &out); err != nil {
+		t.Errorf("empty expected fingerprint must skip the check: %v", err)
+	}
+	cp.Version = 99
+	if err := cp.Decode("enumeration", "fp-1", &out); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong version accepted: %v", err)
+	}
+}
+
+func TestCheckpointLoadRejectsGarbageAndWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("garbage checkpoint loaded without error")
+	}
+	v9 := filepath.Join(dir, "v9.ckpt")
+	if err := os.WriteFile(v9, []byte(`{"version":9,"kind":"enumeration","payload":{}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(v9); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version accepted: %v", err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Error("missing checkpoint loaded without error")
+	}
+}
+
+func TestCheckpointSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	for i := 0; i < 3; i++ {
+		cp, err := NewCheckpoint("enumeration", "fp", StatusBudget, nil, map[string]int{"i": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Save(path, cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if err := got.Decode("enumeration", "fp", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["i"] != 2 {
+		t.Fatalf("latest save not visible: %+v", out)
+	}
+}
+
+func TestGuardPassesThroughAndRecovers(t *testing.T) {
+	if err := Guard("unit", func() error { return nil }); err != nil {
+		t.Fatalf("clean fn: %v", err)
+	}
+	want := errors.New("plain failure")
+	if err := Guard("unit", func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("error fn: %v", err)
+	}
+	err := Guard("enumeration partition 17", func() error { panic("index out of range") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not converted: %v", err)
+	}
+	if !strings.Contains(pe.Error(), "partition 17") || !strings.Contains(pe.Error(), "index out of range") {
+		t.Errorf("panic error lacks context: %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error lacks a stack")
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	if ExitCode(StatusComplete) != ExitOK {
+		t.Error("complete must exit 0")
+	}
+	if ExitCode(StatusBudget) != ExitBudget || ExitCode(StatusDeadline) != ExitBudget {
+		t.Error("budget/deadline must share the budget exit code")
+	}
+	if ExitCode(StatusCancelled) != ExitInterrupted {
+		t.Error("cancelled must use the interrupted exit code")
+	}
+}
+
+func TestWithDeadline(t *testing.T) {
+	parent := context.Background()
+	ctx, cancel := WithDeadline(parent, 0)
+	defer cancel()
+	if ctx != parent {
+		t.Error("zero timeout must return the parent unchanged")
+	}
+	ctx, cancel = WithDeadline(parent, time.Millisecond)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("positive timeout must set a deadline")
+	}
+}
+
+func TestSignalContextStopIsIdempotent(t *testing.T) {
+	ctx, signalled, stop := SignalContext(context.Background())
+	if signalled() != nil {
+		t.Error("no signal yet")
+	}
+	stop()
+	stop() // must not panic or double-close
+	<-ctx.Done()
+}

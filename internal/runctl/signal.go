@@ -1,0 +1,95 @@
+package runctl
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Distinct process exit codes for the bbc CLIs. 0/1/2 keep their POSIX
+// and package-flag meanings; partial-result exits get their own codes so
+// scripts and CI can distinguish "interrupted but flushed" from "failed".
+const (
+	// ExitOK: the run completed.
+	ExitOK = 0
+	// ExitError: the run failed (bad input, I/O error, internal error).
+	ExitError = 1
+	// ExitUsage: flag parsing failed (package flag exits with 2).
+	ExitUsage = 2
+	// ExitBudget: a -timeout / -max-profiles / -max-steps budget truncated
+	// the run; partial results were reported.
+	ExitBudget = 3
+	// ExitInterrupted: SIGINT/SIGTERM stopped the run; partial results and
+	// (when enabled) a checkpoint were flushed before exit.
+	ExitInterrupted = 130
+)
+
+// ExitCode maps a final run status to the CLI exit code.
+func ExitCode(s Status) int {
+	switch s {
+	case StatusComplete:
+		return ExitOK
+	case StatusBudget, StatusDeadline:
+		return ExitBudget
+	default:
+		return ExitInterrupted
+	}
+}
+
+// SignalContext derives a context that is cancelled on SIGINT or
+// SIGTERM, recording the first signal received. A second signal while
+// the first is still being handled force-exits with ExitInterrupted, so
+// a wedged teardown never traps the user. stop releases the signal
+// handler (restoring default delivery) and must be called on all paths.
+func SignalContext(parent context.Context) (ctx context.Context, signalled func() os.Signal, stop func()) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	var got atomic.Value // os.Signal
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			got.Store(sig)
+			cancel()
+			select {
+			case <-ch: // second signal: the user really means it
+				os.Exit(ExitInterrupted)
+			case <-done:
+			}
+		case <-done:
+		}
+	}()
+	var closed atomic.Bool
+	stop = func() {
+		if closed.CompareAndSwap(false, true) {
+			signal.Stop(ch)
+			cancel()
+			close(done)
+		}
+	}
+	signalled = func() os.Signal {
+		sig, _ := got.Load().(os.Signal)
+		return sig
+	}
+	return ctx, signalled, stop
+}
+
+// WithDeadline applies an optional timeout on top of parent: a
+// non-positive d returns the parent unchanged with a no-op cancel, so
+// CLI code can apply -timeout unconditionally.
+func WithDeadline(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	if d <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, d)
+}
