@@ -228,6 +228,35 @@ func BenchmarkDynamicsRound(b *testing.B) {
 	}
 }
 
+// BenchmarkTheorem1Scan measures the serial exhaustive no-NE scan of the
+// Theorem 1 gadget — the workload tracked by the BENCH_*.json perf
+// trajectory (scripts/bench.sh). A full scan covers 7,529,536 pinned
+// profiles; each benchmark iteration scans a fixed 50,000-profile slice so
+// profiles/sec and allocs/profile extrapolate to the full run.
+func BenchmarkTheorem1Scan(b *testing.B) {
+	const sliceProfiles = 50000
+	d := construct.MatchingPennies(construct.DefaultGadgetWeights())
+	ss, err := core.PinnedSpace(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := benchRegistry(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.EnumeratePureNEOpts(d, core.SumDistances, ss,
+			core.EnumConfig{MaxProfiles: sliceProfiles})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Checked != sliceProfiles || len(res.Equilibria) != 0 {
+			b.Fatalf("scan slice: checked %d profiles, %d equilibria", res.Checked, len(res.Equilibria))
+		}
+	}
+	b.ReportMetric(float64(sliceProfiles)*float64(b.N)/b.Elapsed().Seconds(), "profiles/sec")
+	reportObsMetrics(b, reg)
+}
+
 // BenchmarkCayleyCheck measures the vertex-transitive stability check that
 // powers the Theorem 5 sweeps.
 func BenchmarkCayleyCheck(b *testing.B) {

@@ -22,25 +22,74 @@ const infDist = int64(1) << 60
 // where d_{G−u} is the distance in the realized graph with u deleted. The
 // oracle precomputes one row per candidate target t: row_t[v] = ℓ(u,t) +
 // d_{G−u}(t, v). Best response is then a budget-constrained weighted
-// k-median over the rows; the oracle offers exact enumeration, greedy, and
-// swap local search.
+// k-median over the rows; the oracle offers exact enumeration, a pruned
+// existence-only stability query, greedy, and swap local search.
 //
 // The oracle is independent of u's own current strategy (u is deleted from
 // every traversal), so one oracle serves both "is u stable?" and "what is
 // u's best response?".
+//
+// Internally the rows are support-compressed and arena-backed: only the
+// columns with positive preference weight w(u,v) are materialized (zero-
+// weight targets never contribute to the cost), and all rows live in one
+// flat slice instead of n−1 heap slices. An Oracle carries its own fold
+// scratch, so Evaluate, LowerBound and HasImprovement allocate nothing.
+// The scratch makes an Oracle unsafe for concurrent use; parallel callers
+// build one oracle per goroutine.
 type Oracle struct {
 	spec    Spec
 	u       int
 	agg     Aggregation
-	cands   []int     // candidate targets, ascending, excludes u
-	rows    [][]int64 // rows[i][v] = ℓ(u,cands[i]) + d_{G−u}(cands[i],v); infDist if unreachable
-	weights []int64   // weights[v] = w(u, v)
-	costs   []int64   // costs[i] = c(u, cands[i])
+	n       int
+	penalty int64
+	budget  int64
+	cands   []int   // candidate targets, ascending, excludes u
+	costs   []int64 // costs[i] = c(u, cands[i])
+	support []int   // targets v≠u with w(u,v) > 0, ascending
+	weights []int64 // weights[j] = w(u, support[j])
+	// arena is the flat row storage: row i occupies
+	// arena[i*len(support) : (i+1)*len(support)], with
+	// row_i[j] = ℓ(u,cands[i]) + d_{G−u}(cands[i], support[j]); infDist if
+	// unreachable.
+	arena []int64
+	// suffix[i*S:(i+1)*S] is the column-wise minimum over rows i..end
+	// (S = len(support)); suffix row len(cands) is all infDist. Row 0 is
+	// the everything-at-once lower-bound vector; deeper rows are the
+	// branch-and-bound optimistic completions of HasImprovement. Built
+	// lazily on the first LowerBound/HasImprovement call, so pure
+	// best-response queries never pay for it.
+	suffix      []int64
+	suffixValid bool
+	// minRemain[i] = the cheapest link cost among candidates i..end; used
+	// to decide maximality at leaves and to shortcut exhausted budgets.
+	minRemain []int64
+	minVec    []int64 // fold scratch for Evaluate
+	curVec    []int64 // DFS overlay state for BestExact / HasImprovement
+	cells     []undoCell
+	chosen    []int
+	taken     []bool // BestGreedy marks
+}
+
+// undoCell records an overwritten curVec entry so DFS include branches can
+// backtrack without copying the whole vector.
+type undoCell struct {
+	j   int32
+	old int64
 }
 
 // NewOracle precomputes the candidate distance rows for node u against the
 // given realized graph (whose arcs out of u are ignored).
 func NewOracle(spec Spec, g *graph.Digraph, u int, agg Aggregation) *Oracle {
+	o := &Oracle{}
+	var gs graph.Scratch
+	o.build(spec, g, u, agg, &gs, make([]int64, spec.N()))
+	return o
+}
+
+// build (re)initializes the oracle in place, reusing every buffer whose
+// capacity suffices. gs and dist are the traversal scratch and an n-length
+// distance buffer; EvalScratch shares one pair across all of its oracles.
+func (o *Oracle) build(spec Spec, g *graph.Digraph, u int, agg Aggregation, gs *graph.Scratch, dist []int64) {
 	n := spec.N()
 	if g.N() != n {
 		panic(fmt.Sprintf("core: graph has %d nodes, spec has %d", g.N(), n))
@@ -50,122 +99,277 @@ func NewOracle(spec Spec, g *graph.Digraph, u int, agg Aggregation) *Oracle {
 	}
 	reg := obs.Global()
 	reg.Inc(obs.MOracleBuild)
-	defer reg.Time(obs.MOracleBuildNanos)()
-	o := &Oracle{
-		spec:    spec,
-		u:       u,
-		agg:     agg,
-		cands:   make([]int, 0, n-1),
-		rows:    make([][]int64, 0, n-1),
-		weights: make([]int64, n),
-	}
+	t0 := reg.Started()
+	o.spec, o.u, o.agg, o.n = spec, u, agg, n
+	o.penalty = spec.Penalty()
+	o.budget = spec.Budget(u)
+
+	o.support = o.support[:0]
+	o.weights = o.weights[:0]
+	o.cands = o.cands[:0]
+	o.costs = o.costs[:0]
 	for v := 0; v < n; v++ {
-		if v != u {
-			o.weights[v] = spec.Weight(u, v)
+		if v == u {
+			continue
 		}
+		if w := spec.Weight(u, v); w > 0 {
+			o.support = append(o.support, v)
+			o.weights = append(o.weights, w)
+		}
+		o.cands = append(o.cands, v)
+		o.costs = append(o.costs, spec.LinkCost(u, v))
+	}
+	C, S := len(o.cands), len(o.support)
+
+	o.arena = growInt64(o.arena, C*S)
+	if len(dist) != n {
+		dist = make([]int64, n)
 	}
 	unit := spec.UnitLengths()
 	opt := graph.Options{Skip: u}
-	for t := 0; t < n; t++ {
-		if t == u {
-			continue
-		}
-		var dist []int64
+	for i, t := range o.cands {
 		if unit {
-			dist = g.BFS(t, opt)
+			g.BFSInto(dist, t, opt, gs)
 		} else {
-			dist = g.Dijkstra(t, opt)
+			g.DijkstraInto(dist, t, opt, gs)
 		}
-		row := make([]int64, n)
 		offset := spec.Length(u, t)
-		for v := 0; v < n; v++ {
-			if dist[v] == graph.Unreachable {
-				row[v] = infDist
+		row := o.arena[i*S : (i+1)*S]
+		for j, v := range o.support {
+			if d := dist[v]; d == graph.Unreachable {
+				row[j] = infDist
 			} else {
-				row[v] = offset + dist[v]
+				row[j] = offset + d
 			}
 		}
-		o.cands = append(o.cands, t)
-		o.rows = append(o.rows, row)
-		o.costs = append(o.costs, spec.LinkCost(u, t))
 	}
-	return o
+
+	o.suffixValid = false
+
+	o.minRemain = growInt64(o.minRemain, C+1)
+	o.minRemain[C] = int64(1)<<62 - 1
+	for i := C - 1; i >= 0; i-- {
+		o.minRemain[i] = o.costs[i]
+		if o.minRemain[i+1] < o.minRemain[i] {
+			o.minRemain[i] = o.minRemain[i+1]
+		}
+	}
+
+	o.minVec = growInt64(o.minVec, S)
+	o.curVec = growInt64(o.curVec, S)
+	o.cells = o.cells[:0]
+	o.chosen = o.chosen[:0]
+	reg.ElapsedSince(obs.MOracleBuildNanos, t0)
+}
+
+// growInt64 reslices buf to length want, reallocating only when the
+// capacity is insufficient.
+func growInt64(buf []int64, want int) []int64 {
+	if cap(buf) < want {
+		return make([]int64, want)
+	}
+	return buf[:want]
 }
 
 // Node returns the node this oracle answers for.
 func (o *Oracle) Node() int { return o.u }
 
+// row returns candidate i's support-compressed distance row.
+func (o *Oracle) row(i int) []int64 {
+	S := len(o.support)
+	return o.arena[i*S : (i+1)*S]
+}
+
+// suffixRow returns the column-wise minimum over rows i..end. Callers
+// must have run ensureSuffix since the last build.
+func (o *Oracle) suffixRow(i int) []int64 {
+	S := len(o.support)
+	return o.suffix[i*S : (i+1)*S]
+}
+
+// ensureSuffix materializes the suffix column-minima matrix, reusing its
+// buffer across rebuilds (0 allocs once the buffer has grown).
+func (o *Oracle) ensureSuffix() {
+	if o.suffixValid {
+		return
+	}
+	C, S := len(o.cands), len(o.support)
+	o.suffix = growInt64(o.suffix, (C+1)*S)
+	last := o.suffix[C*S:]
+	for j := range last {
+		last[j] = infDist
+	}
+	for i := C - 1; i >= 0; i-- {
+		row := o.arena[i*S : (i+1)*S]
+		next := o.suffix[(i+1)*S : (i+2)*S]
+		cur := o.suffix[i*S : (i+1)*S]
+		for j := 0; j < S; j++ {
+			m := next[j]
+			if row[j] < m {
+				m = row[j]
+			}
+			cur[j] = m
+		}
+	}
+	o.suffixValid = true
+}
+
 // Evaluate returns u's cost when playing the given (feasible, normalized)
-// strategy against the fixed rest-of-profile.
+// strategy against the fixed rest-of-profile. It allocates nothing.
 func (o *Oracle) Evaluate(s Strategy) int64 {
 	obs.Global().Inc(obs.MOracleEval)
-	n := o.spec.N()
-	min := make([]int64, n)
-	for v := range min {
-		min[v] = infDist
+	S := len(o.support)
+	min := o.minVec
+	for j := range min {
+		min[j] = infDist
 	}
 	for _, t := range s {
-		row := o.rows[o.rowIndex(t)]
-		for v := 0; v < n; v++ {
-			if row[v] < min[v] {
-				min[v] = row[v]
+		row := o.row(o.rowIndex(t))
+		for j := 0; j < S; j++ {
+			if row[j] < min[j] {
+				min[j] = row[j]
 			}
 		}
 	}
 	return o.foldCost(min)
 }
 
-// foldCost aggregates a per-target min-distance vector into u's cost.
-func (o *Oracle) foldCost(min []int64) int64 {
+// foldCost aggregates a support-indexed min-distance vector into u's cost.
+func (o *Oracle) foldCost(vec []int64) int64 {
+	m := o.penalty
 	var total int64
-	m := o.spec.Penalty()
-	for v, d := range min {
-		if v == o.u {
-			continue
-		}
-		w := o.weights[v]
-		if w == 0 {
-			continue
-		}
-		if d >= infDist {
-			d = m
-		}
-		term := w * d
-		switch o.agg {
-		case SumDistances:
-			total += term
-		case MaxDistance:
-			if term > total {
-				total = term
+	switch o.agg {
+	case SumDistances:
+		for j, d := range vec {
+			if d >= infDist {
+				d = m
 			}
-		default:
-			panic("core: unknown aggregation")
+			total += o.weights[j] * d
 		}
+	case MaxDistance:
+		for j, d := range vec {
+			if d >= infDist {
+				d = m
+			}
+			if t := o.weights[j] * d; t > total {
+				total = t
+			}
+		}
+	default:
+		panic("core: unknown aggregation")
+	}
+	return total
+}
+
+// foldCostMin2 folds the element-wise minimum of two support-indexed
+// vectors without materializing it.
+func (o *Oracle) foldCostMin2(a, b []int64) int64 {
+	m := o.penalty
+	var total int64
+	switch o.agg {
+	case SumDistances:
+		for j, d := range a {
+			if b[j] < d {
+				d = b[j]
+			}
+			if d >= infDist {
+				d = m
+			}
+			total += o.weights[j] * d
+		}
+	case MaxDistance:
+		for j, d := range a {
+			if b[j] < d {
+				d = b[j]
+			}
+			if d >= infDist {
+				d = m
+			}
+			if t := o.weights[j] * d; t > total {
+				total = t
+			}
+		}
+	default:
+		panic("core: unknown aggregation")
 	}
 	return total
 }
 
 // LowerBound returns a certified lower bound on u's achievable cost
 // against the fixed rest-of-profile: the cost u would have if it could buy
-// every link at once (the column-wise minimum over all candidate rows).
-// Any strategy's distance to v is the minimum over its chosen rows, hence
-// at least this bound; a node whose current cost equals the bound is
-// provably playing a best response, which lets stability checks skip the
-// exponential enumeration for large-budget nodes.
+// every link at once (the column-wise minimum over all candidate rows,
+// precomputed as suffix row 0). Any strategy's distance to v is the
+// minimum over its chosen rows, hence at least this bound; a node whose
+// current cost equals the bound is provably playing a best response, which
+// lets stability checks skip the exponential enumeration for large-budget
+// nodes.
 func (o *Oracle) LowerBound() int64 {
-	n := o.spec.N()
-	min := make([]int64, n)
-	for v := range min {
-		min[v] = infDist
+	o.ensureSuffix()
+	return o.foldCost(o.suffixRow(0))
+}
+
+// HasImprovement reports whether some budget-feasible strategy achieves a
+// cost strictly below cur (u's incumbent cost). It is output-equivalent to
+// comparing cur against BestExact's optimum — cost is monotone
+// non-increasing under adding links, so an improving feasible set exists
+// exactly when an improving maximal set does — but instead of enumerating
+// every maximal strategy it branch-and-bounds the subset search against
+// cur: a subtree is pruned when even buying all of its remaining
+// candidates (budget ignored, a valid optimistic bound) cannot beat cur,
+// and the search exits at the first strictly improving set, checked at
+// every include step rather than only at leaves. It allocates nothing on a
+// warm oracle.
+func (o *Oracle) HasImprovement(cur int64) bool {
+	obs.Global().Inc(obs.MHasImprovement)
+	o.ensureSuffix()
+	v := o.curVec
+	for j := range v {
+		v[j] = infDist
 	}
-	for _, row := range o.rows {
-		for v := 0; v < n; v++ {
-			if row[v] < min[v] {
-				min[v] = row[v]
+	o.cells = o.cells[:0]
+	return o.hasImp(0, o.budget, cur)
+}
+
+// hasImp is the branch-and-bound DFS behind HasImprovement. curVec holds
+// the column minima of the currently included rows; cells is the shared
+// backtracking stack.
+func (o *Oracle) hasImp(i int, rem, cur int64) bool {
+	// Optimistic completion: even overlaying every remaining row cannot
+	// beat cur → no leaf below improves.
+	if o.foldCostMin2(o.curVec, o.suffixRow(i)) >= cur {
+		return false
+	}
+	if i == len(o.cands) {
+		// The bound at a leaf is the leaf's exact cost, and it beat cur.
+		return true
+	}
+	if o.minRemain[i] > rem {
+		// Nothing further fits the budget: the current set is the only
+		// reachable leaf.
+		return o.foldCost(o.curVec) < cur
+	}
+	if o.costs[i] <= rem {
+		mark := len(o.cells)
+		row := o.row(i)
+		for j := 0; j < len(row); j++ {
+			if row[j] < o.curVec[j] {
+				o.cells = append(o.cells, undoCell{j: int32(j), old: o.curVec[j]})
+				o.curVec[j] = row[j]
 			}
 		}
+		// A partial set is itself feasible; exit at the first improvement.
+		if o.foldCost(o.curVec) < cur {
+			return true
+		}
+		if o.hasImp(i+1, rem-o.costs[i], cur) {
+			return true
+		}
+		for _, c := range o.cells[mark:] {
+			o.curVec[c.j] = c.old
+		}
+		o.cells = o.cells[:mark]
 	}
-	return o.foldCost(min)
+	return o.hasImp(i+1, rem, cur)
 }
 
 // rowIndex maps a target node id to its candidate row index.
@@ -199,44 +403,28 @@ func (e *EnumerationLimitError) Error() string {
 func (o *Oracle) BestExact(limit int) (Strategy, int64, error) {
 	reg := obs.Global()
 	reg.Inc(obs.MBestExact)
-	n := o.spec.N()
-	budget := o.spec.Budget(o.u)
+	budget := o.budget
 
-	cur := make([]int64, n)
-	for v := range cur {
-		cur[v] = infDist
+	cur := o.curVec
+	for j := range cur {
+		cur[j] = infDist
 	}
+	o.cells = o.cells[:0]
+	o.chosen = o.chosen[:0]
 	var (
-		chosen   []int // candidate indices currently included
 		best     Strategy
 		bestCost = int64(1)<<62 - 1
 		examined int
 		limitHit bool
 	)
-	// cell records an overwritten entry of cur so include branches can undo.
-	type cell struct {
-		v   int
-		old int64
-	}
-
-	// minRemainCost[i] = the cheapest link cost among candidates i..end;
-	// used to decide maximality at leaves.
-	minRemain := make([]int64, len(o.cands)+1)
-	minRemain[len(o.cands)] = int64(1)<<62 - 1
-	for i := len(o.cands) - 1; i >= 0; i-- {
-		minRemain[i] = o.costs[i]
-		if minRemain[i+1] < minRemain[i] {
-			minRemain[i] = minRemain[i+1]
-		}
-	}
 
 	record := func() {
 		examined++
 		cost := o.foldCost(cur)
 		if cost < bestCost {
 			bestCost = cost
-			best = make(Strategy, len(chosen))
-			for i, ci := range chosen {
+			best = make(Strategy, len(o.chosen))
+			for i, ci := range o.chosen {
 				best[i] = o.cands[ci]
 			}
 			sort.Ints(best)
@@ -257,26 +445,27 @@ func (o *Oracle) BestExact(limit int) (Strategy, int64, error) {
 			return
 		}
 		// Prune: if nothing from here on fits, this branch is one leaf.
-		if minRemain[i] > rem {
+		if o.minRemain[i] > rem {
 			record()
 			return
 		}
 		// Include candidate i when affordable.
 		if o.costs[i] <= rem {
-			cells := make([]cell, 0, 8)
-			row := o.rows[i]
-			for v := 0; v < n; v++ {
-				if row[v] < cur[v] {
-					cells = append(cells, cell{v: v, old: cur[v]})
-					cur[v] = row[v]
+			mark := len(o.cells)
+			row := o.row(i)
+			for j := 0; j < len(row); j++ {
+				if row[j] < cur[j] {
+					o.cells = append(o.cells, undoCell{j: int32(j), old: cur[j]})
+					cur[j] = row[j]
 				}
 			}
-			chosen = append(chosen, i)
+			o.chosen = append(o.chosen, i)
 			dfs(i+1, rem-o.costs[i])
-			chosen = chosen[:len(chosen)-1]
-			for _, c := range cells {
-				cur[c.v] = c.old
+			o.chosen = o.chosen[:len(o.chosen)-1]
+			for _, c := range o.cells[mark:] {
+				cur[c.j] = c.old
 			}
+			o.cells = o.cells[:mark]
 		}
 		// Exclude candidate i — but only if a maximal set can still be
 		// completed, i.e. some later candidate is affordable, OR excluding i
@@ -285,7 +474,7 @@ func (o *Oracle) BestExact(limit int) (Strategy, int64, error) {
 			dfs(i+1, rem)
 			return
 		}
-		if minRemain[i+1] <= rem {
+		if o.minRemain[i+1] <= rem {
 			dfs(i+1, rem)
 			return
 		}
@@ -314,13 +503,18 @@ func (o *Oracle) BestExact(limit int) (Strategy, int64, error) {
 // exact oracle's search space.
 func (o *Oracle) BestGreedy() (Strategy, int64) {
 	obs.Global().Inc(obs.MBestGreedy)
-	n := o.spec.N()
-	budget := o.spec.Budget(o.u)
-	cur := make([]int64, n)
-	for v := range cur {
-		cur[v] = infDist
+	budget := o.budget
+	cur := o.curVec
+	for j := range cur {
+		cur[j] = infDist
 	}
-	taken := make([]bool, len(o.cands))
+	if cap(o.taken) < len(o.cands) {
+		o.taken = make([]bool, len(o.cands))
+	}
+	taken := o.taken[:len(o.cands)]
+	for i := range taken {
+		taken[i] = false
+	}
 	var out Strategy
 	for {
 		bestIdx := -1
@@ -329,7 +523,7 @@ func (o *Oracle) BestGreedy() (Strategy, int64) {
 			if taken[i] || o.costs[i] > budget {
 				continue
 			}
-			cost := o.foldCostWithRow(cur, o.rows[i])
+			cost := o.foldCostMin2(cur, o.row(i))
 			if cost < bestCost {
 				bestCost = cost
 				bestIdx = i
@@ -340,49 +534,16 @@ func (o *Oracle) BestGreedy() (Strategy, int64) {
 		}
 		taken[bestIdx] = true
 		budget -= o.costs[bestIdx]
-		row := o.rows[bestIdx]
-		for v := 0; v < n; v++ {
-			if row[v] < cur[v] {
-				cur[v] = row[v]
+		row := o.row(bestIdx)
+		for j := 0; j < len(row); j++ {
+			if row[j] < cur[j] {
+				cur[j] = row[j]
 			}
 		}
 		out = append(out, o.cands[bestIdx])
 	}
 	sort.Ints(out)
 	return out, o.foldCost(cur)
-}
-
-// foldCostWithRow computes the cost of cur overlaid with one extra row,
-// without mutating cur.
-func (o *Oracle) foldCostWithRow(cur, row []int64) int64 {
-	var total int64
-	m := o.spec.Penalty()
-	for v := range cur {
-		if v == o.u {
-			continue
-		}
-		w := o.weights[v]
-		if w == 0 {
-			continue
-		}
-		d := cur[v]
-		if row[v] < d {
-			d = row[v]
-		}
-		if d >= infDist {
-			d = m
-		}
-		term := w * d
-		switch o.agg {
-		case SumDistances:
-			total += term
-		case MaxDistance:
-			if term > total {
-				total = term
-			}
-		}
-	}
-	return total
 }
 
 // ImproveBySwaps runs 1-swap local search from the given strategy: replace

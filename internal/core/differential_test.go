@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// referenceEnumerate replays the full odometer scan through the retained
+// non-incremental reference path: every profile is checked from scratch
+// with IsEquilibrium (fresh graph realization, fresh NewOracle per node,
+// LowerBound skip + full BestExact). It shares no code with the
+// incremental EvalScratch/HasImprovement engine beyond the Oracle row
+// semantics, so agreement between the two is evidence, not tautology.
+func referenceEnumerate(t *testing.T, spec Spec, agg Aggregation, ss *SearchSpace) *NEResult {
+	t.Helper()
+	n := spec.N()
+	idx := make([]int, n)
+	res := &NEResult{Complete: true}
+	for {
+		p := make(Profile, n)
+		for u := range p {
+			p[u] = ss.PerNode[u][idx[u]]
+		}
+		res.Checked++
+		stable, err := IsEquilibrium(spec, p, agg)
+		if err != nil {
+			t.Fatalf("reference IsEquilibrium: %v", err)
+		}
+		if stable {
+			res.Equilibria = append(res.Equilibria, p.Clone())
+		}
+		u := n - 1
+		for u >= 0 {
+			idx[u]++
+			if idx[u] < len(ss.PerNode[u]) {
+				break
+			}
+			idx[u] = 0
+			u--
+		}
+		if u < 0 {
+			return res
+		}
+	}
+}
+
+// randomDense draws a general game: weights may be zero (exercising
+// support compression), costs and budgets vary, and with probability 1/2
+// the lengths are non-unit (exercising the Dijkstra path).
+func randomDense(rng *rand.Rand, n int) *Dense {
+	d := NewDense(n)
+	nonUnit := rng.Intn(2) == 1
+	for u := 0; u < n; u++ {
+		d.Budgets[u] = int64(1 + rng.Intn(3))
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			d.Weights[u][v] = int64(rng.Intn(4)) // 0 allowed
+			d.Costs[u][v] = int64(1 + rng.Intn(3))
+			if nonUnit {
+				d.Lengths[u][v] = int64(1 + rng.Intn(3))
+			}
+		}
+	}
+	// Default M = n²+n+1 exceeds n·maxLen = 3n for every n ≥ 2.
+	return d.MustSeal()
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestDifferentialEnumerate cross-checks the incremental scan (cached
+// oracles + pruned HasImprovement) against the reference path on random
+// games, demanding byte-identical NEResult JSON.
+func TestDifferentialEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		var spec Spec
+		if trial%4 == 0 {
+			spec = MustUniform(3+trial%2, 1+trial%2)
+		} else {
+			spec = randomDense(rng, 3+rng.Intn(2))
+		}
+		for _, agg := range []Aggregation{SumDistances, MaxDistance} {
+			ss, err := FullSpace(spec, 0)
+			if err != nil {
+				t.Fatalf("trial %d: FullSpace: %v", trial, err)
+			}
+			got, err := EnumeratePureNEOpts(spec, agg, ss, EnumConfig{})
+			if err != nil {
+				t.Fatalf("trial %d: enumerate: %v", trial, err)
+			}
+			want := referenceEnumerate(t, spec, agg, ss)
+			if g, w := mustJSON(t, got), mustJSON(t, want); g != w {
+				t.Fatalf("trial %d agg %d: incremental scan diverged from reference\n got: %s\nwant: %s", trial, agg, g, w)
+			}
+		}
+	}
+}
+
+// TestDifferentialParallel demands the parallel partitioned scan return
+// byte-identical JSON to the serial incremental scan (which itself is
+// reference-checked above).
+func TestDifferentialParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 6; trial++ {
+		spec := randomDense(rng, 4)
+		ss, err := FullSpace(spec, 0)
+		if err != nil {
+			t.Fatalf("FullSpace: %v", err)
+		}
+		serial, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{})
+		if err != nil {
+			t.Fatalf("serial: %v", err)
+		}
+		par, err := EnumeratePureNEParallelOpts(spec, SumDistances, ss, EnumConfig{Workers: 4})
+		if err != nil {
+			t.Fatalf("parallel: %v", err)
+		}
+		if g, w := mustJSON(t, par), mustJSON(t, serial); g != w {
+			t.Fatalf("trial %d: parallel diverged from serial\n got: %s\nwant: %s", trial, g, w)
+		}
+	}
+}
+
+// TestDifferentialResume interrupts the incremental scan mid-stream — once
+// by context cancellation, then by profile budgets — and resumes until
+// complete, demanding the final result be byte-identical to the
+// uninterrupted run (which is itself reference-checked). This pins the
+// interaction between the oracle cache and checkpoint/resume: a resumed
+// scan starts with a cold cache mid-odometer and must still produce the
+// same verdicts.
+func TestDifferentialResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 6; trial++ {
+		spec := randomDense(rng, 4)
+		ss, err := FullSpace(spec, 0)
+		if err != nil {
+			t.Fatalf("FullSpace: %v", err)
+		}
+		full, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{})
+		if err != nil {
+			t.Fatalf("uninterrupted: %v", err)
+		}
+		want := mustJSON(t, full)
+
+		// Leg 1: cancel via context after the first checkpoint fires.
+		ctx, cancel := context.WithCancel(context.Background())
+		res, err := EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{
+			Ctx:             ctx,
+			CheckEvery:      8,
+			CheckpointEvery: 32,
+			OnCheckpoint:    func(*EnumCheckpoint) { cancel() },
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("leg 1: %v", err)
+		}
+		legs := 1
+		// Later legs: small profile budgets until the scan completes.
+		for !res.Complete && res.Resume != nil {
+			if legs++; legs > 10000 {
+				t.Fatal("resume loop did not terminate")
+			}
+			res, err = EnumeratePureNEOpts(spec, SumDistances, ss, EnumConfig{
+				MaxProfiles: res.Checked + 64,
+				Resume:      res.Resume,
+			})
+			if err != nil {
+				t.Fatalf("leg %d: %v", legs, err)
+			}
+		}
+		if !res.Complete {
+			t.Fatalf("trial %d: scan never completed (status %v)", trial, res.Status)
+		}
+		if got := mustJSON(t, res); got != want {
+			t.Fatalf("trial %d (%d legs): resumed scan diverged from uninterrupted\n got: %s\nwant: %s", trial, legs, got, want)
+		}
+	}
+}

@@ -280,6 +280,11 @@ type EnumConfig struct {
 	// budget, when non-nil, is the shared cross-partition profile budget
 	// of a parallel scan and takes precedence over MaxProfiles.
 	budget *profileBudget
+	// scratch, when non-nil, is the caller-owned evaluation scratch the
+	// scan binds to its realized graph; parallel workers pass one per
+	// goroutine so oracle caches and traversal buffers persist across the
+	// partitions a worker drains.
+	scratch *EvalScratch
 }
 
 func (c EnumConfig) checkpointEvery() uint64 {
@@ -355,6 +360,13 @@ func EnumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 		p[u] = ss.PerNode[u][idx[u]]
 	}
 	g := p.Realize(spec)
+	es := cfg.scratch
+	if es == nil {
+		es = NewEvalScratch()
+	}
+	// The realized graph is a fresh pointer, so Bind always invalidates a
+	// reused scratch's oracle cache here while keeping its buffers warm.
+	es.Bind(spec, g, agg)
 
 	// Check nodes with larger strategy sets first: they are the ones whose
 	// current strategy is least likely to be a best response, so the
@@ -377,19 +389,35 @@ func EnumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 
 	// advance steps the odometer to the next profile, rewiring only the
 	// strategies that change; true means the space wrapped around (done).
+	// Carrying through a singleton digit wraps it back to its only value —
+	// a no-op the loop skips so it neither touches the graph nor
+	// invalidates cached oracles. lastChanged tracks the node rewired by
+	// the previous advance when exactly one node changed (-1 at the
+	// start, after a resume, or after a carry that rewired several nodes
+	// and therefore invalidated every cached oracle).
+	lastChanged := -1
 	advance := func() bool {
-		u := n - 1
-		for u >= 0 {
+		carried := false
+		for u := n - 1; u >= 0; u-- {
 			idx[u]++
 			if idx[u] < len(ss.PerNode[u]) {
 				p[u] = ss.PerNode[u][idx[u]]
 				setStrategyArcs(spec, g, u, p[u])
+				es.NoteRewire(u)
+				if carried {
+					lastChanged = -1
+				} else {
+					lastChanged = u
+				}
 				return false
 			}
 			idx[u] = 0
-			p[u] = ss.PerNode[u][0]
-			setStrategyArcs(spec, g, u, p[u])
-			u--
+			if len(ss.PerNode[u]) > 1 {
+				p[u] = ss.PerNode[u][0]
+				setStrategyArcs(spec, g, u, p[u])
+				es.NoteRewire(u)
+				carried = true
+			}
 		}
 		return true
 	}
@@ -427,7 +455,7 @@ func EnumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 		sinceCkpt++
 		res.Checked++
 		reg.Inc(obs.MProfilesChecked)
-		if profileStable(spec, g, p, agg, order) {
+		if profileStable(es, p, order, lastChanged) {
 			reg.Inc(obs.MEquilibriaFound)
 			res.Equilibria = append(res.Equilibria, p.Clone())
 			if cfg.MaxEquilibria > 0 && len(res.Equilibria) >= cfg.MaxEquilibria {
@@ -454,21 +482,34 @@ func setStrategyArcs(spec Spec, g *graph.Digraph, u int, s Strategy) {
 }
 
 // profileStable is an exact per-profile stability check with early exit at
-// the first node (in the given check order) that has a strictly improving
-// deviation.
-func profileStable(spec Spec, g *graph.Digraph, p Profile, agg Aggregation, order []int) bool {
+// the first node that has a strictly improving deviation. Each node's
+// stability is decided by the pruned existence query HasImprovement,
+// which is verdict-identical to a full BestExact enumeration (its root
+// bound also subsumes the LowerBound short-circuit the pre-incremental
+// checker used).
+//
+// The check starts with lastChanged, the node whose odometer digit the
+// previous advance stepped (-1 when unknown): its oracle is independent
+// of its own out-arcs, so it is the one node whose cached oracle survived
+// the rewire — when it is the node with the improving deviation, the
+// whole profile is refuted without a single traversal. The remaining
+// nodes follow in the given order (larger strategy sets first). The
+// stability verdict is a conjunction, so check order cannot change it —
+// only how fast the early exit fires.
+func profileStable(es *EvalScratch, p Profile, order []int, lastChanged int) bool {
 	obs.Global().Inc(obs.MStabilityChecks)
+	if lastChanged >= 0 {
+		o := es.OracleFor(lastChanged)
+		if o.HasImprovement(o.Evaluate(p[lastChanged])) {
+			return false
+		}
+	}
 	for _, u := range order {
-		o := NewOracle(spec, g, u, agg)
-		cur := o.Evaluate(p[u])
-		if cur == o.LowerBound() {
-			continue // provably optimal
+		if u == lastChanged {
+			continue
 		}
-		_, bestCost, err := o.BestExact(0)
-		if err != nil {
-			panic(err) // unreachable: limit 0 never errors
-		}
-		if bestCost < cur {
+		o := es.OracleFor(u)
+		if o.HasImprovement(o.Evaluate(p[u])) {
 			return false
 		}
 	}

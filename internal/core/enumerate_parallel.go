@@ -116,6 +116,10 @@ func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cf
 		go func() {
 			defer wg.Done()
 			reg := obs.Global()
+			// One evaluation scratch per worker goroutine: traversal buffers
+			// and oracle arenas stay warm across every partition this worker
+			// drains (each partition re-binds to its own realized graph).
+			es := NewEvalScratch()
 			for i := range jobs {
 				reg.Inc(obs.MWorkerTasks)
 				// Busy time covers partition work only, not queue wait:
@@ -130,6 +134,7 @@ func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cf
 						MaxEquilibria: cfg.MaxEquilibria,
 						CheckEvery:    cfg.CheckEvery,
 						budget:        budget,
+						scratch:       es,
 					})
 					results[i] = r
 					return err

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bbc/internal/graph"
+	"bbc/internal/obs"
+)
+
+// EvalScratch is the reusable state behind incremental stability and
+// best-response evaluation: one traversal scratch plus a per-node cache of
+// oracles, all backed by buffers that are retained across queries. A warm
+// EvalScratch answers Oracle queries with zero steady-state heap
+// allocation.
+//
+// The cache exploits the oracle decomposition: the oracle for node u
+// depends only on G−u (u's own out-arcs are deleted from every traversal),
+// so rewiring node v invalidates the cached oracle of every node except v
+// itself. Odometer-style enumeration, where one node's strategy changes
+// per profile step, therefore reuses the changed node's own oracle
+// verbatim; best-response walks reuse every oracle while probing nodes
+// that end up not moving. Invalidation is tracked with version counters —
+// Bind stamps version 1, NoteRewire(v) bumps the global version and
+// stamps v, and a cached oracle built at time b is valid iff no node
+// other than its owner was rewired after b.
+//
+// An EvalScratch is bound to one (spec, graph, aggregation) triple at a
+// time via Bind and is NOT safe for concurrent use: parallel scans own
+// one per worker goroutine. While bound, every mutation of the graph must
+// be reported through NoteRewire (or by re-Binding), otherwise cached
+// oracles go stale silently.
+type EvalScratch struct {
+	spec Spec
+	g    *graph.Digraph
+	agg  Aggregation
+
+	gs   graph.Scratch
+	dist []int64
+
+	slots   []*evalSlot
+	version uint64   // bumped by every NoteRewire
+	rewired []uint64 // rewired[v] = version at v's last rewire (1 = at Bind)
+}
+
+// evalSlot caches one node's oracle. builtAt is the version at which the
+// oracle was built; 0 means never built for the current binding.
+type evalSlot struct {
+	o       Oracle
+	builtAt uint64
+}
+
+// NewEvalScratch returns an empty scratch; Bind attaches it to a game.
+func NewEvalScratch() *EvalScratch { return &EvalScratch{} }
+
+// Bind attaches the scratch to a (spec, graph, aggregation) triple,
+// invalidating every cached oracle unless the triple is identical to the
+// current binding (in which case Bind is a no-op and the cache survives).
+// Buffers are retained across re-binds, so alternating between games of
+// the same size stays allocation-free after warm-up.
+func (es *EvalScratch) Bind(spec Spec, g *graph.Digraph, agg Aggregation) {
+	if es.spec == spec && es.g == g && es.agg == agg && es.version != 0 {
+		return
+	}
+	es.spec, es.g, es.agg = spec, g, agg
+	n := spec.N()
+	if cap(es.dist) < n {
+		es.dist = make([]int64, n)
+	}
+	es.dist = es.dist[:n]
+	if cap(es.slots) < n {
+		slots := make([]*evalSlot, n)
+		copy(slots, es.slots)
+		es.slots = slots
+	}
+	es.slots = es.slots[:n]
+	if cap(es.rewired) < n {
+		es.rewired = make([]uint64, n)
+	}
+	es.rewired = es.rewired[:n]
+	es.version = 1
+	for v := range es.rewired {
+		es.rewired[v] = 1
+	}
+	for _, s := range es.slots {
+		if s != nil {
+			s.builtAt = 0
+		}
+	}
+}
+
+// NoteRewire records that node u's out-arcs changed in the bound graph,
+// invalidating every cached oracle except u's own.
+func (es *EvalScratch) NoteRewire(u int) {
+	es.version++
+	es.rewired[u] = es.version
+}
+
+// OracleFor returns node u's oracle against the bound graph, serving it
+// from cache when no other node has been rewired since it was built, and
+// rebuilding it in place (reusing the slot's buffers and the shared
+// traversal scratch) otherwise. The returned oracle is owned by the
+// scratch and valid until the next OracleFor, NoteRewire or Bind call
+// touching it.
+func (es *EvalScratch) OracleFor(u int) *Oracle {
+	slot := es.slots[u]
+	if slot == nil {
+		slot = &evalSlot{}
+		es.slots[u] = slot
+	}
+	if slot.builtAt != 0 {
+		valid := true
+		for v, rv := range es.rewired {
+			if v != u && rv > slot.builtAt {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			obs.Global().Inc(obs.MOracleCacheHits)
+			return &slot.o
+		}
+	}
+	slot.o.build(es.spec, es.g, u, es.agg, &es.gs, es.dist)
+	slot.builtAt = es.version
+	return &slot.o
+}

@@ -159,6 +159,12 @@ type Options struct {
 	// rewired the graph (type move; data: step, node, from, to,
 	// cost_before, cost_after). Callers emit their own summary record.
 	Journal *obs.Journal
+
+	// scratch, when non-nil, is the walk's evaluation scratch. Run creates
+	// one per walk by default; RunEnsemble installs one per worker
+	// goroutine so consecutive trials reuse traversal buffers and oracle
+	// arenas.
+	scratch *core.EvalScratch
 }
 
 func (o Options) maxSteps(n int) int {
@@ -208,6 +214,11 @@ func Run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregati
 	p := start.Clone()
 	g := p.Realize(spec)
 	res := &Result{ConnectivityStep: -1}
+	es := opts.scratch
+	if es == nil {
+		es = core.NewEvalScratch()
+	}
+	es.Bind(spec, g, agg)
 
 	type visit struct {
 		step  int
@@ -251,7 +262,10 @@ func Run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregati
 			}
 		}
 		u := sched.Next(step, spec, p, g)
-		o := core.NewOracle(spec, g, u, agg)
+		// The scratch serves u's oracle from cache when only u itself has
+		// moved since it was built — in particular across the quiet no-move
+		// steps that precede convergence detection.
+		o := es.OracleFor(u)
 		cur := o.Evaluate(p[u])
 		best, bestCost := p[u], cur
 		if cur > o.LowerBound() {
@@ -271,6 +285,7 @@ func Run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregati
 			if !spec.UnitLengths() {
 				relink(spec, g, u, best)
 			}
+			es.NoteRewire(u)
 			res.Moves++
 			reg.Inc(obs.MWalkMoves)
 			opts.Journal.Event("move", map[string]any{

@@ -187,6 +187,10 @@ func RunEnsemble(spec *core.Uniform, cfg EnsembleConfig) (*EnsembleStats, error)
 		go func() {
 			defer wg.Done()
 			reg := obs.Global()
+			// One evaluation scratch per worker goroutine; every trial this
+			// worker runs re-binds it to the trial's realized graph while the
+			// underlying buffers stay warm.
+			es := core.NewEvalScratch()
 			for trial := range jobs {
 				reg.Inc(obs.MWorkerTasks)
 				// Busy time covers walk work only, not queue wait.
@@ -205,6 +209,7 @@ func RunEnsemble(spec *core.Uniform, cfg EnsembleConfig) (*EnsembleStats, error)
 					}
 					wopts := cfg.Walk
 					wopts.Ctx = ictx
+					wopts.scratch = es
 					res, err := Run(spec, start, sched, cfg.agg(), wopts)
 					if err != nil {
 						return err

@@ -76,6 +76,7 @@ func RunSimultaneousOpts(spec core.Spec, start core.Profile, agg core.Aggregatio
 	seen := map[string]int{p.Key(): 0}
 	res := &SimultaneousResult{}
 	reg := obs.Global()
+	es := core.NewEvalScratch()
 	for round := 1; round <= maxRounds; round++ {
 		if opts.Ctx != nil {
 			if err := opts.Ctx.Err(); err != nil {
@@ -86,11 +87,14 @@ func RunSimultaneousOpts(spec core.Spec, start core.Profile, agg core.Aggregatio
 		}
 		reg.Inc(obs.MSimRounds)
 		g := p.Realize(spec)
+		// Each round realizes a fresh graph, so Bind invalidates the oracle
+		// cache while the scratch's buffers carry over between rounds.
+		es.Bind(spec, g, agg)
 		next := p.Clone()
 		moved := false
 		movers := 0
 		for u := 0; u < n; u++ {
-			o := core.NewOracle(spec, g, u, agg)
+			o := es.OracleFor(u)
 			cur := o.Evaluate(p[u])
 			if cur == o.LowerBound() {
 				continue

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"testing"
+
+	"bbc/internal/obs"
+)
+
+// Allocation regression tests for the *Into traversal variants: with a
+// warm Scratch and a caller-owned dist buffer, BFS and Dijkstra must not
+// touch the heap.
+func traversalFixture() (*Digraph, []int64, *Scratch) {
+	g := New(16)
+	for u := 0; u < 16; u++ {
+		g.AddArc(u, (u+1)%16, 2)
+		g.AddArc(u, (u+5)%16, 3)
+	}
+	dist := make([]int64, 16)
+	s := &Scratch{}
+	g.BFSInto(dist, 0, Options{Skip: -1}, s)
+	g.DijkstraInto(dist, 0, Options{Skip: -1}, s)
+	return g, dist, s
+}
+
+func TestBFSIntoAllocFree(t *testing.T) {
+	prev := obs.SetGlobal(nil)
+	t.Cleanup(func() { obs.SetGlobal(prev) })
+	g, dist, s := traversalFixture()
+	if got := testing.AllocsPerRun(200, func() { g.BFSInto(dist, 3, Options{Skip: 7}, s) }); got != 0 {
+		t.Errorf("BFSInto with warm scratch allocates %v/op, want 0", got)
+	}
+}
+
+func TestDijkstraIntoAllocFree(t *testing.T) {
+	prev := obs.SetGlobal(nil)
+	t.Cleanup(func() { obs.SetGlobal(prev) })
+	g, dist, s := traversalFixture()
+	if got := testing.AllocsPerRun(200, func() { g.DijkstraInto(dist, 3, Options{Skip: 7}, s) }); got != 0 {
+		t.Errorf("DijkstraInto with warm scratch allocates %v/op, want 0", got)
+	}
+}

@@ -1,11 +1,5 @@
 package graph
 
-import (
-	"container/heap"
-
-	"bbc/internal/obs"
-)
-
 // Unreachable is the distance reported for nodes with no path from the
 // source. Callers in the game layer translate it into the disconnection
 // penalty M of the game spec.
@@ -20,33 +14,11 @@ type Options struct {
 }
 
 // BFS computes hop-count distances from src, treating every arc as length 1
-// regardless of its stored length. Unreached nodes get Unreachable.
+// regardless of its stored length. Unreached nodes get Unreachable. It
+// allocates a fresh distance slice per call; hot paths use BFSInto with a
+// reusable Scratch instead.
 func (g *Digraph) BFS(src int, opt Options) []int64 {
-	g.check(src)
-	obs.Global().Inc(obs.MBFS)
-	dist := make([]int64, g.N())
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	if opt.Skip == src {
-		panic("graph: cannot skip the BFS source")
-	}
-	dist[src] = 0
-	queue := make([]int, 0, g.N())
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, a := range g.adj[u] {
-			v := a.To
-			if v == opt.Skip || dist[v] != Unreachable {
-				continue
-			}
-			dist[v] = dist[u] + 1
-			queue = append(queue, v)
-		}
-	}
-	return dist
+	return g.BFSInto(make([]int64, g.N()), src, opt, nil)
 }
 
 // BFSFrontier runs a multi-source traversal treating every arc as length 1:
@@ -56,7 +28,7 @@ func (g *Digraph) BFS(src int, opt Options) []int64 {
 // skipped. Because seed offsets may differ, the traversal uses the same
 // heap as Dijkstra with the arc length forced to 1.
 func (g *Digraph) BFSFrontier(seeds []Arc, opt Options) []int64 {
-	return g.frontier(seeds, opt, true)
+	return g.frontierInto(make([]int64, g.N()), seeds, opt, true, nil)
 }
 
 // Dijkstra computes shortest-path distances from src using stored arc
@@ -66,93 +38,26 @@ func (g *Digraph) Dijkstra(src int, opt Options) []int64 {
 	if opt.Skip == src {
 		panic("graph: cannot skip the Dijkstra source")
 	}
-	return g.dijkstraSeeded([]Arc{{To: src, Len: 0}}, opt)
+	return g.frontierInto(make([]int64, g.N()), []Arc{{To: src, Len: 0}}, opt, false, nil)
 }
 
 // DijkstraFrontier is the weighted analogue of BFSFrontier: each seed (t,
 // d0) enters the priority queue at distance d0.
 func (g *Digraph) DijkstraFrontier(seeds []Arc, opt Options) []int64 {
-	return g.frontier(seeds, opt, false)
-}
-
-func (g *Digraph) dijkstraSeeded(seeds []Arc, opt Options) []int64 {
-	return g.frontier(seeds, opt, false)
-}
-
-// frontier is the shared multi-source shortest-path core. When unit is
-// true, arc lengths are treated as 1 (BFS semantics with offsets).
-func (g *Digraph) frontier(seeds []Arc, opt Options, unit bool) []int64 {
-	if unit {
-		obs.Global().Inc(obs.MBFS)
-	} else {
-		obs.Global().Inc(obs.MDijkstra)
-	}
-	dist := make([]int64, g.N())
-	done := make([]bool, g.N())
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	pq := &arcHeap{}
-	heap.Init(pq)
-	for _, s := range seeds {
-		if s.To == opt.Skip {
-			continue
-		}
-		if dist[s.To] == Unreachable || s.Len < dist[s.To] {
-			dist[s.To] = s.Len
-			heap.Push(pq, s)
-		}
-	}
-	for pq.Len() > 0 {
-		top := heap.Pop(pq).(Arc)
-		u := top.To
-		if done[u] || dist[u] != top.Len {
-			continue
-		}
-		done[u] = true
-		for _, a := range g.adj[u] {
-			v := a.To
-			if v == opt.Skip {
-				continue
-			}
-			step := a.Len
-			if unit {
-				step = 1
-			}
-			nd := dist[u] + step
-			if dist[v] == Unreachable || nd < dist[v] {
-				dist[v] = nd
-				heap.Push(pq, Arc{To: v, Len: nd})
-			}
-		}
-	}
-	return dist
-}
-
-// arcHeap is a min-heap of Arc keyed by Len, reusing Arc as (node, dist).
-type arcHeap []Arc
-
-func (h arcHeap) Len() int            { return len(h) }
-func (h arcHeap) Less(i, j int) bool  { return h[i].Len < h[j].Len }
-func (h arcHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *arcHeap) Push(x interface{}) { *h = append(*h, x.(Arc)) }
-func (h *arcHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return g.frontierInto(make([]int64, g.N()), seeds, opt, false, nil)
 }
 
 // AllDistances returns the full distance matrix. If unit is true, hop
 // counts are used (BFS); otherwise stored lengths (Dijkstra).
 func (g *Digraph) AllDistances(unit bool) [][]int64 {
 	d := make([][]int64, g.N())
+	var s Scratch
 	for u := range d {
+		d[u] = make([]int64, g.N())
 		if unit {
-			d[u] = g.BFS(u, Options{Skip: -1})
+			g.BFSInto(d[u], u, Options{Skip: -1}, &s)
 		} else {
-			d[u] = g.Dijkstra(u, Options{Skip: -1})
+			g.DijkstraInto(d[u], u, Options{Skip: -1}, &s)
 		}
 	}
 	return d

@@ -66,6 +66,14 @@ const (
 	// MWorkerBusyNanos accumulates worker busy time; divided by wall time ×
 	// worker count it yields pool utilization.
 	MWorkerBusyNanos
+	// MOracleCacheHits counts oracle queries served verbatim from an
+	// EvalScratch cache, skipping the n−1 node-deleted traversals a rebuild
+	// would cost.
+	MOracleCacheHits
+	// MHasImprovement counts pruned stability queries
+	// (Oracle.HasImprovement), the existence-only alternative to a full
+	// exact best-response enumeration.
+	MHasImprovement
 
 	metricCount // sentinel, keep last
 )
@@ -92,6 +100,8 @@ var metricNames = [metricCount]string{
 	MTrials:           "dynamics.trials",
 	MWorkerTasks:      "parallel.tasks",
 	MWorkerBusyNanos:  "parallel.busy_nanos",
+	MOracleCacheHits:  "oracle.cache_hits",
+	MHasImprovement:   "oracle.has_improvement",
 }
 
 // String returns the metric's stable external name.
@@ -154,6 +164,26 @@ func (r *Registry) Time(m Metric) func() {
 	}
 	t0 := time.Now()
 	return func() { r.counters[m].Add(time.Since(t0).Nanoseconds()) }
+}
+
+// Started returns a start token for ElapsedSince: the current time when
+// the registry is active, the zero Time on a nil registry (no clock read).
+// Unlike Time, the Started/ElapsedSince pair allocates no closure, so hot
+// paths can time themselves without per-call heap traffic.
+func (r *Registry) Started() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ElapsedSince adds the wall time elapsed since the Started token to the
+// *Nanos metric. No-op on a nil registry or a zero token.
+func (r *Registry) ElapsedSince(m Metric, t0 time.Time) {
+	if r == nil || t0.IsZero() {
+		return
+	}
+	r.counters[m].Add(time.Since(t0).Nanoseconds())
 }
 
 // Reset zeroes every counter. No-op on a nil registry.

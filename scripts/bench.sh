@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# bench.sh — record the benchmark trajectory of the evaluation engine.
+#
+# Runs the fixed-workload micro-benchmarks (Theorem 1 gadget scan, oracle
+# build, best response, stability check, dynamics round) with -benchmem and
+# emits one JSON snapshot with ns/op, B/op, allocs/op and every custom
+# metric the benchmarks report (profiles/sec, bfs/op, ...). The committed
+# BENCH_3.json pairs two such snapshots — the pre-engine baseline and the
+# current tree — so regressions are diffs, not anecdotes.
+#
+# Usage:
+#   scripts/bench.sh                 # micro-benchmarks → BENCH_3.snapshot.json
+#   OUT=out.json scripts/bench.sh    # choose the output path
+#   FULL=1 scripts/bench.sh          # also run the full 7,529,536-profile
+#                                    # Theorem 1 serial enumeration (minutes
+#                                    # on the baseline engine, ~10s on the
+#                                    # incremental one) and record wall time
+#                                    # and profiles/sec
+#   BENCHES='Theorem1' BENCHTIME=5x  # narrow the run / pin iteration count
+#
+# The snapshot is plain `go test -bench` output parsed with awk; no
+# dependencies beyond the Go toolchain and POSIX tools.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_3.snapshot.json}"
+BENCHES="${BENCHES:-BenchmarkTheorem1Scan\$|BenchmarkOracleBuild\$|BenchmarkBestResponse\$|BenchmarkStabilityCheck\$|BenchmarkDynamicsRound\$}"
+BENCHTIME="${BENCHTIME:-}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+args=(test -run '^$' -bench "$BENCHES" -benchmem)
+if [ -n "$BENCHTIME" ]; then
+    args+=(-benchtime "$BENCHTIME")
+fi
+go "${args[@]}" . | tee "$raw" >&2
+
+full_section=""
+if [ "${FULL:-0}" = "1" ]; then
+    tmpdir="$(mktemp -d)"
+    go build -o "$tmpdir/bbcgen" ./cmd/bbcgen
+    go build -o "$tmpdir/bbcsim" ./cmd/bbcsim
+    "$tmpdir/bbcgen" -kind gadget > "$tmpdir/gadget.json"
+    echo "bench.sh: running full Theorem 1 serial enumeration..." >&2
+    t0=$(date +%s%N)
+    "$tmpdir/bbcsim" -load "$tmpdir/gadget.json" -enumerate -pin -parallel 1 -json > "$tmpdir/scan.json"
+    t1=$(date +%s%N)
+    wall_ns=$((t1 - t0))
+    checked=$(grep -o '"checked": *[0-9]*' "$tmpdir/scan.json" | head -1 | grep -o '[0-9]*')
+    full_section=$(awk -v ns="$wall_ns" -v checked="$checked" 'BEGIN {
+        printf ",\n  \"full_theorem1_serial\": {\"profiles\": %s, \"wall_seconds\": %.3f, \"profiles_per_sec\": %.0f}", \
+            checked, ns / 1e9, checked / (ns / 1e9)
+    }')
+    rm -rf "$tmpdir"
+fi
+
+{
+    printf '{\n'
+    printf '  "generated_by": "scripts/bench.sh",\n'
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "git_rev": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "benchmarks": {\n'
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+            line = sprintf("    \"%s\": {\"iterations\": %s", name, $2)
+            for (i = 3; i + 1 <= NF; i += 2) {
+                unit = $(i + 1)
+                gsub(/"/, "", unit)
+                line = line sprintf(", \"%s\": %s", unit, $i)
+            }
+            line = line "}"
+            if (out != "") out = out ",\n"
+            out = out line
+        }
+        END { print out }
+    ' "$raw"
+    printf '  }%s\n' "$full_section"
+    printf '}\n'
+} > "$OUT"
+echo "bench.sh: wrote $OUT" >&2
