@@ -17,10 +17,14 @@
 // are scheduled, the reports collected so far are printed, and the
 // journal receives a final run_status record. -timeout bounds the whole
 // suite's wall time the same way. -checkpoint persists every completed
-// experiment report (atomic write-rename, after each experiment);
+// experiment report (atomic, checksummed write-fsync-rename after each
+// experiment, keeping the previous good snapshot as <path>.prev);
 // -resume replays those reports and runs only the remaining
-// experiments. Exit codes: 0 full pass, 1 experiment failure or error,
-// 2 usage, 3 deadline truncation, 130 interrupted by signal.
+// experiments, quarantining a corrupt primary to <path>.corrupt and
+// falling back to the previous generation automatically. Exit codes: 0
+// full pass, 1 experiment failure or error, 2 usage, 3 deadline
+// truncation, 4 unrecoverable checkpoint corruption, 130 interrupted by
+// signal.
 //
 // Output contract: stdout carries only the experiment reports (text, or
 // a JSON array with -json); progress lines and diagnostics go to stderr,
@@ -102,7 +106,7 @@ func main() {
 		if errors.Is(err, errUsage) {
 			os.Exit(runctl.ExitUsage)
 		}
-		os.Exit(runctl.ExitError)
+		os.Exit(runctl.ExitCodeForError(err))
 	}
 	if sig := signalled(); sig != nil {
 		fmt.Fprintf(os.Stderr, "bbcexp: interrupted by %v; partial results flushed\n", sig)
@@ -126,10 +130,20 @@ func run(ctx context.Context, o options) (runctl.Status, int, error) {
 
 	fp := suiteFingerprint(o.quick, suite)
 	done := map[string]*exper.Report{}
+	var recovered *runctl.Recovery
 	if o.resume != "" {
-		env, err := runctl.Load(o.resume)
+		st := &runctl.Store{Path: o.resume}
+		env, rec, err := st.Load()
 		if err != nil {
 			return runctl.StatusComplete, 0, err
+		}
+		if rec.Fallback {
+			fmt.Fprintf(o.stderr, "bbcexp: checkpoint %s was not loadable (%v); resuming from the previous generation %s\n",
+				o.resume, rec.Err, rec.Path)
+			if rec.Quarantined != "" {
+				fmt.Fprintf(o.stderr, "bbcexp: the corrupt snapshot was preserved at %s for inspection\n", rec.Quarantined)
+			}
+			recovered = rec
 		}
 		var cp suiteCheckpoint
 		if err := env.Decode(suiteCheckpointKind, fp, &cp); err != nil {
@@ -140,12 +154,27 @@ func run(ctx context.Context, o options) (runctl.Status, int, error) {
 			done = map[string]*exper.Report{}
 		}
 		fmt.Fprintf(o.stderr, "bbcexp: resuming suite from %s (%d of %d experiments already done)\n",
-			o.resume, len(done), len(suite))
+			rec.Path, len(done), len(suite))
 	}
 
-	rt, err := obs.StartCLI("bbcexp", o.journal, o.pprof, o.stderr)
+	rt, err := obs.StartCLIConfig(obs.CLIConfig{
+		Name:    "bbcexp",
+		Journal: o.journal,
+		// Resumed suites append to the interrupted run's journal.
+		AppendJournal: o.resume != "",
+		Pprof:         o.pprof,
+		Stderr:        o.stderr,
+	})
 	if err != nil {
 		return runctl.StatusComplete, 0, err
+	}
+	if recovered != nil {
+		rt.Journal.Event("checkpoint_recovered", map[string]any{
+			"path":        o.resume,
+			"loaded_from": recovered.Path,
+			"quarantined": recovered.Quarantined,
+			"reason":      fmt.Sprint(recovered.Err),
+		})
 	}
 	status, failures, runErr := runSuite(ctx, o, suite, done, fp, rt)
 	if cerr := rt.Close(); runErr == nil && cerr != nil {
@@ -166,22 +195,30 @@ func runSuite(ctx context.Context, o options, suite []exper.Experiment, done map
 	}
 	defer prog.Stop()
 
-	save := func() error {
+	ckptStore := &runctl.Store{Path: o.checkpoint, Retries: 2}
+	// save persists the completed-report set with rotation and bounded
+	// retry. A failure degrades gracefully: the suite keeps running on
+	// in-memory state (losing resumability, not results), the failure is
+	// journaled, and the next completed experiment retries from scratch.
+	save := func() {
 		if o.checkpoint == "" {
-			return nil
+			return
 		}
 		env, err := runctl.NewCheckpoint(suiteCheckpointKind, fp,
 			runctl.StatusFromContext(ctx), rt.Reg.Snapshot(), &suiteCheckpoint{Reports: done})
-		if err != nil {
-			return err
+		if err == nil {
+			err = ckptStore.Save(env)
 		}
-		if err := runctl.Save(o.checkpoint, env); err != nil {
-			return err
+		if err != nil {
+			fmt.Fprintf(o.stderr, "bbcexp: checkpoint save failed (suite continues): %v\n", err)
+			rt.Journal.Event("checkpoint_error", map[string]any{
+				"path": o.checkpoint, "completed": len(done), "error": err.Error(),
+			})
+			return
 		}
 		rt.Journal.Checkpoint(o.checkpoint, suiteCheckpointKind, map[string]any{
 			"completed": len(done),
 		})
-		return nil
 	}
 
 	cfg := exper.Config{Quick: o.quick, Ctx: ctx}
@@ -201,9 +238,7 @@ func runSuite(ctx context.Context, o options, suite []exper.Experiment, done map
 			// re-runs it in full.
 			if !cfg.Interrupted() {
 				done[e.ID] = r
-				if err := save(); err != nil {
-					return runctl.StatusComplete, failures, err
-				}
+				save()
 			}
 		}
 		completed.Add(1)

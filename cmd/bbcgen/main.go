@@ -61,13 +61,13 @@ func main() {
 	rt, err := obs.StartCLI("bbcgen", *journal, *pprofAddr, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
-		os.Exit(runctl.ExitError)
+		os.Exit(runctl.ExitCodeForError(err))
 	}
 	start := time.Now()
 	inst, err := generate(*kind, *n, *k, *h, *l, *maxWeight, *maxCost, *maxLength, *maxBudget, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
-		os.Exit(runctl.ExitError)
+		os.Exit(runctl.ExitCodeForError(err))
 	}
 	rt.Journal.Event("generate", map[string]any{
 		"kind": *kind, "n": inst.Spec.N(), "seed": *seed,
@@ -84,7 +84,7 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(inst); err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
-		os.Exit(runctl.ExitError)
+		os.Exit(runctl.ExitCodeForError(err))
 	}
 	if *progress {
 		fmt.Fprintf(os.Stderr, "bbc: generate %s n=%d done in %s\n",
@@ -92,7 +92,7 @@ func main() {
 	}
 	if err := rt.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
-		os.Exit(runctl.ExitError)
+		os.Exit(runctl.ExitCodeForError(err))
 	}
 }
 

@@ -54,9 +54,23 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 
 	var resume *core.EnumCheckpoint
 	if o.resume != "" {
-		env, err := runctl.Load(o.resume)
+		st := &runctl.Store{Path: o.resume}
+		env, rec, err := st.Load()
 		if err != nil {
 			return runctl.StatusComplete, err
+		}
+		if rec.Fallback {
+			fmt.Fprintf(o.stderr, "bbcsim: checkpoint %s was not loadable (%v); resuming from the previous generation %s\n",
+				o.resume, rec.Err, rec.Path)
+			if rec.Quarantined != "" {
+				fmt.Fprintf(o.stderr, "bbcsim: the corrupt snapshot was preserved at %s for inspection\n", rec.Quarantined)
+			}
+			rt.Journal.Event("checkpoint_recovered", map[string]any{
+				"path":        o.resume,
+				"loaded_from": rec.Path,
+				"quarantined": rec.Quarantined,
+				"reason":      fmt.Sprint(rec.Err),
+			})
 		}
 		var cp core.EnumCheckpoint
 		if err := env.Decode(enumCheckpointKind, fp, &cp); err != nil {
@@ -64,11 +78,14 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 		}
 		resume = &cp
 		fmt.Fprintf(o.stderr, "bbcsim: resuming enumeration from %s (%d profiles already checked)\n",
-			o.resume, cp.Checked)
+			rec.Path, cp.Checked)
 	}
 
-	// save persists a snapshot atomically and journals the event; scan
-	// progress is never lost to a torn write.
+	// save persists a snapshot atomically — with generation rotation and
+	// bounded retry for transient errors — and journals the event; scan
+	// progress is never lost to a torn write, and the previous good
+	// snapshot survives as .prev until the new one is published.
+	ckptStore := &runctl.Store{Path: o.checkpoint, Retries: 2}
 	save := func(cp *core.EnumCheckpoint, status runctl.Status) error {
 		if o.checkpoint == "" || cp == nil {
 			return nil
@@ -77,7 +94,7 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 		if err != nil {
 			return err
 		}
-		if err := runctl.Save(o.checkpoint, env); err != nil {
+		if err := ckptStore.Save(env); err != nil {
 			return err
 		}
 		rt.Journal.Checkpoint(o.checkpoint, enumCheckpointKind, map[string]any{
@@ -99,9 +116,14 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 		Workers:       o.parallel,
 		OnCheckpoint: func(cp *core.EnumCheckpoint) {
 			// Mid-run snapshot: the run has not ended, so the envelope
-			// records the control state at save time.
+			// records the control state at save time. A failed save
+			// degrades gracefully — the failure is journaled and the scan
+			// keeps computing; the next interval retries from scratch.
 			if err := save(cp, runctl.StatusFromContext(ctx)); err != nil {
-				fmt.Fprintf(o.stderr, "bbcsim: checkpoint: %v\n", err)
+				fmt.Fprintf(o.stderr, "bbcsim: checkpoint save failed (scan continues): %v\n", err)
+				rt.Journal.Event("checkpoint_error", map[string]any{
+					"path": o.checkpoint, "checked": cp.Checked, "error": err.Error(),
+				})
 			}
 		},
 	}
@@ -116,10 +138,17 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 		return runctl.StatusComplete, err
 	}
 	// Final snapshot: on any early stop with work left, leave a resumable
-	// checkpoint carrying the definitive stop status.
+	// checkpoint carrying the definitive stop status. A failure here must
+	// not swallow the computed result — the summary still prints and the
+	// error surfaces afterwards.
+	var finalSaveErr error
 	if res.Resume != nil {
-		if err := save(res.Resume, res.Status); err != nil {
-			return res.Status, err
+		if finalSaveErr = save(res.Resume, res.Status); finalSaveErr != nil {
+			finalSaveErr = fmt.Errorf("final checkpoint: %w", finalSaveErr)
+			fmt.Fprintf(o.stderr, "bbcsim: %v (results follow, but the run cannot be resumed)\n", finalSaveErr)
+			rt.Journal.Event("checkpoint_error", map[string]any{
+				"path": o.checkpoint, "checked": res.Checked, "error": finalSaveErr.Error(),
+			})
 		}
 	}
 
@@ -154,10 +183,10 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 		if err := enc.Encode(out); err != nil {
 			return res.Status, err
 		}
-		return enumExitStatus(o, res), nil
+		return enumExitStatus(o, res), finalSaveErr
 	}
 	reportEnum(o.stdout, out, res)
-	return enumExitStatus(o, res), nil
+	return enumExitStatus(o, res), finalSaveErr
 }
 
 // enumExitStatus maps a scan result to the process exit status. Hitting

@@ -18,15 +18,19 @@
 // -checkpoint is set a resumable snapshot is flushed. -timeout bounds
 // wall time; -max-profiles (enumeration) and -steps (walks) bound work;
 // both truncate with status "budget". Exit codes: 0 complete, 1 error,
-// 2 usage, 3 budget/deadline truncation, 130 interrupted by signal.
+// 2 usage, 3 budget/deadline truncation, 4 unrecoverable checkpoint
+// corruption, 130 interrupted by signal.
 //
-// Checkpoint/resume: -checkpoint writes a versioned JSON snapshot
-// (atomic write-rename) periodically and on every early stop; -resume
-// continues from one. A resumed enumeration checks exactly the profiles
-// the uninterrupted run would have and returns identical equilibria in
-// identical order. With -parallel 1 the scan is serial and checkpoints
-// at profile granularity; otherwise it checkpoints per completed
-// partition.
+// Checkpoint/resume: -checkpoint writes a versioned, checksummed JSON
+// snapshot (atomic write-fsync-rename) periodically and on every early
+// stop, keeping the previous good snapshot as <path>.prev. -resume
+// continues from one: a corrupt primary is quarantined to
+// <path>.corrupt and the previous generation is used automatically;
+// only when no generation is loadable does the run fail (exit 4). A
+// resumed enumeration checks exactly the profiles the uninterrupted run
+// would have and returns identical equilibria in identical order. With
+// -parallel 1 the scan is serial and checkpoints at profile
+// granularity; otherwise it checkpoints per completed partition.
 //
 // Output contract: stdout carries only the final run result — the text
 // summary, or a single JSON object with -json — so it stays
@@ -118,7 +122,7 @@ func main() {
 	stopSignals()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcsim: %v\n", err)
-		os.Exit(runctl.ExitError)
+		os.Exit(runctl.ExitCodeForError(err))
 	}
 	if sig := signalled(); sig != nil {
 		fmt.Fprintf(os.Stderr, "bbcsim: interrupted by %v; partial results flushed\n", sig)
@@ -172,7 +176,15 @@ func run(ctx context.Context, o options) (runctl.Status, error) {
 		}
 	}
 
-	rt, err := obs.StartCLI("bbcsim", o.journal, o.pprof, o.stderr)
+	rt, err := obs.StartCLIConfig(obs.CLIConfig{
+		Name:    "bbcsim",
+		Journal: o.journal,
+		// A resumed run continues the interrupted run's journal instead of
+		// truncating it: its records survive, sequence numbers continue.
+		AppendJournal: o.resume != "",
+		Pprof:         o.pprof,
+		Stderr:        o.stderr,
+	})
 	if err != nil {
 		return runctl.StatusComplete, err
 	}

@@ -50,13 +50,13 @@ func main() {
 	rt, err := obs.StartCLI("bbcviz", *journal, *pprofAddr, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
-		os.Exit(runctl.ExitError)
+		os.Exit(runctl.ExitCodeForError(err))
 	}
 	start := time.Now()
 	dot, err := render(*what, *k, *h, *l, *ring, *path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
-		os.Exit(runctl.ExitError)
+		os.Exit(runctl.ExitCodeForError(err))
 	}
 	rt.Journal.Event("render", map[string]any{
 		"what": *what, "bytes": len(dot),
@@ -75,7 +75,7 @@ func main() {
 	}
 	if err := rt.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
-		os.Exit(runctl.ExitError)
+		os.Exit(runctl.ExitCodeForError(err))
 	}
 }
 

@@ -227,6 +227,41 @@ type PartProgress struct {
 	Equilibria []Profile `json:"equilibria,omitempty"`
 }
 
+// validate sanity-checks the checkpoint's carried results against the
+// spec. Envelope checksums catch accidental corruption, but a resumed
+// payload still crosses a trust boundary (hand-edited files, schema
+// drift); a checkpoint that passes here can be replayed into a result
+// without further checking.
+func (cp *EnumCheckpoint) validate(spec Spec) error {
+	if err := validateCarried(spec, cp.Equilibria, cp.Checked); err != nil {
+		return err
+	}
+	for i, part := range cp.Parts {
+		if part == nil {
+			continue
+		}
+		if err := validateCarried(spec, part.Equilibria, part.Checked); err != nil {
+			return fmt.Errorf("core: checkpoint partition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// validateCarried checks one carried result set: every equilibrium must
+// be a feasible profile for the spec, and the checked count must cover
+// at least the equilibria it claims to contain.
+func validateCarried(spec Spec, eqs []Profile, checked uint64) error {
+	if uint64(len(eqs)) > checked {
+		return fmt.Errorf("core: checkpoint claims %d equilibria in only %d checked profiles", len(eqs), checked)
+	}
+	for i, eq := range eqs {
+		if err := eq.Validate(spec); err != nil {
+			return fmt.Errorf("core: checkpoint equilibrium %d is not a feasible profile: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // EnumFingerprint identifies a scan configuration for checkpoint
 // validation: two runs share a fingerprint exactly when they scan the
 // same spec, aggregation and per-node strategy sets, so a checkpoint is
@@ -350,6 +385,9 @@ func EnumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 			if i < 0 || i >= len(ss.PerNode[u]) {
 				return nil, fmt.Errorf("core: checkpoint cursor[%d]=%d out of range [0,%d)", u, i, len(ss.PerNode[u]))
 			}
+		}
+		if err := cfg.Resume.validate(spec); err != nil {
+			return nil, err
 		}
 		copy(idx, cfg.Resume.Cursor)
 		res.Checked = cfg.Resume.Checked

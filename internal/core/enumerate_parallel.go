@@ -62,6 +62,9 @@ func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cf
 		if len(cfg.Resume.Parts) != len(parts) {
 			return nil, fmt.Errorf("core: checkpoint has %d partitions, search space has %d", len(cfg.Resume.Parts), len(parts))
 		}
+		if err := cfg.Resume.validate(spec); err != nil {
+			return nil, err
+		}
 		copy(done, cfg.Resume.Parts)
 	}
 	var resumedChecked uint64

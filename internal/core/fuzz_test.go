@@ -1,0 +1,100 @@
+package core
+
+// Native fuzz targets for the untrusted-input loaders: game specs and
+// instances arrive from files users hand to the CLIs (-load, bbcgen
+// output), so the decoders must never panic and must uphold their
+// round-trip contracts on whatever bytes they accept.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// specSeeds covers both kinds, the error branches, and shape attacks
+// (matrix/budget length mismatches, huge claimed sizes).
+var specSeeds = []string{
+	`{"kind":"uniform","n":5,"k":2}`,
+	`{"kind":"uniform","n":2,"k":1}`,
+	`{"kind":"uniform","n":-3,"k":9}`,
+	`{"kind":"dense","weights":[[0,1],[1,0]],"costs":[[0,1],[1,0]],"lengths":[[0,1],[1,0]],"budgets":[1,1],"penalty":7}`,
+	`{"kind":"dense","weights":[[0,1]],"costs":[[0,1],[1,0]],"lengths":[[0,1],[1,0]],"budgets":[1,1]}`,
+	`{"kind":"dense","budgets":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1]}`,
+	`{"kind":"mystery"}`,
+	`{}`,
+	`null`,
+	`[1,2,3]`,
+	`{"kind":"dense","budgets":`,
+}
+
+func FuzzUnmarshalSpec(f *testing.F) {
+	for _, seed := range specSeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := UnmarshalSpec(data)
+		if err != nil {
+			return
+		}
+		// Whatever the loader accepts must round-trip to an equivalent
+		// spec: marshal, re-load, compare the canonical encodings.
+		out, err := MarshalSpec(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		spec2, err := UnmarshalSpec(out)
+		if err != nil {
+			t.Fatalf("marshalled spec does not re-load: %v\n%s", err, out)
+		}
+		out2, err := MarshalSpec(spec2)
+		if err != nil {
+			t.Fatalf("re-loaded spec does not marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("spec round trip not stable:\n%s\n%s", out, out2)
+		}
+		if spec.N() < 2 {
+			t.Fatalf("accepted spec has %d nodes", spec.N())
+		}
+	})
+}
+
+// instanceSeeds exercises game/profile interplay: feasible profiles,
+// infeasible ones (over budget, out-of-range targets), and malformed
+// nesting.
+var instanceSeeds = []string{
+	`{"game":{"kind":"uniform","n":4,"k":1},"profile":[[1],[2],[3],[0]]}`,
+	`{"game":{"kind":"uniform","n":4,"k":1},"profile":[[],[],[],[]]}`,
+	`{"game":{"kind":"uniform","n":4,"k":1},"profile":[[1,2],[2],[3],[0]]}`,
+	`{"game":{"kind":"uniform","n":4,"k":1},"profile":[[9],[2],[3],[0]]}`,
+	`{"game":{"kind":"uniform","n":4,"k":1},"profile":[[-1],[2],[3],[0]]}`,
+	`{"game":{"kind":"dense","weights":[[0,1],[1,0]],"costs":[[0,1],[1,0]],"lengths":[[0,1],[1,0]],"budgets":[1,1],"penalty":7},"profile":[[1],[0]]}`,
+	`{"game":null,"profile":null}`,
+	`{"profile":[[0]]}`,
+	`{`,
+}
+
+func FuzzInstanceJSON(f *testing.F) {
+	for _, seed := range instanceSeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var in Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return
+		}
+		// An accepted instance is validated: the profile must actually be
+		// feasible for the game it came with.
+		if err := in.Profile.Validate(in.Spec); err != nil {
+			t.Fatalf("loader accepted an infeasible profile: %v", err)
+		}
+		out, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("accepted instance does not marshal: %v", err)
+		}
+		var in2 Instance
+		if err := json.Unmarshal(out, &in2); err != nil {
+			t.Fatalf("marshalled instance does not re-load: %v\n%s", err, out)
+		}
+	})
+}

@@ -21,6 +21,11 @@ type gameJSON struct {
 	Penalty int64     `json:"penalty,omitempty"`
 }
 
+// maxDenseSpecNodes bounds the size of a dense spec accepted from JSON:
+// decoding allocates O(n²) memory, so untrusted documents must not pick
+// n freely. Every tractable BBC instance is orders of magnitude smaller.
+const maxDenseSpecNodes = 1024
+
 // MarshalSpec encodes a Uniform or Dense spec as JSON. Other Spec
 // implementations are rejected.
 func MarshalSpec(spec Spec) ([]byte, error) {
@@ -56,10 +61,16 @@ func UnmarshalSpec(data []byte) (Spec, error) {
 		if n < 2 {
 			return nil, fmt.Errorf("core: dense spec needs at least 2 budgets")
 		}
-		d := NewDense(n)
+		if n > maxDenseSpecNodes {
+			// A dense decode allocates three n×n matrices, so a short
+			// hostile document could demand gigabytes; no tractable BBC
+			// instance comes anywhere near this bound.
+			return nil, fmt.Errorf("core: dense spec has %d nodes, limit %d", n, maxDenseSpecNodes)
+		}
 		if len(g.Weights) != n || len(g.Costs) != n || len(g.Lengths) != n {
 			return nil, fmt.Errorf("core: dense spec matrices must be %dx%d", n, n)
 		}
+		d := NewDense(n)
 		for u := 0; u < n; u++ {
 			if len(g.Weights[u]) != n || len(g.Costs[u]) != n || len(g.Lengths[u]) != n {
 				return nil, fmt.Errorf("core: dense spec row %d has wrong length", u)

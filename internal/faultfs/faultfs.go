@@ -1,0 +1,151 @@
+// Package faultfs is the filesystem seam under the solver's durable
+// state (runctl checkpoints, obs journals): a small FS interface
+// covering exactly the operations those layers perform, a real-OS
+// implementation used in production, and a deterministic fault injector
+// for crash-consistency testing.
+//
+// The interface is deliberately narrow — create/append/read/rename/
+// remove/stat/truncate plus per-file write/sync/close — so every
+// durable-state code path can be enumerated and fault-swept. Injected
+// faults (fail the Nth write, torn write, dropped fsync, ENOSPC, rename
+// and partial-read failures, post-fault crash) are keyed to
+// deterministic operation counts, so a property test can sweep a fault
+// over every failpoint of a run and assert the recovery invariants at
+// each one.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// Op classifies the filesystem operations the durable-state layers
+// perform, for fault matching and operation tracing.
+type Op int
+
+const (
+	// OpCreate truncates-or-creates a file for writing.
+	OpCreate Op = iota
+	// OpCreateTemp creates a unique temporary file (atomic-save staging).
+	OpCreateTemp
+	// OpOpenAppend opens a file for appending, creating it if missing
+	// (journal resume).
+	OpOpenAppend
+	// OpRead reads a whole file (checkpoint/journal load).
+	OpRead
+	// OpWrite is one File.Write call.
+	OpWrite
+	// OpSync is one File.Sync (fsync) call.
+	OpSync
+	// OpClose is one File.Close call.
+	OpClose
+	// OpRename renames a file (atomic publish, generation rotation,
+	// quarantine).
+	OpRename
+	// OpRemove deletes a file (temp-file cleanup).
+	OpRemove
+	// OpStat stats a file (generation probing).
+	OpStat
+	// OpTruncate truncates a file in place (journal salvage).
+	OpTruncate
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpCreate:     "create",
+	OpCreateTemp: "createtemp",
+	OpOpenAppend: "openappend",
+	OpRead:       "read",
+	OpWrite:      "write",
+	OpSync:       "sync",
+	OpClose:      "close",
+	OpRename:     "rename",
+	OpRemove:     "remove",
+	OpStat:       "stat",
+	OpTruncate:   "truncate",
+}
+
+// String returns the operation's stable name (used in fault-sweep test
+// labels).
+func (o Op) String() string {
+	if o < 0 || o >= numOps {
+		return "op?"
+	}
+	return opNames[o]
+}
+
+// File is the writable-file surface behind checkpoints and journals.
+type File interface {
+	io.Writer
+	// Name returns the file's path as opened.
+	Name() string
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Close closes the file.
+	Close() error
+}
+
+// FS is the filesystem surface behind the solver's durable state. All
+// paths are interpreted by the implementation (the OS implementation
+// uses them verbatim).
+type FS interface {
+	// Create truncates-or-creates the named file for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a new unique file in dir with a name built from
+	// pattern (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens the named file for appending, creating it if it
+	// does not exist.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically renames oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Stat describes the named file.
+	Stat(name string) (fs.FileInfo, error)
+	// Truncate cuts the named file to the given size.
+	Truncate(name string, size int64) error
+}
+
+// OS is the real operating-system filesystem; the zero value is ready to
+// use and is what production code runs on.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Stat implements FS.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// Truncate implements FS.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// Or returns fsys, or the real OS filesystem when fsys is nil, so
+// callers can thread an optional FS without branching.
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS{}
+	}
+	return fsys
+}

@@ -1,0 +1,274 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// writeAll drives a full create-write-sync-close-rename save sequence
+// through fsys, mirroring what an atomic checkpoint save does.
+func writeAll(fsys FS, dir, name string, data []byte) error {
+	f, err := fsys.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, filepath.Join(dir, name))
+}
+
+// TestOSRoundTrip pins the real-OS implementation: create, append,
+// read, rename, truncate, stat, remove all behave like the os package.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	if err := writeAll(fsys, dir, "f", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f")
+	a, err := fsys.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fsys.Truncate(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := fsys.Stat(path); err != nil || fi.Size() != 5 {
+		t.Fatalf("after truncate: size=%v err=%v", fi, err)
+	}
+	if err := fsys.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist after remove, got %v", err)
+	}
+	if Or(nil) != (OS{}) {
+		t.Fatal("Or(nil) must be the real OS")
+	}
+}
+
+// TestInjectFailNthWrite pins the core contract: exactly the Nth write
+// fails, everything else passes through.
+func TestInjectFailNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpWrite, Nth: 2, Mode: ModeFail})
+	if err := writeAll(in, dir, "a", []byte("one")); err != nil {
+		t.Fatalf("write #1 should pass: %v", err)
+	}
+	err := writeAll(in, dir, "b", []byte("two"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write #2 should fail injected, got %v", err)
+	}
+	if err := writeAll(in, dir, "c", []byte("three")); err != nil {
+		t.Fatalf("write #3 should pass: %v", err)
+	}
+	if got := in.Fired(); got != 1 {
+		t.Fatalf("fired = %d, want 1", got)
+	}
+	if c := in.Counts()[OpWrite]; c != 3 {
+		t.Fatalf("write count = %d, want 3", c)
+	}
+}
+
+// TestInjectTornWrite: the faulted write persists exactly TornBytes
+// bytes and then errors — the on-disk file is a torn prefix.
+func TestInjectTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpWrite, Nth: 1, Mode: ModeTorn, TornBytes: 4})
+	f, err := in.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(f.Name())
+	if string(data) != "0123" {
+		t.Fatalf("on-disk torn prefix = %q, want %q", data, "0123")
+	}
+}
+
+// TestInjectENOSPC: the injected error chain includes syscall.ENOSPC so
+// retry policies can classify it.
+func TestInjectENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpWrite, Nth: 1, Mode: ModeENOSPC})
+	err := writeAll(in, dir, "x", []byte("data"))
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ENOSPC in chain, got %v", err)
+	}
+}
+
+// TestInjectDroppedSyncCrash reproduces the classic lost-page-cache torn
+// publish: sync silently drops, close and rename succeed, and the crash
+// truncates the published file back to its durable prefix (empty here).
+func TestInjectDroppedSyncCrash(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpSync, Nth: 1, Mode: ModeDropSync})
+	if err := writeAll(in, dir, "ckpt", []byte("full snapshot")); err != nil {
+		t.Fatalf("the save sequence must appear to succeed: %v", err)
+	}
+	path := filepath.Join(dir, "ckpt")
+	if data, _ := os.ReadFile(path); string(data) != "full snapshot" {
+		t.Fatalf("before crash the file looks fine, got %q", data)
+	}
+	in.Crash()
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) != 0 {
+		t.Fatalf("after crash the unsynced bytes are gone: %q, %v", data, err)
+	}
+	if err := writeAll(in, dir, "later", []byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash ops must fail with ErrCrashed, got %v", err)
+	}
+}
+
+// TestInjectSyncedPrefixSurvivesDrop: only bytes written after the last
+// successful sync are lost.
+func TestInjectSyncedPrefixSurvivesDrop(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpSync, Nth: 2, Mode: ModeDropSync})
+	f, err := in.Create(filepath.Join(dir, "j"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // sync #1: real
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // sync #2: dropped
+		t.Fatal(err)
+	}
+	f.Close()
+	in.Crash()
+	data, _ := os.ReadFile(filepath.Join(dir, "j"))
+	if string(data) != "durable|" {
+		t.Fatalf("durable prefix = %q, want %q", data, "durable|")
+	}
+}
+
+// TestInjectCrashOnFault: with CrashOnFault, persistence freezes at the
+// fault — the op trace is the exact failpoint prefix.
+func TestInjectCrashOnFault(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpRename, Nth: 1, Mode: ModeFail})
+	in.CrashOnFault = true
+	err := writeAll(in, dir, "a", []byte("one"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename fault: %v", err)
+	}
+	if err := writeAll(in, dir, "b", []byte("two")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ops after a crash-on-fault must fail with ErrCrashed, got %v", err)
+	}
+}
+
+// TestInjectShortRead returns a truncated prefix plus an error.
+func TestInjectShortRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(OS{}, Fault{Op: OpRead, Nth: 1, Mode: ModeShortRead})
+	data, err := in.ReadFile(path)
+	if !errors.Is(err, ErrInjected) || string(data) != "01234" {
+		t.Fatalf("short read = %q, %v", data, err)
+	}
+	data, err = in.ReadFile(path)
+	if err != nil || string(data) != "0123456789" {
+		t.Fatalf("read #2 should pass: %q, %v", data, err)
+	}
+}
+
+// TestInjectTransientTimes: Times makes a fault fire on consecutive
+// occurrences, modelling a transient error that outlasts some retries.
+func TestInjectTransientTimes(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpCreateTemp, Nth: 1, Mode: ModeFail, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := writeAll(in, dir, "f", []byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d should fail, got %v", i+1, err)
+		}
+	}
+	if err := writeAll(in, dir, "f", []byte("x")); err != nil {
+		t.Fatalf("attempt 3 should succeed: %v", err)
+	}
+}
+
+// TestSeededDeterminism: the same seed over the same op sequence yields
+// the same failure pattern.
+func TestSeededDeterminism(t *testing.T) {
+	runSeq := func(seed int64) []bool {
+		dir := t.TempDir()
+		in := Seeded(OS{}, seed, 0.3)
+		var fails []bool
+		for i := 0; i < 40; i++ {
+			fails = append(fails, writeAll(in, dir, "f", []byte("x")) != nil)
+		}
+		return fails
+	}
+	a, b, c := runSeq(7), runSeq(7), runSeq(8)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed must reproduce the same failure sequence")
+	}
+	if !diff {
+		t.Fatal("different seeds should differ somewhere in 40 sequences")
+	}
+}
+
+// TestRenameTransfersDroppedBookkeeping: a dropped-sync temp file that
+// is renamed into place is truncated at its published path on crash.
+func TestRenameTransfersDroppedBookkeeping(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpSync, Nth: 1, Mode: ModeDropSync})
+	if err := writeAll(in, dir, "ckpt", []byte("snapshot-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	in.Crash()
+	fi, err := os.Stat(filepath.Join(dir, "ckpt"))
+	if err != nil || fi.Size() != 0 {
+		t.Fatalf("published path must be truncated on crash: %v, %v", fi, err)
+	}
+}

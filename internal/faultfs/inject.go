@@ -1,0 +1,437 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected is the base error of every deliberately injected failure;
+// check it with errors.Is to distinguish injected faults from real I/O
+// errors in tests.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation after the injector has
+// simulated a crash: as far as persistence is concerned, the process is
+// dead.
+var ErrCrashed = fmt.Errorf("%w: simulated crash", ErrInjected)
+
+// Mode is how an injected fault manifests.
+type Mode int
+
+const (
+	// ModeFail fails the operation with an I/O-style error; nothing is
+	// persisted by the faulted call.
+	ModeFail Mode = iota
+	// ModeTorn persists only the first TornBytes bytes of a write, then
+	// fails — the on-disk file holds a torn prefix.
+	ModeTorn
+	// ModeENOSPC fails the operation with ENOSPC ("no space left on
+	// device"), the canonical transient save error.
+	ModeENOSPC
+	// ModeDropSync makes a Sync report success without persisting: the
+	// bytes written since the last successful sync are silently lost when
+	// the crash fires (lost page cache after power failure).
+	ModeDropSync
+	// ModeShortRead makes a ReadFile return a truncated prefix of the
+	// file together with an error (interrupted read).
+	ModeShortRead
+)
+
+var modeNames = map[Mode]string{
+	ModeFail:      "fail",
+	ModeTorn:      "torn",
+	ModeENOSPC:    "enospc",
+	ModeDropSync:  "dropsync",
+	ModeShortRead: "shortread",
+}
+
+// String returns the mode's stable name.
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return "mode?"
+}
+
+// Fault injects Mode at the Nth occurrence (1-based) of Op, and at the
+// Times-1 following occurrences (Times <= 1 fires exactly once — the
+// multi-shot form models transient errors that outlast a few retries).
+type Fault struct {
+	Op        Op
+	Nth       int
+	Mode      Mode
+	TornBytes int // ModeTorn: bytes of the faulted write that persist
+	Times     int
+}
+
+// String labels the fault for sweep diagnostics, e.g. "torn@write#3".
+func (f Fault) String() string { return fmt.Sprintf("%v@%v#%d", f.Mode, f.Op, f.Nth) }
+
+// Injector wraps an FS and fails deterministic operations according to a
+// fault plan. It is safe for concurrent use.
+//
+// Crash simulation: with CrashOnFault set, the first firing fault also
+// freezes persistence — every later operation returns ErrCrashed — so
+// the on-disk state a recovery sees is exactly the state at the fault.
+// A ModeDropSync fault defers the freeze until the next file-open
+// operation: the in-flight save sequence (write, close, rename) still
+// completes and publishes the unsynced file, reproducing the classic
+// lost-page-cache torn publish. Crash can also be called explicitly.
+type Injector struct {
+	under        FS
+	CrashOnFault bool
+
+	mu     sync.Mutex
+	counts [numOps]int
+	trace  []Op
+	faults []Fault
+	fired  int
+
+	crashed bool
+	// crashPending defers the crash past the in-flight save sequence
+	// (set by ModeDropSync, consumed at the next open-style operation).
+	crashPending bool
+	// dropped maps path -> last-synced size for files whose fsync was
+	// dropped; crashing truncates them to that size.
+	dropped map[string]int64
+
+	// rng, when set, fails any operation with probability p (seeded
+	// transient noise for retry/robustness tests).
+	rng *rand.Rand
+	p   float64
+}
+
+// NewInjector wraps under (nil = real OS) with a deterministic fault
+// plan.
+func NewInjector(under FS, faults ...Fault) *Injector {
+	return &Injector{under: Or(under), faults: faults, dropped: map[string]int64{}}
+}
+
+// Seeded wraps under with seeded random transient failures: every
+// operation independently fails (ModeFail) with probability p. The same
+// seed reproduces the same failure sequence for the same operation
+// sequence.
+func Seeded(under FS, seed int64, p float64) *Injector {
+	in := NewInjector(under)
+	in.rng, in.p = rand.New(rand.NewSource(seed)), p
+	return in
+}
+
+// Counts returns how many operations of each class have been issued so
+// far; a counting pass over a run enumerates its failpoints.
+func (in *Injector) Counts() map[Op]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	m := make(map[Op]int, numOps)
+	for op, c := range in.counts {
+		if c > 0 {
+			m[Op(op)] = c
+		}
+	}
+	return m
+}
+
+// Trace returns the operation sequence issued so far.
+func (in *Injector) Trace() []Op {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Op(nil), in.trace...)
+}
+
+// Fired returns how many faults have fired (planned plus seeded).
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Crash simulates process death plus lost page cache: files whose fsync
+// was dropped are truncated back to their last-synced size, and every
+// subsequent operation returns ErrCrashed. Idempotent.
+func (in *Injector) Crash() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashLocked()
+}
+
+func (in *Injector) crashLocked() {
+	if in.crashed {
+		return
+	}
+	in.crashed = true
+	in.crashPending = false
+	for path, size := range in.dropped {
+		// Lost unsynced data: cut the file back to its durable prefix. A
+		// file that no longer exists lost everything already.
+		in.under.Truncate(path, size) //nolint:errcheck
+	}
+	in.dropped = map[string]int64{}
+}
+
+// step records one operation and returns the fault to apply to it, if
+// any. For a failing-mode fault with CrashOnFault set, the injector is
+// crashed for all subsequent operations while the current one still
+// executes its faulty behavior (a torn write must persist its prefix).
+func (in *Injector) step(op Op) (*Fault, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashPending && (op == OpCreate || op == OpCreateTemp || op == OpOpenAppend) {
+		in.crashLocked()
+	}
+	if in.crashed {
+		return nil, ErrCrashed
+	}
+	in.counts[op]++
+	in.trace = append(in.trace, op)
+	for i := range in.faults {
+		f := &in.faults[i]
+		times := f.Times
+		if times < 1 {
+			times = 1
+		}
+		if f.Op == op && in.counts[op] >= f.Nth && in.counts[op] < f.Nth+times {
+			in.fired++
+			if in.CrashOnFault {
+				if f.Mode == ModeDropSync {
+					in.crashPending = true
+				} else {
+					// The current op still executes its faulty behavior (it
+					// already passed the crashed check); every later op fails.
+					in.crashLocked()
+				}
+			}
+			return f, nil
+		}
+	}
+	if in.rng != nil && in.rng.Float64() < in.p {
+		in.fired++
+		return &Fault{Op: op, Mode: ModeFail}, nil
+	}
+	return nil, nil
+}
+
+// injErr wraps an injected failure with its fault context.
+func injErr(f *Fault) error {
+	if f.Mode == ModeENOSPC {
+		return fmt.Errorf("%w: %v: %w", ErrInjected, *f, syscall.ENOSPC)
+	}
+	return fmt.Errorf("%w: %v", ErrInjected, *f)
+}
+
+// Create implements FS.
+func (in *Injector) Create(name string) (File, error) {
+	f, err := in.step(OpCreate)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil {
+		return nil, injErr(f)
+	}
+	uf, err := in.under.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: uf, path: name}, nil
+}
+
+// CreateTemp implements FS.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	f, err := in.step(OpCreateTemp)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil {
+		return nil, injErr(f)
+	}
+	uf, err := in.under.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: uf, path: uf.Name()}, nil
+}
+
+// OpenAppend implements FS.
+func (in *Injector) OpenAppend(name string) (File, error) {
+	f, err := in.step(OpOpenAppend)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil {
+		return nil, injErr(f)
+	}
+	var size int64
+	if fi, err := in.under.Stat(name); err == nil {
+		size = fi.Size()
+	}
+	uf, err := in.under.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: uf, path: name, size: size, synced: size}, nil
+}
+
+// ReadFile implements FS, honoring read faults.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	f, err := in.step(OpRead)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil && f.Mode != ModeShortRead {
+		return nil, injErr(f)
+	}
+	data, err := in.under.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil { // ModeShortRead: a truncated prefix plus the error
+		return data[:len(data)/2], injErr(f)
+	}
+	return data, nil
+}
+
+// Rename implements FS, transferring dropped-sync bookkeeping to the new
+// path so a later crash truncates the published file.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	f, err := in.step(OpRename)
+	if err != nil {
+		return err
+	}
+	if f != nil {
+		return injErr(f)
+	}
+	if err := in.under.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	if size, ok := in.dropped[oldpath]; ok {
+		delete(in.dropped, oldpath)
+		in.dropped[newpath] = size
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	f, err := in.step(OpRemove)
+	if err != nil {
+		return err
+	}
+	if f != nil {
+		return injErr(f)
+	}
+	if err := in.under.Remove(name); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	delete(in.dropped, name)
+	in.mu.Unlock()
+	return nil
+}
+
+// Stat implements FS.
+func (in *Injector) Stat(name string) (fs.FileInfo, error) {
+	f, err := in.step(OpStat)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil {
+		return nil, injErr(f)
+	}
+	return in.under.Stat(name)
+}
+
+// Truncate implements FS.
+func (in *Injector) Truncate(name string, size int64) error {
+	f, err := in.step(OpTruncate)
+	if err != nil {
+		return err
+	}
+	if f != nil {
+		return injErr(f)
+	}
+	return in.under.Truncate(name, size)
+}
+
+// injFile wraps an open file, tracking written and synced sizes for
+// dropped-sync crash simulation.
+type injFile struct {
+	in     *Injector
+	f      File
+	path   string
+	size   int64 // bytes in the file, counting this handle's writes
+	synced int64 // durable prefix: size at the last successful sync
+}
+
+// Name implements File.
+func (w *injFile) Name() string { return w.f.Name() }
+
+// Write implements File, honoring write faults (fail, torn, ENOSPC).
+func (w *injFile) Write(p []byte) (int, error) {
+	f, err := w.in.step(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if f != nil {
+		if f.Mode == ModeTorn {
+			keep := f.TornBytes
+			if keep > len(p) {
+				keep = len(p)
+			}
+			n, _ := w.f.Write(p[:keep])
+			w.size += int64(n)
+			return n, injErr(f)
+		}
+		return 0, injErr(f)
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// Sync implements File, honoring failed and dropped fsyncs.
+func (w *injFile) Sync() error {
+	f, err := w.in.step(OpSync)
+	if err != nil {
+		return err
+	}
+	if f != nil {
+		if f.Mode == ModeDropSync {
+			// Report success without persisting: the bytes since the last
+			// real sync are lost if a crash fires before the next one.
+			w.in.mu.Lock()
+			if _, ok := w.in.dropped[w.path]; !ok {
+				w.in.dropped[w.path] = w.synced
+			}
+			w.in.mu.Unlock()
+			return nil
+		}
+		return injErr(f)
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.synced = w.size
+	w.in.mu.Lock()
+	delete(w.in.dropped, w.path)
+	w.in.mu.Unlock()
+	return nil
+}
+
+// Close implements File.
+func (w *injFile) Close() error {
+	f, err := w.in.step(OpClose)
+	if err != nil {
+		w.f.Close() //nolint:errcheck // the real handle must not leak
+		return err
+	}
+	if f != nil {
+		w.f.Close() //nolint:errcheck
+		return injErr(f)
+	}
+	return w.f.Close()
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"io"
+
+	"bbc/internal/faultfs"
 )
 
 // Runtime bundles the observability facilities a CLI enabled: the
@@ -13,29 +15,67 @@ type Runtime struct {
 	Journal *Journal
 }
 
+// CLIConfig configures StartCLIConfig.
+type CLIConfig struct {
+	// Name prefixes stderr diagnostics ("bbcsim", ...).
+	Name string
+	// Journal, when non-empty, opens a JSONL run journal at this path.
+	Journal string
+	// AppendJournal reopens an existing journal in salvage-append mode
+	// (resumed runs) instead of truncating it: the interrupted run's
+	// records survive, a torn tail is dropped, and sequence numbers
+	// continue.
+	AppendJournal bool
+	// Pprof, when non-empty, serves the pprof/expvar debug server at
+	// this address.
+	Pprof string
+	// Stderr receives startup diagnostics.
+	Stderr io.Writer
+	// FS is the filesystem for journal I/O (nil = real OS).
+	FS faultfs.FS
+}
+
 // StartCLI installs a fresh global registry and wires the standard
 // observability flags shared by the bbc commands: journalPath ("" = off)
-// opens a JSONL run journal, pprofAddr ("" = off) starts the
-// pprof/expvar debug server and announces its address on stderr. The
+// opens a JSONL run journal (truncating), pprofAddr ("" = off) starts
+// the pprof/expvar debug server and announces its address on stderr. The
 // caller owns Close, which flushes the journal and surfaces its first
 // write error.
 func StartCLI(name, journalPath, pprofAddr string, stderr io.Writer) (*Runtime, error) {
+	return StartCLIConfig(CLIConfig{Name: name, Journal: journalPath, Pprof: pprofAddr, Stderr: stderr})
+}
+
+// StartCLIConfig is StartCLI with the full option set (journal append
+// mode for resumed runs, fault-injectable filesystem).
+func StartCLIConfig(c CLIConfig) (*Runtime, error) {
 	rt := &Runtime{Reg: NewRegistry()}
 	SetGlobal(rt.Reg)
-	if journalPath != "" {
-		j, err := OpenJournal(journalPath, rt.Reg)
-		if err != nil {
-			return nil, err
+	if c.Journal != "" {
+		if c.AppendJournal {
+			j, sal, err := ResumeJournal(c.FS, c.Journal, rt.Reg)
+			if err != nil {
+				return nil, err
+			}
+			if sal.DroppedBytes > 0 && c.Stderr != nil {
+				fmt.Fprintf(c.Stderr, "%s: journal %s: salvaged %d records, dropped a torn tail of %d bytes\n",
+					c.Name, c.Journal, sal.Kept, sal.DroppedBytes)
+			}
+			rt.Journal = j
+		} else {
+			j, err := OpenJournalFS(c.FS, c.Journal, rt.Reg)
+			if err != nil {
+				return nil, err
+			}
+			rt.Journal = j
 		}
-		rt.Journal = j
 	}
-	if pprofAddr != "" {
-		addr, err := ServeDebug(pprofAddr)
+	if c.Pprof != "" {
+		addr, err := ServeDebug(c.Pprof)
 		if err != nil {
 			rt.Journal.Close()
 			return nil, err
 		}
-		fmt.Fprintf(stderr, "%s: debug server at http://%s/debug/pprof/ (counters at /debug/vars)\n", name, addr)
+		fmt.Fprintf(c.Stderr, "%s: debug server at http://%s/debug/pprof/ (counters at /debug/vars)\n", c.Name, addr)
 	}
 	return rt, nil
 }

@@ -1,0 +1,61 @@
+package obs
+
+// Native fuzz target for journal salvage: crashed runs leave arbitrary
+// bytes at the tail of a JSONL journal, and salvage must never panic,
+// never claim more than it verified, and always return a prefix that
+// re-parses to the same records.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+var salvageSeeds = []string{
+	"",
+	`{"type":"move","seq":0,"elapsed_ms":1}` + "\n",
+	`{"type":"move","seq":0,"elapsed_ms":1}` + "\n" + `{"type":"run_status","seq":1}` + "\n",
+	`{"type":"move","seq":0}` + "\n" + `{"type":"move","seq":1,"ela`,
+	"\x00\xff garbage\n",
+	`{"type":"move","seq":0}` + "\n" + "garbage\n" + `{"type":"move","seq":2}` + "\n",
+	`{"type":"checkpoint","seq":0,"data":{"path":"a.ckpt"},"counters":{"x":1}}` + "\n",
+	"\n\n\n",
+	`{}` + "\n",
+}
+
+func FuzzJournalSalvage(f *testing.F) {
+	for _, seed := range salvageSeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validLen := salvageRecords(data)
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("valid prefix %d out of range [0,%d]", validLen, len(data))
+		}
+		if validLen > 0 && data[validLen-1] != '\n' {
+			t.Fatalf("valid prefix does not end on a record boundary")
+		}
+		// The claimed prefix must re-salvage to exactly the same records:
+		// salvage is idempotent on its own output.
+		recs2, validLen2 := salvageRecords(data[:validLen])
+		if validLen2 != validLen || len(recs2) != len(recs) {
+			t.Fatalf("salvage not idempotent: (%d recs, %d bytes) vs (%d recs, %d bytes)",
+				len(recs), validLen, len(recs2), validLen2)
+		}
+		// Every salvaged record is a complete JSON document on its own
+		// line of the prefix.
+		lines := bytes.Split(data[:validLen], []byte("\n"))
+		if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+			lines = lines[:len(lines)-1]
+		}
+		if len(lines) != len(recs) {
+			t.Fatalf("%d salvaged records from %d prefix lines", len(recs), len(lines))
+		}
+		for i, line := range lines {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Fatalf("salvaged line %d does not re-parse: %v", i, err)
+			}
+		}
+	})
+}

@@ -1,12 +1,16 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
 	"sync"
 	"time"
+
+	"bbc/internal/faultfs"
 )
 
 // Record is one line of a JSONL run journal. The schema is stable:
@@ -49,15 +53,115 @@ func NewJournal(w io.Writer, reg *Registry) *Journal {
 	return &Journal{w: w, reg: reg, start: time.Now()}
 }
 
-// OpenJournal creates (truncating) the JSONL file at path.
+// OpenJournal creates (truncating) the JSONL file at path on the real
+// filesystem. Resumed runs must use ResumeJournal instead, which
+// salvages and appends rather than wiping the interrupted run's
+// records.
 func OpenJournal(path string, reg *Registry) (*Journal, error) {
-	f, err := os.Create(path)
+	return OpenJournalFS(faultfs.OS{}, path, reg)
+}
+
+// OpenJournalFS is OpenJournal on an explicit filesystem (fault
+// injection in tests; nil = real OS).
+func OpenJournalFS(fsys faultfs.FS, path string, reg *Registry) (*Journal, error) {
+	f, err := faultfs.Or(fsys).Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: open journal: %w", err)
 	}
 	j := NewJournal(f, reg)
 	j.closer = f
 	return j, nil
+}
+
+// Salvage reports what ResumeJournal recovered from an existing
+// journal file.
+type Salvage struct {
+	// Kept is the number of valid records preserved.
+	Kept int
+	// DroppedBytes is the size of the discarded torn tail (0 for a
+	// cleanly closed journal).
+	DroppedBytes int64
+}
+
+// RecoverJournal salvages the longest valid prefix of a JSONL journal:
+// the leading run of complete, newline-terminated lines that parse as
+// Records. It returns those records and the byte length of the valid
+// prefix. A torn tail — a partial line from a crashed writer, or
+// trailing corruption — is excluded but left on disk; callers that want
+// to continue the journal use ResumeJournal, which truncates it away.
+// A missing file yields no records and the underlying not-exist error.
+func RecoverJournal(fsys faultfs.FS, path string) ([]Record, int64, error) {
+	data, err := faultfs.Or(fsys).ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("obs: recover journal: %w", err)
+	}
+	recs, validLen := salvageRecords(data)
+	return recs, validLen, nil
+}
+
+// salvageRecords is the pure salvage parser behind RecoverJournal: it
+// returns the records of the longest valid JSONL prefix of data and
+// that prefix's byte length. It never fails — arbitrary bytes simply
+// salvage to an empty prefix.
+func salvageRecords(data []byte) ([]Record, int64) {
+	var (
+		recs     []Record
+		validLen int64
+	)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn tail: an unterminated final line
+		}
+		line := data[:nl]
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // first invalid line ends the trustworthy prefix
+		}
+		recs = append(recs, rec)
+		validLen += int64(nl) + 1
+		data = data[nl+1:]
+	}
+	return recs, validLen
+}
+
+// ResumeJournal continues an interrupted run's journal instead of
+// wiping it: the longest valid prefix is salvaged (a torn tail from the
+// interrupted writer is truncated away), sequence numbers continue
+// after the last surviving record, and new records are appended. The
+// elapsed-time clock restarts at the resume. A missing file starts a
+// fresh journal, so resume flags work even when the original run never
+// journaled.
+func ResumeJournal(fsys faultfs.FS, path string, reg *Registry) (*Journal, *Salvage, error) {
+	fsys = faultfs.Or(fsys)
+	sal := &Salvage{}
+	recs, validLen, err := RecoverJournal(fsys, path)
+	switch {
+	case err == nil:
+		if fi, serr := fsys.Stat(path); serr == nil {
+			sal.DroppedBytes = fi.Size() - validLen
+		}
+		if sal.DroppedBytes > 0 {
+			if terr := fsys.Truncate(path, validLen); terr != nil {
+				return nil, nil, fmt.Errorf("obs: truncate torn journal tail: %w", terr)
+			}
+		}
+		sal.Kept = len(recs)
+	case errors.Is(err, fs.ErrNotExist):
+		// No journal yet: start fresh.
+	default:
+		return nil, nil, err
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: reopen journal: %w", err)
+	}
+	j := NewJournal(f, reg)
+	j.closer = f
+	if n := len(recs); n > 0 {
+		j.seq = recs[n-1].Seq + 1
+	}
+	return j, sal, nil
 }
 
 // Event appends one record. The first write error is retained and

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeJournalLines builds a journal file from raw lines.
+func writeJournalLines(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRecoverJournalCleanFile: a cleanly closed journal salvages whole.
+func TestRecoverJournalCleanFile(t *testing.T) {
+	path := writeJournalLines(t,
+		`{"type":"move","seq":0,"elapsed_ms":1}`+"\n",
+		`{"type":"run_status","seq":1,"elapsed_ms":2}`+"\n",
+	)
+	recs, n, err := RecoverJournal(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Type != "run_status" {
+		t.Fatalf("recs = %+v", recs)
+	}
+	fi, _ := os.Stat(path)
+	if n != fi.Size() {
+		t.Fatalf("valid prefix %d != file size %d", n, fi.Size())
+	}
+}
+
+// TestRecoverJournalTornTail: an unterminated final line (the writer
+// died mid-record) is excluded from the salvaged prefix.
+func TestRecoverJournalTornTail(t *testing.T) {
+	path := writeJournalLines(t,
+		`{"type":"move","seq":0,"elapsed_ms":1}`+"\n",
+		`{"type":"move","seq":1,"ela`, // torn: no newline, invalid JSON
+	)
+	recs, n, err := RecoverJournal(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 0 {
+		t.Fatalf("salvage = %+v", recs)
+	}
+	fi, _ := os.Stat(path)
+	if n >= fi.Size() {
+		t.Fatalf("torn tail should be excluded: prefix %d, size %d", n, fi.Size())
+	}
+}
+
+// TestRecoverJournalGarbageMiddle: the prefix stops at the first
+// invalid line even when later lines parse — trailing records after a
+// corruption cannot be trusted to belong to the same run.
+func TestRecoverJournalGarbageMiddle(t *testing.T) {
+	path := writeJournalLines(t,
+		`{"type":"move","seq":0,"elapsed_ms":1}`+"\n",
+		"\x00\x00 garbage \x00\n",
+		`{"type":"move","seq":2,"elapsed_ms":3}`+"\n",
+	)
+	recs, _, err := RecoverJournal(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("want only the pre-corruption prefix, got %+v", recs)
+	}
+}
+
+// TestRecoverJournalMissing: a missing journal is a not-exist error.
+func TestRecoverJournalMissing(t *testing.T) {
+	_, _, err := RecoverJournal(nil, filepath.Join(t.TempDir(), "nope.jsonl"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("want not-exist, got %v", err)
+	}
+}
+
+// TestResumeJournalAppends is the journal-truncation regression test: a
+// resumed run must append to the interrupted run's journal — continuing
+// its sequence numbers after dropping the torn tail — not wipe it.
+func TestResumeJournalAppends(t *testing.T) {
+	path := writeJournalLines(t,
+		`{"type":"move","seq":0,"elapsed_ms":1}`+"\n",
+		`{"type":"checkpoint","seq":1,"elapsed_ms":2}`+"\n",
+		`{"type":"move","seq":2,"ela`, // torn tail
+	)
+	j, sal, err := ResumeJournal(nil, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sal.Kept != 2 || sal.DroppedBytes == 0 {
+		t.Fatalf("salvage = %+v", sal)
+	}
+	j.Event("resumed", map[string]any{"from": "ckpt"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := RecoverJournal(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("want 2 salvaged + 1 appended records, got %d", len(recs))
+	}
+	if recs[2].Type != "resumed" || recs[2].Seq != 2 {
+		t.Fatalf("appended record must continue the sequence: %+v", recs[2])
+	}
+}
+
+// TestResumeJournalFreshFile: resuming with no existing journal starts
+// one from seq 0.
+func TestResumeJournalFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	j, sal, err := ResumeJournal(nil, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sal.Kept != 0 || sal.DroppedBytes != 0 {
+		t.Fatalf("fresh salvage = %+v", sal)
+	}
+	j.Event("start", nil)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := RecoverJournal(nil, path)
+	if err != nil || len(recs) != 1 || recs[0].Seq != 0 {
+		t.Fatalf("fresh journal: %+v, %v", recs, err)
+	}
+}
+
+// TestStartCLIConfigAppend: the CLI runtime in append mode preserves an
+// interrupted run's records end-to-end.
+func TestStartCLIConfigAppend(t *testing.T) {
+	path := writeJournalLines(t, `{"type":"move","seq":0,"elapsed_ms":1}`+"\n")
+	var stderr strings.Builder
+	rt, err := StartCLIConfig(CLIConfig{Name: "test", Journal: path, AppendJournal: true, Stderr: &stderr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Journal.Event("move", nil)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := RecoverJournal(nil, path)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("append-mode CLI journal: %+v, %v", recs, err)
+	}
+	if recs[1].Seq != 1 {
+		t.Fatalf("seq continuation: %+v", recs[1])
+	}
+}

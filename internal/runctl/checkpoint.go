@@ -1,15 +1,24 @@
 package runctl
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"hash/crc32"
+	"sort"
+
+	"bbc/internal/faultfs"
 )
 
-// CheckpointVersion is the current snapshot schema version. Loaders
-// reject other versions explicitly instead of misreading them.
-const CheckpointVersion = 1
+// CheckpointVersion is the current snapshot schema version. Version 2
+// added the integrity checksum; version-1 snapshots (no checksum) are
+// still readable, and loaders reject versions this build does not know
+// explicitly instead of misreading them.
+const CheckpointVersion = 2
+
+// minCheckpointVersion is the oldest schema this build still reads.
+const minCheckpointVersion = 1
 
 // Checkpoint is the versioned envelope of a run snapshot. Kind names the
 // payload schema ("enumeration", "ensemble", "suite", ...), and Payload
@@ -30,31 +39,130 @@ type Checkpoint struct {
 	// Counters carries the producing run's observability counter
 	// snapshot, so resumed runs can report cumulative work.
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Checksum is the crc32c integrity tag over the identifying fields
+	// and the payload (schema v2+); a snapshot whose stored and computed
+	// tags disagree is corrupt and must not be resumed from.
+	Checksum string `json:"checksum,omitempty"`
 	// Payload is the kind-specific resume state.
 	Payload json.RawMessage `json:"payload"`
 }
 
-// NewCheckpoint wraps a payload value into a versioned envelope.
+// NewCheckpoint wraps a payload value into a versioned, checksummed
+// envelope.
 func NewCheckpoint(kind, fingerprint string, status Status, counters map[string]int64, payload any) (*Checkpoint, error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return nil, fmt.Errorf("runctl: marshal %s checkpoint payload: %w", kind, err)
 	}
-	return &Checkpoint{
+	c := &Checkpoint{
 		Version:     CheckpointVersion,
 		Kind:        kind,
 		Fingerprint: fingerprint,
 		Status:      status,
 		Counters:    counters,
 		Payload:     raw,
-	}, nil
+	}
+	c.Checksum = c.checksum()
+	return c, nil
 }
 
-// Decode unmarshals the payload into out after validating version, kind
-// and fingerprint, so a resume from the wrong snapshot fails loudly.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum computes the crc32c integrity tag over the envelope's
+// identifying fields, counters and payload. The payload is compacted
+// first so the tag is independent of on-disk indentation.
+func (c *Checkpoint) checksum() string {
+	h := crc32.New(castagnoli)
+	fmt.Fprintf(h, "v%d|%s|%s|%s|", c.Version, c.Kind, c.Fingerprint, c.Status)
+	keys := make([]string, 0, len(c.Counters))
+	for k := range c.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%d|", k, c.Counters[k])
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, c.Payload); err != nil {
+		// Non-JSON payload bytes cannot round-trip anyway; tag them raw so
+		// the mismatch is still deterministic.
+		h.Write(c.Payload)
+	} else {
+		h.Write(buf.Bytes())
+	}
+	return fmt.Sprintf("crc32c:%08x", h.Sum32())
+}
+
+// CorruptError marks durable state that exists but cannot be trusted: a
+// torn or bit-rotted checkpoint, a checksum mismatch, an envelope
+// missing required fields. It is distinct from version/kind/fingerprint
+// mismatches (valid files from a different run) and from missing files.
+type CorruptError struct {
+	// Path is the offending file ("" when parsing raw bytes).
+	Path string
+	// Reason says what integrity property failed, in plain language.
+	Reason string
+	// Err optionally carries the underlying decode error.
+	Err error
+}
+
+// Error renders a plain-language description, never a bare JSON error.
+func (e *CorruptError) Error() string {
+	msg := "runctl: checkpoint"
+	if e.Path != "" {
+		msg += " " + e.Path
+	}
+	msg += " is corrupt: " + e.Reason
+	if e.Err != nil {
+		msg += fmt.Sprintf(" (%v)", e.Err)
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying decode error to errors.Is/As.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// IsCorrupt reports whether err stems from corrupt durable state (as
+// opposed to a missing file or a config mismatch).
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// Parse decodes and integrity-checks a checkpoint envelope from raw
+// bytes. Torn, truncated or bit-flipped inputs return a *CorruptError;
+// a valid envelope from a future schema returns a plain version error.
+func Parse(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, &CorruptError{Reason: "not a valid checkpoint envelope", Err: err}
+	}
+	if c.Version < minCheckpointVersion || c.Version > CheckpointVersion {
+		return nil, fmt.Errorf("runctl: checkpoint has version %d, this build reads %d..%d",
+			c.Version, minCheckpointVersion, CheckpointVersion)
+	}
+	if c.Kind == "" {
+		return nil, &CorruptError{Reason: "envelope has no kind"}
+	}
+	if len(c.Payload) == 0 {
+		return nil, &CorruptError{Reason: "envelope has no payload"}
+	}
+	if c.Version >= 2 {
+		if c.Checksum == "" {
+			return nil, &CorruptError{Reason: "v2 envelope has no checksum"}
+		}
+		if got := c.checksum(); got != c.Checksum {
+			return nil, &CorruptError{Reason: fmt.Sprintf("checksum mismatch: file says %s, contents hash to %s", c.Checksum, got)}
+		}
+	}
+	return &c, nil
+}
+
+// Decode unmarshals the payload into out after validating kind and
+// fingerprint, so a resume from the wrong snapshot fails loudly.
 func (c *Checkpoint) Decode(kind, fingerprint string, out any) error {
-	if c.Version != CheckpointVersion {
-		return fmt.Errorf("runctl: checkpoint version %d, want %d", c.Version, CheckpointVersion)
+	if c.Version < minCheckpointVersion || c.Version > CheckpointVersion {
+		return fmt.Errorf("runctl: checkpoint version %d, want %d..%d", c.Version, minCheckpointVersion, CheckpointVersion)
 	}
 	if c.Kind != kind {
 		return fmt.Errorf("runctl: checkpoint kind %q, want %q", c.Kind, kind)
@@ -68,53 +176,34 @@ func (c *Checkpoint) Decode(kind, fingerprint string, out any) error {
 	return nil
 }
 
-// Save writes the checkpoint atomically: marshal to a temp file in the
-// destination directory, fsync, then rename over the target, so a crash
-// mid-write leaves either the previous snapshot or the new one, never a
-// torn file.
+// Save writes the checkpoint atomically with generation rotation (see
+// Store.Save) on the real filesystem.
 func Save(path string, c *Checkpoint) error {
-	data, err := json.MarshalIndent(c, "", "  ")
-	if err != nil {
-		return fmt.Errorf("runctl: marshal checkpoint: %w", err)
-	}
-	data = append(data, '\n')
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("runctl: create checkpoint temp: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("runctl: write checkpoint: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("runctl: sync checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("runctl: close checkpoint temp: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("runctl: publish checkpoint: %w", err)
-	}
-	return nil
+	return (&Store{Path: path}).Save(c)
 }
 
-// Load reads and validates a checkpoint envelope from path. The payload
-// stays raw; call Decode with the expected kind to unpack it.
+// Load reads and validates a checkpoint envelope from path on the real
+// filesystem, with no generation fallback; use Store.Load for the
+// recovering loader. The payload stays raw; call Decode with the
+// expected kind to unpack it.
 func Load(path string) (*Checkpoint, error) {
-	data, err := os.ReadFile(path)
+	return loadFile(faultfs.OS{}, path)
+}
+
+// loadFile reads and parses one checkpoint file, attaching the path to
+// corruption errors.
+func loadFile(fsys faultfs.FS, path string) (*Checkpoint, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("runctl: read checkpoint: %w", err)
 	}
-	var c Checkpoint
-	if err := json.Unmarshal(data, &c); err != nil {
-		return nil, fmt.Errorf("runctl: parse checkpoint %s: %w", path, err)
+	c, err := Parse(data)
+	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			ce.Path = path
+		}
+		return nil, err
 	}
-	if c.Version != CheckpointVersion {
-		return nil, fmt.Errorf("runctl: checkpoint %s has version %d, this build reads %d", path, c.Version, CheckpointVersion)
-	}
-	return &c, nil
+	return c, nil
 }

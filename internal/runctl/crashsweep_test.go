@@ -1,0 +1,305 @@
+package runctl_test
+
+// The crash-consistency property sweep: a checkpointed Theorem 1 gadget
+// scan persists its progress through a fault-injecting filesystem, and
+// for EVERY filesystem operation the run performs, a separate subtest
+// crashes the run at exactly that operation (in every failure mode that
+// applies to it) and asserts the recovery invariants:
+//
+//  1. Old-or-new: the surviving generation set {ckpt, ckpt.prev} yields
+//     a snapshot that is exactly one of the snapshots a successful save
+//     durably published — never a torn hybrid, never a lost-page-cache
+//     ghost. When nothing was durably published, recovery must say so
+//     and a fresh start is the correct outcome.
+//  2. Resume equivalence: continuing the scan from the recovered
+//     snapshot (or from scratch) under the same profile budget yields a
+//     result byte-identical (as JSON) to an uninterrupted run.
+//  3. Journal salvage: whatever the crash left of the run journal,
+//     RecoverJournal extracts a clean prefix of well-formed records
+//     with contiguous sequence numbers.
+//
+// The test lives in package runctl_test so it can drive the real
+// enumeration engine (internal/core imports runctl, so an internal test
+// would cycle).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bbc/internal/construct"
+	"bbc/internal/core"
+	"bbc/internal/faultfs"
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+)
+
+const (
+	sweepKind = "enumeration"
+	// sweepBudget/sweepEvery give four periodic checkpoints plus the
+	// final snapshot save: enough saves that every store code path
+	// (first save, rotation, steady state, final) appears in the op
+	// trace, while keeping the sweep fast enough for -race CI.
+	sweepBudget = 640
+	sweepEvery  = 128
+)
+
+// sweepRun fixes the scan under test: the 14-node no-NE gadget from
+// Theorem 1, scanned serially (deterministic operation order) over its
+// pinned search space with a hard profile budget.
+type sweepRun struct {
+	spec core.Spec
+	agg  core.Aggregation
+	ss   *core.SearchSpace
+	fp   string
+}
+
+func newSweepRun(t *testing.T) *sweepRun {
+	t.Helper()
+	spec := construct.MatchingPennies(construct.DefaultGadgetWeights())
+	ss, err := core.PinnedSpace(spec, 0)
+	if err != nil {
+		t.Fatalf("pinned space: %v", err)
+	}
+	return &sweepRun{
+		spec: spec,
+		agg:  core.SumDistances,
+		ss:   ss,
+		fp:   core.EnumFingerprint(spec, core.SumDistances, ss),
+	}
+}
+
+// runCheckpointed runs the budgeted scan, persisting periodic and final
+// snapshots through st and journaling through j, mirroring the CLI
+// flow: a failed save is journaled and the scan keeps computing. It
+// returns the Checked values of the snapshots whose save reported
+// success, in save order.
+func (r *sweepRun) runCheckpointed(t *testing.T, st *runctl.Store, j *obs.Journal, resume *core.EnumCheckpoint) []uint64 {
+	t.Helper()
+	var published []uint64
+	save := func(cp *core.EnumCheckpoint) {
+		ck, err := runctl.NewCheckpoint(sweepKind, r.fp, runctl.StatusBudget, nil, cp)
+		if err != nil {
+			t.Fatalf("build checkpoint: %v", err)
+		}
+		if err := st.Save(ck); err != nil {
+			// Graceful degradation: the run records the failure and keeps
+			// computing on the in-memory state.
+			j.Event("checkpoint_error", map[string]any{"error": err.Error()})
+			return
+		}
+		published = append(published, cp.Checked)
+		j.Checkpoint(st.Path, sweepKind, map[string]any{"checked": cp.Checked})
+	}
+	res, err := core.EnumeratePureNEOpts(r.spec, r.agg, r.ss, core.EnumConfig{
+		MaxProfiles:     sweepBudget,
+		CheckpointEvery: sweepEvery,
+		OnCheckpoint:    save,
+		Resume:          resume,
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if res.Resume != nil {
+		save(res.Resume)
+	}
+	j.RunStatus(res.Status.String(), res.Complete, map[string]any{"checked": res.Checked})
+	return published
+}
+
+// uninterrupted runs the same budgeted scan with no persistence at all
+// and returns its result as canonical JSON — the reference every
+// crashed-and-resumed run must reproduce byte for byte.
+func (r *sweepRun) uninterrupted(t *testing.T) []byte {
+	t.Helper()
+	res, err := core.EnumeratePureNEOpts(r.spec, r.agg, r.ss, core.EnumConfig{MaxProfiles: sweepBudget})
+	if err != nil {
+		t.Fatalf("reference scan: %v", err)
+	}
+	if res.Status != runctl.StatusBudget || res.Resume == nil {
+		t.Fatalf("reference scan must stop at the budget with resume state, got %v", res.Status)
+	}
+	return mustJSON(t, res)
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}
+
+// sweepOps fixes the subtest order; every operation class the run
+// issues gets swept.
+var sweepOps = []faultfs.Op{
+	faultfs.OpCreate, faultfs.OpCreateTemp, faultfs.OpOpenAppend,
+	faultfs.OpRead, faultfs.OpWrite, faultfs.OpSync, faultfs.OpClose,
+	faultfs.OpRename, faultfs.OpRemove, faultfs.OpStat, faultfs.OpTruncate,
+}
+
+// sweepModes maps each operation class to the failure modes that can
+// physically happen to it.
+var sweepModes = map[faultfs.Op][]faultfs.Mode{
+	faultfs.OpCreate:     {faultfs.ModeFail},
+	faultfs.OpCreateTemp: {faultfs.ModeFail, faultfs.ModeENOSPC},
+	faultfs.OpOpenAppend: {faultfs.ModeFail},
+	faultfs.OpRead:       {faultfs.ModeFail, faultfs.ModeShortRead},
+	faultfs.OpWrite:      {faultfs.ModeFail, faultfs.ModeTorn, faultfs.ModeENOSPC},
+	faultfs.OpSync:       {faultfs.ModeFail, faultfs.ModeDropSync},
+	faultfs.OpClose:      {faultfs.ModeFail},
+	faultfs.OpRename:     {faultfs.ModeFail},
+	faultfs.OpRemove:     {faultfs.ModeFail},
+	faultfs.OpStat:       {faultfs.ModeFail},
+	faultfs.OpTruncate:   {faultfs.ModeFail},
+}
+
+// TestCrashSweep is the property test: one crash per failpoint, every
+// failpoint of the run, every applicable failure mode.
+func TestCrashSweep(t *testing.T) {
+	r := newSweepRun(t)
+	refJSON := r.uninterrupted(t)
+
+	// Counting pass: run the identical persistence flow fault-free
+	// through an injector to enumerate every filesystem touch. The
+	// faulted runs replay exactly this operation sequence up to their
+	// fault, so (op, nth) pairs from these counts are precisely the
+	// run's failpoints.
+	countDir := t.TempDir()
+	counter := faultfs.NewInjector(faultfs.OS{})
+	countStore := &runctl.Store{Path: filepath.Join(countDir, "scan.ckpt"), FS: counter}
+	countJournal, err := obs.OpenJournalFS(counter, filepath.Join(countDir, "scan.jsonl"), nil)
+	if err != nil {
+		t.Fatalf("counting-pass journal: %v", err)
+	}
+	published := r.runCheckpointed(t, countStore, countJournal, nil)
+	if err := countJournal.Close(); err != nil {
+		t.Fatalf("counting-pass journal close: %v", err)
+	}
+	if len(published) < 3 {
+		t.Fatalf("counting pass published only %v; the sweep needs several generations", published)
+	}
+	counts := counter.Counts()
+	if counts[faultfs.OpWrite] == 0 || counts[faultfs.OpSync] == 0 || counts[faultfs.OpRename] == 0 {
+		t.Fatalf("counting pass missed core save operations: %v", counts)
+	}
+
+	for _, op := range sweepOps {
+		for nth := 1; nth <= counts[op]; nth++ {
+			for _, mode := range sweepModes[op] {
+				f := faultfs.Fault{Op: op, Nth: nth, Mode: mode, TornBytes: 11}
+				t.Run(f.String(), func(t *testing.T) {
+					t.Parallel()
+					r.sweepOne(t, refJSON, f)
+				})
+			}
+		}
+	}
+}
+
+// sweepOne crashes one run at fault f and asserts the three recovery
+// invariants.
+func (r *sweepRun) sweepOne(t *testing.T, refJSON []byte, f faultfs.Fault) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(faultfs.OS{}, f)
+	inj.CrashOnFault = true
+	ckptPath := filepath.Join(dir, "scan.ckpt")
+	journalPath := filepath.Join(dir, "scan.jsonl")
+
+	st := &runctl.Store{Path: ckptPath, FS: inj, Retries: 2, Sleep: func(time.Duration) {}}
+	j, jerr := obs.OpenJournalFS(inj, journalPath, nil)
+	if jerr != nil {
+		j = nil // the journal open itself was the failpoint; a nil journal drops events
+	}
+	published := r.runCheckpointed(t, st, j, nil)
+	j.Close() //nolint:errcheck // post-crash close errors are expected
+	if inj.Fired() == 0 {
+		t.Fatalf("fault %v never fired; the failpoint enumeration is stale", f)
+	}
+	inj.Crash()
+
+	// A dropped fsync makes the most recent publish non-durable: the
+	// crash truncates it back to its synced (empty) prefix, so only the
+	// earlier generations count as durably published.
+	durable := published
+	if f.Mode == faultfs.ModeDropSync && len(durable) > 0 {
+		durable = durable[:len(durable)-1]
+	}
+
+	// Invariant 1 — old-or-new: recover on the clean filesystem.
+	rst := &runctl.Store{Path: ckptPath}
+	ck, rec, err := rst.Load()
+	var resume *core.EnumCheckpoint
+	switch {
+	case err == nil:
+		var cp core.EnumCheckpoint
+		if derr := ck.Decode(sweepKind, r.fp, &cp); derr != nil {
+			t.Fatalf("recovered generation does not decode: %v", derr)
+		}
+		ok := false
+		for _, checked := range durable {
+			ok = ok || checked == cp.Checked
+		}
+		if !ok {
+			t.Fatalf("recovered snapshot checked=%d is not a durably published generation %v (recovery: %+v)", cp.Checked, durable, rec)
+		}
+		resume = &cp
+	case len(durable) == 0:
+		// Crash before anything durable: starting over is the correct
+		// recovery, and the loader must have said so plainly.
+		if !errors.Is(err, fs.ErrNotExist) && !runctl.IsCorrupt(err) {
+			t.Fatalf("no durable snapshot; want not-found or corrupt diagnosis, got: %v", err)
+		}
+	default:
+		t.Fatalf("durable snapshots %v exist but recovery failed: %v", durable, err)
+	}
+
+	// Invariant 2 — resume equivalence: continue under the same budget
+	// and compare against the uninterrupted run, byte for byte.
+	var cfg core.EnumConfig
+	cfg.MaxProfiles = sweepBudget
+	cfg.Resume = resume
+	res, rerr := core.EnumeratePureNEOpts(r.spec, r.agg, r.ss, cfg)
+	if rerr != nil {
+		t.Fatalf("resume scan: %v", rerr)
+	}
+	if got := mustJSON(t, res); !bytes.Equal(got, refJSON) {
+		t.Errorf("resumed result differs from the uninterrupted run\nresumed: %s\nreference: %s", got, refJSON)
+	}
+
+	// Invariant 3 — journal salvage: whatever the crash left behind,
+	// the salvaged prefix is well-formed and gap-free.
+	recs, _, jrerr := obs.RecoverJournal(nil, journalPath)
+	if jrerr != nil {
+		if !errors.Is(jrerr, fs.ErrNotExist) {
+			t.Errorf("journal salvage: %v", jrerr)
+		}
+		return
+	}
+	for i, rec := range recs {
+		if rec.Type == "" {
+			t.Errorf("salvaged record %d has no type: %+v", i, rec)
+		}
+		if rec.Seq != int64(i) {
+			t.Errorf("salvaged journal has a sequence gap at %d: %+v", i, rec)
+		}
+	}
+}
+
+// TestCrashSweepFaultLabels pins the sweep's subtest naming so CI
+// failures name the exact failpoint ("dropsync@sync#3", ...).
+func TestCrashSweepFaultLabels(t *testing.T) {
+	f := faultfs.Fault{Op: faultfs.OpSync, Nth: 3, Mode: faultfs.ModeDropSync}
+	if got := f.String(); got != "dropsync@sync#3" {
+		t.Fatalf("fault label = %q", got)
+	}
+	if got := fmt.Sprintf("%v", faultfs.OpCreateTemp); got != "createtemp" {
+		t.Fatalf("op label = %q", got)
+	}
+}

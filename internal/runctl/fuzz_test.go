@@ -1,0 +1,78 @@
+package runctl
+
+// Native fuzz target for the checkpoint envelope parser: checkpoint
+// files are read back after crashes and may hold anything — torn JSON,
+// bit rot, hand edits — so Parse must never panic, must classify
+// corruption as *CorruptError, and must only accept envelopes whose
+// checksum it can re-derive.
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+var parseSeeds = []string{
+	// A well-formed v2 envelope (checksum filled in by the seed loop).
+	"", // placeholder, replaced in FuzzCheckpointParse
+	`{"version":1,"kind":"enumeration","status":"budget","payload":{"checked":42}}`,
+	`{"version":2,"kind":"enumeration","checksum":"crc32c:00000000","status":"budget","payload":{"checked":42}}`,
+	`{"version":99,"kind":"enumeration","payload":{}}`,
+	`{"version":2,"kind":"","payload":{}}`,
+	`{"version":2,"kind":"suite"}`,
+	`{"version":2,`,
+	`null`,
+	`[]`,
+	`{"version":-1,"kind":"x","payload":0}`,
+}
+
+func FuzzCheckpointParse(f *testing.F) {
+	good, err := NewCheckpoint("enumeration", "enum-0123", StatusBudget,
+		map[string]int64{"profiles_checked": 42}, map[string]any{"checked": 42})
+	if err != nil {
+		f.Fatal(err)
+	}
+	goodJSON, err := json.Marshal(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	parseSeeds[0] = string(goodJSON)
+	for _, seed := range parseSeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			// Corruption classification must be total: a corrupt error
+			// carries a reason, and IsCorrupt agrees with the type.
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				if ce.Reason == "" {
+					t.Fatalf("corrupt error without a reason: %v", err)
+				}
+				if !IsCorrupt(err) {
+					t.Fatalf("IsCorrupt disagrees with *CorruptError: %v", err)
+				}
+			}
+			return
+		}
+		// Accepted envelopes uphold the parse contract.
+		if c.Kind == "" || len(c.Payload) == 0 {
+			t.Fatalf("accepted envelope missing kind or payload: %+v", c)
+		}
+		if c.Version < 1 || c.Version > CheckpointVersion {
+			t.Fatalf("accepted envelope with version %d", c.Version)
+		}
+		if c.Version >= 2 && c.Checksum != c.checksum() {
+			t.Fatalf("accepted v%d envelope with stale checksum %q", c.Version, c.Checksum)
+		}
+		// Accepted envelopes re-marshal and re-parse.
+		out, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("accepted envelope does not marshal: %v", err)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("marshalled envelope does not re-parse: %v\n%s", err, out)
+		}
+	})
+}

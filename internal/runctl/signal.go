@@ -22,6 +22,11 @@ const (
 	// ExitBudget: a -timeout / -max-profiles / -max-steps budget truncated
 	// the run; partial results were reported.
 	ExitBudget = 3
+	// ExitCorrupt: durable state (a checkpoint, a journal) is corrupt and
+	// no generation was recoverable; the offending file was quarantined
+	// where possible. Scripts can distinguish "restore a snapshot" from
+	// generic failure.
+	ExitCorrupt = 4
 	// ExitInterrupted: SIGINT/SIGTERM stopped the run; partial results and
 	// (when enabled) a checkpoint were flushed before exit.
 	ExitInterrupted = 130
@@ -37,6 +42,15 @@ func ExitCode(s Status) int {
 	default:
 		return ExitInterrupted
 	}
+}
+
+// ExitCodeForError maps a fatal CLI error to its exit code: corrupt
+// durable state gets ExitCorrupt, everything else ExitError.
+func ExitCodeForError(err error) int {
+	if IsCorrupt(err) {
+		return ExitCorrupt
+	}
+	return ExitError
 }
 
 // SignalContext derives a context that is cancelled on SIGINT or

@@ -1,0 +1,180 @@
+package runctl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"time"
+
+	"bbc/internal/faultfs"
+)
+
+// Store is the hardened checkpoint persistence policy: atomic
+// write-fsync-rename saves with generation rotation (the last good
+// snapshot survives as <path>.prev), bounded retry with exponential
+// backoff for transient save errors, and a recovering loader that
+// quarantines corrupt files to <path>.corrupt and falls back to the
+// previous generation.
+//
+// The crash invariant the store maintains, fault-swept in
+// crashsweep_test.go: whatever single filesystem operation fails — or
+// whatever instant the process dies, even with a dropped fsync — the
+// generation set {path, path.prev} always contains at least one complete
+// snapshot, and it is either the previous or the new one, never a torn
+// hybrid.
+type Store struct {
+	// Path is the primary snapshot location.
+	Path string
+	// FS is the filesystem to operate on (nil = the real OS).
+	FS faultfs.FS
+	// Retries is how many times a failed save is retried (0 = no
+	// retries: one attempt total).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// (0 = 50ms).
+	Backoff time.Duration
+	// Sleep replaces time.Sleep between retries (tests); nil = real sleep.
+	Sleep func(time.Duration)
+}
+
+// PrevPath is where the previous snapshot generation lives.
+func (s *Store) PrevPath() string { return s.Path + ".prev" }
+
+// CorruptPath is where a corrupt primary snapshot is quarantined.
+func (s *Store) CorruptPath() string { return s.Path + ".corrupt" }
+
+func (s *Store) fs() faultfs.FS { return faultfs.Or(s.FS) }
+
+// Save persists the checkpoint with rotation and bounded retry. On
+// success the new snapshot is at Path and the previously published good
+// snapshot (if any) at PrevPath. A corrupt file already sitting at Path
+// is quarantined rather than rotated, so it can never displace a good
+// previous generation.
+func (s *Store) Save(c *Checkpoint) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runctl: marshal checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	backoff := s.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	sleep := s.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 0; ; attempt++ {
+		err = s.saveOnce(data)
+		if err == nil {
+			return nil
+		}
+		if attempt >= s.Retries {
+			return err
+		}
+		sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// saveOnce is one atomic save attempt: stage to a temp file in the
+// destination directory, fsync, rotate the current good snapshot to
+// .prev, then rename into place. A crash at any point leaves at least
+// one complete generation on disk.
+func (s *Store) saveOnce(data []byte) error {
+	fsys := s.fs()
+	dir := filepath.Dir(s.Path)
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(s.Path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runctl: create checkpoint temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer fsys.Remove(tmpName) //nolint:errcheck // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runctl: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runctl: close checkpoint temp: %w", err)
+	}
+	s.rotate(fsys)
+	if err := fsys.Rename(tmpName, s.Path); err != nil {
+		return fmt.Errorf("runctl: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// rotate preserves the current snapshot as the previous generation —
+// but only after verifying it parses: a torn file left by an earlier
+// interrupted save is quarantined instead, so it never overwrites a
+// good .prev. Rotation failures are not fatal to the save (the publish
+// rename still replaces Path atomically); they only narrow the
+// generation set.
+func (s *Store) rotate(fsys faultfs.FS) {
+	cur, err := fsys.ReadFile(s.Path)
+	if err != nil {
+		return // nothing at Path (first save), or unreadable: don't touch .prev
+	}
+	if _, perr := Parse(cur); perr != nil {
+		fsys.Rename(s.Path, s.CorruptPath()) //nolint:errcheck
+		return
+	}
+	fsys.Rename(s.Path, s.PrevPath()) //nolint:errcheck
+}
+
+// Recovery describes how a Load got its checkpoint: which generation
+// was used, and whether the primary had to be quarantined.
+type Recovery struct {
+	// Path is the file the returned checkpoint was loaded from.
+	Path string
+	// Fallback is true when the previous generation was used.
+	Fallback bool
+	// Quarantined, when non-empty, is where the corrupt primary was
+	// moved.
+	Quarantined string
+	// Err is why the primary was rejected (nil when it loaded cleanly).
+	Err error
+}
+
+// Load reads the newest loadable snapshot generation. A corrupt primary
+// is quarantined to CorruptPath and the previous generation is tried;
+// the Recovery return says what happened so callers can journal it.
+// When no generation is loadable the error is a plain-language
+// diagnosis (wrapping *CorruptError when corruption was involved), not
+// a raw decode error.
+func (s *Store) Load() (*Checkpoint, *Recovery, error) {
+	fsys := s.fs()
+	c, err := loadFile(fsys, s.Path)
+	if err == nil {
+		return c, &Recovery{Path: s.Path}, nil
+	}
+	rec := &Recovery{Err: err}
+	if IsCorrupt(err) {
+		if qerr := fsys.Rename(s.Path, s.CorruptPath()); qerr == nil {
+			rec.Quarantined = s.CorruptPath()
+		}
+	}
+	prev, perr := loadFile(fsys, s.PrevPath())
+	if perr == nil {
+		rec.Path, rec.Fallback = s.PrevPath(), true
+		return prev, rec, nil
+	}
+	// Nothing loadable: compose an actionable diagnosis.
+	if errors.Is(err, fs.ErrNotExist) && errors.Is(perr, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("runctl: no checkpoint found at %s (and no previous generation at %s): %w", s.Path, s.PrevPath(), fs.ErrNotExist)
+	}
+	reason := fmt.Sprintf("primary snapshot unusable (%v)", err)
+	if rec.Quarantined != "" {
+		reason = fmt.Sprintf("primary snapshot quarantined to %s (%v)", rec.Quarantined, err)
+	}
+	return nil, nil, &CorruptError{
+		Path:   s.Path,
+		Reason: fmt.Sprintf("%s and the previous generation is not loadable (%v); restore a snapshot or delete the checkpoint files to start over", reason, perr),
+	}
+}

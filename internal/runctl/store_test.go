@@ -1,0 +1,303 @@
+package runctl
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bbc/internal/faultfs"
+)
+
+type testPayload struct {
+	Cursor  []int  `json:"cursor"`
+	Checked uint64 `json:"checked"`
+}
+
+func testCheckpoint(t *testing.T, checked uint64) *Checkpoint {
+	t.Helper()
+	c, err := NewCheckpoint("enumeration", "fp-test", StatusBudget,
+		map[string]int64{"core.profiles_checked": int64(checked)},
+		&testPayload{Cursor: []int{1, 2, 3}, Checked: checked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStoreSaveLoadRoundTrip: a v2 save carries a checksum and loads
+// back identically through the recovering loader.
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := &Store{Path: filepath.Join(t.TempDir(), "run.ckpt")}
+	if err := s.Save(testCheckpoint(t, 42)); err != nil {
+		t.Fatal(err)
+	}
+	c, rec, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fallback || rec.Quarantined != "" || rec.Path != s.Path {
+		t.Fatalf("clean load should not recover: %+v", rec)
+	}
+	if c.Version != CheckpointVersion || c.Checksum == "" {
+		t.Fatalf("want v%d with checksum, got v%d %q", CheckpointVersion, c.Version, c.Checksum)
+	}
+	var p testPayload
+	if err := c.Decode("enumeration", "fp-test", &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Checked != 42 {
+		t.Fatalf("payload checked = %d, want 42", p.Checked)
+	}
+}
+
+// TestV1CheckpointStillLoads pins backward compatibility: a version-1
+// envelope written by the previous build (no checksum field) loads and
+// decodes under the v2 reader.
+func TestV1CheckpointStillLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.ckpt")
+	v1 := `{
+  "version": 1,
+  "kind": "enumeration",
+  "fingerprint": "fp-old",
+  "status": "deadline",
+  "counters": { "core.profiles_checked": 7 },
+  "payload": { "cursor": [0, 1], "checked": 7 }
+}
+`
+	if err := os.WriteFile(path, []byte(v1), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatalf("v1 checkpoint must still load: %v", err)
+	}
+	var p testPayload
+	if err := c.Decode("enumeration", "fp-old", &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Checked != 7 || c.Status != StatusDeadline {
+		t.Fatalf("v1 decode: %+v status %v", p, c.Status)
+	}
+}
+
+// TestChecksumDetectsBitFlip: flipping one byte inside the payload of a
+// valid v2 file is caught by the checksum, not by the JSON parser.
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s := &Store{Path: filepath.Join(dir, "run.ckpt")}
+	if err := s.Save(testCheckpoint(t, 9)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside the payload so the file stays valid JSON.
+	flipped := strings.Replace(string(data), `"checked": 9`, `"checked": 8`, 1)
+	if flipped == string(data) {
+		t.Fatal("fixture: payload digit not found")
+	}
+	if err := os.WriteFile(s.Path, []byte(flipped), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(s.Path)
+	if !IsCorrupt(err) || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("want checksum-mismatch corruption, got %v", err)
+	}
+}
+
+// TestStoreRotationKeepsPrev: the second save preserves the first
+// snapshot as .prev.
+func TestStoreRotationKeepsPrev(t *testing.T) {
+	s := &Store{Path: filepath.Join(t.TempDir(), "run.ckpt")}
+	if err := s.Save(testCheckpoint(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(testCheckpoint(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Load(s.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := Load(s.PrevPath())
+	if err != nil {
+		t.Fatalf("previous generation must survive rotation: %v", err)
+	}
+	var pc, pp testPayload
+	if err := cur.Decode("enumeration", "", &pc); err != nil {
+		t.Fatal(err)
+	}
+	if err := prev.Decode("enumeration", "", &pp); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Checked != 2 || pp.Checked != 1 {
+		t.Fatalf("generations: cur=%d prev=%d, want 2/1", pc.Checked, pp.Checked)
+	}
+}
+
+// TestStoreQuarantineAndFallback: a corrupted primary is moved to
+// .corrupt and the previous generation is loaded instead.
+func TestStoreQuarantineAndFallback(t *testing.T) {
+	s := &Store{Path: filepath.Join(t.TempDir(), "run.ckpt")}
+	if err := s.Save(testCheckpoint(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(testCheckpoint(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the primary mid-file.
+	data, _ := os.ReadFile(s.Path)
+	if err := os.WriteFile(s.Path, data[:len(data)/2], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	c, rec, err := s.Load()
+	if err != nil {
+		t.Fatalf("fallback load must succeed: %v", err)
+	}
+	if !rec.Fallback || rec.Path != s.PrevPath() || rec.Quarantined != s.CorruptPath() {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if !IsCorrupt(rec.Err) {
+		t.Fatalf("recovery cause should be corruption, got %v", rec.Err)
+	}
+	var p testPayload
+	if err := c.Decode("enumeration", "", &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Checked != 1 {
+		t.Fatalf("fallback loaded checked=%d, want the previous generation (1)", p.Checked)
+	}
+	if _, err := os.Stat(s.CorruptPath()); err != nil {
+		t.Fatalf("corrupt primary must be quarantined: %v", err)
+	}
+}
+
+// TestStoreNoGenerationLoadable: with both generations corrupt the
+// error is a plain-language diagnosis, not a raw JSON error.
+func TestStoreNoGenerationLoadable(t *testing.T) {
+	s := &Store{Path: filepath.Join(t.TempDir(), "run.ckpt")}
+	if err := os.WriteFile(s.Path, []byte("{torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.PrevPath(), []byte("also torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := s.Load()
+	if err == nil {
+		t.Fatal("want an error with no loadable generation")
+	}
+	if !IsCorrupt(err) {
+		t.Fatalf("want corruption classification, got %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"quarantined", "previous generation", "restore a snapshot"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnosis %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "invalid character '{'") && !strings.Contains(msg, "corrupt") {
+		t.Errorf("diagnosis leads with a raw JSON error: %q", msg)
+	}
+}
+
+// TestStoreMissingIsNotCorrupt: resuming from a path that simply does
+// not exist is a missing-file error, not corruption.
+func TestStoreMissingIsNotCorrupt(t *testing.T) {
+	s := &Store{Path: filepath.Join(t.TempDir(), "nope.ckpt")}
+	_, _, err := s.Load()
+	if err == nil || IsCorrupt(err) {
+		t.Fatalf("want plain not-found error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "no checkpoint found") {
+		t.Errorf("unhelpful not-found message: %v", err)
+	}
+}
+
+// TestStoreRetryBackoff: a transient save fault that outlasts one
+// attempt is absorbed by bounded retry with doubling backoff.
+func TestStoreRetryBackoff(t *testing.T) {
+	var slept []time.Duration
+	inj := faultfs.NewInjector(faultfs.OS{}, faultfs.Fault{Op: faultfs.OpWrite, Nth: 1, Mode: faultfs.ModeENOSPC, Times: 2})
+	s := &Store{
+		Path:    filepath.Join(t.TempDir(), "run.ckpt"),
+		FS:      inj,
+		Retries: 3,
+		Backoff: 10 * time.Millisecond,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := s.Save(testCheckpoint(t, 5)); err != nil {
+		t.Fatalf("retries should absorb a 2-shot transient fault: %v", err)
+	}
+	if len(slept) != 2 || slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Fatalf("backoff schedule = %v, want [10ms 20ms]", slept)
+	}
+	if _, _, err := s.Load(); err != nil {
+		t.Fatalf("saved checkpoint must load: %v", err)
+	}
+}
+
+// TestStoreRetryExhaustion: a persistent fault eventually surfaces with
+// the underlying cause intact.
+func TestStoreRetryExhaustion(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS{}, faultfs.Fault{Op: faultfs.OpCreateTemp, Nth: 1, Mode: faultfs.ModeFail, Times: 100})
+	s := &Store{
+		Path:    filepath.Join(t.TempDir(), "run.ckpt"),
+		FS:      inj,
+		Retries: 2,
+		Sleep:   func(time.Duration) {},
+	}
+	err := s.Save(testCheckpoint(t, 5))
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("want the injected cause in the chain, got %v", err)
+	}
+	if inj.Fired() != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", inj.Fired())
+	}
+}
+
+// TestStoreTornPrimaryNeverDisplacesGoodPrev: saving over a torn
+// primary quarantines it instead of rotating it into .prev.
+func TestStoreTornPrimaryNeverDisplacesGoodPrev(t *testing.T) {
+	s := &Store{Path: filepath.Join(t.TempDir(), "run.ckpt")}
+	if err := s.Save(testCheckpoint(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(testCheckpoint(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the primary (as a crashed dropped-fsync publish would).
+	if err := os.WriteFile(s.Path, []byte(`{"version":2,"kind":"enum`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(testCheckpoint(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := Load(s.PrevPath())
+	if err != nil {
+		t.Fatalf(".prev must stay loadable: %v", err)
+	}
+	var p testPayload
+	if err := prev.Decode("enumeration", "", &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Checked != 1 {
+		t.Fatalf(".prev = %d, want the last good generation before the tear (1)", p.Checked)
+	}
+	if _, err := os.Stat(s.CorruptPath()); err != nil {
+		t.Fatalf("torn primary must land in quarantine: %v", err)
+	}
+	cur, err := Load(s.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Decode("enumeration", "", &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Checked != 3 {
+		t.Fatalf("primary = %d, want 3", p.Checked)
+	}
+}
