@@ -1,0 +1,125 @@
+// Command bbcserved is the BBC batch-solve service: it exposes the
+// pure-NE enumerators, best-response dynamics and the reproduction
+// experiment suite as asynchronous HTTP/JSON jobs with fingerprint
+// dedup, per-job run control (deadline, budget, cancel) and persisted
+// enumeration checkpoints.
+//
+// Lifecycle: on SIGINT/SIGTERM the server drains — new submissions get
+// 503 + Retry-After, queued jobs are rejected with a retry hint,
+// in-flight jobs are cancelled and flush a final checkpoint — then the
+// HTTP listener closes and the process exits 0 on a clean drain.
+//
+// Exit codes: 0 clean start-serve-drain cycle, 1 startup or serve
+// error, 2 flag error, 130 a second signal force-exited a wedged drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+	"bbc/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr *os.File) int {
+	fs := flag.NewFlagSet("bbcserved", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8371", "listen address (use :0 for an ephemeral port)")
+		workers      = fs.Int("workers", 0, "job pool size (0 = NumCPU capped at 8)")
+		queueSize    = fs.Int("queue", 0, "queued-job bound (0 = 64); full queue refuses with 429")
+		cacheSize    = fs.Int("cache", 0, "terminal jobs retained for polling/dedup (0 = 128)")
+		dataDir      = fs.String("data", "", "directory for enumeration checkpoints and per-job journals (\"\" = off)")
+		journalPath  = fs.String("journal", "", "server lifecycle JSONL journal path (\"\" = off)")
+		pprofAddr    = fs.String("pprof", "", "pprof/expvar debug server address (\"\" = off)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "bound on the HTTP listener shutdown after the pool drains")
+	)
+	fs.Parse(args)
+
+	rt, err := obs.StartCLIConfig(obs.CLIConfig{
+		Name: "bbcserved", Journal: *journalPath, Pprof: *pprofAddr, Stderr: stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "bbcserved: %v\n", err)
+		return runctl.ExitError
+	}
+
+	srv, err := serve.New(serve.Config{
+		Workers:   *workers,
+		QueueSize: *queueSize,
+		CacheSize: *cacheSize,
+		DataDir:   *dataDir,
+		Reg:       rt.Reg,
+		Journal:   rt.Journal,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "bbcserved: %v\n", err)
+		return runctl.ExitError
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "bbcserved: %v\n", err)
+		return runctl.ExitError
+	}
+	// Announced on stderr so scripts (and the CI smoke test) can discover
+	// the bound port when -addr :0 is used.
+	fmt.Fprintf(stderr, "bbcserved: listening on http://%s\n", ln.Addr())
+	rt.Journal.Event("serve_start", map[string]any{"addr": ln.Addr().String()})
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, signalled, stopSignals := runctl.SignalContext(context.Background())
+	defer stopSignals()
+
+	code := runctl.ExitOK
+	select {
+	case err := <-serveErr:
+		// The listener died underneath us; there is nothing to drain into.
+		fmt.Fprintf(stderr, "bbcserved: serve: %v\n", err)
+		code = runctl.ExitError
+	case <-ctx.Done():
+		sig := signalled()
+		fmt.Fprintf(stderr, "bbcserved: %v: draining (in-flight jobs checkpoint, queued jobs rejected)\n", sig)
+		sum := srv.Drain()
+		fmt.Fprintf(stderr, "bbcserved: drained: %d in-flight cancelled, %d queued rejected\n",
+			sum.Cancelled, sum.Rejected)
+
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := httpSrv.Shutdown(shutCtx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "bbcserved: shutdown: %v\n", err)
+			code = runctl.ExitError
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "bbcserved: serve: %v\n", err)
+			code = runctl.ExitError
+		}
+		rt.Journal.RunStatus(runctl.StatusCancelled.String(), code == runctl.ExitOK, map[string]any{
+			"signal":              fmt.Sprint(sig),
+			"cancelled_in_flight": sum.Cancelled,
+			"rejected_queued":     sum.Rejected,
+		})
+	}
+
+	if err := rt.Close(); err != nil {
+		fmt.Fprintf(stderr, "bbcserved: %v\n", err)
+		if code == runctl.ExitOK {
+			code = runctl.ExitError
+		}
+	}
+	return code
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"bbc/internal/obs"
+)
+
+// TestServeSubmitDrainCycle runs the full binary lifecycle in-process:
+// start, discover the ephemeral port from the stderr announcement,
+// submit an enumeration, poll it to completion, SIGTERM the process,
+// and assert a clean drain (exit 0, final run_status journal record).
+func TestServeSubmitDrainCycle(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "server.jsonl")
+
+	stderrR, stderrW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "2",
+			"-data", filepath.Join(dir, "data"),
+			"-journal", journal,
+		}, stderrW)
+		stderrW.Close()
+	}()
+
+	// The listen announcement carries the bound port.
+	sc := bufio.NewScanner(stderrR)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen announcement on stderr (scan err: %v)", sc.Err())
+	}
+	// Keep draining stderr so the server never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	res, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"mode":"enumerate","game":{"kind":"uniform","n":4,"k":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusAccepted || sub.Job.ID == "" {
+		t.Fatalf("submit: status %d, job %q", res.StatusCode, sub.Job.ID)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		res, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, sub.Job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			State     string `json:"state"`
+			RunStatus string `json:"run_status"`
+			Complete  bool   `json:"complete"`
+		}
+		err = json.NewDecoder(res.Body).Decode(&v)
+		res.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State == "done" {
+			if !v.Complete || v.RunStatus != "complete" {
+				t.Fatalf("job ended %+v", v)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM drain, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain within 30s of SIGTERM")
+	}
+
+	// The server journal closed with a final run_status record.
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	var rec obs.Record
+	if err := json.Unmarshal(lines[len(lines)-1], &rec); err != nil {
+		t.Fatalf("parse journal tail: %v", err)
+	}
+	if rec.Type != "run_status" || rec.Data["complete"] != true {
+		t.Fatalf("journal tail = %s, want a clean run_status record", lines[len(lines)-1])
+	}
+}

@@ -347,6 +347,11 @@ func newProfileBudget(max, spent uint64) *profileBudget {
 // take debits one profile; false means the budget is exhausted.
 func (b *profileBudget) take() bool { return b.remaining.Add(-1) >= 0 }
 
+// exhausted reports whether the budget has no profiles left, without
+// debiting anything: probes (post-merge status classification) must not
+// consume allowance a concurrent or later scan could still use.
+func (b *profileBudget) exhausted() bool { return b.remaining.Load() <= 0 }
+
 // EnumeratePureNE scans the product space and returns all pure Nash
 // equilibria it contains (up to maxEquilibria; 0 means collect all). The
 // stability test is exact. The scan maintains the realized graph

@@ -77,8 +77,8 @@ func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cf
 		}
 	}
 
-	var budget *profileBudget
-	if cfg.MaxProfiles > 0 {
+	budget := cfg.budget
+	if budget == nil && cfg.MaxProfiles > 0 {
 		budget = newProfileBudget(cfg.MaxProfiles, resumedChecked)
 	}
 	ctx := cfg.Ctx
@@ -177,7 +177,10 @@ func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cf
 	}
 
 	merged := &NEResult{Complete: true}
-	budgetSpent := budget != nil && !budget.take()
+	// Read-only probe: take() here would debit one profile from the shared
+	// budget as a side effect of classifying the merge, so an
+	// exactly-sufficient MaxProfiles would drift by one per probe.
+	budgetSpent := budget != nil && budget.exhausted()
 	capped := false
 	for i := range parts {
 		var (

@@ -74,6 +74,24 @@ const (
 	// (Oracle.HasImprovement), the existence-only alternative to a full
 	// exact best-response enumeration.
 	MHasImprovement
+	// MServeSubmitted counts job submissions accepted by the batch-solve
+	// service (including submissions answered by dedup).
+	MServeSubmitted
+	// MServeDeduped counts submissions that attached to an identical
+	// in-flight or cached job instead of enqueueing a new solve.
+	MServeDeduped
+	// MServeSolves counts underlying solver invocations started by the
+	// service; with dedup, N identical submissions cost one solve.
+	MServeSolves
+	// MServeCompleted counts jobs that reached a terminal state with a
+	// result (any run status, including truncations).
+	MServeCompleted
+	// MServeRejected counts jobs refused before running: queue full, or
+	// queued work rejected by a drain with a retry hint.
+	MServeRejected
+	// MServeResumed counts solves that continued from a persisted
+	// checkpoint instead of starting at the first profile.
+	MServeResumed
 
 	metricCount // sentinel, keep last
 )
@@ -102,6 +120,12 @@ var metricNames = [metricCount]string{
 	MWorkerBusyNanos:  "parallel.busy_nanos",
 	MOracleCacheHits:  "oracle.cache_hits",
 	MHasImprovement:   "oracle.has_improvement",
+	MServeSubmitted:   "serve.jobs_submitted",
+	MServeDeduped:     "serve.jobs_deduped",
+	MServeSolves:      "serve.solves",
+	MServeCompleted:   "serve.jobs_completed",
+	MServeRejected:    "serve.jobs_rejected",
+	MServeResumed:     "serve.jobs_resumed",
 }
 
 // String returns the metric's stable external name.

@@ -19,11 +19,18 @@ type Progress struct {
 	read     func() uint64
 	interval time.Duration
 	start    time.Time
+	now      func() time.Time // nil = time.Now; injectable for tests
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 }
+
+// minRateElapsed is the floor below which a measured rate is considered
+// meaningless and omitted from output: a Stop within the first few
+// milliseconds (fast runs, tests) would otherwise divide by ~0 and print
+// "+Inf/s" or "NaN/s" in the final summary line.
+const minRateElapsed = 10 * time.Millisecond
 
 // StartProgress launches a reporter that prints one line per interval to
 // w (conventionally stderr):
@@ -66,24 +73,41 @@ func (p *Progress) loop() {
 	}
 }
 
-// line prints one progress (or final) report.
+// line prints one progress (or final) report. The rate (and the ETA
+// derived from it) is reported only when enough wall time has elapsed to
+// make it meaningful; below the floor it is omitted rather than printed
+// as +Inf/s, NaN/s or a wild extrapolation.
 func (p *Progress) line(final bool) {
 	cur := p.read()
-	elapsed := time.Since(p.start)
-	rate := float64(cur) / elapsed.Seconds()
+	nowFn := p.now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	elapsed := nowFn().Sub(p.start)
+	rate, rateKnown := 0.0, false
+	if elapsed >= minRateElapsed {
+		rate, rateKnown = float64(cur)/elapsed.Seconds(), true
+	}
 	if final {
-		fmt.Fprintf(p.w, "bbc: %s done %s in %s (%s/s)\n",
-			p.label, humanCount(cur), roundDuration(elapsed), humanRate(rate))
+		if rateKnown {
+			fmt.Fprintf(p.w, "bbc: %s done %s in %s (%s/s)\n",
+				p.label, humanCount(cur), roundDuration(elapsed), humanRate(rate))
+		} else {
+			fmt.Fprintf(p.w, "bbc: %s done %s in %s\n",
+				p.label, humanCount(cur), roundDuration(elapsed))
+		}
 		return
 	}
 	switch {
-	case p.total > 0 && rate > 0:
+	case p.total > 0 && rateKnown && rate > 0:
 		remain := time.Duration(float64(p.total-min64(cur, p.total)) / rate * float64(time.Second))
 		fmt.Fprintf(p.w, "bbc: %s %s/%s (%.1f%%) %s/s eta %s\n",
 			p.label, humanCount(cur), humanCount(p.total),
 			100*float64(cur)/float64(p.total), humanRate(rate), roundDuration(remain))
-	default:
+	case rateKnown:
 		fmt.Fprintf(p.w, "bbc: %s %s %s/s\n", p.label, humanCount(cur), humanRate(rate))
+	default:
+		fmt.Fprintf(p.w, "bbc: %s %s\n", p.label, humanCount(cur))
 	}
 }
 

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedProgress builds a reporter whose clock is frozen at start+elapsed,
+// so the rate computation sees an exact, deterministic denominator.
+func fixedProgress(buf *bytes.Buffer, cur uint64, total uint64, elapsed time.Duration) *Progress {
+	start := time.Unix(1_700_000_000, 0)
+	return &Progress{
+		w:     buf,
+		label: "scan",
+		total: total,
+		read:  func() uint64 { return cur },
+		start: start,
+		now:   func() time.Time { return start.Add(elapsed) },
+	}
+}
+
+// A Stop at (or near) zero elapsed must not print "+Inf/s": the division
+// float64(cur)/0 is +Inf for any positive work count. Regression for the
+// unguarded rate in the final summary line.
+func TestProgressFinalLineZeroElapsedOmitsInfRate(t *testing.T) {
+	var buf bytes.Buffer
+	fixedProgress(&buf, 500, 1000, 0).line(true)
+	out := buf.String()
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("final line leaks a garbage rate: %q", out)
+	}
+	if !strings.Contains(out, "done 500") {
+		t.Errorf("final line must still report the work done: %q", out)
+	}
+	if strings.Contains(out, "/s") {
+		t.Errorf("rate must be omitted below the elapsed floor: %q", out)
+	}
+}
+
+// Zero work in zero elapsed is 0/0 = NaN; the final line must omit the
+// rate rather than print "NaN/s".
+func TestProgressFinalLineZeroWorkZeroElapsed(t *testing.T) {
+	var buf bytes.Buffer
+	fixedProgress(&buf, 0, 1000, 0).line(true)
+	out := buf.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("0/0 leaked into the final line: %q", out)
+	}
+	if !strings.Contains(out, "done 0") {
+		t.Errorf("final line must still report zero work: %q", out)
+	}
+}
+
+// Zero work over a long elapsed time is a legitimate 0.0/s, not NaN; the
+// guard must not suppress it.
+func TestProgressFinalLineZeroWorkLongRun(t *testing.T) {
+	var buf bytes.Buffer
+	fixedProgress(&buf, 0, 1000, 2*time.Second).line(true)
+	out := buf.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("garbage rate in final line: %q", out)
+	}
+	if !strings.Contains(out, "(0.0/s)") {
+		t.Errorf("a real zero rate should still be reported: %q", out)
+	}
+}
+
+// Above the floor, the rate math is unchanged.
+func TestProgressFinalLineNormalRate(t *testing.T) {
+	var buf bytes.Buffer
+	fixedProgress(&buf, 2000, 4000, time.Second).line(true)
+	out := buf.String()
+	if !strings.Contains(out, "(2.0k/s)") {
+		t.Errorf("want 2.0k/s in final line, got %q", out)
+	}
+}
+
+// The periodic (non-final) line must also omit rate and ETA below the
+// floor instead of extrapolating from ~0 elapsed.
+func TestProgressIntervalLineBelowFloor(t *testing.T) {
+	var buf bytes.Buffer
+	fixedProgress(&buf, 10, 1000, time.Millisecond).line(false)
+	out := buf.String()
+	if strings.Contains(out, "/s") || strings.Contains(out, "eta") {
+		t.Errorf("rate/ETA must be omitted below the elapsed floor: %q", out)
+	}
+	if !strings.Contains(out, "scan 10") {
+		t.Errorf("line must still report progress: %q", out)
+	}
+}
+
+// End-to-end: an immediate StartProgress/Stop pair (the fast-run shape
+// that hit the bug in practice) emits exactly one clean final line.
+func TestProgressImmediateStopIsClean(t *testing.T) {
+	var buf bytes.Buffer
+	p := StartProgress(&buf, "enumerate", 100, func() uint64 { return 100 }, time.Minute)
+	p.Stop()
+	out := buf.String()
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("want exactly one final line, got %q", out)
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("garbage rate on immediate stop: %q", out)
+	}
+}

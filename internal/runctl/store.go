@@ -142,6 +142,18 @@ type Recovery struct {
 	Err error
 }
 
+// TryLoad is Load for callers probing optional resume state: when no
+// snapshot generation exists at all it returns (nil, nil, nil) instead of
+// an error, so a service deciding "resume or start fresh" does not parse
+// error chains. Corruption with no recoverable generation still errors.
+func (s *Store) TryLoad() (*Checkpoint, *Recovery, error) {
+	c, rec, err := s.Load()
+	if err != nil && errors.Is(err, fs.ErrNotExist) && !IsCorrupt(err) {
+		return nil, nil, nil
+	}
+	return c, rec, err
+}
+
 // Load reads the newest loadable snapshot generation. A corrupt primary
 // is quarantined to CorruptPath and the previous generation is tried;
 // the Recovery return says what happened so callers can journal it.

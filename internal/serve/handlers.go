@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxRequestBody bounds a submission document; the largest legitimate
+// dense spec (1024 nodes, three matrices) fits comfortably.
+const maxRequestBody = 8 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs       submit a job (202 accepted, 200 dedup hit,
+//	                      400 invalid, 429 queue full, 503 draining)
+//	GET    /v1/jobs       list retained jobs
+//	GET    /v1/jobs/{id}  poll one job
+//	DELETE /v1/jobs/{id}  cancel: queued jobs are rejected, running jobs
+//	                      stop with run status "cancelled" (and a final
+//	                      checkpoint when persistence is on)
+//	GET    /metrics       counter-registry snapshot plus job gauges
+//	GET    /healthz       200 ok / 503 draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// submitResponse wraps the job view with how the submission was routed.
+type submitResponse struct {
+	Deduped bool  `json:"deduped"`
+	Job     *View `json:"job"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
+		return
+	}
+	if len(body) > maxRequestBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request body exceeds limit"})
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode request: " + err.Error()})
+		return
+	}
+	view, outcome, err := s.Submit(&req)
+	switch {
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	case outcome == Refused:
+		status := http.StatusTooManyRequests
+		msg := "job queue is full; retry later"
+		if s.Draining() {
+			status = http.StatusServiceUnavailable
+			msg = "server is draining; retry against the restarted instance"
+		}
+		retry := s.cfg.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		writeJSON(w, status, errorResponse{Error: msg, RetryAfterMS: retry.Milliseconds()})
+	case outcome == Deduped:
+		writeJSON(w, http.StatusOK, submitResponse{Deduped: true, Job: view})
+	default:
+		writeJSON(w, http.StatusAccepted, submitResponse{Job: view})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job id (completed jobs are evicted after the retention bound)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// Metrics is the /metrics document: the counter-registry snapshot plus
+// job-state gauges, the machine-readable face of the obs layer.
+type Metrics struct {
+	UptimeMS float64          `json:"uptime_ms"`
+	Draining bool             `json:"draining"`
+	Counters map[string]int64 `json:"counters"`
+	Jobs     JobGauges        `json:"jobs"`
+}
+
+// JobGauges counts retained jobs by state.
+type JobGauges struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Rejected int `json:"rejected"`
+}
+
+// Snapshot assembles the current Metrics document.
+func (s *Server) Snapshot() *Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := &Metrics{
+		UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
+		Draining: s.draining,
+		Counters: s.reg.Snapshot(),
+	}
+	if m.Counters == nil {
+		m.Counters = map[string]int64{}
+	}
+	for _, job := range s.byID {
+		switch job.state {
+		case StateQueued:
+			m.Jobs.Queued++
+		case StateRunning:
+			m.Jobs.Running++
+		case StateDone:
+			m.Jobs.Done++
+		case StateRejected:
+			m.Jobs.Rejected++
+		}
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing more useful than noting it server-side.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+}

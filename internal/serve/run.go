@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+	"bbc/internal/exper"
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+)
+
+// enumCheckpointKind matches the bbcsim snapshot schema, so a checkpoint
+// left by a drained server can equally be resumed by the CLI.
+const enumCheckpointKind = "enumeration"
+
+// EnumResult is the wire result of an enumerate job.
+type EnumResult struct {
+	N          int            `json:"n"`
+	Agg        string         `json:"agg"`
+	Space      string         `json:"space"` // full | pinned
+	SpaceSize  uint64         `json:"space_size"`
+	Checked    uint64         `json:"checked"`
+	Equilibria []core.Profile `json:"equilibria"`
+}
+
+// WalkResult is the wire result of a walk job.
+type WalkResult struct {
+	N          int          `json:"n"`
+	Steps      int          `json:"steps"`
+	Moves      int          `json:"moves"`
+	Outcome    string       `json:"outcome"` // converged | loop | exhausted | cancelled | deadline
+	SocialCost int64        `json:"social_cost"`
+	Final      core.Profile `json:"final"`
+}
+
+// SuiteResult is the wire result of a suite job.
+type SuiteResult struct {
+	Reports []SuiteReport `json:"reports"`
+	Passed  int           `json:"passed"`
+	Failed  int           `json:"failed"`
+}
+
+// SuiteReport is one experiment's outcome.
+type SuiteReport struct {
+	ID       string   `json:"id"`
+	Title    string   `json:"title"`
+	Pass     bool     `json:"pass"`
+	Rows     []string `json:"rows,omitempty"`
+	Findings []string `json:"findings,omitempty"`
+	WallMS   float64  `json:"wall_ms"`
+}
+
+// runJob executes one job end to end and records its terminal state.
+func (s *Server) runJob(ctx context.Context, job *Job) {
+	jj := s.jobJournal(job)
+	jj.Event("job", map[string]any{"id": job.ID, "key": job.Key, "mode": job.Req.Mode})
+	s.reg.Inc(obs.MServeSolves)
+
+	var (
+		result any
+		status runctl.Status
+		err    error
+	)
+	switch job.Req.Mode {
+	case "enumerate":
+		result, status, err = s.runEnumerate(ctx, job, jj)
+	case "walk":
+		result, status, err = s.runWalk(ctx, job, jj)
+	case "suite":
+		result, status, err = s.runSuite(ctx, job)
+	default:
+		err = fmt.Errorf("serve: unhandled mode %q", job.Req.Mode)
+	}
+
+	s.mu.Lock()
+	job.state = StateDone
+	job.runStatus = status
+	job.complete = err == nil && status.Complete()
+	job.result = result
+	if err != nil {
+		job.errMsg = err.Error()
+	}
+	s.finishLocked(job)
+	view := job.view(s.start)
+	s.mu.Unlock()
+
+	s.reg.Inc(obs.MServeCompleted)
+	jj.RunStatus(status.String(), view.Complete, map[string]any{
+		"id": job.ID, "mode": job.Req.Mode, "resumable": view.Resumable,
+	})
+	if cerr := jj.Close(); cerr != nil {
+		s.cfg.Journal.Event("job_journal_error", map[string]any{"id": job.ID, "error": cerr.Error()})
+	}
+	s.cfg.Journal.Event("job_done", map[string]any{
+		"id": job.ID, "status": status.String(), "complete": view.Complete,
+		"resumable": view.Resumable, "error": view.Error,
+	})
+}
+
+// runEnumerate executes an exhaustive pure-NE scan with checkpoint
+// persistence: an existing snapshot for the same solve key is resumed,
+// periodic and final snapshots are saved through runctl.Store, and a
+// completed solve removes its snapshot generations.
+func (s *Server) runEnumerate(ctx context.Context, job *Job, jj *obs.Journal) (any, runctl.Status, error) {
+	spec, agg := job.spec, job.agg
+	var (
+		ss        *core.SearchSpace
+		spaceName = "full"
+		err       error
+	)
+	if job.Req.Pin {
+		spaceName = "pinned"
+		ss, err = core.PinnedSpace(spec, s.cfg.limitPerNode())
+	} else {
+		ss, err = core.FullSpace(spec, s.cfg.limitPerNode())
+	}
+	if err != nil {
+		return nil, runctl.StatusComplete, err
+	}
+	fp := core.EnumFingerprint(spec, agg, ss)
+
+	ckptPath := s.checkpointPath(job)
+	var store *runctl.Store
+	var resume *core.EnumCheckpoint
+	if ckptPath != "" {
+		store = &runctl.Store{Path: ckptPath, Retries: 2}
+		env, rec, lerr := store.TryLoad()
+		switch {
+		case lerr != nil:
+			// Both generations unusable: journal it and start fresh — a
+			// service must make progress, not wedge on stale state.
+			jj.Event("checkpoint_unreadable", map[string]any{"path": ckptPath, "error": lerr.Error()})
+		case env != nil:
+			var cp core.EnumCheckpoint
+			if derr := env.Decode(enumCheckpointKind, fp, &cp); derr != nil {
+				jj.Event("resume_mismatch", map[string]any{"path": rec.Path, "error": derr.Error()})
+			} else {
+				resume = &cp
+				s.reg.Inc(obs.MServeResumed)
+				jj.Event("resume", map[string]any{"path": rec.Path, "checked": cp.Checked, "fallback": rec.Fallback})
+			}
+		}
+	}
+	save := func(cp *core.EnumCheckpoint, st runctl.Status) {
+		if store == nil || cp == nil {
+			return
+		}
+		env, serr := runctl.NewCheckpoint(enumCheckpointKind, fp, st, s.reg.Snapshot(), cp)
+		if serr == nil {
+			serr = store.Save(env)
+		}
+		if serr != nil {
+			jj.Event("checkpoint_error", map[string]any{"path": ckptPath, "error": serr.Error()})
+			return
+		}
+		jj.Checkpoint(ckptPath, enumCheckpointKind, map[string]any{"checked": cp.Checked})
+	}
+
+	workers := job.Req.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	cfg := core.EnumConfig{
+		Ctx:             ctx,
+		MaxEquilibria:   job.Req.MaxNE,
+		MaxProfiles:     job.Req.MaxProfiles,
+		Workers:         workers,
+		Resume:          resume,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		OnCheckpoint: func(cp *core.EnumCheckpoint) {
+			save(cp, runctl.StatusFromContext(ctx))
+		},
+	}
+	var res *core.NEResult
+	if workers == 1 {
+		res, err = core.EnumeratePureNEOpts(spec, agg, ss, cfg)
+	} else {
+		res, err = core.EnumeratePureNEParallelOpts(spec, agg, ss, cfg)
+	}
+	if err != nil {
+		return nil, runctl.StatusComplete, err
+	}
+	if res.Resume != nil {
+		save(res.Resume, res.Status)
+		s.mu.Lock()
+		job.checkpoint = ckptPath
+		job.resumable = store != nil
+		s.mu.Unlock()
+	} else if store != nil {
+		// The solve is complete; stale mid-scan snapshots would only make a
+		// future identical submission redo the tail, so drop them.
+		_ = os.Remove(store.Path)
+		_ = os.Remove(store.PrevPath())
+	}
+	agg_ := job.Req.Agg
+	if agg_ == "" {
+		agg_ = "sum"
+	}
+	return &EnumResult{
+		N:          spec.N(),
+		Agg:        agg_,
+		Space:      spaceName,
+		SpaceSize:  ss.Size(),
+		Checked:    res.Checked,
+		Equilibria: res.Equilibria,
+	}, res.Status, nil
+}
+
+// runWalk executes a best-response walk job. Walks are deterministic
+// given (sched, start, seed), which is what makes them dedupable.
+func (s *Server) runWalk(ctx context.Context, job *Job, jj *obs.Journal) (any, runctl.Status, error) {
+	spec, agg := job.spec, job.agg
+	n := spec.N()
+	rng := rand.New(rand.NewSource(job.Req.Seed))
+
+	var start core.Profile
+	switch job.Req.Start {
+	case "", "empty":
+		start = core.NewEmptyProfile(n)
+	case "random":
+		uni, ok := spec.(*core.Uniform)
+		if !ok {
+			return nil, runctl.StatusComplete, fmt.Errorf("serve: random start requires a uniform game")
+		}
+		start = dynamics.RandomStart(rng, n, uni.K())
+	}
+	var sched dynamics.Scheduler
+	switch job.Req.Sched {
+	case "", "round-robin":
+		sched = dynamics.NewRoundRobin(n)
+	case "max-cost-first":
+		sched = &dynamics.MaxCostFirst{Agg: agg}
+	case "random":
+		sched = &dynamics.RandomScheduler{Rng: rng}
+	}
+	res, err := dynamics.Run(spec, start, sched, agg, dynamics.Options{
+		Ctx:         ctx,
+		MaxSteps:    job.Req.Steps,
+		DetectLoops: job.Req.Sched != "random",
+		Journal:     jj,
+	})
+	if err != nil {
+		return nil, runctl.StatusComplete, err
+	}
+	out := &WalkResult{
+		N:          n,
+		Steps:      res.Steps,
+		Moves:      res.Moves,
+		SocialCost: core.SocialCost(spec, res.Final, agg),
+		Final:      res.Final,
+	}
+	switch {
+	case res.Converged:
+		out.Outcome = "converged"
+	case res.Loop != nil:
+		out.Outcome = "loop"
+	case res.Status == runctl.StatusCancelled:
+		out.Outcome = "cancelled"
+	case res.Status == runctl.StatusDeadline:
+		out.Outcome = "deadline"
+	default:
+		out.Outcome = "exhausted"
+	}
+	// A walk that merely exhausted its step budget is a delivered answer,
+	// not a truncation the client needs to retry.
+	status := res.Status
+	if status == runctl.StatusBudget {
+		status = runctl.StatusComplete
+	}
+	return out, status, nil
+}
+
+// runSuite runs the selected reproduction experiments under the job
+// context; an interrupt stops scheduling further experiments.
+func (s *Server) runSuite(ctx context.Context, job *Job) (any, runctl.Status, error) {
+	cfg := exper.Config{Quick: job.Req.Quick, Ctx: ctx}
+	selected := exper.Suite()
+	if len(job.Req.Only) > 0 {
+		want := make(map[string]bool, len(job.Req.Only))
+		for _, id := range job.Req.Only {
+			want[id] = true
+		}
+		kept := selected[:0]
+		for _, e := range selected {
+			if want[e.ID] {
+				kept = append(kept, e)
+			}
+		}
+		selected = kept
+	}
+	out := &SuiteResult{}
+	for _, e := range selected {
+		if cfg.Interrupted() {
+			return out, runctl.StatusFromContext(ctx), nil
+		}
+		r := exper.Instrumented(e.Run, cfg)
+		out.Reports = append(out.Reports, SuiteReport{
+			ID: r.ID, Title: r.Title, Pass: r.Pass,
+			Rows: r.Rows, Findings: r.Findings, WallMS: r.WallMS,
+		})
+		if r.Pass {
+			out.Passed++
+		} else {
+			out.Failed++
+		}
+	}
+	return out, runctl.StatusFromContext(ctx), nil
+}

@@ -1,0 +1,458 @@
+// Package serve is the batch-solve service layer of the BBC stack: it
+// exposes the existing solvers (pure-NE enumeration, best-response
+// dynamics, the reproduction experiment suite) as asynchronous HTTP/JSON
+// jobs behind cmd/bbcserved.
+//
+// The design reuses the layers below it rather than re-implementing
+// them. Submissions are validated with the core spec loaders and keyed
+// by a solve fingerprint, so identical in-flight or completed requests
+// dedup to one underlying solve (completed results live in a bounded LRU
+// cache). A bounded worker pool drains a bounded job queue; each job
+// runs under its own runctl context (per-job deadline, max-profiles
+// budget, cancellation via DELETE) with a per-job obs journal, and
+// enumeration jobs persist runctl.Store checkpoints so an interrupted
+// job — or a drained server — resumes instead of recomputing.
+//
+// Drain contract: once Drain is called (SIGTERM in cmd/bbcserved), new
+// submissions are refused with 503 + Retry-After, jobs still queued are
+// rejected with a retry hint, in-flight jobs are cancelled and flush a
+// final checkpoint, and Drain returns only after the pool has exited.
+// Every accepted job therefore ends either completed or resumable.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"bbc/internal/core"
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+)
+
+// Config tunes a Server. The zero value is usable for tests: sane pool
+// and queue bounds, a temp-less DataDir ("" keeps checkpoints off).
+type Config struct {
+	// Workers is the job pool size (0 = NumCPU, capped at 8).
+	Workers int
+	// QueueSize bounds the number of queued-but-not-running jobs
+	// (0 = 64). A full queue refuses submissions with a retry hint.
+	QueueSize int
+	// CacheSize bounds how many terminal jobs are retained for polling
+	// and dedup (0 = 128). Older terminal jobs are evicted LRU-style.
+	CacheSize int
+	// DataDir, when non-empty, is where per-job journals and enumeration
+	// checkpoints live; it is created on demand. Empty disables both.
+	DataDir string
+	// LimitPerNode bounds per-node strategy-set enumeration for service
+	// requests (0 = 4096), so a hostile dense spec cannot demand an
+	// astronomic search-space build at submit cost.
+	LimitPerNode int
+	// CheckpointEvery is the serial-scan checkpoint period in profiles
+	// (0 = core default, 1<<20).
+	CheckpointEvery uint64
+	// RetryAfter is the hint attached to refused submissions and
+	// drain-rejected jobs (0 = 5s).
+	RetryAfter time.Duration
+	// Reg receives the serve.* metrics and feeds /metrics (nil =
+	// obs.Global()).
+	Reg *obs.Registry
+	// Journal, when non-nil, receives server lifecycle records
+	// (job_submitted, job_started, job_done, job_rejected, drain).
+	Journal *obs.Journal
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+func (c Config) queueSize() int {
+	if c.QueueSize > 0 {
+		return c.QueueSize
+	}
+	return 64
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize > 0 {
+		return c.CacheSize
+	}
+	return 128
+}
+
+func (c Config) limitPerNode() int {
+	if c.LimitPerNode > 0 {
+		return c.LimitPerNode
+	}
+	return 4096
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return 5 * time.Second
+}
+
+// Server is the batch-solve job service. Create with New, mount
+// Handler() on an HTTP server, and call Drain before exit.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	start time.Time
+
+	baseCtx    context.Context // parent of every job context; Drain cancels it
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	byID     map[string]*Job
+	byKey    map[string]*Job // queued, running, or done-and-complete jobs
+	terminal *list.List      // *Job in terminal order; front = oldest (LRU eviction)
+	nextID   int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	drainOnce sync.Once
+	summary   DrainSummary
+}
+
+// DrainSummary reports what a drain did.
+type DrainSummary struct {
+	// Cancelled is how many in-flight jobs were interrupted.
+	Cancelled int
+	// Rejected is how many queued jobs were refused with a retry hint.
+	Rejected int
+}
+
+// New builds and starts a server: the worker pool is live on return.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: create data dir: %w", err)
+		}
+	}
+	reg := cfg.Reg
+	if reg == nil {
+		reg = obs.Global()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		start:      time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		byID:       make(map[string]*Job),
+		byKey:      make(map[string]*Job),
+		terminal:   list.New(),
+		queue:      make(chan *Job, cfg.queueSize()),
+	}
+	for i := 0; i < cfg.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// worker drains the job queue. During a drain, remaining queued jobs are
+// rejected with a retry hint instead of run.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mu.Lock()
+		switch {
+		case job.state != StateQueued:
+			// Deleted while queued; already terminal.
+			s.mu.Unlock()
+			continue
+		case s.draining:
+			s.rejectLocked(job, "draining")
+			s.mu.Unlock()
+			continue
+		}
+		job.state = StateRunning
+		job.started = time.Now()
+		jctx, cancel := runctl.WithDeadline(s.baseCtx, time.Duration(job.Req.TimeoutMS)*time.Millisecond)
+		jctx, jcancel := context.WithCancel(jctx)
+		job.cancel = func() { jcancel(); cancel() }
+		s.mu.Unlock()
+		s.cfg.Journal.Event("job_started", map[string]any{"id": job.ID, "mode": job.Req.Mode})
+
+		s.runJob(jctx, job)
+		job.cancel()
+	}
+}
+
+// rejectLocked marks a job refused-before-running with a retry hint.
+// Callers hold s.mu.
+func (s *Server) rejectLocked(job *Job, reason string) {
+	job.state = StateRejected
+	job.reason = reason
+	job.retryMS = s.cfg.retryAfter().Milliseconds()
+	s.finishLocked(job)
+	s.reg.Inc(obs.MServeRejected)
+	s.cfg.Journal.Event("job_rejected", map[string]any{
+		"id": job.ID, "reason": reason, "retry_after_ms": job.retryMS,
+	})
+}
+
+// finishLocked moves a job into the terminal retention list, evicting the
+// oldest terminal jobs beyond the cache bound, and wakes waiters. A job
+// that did not complete is removed from the dedup index so a resubmission
+// starts (and, for enumerations, resumes) a fresh run.
+func (s *Server) finishLocked(job *Job) {
+	job.finished = time.Now()
+	if !(job.state == StateDone && job.complete) {
+		if s.byKey[job.Key] == job {
+			delete(s.byKey, job.Key)
+		}
+	}
+	s.terminal.PushBack(job)
+	close(job.done)
+	for s.terminal.Len() > s.cfg.cacheSize() {
+		front := s.terminal.Front()
+		old := front.Value.(*Job)
+		s.terminal.Remove(front)
+		delete(s.byID, old.ID)
+		if s.byKey[old.Key] == old {
+			delete(s.byKey, old.Key)
+		}
+	}
+}
+
+// SubmitOutcome says how a submission was handled.
+type SubmitOutcome int
+
+const (
+	// Accepted: a new job was created and enqueued.
+	Accepted SubmitOutcome = iota
+	// Deduped: an identical in-flight or completed job was returned.
+	Deduped
+	// Refused: the server is draining or the queue is full; retry later.
+	Refused
+)
+
+// Submit validates a request and either enqueues a new job, attaches to
+// an identical existing one, or refuses with a retry hint. The returned
+// View is the job's state at return time (nil when refused).
+func (s *Server) Submit(req *Request) (*View, SubmitOutcome, error) {
+	if err := parseRequest(req); err != nil {
+		return nil, Refused, err
+	}
+	var spec core.Spec
+	if len(req.Game) > 0 {
+		var err error
+		spec, err = core.UnmarshalSpec(req.Game)
+		if err != nil {
+			return nil, Refused, err
+		}
+	}
+	key, err := dedupKey(req, spec)
+	if err != nil {
+		return nil, Refused, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Inc(obs.MServeSubmitted)
+	if prior, ok := s.byKey[key]; ok {
+		s.reg.Inc(obs.MServeDeduped)
+		s.cfg.Journal.Event("job_submitted", map[string]any{
+			"id": prior.ID, "key": key, "mode": req.Mode, "deduped": true,
+		})
+		return prior.view(s.start), Deduped, nil
+	}
+	if s.draining {
+		s.reg.Inc(obs.MServeRejected)
+		return nil, Refused, nil
+	}
+	s.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.nextID),
+		Key:       key,
+		Req:       *req,
+		spec:      spec,
+		agg:       parseAgg(req.Agg),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.nextID-- // job was never visible; reuse the id
+		s.reg.Inc(obs.MServeRejected)
+		s.cfg.Journal.Event("job_rejected", map[string]any{
+			"key": key, "reason": "queue_full", "retry_after_ms": s.cfg.retryAfter().Milliseconds(),
+		})
+		return nil, Refused, nil
+	}
+	s.byID[job.ID] = job
+	s.byKey[key] = job
+	s.cfg.Journal.Event("job_submitted", map[string]any{
+		"id": job.ID, "key": key, "mode": req.Mode, "deduped": false,
+	})
+	return job.view(s.start), Accepted, nil
+}
+
+// Get returns a job view by id.
+func (s *Server) Get(id string) (*View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return job.view(s.start), true
+}
+
+// List returns every retained job, oldest submission first.
+func (s *Server) List() []*View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*View, 0, len(s.byID))
+	for _, job := range s.byID {
+		out = append(out, job.view(s.start))
+	}
+	// Deterministic order for clients: by id (ids are zero-padded).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Cancel stops a job: queued jobs become rejected (reason "cancelled"),
+// running jobs get their context cancelled and end with run status
+// "cancelled" plus a final checkpoint when enabled. Terminal jobs are
+// left as they are. The bool reports whether the id was known.
+func (s *Server) Cancel(id string) (*View, bool) {
+	s.mu.Lock()
+	job, ok := s.byID[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	switch job.state {
+	case StateQueued:
+		s.rejectLocked(job, "cancelled")
+	case StateRunning:
+		if job.cancel != nil {
+			job.cancel()
+		}
+	}
+	v := job.view(s.start)
+	s.mu.Unlock()
+	return v, true
+}
+
+// Wait blocks until the job is terminal or ctx fires; it returns the
+// final view. Unknown ids return ok=false immediately.
+func (s *Server) Wait(ctx context.Context, id string) (*View, bool) {
+	s.mu.Lock()
+	job, ok := s.byID[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-job.done:
+	case <-ctx.Done():
+	}
+	v, _ := s.Get(id)
+	return v, true
+}
+
+// Draining reports whether the server has begun its drain.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain performs the graceful shutdown: refuse new submissions, cancel
+// in-flight jobs (they flush final checkpoints and report run_status),
+// reject still-queued jobs with a retry hint, and wait for the worker
+// pool to exit. Safe to call more than once; later calls return the
+// first drain's summary after it finishes.
+func (s *Server) Drain() DrainSummary {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		inflight := 0
+		for _, job := range s.byID {
+			if job.state == StateRunning {
+				inflight++
+			}
+		}
+		s.mu.Unlock()
+
+		// Stop in-flight work: every job context derives from baseCtx, so
+		// this interrupts all running solves; each flushes its checkpoint
+		// and final journal records on the way out.
+		s.baseCancel()
+		// No submission can enqueue after the draining flag is set (Submit
+		// checks it under the lock), so closing the queue is race-free and
+		// lets workers reject the remaining queued jobs and exit.
+		close(s.queue)
+		s.wg.Wait()
+
+		s.mu.Lock()
+		rejected := 0
+		for _, job := range s.byID {
+			if job.state == StateRejected && job.reason == "draining" {
+				rejected++
+			}
+			// A queued job that never reached a worker (closed queue drained
+			// first) is rejected here so no accepted job is left dangling.
+			if job.state == StateQueued {
+				s.rejectLocked(job, "draining")
+				rejected++
+			}
+		}
+		s.summary = DrainSummary{Cancelled: inflight, Rejected: rejected}
+		s.mu.Unlock()
+		s.cfg.Journal.Event("drain", map[string]any{
+			"cancelled_in_flight": inflight, "rejected_queued": rejected,
+		})
+	})
+	return s.summary
+}
+
+// checkpointPath is where an enumeration job persists resume state.
+func (s *Server) checkpointPath(job *Job) string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.DataDir, job.Key+".ckpt")
+}
+
+// jobJournal opens the per-job JSONL journal (nil when DataDir is off —
+// obs journals are nil-safe).
+func (s *Server) jobJournal(job *Job) *obs.Journal {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	path := filepath.Join(s.cfg.DataDir, job.ID+".jsonl")
+	j, err := obs.OpenJournal(path, s.reg)
+	if err != nil {
+		s.cfg.Journal.Event("job_journal_error", map[string]any{"id": job.ID, "error": err.Error()})
+		return nil
+	}
+	return j
+}

@@ -1,0 +1,550 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bbc/internal/core"
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+)
+
+// uniformGame returns the wire spec document for a uniform BBC game.
+func uniformGame(n, k int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"kind":"uniform","n":%d,"k":%d}`, n, k))
+}
+
+// newTestServer builds a server with a private registry and registers a
+// drain on cleanup so worker goroutines never outlive the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Reg = reg
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Drain() })
+	return s, reg
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, s *Server, id, state string) *View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared while waiting for %q", id, state)
+		}
+		if v.State == state {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, state)
+	return nil
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	cases := []Request{
+		{Mode: "levitate"},
+		{Mode: "enumerate"}, // missing game
+		{Mode: "enumerate", Game: uniformGame(3, 1), Agg: "median"},
+		{Mode: "enumerate", Game: uniformGame(3, 1), Workers: -1},
+		{Mode: "walk", Game: uniformGame(3, 1), Sched: "alphabetical"},
+		{Mode: "walk", Game: uniformGame(3, 1), Start: "sideways"},
+		{Mode: "suite", Only: []string{"E999"}},
+		{Mode: "enumerate", Game: uniformGame(3, 1), TimeoutMS: -5},
+		{Mode: "enumerate", Game: json.RawMessage(`{"kind":"septagonal"}`)},
+	}
+	for i, req := range cases {
+		if _, _, err := s.Submit(&req); err == nil {
+			t.Errorf("case %d (%+v): invalid request accepted", i, req)
+		}
+	}
+}
+
+// TestConcurrentDuplicateSubmissionsDedup is the ISSUE's dedup contract:
+// N concurrent identical submissions share one job and the counter
+// registry shows a single underlying enumeration.
+func TestConcurrentDuplicateSubmissionsDedup(t *testing.T) {
+	s, reg := newTestServer(t, Config{Workers: 2})
+	// core reads the global registry; install ours so profiles_checked
+	// proves exactly one scan ran.
+	prev := obs.SetGlobal(reg)
+	defer obs.SetGlobal(prev)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"mode":"enumerate","game":{"kind":"uniform","n":4,"k":2}}`
+	const clients = 8
+	type reply struct {
+		code int
+		resp submitResponse
+	}
+	replies := make([]reply, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer res.Body.Close()
+			replies[i].code = res.StatusCode
+			if err := json.NewDecoder(res.Body).Decode(&replies[i].resp); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	accepted, deduped := 0, 0
+	ids := make(map[string]bool)
+	for _, r := range replies {
+		switch r.code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusOK:
+			deduped++
+			if !r.resp.Deduped {
+				t.Error("200 reply without deduped flag")
+			}
+		default:
+			t.Errorf("unexpected status %d", r.code)
+		}
+		ids[r.resp.Job.ID] = true
+	}
+	if accepted != 1 || deduped != clients-1 {
+		t.Errorf("accepted=%d deduped=%d, want 1 and %d", accepted, deduped, clients-1)
+	}
+	if len(ids) != 1 {
+		t.Errorf("submissions spread over %d job ids, want 1: %v", len(ids), ids)
+	}
+
+	var id string
+	for k := range ids {
+		id = k
+	}
+	v := waitState(t, s, id, StateDone)
+	if !v.Complete || v.RunStatus != "complete" {
+		t.Fatalf("job ended complete=%t status=%q error=%q", v.Complete, v.RunStatus, v.Error)
+	}
+
+	// One solve, one scan: uniform(4,2) has 7^4 = 2401 profiles.
+	if got := reg.Get(obs.MServeSolves); got != 1 {
+		t.Errorf("serve.solves = %d, want 1", got)
+	}
+	if got := reg.Get(obs.MServeSubmitted); got != clients {
+		t.Errorf("serve.jobs_submitted = %d, want %d", got, clients)
+	}
+	if got := reg.Get(obs.MServeDeduped); got != clients-1 {
+		t.Errorf("serve.jobs_deduped = %d, want %d", got, clients-1)
+	}
+	if got := reg.Get(obs.MProfilesChecked); got != 2401 {
+		t.Errorf("core.profiles_checked = %d, want 2401 (a single enumeration)", got)
+	}
+
+	// The served result matches a direct library scan.
+	var er EnumResult
+	if err := json.Unmarshal(v.Result, &er); err != nil {
+		t.Fatal(err)
+	}
+	spec := core.MustUniform(4, 2)
+	ss, err := core.FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.EnumeratePureNEOpts(spec, core.SumDistances, ss, core.EnumConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Checked != ref.Checked || len(er.Equilibria) != len(ref.Equilibria) {
+		t.Errorf("served scan (checked=%d, ne=%d) differs from direct scan (checked=%d, ne=%d)",
+			er.Checked, len(er.Equilibria), ref.Checked, len(ref.Equilibria))
+	}
+
+	// A submission after completion still dedups against the cached result.
+	view, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: uniformGame(4, 2)})
+	if err != nil || outcome != Deduped || view.ID != id {
+		t.Errorf("post-completion submission: outcome=%v id=%s err=%v, want dedup to %s", outcome, view.ID, err, id)
+	}
+	if got := reg.Get(obs.MServeSolves); got != 1 {
+		t.Errorf("serve.solves after cached dedup = %d, want 1", got)
+	}
+}
+
+// submitSlow submits an enumeration big enough (16^6 ≈ 16.7M profiles)
+// that it is reliably still running when the test interrupts it.
+func submitSlow(t *testing.T, s *Server, timeoutMS int64) *View {
+	t.Helper()
+	v, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: uniformGame(6, 2), TimeoutMS: timeoutMS})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("submit slow job: outcome=%v err=%v", outcome, err)
+	}
+	return v
+}
+
+func TestCancelRunningJobCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	v := submitSlow(t, s, 0)
+	waitState(t, s, v.ID, StateRunning)
+
+	if _, ok := s.Cancel(v.ID); !ok {
+		t.Fatal("cancel: unknown id")
+	}
+	final := waitState(t, s, v.ID, StateDone)
+	if final.RunStatus != "cancelled" || final.Complete {
+		t.Fatalf("cancelled job: status=%q complete=%t", final.RunStatus, final.Complete)
+	}
+	if !final.Resumable || final.Checkpoint == "" {
+		t.Fatalf("cancelled job not resumable: %+v", final)
+	}
+	// The flushed checkpoint is a well-formed enumeration snapshot.
+	env, _, err := (&runctl.Store{Path: final.Checkpoint}).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp core.EnumCheckpoint
+	if err := env.Decode("enumeration", env.Fingerprint, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if env.Status != runctl.StatusCancelled {
+		t.Errorf("checkpoint status %q, want cancelled", env.Status)
+	}
+	// The per-job journal closed with a terminal run_status record.
+	assertFinalRunStatus(t, filepath.Join(dir, v.ID+".jsonl"), "cancelled")
+}
+
+func TestJobDeadline(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	v := submitSlow(t, s, 100)
+	final, ok := s.Wait(context.Background(), v.ID)
+	if !ok {
+		t.Fatal("wait: unknown id")
+	}
+	if final.RunStatus != "deadline" || final.Complete {
+		t.Fatalf("deadline job: status=%q complete=%t error=%q", final.RunStatus, final.Complete, final.Error)
+	}
+	if !final.Resumable {
+		t.Fatal("deadline-truncated job should be resumable")
+	}
+}
+
+func TestQueueFullRefused(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, QueueSize: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v := submitSlow(t, s, 0)
+	waitState(t, s, v.ID, StateRunning) // queue is now empty
+
+	if _, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: uniformGame(3, 1)}); err != nil || outcome != Accepted {
+		t.Fatalf("queued submit: outcome=%v err=%v", outcome, err)
+	}
+	res, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"mode":"enumerate","game":{"kind":"uniform","n":4,"k":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("429 reply missing Retry-After")
+	}
+}
+
+// TestDrainAndRestartResume is the ISSUE's drain contract end to end:
+// SIGTERM-equivalent drain leaves every accepted job either completed or
+// resumable, and a restarted server picks the interrupted solve up from
+// its checkpoint instead of rescanning.
+func TestDrainAndRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	reg1 := obs.NewRegistry()
+	prev := obs.SetGlobal(reg1)
+	defer obs.SetGlobal(prev)
+
+	s1, err := New(Config{Workers: 1, DataDir: dir, Reg: reg1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The in-flight solve: uniform(5,2), 11^5 = 161051 profiles — big
+	// enough to interrupt, small enough for the resumed run to finish.
+	slow, outcome, err := s1.Submit(&Request{Mode: "enumerate", Game: uniformGame(5, 2)})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("submit: outcome=%v err=%v", outcome, err)
+	}
+	// Two distinct jobs stuck behind it in the queue.
+	q1, _, err := s1.Submit(&Request{Mode: "enumerate", Game: uniformGame(3, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _, err := s1.Submit(&Request{Mode: "walk", Game: uniformGame(4, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitState(t, s1, slow.ID, StateRunning)
+	// Let the scan make observable progress so the checkpoint is not empty.
+	for deadline := time.Now().Add(30 * time.Second); reg1.Get(obs.MProfilesChecked) < 1000; {
+		if time.Now().After(deadline) {
+			t.Fatal("scan never reached 1000 profiles")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	sum := s1.Drain()
+	if sum.Cancelled != 1 || sum.Rejected != 2 {
+		t.Fatalf("drain summary %+v, want 1 cancelled / 2 rejected", sum)
+	}
+	if !s1.Draining() {
+		t.Error("Draining() false after drain")
+	}
+
+	// Every accepted job is terminal: the in-flight one resumable, the
+	// queued ones rejected with a retry hint.
+	sv, _ := s1.Get(slow.ID)
+	if sv.State != StateDone || sv.RunStatus != "cancelled" || !sv.Resumable || sv.Checkpoint == "" {
+		t.Fatalf("drained in-flight job: %+v", sv)
+	}
+	for _, id := range []string{q1.ID, q2.ID} {
+		qv, _ := s1.Get(id)
+		if qv.State != StateRejected || qv.Reason != "draining" || qv.RetryAfterMS <= 0 {
+			t.Fatalf("drained queued job %s: %+v", id, qv)
+		}
+	}
+	// New submissions are refused outright.
+	if _, outcome, err := s1.Submit(&Request{Mode: "enumerate", Game: uniformGame(4, 1)}); err != nil || outcome != Refused {
+		t.Fatalf("submit during drain: outcome=%v err=%v, want refusal", outcome, err)
+	}
+	ckptChecked := loadCheckpointChecked(t, sv.Checkpoint)
+	if ckptChecked == 0 {
+		t.Fatal("drained checkpoint recorded zero progress")
+	}
+
+	// "Restart": a fresh server over the same data dir resumes the solve.
+	reg2 := obs.NewRegistry()
+	obs.SetGlobal(reg2)
+	s2, err := New(Config{Workers: 1, DataDir: dir, Reg: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	rv, outcome, err := s2.Submit(&Request{Mode: "enumerate", Game: uniformGame(5, 2)})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("resubmit: outcome=%v err=%v", outcome, err)
+	}
+	if rv.Key != sv.Key {
+		t.Fatalf("resubmission key %s differs from original %s", rv.Key, sv.Key)
+	}
+	final, ok := s2.Wait(context.Background(), rv.ID)
+	if !ok || !final.Complete || final.RunStatus != "complete" {
+		t.Fatalf("resumed job: %+v", final)
+	}
+	if got := reg2.Get(obs.MServeResumed); got != 1 {
+		t.Errorf("serve.jobs_resumed = %d, want 1", got)
+	}
+
+	var er EnumResult
+	if err := json.Unmarshal(final.Result, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Checked != er.SpaceSize || er.SpaceSize != 161051 {
+		t.Errorf("resumed scan checked %d of %d profiles", er.Checked, er.SpaceSize)
+	}
+	// The restart actually reused the checkpoint: the second process
+	// scanned only the remainder.
+	if got := reg2.Get(obs.MProfilesChecked); got != int64(er.SpaceSize-ckptChecked) {
+		t.Errorf("resumed process checked %d profiles, want %d (%d minus checkpointed %d)",
+			got, er.SpaceSize-ckptChecked, er.SpaceSize, ckptChecked)
+	}
+	// And the merged result matches an uninterrupted library scan.
+	spec := core.MustUniform(5, 2)
+	ss, err := core.FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.EnumeratePureNEOpts(spec, core.SumDistances, ss, core.EnumConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Equilibria) != len(ref.Equilibria) {
+		t.Errorf("resumed scan found %d equilibria, direct scan %d", len(er.Equilibria), len(ref.Equilibria))
+	}
+	// A completed solve removes its snapshot generations.
+	if _, err := os.Stat(sv.Checkpoint); !os.IsNotExist(err) {
+		t.Errorf("checkpoint %s survived solve completion (err=%v)", sv.Checkpoint, err)
+	}
+}
+
+func TestWalkAndSuiteJobs(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2})
+	wv, outcome, err := s.Submit(&Request{Mode: "walk", Game: uniformGame(6, 1), Sched: "round-robin"})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("walk submit: outcome=%v err=%v", outcome, err)
+	}
+	ev, outcome, err := s.Submit(&Request{Mode: "suite", Only: []string{"E1"}, Quick: true})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("suite submit: outcome=%v err=%v", outcome, err)
+	}
+
+	wf, _ := s.Wait(context.Background(), wv.ID)
+	if !wf.Complete {
+		t.Fatalf("walk job: %+v", wf)
+	}
+	var wr WalkResult
+	if err := json.Unmarshal(wf.Result, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Outcome == "" || wr.N != 6 {
+		t.Errorf("implausible walk result: %+v", wr)
+	}
+
+	ef, _ := s.Wait(context.Background(), ev.ID)
+	if !ef.Complete {
+		t.Fatalf("suite job: %+v", ef)
+	}
+	var sr SuiteResult
+	if err := json.Unmarshal(ef.Result, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Reports) != 1 || sr.Reports[0].ID != "E1" || !sr.Reports[0].Pass {
+		t.Errorf("suite result: %+v", sr)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(res.Body)
+		return res.StatusCode, buf.Bytes()
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: %d %s", code, body)
+	}
+	if code, _ := get("/v1/jobs/job-999999"); code != 404 {
+		t.Errorf("unknown job GET: %d, want 404", code)
+	}
+	res, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 400 {
+		t.Errorf("malformed submit: %d, want 400", res.StatusCode)
+	}
+
+	// Submit, poll, list, metrics.
+	res, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"mode":"enumerate","game":{"kind":"uniform","n":3,"k":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(res.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	waitState(t, s, sub.Job.ID, StateDone)
+
+	if code, body := get("/v1/jobs/" + sub.Job.ID); code != 200 || !strings.Contains(string(body), `"run_status": "complete"`) {
+		t.Errorf("job GET: %d %s", code, body)
+	}
+	if code, body := get("/v1/jobs"); code != 200 || !strings.Contains(string(body), sub.Job.ID) {
+		t.Errorf("job list: %d %s", code, body)
+	}
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["serve.solves"] != 1 || m.Jobs.Done != 1 || m.Draining {
+		t.Errorf("metrics document: %+v", m)
+	}
+
+	// Drain flips healthz and submissions to 503.
+	s.Drain()
+	if code, _ := get("/healthz"); code != 503 {
+		t.Errorf("healthz during drain: %d, want 503", code)
+	}
+	res, err = http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"mode":"enumerate","game":{"kind":"uniform","n":4,"k":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 503 {
+		t.Errorf("submit during drain: %d, want 503", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("503 reply missing Retry-After")
+	}
+}
+
+// loadCheckpointChecked loads an enumeration checkpoint and returns its
+// cumulative checked count.
+func loadCheckpointChecked(t *testing.T, path string) uint64 {
+	t.Helper()
+	env, _, err := (&runctl.Store{Path: path}).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp core.EnumCheckpoint
+	if err := env.Decode("enumeration", env.Fingerprint, &cp); err != nil {
+		t.Fatal(err)
+	}
+	return cp.Checked
+}
+
+// assertFinalRunStatus checks a JSONL journal's last record is a
+// run_status with the wanted status.
+func assertFinalRunStatus(t *testing.T, path, status string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	last := lines[len(lines)-1]
+	var rec obs.Record
+	if err := json.Unmarshal(last, &rec); err != nil {
+		t.Fatalf("parse journal tail %q: %v", last, err)
+	}
+	if rec.Type != "run_status" || rec.Data["status"] != status {
+		t.Errorf("journal tail = %s, want run_status %q", last, status)
+	}
+}
