@@ -78,6 +78,7 @@ type options struct {
 	checkpoint string
 	resume     string
 	journal    string
+	trace      string
 	progress   bool
 	pprof      string
 
@@ -93,6 +94,7 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "persist completed experiment reports to this file after each experiment")
 	flag.StringVar(&o.resume, "resume", "", "replay completed reports from this snapshot and run only the rest")
 	flag.StringVar(&o.journal, "journal", "", "write a JSONL run journal to this file")
+	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace-event JSON file of solver spans to this file")
 	flag.BoolVar(&o.progress, "progress", false, "print progress/ETA to stderr")
 	flag.StringVar(&o.pprof, "pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	flag.Parse()
@@ -162,6 +164,7 @@ func run(ctx context.Context, o options) (runctl.Status, int, error) {
 		Journal: o.journal,
 		// Resumed suites append to the interrupted run's journal.
 		AppendJournal: o.resume != "",
+		Trace:         o.trace,
 		Pprof:         o.pprof,
 		Stderr:        o.stderr,
 	})

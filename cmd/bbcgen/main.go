@@ -52,13 +52,16 @@ func main() {
 		maxBudget = flag.Int64("max-budget", 2, "random: budgets drawn from 1..max-budget")
 		seed      = flag.Int64("seed", 1, "random seed")
 		journal   = flag.String("journal", "", "write a JSONL run journal to this file")
+		trace     = flag.String("trace", "", "write a Chrome trace-event JSON file of solver spans to this file")
 		progress  = flag.Bool("progress", false, "print a completion line to stderr")
 		pprofAddr = flag.String("pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	)
 	flag.Parse()
 	ctx, signalled, stopSignals := runctl.SignalContext(context.Background())
 	defer stopSignals()
-	rt, err := obs.StartCLI("bbcgen", *journal, *pprofAddr, os.Stderr)
+	rt, err := obs.StartCLIConfig(obs.CLIConfig{
+		Name: "bbcgen", Journal: *journal, Trace: *trace, Pprof: *pprofAddr, Stderr: os.Stderr,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcgen: %v\n", err)
 		os.Exit(runctl.ExitCodeForError(err))

@@ -41,13 +41,14 @@ func run(args []string, stderr *os.File) int {
 		cacheSize    = fs.Int("cache", 0, "terminal jobs retained for polling/dedup (0 = 128)")
 		dataDir      = fs.String("data", "", "directory for enumeration checkpoints and per-job journals (\"\" = off)")
 		journalPath  = fs.String("journal", "", "server lifecycle JSONL journal path (\"\" = off)")
+		tracePath    = fs.String("trace", "", "write a Chrome trace-event JSON file of job spans on exit (\"\" = off)")
 		pprofAddr    = fs.String("pprof", "", "pprof/expvar debug server address (\"\" = off)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "bound on the HTTP listener shutdown after the pool drains")
 	)
 	fs.Parse(args)
 
 	rt, err := obs.StartCLIConfig(obs.CLIConfig{
-		Name: "bbcserved", Journal: *journalPath, Pprof: *pprofAddr, Stderr: stderr,
+		Name: "bbcserved", Journal: *journalPath, Trace: *tracePath, Pprof: *pprofAddr, Stderr: stderr,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "bbcserved: %v\n", err)

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	bbcsim -n 12 -k 2 [-agg sum|max] [-sched round-robin|max-cost-first|random]
-//	       [-start empty|random] [-seed 1] [-steps 0] [-trace] [-json]
-//	       [-timeout 0] [-journal run.jsonl] [-progress] [-pprof :6060]
+//	       [-start empty|random] [-seed 1] [-steps 0] [-print-moves] [-json]
+//	       [-timeout 0] [-journal run.jsonl] [-trace run.trace.json]
+//	       [-progress] [-pprof :6060]
 //	bbcsim -enumerate [-load game.json | -n 6 -k 1] [-pin] [-parallel 0]
 //	       [-max-ne 0] [-max-profiles 0] [-timeout 30s]
 //	       [-checkpoint run.ckpt] [-resume run.ckpt] [-json]
@@ -34,15 +35,18 @@
 //
 // Output contract: stdout carries only the final run result — the text
 // summary, or a single JSON object with -json — so it stays
-// machine-parseable. Trace lines (-trace), progress/ETA lines
+// machine-parseable. Move lines (-print-moves), progress/ETA lines
 // (-progress) and all diagnostics go to stderr.
 //
 // Observability: -journal writes a JSONL run journal (one "move" record
 // per rewiring step plus "summary", "checkpoint" and a final
 // "run_status" record, each with wall time and solver counter
-// snapshots), -progress prints a throttled rate/ETA line to stderr, and
-// -pprof serves net/http/pprof and the counter registry (expvar
-// "bbc_counters") at the given address while the run is live.
+// snapshots), -trace records solver spans and writes them as a Chrome
+// trace-event JSON file on exit (load it in Perfetto or
+// chrome://tracing), -progress prints a throttled rate/ETA line to
+// stderr, and -pprof serves net/http/pprof, the counter registry
+// (expvar "bbc_counters") and a Prometheus /metrics endpoint at the
+// given address while the run is live.
 package main
 
 import (
@@ -66,18 +70,19 @@ import (
 // options collects every flag; run consumes it so tests can drive the
 // command without a process boundary.
 type options struct {
-	n, k     int
-	agg      string
-	sched    string
-	start    string
-	load     string
-	seed     int64
-	steps    int
-	trace    bool
-	jsonOut  bool
-	journal  string
-	progress bool
-	pprof    string
+	n, k       int
+	agg        string
+	sched      string
+	start      string
+	load       string
+	seed       int64
+	steps      int
+	printMoves bool
+	jsonOut    bool
+	journal    string
+	trace      string
+	progress   bool
+	pprof      string
 
 	enumerate   bool
 	pin         bool
@@ -101,9 +106,10 @@ func main() {
 	flag.StringVar(&o.load, "load", "", "load a core.Instance JSON file (e.g. from bbcgen) instead of -n/-k/-start")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.IntVar(&o.steps, "steps", 0, "max walk steps, a work budget (0 = 10·n²)")
-	flag.BoolVar(&o.trace, "trace", false, "print every move to stderr")
+	flag.BoolVar(&o.printMoves, "print-moves", false, "print every move to stderr")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the result as one JSON object on stdout")
 	flag.StringVar(&o.journal, "journal", "", "write a JSONL run journal to this file")
+	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace-event JSON file of solver spans to this file")
 	flag.BoolVar(&o.progress, "progress", false, "print progress/ETA to stderr")
 	flag.StringVar(&o.pprof, "pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	flag.BoolVar(&o.enumerate, "enumerate", false, "exhaustively enumerate pure Nash equilibria instead of walking")
@@ -182,6 +188,7 @@ func run(ctx context.Context, o options) (runctl.Status, error) {
 		// A resumed run continues the interrupted run's journal instead of
 		// truncating it: its records survive, sequence numbers continue.
 		AppendJournal: o.resume != "",
+		Trace:         o.trace,
 		Pprof:         o.pprof,
 		Stderr:        o.stderr,
 	})
@@ -222,7 +229,7 @@ func runWalk(ctx context.Context, o options, spec core.Spec, p core.Profile, agg
 		Ctx:         ctx,
 		MaxSteps:    o.steps,
 		DetectLoops: o.sched != "random",
-		Trace:       o.trace,
+		Trace:       o.printMoves,
 		Journal:     rt.Journal,
 	})
 	prog.Stop()
@@ -248,7 +255,7 @@ func runWalk(ctx context.Context, o options, spec core.Spec, p core.Profile, agg
 		"steps": out.Steps,
 	})
 
-	if o.trace {
+	if o.printMoves {
 		for _, rec := range res.Trace {
 			if rec.Moved {
 				fmt.Fprintf(o.stderr, "step %4d: node %d rewires %v -> %v (cost %d -> %d)\n",

@@ -44,11 +44,11 @@ func TestRunValidConfigurations(t *testing.T) {
 	}
 }
 
-// TestRunTraceToStderr pins the output contract: trace lines go to
+// TestRunMovesToStderr pins the output contract: move lines go to
 // stderr, the result summary to stdout.
-func TestRunTraceToStderr(t *testing.T) {
+func TestRunMovesToStderr(t *testing.T) {
 	o, stdout, stderr := testOptions(5, 1)
-	o.seed, o.steps, o.trace = 2, 100, true
+	o.seed, o.steps, o.printMoves = 2, 100, true
 	if _, err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
@@ -172,10 +172,13 @@ func TestJournalGolden(t *testing.T) {
 		}
 		for key := range raw {
 			switch key {
-			case "type", "seq", "elapsed_ms", "data", "counters":
+			case "type", "seq", "elapsed_ms", "run_id", "data", "counters":
 			default:
 				t.Errorf("unexpected top-level journal key %q", key)
 			}
+		}
+		if rec.RunID != obs.RunID() {
+			t.Errorf("%s record run_id = %q, want the process run id %q", rec.Type, rec.RunID, obs.RunID())
 		}
 		if rec.Seq != seq {
 			t.Errorf("journal seq gap: got %d, want %d", rec.Seq, seq)

@@ -41,13 +41,16 @@ func main() {
 		ring      = flag.Int("ring", 8, "ring size (ringpath)")
 		path      = flag.Int("path", 4, "path size (ringpath)")
 		journal   = flag.String("journal", "", "write a JSONL run journal to this file")
+		trace     = flag.String("trace", "", "write a Chrome trace-event JSON file of solver spans to this file")
 		progress  = flag.Bool("progress", false, "print a completion line to stderr")
 		pprofAddr = flag.String("pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	)
 	flag.Parse()
 	ctx, signalled, stopSignals := runctl.SignalContext(context.Background())
 	defer stopSignals()
-	rt, err := obs.StartCLI("bbcviz", *journal, *pprofAddr, os.Stderr)
+	rt, err := obs.StartCLIConfig(obs.CLIConfig{
+		Name: "bbcviz", Journal: *journal, Trace: *trace, Pprof: *pprofAddr, Stderr: os.Stderr,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbcviz: %v\n", err)
 		os.Exit(runctl.ExitCodeForError(err))

@@ -100,6 +100,7 @@ func (o *Oracle) build(spec Spec, g *graph.Digraph, u int, agg Aggregation, gs *
 	reg := obs.Global()
 	reg.Inc(obs.MOracleBuild)
 	t0 := reg.Started()
+	sp := obs.Trace().StartSpan("oracle.build")
 	o.spec, o.u, o.agg, o.n = spec, u, agg, n
 	o.penalty = spec.Penalty()
 	o.budget = spec.Budget(u)
@@ -160,6 +161,8 @@ func (o *Oracle) build(spec Spec, g *graph.Digraph, u int, agg Aggregation, gs *
 	o.cells = o.cells[:0]
 	o.chosen = o.chosen[:0]
 	reg.ElapsedSince(obs.MOracleBuildNanos, t0)
+	reg.ObserveSince(obs.HOracleBuild, t0)
+	sp.EndInt("node", int64(u))
 }
 
 // growInt64 reslices buf to length want, reallocating only when the

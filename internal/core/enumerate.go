@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"bbc/internal/graph"
 	"bbc/internal/obs"
@@ -368,6 +369,22 @@ func EnumeratePureNE(spec Spec, agg Aggregation, ss *SearchSpace, maxEquilibria 
 // the profiles the uninterrupted scan would have and returns identical
 // equilibria in identical order.
 func EnumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumConfig) (*NEResult, error) {
+	sp := obs.Trace().StartSpan("enum.scan")
+	res, err := enumeratePureNEOpts(spec, agg, ss, cfg)
+	if res != nil {
+		sp.EndInt("checked", int64(res.Checked))
+	} else {
+		sp.End()
+	}
+	return res, err
+}
+
+// evalSampleMask samples 1 in 64 profile-stability checks into the
+// HProfileEval latency histogram: two extra clock reads against a
+// ~500ns check would be measurable at every profile, negligible at 1/64.
+const evalSampleMask = 63
+
+func enumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumConfig) (*NEResult, error) {
 	n := spec.N()
 	if len(ss.PerNode) != n {
 		return nil, fmt.Errorf("core: search space covers %d nodes, spec has %d", len(ss.PerNode), n)
@@ -498,7 +515,15 @@ func EnumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 		sinceCkpt++
 		res.Checked++
 		reg.Inc(obs.MProfilesChecked)
-		if profileStable(es, p, order, lastChanged) {
+		var stable bool
+		if reg != nil && res.Checked&evalSampleMask == 0 {
+			t0 := time.Now()
+			stable = profileStable(es, p, order, lastChanged)
+			reg.Observe(obs.HProfileEval, time.Since(t0).Nanoseconds())
+		} else {
+			stable = profileStable(es, p, order, lastChanged)
+		}
+		if stable {
 			reg.Inc(obs.MEquilibriaFound)
 			res.Equilibria = append(res.Equilibria, p.Clone())
 			if cfg.MaxEquilibria > 0 && len(res.Equilibria) >= cfg.MaxEquilibria {

@@ -116,9 +116,11 @@ func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cf
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		track := w + 1
 		go func() {
 			defer wg.Done()
 			reg := obs.Global()
+			tr := obs.Trace()
 			// One evaluation scratch per worker goroutine: traversal buffers
 			// and oracle arenas stay warm across every partition this worker
 			// drains (each partition re-binds to its own realized graph).
@@ -127,7 +129,8 @@ func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cf
 				reg.Inc(obs.MWorkerTasks)
 				// Busy time covers partition work only, not queue wait:
 				// the timer starts after the job is received.
-				stopTimer := reg.Time(obs.MWorkerBusyNanos)
+				t0 := reg.Started()
+				sp := tr.StartSpan("enum.partition").OnTrack(track)
 				errs[i] = runctl.Guard(fmt.Sprintf("enumeration partition %d (pivot node %d, strategy %v)", i, pivot, parts[i]), func() error {
 					sub := &SearchSpace{PerNode: make([][]Strategy, n)}
 					copy(sub.PerNode, ss.PerNode)
@@ -142,7 +145,8 @@ func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cf
 					results[i] = r
 					return err
 				})
-				stopTimer()
+				sp.EndInt("part", int64(i))
+				reg.ElapsedSince(obs.MWorkerBusyNanos, t0)
 				if errs[i] != nil {
 					icancel()
 					continue

@@ -54,9 +54,9 @@ func FindDeviationParallel(ctx context.Context, spec Spec, p Profile, agg Aggreg
 			reg := obs.Global()
 			for u := range jobs {
 				reg.Inc(obs.MWorkerTasks)
-				stop := reg.Time(obs.MWorkerBusyNanos)
+				t0 := reg.Started()
 				dev, err := NodeDeviation(spec, g, p, u, agg, opts.Options)
-				stop()
+				reg.ElapsedSince(obs.MWorkerBusyNanos, t0)
 				select {
 				case results <- result{node: u, dev: dev, err: err}:
 				case <-ctx.Done():

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bbc/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGoldenTwoPartitionScan runs a deterministic
+// two-partition parallel scan under a fresh tracer and compares the
+// exported Chrome trace — with the nondeterministic parts (timestamps,
+// durations, run id) normalized away — against a golden file. The span
+// sequence, names, tracks and annotations are the contract: a refactor
+// that silently stops emitting partition or oracle spans fails here.
+//
+// Regenerate with: go test ./internal/core/ -run ChromeTraceGolden -update
+func TestChromeTraceGoldenTwoPartitionScan(t *testing.T) {
+	spec, err := NewUniform(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 has two strategies — the pivot — so the scan splits into
+	// exactly two partitions; one worker drains them in order, which
+	// makes the span sequence deterministic.
+	ss := &SearchSpace{PerNode: [][]Strategy{
+		{{1}, {2}},
+		{{2}},
+		{{0}},
+	}}
+	tr := obs.NewTracer(256)
+	prev := obs.SetTracer(tr)
+	defer obs.SetTracer(prev)
+
+	res, err := EnumeratePureNEParallelOpts(spec, SumDistances, ss, EnumConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checked != 2 {
+		t.Fatalf("Checked = %d, want 2 (one profile per partition)", res.Checked)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeChromeTrace(t, buf.Bytes())
+
+	goldenPath := filepath.Join("testdata", "chrome_trace_two_partition.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("normalized trace differs from golden (regenerate with -update if the change is intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// normalizeChromeTrace strips wall-clock and per-process values from an
+// exported trace so runs compare structurally: ts/dur are zeroed and the
+// run id is replaced by a placeholder everywhere it appears.
+func normalizeChromeTrace(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		OtherData       map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if _, ok := ev["ts"]; ok {
+			ev["ts"] = 0
+		}
+		if _, ok := ev["dur"]; ok {
+			ev["dur"] = 0
+		}
+		if args, ok := ev["args"].(map[string]any); ok {
+			if _, ok := args["run_id"]; ok {
+				args["run_id"] = "RUN_ID"
+			}
+			if name, ok := args["name"].(string); ok && len(name) > 8 && name[:8] == "bbc run " {
+				args["name"] = "bbc run RUN_ID"
+			}
+		}
+	}
+	if doc.OtherData != nil {
+		doc.OtherData["run_id"] = "RUN_ID"
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}

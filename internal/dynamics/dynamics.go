@@ -207,6 +207,17 @@ type Result struct {
 // step, the scheduled node computes its best response and rewires if that
 // strictly lowers its cost. The starting profile must be feasible.
 func Run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregation, opts Options) (*Result, error) {
+	sp := obs.Trace().StartSpan("dyn.walk")
+	res, err := run(spec, start, sched, agg, opts)
+	if res != nil {
+		sp.EndInt("steps", int64(res.Steps))
+	} else {
+		sp.End()
+	}
+	return res, err
+}
+
+func run(spec core.Spec, start core.Profile, sched Scheduler, agg core.Aggregation, opts Options) (*Result, error) {
 	if err := start.Validate(spec); err != nil {
 		return nil, fmt.Errorf("dynamics: invalid start profile: %w", err)
 	}

@@ -184,9 +184,11 @@ func RunEnsemble(spec *core.Uniform, cfg EnsembleConfig) (*EnsembleStats, error)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		track := w + 1
 		go func() {
 			defer wg.Done()
 			reg := obs.Global()
+			tr := obs.Trace()
 			// One evaluation scratch per worker goroutine; every trial this
 			// worker runs re-binds it to the trial's realized graph while the
 			// underlying buffers stay warm.
@@ -194,7 +196,8 @@ func RunEnsemble(spec *core.Uniform, cfg EnsembleConfig) (*EnsembleStats, error)
 			for trial := range jobs {
 				reg.Inc(obs.MWorkerTasks)
 				// Busy time covers walk work only, not queue wait.
-				stopTimer := reg.Time(obs.MWorkerBusyNanos)
+				t0 := reg.Started()
+				sp := tr.StartSpan("dyn.trial").OnTrack(track)
 				errs[trial] = runctl.Guard(fmt.Sprintf("ensemble trial %d", trial), func() error {
 					rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
 					var start core.Profile
@@ -241,7 +244,8 @@ func RunEnsemble(spec *core.Uniform, cfg EnsembleConfig) (*EnsembleStats, error)
 					ckptMu.Unlock()
 					return nil
 				})
-				stopTimer()
+				sp.EndInt("trial", int64(trial))
+				reg.ElapsedSince(obs.MWorkerBusyNanos, t0)
 				if errs[trial] != nil {
 					icancel()
 				}

@@ -86,6 +86,7 @@ func RunSimultaneousOpts(spec core.Spec, start core.Profile, agg core.Aggregatio
 			}
 		}
 		reg.Inc(obs.MSimRounds)
+		spRound := obs.Trace().StartSpan("dyn.round")
 		g := p.Realize(spec)
 		// Each round realizes a fresh graph, so Bind invalidates the oracle
 		// cache while the scratch's buffers carry over between rounds.
@@ -110,6 +111,7 @@ func RunSimultaneousOpts(spec core.Spec, start core.Profile, agg core.Aggregatio
 			}
 		}
 		res.Rounds = round
+		spRound.EndInt("movers", int64(movers))
 		opts.Journal.Event("round", map[string]any{"round": round, "movers": movers})
 		if !moved {
 			res.Converged = true

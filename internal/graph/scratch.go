@@ -31,7 +31,8 @@ func (g *Digraph) BFSInto(dist []int64, src int, opt Options, s *Scratch) []int6
 	if opt.Skip == src {
 		panic("graph: cannot skip the BFS source")
 	}
-	obs.Global().Inc(obs.MBFS)
+	reg := obs.Global()
+	reg.Inc(obs.MBFS)
 	for i := range dist {
 		dist[i] = Unreachable
 	}
@@ -43,11 +44,23 @@ func (g *Digraph) BFSInto(dist []int64, src int, opt Options, s *Scratch) []int6
 		queue = make([]int, 0, len(g.adj))
 	}
 	queue = append(queue, src)
+	// Wave width: nodes dequeue in nondecreasing distance, so counting the
+	// run length per distance level costs one compare per node and yields
+	// the maximum frontier width — the parallelism a bit-parallel BFS
+	// could exploit.
+	var curDist, width, maxWidth int64
 	// Index-based head pointer: re-slicing the queue head (queue[1:]) would
 	// keep the whole backing array live and defeat queue reuse.
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		du := dist[u]
+		if du != curDist {
+			if width > maxWidth {
+				maxWidth = width
+			}
+			curDist, width = du, 0
+		}
+		width++
 		for _, a := range g.adj[u] {
 			v := a.To
 			if v == opt.Skip || dist[v] != Unreachable {
@@ -57,6 +70,10 @@ func (g *Digraph) BFSInto(dist []int64, src int, opt Options, s *Scratch) []int6
 			queue = append(queue, v)
 		}
 	}
+	if width > maxWidth {
+		maxWidth = width
+	}
+	reg.Observe(obs.HBFSWave, maxWidth)
 	if s != nil {
 		s.queue = queue[:0]
 	}

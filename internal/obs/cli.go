@@ -8,11 +8,17 @@ import (
 )
 
 // Runtime bundles the observability facilities a CLI enabled: the
-// process-wide registry (always installed) and the optional journal. The
-// zero value / nil pointer is inert, so error paths can Close it blindly.
+// process-wide registry (always installed), the optional journal and the
+// optional span tracer. The zero value / nil pointer is inert, so error
+// paths can Close it blindly.
 type Runtime struct {
 	Reg     *Registry
 	Journal *Journal
+	Tracer  *Tracer
+
+	name      string
+	stderr    io.Writer
+	tracePath string
 }
 
 // CLIConfig configures StartCLIConfig.
@@ -26,6 +32,13 @@ type CLIConfig struct {
 	// records survive, a torn tail is dropped, and sequence numbers
 	// continue.
 	AppendJournal bool
+	// Trace, when non-empty, installs the process-wide span tracer and
+	// writes a Chrome trace-event JSON file (chrome://tracing /
+	// Perfetto-loadable) to this path on Close.
+	Trace string
+	// TraceCap bounds the tracer's span ring (0 = DefaultTraceCap). When
+	// the ring fills, the oldest spans are dropped and counted.
+	TraceCap int
 	// Pprof, when non-empty, serves the pprof/expvar debug server at
 	// this address.
 	Pprof string
@@ -46,9 +59,9 @@ func StartCLI(name, journalPath, pprofAddr string, stderr io.Writer) (*Runtime, 
 }
 
 // StartCLIConfig is StartCLI with the full option set (journal append
-// mode for resumed runs, fault-injectable filesystem).
+// mode for resumed runs, span tracing, fault-injectable filesystem).
 func StartCLIConfig(c CLIConfig) (*Runtime, error) {
-	rt := &Runtime{Reg: NewRegistry()}
+	rt := &Runtime{Reg: NewRegistry(), name: c.Name, stderr: c.Stderr}
 	SetGlobal(rt.Reg)
 	if c.Journal != "" {
 		if c.AppendJournal {
@@ -69,22 +82,40 @@ func StartCLIConfig(c CLIConfig) (*Runtime, error) {
 			rt.Journal = j
 		}
 	}
+	if c.Trace != "" {
+		rt.Tracer = NewTracer(c.TraceCap)
+		rt.tracePath = c.Trace
+		SetTracer(rt.Tracer)
+	}
 	if c.Pprof != "" {
 		addr, err := ServeDebug(c.Pprof)
 		if err != nil {
 			rt.Journal.Close()
 			return nil, err
 		}
-		fmt.Fprintf(c.Stderr, "%s: debug server at http://%s/debug/pprof/ (counters at /debug/vars)\n", c.Name, addr)
+		fmt.Fprintf(c.Stderr, "%s: debug server at http://%s/debug/pprof/ (counters at /debug/vars, Prometheus at /metrics)\n", c.Name, addr)
 	}
 	return rt, nil
 }
 
-// Close flushes the journal (when one was opened) and returns its first
-// write error. Safe on a nil runtime.
+// Close writes the Chrome trace file (when tracing was enabled) and
+// flushes the journal (when one was opened), returning the first error.
+// Safe on a nil runtime.
 func (rt *Runtime) Close() error {
 	if rt == nil {
 		return nil
 	}
-	return rt.Journal.Close()
+	var traceErr error
+	if rt.tracePath != "" {
+		SetTracer(nil)
+		traceErr = rt.Tracer.WriteChromeTraceFile(rt.tracePath)
+		if traceErr == nil && rt.stderr != nil {
+			fmt.Fprintf(rt.stderr, "%s: trace written to %s (%d spans, %d dropped, run %s)\n",
+				rt.name, rt.tracePath, rt.Tracer.Recorded()-rt.Tracer.Dropped(), rt.Tracer.Dropped(), RunID())
+		}
+	}
+	if err := rt.Journal.Close(); err != nil {
+		return err
+	}
+	return traceErr
 }

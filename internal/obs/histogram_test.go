@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestObserveBucketPlacement pins the boundary rule: a value lands in
+// the first bucket whose bound is ≥ the value, and values above the last
+// bound land in the overflow bucket.
+func TestObserveBucketPlacement(t *testing.T) {
+	r := NewRegistry()
+	bounds := histBounds[HProfileEval]
+	r.Observe(HProfileEval, 1)                       // well under the first bound
+	r.Observe(HProfileEval, bounds[0])               // exactly on a bound: inclusive
+	r.Observe(HProfileEval, bounds[0]+1)             // just over: next bucket
+	r.Observe(HProfileEval, bounds[len(bounds)-1]+1) // overflow
+
+	h := r.HistogramFor(HProfileEval)
+	if h.Count != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count)
+	}
+	if wantSum := 1 + bounds[0] + bounds[0] + 1 + bounds[len(bounds)-1] + 1; h.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", h.Sum, wantSum)
+	}
+	if h.Counts[0] != 2 {
+		t.Errorf("Counts[0] = %d, want 2 (bound is inclusive)", h.Counts[0])
+	}
+	if h.Counts[1] != 1 {
+		t.Errorf("Counts[1] = %d, want 1", h.Counts[1])
+	}
+	if over := h.Counts[len(h.Counts)-1]; over != 1 {
+		t.Errorf("overflow bucket = %d, want 1", over)
+	}
+}
+
+// TestObserveNilRegistry pins nil-safety on the hot path.
+func TestObserveNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Observe(HProfileEval, 100)
+	r.ObserveSince(HOracleBuild, time.Now())
+	if got := r.HistogramFor(HProfileEval); got.Count != 0 {
+		t.Fatal("nil registry recorded an observation")
+	}
+	if r.HistSnapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+}
+
+// TestObserveSinceZeroToken pins the Started/ObserveSince pairing: a
+// zero token (from a nil registry's Started) observes nothing.
+func TestObserveSinceZeroToken(t *testing.T) {
+	r := NewRegistry()
+	var nilReg *Registry
+	r.ObserveSince(HOracleBuild, nilReg.Started())
+	if got := r.HistogramFor(HOracleBuild).Count; got != 0 {
+		t.Fatalf("Count = %d, want 0 for zero token", got)
+	}
+}
+
+// TestQuantileInterpolation checks the interpolated quantiles on a known
+// distribution: 100 observations spread evenly inside one bucket's
+// range interpolate linearly across it.
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	// widthBounds: 1,2,4,8,... Observe 4 threes and 4 fours → all 8 land
+	// in bucket le=4 (the third bucket, range (2,4]).
+	for i := 0; i < 4; i++ {
+		r.Observe(HBFSWave, 3)
+		r.Observe(HBFSWave, 4)
+	}
+	h := r.HistogramFor(HBFSWave)
+	if h.Count != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count)
+	}
+	// The p50 target (4 of 8) sits mid-bucket: lo=2, hi=4, so 2+2*(4/8)=3.
+	if got := h.P50; got != 3 {
+		t.Errorf("P50 = %v, want 3 (midpoint of the (2,4] bucket)", got)
+	}
+	if got := h.P99; got <= h.P50 || got > 4 {
+		t.Errorf("P99 = %v, want in (3, 4]", got)
+	}
+}
+
+// TestQuantileOverflowClamps pins the overstatement guard: quantiles of
+// overflow-bucket mass report the last finite bound rather than
+// extrapolating.
+func TestQuantileOverflowClamps(t *testing.T) {
+	r := NewRegistry()
+	last := widthBounds[len(widthBounds)-1]
+	for i := 0; i < 10; i++ {
+		r.Observe(HBFSWave, last*10)
+	}
+	h := r.HistogramFor(HBFSWave)
+	if got := h.P99; got != float64(last) {
+		t.Errorf("P99 = %v, want clamp to last bound %d", got, last)
+	}
+}
+
+// TestHistSnapshotOnlyNonEmpty pins the snapshot contract journal
+// run_status records rely on: untouched histograms are omitted.
+func TestHistSnapshotOnlyNonEmpty(t *testing.T) {
+	r := NewRegistry()
+	if snap := r.HistSnapshot(); snap != nil {
+		t.Fatalf("empty registry snapshot = %v, want nil", snap)
+	}
+	r.Observe(HServeQueueWait, 1e6)
+	snap := r.HistSnapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d entries, want 1", len(snap))
+	}
+	if _, ok := snap["serve.queue_wait_ns"]; !ok {
+		t.Fatalf("snapshot keys = %v, want serve.queue_wait_ns", snap)
+	}
+}
+
+// TestResetClearsHistograms pins that Registry.Reset zeroes histogram
+// state alongside the counters.
+func TestResetClearsHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Observe(HProfileEval, 500)
+	r.Reset()
+	if got := r.HistogramFor(HProfileEval); got.Count != 0 || got.Sum != 0 {
+		t.Fatalf("after Reset: Count=%d Sum=%d, want zeros", got.Count, got.Sum)
+	}
+	if r.HistSnapshot() != nil {
+		t.Fatal("after Reset: snapshot should be nil")
+	}
+}
+
+// TestHMetricNames pins the stable external names — renaming one is a
+// journal/exposition schema change and must be deliberate.
+func TestHMetricNames(t *testing.T) {
+	want := map[HMetric]string{
+		HOracleBuild:    "oracle.build_duration_ns",
+		HProfileEval:    "core.profile_eval_ns",
+		HBFSWave:        "graph.bfs_wave_width",
+		HServeQueueWait: "serve.queue_wait_ns",
+		HServeHTTP:      "serve.http_request_ns",
+	}
+	for h, name := range want {
+		if h.String() != name {
+			t.Errorf("%d.String() = %q, want %q", h, h.String(), name)
+		}
+	}
+	if len(HMetrics()) != len(want) {
+		t.Errorf("HMetrics() has %d entries, want %d (update this test with the new metric)", len(HMetrics()), len(want))
+	}
+}

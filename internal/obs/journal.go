@@ -26,6 +26,10 @@ type Record struct {
 	Seq int64 `json:"seq"`
 	// ElapsedMS is wall time since the journal was opened.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// RunID is the per-process run identifier (RunID()), stamped into
+	// every record so journals from different processes — an interrupted
+	// run and its resume, a service and its jobs — correlate.
+	RunID string `json:"run_id,omitempty"`
 	// Data is the event payload.
 	Data map[string]any `json:"data,omitempty"`
 	// Counters is the registry snapshot at write time, when a registry is
@@ -180,6 +184,7 @@ func (j *Journal) Event(typ string, data map[string]any) {
 		Type:      typ,
 		Seq:       j.seq,
 		ElapsedMS: float64(time.Since(j.start).Microseconds()) / 1000,
+		RunID:     RunID(),
 		Data:      data,
 		Counters:  j.reg.Snapshot(),
 	}
@@ -219,12 +224,20 @@ func (j *Journal) Checkpoint(path, kind string, progress map[string]any) {
 }
 
 // RunStatus appends the final EventRunStatus record: how the run ended
-// (a runctl status name) and whether the computation was complete.
-// No-op on a nil journal.
+// (a runctl status name) and whether the computation was complete. When
+// the attached registry holds histogram observations, their snapshot
+// (bucket counts plus p50/p90/p99) rides along under "histograms" —
+// run_status stays the journal's last record, so the latency
+// distributions cannot trail it. No-op on a nil journal.
 func (j *Journal) RunStatus(status string, complete bool, extra map[string]any) {
 	data := map[string]any{"status": status, "complete": complete}
 	for k, v := range extra {
 		data[k] = v
+	}
+	if j != nil {
+		if hs := j.reg.HistSnapshot(); hs != nil {
+			data["histograms"] = hs
+		}
 	}
 	j.Event(EventRunStatus, data)
 }

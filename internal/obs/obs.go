@@ -145,10 +145,17 @@ func Metrics() []Metric {
 	return out
 }
 
-// Registry is a fixed set of race-safe counters. The zero value is ready
-// to use; a nil *Registry ignores all updates and reads as empty.
+// Registry is a fixed set of race-safe counters and fixed-boundary
+// histograms (see HMetric). The zero value is ready to use; a nil
+// *Registry ignores all updates and reads as empty.
 type Registry struct {
 	counters [metricCount]atomic.Int64
+
+	// Histogram state: per-metric bucket counts (fixed arrays so the zero
+	// value needs no lazy setup), value sums and observation counts.
+	hbuckets [hMetricCount][histMaxBuckets]atomic.Int64
+	hsum     [hMetricCount]atomic.Int64
+	hcount   [hMetricCount]atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
@@ -176,24 +183,10 @@ func (r *Registry) Get(m Metric) int64 {
 	return r.counters[m].Load()
 }
 
-// noopStop is the shared timer closure returned when timing is off.
-var noopStop = func() {}
-
-// Time starts a timer for a *Nanos metric and returns the stop function
-// that records the elapsed wall time. On a nil registry the returned stop
-// is a shared no-op and no clock is read.
-func (r *Registry) Time(m Metric) func() {
-	if r == nil {
-		return noopStop
-	}
-	t0 := time.Now()
-	return func() { r.counters[m].Add(time.Since(t0).Nanoseconds()) }
-}
-
 // Started returns a start token for ElapsedSince: the current time when
 // the registry is active, the zero Time on a nil registry (no clock read).
-// Unlike Time, the Started/ElapsedSince pair allocates no closure, so hot
-// paths can time themselves without per-call heap traffic.
+// The Started/ElapsedSince pair allocates no closure, so hot paths can
+// time themselves without per-call heap traffic.
 func (r *Registry) Started() time.Time {
 	if r == nil {
 		return time.Time{}
@@ -210,7 +203,7 @@ func (r *Registry) ElapsedSince(m Metric, t0 time.Time) {
 	r.counters[m].Add(time.Since(t0).Nanoseconds())
 }
 
-// Reset zeroes every counter. No-op on a nil registry.
+// Reset zeroes every counter and histogram. No-op on a nil registry.
 func (r *Registry) Reset() {
 	if r == nil {
 		return
@@ -218,6 +211,7 @@ func (r *Registry) Reset() {
 	for i := range r.counters {
 		r.counters[i].Store(0)
 	}
+	r.resetHists()
 }
 
 // Snapshot returns the current nonzero counters keyed by stable metric

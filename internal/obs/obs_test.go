@@ -11,7 +11,7 @@ func TestNilRegistryIsInert(t *testing.T) {
 	r.Inc(MBFS)
 	r.Add(MOracleEval, 10)
 	r.Reset()
-	r.Time(MOracleBuildNanos)()
+	r.ElapsedSince(MOracleBuildNanos, r.Started())
 	if got := r.Get(MBFS); got != 0 {
 		t.Errorf("nil registry Get = %d, want 0", got)
 	}
@@ -54,11 +54,11 @@ func TestRegistryCountersConcurrent(t *testing.T) {
 	}
 }
 
-func TestRegistryTime(t *testing.T) {
+func TestRegistryStartedElapsed(t *testing.T) {
 	r := NewRegistry()
-	stop := r.Time(MWorkerBusyNanos)
+	t0 := r.Started()
 	time.Sleep(2 * time.Millisecond)
-	stop()
+	r.ElapsedSince(MWorkerBusyNanos, t0)
 	if got := r.Get(MWorkerBusyNanos); got < int64(time.Millisecond) {
 		t.Errorf("timer recorded %dns, want >= 1ms", got)
 	}

@@ -13,9 +13,11 @@ import (
 var publishOnce sync.Once
 
 // ServeDebug starts an HTTP debug server on addr (e.g. ":6060") exposing
-// the standard pprof endpoints under /debug/pprof/ and expvar under
-// /debug/vars, with the process-wide registry exported as "bbc_counters".
-// It listens synchronously (so bad addresses fail fast), serves in the
+// the standard pprof endpoints under /debug/pprof/, expvar under
+// /debug/vars (with the process-wide registry exported as
+// "bbc_counters"), and a Prometheus text-exposition endpoint at /metrics
+// covering the registry's counters, histograms and runtime gauges. It
+// listens synchronously (so bad addresses fail fast), serves in the
 // background for the life of the process, and returns the bound address.
 func ServeDebug(addr string) (string, error) {
 	publishOnce.Do(func() {
@@ -26,6 +28,10 @@ func ServeDebug(addr string) (string, error) {
 			}
 			return snap
 		}))
+		http.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			_ = WritePrometheus(w, Global(), RuntimeGauges(0))
+		})
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

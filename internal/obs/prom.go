@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PrometheusContentType is the Content-Type of text exposition v0.0.4.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Gauge is one instantaneous value to expose alongside the registry
+// (goroutine count, heap bytes, job-state gauges). Name is the full
+// Prometheus metric name.
+type Gauge struct {
+	Name  string
+	Help  string
+	Value float64
+}
+
+// RuntimeGauges returns the standard process gauges: goroutines, heap
+// usage and GC cycles. uptime ≤ 0 omits the uptime gauge.
+func RuntimeGauges(uptime time.Duration) []Gauge {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := []Gauge{
+		{Name: "bbc_goroutines", Help: "Live goroutines.", Value: float64(runtime.NumGoroutine())},
+		{Name: "bbc_heap_alloc_bytes", Help: "Bytes of allocated heap objects.", Value: float64(ms.HeapAlloc)},
+		{Name: "bbc_heap_sys_bytes", Help: "Bytes of heap obtained from the OS.", Value: float64(ms.HeapSys)},
+		{Name: "bbc_gc_cycles", Help: "Completed GC cycles.", Value: float64(ms.NumGC)},
+	}
+	if uptime > 0 {
+		out = append(out, Gauge{Name: "bbc_uptime_seconds", Help: "Process uptime.", Value: uptime.Seconds()})
+	}
+	return out
+}
+
+// promName mangles a stable obs metric name ("oracle.build_nanos") into
+// a Prometheus base name and a value divisor: dots become underscores,
+// the bbc_ namespace is prefixed, and nanosecond units are converted to
+// Prometheus' canonical seconds ("_nanos"/"_ns" → "_seconds", divisor
+// 1e9). A divisor rather than a 1e-9 multiplier because 1e9 is exactly
+// representable: 500ns divides to the correctly-rounded 5e-07 and
+// formats cleanly, where 500×1e-9 carries float noise into the le
+// labels.
+func promName(name string) (string, float64) {
+	base := "bbc_" + strings.ReplaceAll(name, ".", "_")
+	div := 1.0
+	switch {
+	case strings.HasSuffix(base, "_nanos"):
+		base = strings.TrimSuffix(base, "_nanos") + "_seconds"
+		div = 1e9
+	case strings.HasSuffix(base, "_ns"):
+		base = strings.TrimSuffix(base, "_ns") + "_seconds"
+		div = 1e9
+	}
+	return base, div
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry's counters and histograms plus the
+// given gauges as Prometheus text exposition v0.0.4. Counters are
+// exposed with the _total suffix; nanosecond accumulators and histogram
+// bounds are converted to seconds. Every defined metric is written even
+// at zero, so scraped series are continuous. A nil registry writes only
+// the gauges.
+func WritePrometheus(w io.Writer, r *Registry, gauges []Gauge) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range Metrics() {
+		base, div := promName(m.String())
+		name := base + "_total"
+		fmt.Fprintf(bw, "# HELP %s BBC counter %s.\n", name, m.String())
+		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+		v := r.Get(m)
+		if div != 1 {
+			fmt.Fprintf(bw, "%s %s\n", name, promFloat(float64(v)/div))
+		} else {
+			fmt.Fprintf(bw, "%s %d\n", name, v)
+		}
+	}
+	for _, h := range HMetrics() {
+		base, div := promName(h.String())
+		snap := r.HistogramFor(h)
+		if snap.Bounds == nil {
+			snap.Bounds = histBounds[h]
+			snap.Counts = make([]int64, len(snap.Bounds)+1)
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", base, histHelp[h])
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", base)
+		var cum int64
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", base, promFloat(float64(bound)/div), cum)
+		}
+		cum += snap.Counts[len(snap.Bounds)]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", base, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", base, promFloat(float64(snap.Sum)/div))
+		fmt.Fprintf(bw, "%s_count %d\n", base, snap.Count)
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(bw, "# HELP %s %s\n", g.Name, g.Help)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", g.Name)
+		fmt.Fprintf(bw, "%s %s\n", g.Name, promFloat(g.Value))
+	}
+	return bw.Flush()
+}

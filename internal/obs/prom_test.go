@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// validatePromExposition walks the text exposition line by line and
+// enforces the v0.0.4 grammar this package emits: every sample is
+// preceded by HELP and TYPE comments for its family, histogram bucket
+// counts are cumulative and end at +Inf, and values parse as floats.
+func validatePromExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	helped := map[string]bool{}
+	family := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suf); ok && typed[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			helped[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, f[3])
+			}
+			if !helped[f[2]] {
+				t.Errorf("line %d: TYPE %s before its HELP", ln+1, f[2])
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment: %q", ln+1, line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: sample without value: %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: unparseable value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if b := strings.IndexByte(key, '{'); b >= 0 {
+			name = key[:b]
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+		}
+		if !strings.HasPrefix(name, "bbc_") {
+			t.Errorf("line %d: metric %q outside the bbc_ namespace", ln+1, name)
+		}
+		if typed[family(name)] == "" {
+			t.Errorf("line %d: sample %q has no TYPE", ln+1, name)
+		}
+		samples[key] = val
+	}
+	// Histogram family invariants: cumulative buckets ending at +Inf whose
+	// total matches _count.
+	for base, typ := range typed {
+		if typ != "histogram" {
+			continue
+		}
+		var sawInf bool
+		for key, val := range samples {
+			if !strings.HasPrefix(key, base+"_bucket{") {
+				continue
+			}
+			if strings.Contains(key, `le="+Inf"`) {
+				sawInf = true
+				if count := samples[base+"_count"]; val != count {
+					t.Errorf("%s: +Inf bucket %v != count %v", base, val, count)
+				}
+			}
+			if val > samples[base+"_count"] {
+				t.Errorf("%s: bucket %q = %v exceeds count", base, key, val)
+			}
+		}
+		if !sawInf {
+			t.Errorf("%s: histogram missing the +Inf bucket", base)
+		}
+		if _, ok := samples[base+"_sum"]; !ok {
+			t.Errorf("%s: histogram missing _sum", base)
+		}
+	}
+	return samples
+}
+
+// TestWritePrometheus validates the full exposition of a populated
+// registry plus gauges, including the nanosecond→seconds conversion.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Add(MProfilesChecked, 42)
+	r.Add(MOracleBuildNanos, 2_000_000_000) // 2s in the nanos counter
+	r.Observe(HProfileEval, 500)            // lands exactly on the 500ns bound
+	r.Observe(HProfileEval, 2_000_000_000)  // a 2s outlier
+	gauges := []Gauge{{Name: "bbc_jobs_queued", Help: "Queued jobs.", Value: 3}}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r, gauges); err != nil {
+		t.Fatal(err)
+	}
+	samples := validatePromExposition(t, buf.String())
+
+	if got := samples["bbc_core_profiles_checked_total"]; got != 42 {
+		t.Errorf("profiles_checked_total = %v, want 42", got)
+	}
+	// The _nanos counter converts to seconds.
+	if got := samples["bbc_oracle_build_seconds_total"]; got != 2 {
+		t.Errorf("oracle_build_seconds_total = %v, want 2", got)
+	}
+	// The _ns histogram converts its bounds to seconds too: the 500ns
+	// observation is inside le="5e-07" cumulatively.
+	if got := samples[`bbc_core_profile_eval_seconds_bucket{le="5e-07"}`]; got != 1 {
+		t.Errorf(`eval bucket le=5e-07 = %v, want 1`, got)
+	}
+	if got := samples["bbc_core_profile_eval_seconds_count"]; got != 2 {
+		t.Errorf("eval count = %v, want 2", got)
+	}
+	if got := samples["bbc_core_profile_eval_seconds_sum"]; got < 2 || got > 2.1 {
+		t.Errorf("eval sum = %v, want ≈2 seconds", got)
+	}
+	if got := samples["bbc_jobs_queued"]; got != 3 {
+		t.Errorf("gauge bbc_jobs_queued = %v, want 3", got)
+	}
+}
+
+// TestWritePrometheusEmpty pins series continuity: every defined counter
+// and histogram is exposed even on an untouched registry, and a nil
+// registry still writes a valid document.
+func TestWritePrometheusEmpty(t *testing.T) {
+	for _, r := range []*Registry{NewRegistry(), nil} {
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, r, nil); err != nil {
+			t.Fatal(err)
+		}
+		samples := validatePromExposition(t, buf.String())
+		for _, m := range Metrics() {
+			base, _ := promName(m.String())
+			if _, ok := samples[base+"_total"]; !ok {
+				t.Errorf("counter %s missing from empty exposition", base)
+			}
+		}
+		for _, h := range HMetrics() {
+			base, _ := promName(h.String())
+			if got := samples[base+"_count"]; got != 0 {
+				t.Errorf("histogram %s count = %v, want 0", base, got)
+			}
+			if got, ok := samples[base+`_bucket{le="+Inf"}`]; !ok || got != 0 {
+				t.Errorf("histogram %s +Inf bucket = %v (present %v), want 0", base, got, ok)
+			}
+		}
+	}
+}
+
+// TestPromName pins the name-mangling rules.
+func TestPromName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		div  float64
+	}{
+		{"graph.bfs", "bbc_graph_bfs", 1},
+		{"oracle.build_nanos", "bbc_oracle_build_seconds", 1e9},
+		{"core.profile_eval_ns", "bbc_core_profile_eval_seconds", 1e9},
+		{"serve.jobs_submitted", "bbc_serve_jobs_submitted", 1},
+	}
+	for _, c := range cases {
+		got, div := promName(c.in)
+		if got != c.want || div != c.div {
+			t.Errorf("promName(%q) = (%q, %v), want (%q, %v)", c.in, got, div, c.want, c.div)
+		}
+	}
+}
+
+// TestRuntimeGauges sanity-checks the process gauges.
+func TestRuntimeGauges(t *testing.T) {
+	gauges := RuntimeGauges(0)
+	names := map[string]bool{}
+	for _, g := range gauges {
+		names[g.Name] = true
+		if g.Help == "" {
+			t.Errorf("gauge %s has no help", g.Name)
+		}
+	}
+	for _, want := range []string{"bbc_goroutines", "bbc_heap_alloc_bytes", "bbc_heap_sys_bytes", "bbc_gc_cycles"} {
+		if !names[want] {
+			t.Errorf("RuntimeGauges missing %s", want)
+		}
+	}
+	if names["bbc_uptime_seconds"] {
+		t.Error("uptime gauge present with uptime 0")
+	}
+	found := false
+	for _, g := range RuntimeGauges(1e9) {
+		if g.Name == "bbc_uptime_seconds" {
+			found = true
+			if g.Value != 1 {
+				t.Errorf("uptime = %v, want 1", g.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("uptime gauge missing with uptime 1s")
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+)
+
+// runID is the per-process run identifier, generated lazily on first use.
+var (
+	runIDOnce sync.Once
+	runID     string
+)
+
+// RunID returns the per-process run identifier: 16 hex characters drawn
+// from crypto/rand at first use. Every journal record, exported span and
+// serve job view is stamped with it, so logs from different processes —
+// a CLI run, its resumed continuation, a service and its clients — can be
+// correlated after the fact.
+func RunID() string {
+	runIDOnce.Do(func() {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand failing is effectively fatal elsewhere; here a
+			// constant fallback keeps telemetry usable rather than panicking.
+			runID = "0000000000000000"
+			return
+		}
+		runID = hex.EncodeToString(b[:])
+	})
+	return runID
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRec is one recorded span: a named interval on a track, relative to
+// the tracer's epoch. Records are plain data so the ring buffer reuses
+// slots without allocation.
+type SpanRec struct {
+	// Name is the span's event name ("enum.partition", "oracle.build", ...).
+	Name string
+	// Track separates concurrent timelines in the exported trace (worker
+	// index, 0 for the main line of execution). It maps to the Chrome
+	// trace "tid".
+	Track int
+	// StartNS and DurNS position the span in nanoseconds since the
+	// tracer's epoch.
+	StartNS int64
+	DurNS   int64
+	// Instant marks a zero-duration point event ("job.checkpoint").
+	Instant bool
+	// ArgName/Arg carry one optional integer annotation ("checked", 123).
+	ArgName string
+	Arg     int64
+}
+
+// DefaultTraceCap is the ring capacity used when NewTracer is given 0.
+const DefaultTraceCap = 1 << 16
+
+// Tracer records spans into a bounded ring buffer. Like the counter
+// Registry it is nil-safe and off by default: a nil *Tracer hands out
+// inert Spans without reading the clock, so instrumented hot paths pay a
+// single pointer test when tracing is off. When the ring fills, the
+// oldest spans are overwritten and counted as dropped — a trace is a
+// diagnostic window, not an unbounded log.
+type Tracer struct {
+	epoch time.Time
+
+	mu   sync.Mutex
+	ring []SpanRec
+	next uint64 // total spans recorded; ring slot = next % cap
+}
+
+// NewTracer returns a tracer with the given ring capacity (0 =
+// DefaultTraceCap). The epoch is the call time; span timestamps are
+// relative to it.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{epoch: time.Now(), ring: make([]SpanRec, 0, capacity)}
+}
+
+// Span is an in-progress interval handed out by StartSpan. The zero Span
+// (from a nil tracer) is inert: End and EndInt are no-ops. Spans are
+// values — they live on the caller's stack and never escape.
+type Span struct {
+	t     *Tracer
+	name  string
+	t0    time.Time
+	track int
+}
+
+// StartSpan begins a span on track 0. On a nil tracer no clock is read
+// and the returned Span is inert.
+func (t *Tracer) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, t0: time.Now()}
+}
+
+// OnTrack returns the span relocated to the given track. Call it before
+// End; it is chainable on the StartSpan result.
+func (s Span) OnTrack(track int) Span {
+	s.track = track
+	return s
+}
+
+// End records the span with no annotation.
+func (s Span) End() { s.end("", 0) }
+
+// EndInt records the span with one integer annotation, e.g.
+// EndInt("checked", 1234).
+func (s Span) EndInt(argName string, arg int64) { s.end(argName, arg) }
+
+func (s Span) end(argName string, arg int64) {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	s.t.record(SpanRec{
+		Name:    s.name,
+		Track:   s.track,
+		StartNS: s.t0.Sub(s.t.epoch).Nanoseconds(),
+		DurNS:   now.Sub(s.t0).Nanoseconds(),
+		ArgName: argName,
+		Arg:     arg,
+	})
+}
+
+// RecordSpan records an explicit interval — a lifecycle phase whose
+// boundaries were observed elsewhere (e.g. a serve job's queued span,
+// delimited by its submit and start times). argName "" means no
+// annotation. No-op on a nil tracer or a zero start.
+func (t *Tracer) RecordSpan(name string, track int, start, end time.Time, argName string, arg int64) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.record(SpanRec{
+		Name:    name,
+		Track:   track,
+		StartNS: start.Sub(t.epoch).Nanoseconds(),
+		DurNS:   end.Sub(start).Nanoseconds(),
+		ArgName: argName,
+		Arg:     arg,
+	})
+}
+
+// Instant records a zero-duration point event at the current time.
+// No-op on a nil tracer.
+func (t *Tracer) Instant(name string, track int, argName string, arg int64) {
+	if t == nil {
+		return
+	}
+	t.record(SpanRec{
+		Name:    name,
+		Track:   track,
+		StartNS: time.Since(t.epoch).Nanoseconds(),
+		Instant: true,
+		ArgName: argName,
+		Arg:     arg,
+	})
+}
+
+func (t *Tracer) record(rec SpanRec) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next%uint64(cap(t.ring))] = rec
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Recorded returns the total number of spans recorded, including any
+// overwritten by ring wraparound.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Dropped returns how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next <= uint64(cap(t.ring)) {
+		return 0
+	}
+	return t.next - uint64(cap(t.ring))
+}
+
+// Spans returns the surviving spans oldest-first.
+func (t *Tracer) Spans() []SpanRec {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next <= uint64(cap(t.ring)) {
+		return append([]SpanRec(nil), t.ring...)
+	}
+	head := int(t.next % uint64(cap(t.ring)))
+	out := make([]SpanRec, 0, len(t.ring))
+	out = append(out, t.ring[head:]...)
+	out = append(out, t.ring[:head]...)
+	return out
+}
+
+// WriteChromeTrace writes the recorded spans as Chrome trace-event JSON
+// (the format chrome://tracing and Perfetto load): one "X" complete
+// event per span, "i" instant events for point records, with timestamps
+// in microseconds. The run id rides in every event's args and in the
+// trace-level otherData, so traces from different processes correlate.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	spans := t.Spans()
+
+	events := make([]map[string]any, 0, len(spans)+8)
+	events = append(events, map[string]any{
+		"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+		"args": map[string]any{"name": "bbc run " + RunID()},
+	})
+	tracks := map[int]bool{}
+	for _, sp := range spans {
+		tracks[sp.Track] = true
+	}
+	ids := make([]int, 0, len(tracks))
+	for id := range tracks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		name := "main"
+		if id != 0 {
+			name = fmt.Sprintf("worker-%d", id)
+		}
+		events = append(events, map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": id,
+			"args": map[string]any{"name": name},
+		})
+	}
+	for _, sp := range spans {
+		args := map[string]any{"run_id": RunID()}
+		if sp.ArgName != "" {
+			args[sp.ArgName] = sp.Arg
+		}
+		ev := map[string]any{
+			"name": sp.Name,
+			"pid":  1,
+			"tid":  sp.Track,
+			"ts":   float64(sp.StartNS) / 1e3,
+			"args": args,
+		}
+		if sp.Instant {
+			ev["ph"] = "i"
+			ev["s"] = "t"
+		} else {
+			ev["ph"] = "X"
+			ev["dur"] = float64(sp.DurNS) / 1e3
+		}
+		events = append(events, ev)
+	}
+	doc := map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]any{
+			"run_id":   RunID(),
+			"recorded": t.Recorded(),
+			"dropped":  t.Dropped(),
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteChromeTraceFile writes the trace to path, creating or truncating
+// it. A nil tracer writes an empty (but valid) trace.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create trace file: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: close trace file: %w", err)
+	}
+	return nil
+}
+
+// globalTracer holds the process-wide tracer; nil means tracing off.
+var globalTracer atomic.Pointer[Tracer]
+
+// Trace returns the installed process-wide tracer, or nil when tracing
+// is off. Library hot paths read it once per operation; the nil-safe
+// Span API makes the off state a pointer test.
+func Trace() *Tracer { return globalTracer.Load() }
+
+// SetTracer installs t as the process-wide tracer (nil turns tracing
+// off) and returns the previous tracer so tests can restore it.
+func SetTracer(t *Tracer) *Tracer {
+	return globalTracer.Swap(t)
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerInert pins the off-state contract: every method on a nil
+// tracer (and the inert Span it hands out) is a no-op, and the exported
+// trace is still valid JSON.
+func TestNilTracerInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x").OnTrack(3)
+	sp.End()
+	sp.EndInt("n", 1)
+	tr.RecordSpan("x", 0, time.Now(), time.Now(), "", 0)
+	tr.Instant("x", 0, "", 0)
+	if tr.Recorded() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer should report nothing recorded")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-tracer trace is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("nil-tracer trace lacks traceEvents")
+	}
+}
+
+// TestInertSpanNoClock pins that the zero Span really is the zero value:
+// a nil tracer must not read the clock on StartSpan.
+func TestInertSpanNoClock(t *testing.T) {
+	var tr *Tracer
+	if sp := tr.StartSpan("x"); !sp.t0.IsZero() {
+		t.Fatal("nil tracer read the clock")
+	}
+}
+
+// TestTracerRingWraparound pins the bounded-window semantics: the ring
+// keeps the newest capacity spans, counts the rest as dropped, and
+// Spans returns survivors oldest-first.
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		tr.StartSpan(n).End()
+	}
+	if got := tr.Recorded(); got != 6 {
+		t.Fatalf("Recorded = %d, want 6", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("len(Spans) = %d, want 4", len(spans))
+	}
+	for i, want := range []string{"c", "d", "e", "f"} {
+		if spans[i].Name != want {
+			t.Errorf("spans[%d].Name = %q, want %q (oldest-first order)", i, spans[i].Name, want)
+		}
+	}
+}
+
+// TestTracerConcurrentRecord exercises the ring under contention; the
+// race detector is the assertion.
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(track int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.StartSpan("work").OnTrack(track).EndInt("i", int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != 800 {
+		t.Fatalf("Recorded = %d, want 800", got)
+	}
+}
+
+// TestWriteChromeTrace validates the exported document shape against
+// what Perfetto / chrome://tracing require: metadata events naming the
+// process and each track, "X" complete events with µs ts/dur, "i"
+// instants with scope "t", and the run id in args and otherData.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	tr.RecordSpan("enum.partition", 1, tr.epoch.Add(time.Microsecond), tr.epoch.Add(5*time.Microsecond), "part", 7)
+	tr.RecordSpan("oracle.build", 0, tr.epoch, tr.epoch.Add(2*time.Microsecond), "", 0)
+	tr.Instant("job.checkpoint", 0, "checked", 1234)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.OtherData["run_id"] != RunID() {
+		t.Errorf("otherData.run_id = %v, want %q", doc.OtherData["run_id"], RunID())
+	}
+	if doc.OtherData["recorded"].(float64) != 3 || doc.OtherData["dropped"].(float64) != 0 {
+		t.Errorf("otherData counters = %v/%v, want 3/0", doc.OtherData["recorded"], doc.OtherData["dropped"])
+	}
+
+	byName := map[string]map[string]any{}
+	var threadNames []string
+	for _, ev := range doc.TraceEvents {
+		name := ev["name"].(string)
+		if ev["ph"] == "M" {
+			if name == "thread_name" {
+				threadNames = append(threadNames, ev["args"].(map[string]any)["name"].(string))
+			}
+			continue
+		}
+		byName[name] = ev
+		if got := ev["args"].(map[string]any)["run_id"]; got != RunID() {
+			t.Errorf("event %s args.run_id = %v, want %q", name, got, RunID())
+		}
+	}
+	if got := strings.Join(threadNames, ","); got != "main,worker-1" {
+		t.Errorf("thread names = %q, want %q", got, "main,worker-1")
+	}
+
+	part := byName["enum.partition"]
+	if part["ph"] != "X" {
+		t.Fatalf("enum.partition ph = %v, want X", part["ph"])
+	}
+	if ts := part["ts"].(float64); ts != 1 {
+		t.Errorf("enum.partition ts = %v µs, want 1", ts)
+	}
+	if dur := part["dur"].(float64); dur != 4 {
+		t.Errorf("enum.partition dur = %v µs, want 4", dur)
+	}
+	if got := part["args"].(map[string]any)["part"].(float64); got != 7 {
+		t.Errorf("enum.partition args.part = %v, want 7", got)
+	}
+	if part["tid"].(float64) != 1 {
+		t.Errorf("enum.partition tid = %v, want 1", part["tid"])
+	}
+
+	inst := byName["job.checkpoint"]
+	if inst["ph"] != "i" || inst["s"] != "t" {
+		t.Fatalf("instant event ph/s = %v/%v, want i/t", inst["ph"], inst["s"])
+	}
+	if _, hasDur := inst["dur"]; hasDur {
+		t.Error("instant event should not carry dur")
+	}
+	if got := inst["args"].(map[string]any)["checked"].(float64); got != 1234 {
+		t.Errorf("instant args.checked = %v, want 1234", got)
+	}
+}
+
+// TestSetTracer pins the global install/uninstall contract used by the
+// CLI runtime: SetTracer swaps atomically and returns the previous
+// tracer for restoration.
+func TestSetTracer(t *testing.T) {
+	tr := NewTracer(8)
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+	if Trace() != tr {
+		t.Fatal("Trace() did not return the installed tracer")
+	}
+	if got := SetTracer(nil); got != tr {
+		t.Fatal("SetTracer did not return the previous tracer")
+	}
+	if Trace() != nil {
+		t.Fatal("Trace() should be nil after uninstall")
+	}
+	SetTracer(prev)
+}
+
+// TestRecordSpanZeroStart pins that lifecycle spans with an unobserved
+// start (zero time) are silently skipped rather than exported with a
+// nonsense timestamp.
+func TestRecordSpanZeroStart(t *testing.T) {
+	tr := NewTracer(8)
+	tr.RecordSpan("job.queued", 0, time.Time{}, time.Now(), "", 0)
+	if got := tr.Recorded(); got != 0 {
+		t.Fatalf("Recorded = %d, want 0 for zero start", got)
+	}
+}

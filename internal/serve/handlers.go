@@ -5,8 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
+
+	"bbc/internal/obs"
 )
 
 // maxRequestBody bounds a submission document; the largest legitimate
@@ -15,24 +21,38 @@ const maxRequestBody = 8 << 20
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs       submit a job (202 accepted, 200 dedup hit,
-//	                      400 invalid, 429 queue full, 503 draining)
-//	GET    /v1/jobs       list retained jobs
-//	GET    /v1/jobs/{id}  poll one job
-//	DELETE /v1/jobs/{id}  cancel: queued jobs are rejected, running jobs
-//	                      stop with run status "cancelled" (and a final
-//	                      checkpoint when persistence is on)
-//	GET    /metrics       counter-registry snapshot plus job gauges
-//	GET    /healthz       200 ok / 503 draining
+//	POST   /v1/jobs             submit a job (202 accepted, 200 dedup hit,
+//	                            400 invalid, 429 queue full, 503 draining)
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        poll one job
+//	GET    /v1/jobs/{id}/events SSE stream: replay the job's journal, then
+//	                            live-tail it until the job is terminal
+//	DELETE /v1/jobs/{id}        cancel: queued jobs are rejected, running
+//	                            jobs stop with run status "cancelled" (and
+//	                            a final checkpoint when persistence is on)
+//	GET    /metrics             JSON snapshot by default; Prometheus text
+//	                            exposition via Accept: text/plain or
+//	                            ?format=prometheus
+//	GET    /healthz             200 ok / 503 draining
+//	GET    /buildinfo           go version, VCS revision, run id, uptime
+//
+// Every request's wall time is observed into the serve.http_request_ns
+// histogram.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		mux.ServeHTTP(w, r)
+		s.reg.Observe(obs.HServeHTTP, time.Since(t0).Nanoseconds())
+	})
 }
 
 // submitResponse wraps the job view with how the submission was routed.
@@ -105,13 +125,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, view)
 }
 
-// Metrics is the /metrics document: the counter-registry snapshot plus
-// job-state gauges, the machine-readable face of the obs layer.
+// Metrics is the /metrics document: the counter-registry snapshot,
+// latency/work histograms with quantiles, job-state gauges and process
+// runtime gauges — the machine-readable face of the obs layer.
 type Metrics struct {
-	UptimeMS float64          `json:"uptime_ms"`
-	Draining bool             `json:"draining"`
-	Counters map[string]int64 `json:"counters"`
-	Jobs     JobGauges        `json:"jobs"`
+	RunID      string                   `json:"run_id"`
+	UptimeMS   float64                  `json:"uptime_ms"`
+	Draining   bool                     `json:"draining"`
+	Counters   map[string]int64         `json:"counters"`
+	Histograms map[string]obs.Histogram `json:"histograms,omitempty"`
+	Jobs       JobGauges                `json:"jobs"`
+	Runtime    RuntimeStats             `json:"runtime"`
 }
 
 // JobGauges counts retained jobs by state.
@@ -122,14 +146,23 @@ type JobGauges struct {
 	Rejected int `json:"rejected"`
 }
 
+// RuntimeStats are the process gauges exposed alongside the counters.
+type RuntimeStats struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	GCCycles       uint32 `json:"gc_cycles"`
+}
+
 // Snapshot assembles the current Metrics document.
 func (s *Server) Snapshot() *Metrics {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	m := &Metrics{
-		UptimeMS: float64(time.Since(s.start).Microseconds()) / 1000,
-		Draining: s.draining,
-		Counters: s.reg.Snapshot(),
+		RunID:      obs.RunID(),
+		UptimeMS:   float64(time.Since(s.start).Microseconds()) / 1000,
+		Draining:   s.draining,
+		Counters:   s.reg.Snapshot(),
+		Histograms: s.reg.HistSnapshot(),
 	}
 	if m.Counters == nil {
 		m.Counters = map[string]int64{}
@@ -146,11 +179,90 @@ func (s *Server) Snapshot() *Metrics {
 			m.Jobs.Rejected++
 		}
 	}
+	s.mu.Unlock()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Runtime = RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		GCCycles:       ms.NumGC,
+	}
 	return m
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Snapshot())
+// wantsPrometheus decides the /metrics representation: JSON stays the
+// default (and is forced by ?format=json); Prometheus text exposition is
+// selected by ?format=prometheus or an Accept header asking for
+// text/plain or OpenMetrics — which is exactly what a Prometheus scraper
+// sends.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !wantsPrometheus(r) {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+		return
+	}
+	m := s.Snapshot()
+	draining := 0.0
+	if m.Draining {
+		draining = 1
+	}
+	gauges := append(obs.RuntimeGauges(time.Since(s.start)),
+		obs.Gauge{Name: "bbc_draining", Help: "1 while the server drains.", Value: draining},
+		obs.Gauge{Name: "bbc_jobs_queued", Help: "Retained jobs in state queued.", Value: float64(m.Jobs.Queued)},
+		obs.Gauge{Name: "bbc_jobs_running", Help: "Retained jobs in state running.", Value: float64(m.Jobs.Running)},
+		obs.Gauge{Name: "bbc_jobs_done", Help: "Retained jobs in state done.", Value: float64(m.Jobs.Done)},
+		obs.Gauge{Name: "bbc_jobs_rejected", Help: "Retained jobs in state rejected.", Value: float64(m.Jobs.Rejected)},
+	)
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = obs.WritePrometheus(w, s.reg, gauges)
+}
+
+// BuildInfo is the /buildinfo document: enough to answer "what exactly
+// is running here" — toolchain, VCS revision, run id, process vitals.
+type BuildInfo struct {
+	RunID       string  `json:"run_id"`
+	GoVersion   string  `json:"go_version"`
+	Module      string  `json:"module,omitempty"`
+	VCSRevision string  `json:"vcs_revision,omitempty"`
+	VCSTime     string  `json:"vcs_time,omitempty"`
+	VCSModified bool    `json:"vcs_modified,omitempty"`
+	PID         int     `json:"pid"`
+	UptimeMS    float64 `json:"uptime_ms"`
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
+	info := BuildInfo{
+		RunID:     obs.RunID(),
+		GoVersion: runtime.Version(),
+		PID:       os.Getpid(),
+		UptimeMS:  float64(time.Since(s.start).Microseconds()) / 1000,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				info.VCSRevision = kv.Value
+			case "vcs.time":
+				info.VCSTime = kv.Value
+			case "vcs.modified":
+				info.VCSModified = kv.Value == "true"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -9,6 +9,7 @@ import (
 
 	"bbc/internal/core"
 	"bbc/internal/exper"
+	"bbc/internal/obs"
 	"bbc/internal/runctl"
 )
 
@@ -92,6 +93,7 @@ type Job struct {
 type View struct {
 	ID        string `json:"id"`
 	Key       string `json:"key"`
+	RunID     string `json:"run_id"`
 	Mode      string `json:"mode"`
 	State     string `json:"state"`
 	RunStatus string `json:"run_status,omitempty"` // terminal done jobs only
@@ -117,6 +119,7 @@ func (j *Job) view(epoch time.Time) *View {
 	v := &View{
 		ID:           j.ID,
 		Key:          j.Key,
+		RunID:        obs.RunID(),
 		Mode:         j.Req.Mode,
 		State:        j.state,
 		Complete:     j.complete,

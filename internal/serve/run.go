@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"bbc/internal/core"
 	"bbc/internal/dynamics"
@@ -59,6 +60,7 @@ func (s *Server) runJob(ctx context.Context, job *Job) {
 	jj := s.jobJournal(job)
 	jj.Event("job", map[string]any{"id": job.ID, "key": job.Key, "mode": job.Req.Mode})
 	s.reg.Inc(obs.MServeSolves)
+	stopProgress := s.startProgress(job, jj)
 
 	var (
 		result any
@@ -75,6 +77,7 @@ func (s *Server) runJob(ctx context.Context, job *Job) {
 	default:
 		err = fmt.Errorf("serve: unhandled mode %q", job.Req.Mode)
 	}
+	stopProgress()
 
 	s.mu.Lock()
 	job.state = StateDone
@@ -84,11 +87,13 @@ func (s *Server) runJob(ctx context.Context, job *Job) {
 	if err != nil {
 		job.errMsg = err.Error()
 	}
-	s.finishLocked(job)
 	view := job.view(s.start)
 	s.mu.Unlock()
 
 	s.reg.Inc(obs.MServeCompleted)
+	// The job journal is finished and closed before finishLocked marks the
+	// job terminal: an SSE tail woken by job.done then always finds the
+	// final run_status record already on disk.
 	jj.RunStatus(status.String(), view.Complete, map[string]any{
 		"id": job.ID, "mode": job.Req.Mode, "resumable": view.Resumable,
 	})
@@ -99,6 +104,40 @@ func (s *Server) runJob(ctx context.Context, job *Job) {
 		"id": job.ID, "status": status.String(), "complete": view.Complete,
 		"resumable": view.Resumable, "error": view.Error,
 	})
+
+	s.mu.Lock()
+	s.finishLocked(job)
+	s.mu.Unlock()
+}
+
+// startProgress journals a throttled "progress" record (live counters
+// ride in the snapshot every record carries) while the job runs, so SSE
+// watchers see movement between checkpoints. The returned stop function
+// must be called before the journal's final records are written. A nil
+// journal starts nothing.
+func (s *Server) startProgress(job *Job, jj *obs.Journal) func() {
+	if jj == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		tick := time.NewTicker(s.cfg.progressEvery())
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				jj.Event("progress", map[string]any{"id": job.ID, "state": StateRunning})
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-idle
+	}
 }
 
 // runEnumerate executes an exhaustive pure-NE scan with checkpoint
@@ -157,6 +196,7 @@ func (s *Server) runEnumerate(ctx context.Context, job *Job, jj *obs.Journal) (a
 			jj.Event("checkpoint_error", map[string]any{"path": ckptPath, "error": serr.Error()})
 			return
 		}
+		obs.Trace().Instant("job.checkpoint", 0, "checked", int64(cp.Checked))
 		jj.Checkpoint(ckptPath, enumCheckpointKind, map[string]any{"checked": cp.Checked})
 	}
 

@@ -56,6 +56,10 @@ type Config struct {
 	// CheckpointEvery is the serial-scan checkpoint period in profiles
 	// (0 = core default, 1<<20).
 	CheckpointEvery uint64
+	// ProgressEvery is the period at which a running job appends a
+	// "progress" record (live counters) to its journal for SSE watchers
+	// (0 = 1s). Only meaningful with a DataDir.
+	ProgressEvery time.Duration
 	// RetryAfter is the hint attached to refused submissions and
 	// drain-rejected jobs (0 = 5s).
 	RetryAfter time.Duration
@@ -104,6 +108,13 @@ func (c Config) retryAfter() time.Duration {
 		return c.RetryAfter
 	}
 	return 5 * time.Second
+}
+
+func (c Config) progressEvery() time.Duration {
+	if c.ProgressEvery > 0 {
+		return c.ProgressEvery
+	}
+	return time.Second
 }
 
 // Server is the batch-solve job service. Create with New, mount
@@ -190,9 +201,14 @@ func (s *Server) worker() {
 		jctx, jcancel := context.WithCancel(jctx)
 		job.cancel = func() { jcancel(); cancel() }
 		s.mu.Unlock()
+		s.reg.Observe(obs.HServeQueueWait, job.started.Sub(job.submitted).Nanoseconds())
+		tr := obs.Trace()
+		tr.RecordSpan("job.queued", 0, job.submitted, job.started, "", 0)
 		s.cfg.Journal.Event("job_started", map[string]any{"id": job.ID, "mode": job.Req.Mode})
 
+		sp := tr.StartSpan("job.run")
 		s.runJob(jctx, job)
+		sp.End()
 		job.cancel()
 	}
 }
@@ -442,13 +458,22 @@ func (s *Server) checkpointPath(job *Job) string {
 	return filepath.Join(s.cfg.DataDir, job.Key+".ckpt")
 }
 
+// jobJournalPath is where a job's JSONL journal lives ("" when DataDir
+// is off). The SSE event stream tails this file.
+func (s *Server) jobJournalPath(job *Job) string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.DataDir, job.ID+".jsonl")
+}
+
 // jobJournal opens the per-job JSONL journal (nil when DataDir is off —
 // obs journals are nil-safe).
 func (s *Server) jobJournal(job *Job) *obs.Journal {
-	if s.cfg.DataDir == "" {
+	path := s.jobJournalPath(job)
+	if path == "" {
 		return nil
 	}
-	path := filepath.Join(s.cfg.DataDir, job.ID+".jsonl")
 	j, err := obs.OpenJournal(path, s.reg)
 	if err != nil {
 		s.cfg.Journal.Event("job_journal_error", map[string]any{"id": job.ID, "error": err.Error()})

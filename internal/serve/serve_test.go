@@ -515,6 +515,97 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 }
 
+// TestMetricsNegotiationAndBuildInfo pins the /metrics representations
+// — JSON by default, Prometheus text exposition for scrapers — and the
+// /buildinfo identity document.
+func TestMetricsNegotiationAndBuildInfo(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: uniformGame(3, 1)})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("submit: outcome=%v err=%v", outcome, err)
+	}
+	waitState(t, s, v.ID, StateDone)
+
+	// One completed HTTP request before the snapshot, so the
+	// request-duration histogram has something to show (a request's own
+	// wall time is observed after its response is written).
+	if res, err := http.Get(ts.URL + "/healthz"); err == nil {
+		res.Body.Close()
+	}
+
+	// Default (no Accept) stays JSON — existing clients depend on it.
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	if err := json.NewDecoder(res.Body).Decode(&m); err != nil {
+		t.Fatalf("default /metrics is not JSON: %v", err)
+	}
+	res.Body.Close()
+	if m.RunID != obs.RunID() || m.Jobs.Done != 1 || m.Runtime.Goroutines <= 0 {
+		t.Errorf("metrics document: %+v", m)
+	}
+	if m.Histograms["serve.queue_wait_ns"].Count != 1 {
+		t.Errorf("queue-wait histogram count = %d, want 1", m.Histograms["serve.queue_wait_ns"].Count)
+	}
+	if m.Histograms["serve.http_request_ns"].Count == 0 {
+		t.Error("http-request histogram empty after requests were served")
+	}
+
+	// A Prometheus scraper's Accept header selects text exposition.
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	res, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(res.Body)
+	res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("prometheus Content-Type = %q", ct)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE bbc_serve_jobs_completed_total counter",
+		"# TYPE bbc_serve_queue_wait_seconds histogram",
+		`bbc_serve_queue_wait_seconds_bucket{le="+Inf"} 1`,
+		"bbc_jobs_done 1",
+		"bbc_goroutines ",
+		"bbc_uptime_seconds ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+	// ?format=prometheus works without an Accept header (curl-friendly),
+	// and ?format=json forces JSON even with a scraper Accept.
+	if res, err = http.Get(ts.URL + "/metrics?format=prometheus"); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("?format=prometheus Content-Type = %q", ct)
+	}
+
+	res, err = http.Get(ts.URL + "/buildinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bi BuildInfo
+	if err := json.NewDecoder(res.Body).Decode(&bi); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if bi.RunID != obs.RunID() || !strings.HasPrefix(bi.GoVersion, "go") || bi.PID <= 0 {
+		t.Errorf("buildinfo document: %+v", bi)
+	}
+}
+
 // loadCheckpointChecked loads an enumeration checkpoint and returns its
 // cumulative checked count.
 func loadCheckpointChecked(t *testing.T, path string) uint64 {

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"bbc/internal/obs"
+)
+
+// ssePollEvery is how often the event stream re-reads the job journal
+// for appended records while the job runs. The journal writer flushes
+// one complete line per record, so polling the file is race-free: a
+// torn tail is simply an incomplete line that parses on the next poll.
+const ssePollEvery = 150 * time.Millisecond
+
+// sseKeepaliveEvery bounds the silent stretch before a comment line is
+// written so idle proxies do not reap the connection.
+const sseKeepaliveEvery = 15 * time.Second
+
+// handleEvents streams a job's journal as Server-Sent Events: every
+// already-written record is replayed (event = record type, id = seq,
+// data = the record's JSON), then the file is live-tailed until the job
+// reaches a terminal state, at which point the remaining records are
+// drained and a final "done" event carries the job view. A client
+// reconnecting with Last-Event-ID resumes after the record it last saw.
+//
+// The stream is file-backed, so it requires the server to run with a
+// DataDir; without one there is no journal to stream and the request is
+// answered 409.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.byID[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job id (completed jobs are evicted after the retention bound)"})
+		return
+	}
+	if s.cfg.DataDir == "" {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "event streaming requires per-job journals; start the server with a data dir"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "response writer does not support streaming"})
+		return
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	lastSeq := int64(-1)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			lastSeq = n
+		}
+	}
+
+	path := s.jobJournalPath(job)
+	var (
+		f       *os.File // kept open across polls; reads continue at the write frontier
+		pending []byte   // bytes read but not yet terminated by a newline
+	)
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+
+	// emit drains everything currently readable and forwards the complete
+	// records newer than lastSeq, reporting whether anything was written.
+	emit := func() bool {
+		if f == nil {
+			var err error
+			if f, err = os.Open(path); err != nil {
+				return false // queued job: the journal appears when the job starts
+			}
+		}
+		for {
+			chunk := make([]byte, 32<<10)
+			n, err := f.Read(chunk)
+			if n > 0 {
+				pending = append(pending, chunk[:n]...)
+			}
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		wrote := false
+		for {
+			nl := bytes.IndexByte(pending, '\n')
+			if nl < 0 {
+				break
+			}
+			line := pending[:nl]
+			pending = pending[nl+1:]
+			var rec obs.Record
+			if json.Unmarshal(line, &rec) != nil {
+				continue // malformed line: skip rather than wedge the stream
+			}
+			if rec.Seq <= lastSeq {
+				continue // replayed after a reconnect; the client has it
+			}
+			lastSeq = rec.Seq
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", rec.Type, rec.Seq, line)
+			wrote = true
+		}
+		if wrote {
+			fl.Flush()
+		}
+		return wrote
+	}
+
+	ticker := time.NewTicker(ssePollEvery)
+	defer ticker.Stop()
+	lastWrite := time.Now()
+	for {
+		if emit() {
+			lastWrite = time.Now()
+		}
+		select {
+		case <-job.done:
+			// The job journal is closed before the done channel fires, so
+			// one more drain reads every remaining record including the
+			// final run_status.
+			emit()
+			s.mu.Lock()
+			view := job.view(s.start)
+			s.mu.Unlock()
+			payload, err := json.Marshal(view)
+			if err != nil {
+				payload = []byte("{}")
+			}
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", payload)
+			fl.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if time.Since(lastWrite) >= sseKeepaliveEvery {
+				fmt.Fprint(w, ": keepalive\n\n")
+				fl.Flush()
+				lastWrite = time.Now()
+			}
+		}
+	}
+}

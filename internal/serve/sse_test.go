@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	Type string
+	ID   int64
+	Data string
+}
+
+// readSSE parses events off the stream one at a time. It returns false
+// on stream end.
+func readSSE(sc *bufio.Scanner) (sseEvent, bool) {
+	ev := sseEvent{ID: -1}
+	seen := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if seen {
+				return ev, true
+			}
+		case strings.HasPrefix(line, ":"):
+			// keepalive comment
+		case strings.HasPrefix(line, "event: "):
+			ev.Type, seen = strings.TrimPrefix(line, "event: "), true
+		case strings.HasPrefix(line, "id: "):
+			ev.ID, _ = strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+			seen = true
+		case strings.HasPrefix(line, "data: "):
+			ev.Data, seen = strings.TrimPrefix(line, "data: "), true
+		}
+	}
+	return ev, false
+}
+
+// TestEventsReplayThenLive is the SSE contract end to end: a watcher
+// attaching to a running job first replays the journal records written
+// so far, then receives live progress records as they are appended, and
+// after cancellation sees the final run_status before the terminating
+// "done" event carrying the job view.
+func TestEventsReplayThenLive(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newTestServer(t, Config{Workers: 1, DataDir: dir, ProgressEvery: 10 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v := submitSlow(t, s, 0)
+	waitState(t, s, v.ID, StateRunning)
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("events: status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events: Content-Type %q", ct)
+	}
+
+	sc := bufio.NewScanner(res.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+
+	var (
+		types     []string
+		lastSeq   = int64(-1)
+		cancelled = false
+		doneData  string
+	)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ev, ok := readSSE(sc)
+		if !ok {
+			break
+		}
+		types = append(types, ev.Type)
+		if ev.ID >= 0 {
+			if ev.ID <= lastSeq {
+				t.Fatalf("event ids not increasing: %d after %d", ev.ID, lastSeq)
+			}
+			lastSeq = ev.ID
+		}
+		// Cancel only after a live progress record proves tailing works;
+		// everything before the subscribe time was replay.
+		if ev.Type == "progress" && !cancelled {
+			if _, ok := s.Cancel(v.ID); !ok {
+				t.Fatal("cancel failed")
+			}
+			cancelled = true
+		}
+		if ev.Type == "done" {
+			doneData = ev.Data
+			break
+		}
+	}
+	if doneData == "" {
+		t.Fatalf("stream ended without a done event; saw %v", types)
+	}
+
+	joined := strings.Join(types, ",")
+	if !strings.Contains(joined, "job") {
+		t.Errorf("replay missing the job record: %v", types)
+	}
+	if !strings.Contains(joined, "progress") {
+		t.Errorf("no live progress record seen: %v", types)
+	}
+	if !strings.HasSuffix(joined, "run_status,done") {
+		t.Errorf("stream should end run_status then done, got %v", types)
+	}
+
+	var view View
+	if err := json.Unmarshal([]byte(doneData), &view); err != nil {
+		t.Fatalf("done payload: %v", err)
+	}
+	if view.ID != v.ID || view.State != StateDone || view.RunStatus != "cancelled" {
+		t.Errorf("done view = %+v, want id=%s state=done run_status=cancelled", view, v.ID)
+	}
+	if view.RunID == "" {
+		t.Error("done view missing run_id")
+	}
+}
+
+// TestEventsReplayTerminalJob pins pure replay: attaching to an
+// already-finished job streams the whole journal then "done"
+// immediately, no tailing involved.
+func TestEventsReplayTerminalJob(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: uniformGame(3, 1)})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("submit: outcome=%v err=%v", outcome, err)
+	}
+	waitState(t, s, v.ID, StateDone)
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	sc := bufio.NewScanner(res.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+
+	var types []string
+	for {
+		ev, ok := readSSE(sc)
+		if !ok {
+			t.Fatalf("stream ended early; saw %v", types)
+		}
+		types = append(types, ev.Type)
+		if ev.Type == "done" {
+			break
+		}
+	}
+	joined := strings.Join(types, ",")
+	if !strings.HasPrefix(joined, "job") {
+		t.Errorf("replay should start with the job record: %v", types)
+	}
+	if !strings.HasSuffix(joined, "run_status,done") {
+		t.Errorf("replay should end run_status then done: %v", types)
+	}
+}
+
+// TestEventsResumeAfterLastEventID pins the reconnect contract: a client
+// presenting Last-Event-ID only receives records with later sequence
+// numbers.
+func TestEventsResumeAfterLastEventID(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: uniformGame(3, 1)})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("submit: outcome=%v err=%v", outcome, err)
+	}
+	waitState(t, s, v.ID, StateDone)
+
+	// First pass: read everything, note the final sequence number.
+	first, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(first.Body)
+	lastSeq := int64(-1)
+	for {
+		ev, ok := readSSE(sc)
+		if !ok || ev.Type == "done" {
+			break
+		}
+		if ev.ID > lastSeq {
+			lastSeq = ev.ID
+		}
+	}
+	first.Body.Close()
+	if lastSeq < 0 {
+		t.Fatal("first pass saw no sequenced events")
+	}
+
+	// Second pass: resume from the penultimate record; only the final
+	// sequenced record (plus done) should arrive.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+v.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", strconv.FormatInt(lastSeq-1, 10))
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	sc = bufio.NewScanner(res.Body)
+	var sequenced int
+	for {
+		ev, ok := readSSE(sc)
+		if !ok || ev.Type == "done" {
+			break
+		}
+		if ev.ID >= 0 {
+			sequenced++
+			if ev.ID <= lastSeq-1 {
+				t.Errorf("resumed stream replayed seq %d ≤ Last-Event-ID %d", ev.ID, lastSeq-1)
+			}
+		}
+	}
+	if sequenced != 1 {
+		t.Errorf("resumed stream delivered %d sequenced records, want 1", sequenced)
+	}
+}
+
+// TestEventsErrors pins the failure modes: unknown ids 404 and a server
+// without a data dir (no journals to stream) answers 409.
+func TestEventsErrors(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := http.Get(ts.URL + "/v1/jobs/job-999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 404 {
+		t.Errorf("unknown id: %d, want 404", res.StatusCode)
+	}
+
+	v, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: uniformGame(3, 1)})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("submit: outcome=%v err=%v", outcome, err)
+	}
+	res, err = http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 409 {
+		t.Errorf("no data dir: %d, want 409", res.StatusCode)
+	}
+}
