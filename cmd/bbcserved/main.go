@@ -43,6 +43,7 @@ func run(args []string, stderr *os.File) int {
 		journalPath  = fs.String("journal", "", "server lifecycle JSONL journal path (\"\" = off)")
 		tracePath    = fs.String("trace", "", "write a Chrome trace-event JSON file of job spans on exit (\"\" = off)")
 		pprofAddr    = fs.String("pprof", "", "pprof/expvar debug server address (\"\" = off)")
+		retryAfter   = fs.Duration("retry-after", 0, "Retry-After hint on refused submissions and drain rejections (0 = 5s)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "bound on the HTTP listener shutdown after the pool drains")
 	)
 	fs.Parse(args)
@@ -56,12 +57,13 @@ func run(args []string, stderr *os.File) int {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Workers:   *workers,
-		QueueSize: *queueSize,
-		CacheSize: *cacheSize,
-		DataDir:   *dataDir,
-		Reg:       rt.Reg,
-		Journal:   rt.Journal,
+		Workers:    *workers,
+		QueueSize:  *queueSize,
+		CacheSize:  *cacheSize,
+		DataDir:    *dataDir,
+		RetryAfter: *retryAfter,
+		Reg:        rt.Reg,
+		Journal:    rt.Journal,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "bbcserved: %v\n", err)

@@ -125,6 +125,22 @@ func (ss *SearchSpace) Size() uint64 {
 	return size
 }
 
+// Pivot returns the index of the first node with more than one strategy
+// — the axis the parallel enumerator (and the distributed fleet) splits
+// the odometer space along — or -1 when every set is a singleton and the
+// space holds exactly one profile. Splitting on the pivot keeps the
+// serial odometer order: partition i in full is scanned before any
+// profile of partition i+1, so concatenating partition (or shard)
+// results in index order reproduces the unsplit scan byte for byte.
+func (ss *SearchSpace) Pivot() int {
+	for u, set := range ss.PerNode {
+		if len(set) > 1 {
+			return u
+		}
+	}
+	return -1
+}
+
 // FullSpace builds the unrestricted search space: every feasible strategy
 // for every node (including non-maximal ones, since ties can make
 // non-maximal strategies equilibrium components).

@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"syscall"
+)
+
+// TripMode is one injected transport fault.
+type TripMode int
+
+const (
+	// TripNone forwards the request untouched.
+	TripNone TripMode = iota
+	// TripTimeout fails the request with a timeout error without ever
+	// sending it: the server saw nothing.
+	TripTimeout
+	// TripReject synthesizes a 503 with Retry-After: 0 without sending
+	// the request: an overloaded proxy turning the client away.
+	TripReject
+	// TripReset forwards the request, then throws the response away and
+	// reports a connection reset: the ambiguous "did my write land?"
+	// failure — the server processed it, the client cannot know.
+	TripReset
+	// TripDup forwards the request twice, discarding the first response:
+	// an at-least-once delivery layer repeating itself. Exercises the
+	// server's fingerprint dedup and the coordinator's duplicate-result
+	// handling.
+	TripDup
+)
+
+func (m TripMode) String() string {
+	switch m {
+	case TripNone:
+		return "none"
+	case TripTimeout:
+		return "timeout"
+	case TripReject:
+		return "reject"
+	case TripReset:
+		return "reset"
+	case TripDup:
+		return "dup"
+	default:
+		return fmt.Sprintf("TripMode(%d)", int(m))
+	}
+}
+
+// timeoutError mimics a net dial/read timeout.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "chaos: injected timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Tripper is a fault-injecting http.RoundTripper. Plan decides, per
+// request, which fault to inject; everything else forwards to Under.
+// It is safe for concurrent use — the request counter is its own lock —
+// and deterministic given a deterministic Plan.
+type Tripper struct {
+	// Under performs real round trips (nil = http.DefaultTransport).
+	Under http.RoundTripper
+	// Plan maps (request ordinal, request) to a fault. nil = no faults.
+	Plan func(n int, req *http.Request) TripMode
+
+	mu sync.Mutex
+	n  int
+}
+
+func (t *Tripper) under() http.RoundTripper {
+	if t.Under != nil {
+		return t.Under
+	}
+	return http.DefaultTransport
+}
+
+// Count reports how many requests the tripper has seen.
+func (t *Tripper) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+func (t *Tripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	n := t.n
+	t.n++
+	t.mu.Unlock()
+
+	mode := TripNone
+	if t.Plan != nil {
+		mode = t.Plan(n, req)
+	}
+	switch mode {
+	case TripTimeout:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, timeoutError{}
+	case TripReject:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Retry-After": []string{"0"}},
+			Body:       http.NoBody,
+			Request:    req,
+		}, nil
+	case TripReset:
+		resp, err := t.under().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return nil, fmt.Errorf("chaos: injected reset: %w", syscall.ECONNRESET)
+	case TripDup:
+		first, second, err := t.clonePair(req)
+		if err != nil {
+			// Bodies without GetBody cannot be replayed; fall through to a
+			// single honest round trip.
+			return t.under().RoundTrip(req)
+		}
+		if resp, err := t.under().RoundTrip(first); err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		}
+		return t.under().RoundTrip(second)
+	default:
+		return t.under().RoundTrip(req)
+	}
+}
+
+// clonePair produces two independently sendable copies of a request.
+func (t *Tripper) clonePair(req *http.Request) (*http.Request, *http.Request, error) {
+	first := req.Clone(req.Context())
+	second := req.Clone(req.Context())
+	if req.Body == nil {
+		return first, second, nil
+	}
+	if req.GetBody == nil {
+		return nil, nil, fmt.Errorf("chaos: request body is not replayable")
+	}
+	b1, err := req.GetBody()
+	if err != nil {
+		return nil, nil, err
+	}
+	b2, err := req.GetBody()
+	if err != nil {
+		b1.Close()
+		return nil, nil, err
+	}
+	first.Body, second.Body = b1, b2
+	return first, second, nil
+}
+
+// SeededPlan builds a deterministic pseudo-random fault plan: roughly
+// one request in `every` is faulted, the fault kind cycling through
+// timeout, reject, reset and dup. The same seed replays the same
+// schedule, so a chaos failure is reproducible from its log line.
+func SeededPlan(seed uint64, every int) func(int, *http.Request) TripMode {
+	if every < 1 {
+		every = 1
+	}
+	return func(n int, req *http.Request) TripMode {
+		// SplitMix64 of (seed, n): cheap, stateless, well mixed.
+		x := seed + uint64(n)*0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if int(x%uint64(every)) != 0 {
+			return TripNone
+		}
+		return TripMode(1 + (x>>8)%4)
+	}
+}

@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bbc/internal/core"
+	"bbc/internal/faultfs"
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+	"bbc/internal/serve"
+)
+
+// chaosBackoff keeps chaos runs fast: real waits, but a millisecond
+// schedule instead of the production 50ms-to-5s curve.
+var chaosBackoff = runctl.Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond, Jitter: 0.5}
+
+// TestChaosSeededTransportSweep replays deterministic fault schedules —
+// timeouts, injected 503s, connection resets after the server processed
+// the request, duplicated requests — against real workers. Every
+// schedule must still converge to a merge byte-identical to the
+// single-box reference; only the retry/release counters may differ.
+func TestChaosSeededTransportSweep(t *testing.T) {
+	spec := testSpec(t)
+	want := reference(t, spec)
+	for _, seed := range []uint64{1, 7, 42, 1337} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, w1 := startWorker(t, serve.Config{})
+			_, w2 := startWorker(t, serve.Config{})
+			trip := &Tripper{Plan: SeededPlan(seed, 4)}
+			reg := obs.NewRegistry()
+			res, err := Run(context.Background(), Config{
+				Spec:           spec,
+				Workers:        []string{w1.URL, w2.URL},
+				Shards:         3,
+				LeaseTTL:       2 * time.Second,
+				HTTP:           &http.Client{Transport: trip},
+				Backoff:        chaosBackoff,
+				ClientAttempts: 8,
+				MaxAttempts:    32,
+				Reg:            reg,
+			})
+			if err != nil {
+				t.Fatalf("Run under seed %d: %v", seed, err)
+			}
+			if !res.NE.Complete {
+				t.Fatalf("seed %d did not complete: %+v", seed, res)
+			}
+			mustMatch(t, res.NE, want)
+			t.Logf("seed %d: %d requests, retries=%d releases=%d faults=%d dups=%d",
+				seed, trip.Count(), reg.Get(obs.MFleetRetries), reg.Get(obs.MFleetReleases),
+				reg.Get(obs.MFleetWorkerFaults), reg.Get(obs.MFleetDuplicates))
+		})
+	}
+}
+
+// TestChaosWorkerDiesMidRun kills one of two workers while it holds
+// leases. Its in-flight shards must come back — released on the next
+// client failure or expired at the lease deadline — and the surviving
+// worker must finish the scan with the merge still byte-identical.
+func TestChaosWorkerDiesMidRun(t *testing.T) {
+	spec := testSpec(t)
+	want := reference(t, spec)
+	_, victim := startWorker(t, serve.Config{})
+	_, survivor := startWorker(t, serve.Config{})
+
+	// Kill the victim as soon as it has accepted at least one request:
+	// severing established connections too, like a SIGKILL would.
+	killed := make(chan struct{})
+	var trip *Tripper
+	trip = &Tripper{Plan: func(n int, req *http.Request) TripMode {
+		if req.URL.Host == strings.TrimPrefix(victim.URL, "http://") && n > 2 {
+			select {
+			case <-killed:
+			default:
+				close(killed)
+				victim.CloseClientConnections()
+				victim.Close()
+			}
+		}
+		return TripNone
+	}}
+
+	reg := obs.NewRegistry()
+	res, err := Run(context.Background(), Config{
+		Spec:           spec,
+		Workers:        []string{victim.URL, survivor.URL},
+		Shards:         4,
+		LeaseTTL:       200 * time.Millisecond,
+		HTTP:           &http.Client{Transport: trip},
+		Backoff:        chaosBackoff,
+		ClientAttempts: 3,
+		MaxAttempts:    32,
+		Reg:            reg,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.NE.Complete {
+		t.Fatalf("fleet did not survive the worker kill: %+v", res)
+	}
+	mustMatch(t, res.NE, want)
+	select {
+	case <-killed:
+	default:
+		t.Fatal("victim was never killed; the schedule did not exercise the failure")
+	}
+	if got := reg.Get(obs.MFleetWorkerFaults); got < 1 {
+		t.Errorf("fleet.worker_faults = %d, want >= 1", got)
+	}
+}
+
+// TestChaosLeaseStoreFaults runs the coordinator checkpoint store on a
+// fault-injecting filesystem: persistence degrades (journaled failed
+// saves), the scan itself must still complete and merge byte-identical.
+func TestChaosLeaseStoreFaults(t *testing.T) {
+	spec := testSpec(t)
+	want := reference(t, spec)
+	for _, seed := range []int64{3, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, w := startWorker(t, serve.Config{})
+			fsys := faultfs.Seeded(faultfs.Or(nil), seed, 0.3)
+			res, err := Run(context.Background(), Config{
+				Spec:           spec,
+				Workers:        []string{w.URL},
+				Shards:         3,
+				LeaseTTL:       40 * time.Millisecond, // fast ticks: many checkpoint attempts
+				CheckpointPath: filepath.Join(t.TempDir(), "fleet.ckpt"),
+				FS:             fsys,
+				Backoff:        chaosBackoff,
+				Reg:            obs.NewRegistry(),
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.NE.Complete {
+				t.Fatalf("store faults must degrade durability, not progress: %+v", res)
+			}
+			mustMatch(t, res.NE, want)
+		})
+	}
+}
+
+// TestChaosDuplicatedSubmitIsDeduped aims TripDup at every job
+// submission: the worker sees each shard POSTed twice, its fingerprint
+// dedup collapses the pair, and the merge stays byte-identical.
+func TestChaosDuplicatedSubmitIsDeduped(t *testing.T) {
+	spec := testSpec(t)
+	want := reference(t, spec)
+	_, w := startWorker(t, serve.Config{})
+	trip := &Tripper{Plan: func(n int, req *http.Request) TripMode {
+		if req.Method == http.MethodPost {
+			return TripDup
+		}
+		return TripNone
+	}}
+	res, err := Run(context.Background(), Config{
+		Spec:    spec,
+		Workers: []string{w.URL},
+		Shards:  3,
+		HTTP:    &http.Client{Transport: trip},
+		Backoff: chaosBackoff,
+		Reg:     obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.NE.Complete {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	mustMatch(t, res.NE, want)
+}
+
+// TestChaosLeaseExpiry pins the expiry path directly: a lease whose
+// holder goes silent is returned to pending at its deadline and
+// re-granted to the next caller.
+func TestChaosLeaseExpiry(t *testing.T) {
+	spec := testSpec(t)
+	ss, err := core.FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tbl := newTable(planShards(ss, 1, 2), 50*time.Millisecond, 8, reg, nil)
+
+	sh := tbl.acquire("w1")
+	if sh == nil {
+		t.Fatal("acquire returned nil")
+	}
+	// Heartbeats keep it alive...
+	tbl.expire(time.Now().Add(40 * time.Millisecond))
+	tbl.heartbeat(sh, "w1", time.Now())
+	tbl.expire(time.Now().Add(40 * time.Millisecond))
+	if got := reg.Get(obs.MFleetReleases); got != 0 {
+		t.Fatalf("lease expired despite heartbeats: releases=%d", got)
+	}
+	// ...silence kills it.
+	tbl.expire(time.Now().Add(time.Minute))
+	if got := reg.Get(obs.MFleetReleases); got != 1 {
+		t.Fatalf("overdue lease not expired: releases=%d", got)
+	}
+	// The expired holder's late release is a no-op; the shard re-leases.
+	tbl.release(sh, "w1", "late")
+	if got := reg.Get(obs.MFleetReleases); got != 1 {
+		t.Errorf("stale release counted: releases=%d", got)
+	}
+	again := tbl.acquire("w2")
+	if again != sh {
+		t.Fatalf("re-acquire = %+v, want the expired shard", again)
+	}
+	// The stale holder's completion after re-lease is the duplicate path:
+	// first the new holder completes, then the old one echoes.
+	res := &shardResult{Fingerprint: "fp", Checked: 3}
+	tbl.complete(again, "w2", res)
+	if tbl.complete(sh, "w1", res) {
+		t.Error("stale holder's duplicate completion must be dropped")
+	}
+	if got := reg.Get(obs.MFleetDuplicates); got != 1 {
+		t.Errorf("fleet.duplicate_results = %d, want 1", got)
+	}
+}

@@ -1,0 +1,345 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+	"bbc/internal/serve"
+)
+
+// maxResponseBody bounds a job API response; shard results for the
+// scans the fleet runs fit in a fraction of this.
+const maxResponseBody = 64 << 20
+
+// Client is the retrying HTTP client for the bbcserved job API.
+// Transport errors, 5xx and 429 are retried with jittered exponential
+// backoff; a server-supplied Retry-After is honored as a floor on the
+// delay. Retrying a POST /v1/jobs is safe by construction: the server
+// dedups submissions on the solve fingerprint, so a retry after an
+// ambiguous failure ("did my write land?") attaches to the accepted job
+// instead of double-submitting, and resubmitting a job that ran
+// incompletely resumes its checkpoint.
+type Client struct {
+	// Base is the worker base URL, e.g. http://127.0.0.1:8371.
+	Base string
+	// HTTP is the underlying client (nil = a plain &http.Client{}).
+	// Chaos tests install a fault-injecting Transport here. Streaming
+	// (Events) uses it too, so avoid setting HTTP.Timeout — per-call
+	// bounds belong to the request context.
+	HTTP *http.Client
+	// Backoff is the retry-delay policy (zero value = runctl defaults).
+	Backoff runctl.Backoff
+	// Attempts bounds tries per request (0 = 5).
+	Attempts int
+	// Reg counts retries into fleet.retries (nil = obs.Global()).
+	Reg *obs.Registry
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+func (c *Client) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	return 5
+}
+
+func (c *Client) reg() *obs.Registry {
+	if c.Reg != nil {
+		return c.Reg
+	}
+	return obs.Global()
+}
+
+// APIError is a non-2xx job API reply.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fleet: worker replied %d: %s", e.Status, e.Msg)
+}
+
+// retryable says whether a reply status is worth retrying: throttling
+// (429), unavailability (503, any 5xx). Remaining 4xx are the client's
+// own fault and retrying cannot fix them.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// retryAfter parses a Retry-After header in seconds (0 when absent or
+// in the unsupported HTTP-date form — the backoff delay then rules).
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Submit posts a job submission and returns the accepted (or deduped)
+// job view.
+func (c *Client) Submit(ctx context.Context, req *serve.Request) (*serve.View, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: marshal request: %w", err)
+	}
+	var sub struct {
+		Deduped bool        `json:"deduped"`
+		Job     *serve.View `json:"job"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &sub); err != nil {
+		return nil, err
+	}
+	if sub.Job == nil {
+		return nil, fmt.Errorf("fleet: submission accepted without a job view")
+	}
+	return sub.Job, nil
+}
+
+// Job polls one job by id.
+func (c *Client) Job(ctx context.Context, id string) (*serve.View, error) {
+	var v serve.View
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Cancel stops a job (best-effort; used during coordinator teardown).
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Ready probes /readyz once, without retry: the caller wants the
+// worker's state now, not after a backoff cycle. A draining worker
+// (503) or a dead one (transport error) both return an error.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Msg: "not ready"}
+	}
+	return nil
+}
+
+// do performs one API request with bounded retries. Per-attempt
+// transport errors and retryable statuses wait out
+// max(backoff, Retry-After) before the next try; permanent client
+// errors return an *APIError immediately.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	floor := time.Duration(0)
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			c.reg().Inc(obs.MFleetRetries)
+			if err := c.Backoff.WaitAtLeast(ctx, attempt-1, floor); err != nil {
+				return err
+			}
+			floor = 0
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = fmt.Errorf("read response: %w", rerr)
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("fleet: decode %s %s response: %w", method, path, err)
+			}
+			return nil
+		}
+		apiErr := &APIError{Status: resp.StatusCode, Msg: errorMessage(data)}
+		if !retryable(resp.StatusCode) {
+			return apiErr
+		}
+		floor = retryAfter(resp.Header)
+		lastErr = apiErr
+	}
+	return fmt.Errorf("fleet: %s %s failed after %d attempts: %w", method, path, c.attempts(), lastErr)
+}
+
+// errorMessage extracts the server's error string from an error body.
+func errorMessage(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	msg := strings.TrimSpace(string(data))
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	return msg
+}
+
+// Events streams a job's SSE event feed, calling fn for every event
+// newer than lastID until the terminal "done" event arrives. Transport
+// failures reconnect with backoff and a Last-Event-ID header, so
+// records already delivered are never replayed to fn; a live event
+// resets the retry budget. fn returning an error aborts the stream.
+func (c *Client) Events(ctx context.Context, id string, lastID int64, fn func(event string, id int64, data []byte) error) error {
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			c.reg().Inc(obs.MFleetRetries)
+			if err := c.Backoff.Wait(ctx, attempt-1); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if lastID >= 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatInt(lastID, 10))
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if attempt++; attempt >= c.attempts() {
+				return fmt.Errorf("fleet: event stream for %s failed after %d attempts: %w", id, attempt, err)
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			apiErr := &APIError{Status: resp.StatusCode, Msg: errorMessage(data)}
+			if !retryable(resp.StatusCode) {
+				return apiErr
+			}
+			if attempt++; attempt >= c.attempts() {
+				return fmt.Errorf("fleet: event stream for %s failed after %d attempts: %w", id, attempt, apiErr)
+			}
+			continue
+		}
+		done, progressed, err := c.readEvents(resp.Body, &lastID, fn)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		// The stream ended mid-job (connection reset, worker restart):
+		// reconnect and resume after the last event seen.
+		if progressed {
+			attempt = 0
+		}
+		if attempt++; attempt >= c.attempts() {
+			return fmt.Errorf("fleet: event stream for %s kept dying; gave up after %d attempts", id, attempt)
+		}
+	}
+}
+
+// readEvents parses one SSE connection's frames. It reports whether the
+// terminal "done" event arrived and whether any event was delivered.
+// Only fn errors are returned; a broken read is just an ended stream.
+func (c *Client) readEvents(r io.Reader, lastID *int64, fn func(string, int64, []byte) error) (done, progressed bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var (
+		event string
+		data  []byte
+		id    = int64(-1)
+	)
+	flush := func() error {
+		defer func() { event, data, id = "", nil, -1 }()
+		if event == "" && data == nil {
+			return nil // keepalive gap
+		}
+		if id >= 0 {
+			if id <= *lastID {
+				return nil // replayed after reconnect; already delivered
+			}
+			*lastID = id
+		}
+		progressed = true
+		if event == "done" {
+			done = true
+		}
+		return fn(event, id, data)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return done, progressed, err
+			}
+			if done {
+				return true, progressed, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// keepalive comment
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			if n, perr := strconv.ParseInt(line[len("id: "):], 10, 64); perr == nil {
+				id = n
+			}
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+	return done, progressed, nil
+}

@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+)
+
+// sleepless returns a Backoff that records requested delays instead of
+// sleeping, so retry schedules are asserted, not waited out.
+func sleepless(slept *[]time.Duration) runctl.Backoff {
+	var mu sync.Mutex
+	return runctl.Backoff{
+		Base: 10 * time.Millisecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			*slept = append(*slept, d)
+			mu.Unlock()
+		},
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"j1","state":"done"}`)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	reg := obs.NewRegistry()
+	c := &Client{Base: srv.URL, Backoff: sleepless(&slept), Reg: reg}
+	view, err := c.Job(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("Job after transient failures: %v", err)
+	}
+	if view.ID != "j1" {
+		t.Errorf("view.ID = %q, want j1", view.ID)
+	}
+	if calls != 3 {
+		t.Errorf("server saw %d calls, want 3", calls)
+	}
+	if got := reg.Get(obs.MFleetRetries); got != 2 {
+		t.Errorf("fleet.retries = %d, want 2", got)
+	}
+	// Attempt 1 retries after Delay(0)=10ms, attempt 2 after Delay(1)=20ms.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("slept = %v, want %v", slept, want)
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"j1","state":"queued"}`)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{Base: srv.URL, Backoff: sleepless(&slept), Reg: obs.NewRegistry()}
+	if _, err := c.Job(context.Background(), "j1"); err != nil {
+		t.Fatalf("Job: %v", err)
+	}
+	// The server's 7s floor beats the 10ms backoff delay (and the 5s cap).
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Errorf("slept = %v, want [7s]", slept)
+	}
+}
+
+func TestClientPermanentErrorsDoNotRetry(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"unknown mode"}`)
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Backoff: sleepless(&[]time.Duration{}), Reg: obs.NewRegistry()}
+	_, err := c.Job(context.Background(), "nope")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if apiErr.Msg != "unknown mode" {
+		t.Errorf("msg = %q, want the server's error string", apiErr.Msg)
+	}
+	if calls != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on 4xx)", calls)
+	}
+}
+
+func TestClientExhaustsAttempts(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Backoff: sleepless(&[]time.Duration{}), Attempts: 3, Reg: obs.NewRegistry()}
+	_, err := c.Job(context.Background(), "j1")
+	if err == nil {
+		t.Fatal("want exhaustion error")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Errorf("err = %v, want wrapped APIError 500", err)
+	}
+	if calls != 3 {
+		t.Errorf("server saw %d calls, want 3 (Attempts bound)", calls)
+	}
+}
+
+func TestClientReady(t *testing.T) {
+	draining := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("Ready hit %s, want /readyz", r.URL.Path)
+		}
+		if draining {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ready"}`)
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Reg: obs.NewRegistry()}
+	if err := c.Ready(context.Background()); err != nil {
+		t.Errorf("Ready while serving: %v", err)
+	}
+	draining = true
+	if err := c.Ready(context.Background()); err == nil {
+		t.Error("Ready while draining: want error")
+	}
+	srv.Close()
+	if err := c.Ready(context.Background()); err == nil {
+		t.Error("Ready against a dead server: want error")
+	}
+}
+
+// TestClientEventsReconnect severs the SSE stream mid-job and asserts
+// the reconnect resumes from Last-Event-ID: every event delivered
+// exactly once, in order, ending with the terminal done event.
+func TestClientEventsReconnect(t *testing.T) {
+	type ev struct {
+		typ  string
+		seq  int64
+		data string
+	}
+	feed := []ev{
+		{"progress", 0, `{"checked":10}`},
+		{"progress", 1, `{"checked":20}`},
+		{"checkpoint", 2, `{"path":"x.ckpt"}`},
+		{"progress", 3, `{"checked":30}`},
+	}
+	var conns int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		after := int64(-1)
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				t.Errorf("bad Last-Event-ID %q: %v", v, err)
+			}
+			after = n
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, ": keepalive\n\n")
+		sent := 0
+		for _, e := range feed {
+			if e.seq <= after {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", e.typ, e.seq, e.data)
+			fl.Flush()
+			sent++
+			// First connection dies after two live events, mid-stream.
+			if conns == 1 && sent == 2 {
+				return
+			}
+		}
+		fmt.Fprint(w, "event: done\ndata: {\"state\":\"done\"}\n\n")
+		fl.Flush()
+	}))
+	defer srv.Close()
+
+	var got []ev
+	c := &Client{Base: srv.URL, Backoff: sleepless(&[]time.Duration{}), Reg: obs.NewRegistry()}
+	err := c.Events(context.Background(), "j1", -1, func(event string, id int64, data []byte) error {
+		got = append(got, ev{event, id, string(data)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if conns != 2 {
+		t.Errorf("server saw %d connections, want 2", conns)
+	}
+	if len(got) != len(feed)+1 {
+		t.Fatalf("delivered %d events, want %d: %+v", len(got), len(feed)+1, got)
+	}
+	for i, want := range feed {
+		if got[i] != want {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want)
+		}
+	}
+	if last := got[len(got)-1]; last.typ != "done" {
+		t.Errorf("terminal event = %+v, want done", last)
+	}
+}
+
+func TestClientEventsCallbackError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: progress\nid: 0\ndata: {}\n\n")
+		fmt.Fprint(w, "event: done\ndata: {}\n\n")
+	}))
+	defer srv.Close()
+
+	boom := errors.New("stop here")
+	c := &Client{Base: srv.URL, Reg: obs.NewRegistry()}
+	err := c.Events(context.Background(), "j1", -1, func(string, int64, []byte) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("Events = %v, want the callback's error", err)
+	}
+}

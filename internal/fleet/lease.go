@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bbc/internal/core"
+	"bbc/internal/obs"
+)
+
+// shard lease states. A shard is born pending, cycles through leased
+// (held by a worker under a TTL deadline) possibly many times, and ends
+// done exactly once — the first completion wins, later ones are
+// duplicates and are dropped.
+const (
+	shardPending = "pending"
+	shardLeased  = "leased"
+	shardDone    = "done"
+)
+
+// shardLease is one contiguous pivot-partition range and its lease
+// state. Mutable fields are guarded by the owning table's mutex.
+type shardLease struct {
+	Index int // position in the plan; merge order
+	Lo    int // pivot partition range [Lo, Hi)
+	Hi    int
+
+	state    string
+	attempts int       // lease grants so far (bounded by maxAttempts)
+	worker   string    // current holder while leased
+	deadline time.Time // lease expiry while leased
+	result   *shardResult
+}
+
+// shardResult is a completed shard's contribution to the merge.
+type shardResult struct {
+	// Fingerprint is the worker-reported shard-qualified scan
+	// fingerprint — the idempotency key a duplicate is verified against.
+	Fingerprint string         `json:"fingerprint"`
+	Checked     uint64         `json:"checked"`
+	Equilibria  []core.Profile `json:"equilibria"`
+}
+
+// leaseTableSnapshot is the persisted lease table (the checkpoint
+// payload). Leases are deliberately not persisted: a lease is a promise
+// by this coordinator process, void the moment it dies, so non-done
+// shards always reload as pending.
+type leaseTableSnapshot struct {
+	Shards []shardSnapshot `json:"shards"`
+}
+
+// shardSnapshot is one shard's durable state.
+type shardSnapshot struct {
+	Index    int          `json:"index"`
+	Lo       int          `json:"lo"`
+	Hi       int          `json:"hi"`
+	Attempts int          `json:"attempts"`
+	Done     bool         `json:"done"`
+	Result   *shardResult `json:"result,omitempty"`
+}
+
+// planShards splits the pivot partition range into contiguous,
+// near-equal shards. The default over-shards 4× the worker count so a
+// slow shard does not serialize the fleet behind it. A space with no
+// pivot (a single profile) is one trivial shard.
+func planShards(ss *core.SearchSpace, workers, requested int) []*shardLease {
+	pivot := ss.Pivot()
+	if pivot < 0 {
+		return []*shardLease{{Index: 0, Lo: 0, Hi: 1, state: shardPending}}
+	}
+	parts := len(ss.PerNode[pivot])
+	n := requested
+	if n <= 0 {
+		n = 4 * workers
+	}
+	if n > parts {
+		n = parts
+	}
+	if n < 1 {
+		n = 1
+	}
+	plan := make([]*shardLease, n)
+	for i := 0; i < n; i++ {
+		plan[i] = &shardLease{
+			Index: i,
+			Lo:    i * parts / n,
+			Hi:    (i + 1) * parts / n,
+			state: shardPending,
+		}
+	}
+	return plan
+}
+
+// table is the coordinator's lease table: the single synchronization
+// point between worker agents, the expiry clock, and the checkpointer.
+type table struct {
+	mu     sync.Mutex
+	shards []*shardLease
+
+	ttl         time.Duration
+	maxAttempts int
+	reg         *obs.Registry
+	journal     *obs.Journal
+
+	remaining int           // shards not yet done
+	done      chan struct{} // closed when remaining hits zero
+	fatal     chan struct{} // closed when fatalErr is set
+	fatalOnce sync.Once
+	err       error
+}
+
+func newTable(plan []*shardLease, ttl time.Duration, maxAttempts int, reg *obs.Registry, journal *obs.Journal) *table {
+	return &table{
+		shards:      plan,
+		ttl:         ttl,
+		maxAttempts: maxAttempts,
+		reg:         reg,
+		journal:     journal,
+		remaining:   len(plan),
+		done:        make(chan struct{}),
+		fatal:       make(chan struct{}),
+	}
+}
+
+// fail records the first fatal error and wakes the coordinator.
+func (t *table) fail(err error) {
+	t.fatalOnce.Do(func() {
+		t.err = err
+		close(t.fatal)
+	})
+}
+
+func (t *table) fatalErr() error {
+	select {
+	case <-t.fatal:
+		return t.err
+	default:
+		return nil
+	}
+}
+
+// acquire grants the lowest-index pending shard to the worker, with a
+// fresh TTL deadline. A shard that already burned through maxAttempts
+// grants is a fatal condition: no worker can finish it, so the run must
+// surface that instead of spinning. Returns nil when nothing is pending.
+func (t *table) acquire(worker string) *shardLease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sh := range t.shards {
+		if sh.state != shardPending {
+			continue
+		}
+		if sh.attempts >= t.maxAttempts {
+			t.fail(fmt.Errorf("fleet: shard %d [%d, %d) failed %d attempts; giving up",
+				sh.Index, sh.Lo, sh.Hi, sh.attempts))
+			return nil
+		}
+		sh.state = shardLeased
+		sh.attempts++
+		sh.worker = worker
+		sh.deadline = time.Now().Add(t.ttl)
+		t.reg.Inc(obs.MFleetLeases)
+		t.journal.Event("lease", map[string]any{
+			"shard": sh.Index, "lo": sh.Lo, "hi": sh.Hi,
+			"worker": worker, "attempt": sh.attempts,
+		})
+		obs.Trace().Instant("fleet.lease", 0, "shard", int64(sh.Index))
+		return sh
+	}
+	return nil
+}
+
+// heartbeat extends the lease deadline while the shard is still held by
+// this worker. A stale heartbeat — the lease expired and moved on — is
+// ignored; the late holder's completion will be dropped as a duplicate.
+func (t *table) heartbeat(sh *shardLease, worker string, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sh.state == shardLeased && sh.worker == worker {
+		sh.deadline = now.Add(t.ttl)
+	}
+}
+
+// release returns a failed lease to pending so another worker (or the
+// same one, after its backoff) can take it.
+func (t *table) release(sh *shardLease, worker, reason string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sh.state != shardLeased || sh.worker != worker {
+		return // expired and re-leased already; nothing to give back
+	}
+	sh.state = shardPending
+	sh.worker = ""
+	t.reg.Inc(obs.MFleetReleases)
+	t.journal.Event("release", map[string]any{
+		"shard": sh.Index, "worker": worker, "reason": reason,
+	})
+	obs.Trace().Instant("fleet.release", 0, "shard", int64(sh.Index))
+}
+
+// expire returns every overdue lease to pending. This is the crash
+// backstop: an agent stuck on a dead worker stops heartbeating, the
+// deadline passes, and a surviving worker picks the shard up.
+func (t *table) expire(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sh := range t.shards {
+		if sh.state == shardLeased && now.After(sh.deadline) {
+			holder := sh.worker
+			sh.state = shardPending
+			sh.worker = ""
+			t.reg.Inc(obs.MFleetReleases)
+			t.journal.Event("release", map[string]any{
+				"shard": sh.Index, "worker": holder, "reason": "lease expired",
+			})
+			obs.Trace().Instant("fleet.release", 0, "shard", int64(sh.Index))
+		}
+	}
+}
+
+// complete merges a shard result, idempotently: the first completion
+// wins and marks the shard done; any later completion — the re-lease
+// race, or a duplicated response — is verified against the merged
+// result and dropped, counted in fleet.duplicate_results. Reports
+// whether the result was applied.
+func (t *table) complete(sh *shardLease, worker string, res *shardResult) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sh.state == shardDone {
+		t.reg.Inc(obs.MFleetDuplicates)
+		identical := sh.result != nil && sh.result.Fingerprint == res.Fingerprint &&
+			sh.result.Checked == res.Checked && len(sh.result.Equilibria) == len(res.Equilibria)
+		t.journal.Event("duplicate_result", map[string]any{
+			"shard": sh.Index, "worker": worker, "identical": identical,
+		})
+		if !identical {
+			// Two workers computed the same shard and disagreed: that is
+			// corruption, not a race. Keep the first result (the one already
+			// merged) but surface the divergence loudly.
+			t.fail(fmt.Errorf("fleet: shard %d duplicate from %s diverges from merged result", sh.Index, worker))
+		}
+		return false
+	}
+	sh.state = shardDone
+	sh.worker = ""
+	sh.result = res
+	t.remaining--
+	t.reg.Inc(obs.MFleetShardsDone)
+	t.journal.Event("shard_done", map[string]any{
+		"shard": sh.Index, "worker": worker,
+		"checked": res.Checked, "equilibria": len(res.Equilibria),
+	})
+	obs.Trace().Instant("fleet.shard_done", 0, "shard", int64(sh.Index))
+	if t.remaining == 0 {
+		close(t.done)
+	}
+	return true
+}
+
+func (t *table) doneCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.shards) - t.remaining
+}
+
+// snapshot captures the durable state for the lease-table checkpoint.
+func (t *table) snapshot() *leaseTableSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := &leaseTableSnapshot{Shards: make([]shardSnapshot, len(t.shards))}
+	for i, sh := range t.shards {
+		snap.Shards[i] = shardSnapshot{
+			Index:    sh.Index,
+			Lo:       sh.Lo,
+			Hi:       sh.Hi,
+			Attempts: sh.attempts,
+			Done:     sh.state == shardDone,
+			Result:   sh.result,
+		}
+	}
+	return snap
+}
+
+// restore replays a persisted lease table into a freshly planned one.
+// The plan must match shard for shard (the checkpoint fingerprint
+// already pins spec, space and shard count; this is defense in depth).
+// Returns how many done shards were recovered.
+func (t *table) restore(snap *leaseTableSnapshot) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(snap.Shards) != len(t.shards) {
+		return 0, fmt.Errorf("checkpoint has %d shards, plan has %d", len(snap.Shards), len(t.shards))
+	}
+	restored := 0
+	for i, s := range snap.Shards {
+		sh := t.shards[i]
+		if s.Index != sh.Index || s.Lo != sh.Lo || s.Hi != sh.Hi {
+			return 0, fmt.Errorf("checkpoint shard %d is [%d, %d), plan has [%d, %d)", s.Index, s.Lo, s.Hi, sh.Lo, sh.Hi)
+		}
+		sh.attempts = s.Attempts
+		if s.Done {
+			if s.Result == nil {
+				return 0, fmt.Errorf("checkpoint shard %d is done but carries no result", s.Index)
+			}
+			sh.state = shardDone
+			sh.result = s.Result
+			t.remaining--
+			restored++
+		}
+	}
+	if t.remaining == 0 {
+		close(t.done)
+	}
+	return restored, nil
+}

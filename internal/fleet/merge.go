@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"bbc/internal/core"
+	"bbc/internal/runctl"
+)
+
+// merged assembles the fleet NEResult from the completed shards, in
+// shard-index order. Shard ranges are contiguous ascending slices of
+// the pivot axis and every profile of partition i precedes every
+// profile of partition i+1 in odometer order, so this concatenation IS
+// the serial scan order: a complete merge marshals byte-identical to
+// the single-box result. status is the run-level context status; a
+// merge with every shard done and a live context is complete.
+func (t *table) merged(status runctl.Status) (*core.NEResult, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Equilibria stays nil until the first append, exactly like the
+	// in-process enumerators — nil vs empty changes the JSON encoding,
+	// and byte-identity to the single-box result is the contract.
+	res := &core.NEResult{}
+	done := 0
+	for _, sh := range t.shards {
+		if sh.state != shardDone {
+			continue
+		}
+		done++
+		res.Checked += sh.result.Checked
+		res.Equilibria = append(res.Equilibria, sh.result.Equilibria...)
+	}
+	res.Status = status
+	res.Complete = done == len(t.shards) && status.Complete()
+	if res.Complete {
+		res.Status = runctl.StatusComplete
+	}
+	return res, done
+}

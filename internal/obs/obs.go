@@ -92,6 +92,24 @@ const (
 	// MServeResumed counts solves that continued from a persisted
 	// checkpoint instead of starting at the first profile.
 	MServeResumed
+	// MFleetLeases counts shard leases granted by the fleet coordinator
+	// (first grants and re-grants alike).
+	MFleetLeases
+	// MFleetReleases counts leases returned to pending before completion:
+	// lease deadlines that expired and shard attempts that failed.
+	MFleetReleases
+	// MFleetRetries counts fleet client request retries (network errors,
+	// 5xx, 429) — each one waited out a backoff delay first.
+	MFleetRetries
+	// MFleetDuplicates counts shard completions that arrived for an
+	// already-merged shard (a re-lease race); they are verified against
+	// the merged result and dropped, never applied twice.
+	MFleetDuplicates
+	// MFleetShardsDone counts shards merged into the fleet result.
+	MFleetShardsDone
+	// MFleetWorkerFaults counts shard attempts that failed on a worker:
+	// exhausted client retries, rejected jobs, incomplete runs.
+	MFleetWorkerFaults
 
 	metricCount // sentinel, keep last
 )
@@ -99,33 +117,39 @@ const (
 // metricNames are the stable external names used in snapshots, journals,
 // expvar exports and benchmark metrics. Renaming one is a schema change.
 var metricNames = [metricCount]string{
-	MBFS:              "graph.bfs",
-	MDijkstra:         "graph.dijkstra",
-	MOracleBuild:      "oracle.builds",
-	MOracleBuildNanos: "oracle.build_nanos",
-	MOracleEval:       "oracle.evals",
-	MBestExact:        "oracle.best_exact",
-	MBestExactLeaves:  "oracle.best_exact_leaves",
-	MBestGreedy:       "oracle.best_greedy",
-	MStabilityChecks:  "core.stability_checks",
-	MDeviationChecks:  "core.deviation_checks",
-	MDeviationsFound:  "core.deviations_found",
-	MProfilesChecked:  "core.profiles_checked",
-	MEquilibriaFound:  "core.equilibria_found",
-	MWalkSteps:        "dynamics.steps",
-	MWalkMoves:        "dynamics.moves",
-	MSimRounds:        "dynamics.sim_rounds",
-	MTrials:           "dynamics.trials",
-	MWorkerTasks:      "parallel.tasks",
-	MWorkerBusyNanos:  "parallel.busy_nanos",
-	MOracleCacheHits:  "oracle.cache_hits",
-	MHasImprovement:   "oracle.has_improvement",
-	MServeSubmitted:   "serve.jobs_submitted",
-	MServeDeduped:     "serve.jobs_deduped",
-	MServeSolves:      "serve.solves",
-	MServeCompleted:   "serve.jobs_completed",
-	MServeRejected:    "serve.jobs_rejected",
-	MServeResumed:     "serve.jobs_resumed",
+	MBFS:               "graph.bfs",
+	MDijkstra:          "graph.dijkstra",
+	MOracleBuild:       "oracle.builds",
+	MOracleBuildNanos:  "oracle.build_nanos",
+	MOracleEval:        "oracle.evals",
+	MBestExact:         "oracle.best_exact",
+	MBestExactLeaves:   "oracle.best_exact_leaves",
+	MBestGreedy:        "oracle.best_greedy",
+	MStabilityChecks:   "core.stability_checks",
+	MDeviationChecks:   "core.deviation_checks",
+	MDeviationsFound:   "core.deviations_found",
+	MProfilesChecked:   "core.profiles_checked",
+	MEquilibriaFound:   "core.equilibria_found",
+	MWalkSteps:         "dynamics.steps",
+	MWalkMoves:         "dynamics.moves",
+	MSimRounds:         "dynamics.sim_rounds",
+	MTrials:            "dynamics.trials",
+	MWorkerTasks:       "parallel.tasks",
+	MWorkerBusyNanos:   "parallel.busy_nanos",
+	MOracleCacheHits:   "oracle.cache_hits",
+	MHasImprovement:    "oracle.has_improvement",
+	MServeSubmitted:    "serve.jobs_submitted",
+	MServeDeduped:      "serve.jobs_deduped",
+	MServeSolves:       "serve.solves",
+	MServeCompleted:    "serve.jobs_completed",
+	MServeRejected:     "serve.jobs_rejected",
+	MServeResumed:      "serve.jobs_resumed",
+	MFleetLeases:       "fleet.leases",
+	MFleetReleases:     "fleet.releases",
+	MFleetRetries:      "fleet.retries",
+	MFleetDuplicates:   "fleet.duplicate_results",
+	MFleetShardsDone:   "fleet.shards_done",
+	MFleetWorkerFaults: "fleet.worker_faults",
 }
 
 // String returns the metric's stable external name.

@@ -1,0 +1,118 @@
+package runctl
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff is the shared retry-delay policy: exponential growth with an
+// optional jitter fraction, a per-delay cap, and context-aware waiting.
+// The zero value is deterministic (no jitter) and starts at 50ms
+// doubling per attempt — the schedule Store save retries have always
+// used. Network clients (the fleet job client) opt into jitter so a
+// fleet of retriers does not synchronize against a recovering server.
+//
+// Backoff is a value type: copies are independent and a Backoff carries
+// no mutable state, so one policy can be shared by many goroutines.
+type Backoff struct {
+	// Base is the delay before the first retry (0 = 50ms).
+	Base time.Duration
+	// Max caps each computed delay before jitter (0 = 5s). An explicit
+	// floor passed to WaitAtLeast — e.g. a server's Retry-After — may
+	// still exceed it.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (0 = 2).
+	Factor float64
+	// Jitter in [0,1] is the fraction of each delay that is randomized:
+	// the waited delay is uniform in [d·(1-Jitter), d]. 0 = exact.
+	Jitter float64
+	// Rand is the jitter source in [0,1) (nil = math/rand; tests pin it).
+	Rand func() float64
+	// Sleep replaces the context-aware wait (tests record the schedule);
+	// nil = real timer. Wait still reports ctx.Err() after Sleep returns.
+	Sleep func(time.Duration)
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return 50 * time.Millisecond
+	}
+	return b.Base
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max <= 0 {
+		return 5 * time.Second
+	}
+	return b.Max
+}
+
+func (b Backoff) factor() float64 {
+	if b.Factor <= 0 {
+		return 2
+	}
+	return b.Factor
+}
+
+// Delay computes the (jittered) delay before retry number attempt,
+// counted from 0: Delay(0) is the pause after the first failure.
+func (b Backoff) Delay(attempt int) time.Duration {
+	d, max, factor := float64(b.base()), float64(b.max()), b.factor()
+	for i := 0; i < attempt && d < max; i++ {
+		d *= factor
+	}
+	if d > max {
+		d = max
+	}
+	if b.Jitter > 0 {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		rnd := b.Rand
+		if rnd == nil {
+			rnd = rand.Float64
+		}
+		d = d*(1-j) + d*j*rnd()
+	}
+	return time.Duration(d)
+}
+
+// Wait blocks for Delay(attempt) or until ctx is done, whichever comes
+// first, and returns ctx.Err() when the context cut the wait short.
+func (b Backoff) Wait(ctx context.Context, attempt int) error {
+	return b.pause(ctx, b.Delay(attempt))
+}
+
+// WaitAtLeast is Wait with an explicit lower bound on the delay: a
+// server-supplied Retry-After hint overrides a shorter computed backoff
+// (and the Max cap) but never shortens a longer one.
+func (b Backoff) WaitAtLeast(ctx context.Context, attempt int, floor time.Duration) error {
+	d := b.Delay(attempt)
+	if floor > d {
+		d = floor
+	}
+	return b.pause(ctx, d)
+}
+
+func (b Backoff) pause(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if b.Sleep != nil {
+		b.Sleep(d)
+		return ctx.Err()
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,84 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelaySchedule: the zero value reproduces the historical
+// store schedule (50ms doubling), and Base/Factor/Max shape it.
+func TestBackoffDelaySchedule(t *testing.T) {
+	var b Backoff
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("zero-value Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	b = Backoff{Base: 10 * time.Millisecond, Factor: 3, Max: 50 * time.Millisecond}
+	want = []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 50 * time.Millisecond, 50 * time.Millisecond}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// A huge attempt number must not overflow past the cap.
+	if got := b.Delay(10_000); got != 50*time.Millisecond {
+		t.Errorf("Delay(10000) = %v, want the 50ms cap", got)
+	}
+}
+
+// TestBackoffJitterBounds: jittered delays stay within
+// [d·(1-Jitter), d] and follow the pinned Rand source.
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Jitter: 0.5, Rand: func() float64 { return 0 }}
+	if got := b.Delay(0); got != 50*time.Millisecond {
+		t.Errorf("Rand=0 Delay = %v, want 50ms (the lower bound)", got)
+	}
+	b.Rand = func() float64 { return 1 }
+	if got := b.Delay(0); got != 100*time.Millisecond {
+		t.Errorf("Rand=1 Delay = %v, want 100ms (the full delay)", got)
+	}
+	b.Rand = func() float64 { return 0.5 }
+	if got := b.Delay(0); got != 75*time.Millisecond {
+		t.Errorf("Rand=0.5 Delay = %v, want 75ms", got)
+	}
+}
+
+// TestBackoffWaitContext: a cancelled context cuts the wait short and
+// surfaces the context error.
+func TestBackoffWaitContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Backoff{Base: time.Hour}
+	start := time.Now()
+	if err := b.Wait(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("Wait ignored the cancelled context")
+	}
+	// A live context waits the full (tiny) delay and returns nil.
+	if err := (Backoff{Base: time.Millisecond}).Wait(context.Background(), 0); err != nil {
+		t.Fatalf("Wait = %v, want nil", err)
+	}
+}
+
+// TestBackoffWaitAtLeast: a server Retry-After floor overrides a
+// shorter computed delay but never shortens a longer one.
+func TestBackoffWaitAtLeast(t *testing.T) {
+	var slept []time.Duration
+	b := Backoff{Base: 10 * time.Millisecond, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	if err := b.WaitAtLeast(context.Background(), 0, 40*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitAtLeast(context.Background(), 3, 40*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{40 * time.Millisecond, 80 * time.Millisecond}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("WaitAtLeast schedule = %v, want %v", slept, want)
+	}
+}

@@ -212,7 +212,7 @@ func (r *sweepRun) sweepOne(t *testing.T, refJSON []byte, f faultfs.Fault) {
 	ckptPath := filepath.Join(dir, "scan.ckpt")
 	journalPath := filepath.Join(dir, "scan.jsonl")
 
-	st := &runctl.Store{Path: ckptPath, FS: inj, Retries: 2, Sleep: func(time.Duration) {}}
+	st := &runctl.Store{Path: ckptPath, FS: inj, Retries: 2, Retry: runctl.Backoff{Sleep: func(time.Duration) {}}}
 	j, jerr := obs.OpenJournalFS(inj, journalPath, nil)
 	if jerr != nil {
 		j = nil // the journal open itself was the failpoint; a nil journal drops events

@@ -1,12 +1,12 @@
 package runctl
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"path/filepath"
-	"time"
 
 	"bbc/internal/faultfs"
 )
@@ -32,11 +32,9 @@ type Store struct {
 	// Retries is how many times a failed save is retried (0 = no
 	// retries: one attempt total).
 	Retries int
-	// Backoff is the delay before the first retry, doubling per attempt
-	// (0 = 50ms).
-	Backoff time.Duration
-	// Sleep replaces time.Sleep between retries (tests); nil = real sleep.
-	Sleep func(time.Duration)
+	// Retry is the delay policy between save attempts. The zero value
+	// is the historical schedule: 50ms doubling per attempt, no jitter.
+	Retry Backoff
 }
 
 // PrevPath is where the previous snapshot generation lives.
@@ -58,14 +56,6 @@ func (s *Store) Save(c *Checkpoint) error {
 		return fmt.Errorf("runctl: marshal checkpoint: %w", err)
 	}
 	data = append(data, '\n')
-	backoff := s.Backoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
-	sleep := s.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
 	for attempt := 0; ; attempt++ {
 		err = s.saveOnce(data)
 		if err == nil {
@@ -74,8 +64,7 @@ func (s *Store) Save(c *Checkpoint) error {
 		if attempt >= s.Retries {
 			return err
 		}
-		sleep(backoff)
-		backoff *= 2
+		s.Retry.Wait(context.Background(), attempt) //nolint:errcheck // Background never cancels
 	}
 }
 

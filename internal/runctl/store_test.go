@@ -226,8 +226,10 @@ func TestStoreRetryBackoff(t *testing.T) {
 		Path:    filepath.Join(t.TempDir(), "run.ckpt"),
 		FS:      inj,
 		Retries: 3,
-		Backoff: 10 * time.Millisecond,
-		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+		Retry: Backoff{
+			Base:  10 * time.Millisecond,
+			Sleep: func(d time.Duration) { slept = append(slept, d) },
+		},
 	}
 	if err := s.Save(testCheckpoint(t, 5)); err != nil {
 		t.Fatalf("retries should absorb a 2-shot transient fault: %v", err)
@@ -248,7 +250,7 @@ func TestStoreRetryExhaustion(t *testing.T) {
 		Path:    filepath.Join(t.TempDir(), "run.ckpt"),
 		FS:      inj,
 		Retries: 2,
-		Sleep:   func(time.Duration) {},
+		Retry:   Backoff{Sleep: func(time.Duration) {}},
 	}
 	err := s.Save(testCheckpoint(t, 5))
 	if !errors.Is(err, faultfs.ErrInjected) {

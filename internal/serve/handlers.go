@@ -33,7 +33,10 @@ const maxRequestBody = 8 << 20
 //	GET    /metrics             JSON snapshot by default; Prometheus text
 //	                            exposition via Accept: text/plain or
 //	                            ?format=prometheus
-//	GET    /healthz             200 ok / 503 draining
+//	GET    /healthz             liveness: 200 whenever the process can
+//	                            answer, draining or not
+//	GET    /readyz              readiness: 200 accepting work, 503 +
+//	                            Retry-After while draining
 //	GET    /buildinfo           go version, VCS revision, run id, uptime
 //
 // Every request's wall time is observed into the serve.http_request_ns
@@ -47,6 +50,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
@@ -135,6 +139,7 @@ type Metrics struct {
 	Counters   map[string]int64         `json:"counters"`
 	Histograms map[string]obs.Histogram `json:"histograms,omitempty"`
 	Jobs       JobGauges                `json:"jobs"`
+	Pool       PoolGauges               `json:"pool"`
 	Runtime    RuntimeStats             `json:"runtime"`
 }
 
@@ -144,6 +149,21 @@ type JobGauges struct {
 	Running  int `json:"running"`
 	Done     int `json:"done"`
 	Rejected int `json:"rejected"`
+}
+
+// PoolGauges is the worker pool's saturation face: how deep the queue
+// is against its bound and how much of the pool is busy. The fleet
+// coordinator (and dashboards) read these to spot a saturated worker
+// before the 429s start.
+type PoolGauges struct {
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// InFlight is how many jobs are executing right now.
+	InFlight int `json:"in_flight"`
+	// QueueDepth is how many accepted jobs await a worker.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCapacity is the queue bound; depth == capacity refuses with 429.
+	QueueCapacity int `json:"queue_capacity"`
 }
 
 // RuntimeStats are the process gauges exposed alongside the counters.
@@ -178,6 +198,12 @@ func (s *Server) Snapshot() *Metrics {
 		case StateRejected:
 			m.Jobs.Rejected++
 		}
+	}
+	m.Pool = PoolGauges{
+		Workers:       s.cfg.workers(),
+		InFlight:      m.Jobs.Running,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
 	}
 	s.mu.Unlock()
 
@@ -224,6 +250,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.Gauge{Name: "bbc_jobs_running", Help: "Retained jobs in state running.", Value: float64(m.Jobs.Running)},
 		obs.Gauge{Name: "bbc_jobs_done", Help: "Retained jobs in state done.", Value: float64(m.Jobs.Done)},
 		obs.Gauge{Name: "bbc_jobs_rejected", Help: "Retained jobs in state rejected.", Value: float64(m.Jobs.Rejected)},
+		obs.Gauge{Name: "bbc_pool_workers", Help: "Job pool size.", Value: float64(m.Pool.Workers)},
+		obs.Gauge{Name: "bbc_jobs_in_flight", Help: "Jobs executing right now.", Value: float64(m.Pool.InFlight)},
+		obs.Gauge{Name: "bbc_queue_depth", Help: "Accepted jobs awaiting a worker.", Value: float64(m.Pool.QueueDepth)},
+		obs.Gauge{Name: "bbc_queue_capacity", Help: "Queue bound; depth == capacity refuses with 429.", Value: float64(m.Pool.QueueCapacity)},
 	)
 	w.Header().Set("Content-Type", obs.PrometheusContentType)
 	_ = obs.WritePrometheus(w, s.reg, gauges)
@@ -265,12 +295,26 @@ func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleHealth is pure liveness: a draining server is still alive (it
+// is finishing checkpoints), so /healthz answers 200 until the process
+// exits. Orchestrators restart on failed liveness — which is exactly
+// wrong during a drain — so the "stop sending work" signal lives on
+// /readyz instead.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": s.Draining()})
+}
+
+// handleReady is readiness: 503 + Retry-After while draining, so load
+// balancers and the fleet coordinator route work elsewhere while the
+// process finishes its drain.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		retry := s.cfg.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

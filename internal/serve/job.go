@@ -28,10 +28,11 @@ type Request struct {
 	Agg string `json:"agg,omitempty"`
 
 	// Enumerate parameters.
-	Pin         bool   `json:"pin,omitempty"`          // soundly pinned search space (unit lengths)
-	Workers     int    `json:"workers,omitempty"`      // solver workers inside the job (0 = 1, serial)
-	MaxNE       int    `json:"max_ne,omitempty"`       // stop after this many equilibria (0 = all)
-	MaxProfiles uint64 `json:"max_profiles,omitempty"` // profile budget (0 = unbounded)
+	Pin         bool        `json:"pin,omitempty"`          // soundly pinned search space (unit lengths)
+	Workers     int         `json:"workers,omitempty"`      // solver workers inside the job (0 = 1, serial)
+	MaxNE       int         `json:"max_ne,omitempty"`       // stop after this many equilibria (0 = all)
+	MaxProfiles uint64      `json:"max_profiles,omitempty"` // profile budget (0 = unbounded)
+	Shard       *ShardRange `json:"shard,omitempty"`        // scan only pivot partitions [Lo, Hi)
 
 	// Walk parameters.
 	Sched string `json:"sched,omitempty"` // round-robin (default), max-cost-first, random
@@ -47,6 +48,19 @@ type Request struct {
 	// It bounds this run, not the solve identity, so it is excluded from
 	// the dedup key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ShardRange restricts an enumerate job to the half-open range
+// [Lo, Hi) of the search space's pivot partitions — the same
+// partitioning the parallel enumerator fans out over (the strategy set
+// of the first node with more than one strategy). Concatenating shard
+// results in Lo order reproduces the serial odometer order exactly,
+// which is what makes the fleet coordinator's merge byte-identical to a
+// single-box scan. The shard participates in the dedup key and in the
+// checkpoint fingerprint, so different shards of one game never collide.
+type ShardRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
 }
 
 // job states. A job is terminal in StateDone (ran, result attached,
@@ -167,6 +181,9 @@ func parseRequest(req *Request) error {
 		if req.Workers < 0 || req.MaxNE < 0 {
 			return fmt.Errorf("workers and max_ne must be >= 0")
 		}
+		if req.Shard != nil && (req.Shard.Lo < 0 || req.Shard.Hi <= req.Shard.Lo) {
+			return fmt.Errorf("shard range [%d, %d) is empty or negative", req.Shard.Lo, req.Shard.Hi)
+		}
 	case "walk":
 		switch req.Sched {
 		case "", "round-robin", "max-cost-first", "random":
@@ -220,6 +237,9 @@ func dedupKey(req *Request, spec core.Spec) (string, error) {
 	switch req.Mode {
 	case "enumerate":
 		fmt.Fprintf(h, "pin=%t;workers=%d;maxne=%d;maxprof=%d;", req.Pin, req.Workers, req.MaxNE, req.MaxProfiles)
+		if req.Shard != nil {
+			fmt.Fprintf(h, "shard=%d:%d;", req.Shard.Lo, req.Shard.Hi)
+		}
 	case "walk":
 		fmt.Fprintf(h, "sched=%s;start=%s;seed=%d;steps=%d;", req.Sched, req.Start, req.Seed, req.Steps)
 	case "suite":

@@ -18,14 +18,19 @@ import (
 // left by a drained server can equally be resumed by the CLI.
 const enumCheckpointKind = "enumeration"
 
-// EnumResult is the wire result of an enumerate job.
+// EnumResult is the wire result of an enumerate job. For sharded jobs,
+// SpaceSize/Checked/Equilibria describe the shard's slice of the space
+// and Fingerprint is the shard-qualified scan fingerprint — the
+// idempotency key the fleet coordinator merges on.
 type EnumResult struct {
-	N          int            `json:"n"`
-	Agg        string         `json:"agg"`
-	Space      string         `json:"space"` // full | pinned
-	SpaceSize  uint64         `json:"space_size"`
-	Checked    uint64         `json:"checked"`
-	Equilibria []core.Profile `json:"equilibria"`
+	N           int            `json:"n"`
+	Agg         string         `json:"agg"`
+	Space       string         `json:"space"` // full | pinned
+	SpaceSize   uint64         `json:"space_size"`
+	Checked     uint64         `json:"checked"`
+	Equilibria  []core.Profile `json:"equilibria"`
+	Shard       *ShardRange    `json:"shard,omitempty"`
+	Fingerprint string         `json:"fingerprint,omitempty"`
 }
 
 // WalkResult is the wire result of a walk job.
@@ -160,7 +165,17 @@ func (s *Server) runEnumerate(ctx context.Context, job *Job, jj *obs.Journal) (a
 	if err != nil {
 		return nil, runctl.StatusComplete, err
 	}
+	// The fingerprint hashes the full space, then is shard-qualified:
+	// EnumFingerprint only sees per-node set *lengths*, so two different
+	// equal-width shards of one game would otherwise share a fingerprint
+	// and could cross-resume each other's checkpoints.
 	fp := core.EnumFingerprint(spec, agg, ss)
+	if sh := job.Req.Shard; sh != nil {
+		if err := sliceShard(ss, sh); err != nil {
+			return nil, runctl.StatusComplete, err
+		}
+		fp = fmt.Sprintf("%s+shard[%d:%d)", fp, sh.Lo, sh.Hi)
+	}
 
 	ckptPath := s.checkpointPath(job)
 	var store *runctl.Store
@@ -241,13 +256,35 @@ func (s *Server) runEnumerate(ctx context.Context, job *Job, jj *obs.Journal) (a
 		agg_ = "sum"
 	}
 	return &EnumResult{
-		N:          spec.N(),
-		Agg:        agg_,
-		Space:      spaceName,
-		SpaceSize:  ss.Size(),
-		Checked:    res.Checked,
-		Equilibria: res.Equilibria,
+		N:           spec.N(),
+		Agg:         agg_,
+		Space:       spaceName,
+		SpaceSize:   ss.Size(),
+		Checked:     res.Checked,
+		Equilibria:  res.Equilibria,
+		Shard:       job.Req.Shard,
+		Fingerprint: fp,
 	}, res.Status, nil
+}
+
+// sliceShard restricts the search space to the requested pivot
+// partition range in place. The range is half-open over the pivot
+// node's strategy set; a space with no pivot (a single profile) only
+// admits the trivial shard [0, 1).
+func sliceShard(ss *core.SearchSpace, sh *ShardRange) error {
+	pivot := ss.Pivot()
+	if pivot < 0 {
+		if sh.Lo != 0 || sh.Hi != 1 {
+			return fmt.Errorf("serve: shard [%d, %d) on a single-profile space (only [0, 1) exists)", sh.Lo, sh.Hi)
+		}
+		return nil
+	}
+	parts := len(ss.PerNode[pivot])
+	if sh.Hi > parts {
+		return fmt.Errorf("serve: shard [%d, %d) exceeds the %d pivot partitions", sh.Lo, sh.Hi, parts)
+	}
+	ss.PerNode[pivot] = ss.PerNode[pivot][sh.Lo:sh.Hi]
+	return nil
 }
 
 // runWalk executes a best-response walk job. Walks are deterministic

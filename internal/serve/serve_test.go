@@ -453,6 +453,9 @@ func TestHTTPEndpoints(t *testing.T) {
 	if code, body := get("/healthz"); code != 200 || !strings.Contains(string(body), "ok") {
 		t.Errorf("healthz: %d %s", code, body)
 	}
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(string(body), "ready") {
+		t.Errorf("readyz: %d %s", code, body)
+	}
 	if code, _ := get("/v1/jobs/job-999999"); code != 404 {
 		t.Errorf("unknown job GET: %d, want 404", code)
 	}
@@ -495,11 +498,26 @@ func TestHTTPEndpoints(t *testing.T) {
 	if m.Counters["serve.solves"] != 1 || m.Jobs.Done != 1 || m.Draining {
 		t.Errorf("metrics document: %+v", m)
 	}
+	if m.Pool.Workers != 1 || m.Pool.QueueCapacity == 0 || m.Pool.InFlight != 0 {
+		t.Errorf("pool gauges: %+v", m.Pool)
+	}
 
-	// Drain flips healthz and submissions to 503.
+	// Drain flips readyz and submissions to 503; healthz is liveness and
+	// stays 200 — the draining process is alive, just not accepting work.
 	s.Drain()
-	if code, _ := get("/healthz"); code != 503 {
-		t.Errorf("healthz during drain: %d, want 503", code)
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(string(body), `"draining": true`) {
+		t.Errorf("healthz during drain: %d %s, want 200 + draining marker", code, body)
+	}
+	readyRes, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readyRes.Body.Close()
+	if readyRes.StatusCode != 503 {
+		t.Errorf("readyz during drain: %d, want 503", readyRes.StatusCode)
+	}
+	if readyRes.Header.Get("Retry-After") == "" {
+		t.Error("draining readyz reply missing Retry-After")
 	}
 	res, err = http.Post(ts.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"mode":"enumerate","game":{"kind":"uniform","n":4,"k":1}}`))

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"bbc/internal/core"
+)
+
+// decodeEnum unwraps an enumerate job's result document.
+func decodeEnum(t *testing.T, v *View) *EnumResult {
+	t.Helper()
+	if v.State != StateDone || v.Error != "" {
+		t.Fatalf("job %s: state=%s err=%q", v.ID, v.State, v.Error)
+	}
+	var res EnumResult
+	if err := json.Unmarshal(v.Result, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	return &res
+}
+
+// TestShardedScanMergesToReference is the sharding contract: splitting
+// the pivot partition range across jobs and concatenating the shard
+// results in range order reproduces the unsharded scan — same checked
+// count, same equilibria, same order.
+func TestShardedScanMergesToReference(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2})
+	game := uniformGame(4, 1)
+
+	ref, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: game})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("reference submit: outcome=%v err=%v", outcome, err)
+	}
+	refRes := decodeEnum(t, waitState(t, s, ref.ID, StateDone))
+	if refRes.Checked == 0 || len(refRes.Equilibria) == 0 {
+		t.Fatalf("degenerate reference scan: %+v", refRes)
+	}
+
+	// The pivot of the uniform(4,1) full space is node 0 with 3
+	// strategies ({1},{2},{3}); slice it into uneven shards.
+	spec, err := core.UnmarshalSpec(game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := core.FullSpace(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := len(ss.PerNode[ss.Pivot()])
+	if parts < 2 {
+		t.Fatalf("test game has %d pivot partitions; need >= 2", parts)
+	}
+
+	var (
+		merged  []core.Profile
+		checked uint64
+		fps     = map[string]bool{}
+	)
+	for _, sh := range []ShardRange{{Lo: 0, Hi: 1}, {Lo: 1, Hi: parts}} {
+		sh := sh
+		v, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: game, Shard: &sh})
+		if err != nil || outcome != Accepted {
+			t.Fatalf("shard %+v submit: outcome=%v err=%v", sh, outcome, err)
+		}
+		res := decodeEnum(t, waitState(t, s, v.ID, StateDone))
+		if res.Shard == nil || *res.Shard != sh {
+			t.Errorf("shard echo = %+v, want %+v", res.Shard, sh)
+		}
+		if res.Fingerprint == "" || fps[res.Fingerprint] {
+			t.Errorf("shard %+v fingerprint %q empty or colliding", sh, res.Fingerprint)
+		}
+		fps[res.Fingerprint] = true
+		merged = append(merged, res.Equilibria...)
+		checked += res.Checked
+	}
+
+	if checked != refRes.Checked {
+		t.Errorf("merged checked = %d, reference = %d", checked, refRes.Checked)
+	}
+	got, _ := json.Marshal(merged)
+	want, _ := json.Marshal(refRes.Equilibria)
+	if string(got) != string(want) {
+		t.Errorf("merged equilibria != reference:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestShardValidation: malformed or out-of-range shards are refused,
+// and distinct shards of one game never dedup to the same job.
+func TestShardValidation(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	game := uniformGame(4, 1)
+
+	for _, sh := range []ShardRange{{Lo: -1, Hi: 1}, {Lo: 2, Hi: 2}, {Lo: 3, Hi: 1}} {
+		sh := sh
+		if _, _, err := s.Submit(&Request{Mode: "enumerate", Game: game, Shard: &sh}); err == nil {
+			t.Errorf("shard %+v accepted, want validation error", sh)
+		}
+	}
+
+	// Out of range against the actual partition count: caught at run
+	// time, surfacing as a failed job rather than a hung one.
+	big := ShardRange{Lo: 0, Hi: 1000}
+	v, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: game, Shard: &big})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("submit: outcome=%v err=%v", outcome, err)
+	}
+	if final := waitState(t, s, v.ID, StateDone); final.Error == "" {
+		t.Error("out-of-range shard ran without error")
+	}
+
+	// Distinct shards must get distinct dedup keys; a resubmitted
+	// identical shard must dedup.
+	a, outcomeA, _ := s.Submit(&Request{Mode: "enumerate", Game: game, Shard: &ShardRange{Lo: 0, Hi: 1}})
+	b, outcomeB, _ := s.Submit(&Request{Mode: "enumerate", Game: game, Shard: &ShardRange{Lo: 1, Hi: 2}})
+	if outcomeA != Accepted || outcomeB != Accepted {
+		t.Fatalf("shard submits: %v %v", outcomeA, outcomeB)
+	}
+	if a.Key == b.Key {
+		t.Errorf("distinct shards share dedup key %s", a.Key)
+	}
+	waitState(t, s, a.ID, StateDone)
+	dup, outcomeDup, _ := s.Submit(&Request{Mode: "enumerate", Game: game, Shard: &ShardRange{Lo: 0, Hi: 1}})
+	if outcomeDup != Deduped || dup.ID != a.ID {
+		t.Errorf("identical shard resubmit: outcome=%v id=%s, want dedup to %s", outcomeDup, dup.ID, a.ID)
+	}
+}
+
+// TestShardCheckpointFingerprintsDiffer guards the fingerprint
+// qualification: equal-width shards hash identical per-node set lengths,
+// so only the shard suffix keeps their checkpoints from cross-resuming.
+func TestShardCheckpointFingerprintsDiffer(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	game := uniformGame(4, 1)
+	fps := map[string]string{}
+	for _, sh := range []ShardRange{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}, {Lo: 2, Hi: 3}} {
+		sh := sh
+		v, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: game, Shard: &sh})
+		if err != nil || outcome != Accepted {
+			t.Fatalf("submit %+v: outcome=%v err=%v", sh, outcome, err)
+		}
+		res := decodeEnum(t, waitState(t, s, v.ID, StateDone))
+		key := fmt.Sprintf("%d:%d", sh.Lo, sh.Hi)
+		for prior, fp := range fps {
+			if fp == res.Fingerprint {
+				t.Errorf("shards %s and %s share fingerprint %q", prior, key, fp)
+			}
+		}
+		fps[key] = res.Fingerprint
+	}
+}
