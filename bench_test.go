@@ -19,6 +19,7 @@ import (
 	"bbc/internal/core"
 	"bbc/internal/dynamics"
 	"bbc/internal/exper"
+	"bbc/internal/graph"
 	"bbc/internal/group"
 	"bbc/internal/obs"
 )
@@ -234,6 +235,39 @@ func BenchmarkDynamicsRound(b *testing.B) {
 // profiles; each benchmark iteration scans a fixed 50,000-profile slice so
 // profiles/sec and allocs/profile extrapolate to the full run.
 func BenchmarkTheorem1Scan(b *testing.B) {
+	benchTheorem1Slice(b, core.EnumConfig{})
+}
+
+// BenchmarkTheorem1ScanScalar is the same slice with the bit-parallel
+// multi-source BFS disabled — the ablation isolating the batch rebuild's
+// contribution to the trajectory.
+func BenchmarkTheorem1ScanScalar(b *testing.B) {
+	benchTheorem1Slice(b, core.EnumConfig{DisableBatchBFS: true})
+}
+
+// BenchmarkTheorem1ScanQuotient layers the symmetry quotient (the
+// gadget's automorphism group) on top of the batch path. Skipped orbit
+// states still count as Checked, so the slice covers the same 50,000
+// states — the win shows up as fewer oracle builds per op.
+func BenchmarkTheorem1ScanQuotient(b *testing.B) {
+	d := construct.MatchingPennies(construct.DefaultGadgetWeights())
+	ss, err := core.PinnedSpace(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gens, err := core.SpecAutomorphisms(d, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := core.NewQuotient(d, ss, gens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTheorem1Slice(b, core.EnumConfig{Quotient: q})
+}
+
+func benchTheorem1Slice(b *testing.B, cfg core.EnumConfig) {
+	b.Helper()
 	const sliceProfiles = 50000
 	d := construct.MatchingPennies(construct.DefaultGadgetWeights())
 	ss, err := core.PinnedSpace(d, 0)
@@ -244,8 +278,9 @@ func BenchmarkTheorem1Scan(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.EnumeratePureNEOpts(d, core.SumDistances, ss,
-			core.EnumConfig{MaxProfiles: sliceProfiles})
+		cfg := cfg
+		cfg.MaxProfiles = sliceProfiles
+		res, err := core.EnumeratePureNEOpts(d, core.SumDistances, ss, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,6 +290,46 @@ func BenchmarkTheorem1Scan(b *testing.B) {
 	}
 	b.ReportMetric(float64(sliceProfiles)*float64(b.N)/b.Elapsed().Seconds(), "profiles/sec")
 	reportObsMetrics(b, reg)
+}
+
+// BenchmarkBFSBatch compares one 64-source bit-parallel BFS against 64
+// scalar traversals of the same random unit-length digraph — the raw
+// speedup the oracle rebuild inherits on unit-length games.
+func BenchmarkBFSBatch(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(11))
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for d := 0; d < 3; d++ {
+			v := rng.Intn(n)
+			if v != u {
+				g.AddArc(u, v, 1)
+			}
+		}
+	}
+	srcs := make([]int, graph.BatchWidth)
+	for i := range srcs {
+		srcs[i] = i
+	}
+	dist := make([]int64, graph.BatchWidth*n)
+	b.Run("batch64", func(b *testing.B) {
+		var bs graph.BitScratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.BFSBatchInto(dist, srcs, graph.Options{Skip: -1}, &bs)
+		}
+	})
+	b.Run("scalar64", func(b *testing.B) {
+		var gs graph.Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, s := range srcs {
+				g.BFSInto(dist[j*n:(j+1)*n], s, graph.Options{Skip: -1}, &gs)
+			}
+		}
+	})
 }
 
 // BenchmarkCayleyCheck measures the vertex-transitive stability check that

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bbc/internal/core"
+	"bbc/internal/group"
 	"bbc/internal/obs"
 	"bbc/internal/runctl"
 )
@@ -26,6 +27,7 @@ type enumResult struct {
 	Checked    uint64           `json:"checked"`
 	Status     string           `json:"status"` // complete | cancelled | deadline | budget
 	Complete   bool             `json:"complete"`
+	Quotient   int              `json:"quotient_order,omitempty"`
 	Equilibria []core.Profile   `json:"equilibria"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
 }
@@ -51,6 +53,22 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 		return runctl.StatusComplete, err
 	}
 	fp := core.EnumFingerprint(spec, agg, ss)
+
+	var quo *core.Quotient
+	if o.quotient {
+		gens, err := quotientPerms(spec)
+		if err != nil {
+			return runctl.StatusComplete, fmt.Errorf("-quotient: %w", err)
+		}
+		if quo, err = core.NewQuotient(spec, ss, gens); err != nil {
+			return runctl.StatusComplete, fmt.Errorf("-quotient: %w", err)
+		}
+		// A quotiented cursor skips states a plain scan would visit, so its
+		// checkpoints are only exchangeable with scans under the same group:
+		// the fingerprint gains a group qualifier.
+		fp = quo.QualifyFingerprint(fp)
+		fmt.Fprintf(o.stderr, "bbcsim: quotienting the scan by a symmetry group of order %d\n", quo.Order())
+	}
 
 	var resume *core.EnumCheckpoint
 	if o.resume != "" {
@@ -109,11 +127,13 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 			obs.MetricReader(rt.Reg, obs.MProfilesChecked), time.Second)
 	}
 	cfg := core.EnumConfig{
-		Ctx:           ctx,
-		MaxEquilibria: o.maxNE,
-		MaxProfiles:   o.maxProfiles,
-		Resume:        resume,
-		Workers:       o.parallel,
+		Ctx:             ctx,
+		MaxEquilibria:   o.maxNE,
+		MaxProfiles:     o.maxProfiles,
+		Resume:          resume,
+		Workers:         o.parallel,
+		Quotient:        quo,
+		DisableBatchBFS: !o.batchBFS,
 		OnCheckpoint: func(cp *core.EnumCheckpoint) {
 			// Mid-run snapshot: the run has not ended, so the envelope
 			// records the control state at save time. A failed save
@@ -164,6 +184,9 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 		Equilibria: res.Equilibria,
 		Counters:   rt.Reg.Snapshot(),
 	}
+	if quo != nil {
+		out.Quotient = quo.Order()
+	}
 	rt.Journal.Event("summary", map[string]any{
 		"n":          out.N,
 		"agg":        out.Agg,
@@ -187,6 +210,21 @@ func runEnumerate(ctx context.Context, o options, spec core.Spec, agg core.Aggre
 	}
 	reportEnum(o.stdout, out, res)
 	return enumExitStatus(o, res), finalSaveErr
+}
+
+// quotientPerms derives the symmetry generators backing -quotient. The
+// uniform game's full automorphism group is Sₙ — far past any useful
+// closure — so it gets the structural cyclic translations u ↦ u+t plus
+// the reflection u ↦ −u (the dihedral group, order 2n). Every other spec
+// is searched for its automorphisms, with a cap that rejects groups too
+// large to quotient profitably.
+func quotientPerms(spec core.Spec) ([][]int, error) {
+	if _, ok := spec.(*core.Uniform); ok {
+		z := group.MustCyclic(spec.N())
+		gens := group.Translations(z)
+		return append(gens, group.Negation(z)), nil
+	}
+	return core.SpecAutomorphisms(spec, 512)
 }
 
 // enumExitStatus maps a scan result to the process exit status. Hitting

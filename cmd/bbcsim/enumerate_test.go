@@ -158,6 +158,105 @@ func TestEnumerateCLIJournalRunStatus(t *testing.T) {
 	}
 }
 
+// TestEnumerateCLIQuotientAndScalarMatch pins the CLI differential
+// contract: -quotient and -batch-bfs=false are pure performance switches
+// — checked counts, equilibria bytes, and completion status all match the
+// default scan exactly.
+func TestEnumerateCLIQuotientAndScalarMatch(t *testing.T) {
+	oRef, refOut, _ := enumOptions(5, 1)
+	if _, err := run(context.Background(), oRef); err != nil {
+		t.Fatal(err)
+	}
+	ref := decodeEnum(t, refOut)
+	refEq, _ := json.Marshal(ref.Equilibria)
+
+	for _, tc := range []struct {
+		name string
+		mod  func(o *options)
+	}{
+		{"quotient", func(o *options) { o.quotient = true }},
+		{"quotient-parallel", func(o *options) { o.quotient = true; o.parallel = 3 }},
+		{"scalar-bfs", func(o *options) { o.batchBFS = false }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o, stdout, stderr := enumOptions(5, 1)
+			tc.mod(&o)
+			status, err := run(context.Background(), o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status != runctl.StatusComplete {
+				t.Fatalf("want complete, got %v", status)
+			}
+			out := decodeEnum(t, stdout)
+			gotEq, _ := json.Marshal(out.Equilibria)
+			if !bytes.Equal(gotEq, refEq) {
+				t.Errorf("equilibria diverged:\n got %s\nwant %s", gotEq, refEq)
+			}
+			if out.Checked != ref.Checked || !out.Complete {
+				t.Errorf("checked=%d complete=%v, want checked=%d complete=true", out.Checked, out.Complete, ref.Checked)
+			}
+			if o.quotient {
+				if out.Quotient < 2 {
+					t.Errorf("quotient_order=%d, want >= 2", out.Quotient)
+				}
+				if !strings.Contains(stderr.String(), "symmetry group of order") {
+					t.Errorf("missing group-order note on stderr:\n%s", stderr.String())
+				}
+			}
+		})
+	}
+}
+
+// TestEnumerateCLIQuotientCheckpointIncompatible pins the fingerprint
+// qualifier: a plain scan's checkpoint must not resume a quotiented scan
+// (the cursors mean different things), and vice versa.
+func TestEnumerateCLIQuotientCheckpointIncompatible(t *testing.T) {
+	ckpt := t.TempDir() + "/enum.ckpt"
+	o, _, _ := enumOptions(5, 1)
+	o.maxProfiles, o.checkpoint = 10, ckpt
+	if _, err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	o2, _, _ := enumOptions(5, 1)
+	o2.resume, o2.quotient = ckpt, true
+	if _, err := run(context.Background(), o2); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("quotient run accepted a plain checkpoint: %v", err)
+	}
+}
+
+// TestEnumerateCLIQuotientResume runs the quotiented scan through a
+// budget interruption and a -resume leg, demanding the uninterrupted
+// equilibria byte-identically.
+func TestEnumerateCLIQuotientResume(t *testing.T) {
+	oRef, refOut, _ := enumOptions(5, 1)
+	if _, err := run(context.Background(), oRef); err != nil {
+		t.Fatal(err)
+	}
+	ref := decodeEnum(t, refOut)
+
+	ckpt := t.TempDir() + "/enum.ckpt"
+	o, _, _ := enumOptions(5, 1)
+	o.quotient, o.maxProfiles, o.checkpoint = true, ref.Checked/2, ckpt
+	if status, err := run(context.Background(), o); err != nil || status != runctl.StatusBudget {
+		t.Fatalf("interrupted leg: status=%v err=%v", status, err)
+	}
+	o2, stdout2, _ := enumOptions(5, 1)
+	o2.quotient, o2.resume = true, ckpt
+	if status, err := run(context.Background(), o2); err != nil || status != runctl.StatusComplete {
+		t.Fatalf("resumed leg: status=%v err=%v", status, err)
+	}
+	resumed := decodeEnum(t, stdout2)
+	refEq, _ := json.Marshal(ref.Equilibria)
+	resEq, _ := json.Marshal(resumed.Equilibria)
+	if !bytes.Equal(refEq, resEq) {
+		t.Errorf("resumed quotient equilibria not byte-identical:\n got %s\nwant %s", resEq, refEq)
+	}
+	if resumed.Checked != ref.Checked {
+		t.Errorf("resumed checked %d, want %d", resumed.Checked, ref.Checked)
+	}
+}
+
 // TestWalkModeRejectsCheckpointFlags pins the usage contract:
 // -checkpoint/-resume apply to -enumerate runs only.
 func TestWalkModeRejectsCheckpointFlags(t *testing.T) {

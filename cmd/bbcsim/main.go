@@ -10,8 +10,8 @@
 //	       [-timeout 0] [-journal run.jsonl] [-trace run.trace.json]
 //	       [-progress] [-pprof :6060]
 //	bbcsim -enumerate [-load game.json | -n 6 -k 1] [-pin] [-parallel 0]
-//	       [-max-ne 0] [-max-profiles 0] [-timeout 30s]
-//	       [-checkpoint run.ckpt] [-resume run.ckpt] [-json]
+//	       [-quotient] [-batch-bfs=false] [-max-ne 0] [-max-profiles 0]
+//	       [-timeout 30s] [-checkpoint run.ckpt] [-resume run.ckpt] [-json]
 //
 // Run control: SIGINT/SIGTERM cancel the run gracefully — partial
 // results are reported (Complete: false plus a status naming the
@@ -86,6 +86,8 @@ type options struct {
 
 	enumerate   bool
 	pin         bool
+	quotient    bool
+	batchBFS    bool
 	parallel    int
 	maxNE       int
 	maxProfiles uint64
@@ -114,6 +116,8 @@ func main() {
 	flag.StringVar(&o.pprof, "pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
 	flag.BoolVar(&o.enumerate, "enumerate", false, "exhaustively enumerate pure Nash equilibria instead of walking")
 	flag.BoolVar(&o.pin, "pin", false, "enumerate over the soundly pinned search space (unit-length games)")
+	flag.BoolVar(&o.quotient, "quotient", false, "skip profiles equivalent under the game's symmetry group (output is unchanged)")
+	flag.BoolVar(&o.batchBFS, "batch-bfs", true, "rebuild distance oracles with bit-parallel multi-source BFS on unit-length games")
 	flag.IntVar(&o.parallel, "parallel", 0, "enumeration workers (0 = NumCPU, 1 = serial with fine-grained checkpoints)")
 	flag.IntVar(&o.maxNE, "max-ne", 0, "stop after this many equilibria (0 = all)")
 	flag.Uint64Var(&o.maxProfiles, "max-profiles", 0, "profile budget for enumeration; truncates with status budget (0 = unbounded)")

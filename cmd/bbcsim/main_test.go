@@ -19,7 +19,8 @@ func testOptions(n, k int) (options, *bytes.Buffer, *bytes.Buffer) {
 		n: n, k: k,
 		agg: "sum", sched: "round-robin", start: "empty",
 		seed: 1, steps: 200,
-		stdout: &stdout, stderr: &stderr,
+		batchBFS: true, // mirror the flag default
+		stdout:   &stdout, stderr: &stderr,
 	}, &stdout, &stderr
 }
 

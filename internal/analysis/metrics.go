@@ -86,7 +86,7 @@ func MeasureDiameter(spec core.Spec, p core.Profile) DiameterStats {
 // DiameterBound returns the Lemma 7 bound shape sqrt(n·log_k n) scaled by
 // the given constant factor.
 func DiameterBound(n, k int, factor float64) float64 {
-	return factor * math.Sqrt(float64(n)*float64(maxInt(1, logK(n, k))))
+	return factor * math.Sqrt(float64(n)*float64(max(1, logK(n, k))))
 }
 
 // SocialOptimumLowerBound returns the information-theoretic lower bound on
@@ -154,11 +154,4 @@ func NewPoAPoint(n, k int, worst, optimum int64, desc string) PoAPoint {
 func (p PoAPoint) String() string {
 	return fmt.Sprintf("n=%-5d k=%-2d worst=%-10d optLB=%-10d PoA>=%.3f  %s",
 		p.N, p.K, p.WorstCost, p.OptimumLB, p.Ratio, p.Description)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

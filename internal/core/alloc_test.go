@@ -88,6 +88,31 @@ func TestOracleForAllocFree(t *testing.T) {
 	}
 }
 
+// TestOracleBatchBuildAllocFree pins the bit-parallel rebuild path
+// explicitly (the uniform fixture takes it by default) and its scalar
+// fallback: switching SetBatchBFS must not change the zero-alloc contract
+// in either direction.
+func TestOracleBatchBuildAllocFree(t *testing.T) {
+	withObsOff(t)
+	for _, mode := range []struct {
+		name  string
+		batch bool
+	}{{"batch", true}, {"scalar", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			es, _, _ := allocFixture(t)
+			es.SetBatchBFS(mode.batch)
+			es.NoteRewire(2)
+			es.OracleFor(5) // warm the selected traversal path
+			if got := testing.AllocsPerRun(200, func() {
+				es.NoteRewire(2)
+				es.OracleFor(5)
+			}); got != 0 {
+				t.Errorf("%s rebuild allocates %v/op, want 0", mode.name, got)
+			}
+		})
+	}
+}
+
 func TestProfileStableAllocFree(t *testing.T) {
 	withObsOff(t)
 	es, p, order := allocFixture(t)

@@ -63,11 +63,25 @@ type Oracle struct {
 	// minRemain[i] = the cheapest link cost among candidates i..end; used
 	// to decide maximality at leaves and to shortcut exhausted budgets.
 	minRemain []int64
-	minVec    []int64 // fold scratch for Evaluate
-	curVec    []int64 // DFS overlay state for BestExact / HasImprovement
-	cells     []undoCell
-	chosen    []int
-	taken     []bool // BestGreedy marks
+	offs      []int64 // offs[i] = ℓ(u, cands[i]), the row offset of candidate i
+	// pairCost is the sum of the two cheapest candidate link costs (2^64−1
+	// when fewer than two candidates exist). pairCost > budget means no
+	// feasible strategy holds two links, so the best-response optimum is
+	// the cheapest affordable single row — cached in singleOpt per rebuild,
+	// collapsing HasImprovement to one comparison on budget-1 games.
+	pairCost       uint64
+	singleOpt      int64
+	singleOptValid bool
+	// specCached marks cands/costs/support/weights/offs/minRemain/pairCost
+	// as valid for the current (spec, u): those arrays are derived from the
+	// spec alone, so a rebuild for the same node of the same game skips
+	// straight to the traversals and the arena fill.
+	specCached bool
+	minVec     []int64 // fold scratch for Evaluate
+	curVec     []int64 // DFS overlay state for BestExact / HasImprovement
+	cells      []undoCell
+	chosen     []int
+	taken      []bool // BestGreedy marks
 }
 
 // undoCell records an overwritten curVec entry so DFS include branches can
@@ -78,18 +92,37 @@ type undoCell struct {
 }
 
 // NewOracle precomputes the candidate distance rows for node u against the
-// given realized graph (whose arcs out of u are ignored).
+// given realized graph (whose arcs out of u are ignored). It always takes
+// the scalar per-source traversal path; the bit-parallel batch path belongs
+// to EvalScratch, which owns the buffers that make it worthwhile (and the
+// reference paths in differential tests rely on NewOracle staying scalar).
 func NewOracle(spec Spec, g *graph.Digraph, u int, agg Aggregation) *Oracle {
 	o := &Oracle{}
 	var gs graph.Scratch
-	o.build(spec, g, u, agg, &gs, make([]int64, spec.N()))
+	o.build(spec, g, u, agg, &gs, nil, make([]int64, spec.N()), nil, nil)
 	return o
 }
 
 // build (re)initializes the oracle in place, reusing every buffer whose
 // capacity suffices. gs and dist are the traversal scratch and an n-length
 // distance buffer; EvalScratch shares one pair across all of its oracles.
-func (o *Oracle) build(spec Spec, g *graph.Digraph, u int, agg Aggregation, gs *graph.Scratch, dist []int64) {
+// bs and bdist, when both non-nil, enable the bit-parallel traversal path
+// on uniform-length specs: sources are chunked into batches of up to
+// graph.BatchWidth and each batch costs one level-synchronized
+// BFSBatchInto instead of one BFSInto per source. bdist must hold
+// min(BatchWidth, n−1) × n entries.
+//
+// rev, when non-nil alongside bs on a uniform-length spec, must be the
+// exact arc-reversal of g (EvalScratch maintains one incrementally): the
+// rebuild then traverses column-wise — one reverse BFS per *support* node
+// v yields d_{G−u}(t, v) for every candidate t at once, because a t→v
+// path in G−u is a v→t path in rev−u. Support sets are typically far
+// smaller than candidate sets (only positive-weight targets are
+// materialized), so the reverse path runs |support| traversals instead of
+// n−1. Non-unit specs, nil bs and nil rev fall back to the scalar forward
+// path, which is bit-for-bit equivalent (every path fills the same arena
+// cells from the same hop counts).
+func (o *Oracle) build(spec Spec, g *graph.Digraph, u int, agg Aggregation, gs *graph.Scratch, bs *graph.BitScratch, dist []int64, bdist []int64, rev *graph.Digraph) {
 	n := spec.N()
 	if g.N() != n {
 		panic(fmt.Sprintf("core: graph has %d nodes, spec has %d", g.N(), n))
@@ -101,25 +134,52 @@ func (o *Oracle) build(spec Spec, g *graph.Digraph, u int, agg Aggregation, gs *
 	reg.Inc(obs.MOracleBuild)
 	t0 := reg.Started()
 	sp := obs.Trace().StartSpan("oracle.build")
-	o.spec, o.u, o.agg, o.n = spec, u, agg, n
+	if !(o.specCached && o.spec == spec && o.u == u) {
+		o.spec, o.u = spec, u
+		o.support = o.support[:0]
+		o.weights = o.weights[:0]
+		o.cands = o.cands[:0]
+		o.costs = o.costs[:0]
+		o.offs = o.offs[:0]
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			if w := spec.Weight(u, v); w > 0 {
+				o.support = append(o.support, v)
+				o.weights = append(o.weights, w)
+			}
+			o.cands = append(o.cands, v)
+			o.costs = append(o.costs, spec.LinkCost(u, v))
+			o.offs = append(o.offs, spec.Length(u, v))
+		}
+		C := len(o.cands)
+		o.minRemain = growInt64(o.minRemain, C+1)
+		o.minRemain[C] = int64(1)<<62 - 1
+		for i := C - 1; i >= 0; i-- {
+			o.minRemain[i] = o.costs[i]
+			if o.minRemain[i+1] < o.minRemain[i] {
+				o.minRemain[i] = o.minRemain[i+1]
+			}
+		}
+		c1, c2 := uint64(1)<<63, uint64(1)<<63
+		for _, c := range o.costs {
+			if uc := uint64(c); uc < c1 {
+				c1, c2 = uc, c1
+			} else if uc < c2 {
+				c2 = uc
+			}
+		}
+		if c2 == uint64(1)<<63 { // fewer than two candidates: no pair exists
+			o.pairCost = ^uint64(0)
+		} else {
+			o.pairCost = c1 + c2 // exact: two int64 costs cannot wrap a uint64
+		}
+		o.specCached = true
+	}
+	o.agg, o.n = agg, n
 	o.penalty = spec.Penalty()
 	o.budget = spec.Budget(u)
-
-	o.support = o.support[:0]
-	o.weights = o.weights[:0]
-	o.cands = o.cands[:0]
-	o.costs = o.costs[:0]
-	for v := 0; v < n; v++ {
-		if v == u {
-			continue
-		}
-		if w := spec.Weight(u, v); w > 0 {
-			o.support = append(o.support, v)
-			o.weights = append(o.weights, w)
-		}
-		o.cands = append(o.cands, v)
-		o.costs = append(o.costs, spec.LinkCost(u, v))
-	}
 	C, S := len(o.cands), len(o.support)
 
 	o.arena = growInt64(o.arena, C*S)
@@ -128,33 +188,63 @@ func (o *Oracle) build(spec Spec, g *graph.Digraph, u int, agg Aggregation, gs *
 	}
 	unit := spec.UnitLengths()
 	opt := graph.Options{Skip: u}
-	for i, t := range o.cands {
-		if unit {
-			g.BFSInto(dist, t, opt, gs)
-		} else {
-			g.DijkstraInto(dist, t, opt, gs)
+	switch {
+	case unit && rev != nil && bs != nil && len(bdist) >= min(graph.BatchWidth, max(S, 1))*n:
+		for lo := 0; lo < S; lo += graph.BatchWidth {
+			hi := min(lo+graph.BatchWidth, S)
+			m := hi - lo
+			rev.BFSBatchInto(bdist[:m*n], o.support[lo:hi], opt, bs)
+			for i, t := range o.cands {
+				row := o.arena[i*S+lo : i*S+hi]
+				off := o.offs[i]
+				for j := 0; j < m; j++ {
+					if d := bdist[j*n+t]; d == graph.Unreachable {
+						row[j] = infDist
+					} else {
+						row[j] = off + d
+					}
+				}
+			}
 		}
-		offset := spec.Length(u, t)
-		row := o.arena[i*S : (i+1)*S]
-		for j, v := range o.support {
-			if d := dist[v]; d == graph.Unreachable {
-				row[j] = infDist
+	case unit && bs != nil && len(bdist) >= min(graph.BatchWidth, C)*n && C > 1:
+		for lo := 0; lo < C; lo += graph.BatchWidth {
+			hi := min(lo+graph.BatchWidth, C)
+			m := hi - lo
+			g.BFSBatchInto(bdist[:m*n], o.cands[lo:hi], opt, bs)
+			for ci := 0; ci < m; ci++ {
+				offset := o.offs[lo+ci]
+				d := bdist[ci*n : (ci+1)*n]
+				row := o.arena[(lo+ci)*S : (lo+ci+1)*S]
+				for j, v := range o.support {
+					if dv := d[v]; dv == graph.Unreachable {
+						row[j] = infDist
+					} else {
+						row[j] = offset + dv
+					}
+				}
+			}
+		}
+	default:
+		for i, t := range o.cands {
+			if unit {
+				g.BFSInto(dist, t, opt, gs)
 			} else {
-				row[j] = offset + d
+				g.DijkstraInto(dist, t, opt, gs)
+			}
+			offset := o.offs[i]
+			row := o.arena[i*S : (i+1)*S]
+			for j, v := range o.support {
+				if d := dist[v]; d == graph.Unreachable {
+					row[j] = infDist
+				} else {
+					row[j] = offset + d
+				}
 			}
 		}
 	}
 
 	o.suffixValid = false
-
-	o.minRemain = growInt64(o.minRemain, C+1)
-	o.minRemain[C] = int64(1)<<62 - 1
-	for i := C - 1; i >= 0; i-- {
-		o.minRemain[i] = o.costs[i]
-		if o.minRemain[i+1] < o.minRemain[i] {
-			o.minRemain[i] = o.minRemain[i+1]
-		}
-	}
+	o.singleOptValid = false
 
 	o.minVec = growInt64(o.minVec, S)
 	o.curVec = growInt64(o.curVec, S)
@@ -324,6 +414,13 @@ func (o *Oracle) LowerBound() int64 {
 // warm oracle.
 func (o *Oracle) HasImprovement(cur int64) bool {
 	obs.Global().Inc(obs.MHasImprovement)
+	if o.pairCost > uint64(o.budget) {
+		// No feasible strategy holds two links (the two cheapest together
+		// exceed the budget, or fewer than two candidates exist), so the
+		// exact optimum is the cheapest affordable single row — cached per
+		// rebuild, making repeated stability queries one comparison each.
+		return o.singleBest() < cur
+	}
 	o.ensureSuffix()
 	v := o.curVec
 	for j := range v {
@@ -331,6 +428,32 @@ func (o *Oracle) HasImprovement(cur int64) bool {
 	}
 	o.cells = o.cells[:0]
 	return o.hasImp(0, o.budget, cur)
+}
+
+// singleBest returns the exact best-response cost when every feasible
+// strategy is empty or a single link (pairCost > budget): cost is monotone
+// non-increasing under adding links, so the optimum is the minimum over
+// the affordable single-link rows, or the empty-strategy cost when no link
+// is affordable. The value survives until the next rebuild.
+func (o *Oracle) singleBest() int64 {
+	if o.singleOptValid {
+		return o.singleOpt
+	}
+	v := o.minVec
+	for j := range v {
+		v[j] = infDist
+	}
+	opt := o.foldCost(v) // the empty strategy: every target at the penalty
+	for i := range o.cands {
+		if o.costs[i] > o.budget {
+			continue
+		}
+		if c := o.foldCost(o.row(i)); c < opt {
+			opt = c
+		}
+	}
+	o.singleOpt, o.singleOptValid = opt, true
+	return opt
 }
 
 // hasImp is the branch-and-bound DFS behind HasImprovement. curVec holds

@@ -14,7 +14,7 @@ func TestOracleEvaluateMatchesNodeCost(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	for trial := 0; trial < 80; trial++ {
 		n := 3 + rng.Intn(8)
-		k := 1 + rng.Intn(minInt(3, n-1))
+		k := 1 + rng.Intn(min(3, n-1))
 		spec := MustUniform(n, k)
 		p := randomProfile(rng, n, k)
 		g := p.Realize(spec)
@@ -107,7 +107,7 @@ func TestBestExactMatchesBruteForceUniform(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
 	for trial := 0; trial < 40; trial++ {
 		n := 3 + rng.Intn(5)
-		k := 1 + rng.Intn(minInt(2, n-1))
+		k := 1 + rng.Intn(min(2, n-1))
 		spec := MustUniform(n, k)
 		p := randomProfile(rng, n, k)
 		g := p.Realize(spec)
@@ -165,7 +165,7 @@ func TestGreedyNeverBeatsExactAndSwapHelps(t *testing.T) {
 	rng := rand.New(rand.NewSource(85))
 	for trial := 0; trial < 40; trial++ {
 		n := 4 + rng.Intn(6)
-		k := 1 + rng.Intn(minInt(3, n-1))
+		k := 1 + rng.Intn(min(3, n-1))
 		spec := MustUniform(n, k)
 		p := randomProfile(rng, n, k)
 		g := p.Realize(spec)
@@ -258,11 +258,4 @@ func TestOracleRowIndexPanicsOnNonCandidate(t *testing.T) {
 		}
 	}()
 	o.Evaluate(Strategy{0})
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

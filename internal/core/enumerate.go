@@ -236,6 +236,15 @@ type EnumCheckpoint struct {
 	// result; a nil entry is a partition still to do. Nil for serial
 	// checkpoints.
 	Parts []*PartProgress `json:"parts,omitempty"`
+	// Pending holds, for a quotiented serial scan, the cursor-order index
+	// vectors (strictly ascending, all at or past Cursor) of equilibria
+	// already known by orbit expansion but not yet reached by the cursor.
+	// Resuming replays them so the emitted equilibria match the
+	// unquotiented scan byte for byte. Empty for plain scans — every orbit
+	// is the trivial one — and for parallel checkpoints, which only record
+	// completed partitions (a finished partition has drained its pending
+	// list by construction).
+	Pending [][]int `json:"pending,omitempty"`
 }
 
 // PartProgress is one completed partition of a parallel scan.
@@ -328,7 +337,24 @@ type EnumConfig struct {
 	// Workers bounds parallel-scan concurrency (0 = NumCPU); ignored by
 	// the serial scan.
 	Workers int
+	// Quotient, when non-nil, must be compiled (NewQuotient) against this
+	// scan's spec and search space: the scan then evaluates stability only
+	// at canonical orbit representatives, crediting the skipped states and
+	// re-expanding stable representatives into their full orbits at the
+	// moment the cursor reaches each member — so a completed quotiented
+	// scan returns equilibria, counts and ordering byte-identical to the
+	// plain scan at a fraction of the evaluations. Checkpoints from
+	// quotiented and plain scans are mutually incompatible (resume both
+	// sides of a split under the same Quotient; see QualifyFingerprint).
+	Quotient *Quotient
+	// DisableBatchBFS forces scalar per-source traversals during oracle
+	// rebuilds instead of the bit-parallel batch path (see
+	// EvalScratch.SetBatchBFS). Results are identical either way.
+	DisableBatchBFS bool
 
+	// qview is the partition-bound quotient view handed to a parallel
+	// worker's sub-scan; it takes precedence over Quotient.
+	qview *quotientView
 	// budget, when non-nil, is the shared cross-partition profile budget
 	// of a parallel scan and takes precedence over MaxProfiles.
 	budget *profileBudget
@@ -412,6 +438,7 @@ func enumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 	}
 	res := &NEResult{Complete: true}
 	idx := make([]int, n)
+	var pending [][]int
 	if cfg.Resume != nil {
 		if cfg.Resume.Parts != nil {
 			return nil, fmt.Errorf("core: checkpoint is from a parallel scan; resume with EnumeratePureNEParallelOpts")
@@ -428,8 +455,32 @@ func enumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 			return nil, err
 		}
 		copy(idx, cfg.Resume.Cursor)
+		for k, pv := range cfg.Resume.Pending {
+			if len(pv) != n {
+				return nil, fmt.Errorf("core: checkpoint pending[%d] covers %d nodes, search space has %d", k, len(pv), n)
+			}
+			for u, i := range pv {
+				if i < 0 || i >= len(ss.PerNode[u]) {
+					return nil, fmt.Errorf("core: checkpoint pending[%d][%d]=%d out of range [0,%d)", k, u, i, len(ss.PerNode[u]))
+				}
+			}
+			if k > 0 && !lexLessInts(cfg.Resume.Pending[k-1], pv) {
+				return nil, fmt.Errorf("core: checkpoint pending entries not strictly ascending at %d", k)
+			}
+			if lexLessInts(pv, idx) {
+				return nil, fmt.Errorf("core: checkpoint pending[%d] lies before the cursor", k)
+			}
+			pending = append(pending, append([]int(nil), pv...))
+		}
 		res.Checked = cfg.Resume.Checked
 		res.Equilibria = append([]Profile(nil), cfg.Resume.Equilibria...)
+	}
+	qv := cfg.qview
+	if qv == nil && cfg.Quotient != nil {
+		var err error
+		if qv, err = cfg.Quotient.ViewFor(ss, -1, 0); err != nil {
+			return nil, err
+		}
 	}
 	p := make(Profile, n)
 	for u := range p {
@@ -439,6 +490,9 @@ func enumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 	es := cfg.scratch
 	if es == nil {
 		es = NewEvalScratch()
+	}
+	if cfg.DisableBatchBFS {
+		es.SetBatchBFS(false)
 	}
 	// The realized graph is a fresh pointer, so Bind always invalidates a
 	// reused scratch's oracle cache here while keeping its buffers warm.
@@ -463,48 +517,164 @@ func enumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 	poll := runctl.NewPoller(cfg.Ctx, cfg.CheckEvery)
 	ckptEvery := cfg.checkpointEvery()
 
-	// advance steps the odometer to the next profile, rewiring only the
-	// strategies that change; true means the space wrapped around (done).
-	// Carrying through a singleton digit wraps it back to its only value —
-	// a no-op the loop skips so it neither touches the graph nor
-	// invalidates cached oracles. lastChanged tracks the node rewired by
-	// the previous advance when exactly one node changed (-1 at the
-	// start, after a resume, or after a carry that rewired several nodes
-	// and therefore invalidated every cached oracle).
+	// advance steps the odometer to the next state, recording which digits
+	// changed without touching the graph; true means the space wrapped
+	// around (done). Rewires are deferred into the dirty list and applied
+	// only when a state is actually evaluated (applyRewires), so runs of
+	// skipped states — non-canonical orbit members under a quotient, or
+	// pending emissions — cost pure odometer arithmetic. Carrying through a
+	// singleton digit wraps it back to its only value, a no-op that is
+	// never marked dirty. lastChanged is the node rewired by the last
+	// applyRewires when exactly one digit changed since the previous
+	// evaluation (-1 at the start, after a resume, or after a multi-digit
+	// carry): the one node whose cached oracle survived the rewire.
 	lastChanged := -1
+	dirty := make([]int, 0, n)
+	markDirty := func(u int) {
+		for _, d := range dirty {
+			if d == u {
+				return
+			}
+		}
+		dirty = append(dirty, u)
+	}
 	advance := func() bool {
-		carried := false
 		for u := n - 1; u >= 0; u-- {
 			idx[u]++
 			if idx[u] < len(ss.PerNode[u]) {
-				p[u] = ss.PerNode[u][idx[u]]
-				setStrategyArcs(spec, g, u, p[u])
-				es.NoteRewire(u)
-				if carried {
-					lastChanged = -1
-				} else {
-					lastChanged = u
-				}
+				markDirty(u)
 				return false
 			}
 			idx[u] = 0
 			if len(ss.PerNode[u]) > 1 {
-				p[u] = ss.PerNode[u][0]
-				setStrategyArcs(spec, g, u, p[u])
-				es.NoteRewire(u)
-				carried = true
+				markDirty(u)
 			}
 		}
 		return true
 	}
+	applyRewires := func() {
+		if len(dirty) == 1 {
+			lastChanged = dirty[0]
+		} else if len(dirty) > 1 {
+			lastChanged = -1
+		}
+		for _, u := range dirty {
+			p[u] = ss.PerNode[u][idx[u]]
+			setStrategyArcs(spec, g, u, p[u])
+			es.NoteRewire(u)
+		}
+		dirty = dirty[:0]
+	}
+	// Bulk suffix-block skipping: refuteLevel certifies that every state
+	// sharing digits 0..level with a non-canonical state is refuted by the
+	// same group element, so the scan can credit the whole block in one
+	// arithmetic step instead of walking it. Enabled only for a serial scan
+	// of the full compiled space (partition-local views read the pivot
+	// digit outside the certificate) with no profile budget (a bulk credit
+	// must not overdraw MaxProfiles mid-block) and with suffix products
+	// that fit comfortably in uint64. suffSize[u] is the number of states
+	// of the odometer suffix starting at level u.
+	var suffSize []uint64
+	var jbuf []int
+	if qv != nil && qv.pivot < 0 && budget == nil {
+		suffSize = make([]uint64, n+1)
+		suffSize[n] = 1
+		for u := n - 1; u >= 0; u-- {
+			w := uint64(len(ss.PerNode[u]))
+			if suffSize[u+1] > (uint64(1)<<62)/w {
+				suffSize = nil
+				break
+			}
+			suffSize[u] = suffSize[u+1] * w
+		}
+		if suffSize != nil {
+			jbuf = make([]int, n)
+		}
+	}
+	skipLevel := -1
+	// canonicalAt is the scan's canonicality test; under bulk skipping it
+	// also leaves the refutation's block level in skipLevel.
+	canonicalAt := func() bool {
+		if suffSize == nil {
+			return qv.canonical(idx)
+		}
+		ok, lvl := qv.refuteLevel(idx)
+		skipLevel = lvl
+		return ok
+	}
+	// bulkSkip credits and jumps over the rest of the suffix block sharing
+	// digits 0..L with idx. extra is the number of states strictly between
+	// idx and the new cursor; done means the block ran to the end of the
+	// space; jumped means idx was repositioned (the caller skips its own
+	// advance). A pending emission inside the block clamps the jump to it.
+	bulkSkip := func(L int) (extra uint64, done, jumped bool) {
+		var rest uint64
+		for l := L + 1; l < n; l++ {
+			rest += uint64(len(ss.PerNode[l])-1-idx[l]) * suffSize[l+1]
+		}
+		if rest == 0 {
+			return 0, false, false
+		}
+		copy(jbuf, idx)
+		for l := L + 1; l < n; l++ {
+			jbuf[l] = 0
+		}
+		wrapped := false
+		for l := L; ; l-- {
+			if l < 0 {
+				wrapped = true
+				break
+			}
+			jbuf[l]++
+			if jbuf[l] < len(ss.PerNode[l]) {
+				break
+			}
+			jbuf[l] = 0
+		}
+		if len(pending) > 0 && (wrapped || lexLessInts(pending[0], jbuf)) {
+			copy(jbuf, pending[0])
+			wrapped = false
+		}
+		if wrapped {
+			return rest, true, false
+		}
+		var d int64
+		for l := 0; l < n; l++ {
+			d += int64(jbuf[l]-idx[l]) * int64(suffSize[l+1])
+		}
+		for l := 0; l < n; l++ {
+			if jbuf[l] != idx[l] {
+				idx[l] = jbuf[l]
+				markDirty(l)
+			}
+		}
+		return uint64(d - 1), false, true
+	}
+	// insertPending merges orbit index vectors (ascending, deduplicated,
+	// all past the cursor) into the pending list, keeping it sorted.
+	insertPending := func(vecs [][]int) {
+		for _, v := range vecs {
+			at := sort.Search(len(pending), func(i int) bool { return !lexLessInts(pending[i], v) })
+			if at < len(pending) && intsEqual(pending[at], v) {
+				continue
+			}
+			pending = append(pending, nil)
+			copy(pending[at+1:], pending[at:])
+			pending[at] = v
+		}
+	}
 	// snapshot captures the resume state with the cursor at the next
 	// unchecked profile.
 	snapshot := func() *EnumCheckpoint {
-		return &EnumCheckpoint{
+		cp := &EnumCheckpoint{
 			Cursor:     append([]int(nil), idx...),
 			Checked:    res.Checked,
 			Equilibria: append([]Profile(nil), res.Equilibria...),
 		}
+		for _, v := range pending {
+			cp.Pending = append(cp.Pending, append([]int(nil), v...))
+		}
+		return cp
 	}
 	// stop finalizes an early exit: the partial result is returned with a
 	// nil error, carrying the reason and the resume state.
@@ -517,6 +687,16 @@ func enumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 
 	reg := obs.Global()
 	var sinceCkpt uint64
+	// capReturn finalizes a MaxEquilibria stop; the cursor advances past
+	// the emitting state first so a resume does not re-emit it.
+	capReturn := func() (*NEResult, error) {
+		res.Complete = false
+		res.Status = runctl.StatusBudget
+		if !advance() {
+			res.Resume = snapshot()
+		}
+		return res, nil
+	}
 	for {
 		if err := poll.Check(); err != nil {
 			return stop(runctl.StatusFromError(err))
@@ -531,30 +711,77 @@ func enumeratePureNEOpts(spec Spec, agg Aggregation, ss *SearchSpace, cfg EnumCo
 		sinceCkpt++
 		res.Checked++
 		reg.Inc(obs.MProfilesChecked)
-		var stable bool
-		if reg != nil && res.Checked&evalSampleMask == 0 {
-			t0 := time.Now()
-			stable = profileStable(es, p, order, lastChanged)
-			reg.Observe(obs.HProfileEval, time.Since(t0).Nanoseconds())
-		} else {
-			stable = profileStable(es, p, order, lastChanged)
-		}
-		if stable {
+		switch {
+		case len(pending) > 0 && intsEqual(pending[0], idx):
+			// A known equilibrium: the orbit image of an earlier canonical
+			// representative. Emit without evaluating; the profile is built
+			// from the search space directly, because the incrementally
+			// maintained p lags behind idx across skipped states.
+			pending = pending[1:]
 			reg.Inc(obs.MEquilibriaFound)
-			res.Equilibria = append(res.Equilibria, p.Clone())
+			reg.Inc(obs.MQuotientOrbits)
+			res.Equilibria = append(res.Equilibria, profileAt(ss, idx))
 			if cfg.MaxEquilibria > 0 && len(res.Equilibria) >= cfg.MaxEquilibria {
-				res.Complete = false
-				res.Status = runctl.StatusBudget
-				if !advance() {
-					res.Resume = snapshot()
+				return capReturn()
+			}
+		case qv != nil && !canonicalAt():
+			// A lex-smaller orbit member decides this state: if that
+			// representative is stable this state reappears via pending;
+			// either way it is credited as checked without an evaluation.
+			// Under bulk skipping the whole certified suffix block is
+			// credited at once and the cursor jumps past it.
+			reg.Inc(obs.MQuotientSkipped)
+			if suffSize != nil {
+				extra, done, jumped := bulkSkip(skipLevel)
+				if extra > 0 {
+					res.Checked += extra
+					sinceCkpt += extra
+					reg.Add(obs.MProfilesChecked, int64(extra))
+					reg.Add(obs.MQuotientSkipped, int64(extra))
 				}
-				return res, nil
+				if done {
+					return res, nil
+				}
+				if jumped {
+					continue
+				}
+			}
+		default:
+			applyRewires()
+			var stable bool
+			if reg != nil && res.Checked&evalSampleMask == 0 {
+				t0 := time.Now()
+				stable = profileStable(es, p, order, lastChanged)
+				reg.Observe(obs.HProfileEval, time.Since(t0).Nanoseconds())
+			} else {
+				stable = profileStable(es, p, order, lastChanged)
+			}
+			if stable {
+				reg.Inc(obs.MEquilibriaFound)
+				res.Equilibria = append(res.Equilibria, p.Clone())
+				if qv != nil {
+					insertPending(qv.orbit(idx))
+				}
+				if cfg.MaxEquilibria > 0 && len(res.Equilibria) >= cfg.MaxEquilibria {
+					return capReturn()
+				}
 			}
 		}
 		if advance() {
 			return res, nil
 		}
 	}
+}
+
+// profileAt materializes the profile at an odometer state, cloning each
+// strategy so later rewires cannot alias it (same deep-copy shape as
+// Profile.Clone, so emitted equilibria are byte-identical either way).
+func profileAt(ss *SearchSpace, idx []int) Profile {
+	p := make(Profile, len(idx))
+	for u, i := range idx {
+		p[u] = append(Strategy(nil), ss.PerNode[u][i]...)
+	}
+	return p
 }
 
 // setStrategyArcs rewires node u's out-arcs in g to match strategy s.

@@ -232,7 +232,10 @@ func TestEnumerateParallelPanicContainment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := &panicSpec{Spec: base, at: 2000}
+	// The oracle caches its spec-derived arrays per node, so Weight is
+	// consulted only during each slot's first build: the injection point
+	// must sit within the few dozen calls the workers' warm-up builds make.
+	spec := &panicSpec{Spec: base, at: 10}
 	_, err = EnumeratePureNEParallelOpts(spec, SumDistances, ss, EnumConfig{Workers: 2})
 	if err == nil {
 		t.Fatal("worker panic did not surface as an error")

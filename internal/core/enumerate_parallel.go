@@ -135,13 +135,28 @@ func EnumeratePureNEParallelOpts(spec Spec, agg Aggregation, ss *SearchSpace, cf
 					sub := &SearchSpace{PerNode: make([][]Strategy, n)}
 					copy(sub.PerNode, ss.PerNode)
 					sub.PerNode[pivot] = []Strategy{parts[i]}
-					r, err := EnumeratePureNEOpts(spec, agg, sub, EnumConfig{
-						Ctx:           ictx,
-						MaxEquilibria: cfg.MaxEquilibria,
-						CheckEvery:    cfg.CheckEvery,
-						budget:        budget,
-						scratch:       es,
-					})
+					subCfg := EnumConfig{
+						Ctx:             ictx,
+						MaxEquilibria:   cfg.MaxEquilibria,
+						CheckEvery:      cfg.CheckEvery,
+						DisableBatchBFS: cfg.DisableBatchBFS,
+						budget:          budget,
+						scratch:         es,
+					}
+					if cfg.Quotient != nil {
+						// Partition-local quotient view: states are skipped
+						// only when a lex-smaller orbit member shares this
+						// partition's pivot digit, and orbits re-expand within
+						// the partition — every orbit member is emitted by its
+						// own partition, so the merge in partition order
+						// reproduces the plain scan without coordination.
+						qv, err := cfg.Quotient.ViewFor(sub, pivot, i)
+						if err != nil {
+							return err
+						}
+						subCfg.qview = qv
+					}
+					r, err := EnumeratePureNEOpts(spec, agg, sub, subCfg)
 					results[i] = r
 					return err
 				})

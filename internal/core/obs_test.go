@@ -45,8 +45,13 @@ func TestObsCountersUnderParallelEnumeration(t *testing.T) {
 	if reg.Get(obs.MWorkerTasks) == 0 || reg.Get(obs.MWorkerBusyNanos) == 0 {
 		t.Error("worker utilization counters stayed zero during a parallel scan")
 	}
-	if reg.Get(obs.MBFS) == 0 || reg.Get(obs.MOracleBuild) == 0 {
+	// Uniform-length oracle rebuilds take the bit-parallel path, so the
+	// traversal count lands on the batch counters rather than graph.bfs.
+	if reg.Get(obs.MBFS)+reg.Get(obs.MBFSBatch) == 0 || reg.Get(obs.MOracleBuild) == 0 {
 		t.Error("oracle/BFS counters stayed zero during enumeration")
+	}
+	if reg.Get(obs.MBFSBatch) > 0 && reg.Get(obs.MBFSBatchSources) == 0 {
+		t.Error("batched traversals reported no sources")
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 func profileFromSeed(seed int64, maxN, maxK int) (*Uniform, Profile) {
 	rng := rand.New(rand.NewSource(seed))
 	n := 3 + rng.Intn(maxN-2)
-	k := 1 + rng.Intn(minInt(maxK, n-1))
+	k := 1 + rng.Intn(min(maxK, n-1))
 	spec := MustUniform(n, k)
 	return spec, randomProfile(rng, n, k)
 }

@@ -1,0 +1,538 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// maxQuotientOrder bounds the automorphism groups a Quotient compiles: the
+// canonicality test is O(|Γ|·n) per odometer state, so a group too large to
+// pay for itself is rejected rather than silently slowing the scan. The
+// fully symmetric uniform game (Aut = Sₙ) trips this immediately; such
+// instances are quotiented by structural subgroups (translations) instead.
+const maxQuotientOrder = 4096
+
+// Quotient is a finite group of spec-preserving player permutations
+// compiled against one SearchSpace, ready to canonicalize odometer states
+// during enumeration. A permutation π acts on a profile by relabeling
+// players and their targets: node π(u) plays {π(v) : v ∈ s(u)}. When π
+// preserves the spec (weights, link costs, lengths, budgets) the image
+// profile realizes an isomorphic graph with identical per-player costs, so
+// stability is orbit-invariant: evaluating one canonical representative
+// per orbit and re-expanding decides every member.
+//
+// The compilation precomputes, per group element, the inverse node map and
+// a per-node strategy index table, so the scan-time canonicality test is
+// pure table lookups with lexicographic early exit — no allocation, no
+// hashing, no strategy materialization.
+type Quotient struct {
+	n     int
+	sets  [][]Strategy // the compiled search space's per-node strategy sets
+	perms [][]int      // non-identity group elements (node maps), sorted
+	inv   [][]int      // inv[p][j] = the node perms[p] maps to j
+	// strat[p][u][si] = index in sets[perms[p][u]] of the image of
+	// sets[u][si] under perms[p].
+	strat [][][]int32
+}
+
+// NewQuotient validates the generator permutations against the spec,
+// closes them into a group (bounded by maxQuotientOrder), and compiles the
+// group against the search space. Each generator must be a permutation of
+// the n players that preserves the spec exactly — Weight, LinkCost, Length
+// and Budget must be invariant under relabeling — and must map every
+// strategy set of ss onto the image node's strategy set (FullSpace and
+// PinnedSpace built from a preserved spec always satisfy this; a hand-
+// restricted ss might not, and is rejected rather than miscounted).
+func NewQuotient(spec Spec, ss *SearchSpace, gens [][]int) (*Quotient, error) {
+	n := spec.N()
+	if len(ss.PerNode) != n {
+		return nil, fmt.Errorf("core: search space covers %d nodes, spec has %d", len(ss.PerNode), n)
+	}
+	seen := make([]bool, n)
+	for gi, perm := range gens {
+		if len(perm) != n {
+			return nil, fmt.Errorf("core: generator %d has length %d, want %d", gi, len(perm), n)
+		}
+		for i := range seen {
+			seen[i] = false
+		}
+		for u, v := range perm {
+			if v < 0 || v >= n || seen[v] {
+				return nil, fmt.Errorf("core: generator %d is not a permutation (node %d -> %d)", gi, u, v)
+			}
+			seen[v] = true
+		}
+		if !specPreserved(spec, perm) {
+			return nil, fmt.Errorf("core: generator %d does not preserve the spec", gi)
+		}
+	}
+
+	// Close the generators into a group. Generators preserve the spec, so
+	// every composition does too; only the search-space compatibility of
+	// each element still needs checking (done during compilation below).
+	elems := [][]int{identityPerm(n)}
+	index := map[string]bool{permKey(elems[0]): true}
+	for head := 0; head < len(elems); head++ {
+		for _, gen := range gens {
+			c := composePerm(gen, elems[head])
+			k := permKey(c)
+			if index[k] {
+				continue
+			}
+			if len(elems) >= maxQuotientOrder {
+				return nil, fmt.Errorf("core: automorphism group exceeds %d elements; quotient by a structural subgroup instead", maxQuotientOrder)
+			}
+			index[k] = true
+			elems = append(elems, c)
+		}
+	}
+
+	q := &Quotient{n: n, sets: ss.PerNode}
+	for _, perm := range elems[1:] { // drop the identity
+		q.perms = append(q.perms, perm)
+	}
+	sort.Slice(q.perms, func(a, b int) bool { return lexLessInts(q.perms[a], q.perms[b]) })
+
+	// Per-node strategy index: key each strategy once, then resolve every
+	// permuted strategy against the image node's table.
+	byKey := make([]map[string]int32, n)
+	var sb strings.Builder
+	key := func(s Strategy) string {
+		sb.Reset()
+		for _, v := range s {
+			fmt.Fprintf(&sb, "%d,", v)
+		}
+		return sb.String()
+	}
+	for u, set := range ss.PerNode {
+		byKey[u] = make(map[string]int32, len(set))
+		for si, s := range set {
+			byKey[u][key(s)] = int32(si)
+		}
+	}
+	img := make([]int, 0, n)
+	for _, perm := range q.perms {
+		inv := make([]int, n)
+		for u, v := range perm {
+			inv[v] = u
+		}
+		q.inv = append(q.inv, inv)
+		tab := make([][]int32, n)
+		for u, set := range ss.PerNode {
+			tab[u] = make([]int32, len(set))
+			for si, s := range set {
+				img = img[:0]
+				for _, v := range s {
+					img = append(img, perm[v])
+				}
+				sort.Ints(img)
+				mi, ok := byKey[perm[u]][key(img)]
+				if !ok {
+					return nil, fmt.Errorf("core: automorphism does not preserve the search space: image of node %d strategy %v is not a strategy of node %d", u, s, perm[u])
+				}
+				tab[u][si] = mi
+			}
+		}
+		q.strat = append(q.strat, tab)
+	}
+	return q, nil
+}
+
+// Order returns the group order including the identity.
+func (q *Quotient) Order() int { return len(q.perms) + 1 }
+
+// QualifyFingerprint appends a quotient qualifier to an enumeration
+// fingerprint: a quotiented scan's checkpoints carry pending orbit
+// emissions and skip evaluations the plain scan performs, so the two must
+// never resume each other. The qualifier hashes the group elements, so
+// different groups of equal order also get distinct fingerprints.
+func (q *Quotient) QualifyFingerprint(fp string) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, perm := range q.perms {
+		for _, v := range perm {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%s+q%d-%016x", fp, q.Order(), h.Sum64())
+}
+
+// ViewFor binds the quotient to one scan's search space. pivot < 0 is the
+// full compiled space (serial scan). pivot >= 0 is a parallel partition:
+// ss must equal the compiled space except at the pivot node, whose set is
+// the singleton holding compiled strategy index `fixed`. The view is
+// scan-private (it carries scratch buffers) — parallel workers get one per
+// partition.
+func (q *Quotient) ViewFor(ss *SearchSpace, pivot, fixed int) (*quotientView, error) {
+	if len(ss.PerNode) != q.n {
+		return nil, fmt.Errorf("core: quotient compiled for %d nodes, search space has %d", q.n, len(ss.PerNode))
+	}
+	for u, set := range ss.PerNode {
+		if u == pivot {
+			continue
+		}
+		if !strategySetsEqual(set, q.sets[u]) {
+			return nil, fmt.Errorf("core: node %d strategy set differs from the quotient's compiled search space", u)
+		}
+	}
+	if pivot >= 0 {
+		if pivot >= q.n {
+			return nil, fmt.Errorf("core: pivot %d out of range", pivot)
+		}
+		if fixed < 0 || fixed >= len(q.sets[pivot]) {
+			return nil, fmt.Errorf("core: pivot strategy index %d out of range [0,%d)", fixed, len(q.sets[pivot]))
+		}
+		set := ss.PerNode[pivot]
+		if len(set) != 1 || !strategiesEqual(set[0], q.sets[pivot][fixed]) {
+			return nil, fmt.Errorf("core: partition at pivot %d does not hold compiled strategy %d", pivot, fixed)
+		}
+	}
+	return &quotientView{q: q, pivot: pivot, fixed: fixed, gidx: make([]int, q.n), tmp: make([]int, q.n)}, nil
+}
+
+// quotientView is a Quotient bound to one (sub-)space scan. For a parallel
+// partition it tests canonicality locally: a state is skipped only when a
+// lex-smaller orbit member lies in the *same* partition, and orbit images
+// are emitted only within the partition — sound (every orbit member's own
+// partition emits it exactly once) and merge-order preserving, without any
+// cross-partition coordination.
+type quotientView struct {
+	q     *Quotient
+	pivot int // -1 = full space
+	fixed int // compiled strategy index pinned at pivot
+	gidx  []int
+	tmp   []int
+}
+
+// globalize copies the scan-local odometer state into the view's global
+// index scratch (re-inserting the pinned pivot digit) and returns it.
+func (v *quotientView) globalize(idx []int) []int {
+	g := v.gidx
+	copy(g, idx)
+	if v.pivot >= 0 {
+		g[v.pivot] = v.fixed
+	}
+	return g
+}
+
+// canonical reports whether the state is its orbit's representative: no
+// group element maps it to a lexicographically smaller state within the
+// view's partition. It allocates nothing.
+func (v *quotientView) canonical(idx []int) bool {
+	q := v.q
+	g := v.globalize(idx)
+	for p := range q.perms {
+		inv, strat := q.inv[p], q.strat[p]
+		if v.pivot >= 0 {
+			pu := inv[v.pivot]
+			if int(strat[pu][g[pu]]) != v.fixed {
+				continue // image leaves the partition; not this view's concern
+			}
+		}
+		for j := 0; j < q.n; j++ {
+			pu := inv[j]
+			m := int(strat[pu][g[pu]])
+			if m == g[j] {
+				continue
+			}
+			if m < g[j] {
+				return false
+			}
+			break // image is lex-greater; try the next element
+		}
+		// Image equals the state (a stabilizer element): not smaller.
+	}
+	return true
+}
+
+// refuteLevel is canonical plus a skip certificate: when the state is not
+// canonical, level is the deepest *free* odometer position (a digit with
+// more than one strategy) that some refuting group element's comparison
+// reads — the element maps positions 0..d of the image from digits at
+// {inv[0..d]} ∪ {0..d}, and digits at singleton positions are constant, so
+// every state agreeing with idx on digits 0..level is refuted by that same
+// element. A serial scan may therefore credit and skip the whole suffix
+// block at once. The level is minimized over all refuting elements to
+// maximize the block. Only full-space views (pivot < 0) may call it: the
+// partition-locality pre-check of a pivoted view reads a digit the
+// certificate does not cover.
+func (v *quotientView) refuteLevel(idx []int) (canonical bool, level int) {
+	if v.pivot >= 0 {
+		panic("core: refuteLevel on a partition-local quotient view")
+	}
+	q := v.q
+	g := v.globalize(idx)
+	best := q.n // sentinel: no element refutes the state
+	for p := range q.perms {
+		inv, strat := q.inv[p], q.strat[p]
+		for j := 0; j < q.n; j++ {
+			pu := inv[j]
+			m := int(strat[pu][g[pu]])
+			if m == g[j] {
+				continue
+			}
+			if m < g[j] {
+				lvl := 0
+				for k := 0; k <= j; k++ {
+					if len(q.sets[k]) > 1 && k > lvl {
+						lvl = k
+					}
+					if pk := inv[k]; len(q.sets[pk]) > 1 && pk > lvl {
+						lvl = pk
+					}
+				}
+				if lvl < best {
+					best = lvl
+				}
+			}
+			break
+		}
+	}
+	return best == q.n, best
+}
+
+// orbit returns the orbit of the (canonical, stable) state under the
+// group, restricted to the view's partition, excluding the state itself:
+// the scan-local index vectors of every profile whose stability follows
+// from the representative's, sorted ascending and deduplicated. Every
+// member is lexicographically greater than the representative (that is
+// what canonical means), so the scan's cursor has not passed any of them.
+func (v *quotientView) orbit(idx []int) [][]int {
+	q := v.q
+	g := v.globalize(idx)
+	var out [][]int
+	for p := range q.perms {
+		inv, strat := q.inv[p], q.strat[p]
+		m := v.tmp
+		for j := 0; j < q.n; j++ {
+			pu := inv[j]
+			m[j] = int(strat[pu][g[pu]])
+		}
+		if v.pivot >= 0 && m[v.pivot] != v.fixed {
+			continue
+		}
+		if intsEqual(m, g) {
+			continue
+		}
+		loc := append([]int(nil), m...)
+		if v.pivot >= 0 {
+			loc[v.pivot] = 0
+		}
+		out = append(out, loc)
+	}
+	sort.Slice(out, func(a, b int) bool { return lexLessInts(out[a], out[b]) })
+	dedup := out[:0]
+	for i, m := range out {
+		if i == 0 || !intsEqual(m, out[i-1]) {
+			dedup = append(dedup, m)
+		}
+	}
+	return dedup
+}
+
+// SpecAutomorphisms enumerates every player permutation preserving the
+// spec exactly (weights, link costs, lengths and budgets all invariant
+// under relabeling) by backtracking with invariant-signature pruning. It
+// returns an error when the group would exceed maxGroup elements (0 means
+// maxQuotientOrder): near-symmetric specs like the uniform game have
+// factorially many automorphisms, and such instances should be quotiented
+// by a structural subgroup (e.g. group.Translations) instead of the full
+// group. Structured instances — the Theorem 1 gadget, asymmetric dense
+// games — resolve quickly to small groups.
+func SpecAutomorphisms(spec Spec, maxGroup int) ([][]int, error) {
+	if maxGroup <= 0 {
+		maxGroup = maxQuotientOrder
+	}
+	n := spec.N()
+	// Node signature: budget plus the sorted multisets of outgoing and
+	// incoming (weight, cost, length) triples. Automorphisms preserve it,
+	// so candidate images are restricted to equal-signature nodes.
+	sig := make([]string, n)
+	{
+		var sb strings.Builder
+		tri := make([][3]int64, 0, n)
+		for u := 0; u < n; u++ {
+			sb.Reset()
+			fmt.Fprintf(&sb, "b%d;", spec.Budget(u))
+			for _, in := range []bool{false, true} {
+				tri = tri[:0]
+				for v := 0; v < n; v++ {
+					if v == u {
+						continue
+					}
+					a, b := u, v
+					if in {
+						a, b = v, u
+					}
+					tri = append(tri, [3]int64{spec.Weight(a, b), spec.LinkCost(a, b), spec.Length(a, b)})
+				}
+				sort.Slice(tri, func(i, j int) bool {
+					for k := 0; k < 3; k++ {
+						if tri[i][k] != tri[j][k] {
+							return tri[i][k] < tri[j][k]
+						}
+					}
+					return false
+				})
+				for _, t := range tri {
+					fmt.Fprintf(&sb, "%d,%d,%d;", t[0], t[1], t[2])
+				}
+			}
+			sig[u] = sb.String()
+		}
+	}
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	used := make([]bool, n)
+	var out [][]int
+	overflow := false
+	compatible := func(u, w int) bool {
+		if sig[u] != sig[w] {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			pv := perm[v]
+			if pv < 0 || v == u {
+				continue
+			}
+			if spec.Weight(u, v) != spec.Weight(w, pv) || spec.Weight(v, u) != spec.Weight(pv, w) ||
+				spec.LinkCost(u, v) != spec.LinkCost(w, pv) || spec.LinkCost(v, u) != spec.LinkCost(pv, w) ||
+				spec.Length(u, v) != spec.Length(w, pv) || spec.Length(v, u) != spec.Length(pv, w) {
+				return false
+			}
+		}
+		return true
+	}
+	var dfs func(u int)
+	dfs = func(u int) {
+		if overflow {
+			return
+		}
+		if u == n {
+			if len(out) >= maxGroup {
+				overflow = true
+				return
+			}
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for w := 0; w < n; w++ {
+			if used[w] || !compatible(u, w) {
+				continue
+			}
+			perm[u] = w
+			used[w] = true
+			dfs(u + 1)
+			perm[u] = -1
+			used[w] = false
+			if overflow {
+				return
+			}
+		}
+	}
+	dfs(0)
+	if overflow {
+		return nil, fmt.Errorf("core: spec automorphism group exceeds %d elements", maxGroup)
+	}
+	return out, nil
+}
+
+// specPreserved reports whether the permutation leaves the spec invariant.
+func specPreserved(spec Spec, perm []int) bool {
+	n := spec.N()
+	for u := 0; u < n; u++ {
+		if spec.Budget(u) != spec.Budget(perm[u]) {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			pu, pv := perm[u], perm[v]
+			if spec.Weight(u, v) != spec.Weight(pu, pv) ||
+				spec.LinkCost(u, v) != spec.LinkCost(pu, pv) ||
+				spec.Length(u, v) != spec.Length(pu, pv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// composePerm returns a∘b: (a∘b)(x) = a[b[x]].
+func composePerm(a, b []int) []int {
+	c := make([]int, len(a))
+	for x := range c {
+		c[x] = a[b[x]]
+	}
+	return c
+}
+
+func permKey(p []int) string {
+	var sb strings.Builder
+	for _, v := range p {
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	return sb.String()
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lexLessInts is strict lexicographic comparison of equal-length vectors.
+func lexLessInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func strategiesEqual(a, b Strategy) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func strategySetsEqual(a, b []Strategy) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strategiesEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

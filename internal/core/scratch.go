@@ -35,6 +35,25 @@ type EvalScratch struct {
 	gs   graph.Scratch
 	dist []int64
 
+	// Bit-parallel traversal state: on uniform-length specs oracle rebuilds
+	// batch their node-deleted BFS calls through bs into the flat bdist
+	// buffer (min(BatchWidth, n−1) × n entries), cutting a rebuild to a
+	// handful of level-synchronized traversals. noBatch forces the scalar
+	// path (SetBatchBFS), which produces bit-identical oracles.
+	bs      graph.BitScratch
+	bdist   []int64
+	noBatch bool
+
+	// rev is the arc-reversal of g, maintained incrementally by NoteRewire
+	// on uniform-length bindings (nil otherwise): with it, a rebuild runs
+	// one reverse traversal per *support* node instead of one forward
+	// traversal per candidate — a large saving whenever few targets carry
+	// positive preference weight. known[u] mirrors the out-targets of u
+	// currently reflected in rev, so a rewire retracts exactly the arcs it
+	// previously added.
+	rev   *graph.Digraph
+	known [][]int
+
 	slots   []*evalSlot
 	version uint64   // bumped by every NoteRewire
 	rewired []uint64 // rewired[v] = version at v's last rewire (1 = at Bind)
@@ -48,7 +67,15 @@ type evalSlot struct {
 }
 
 // NewEvalScratch returns an empty scratch; Bind attaches it to a game.
+// Batched bit-parallel traversals are on by default where they apply
+// (uniform-length specs); SetBatchBFS(false) opts out.
 func NewEvalScratch() *EvalScratch { return &EvalScratch{} }
+
+// SetBatchBFS enables or disables the bit-parallel traversal path for
+// oracle rebuilds. Both settings produce bit-identical oracles; disabling
+// exists for benchmarks isolating the scalar engine and for diagnosing the
+// batch path itself.
+func (es *EvalScratch) SetBatchBFS(on bool) { es.noBatch = !on }
 
 // Bind attaches the scratch to a (spec, graph, aggregation) triple,
 // invalidating every cached oracle unless the triple is identical to the
@@ -65,6 +92,25 @@ func (es *EvalScratch) Bind(spec Spec, g *graph.Digraph, agg Aggregation) {
 		es.dist = make([]int64, n)
 	}
 	es.dist = es.dist[:n]
+	if spec.UnitLengths() {
+		es.bdist = growInt64(es.bdist, min(graph.BatchWidth, n-1)*n)
+		if es.rev == nil || es.rev.N() != n {
+			es.rev = graph.New(n)
+			es.known = make([][]int, n)
+		}
+		for v := 0; v < n; v++ {
+			es.rev.RemoveArcs(v)
+		}
+		for u := 0; u < n; u++ {
+			es.known[u] = es.known[u][:0]
+			for _, a := range g.Out(u) {
+				es.rev.AddArc(a.To, u, a.Len)
+				es.known[u] = append(es.known[u], a.To)
+			}
+		}
+	} else {
+		es.rev = nil
+	}
 	if cap(es.slots) < n {
 		slots := make([]*evalSlot, n)
 		copy(slots, es.slots)
@@ -87,10 +133,22 @@ func (es *EvalScratch) Bind(spec Spec, g *graph.Digraph, agg Aggregation) {
 }
 
 // NoteRewire records that node u's out-arcs changed in the bound graph,
-// invalidating every cached oracle except u's own.
+// invalidating every cached oracle except u's own and reconciling the
+// reversed twin with the bound graph's new arcs.
 func (es *EvalScratch) NoteRewire(u int) {
 	es.version++
 	es.rewired[u] = es.version
+	if es.rev == nil {
+		return
+	}
+	for _, v := range es.known[u] {
+		es.rev.RemoveArcTo(v, u)
+	}
+	es.known[u] = es.known[u][:0]
+	for _, a := range es.g.Out(u) {
+		es.rev.AddArc(a.To, u, a.Len)
+		es.known[u] = append(es.known[u], a.To)
+	}
 }
 
 // OracleFor returns node u's oracle against the bound graph, serving it
@@ -118,7 +176,11 @@ func (es *EvalScratch) OracleFor(u int) *Oracle {
 			return &slot.o
 		}
 	}
-	slot.o.build(es.spec, es.g, u, es.agg, &es.gs, es.dist)
+	bs, rev := &es.bs, es.rev
+	if es.noBatch {
+		bs, rev = nil, nil
+	}
+	slot.o.build(es.spec, es.g, u, es.agg, &es.gs, bs, es.dist, es.bdist, rev)
 	slot.builtAt = es.version
 	return &slot.o
 }

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"bbc/internal/obs"
+)
+
+// randomDigraph builds a random n-node unit-length digraph where each node
+// gets deg out-arcs to distinct random targets.
+func randomDigraph(rng *rand.Rand, n, deg int) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		seen := map[int]bool{u: true}
+		for len(seen) <= deg && len(seen) < n {
+			v := rng.Intn(n)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			g.AddArc(u, v, 1)
+		}
+	}
+	return g
+}
+
+// TestBFSBatchIntoMatchesScalar cross-checks the bit-parallel traversal
+// against per-source BFSInto on random graphs, with and without a skipped
+// node and for batch widths from 1 to the full 64.
+func TestBFSBatchIntoMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bs := &BitScratch{}
+	s := &Scratch{}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(80)
+		g := randomDigraph(rng, n, 1+rng.Intn(4))
+		skip := -1
+		if trial%3 == 0 {
+			skip = rng.Intn(n)
+		}
+		var srcs []int
+		for v := 0; v < n; v++ {
+			if v != skip {
+				srcs = append(srcs, v)
+			}
+		}
+		if len(srcs) > BatchWidth {
+			srcs = srcs[:BatchWidth]
+		}
+		opt := Options{Skip: skip}
+		batch := make([]int64, len(srcs)*n)
+		g.BFSBatchInto(batch, srcs, opt, bs)
+		ref := make([]int64, n)
+		for i, src := range srcs {
+			g.BFSInto(ref, src, opt, s)
+			for v := 0; v < n; v++ {
+				if got := batch[i*n+v]; got != ref[v] {
+					t.Fatalf("trial %d (n=%d skip=%d): dist[src %d -> %d] = %d, scalar BFS says %d",
+						trial, n, skip, src, v, got, ref[v])
+				}
+			}
+		}
+	}
+}
+
+func TestBFSBatchIntoSingleSource(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 2, 1)
+	dist := make([]int64, 4)
+	g.BFSBatchInto(dist, []int{0}, Options{Skip: -1}, nil)
+	want := []int64{0, 1, 2, Unreachable}
+	for v, w := range want {
+		if dist[v] != w {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], w)
+		}
+	}
+}
+
+func TestBFSBatchIntoPanics(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 1)
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("empty batch", func() {
+		g.BFSBatchInto(nil, nil, Options{Skip: -1}, nil)
+	})
+	expectPanic("oversized batch", func() {
+		srcs := make([]int, BatchWidth+1)
+		g.BFSBatchInto(make([]int64, 3*(BatchWidth+1)), srcs, Options{Skip: -1}, nil)
+	})
+	expectPanic("short dist buffer", func() {
+		g.BFSBatchInto(make([]int64, 3), []int{0, 1}, Options{Skip: -1}, nil)
+	})
+	expectPanic("skipped source", func() {
+		g.BFSBatchInto(make([]int64, 3), []int{1}, Options{Skip: 1}, nil)
+	})
+}
+
+// TestBFSBatchIntoCounters pins the batch metrics: one traversal, the
+// source count, and at least one wave on a connected graph.
+func TestBFSBatchIntoCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	prev := obs.SetGlobal(reg)
+	t.Cleanup(func() { obs.SetGlobal(prev) })
+	g := New(6)
+	for u := 0; u < 6; u++ {
+		g.AddArc(u, (u+1)%6, 1)
+	}
+	dist := make([]int64, 3*6)
+	g.BFSBatchInto(dist, []int{0, 2, 4}, Options{Skip: -1}, nil)
+	if got := reg.Get(obs.MBFSBatch); got != 1 {
+		t.Errorf("graph.bfs_batch = %d, want 1", got)
+	}
+	if got := reg.Get(obs.MBFSBatchSources); got != 3 {
+		t.Errorf("bfs.batch_sources = %d, want 3", got)
+	}
+	// A directed 6-cycle settles every node in 5 levels; the 6th wave
+	// drains the final frontier and discovers nothing.
+	if got := reg.Get(obs.MBFSBatchWaves); got != 6 {
+		t.Errorf("bfs.batch_waves = %d, want 6", got)
+	}
+}
+
+func TestBFSBatchIntoAllocFree(t *testing.T) {
+	prev := obs.SetGlobal(nil)
+	t.Cleanup(func() { obs.SetGlobal(prev) })
+	g, _, _ := traversalFixture()
+	srcs := []int{0, 1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15}
+	dist := make([]int64, len(srcs)*16)
+	bs := &BitScratch{}
+	g.BFSBatchInto(dist, srcs, Options{Skip: 7}, bs)
+	if got := testing.AllocsPerRun(200, func() {
+		g.BFSBatchInto(dist, srcs, Options{Skip: 7}, bs)
+	}); got != 0 {
+		t.Errorf("BFSBatchInto with warm scratch allocates %v/op, want 0", got)
+	}
+}

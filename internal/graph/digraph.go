@@ -84,6 +84,25 @@ func (g *Digraph) RemoveArcs(u int) {
 	g.adj[u] = g.adj[u][:0]
 }
 
+// RemoveArcTo deletes one arc u -> v (the first in insertion order),
+// preserving the relative order of the remaining arcs, and reports whether
+// an arc was removed. It is the incremental-maintenance counterpart of
+// AddArc: a caller mirroring another graph's rewires (for example the
+// reversed twin the evaluation scratch keeps for column-wise oracle
+// rebuilds) retracts exactly one multiset occurrence per call.
+func (g *Digraph) RemoveArcTo(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	outs := g.adj[u]
+	for i, a := range outs {
+		if a.To == v {
+			g.adj[u] = append(outs[:i], outs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // SetArcs replaces the out-neighborhood of u with unit-length arcs to the
 // given targets.
 func (g *Digraph) SetArcs(u int, targets []int) {

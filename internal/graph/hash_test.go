@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHashInsertionOrderInvariance: Fingerprint and Key hash the sorted
+// arc multiset, so the order arcs were added in must not matter. Random
+// digraphs are built twice — forward and via a shuffled arc list — and
+// both encodings must agree exactly.
+func TestHashInsertionOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		type arc struct {
+			u, v int
+			l    int64
+		}
+		var arcs []arc
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Intn(3) == 0 {
+					arcs = append(arcs, arc{u, v, int64(1 + rng.Intn(4))})
+				}
+			}
+		}
+		a := New(n)
+		for _, e := range arcs {
+			a.AddArc(e.u, e.v, e.l)
+		}
+		b := New(n)
+		for _, i := range rng.Perm(len(arcs)) {
+			b.AddArc(arcs[i].u, arcs[i].v, arcs[i].l)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("trial %d: fingerprint depends on arc insertion order", trial)
+		}
+		if a.Key() != b.Key() {
+			t.Fatalf("trial %d: key depends on arc insertion order:\n a: %s\n b: %s", trial, a.Key(), b.Key())
+		}
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: Equal disagrees with the identical arc multiset", trial)
+		}
+	}
+}
+
+// TestHashDistinctnessAllThreeNodeDigraphs enumerates every labeled
+// 3-node unit-length digraph (2^6 arc subsets, no self-loops) and
+// demands pairwise-distinct Keys, Fingerprints, and Equal verdicts —
+// distinct labeled structures must never collapse to one encoding.
+func TestHashDistinctnessAllThreeNodeDigraphs(t *testing.T) {
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 0}, {2, 1}}
+	graphs := make([]*Digraph, 0, 1<<len(pairs))
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		g := New(3)
+		for i, p := range pairs {
+			if mask&(1<<i) != 0 {
+				g.AddArc(p[0], p[1], 1)
+			}
+		}
+		graphs = append(graphs, g)
+	}
+	keys := make(map[string]int, len(graphs))
+	fps := make(map[uint64]int, len(graphs))
+	for i, g := range graphs {
+		if j, dup := keys[g.Key()]; dup {
+			t.Fatalf("graphs %d and %d share key %s", j, i, g.Key())
+		}
+		keys[g.Key()] = i
+		if j, dup := fps[g.Fingerprint()]; dup {
+			t.Fatalf("graphs %d and %d share fingerprint %#x", j, i, g.Fingerprint())
+		}
+		fps[g.Fingerprint()] = i
+	}
+	for i, g := range graphs {
+		for j, h := range graphs {
+			if (i == j) != g.Equal(h) {
+				t.Fatalf("Equal(%d, %d) = %v", i, j, g.Equal(h))
+			}
+		}
+	}
+}
+
+// TestHashSensitivity: single-arc perturbations — removing an arc,
+// retargeting it, or changing its length — must change both encodings.
+func TestHashSensitivity(t *testing.T) {
+	base := New(4)
+	base.AddArc(0, 1, 1)
+	base.AddArc(1, 2, 2)
+	base.AddArc(2, 3, 1)
+	variants := []*Digraph{New(4), New(4), New(4)}
+	variants[0].AddArc(0, 1, 1)
+	variants[0].AddArc(1, 2, 2) // arc 2→3 dropped
+	variants[1].AddArc(0, 1, 1)
+	variants[1].AddArc(1, 2, 2)
+	variants[1].AddArc(2, 0, 1) // retargeted
+	variants[2].AddArc(0, 1, 1)
+	variants[2].AddArc(1, 2, 2)
+	variants[2].AddArc(2, 3, 5) // length changed
+	for i, v := range variants {
+		if base.Key() == v.Key() {
+			t.Errorf("variant %d: key unchanged", i)
+		}
+		if base.Fingerprint() == v.Fingerprint() {
+			t.Errorf("variant %d: fingerprint unchanged", i)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package group
+
+// Automorphisms of Cayley digraphs, used by the enumeration layer to
+// quotient the strategy-profile scan by spec-preserving player symmetry.
+// For a Cayley digraph Cay(G, S) two structural families come for free,
+// with no graph search at all:
+//
+//   - translations x ↦ x + t: automorphisms for every t (the arc x → x+a
+//     maps to x+t → (x+t)+a), so Cay(G, S) is always vertex-transitive;
+//   - group automorphisms φ with φ(S) = S: the arc x → x+a maps to
+//     φ(x) → φ(x) + φ(a), and φ(a) stays a generator.
+//
+// The helpers return generator sets, not full groups — core.NewQuotient
+// closes its generators under composition itself.
+
+// Translations returns the |G|−1 non-identity translation permutations
+// x ↦ x + t of g. Every one is an automorphism of every Cayley digraph
+// over g regardless of the generator set.
+func Translations(g *Abelian) [][]int {
+	out := make([][]int, 0, g.Order()-1)
+	for t := 1; t < g.Order(); t++ {
+		p := make([]int, g.Order())
+		for x := range p {
+			p[x] = g.Add(x, t)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Negation returns the inversion permutation x ↦ −x. It is a group
+// automorphism of every abelian group, hence a Cayley digraph
+// automorphism whenever the generator set is symmetric (−S = S).
+func Negation(g *Abelian) []int {
+	p := make([]int, g.Order())
+	for x := range p {
+		p[x] = g.Neg(x)
+	}
+	return p
+}
+
+// CoordinateSwaps returns, for every pair of cyclic factors with equal
+// modulus, the permutation exchanging those two coordinates. Each is a
+// group automorphism of g; it is a Cayley digraph automorphism exactly
+// when it maps the generator set onto itself.
+func CoordinateSwaps(g *Abelian) [][]int {
+	moduli := g.Moduli()
+	var out [][]int
+	for i := 0; i < len(moduli); i++ {
+		for j := i + 1; j < len(moduli); j++ {
+			if moduli[i] != moduli[j] {
+				continue
+			}
+			p := make([]int, g.Order())
+			for x := range p {
+				c := g.Decode(x)
+				c[i], c[j] = c[j], c[i]
+				p[x] = g.Encode(c)
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CayleyAutomorphisms returns a generator set for a subgroup of
+// Aut(Cay(g, gens)): every translation, plus negation and each
+// equal-modulus coordinate swap that preserves the generator set. It is
+// a generating set — close it under composition before use — and not in
+// general the full automorphism group.
+func CayleyAutomorphisms(g *Abelian, gens []int) ([][]int, error) {
+	norm, err := g.NormalizeGens(gens)
+	if err != nil {
+		return nil, err
+	}
+	inSet := make(map[int]bool, len(norm))
+	for _, a := range norm {
+		inSet[a] = true
+	}
+	preserves := func(p []int) bool {
+		for _, a := range norm {
+			if !inSet[p[a]] {
+				return false
+			}
+		}
+		return true
+	}
+	identity := func(p []int) bool {
+		for x, y := range p {
+			if x != y {
+				return false
+			}
+		}
+		return true
+	}
+	out := Translations(g)
+	// Negation degenerates to the identity on elementary 2-groups — skip
+	// it there rather than hand the consumer a trivial generator.
+	if p := Negation(g); preserves(p) && !identity(p) {
+		out = append(out, p)
+	}
+	for _, p := range CoordinateSwaps(g) {
+		if preserves(p) {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

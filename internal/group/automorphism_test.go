@@ -1,0 +1,177 @@
+package group
+
+import (
+	"testing"
+
+	"bbc/internal/graph"
+)
+
+// relabel builds the image of dg under the node permutation p: the arc
+// u → v becomes p[u] → p[v] with its length kept.
+func relabel(dg *graph.Digraph, p []int) *graph.Digraph {
+	out := graph.New(dg.N())
+	for u := 0; u < dg.N(); u++ {
+		for _, a := range dg.Out(u) {
+			out.AddArc(p[u], p[a.To], a.Len)
+		}
+	}
+	return out
+}
+
+// checkAutomorphism asserts p is a permutation and that relabeling dg by
+// p reproduces dg exactly — structurally via Equal and through both
+// canonical encodings (Key must match byte-for-byte, Fingerprint must
+// collide, since both hash the same labeled structure).
+func checkAutomorphism(t *testing.T, dg *graph.Digraph, p []int, what string) {
+	t.Helper()
+	if len(p) != dg.N() {
+		t.Fatalf("%s: permutation length %d, graph has %d nodes", what, len(p), dg.N())
+	}
+	seen := make([]bool, len(p))
+	for _, x := range p {
+		if x < 0 || x >= len(p) || seen[x] {
+			t.Fatalf("%s: %v is not a permutation", what, p)
+		}
+		seen[x] = true
+	}
+	img := relabel(dg, p)
+	if !dg.Equal(img) {
+		t.Errorf("%s: relabeled graph differs from the original", what)
+	}
+	if dg.Key() != img.Key() {
+		t.Errorf("%s: canonical keys differ:\n got %s\nwant %s", what, img.Key(), dg.Key())
+	}
+	if dg.Fingerprint() != img.Fingerprint() {
+		t.Errorf("%s: fingerprints differ", what)
+	}
+}
+
+func TestTranslationsAreCayleyAutomorphisms(t *testing.T) {
+	g := MustCyclic(9)
+	dg, err := Cayley(g, []int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := Translations(g)
+	if len(perms) != 8 {
+		t.Fatalf("Z_9 has %d non-identity translations, want 8", len(perms))
+	}
+	for i, p := range perms {
+		checkAutomorphism(t, dg, p, "translation")
+		if p[0] != i+1 {
+			t.Errorf("translation %d maps identity to %d, want %d", i, p[0], i+1)
+		}
+	}
+}
+
+func TestNegationOnSymmetricGenerators(t *testing.T) {
+	g := MustCyclic(10)
+	// S = {1, 9} = −S: negation is an automorphism of this Cayley graph.
+	dg, err := Cayley(g, []int{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAutomorphism(t, dg, Negation(g), "negation")
+
+	// S = {1, 3} is not symmetric: negation maps the arc 0 → 1 to 0 → 9,
+	// which does not exist, so the relabeled graph must differ.
+	asym, err := Cayley(g, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asym.Equal(relabel(asym, Negation(g))) {
+		t.Error("negation preserved a Cayley graph over an asymmetric generator set")
+	}
+}
+
+func TestCoordinateSwapsOnHypercube(t *testing.T) {
+	g := MustBoolean(3)
+	dg, err := Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swaps := CoordinateSwaps(g)
+	if len(swaps) != 3 {
+		t.Fatalf("Z_2^3 has %d coordinate swaps, want 3", len(swaps))
+	}
+	for _, p := range swaps {
+		checkAutomorphism(t, dg, p, "coordinate swap")
+	}
+	// Mixed moduli with no equal pair admit no swaps.
+	mixed, err := NewAbelian(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CoordinateSwaps(mixed); len(got) != 0 {
+		t.Errorf("Z_2 x Z_3 has %d coordinate swaps, want 0", len(got))
+	}
+}
+
+func TestCayleyAutomorphisms(t *testing.T) {
+	g := MustCyclic(8)
+	gens := []int{1, 7} // symmetric: negation qualifies
+	dg, err := Cayley(g, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms, err := CayleyAutomorphisms(g, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 translations + negation.
+	if len(perms) != 8 {
+		t.Fatalf("got %d generators, want 8 (7 translations + negation)", len(perms))
+	}
+	for _, p := range perms {
+		checkAutomorphism(t, dg, p, "CayleyAutomorphisms generator")
+	}
+
+	// Asymmetric generators: negation is filtered out.
+	asymGens := []int{1, 2}
+	asymDg, err := Cayley(g, asymGens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asymPerms, err := CayleyAutomorphisms(g, asymGens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asymPerms) != 7 {
+		t.Fatalf("got %d generators for asymmetric set, want 7 translations only", len(asymPerms))
+	}
+	for _, p := range asymPerms {
+		checkAutomorphism(t, asymDg, p, "translation-only generator")
+	}
+
+	// Hypercube: swaps preserve the unit-vector generator set.
+	h := MustBoolean(2)
+	hg, err := Hypercube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitGens := []int{h.Encode([]int{1, 0}), h.Encode([]int{0, 1})}
+	hPerms, err := CayleyAutomorphisms(h, unitGens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 translations + 1 swap; negation is the identity on Z_2^2 and must
+	// be filtered out.
+	if len(hPerms) != 4 {
+		t.Fatalf("got %d hypercube generators, want 4 (3 translations + swap)", len(hPerms))
+	}
+	foundSwap := false
+	for _, p := range hPerms {
+		checkAutomorphism(t, hg, p, "hypercube generator")
+		if p[h.Encode([]int{1, 0})] == h.Encode([]int{0, 1}) && p[0] == 0 {
+			foundSwap = true
+		}
+	}
+	if !foundSwap {
+		t.Error("coordinate swap missing from hypercube automorphism generators")
+	}
+
+	// Invalid generator sets are rejected.
+	if _, err := CayleyAutomorphisms(g, []int{0}); err == nil {
+		t.Error("identity generator accepted")
+	}
+}

@@ -87,17 +87,10 @@ func GeneratorsForDiameter(n, k int) []int {
 func pow(base, exp int) int {
 	r := 1
 	for i := 0; i < exp; i++ {
-		if r > 1<<30/maxInt(base, 1) {
+		if r > 1<<30/max(base, 1) {
 			return 1 << 30
 		}
 		r *= base
 	}
 	return r
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -110,6 +110,22 @@ const (
 	// MFleetWorkerFaults counts shard attempts that failed on a worker:
 	// exhausted client retries, rejected jobs, incomplete runs.
 	MFleetWorkerFaults
+	// MBFSBatch counts bit-parallel multi-source traversals
+	// (Digraph.BFSBatchInto); each one replaces up to 64 scalar BFS calls.
+	MBFSBatch
+	// MBFSBatchWaves counts frontier waves expanded by batched traversals —
+	// one wave settles one distance level for every source at once.
+	MBFSBatchWaves
+	// MBFSBatchSources counts sources served by batched traversals; divided
+	// by MBFSBatch it yields the achieved bit-parallel packing (≤ 64).
+	MBFSBatchSources
+	// MQuotientSkipped counts odometer states skipped as non-canonical under
+	// the automorphism group of a quotiented scan; each one is a stability
+	// evaluation the symmetry argument made unnecessary.
+	MQuotientSkipped
+	// MQuotientOrbits counts equilibria emitted by orbit re-expansion (copies
+	// of a canonical representative, not independently evaluated).
+	MQuotientOrbits
 
 	metricCount // sentinel, keep last
 )
@@ -150,6 +166,11 @@ var metricNames = [metricCount]string{
 	MFleetDuplicates:   "fleet.duplicate_results",
 	MFleetShardsDone:   "fleet.shards_done",
 	MFleetWorkerFaults: "fleet.worker_faults",
+	MBFSBatch:          "graph.bfs_batch",
+	MBFSBatchWaves:     "bfs.batch_waves",
+	MBFSBatchSources:   "bfs.batch_sources",
+	MQuotientSkipped:   "quotient.skipped",
+	MQuotientOrbits:    "quotient.orbit_equilibria",
 }
 
 // String returns the metric's stable external name.

@@ -16,6 +16,12 @@
 #                                    # on the baseline engine, ~10s on the
 #                                    # incremental one) and record wall time
 #                                    # and profiles/sec
+#   FULL8=1 scripts/bench.sh         # run the PR 8 full-scan matrix instead:
+#                                    # the same gadget enumeration three ways
+#                                    # (scalar BFS, bit-parallel BFS, and
+#                                    # bit-parallel + symmetry quotient),
+#                                    # asserting all three report identical
+#                                    # checked/equilibria counts
 #   BENCHES='Theorem1' BENCHTIME=5x  # narrow the run / pin iteration count
 #
 # The snapshot is plain `go test -bench` output parsed with awk; no
@@ -37,7 +43,41 @@ fi
 go "${args[@]}" . | tee "$raw" >&2
 
 full_section=""
-if [ "${FULL:-0}" = "1" ]; then
+if [ "${FULL8:-0}" = "1" ]; then
+    tmpdir="$(mktemp -d)"
+    go build -o "$tmpdir/bbcgen" ./cmd/bbcgen
+    go build -o "$tmpdir/bbcsim" ./cmd/bbcsim
+    "$tmpdir/bbcgen" -kind gadget > "$tmpdir/gadget.json"
+    ref_summary=""
+    for variant in scalar bitset quotient; do
+        case "$variant" in
+            scalar)   flags="-batch-bfs=false" ;;
+            bitset)   flags="" ;;
+            quotient) flags="-quotient" ;;
+        esac
+        echo "bench.sh: running full Theorem 1 serial enumeration ($variant)..." >&2
+        t0=$(date +%s%N)
+        # shellcheck disable=SC2086
+        "$tmpdir/bbcsim" -load "$tmpdir/gadget.json" -enumerate -pin -parallel 1 \
+            $flags -json > "$tmpdir/scan-$variant.json"
+        t1=$(date +%s%N)
+        wall_ns=$((t1 - t0))
+        checked=$(grep -o '"checked": *[0-9]*' "$tmpdir/scan-$variant.json" | head -1 | grep -o '[0-9]*')
+        ne=$(grep -c '"equilibria": \[\]' "$tmpdir/scan-$variant.json" || true)
+        summary="checked=$checked empty_ne=$ne"
+        if [ -z "$ref_summary" ]; then
+            ref_summary="$summary"
+        elif [ "$summary" != "$ref_summary" ]; then
+            echo "bench.sh: DIFFERENTIAL FAILURE: $variant reported '$summary', want '$ref_summary'" >&2
+            exit 1
+        fi
+        full_section="$full_section$(awk -v ns="$wall_ns" -v checked="$checked" -v v="$variant" 'BEGIN {
+            printf ",\n  \"full_theorem1_serial_%s\": {\"profiles\": %s, \"wall_seconds\": %.3f, \"profiles_per_sec\": %.0f}", \
+                v, checked, ns / 1e9, checked / (ns / 1e9)
+        }')"
+    done
+    rm -rf "$tmpdir"
+elif [ "${FULL:-0}" = "1" ]; then
     tmpdir="$(mktemp -d)"
     go build -o "$tmpdir/bbcgen" ./cmd/bbcgen
     go build -o "$tmpdir/bbcsim" ./cmd/bbcsim
