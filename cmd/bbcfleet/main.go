@@ -68,6 +68,7 @@ type options struct {
 	solveWorkers int
 	poll         time.Duration
 	maxAttempts  int
+	apiKey       string
 	tail         bool
 	jsonOut      bool
 	timeout      time.Duration
@@ -94,6 +95,7 @@ func main() {
 	flag.IntVar(&o.solveWorkers, "solve-workers", 0, "per-shard solver parallelism on each worker (0 = serial)")
 	flag.DurationVar(&o.poll, "poll", 100*time.Millisecond, "job status poll period (each poll heartbeats the lease)")
 	flag.IntVar(&o.maxAttempts, "max-attempts", 0, "lease grants per shard before the run fails (0 = 8)")
+	flag.StringVar(&o.apiKey, "api-key", "", "X-API-Key identifying this fleet to worker admission control")
 	flag.BoolVar(&o.tail, "tail", false, "stream worker job events into the journal over SSE")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the result as one JSON object on stdout")
 	flag.DurationVar(&o.timeout, "timeout", 0, "wall-time budget, e.g. 30s; truncates with status deadline (0 = none)")
@@ -184,6 +186,7 @@ func run(ctx context.Context, o options) (runctl.Status, error) {
 		PollEvery:      o.poll,
 		SolveWorkers:   o.solveWorkers,
 		MaxAttempts:    o.maxAttempts,
+		APIKey:         o.apiKey,
 		CheckpointPath: o.checkpoint,
 		Tail:           o.tail,
 		Reg:            rt.Reg,

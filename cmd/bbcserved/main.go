@@ -26,6 +26,7 @@ import (
 	"bbc/internal/obs"
 	"bbc/internal/runctl"
 	"bbc/internal/serve"
+	"bbc/internal/store"
 )
 
 func main() {
@@ -40,7 +41,14 @@ func run(args []string, stderr *os.File) int {
 		queueSize    = fs.Int("queue", 0, "queued-job bound (0 = 64); full queue refuses with 429")
 		cacheSize    = fs.Int("cache", 0, "terminal jobs retained for polling/dedup (0 = 128)")
 		dataDir      = fs.String("data", "", "directory for enumeration checkpoints and per-job journals (\"\" = off)")
+		storeDir     = fs.String("store", "", "durable job store directory (WAL + compacted index): results dedup across restarts, interrupted jobs re-queue (\"\" = in-memory)")
+		compactEvery = fs.Int("compact-every", 0, "store WAL appends between index compactions (0 = 256)")
+		ckptEvery    = fs.Uint64("checkpoint-every", 0, "serial-scan checkpoint period in profiles (0 = 1048576)")
+		rate         = fs.Float64("rate", 0, "per-client sustained submissions per second admitted (0 = unlimited)")
+		burst        = fs.Int("burst", 0, "per-client submission burst above -rate (0 = ceil(rate))")
+		maxInflight  = fs.Int("max-inflight", 0, "per-client cap on jobs queued or running at once (0 = unlimited)")
 		journalPath  = fs.String("journal", "", "server lifecycle JSONL journal path (\"\" = off)")
+		journalMax   = fs.Int64("journal-max-bytes", 0, "rotate the lifecycle journal to <path>.1 past this size (0 = unbounded)")
 		tracePath    = fs.String("trace", "", "write a Chrome trace-event JSON file of job spans on exit (\"\" = off)")
 		pprofAddr    = fs.String("pprof", "", "pprof/expvar debug server address (\"\" = off)")
 		retryAfter   = fs.Duration("retry-after", 0, "Retry-After hint on refused submissions and drain rejections (0 = 5s)")
@@ -49,22 +57,49 @@ func run(args []string, stderr *os.File) int {
 	fs.Parse(args)
 
 	rt, err := obs.StartCLIConfig(obs.CLIConfig{
-		Name: "bbcserved", Journal: *journalPath, Trace: *tracePath, Pprof: *pprofAddr, Stderr: stderr,
+		Name: "bbcserved", Journal: *journalPath, JournalMaxBytes: *journalMax,
+		Trace: *tracePath, Pprof: *pprofAddr, Stderr: stderr,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "bbcserved: %v\n", err)
 		return runctl.ExitError
 	}
 
-	srv, err := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueSize:  *queueSize,
-		CacheSize:  *cacheSize,
-		DataDir:    *dataDir,
-		RetryAfter: *retryAfter,
-		Reg:        rt.Reg,
-		Journal:    rt.Journal,
-	})
+	cfg := serve.Config{
+		Workers:         *workers,
+		QueueSize:       *queueSize,
+		CacheSize:       *cacheSize,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
+		RetryAfter:      *retryAfter,
+		Admission:       serve.AdmissionConfig{Rate: *rate, Burst: *burst, MaxInFlight: *maxInflight},
+		Reg:             rt.Reg,
+		Journal:         rt.Journal,
+	}
+	if *storeDir != "" {
+		st, rec, err := store.Open(*storeDir, store.Options{
+			CompactEvery: *compactEvery, Reg: rt.Reg, Journal: rt.Journal,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "bbcserved: open store: %v\n", err)
+			return runctl.ExitError
+		}
+		// The recovery report goes to stderr so operators see at a glance
+		// what a restart salvaged; quarantines are loud but non-fatal.
+		fmt.Fprintf(stderr, "bbcserved: store %s: %d indexed + %d replayed jobs", *storeDir, rec.IndexJobs, rec.Replayed)
+		if rec.Quarantined > 0 {
+			fmt.Fprintf(stderr, ", %d records quarantined", rec.Quarantined)
+		}
+		if rec.TornBytes > 0 {
+			fmt.Fprintf(stderr, ", torn tail of %d bytes truncated", rec.TornBytes)
+		}
+		fmt.Fprintln(stderr)
+		cfg.Store = st
+	}
+
+	// serve.New re-queues any interrupted jobs the store recovered and
+	// Drain closes the store, so nothing here needs to.
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "bbcserved: %v\n", err)
 		return runctl.ExitError

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bbc/internal/serve"
+)
+
+// TestMain doubles the test binary as the bbcserved binary: with
+// BBCSERVED_HELPER=1 it runs main's run() on its own argv instead of
+// the test suite, which is what lets the restart test SIGKILL a real
+// process mid-scan — an in-process server could never be killed
+// uncleanly.
+func TestMain(m *testing.M) {
+	if os.Getenv("BBCSERVED_HELPER") == "1" {
+		os.Exit(run(os.Args[1:], os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// helperServer is one bbcserved process generation under test.
+type helperServer struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port from the listen announcement
+	stderr *bytes.Buffer
+}
+
+// startHelper execs the test binary as bbcserved and waits for the
+// listen announcement.
+func startHelper(t *testing.T, args ...string) *helperServer {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "BBCSERVED_HELPER=1")
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h := &helperServer{cmd: cmd, stderr: &bytes.Buffer{}}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}
+	})
+	announce := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(io.TeeReader(pipe, h.stderr))
+		for sc.Scan() {
+			if i := strings.Index(sc.Text(), "listening on "); i >= 0 {
+				announce <- strings.TrimSpace(sc.Text()[i+len("listening on "):])
+				break
+			}
+		}
+		for sc.Scan() { // keep draining so the child never blocks on stderr
+		}
+		close(announce)
+	}()
+	select {
+	case base, ok := <-announce:
+		if !ok || base == "" {
+			t.Fatalf("no listen announcement; stderr so far:\n%s", h.stderr.String())
+		}
+		h.base = base
+	case <-time.After(30 * time.Second):
+		t.Fatalf("helper never announced a listener; stderr so far:\n%s", h.stderr.String())
+	}
+	return h
+}
+
+// getJob polls one job view over HTTP.
+func getJob(t *testing.T, base, id string) (state string, complete bool, result json.RawMessage) {
+	t.Helper()
+	res, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var v struct {
+		State    string          `json:"state"`
+		Complete bool            `json:"complete"`
+		Result   json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.State, v.Complete, v.Result
+}
+
+// TestKillRestartByteIdenticalResume is the crash-recovery acceptance
+// test at the binary level: SIGKILL bbcserved mid-enumeration, restart
+// it on the same -store and -data directories, and the recovered
+// process re-queues the interrupted job, resumes its enumeration
+// checkpoint, and serves a result byte-identical to an uninterrupted
+// solve — then answers a resubmission of the same spec from the durable
+// dedup tier without re-solving.
+func TestKillRestartByteIdenticalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	dataDir := filepath.Join(dir, "data")
+	game := `{"mode":"enumerate","game":{"kind":"uniform","n":6,"k":2}}`
+	checkpointEvery := "65536"
+	ckptWait := 30 * time.Second
+	finishWait := 120 * time.Second
+	if raceEnabled {
+		// Race instrumentation slows the scan ~15-20x; a smaller space
+		// keeps the kill-mid-scan window while the run stays in budget.
+		game = `{"mode":"enumerate","game":{"kind":"uniform","n":5,"k":2}}`
+		checkpointEvery = "512"
+		ckptWait = 60 * time.Second
+		finishWait = 300 * time.Second
+	}
+
+	// The uninterrupted reference, solved through the same serve stack
+	// in-process so the result marshal path is identical.
+	ref, err := serve.New(serve.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refReq serve.Request
+	if err := json.Unmarshal([]byte(game), &refReq); err != nil {
+		t.Fatal(err)
+	}
+	refView, outcome, err := ref.Submit(&refReq)
+	if err != nil || outcome != serve.Accepted {
+		t.Fatalf("reference submit: outcome=%v err=%v", outcome, err)
+	}
+	refFinal, ok := ref.Wait(context.Background(), refView.ID)
+	if !ok || !refFinal.Complete {
+		t.Fatalf("reference job: %+v", refFinal)
+	}
+	ref.Drain()
+
+	// Generation 1: start scanning, then die without warning. The small
+	// checkpoint period guarantees resume state lands on disk quickly.
+	serverArgs := []string{
+		"-addr", "127.0.0.1:0", "-workers", "1",
+		"-store", storeDir, "-data", dataDir,
+		"-checkpoint-every", checkpointEvery,
+		"-journal", filepath.Join(dir, "gen2.jsonl"), // only gen2's survives the kill uncorrupted
+	}
+	gen1 := startHelper(t, serverArgs...)
+	res, err := http.Post(gen1.base+"/v1/jobs", "application/json", strings.NewReader(game))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		Job struct {
+			ID  string `json:"id"`
+			Key string `json:"key"`
+		} `json:"job"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&sub)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d err %v", res.StatusCode, err)
+	}
+
+	// Kill only after at least one enumeration checkpoint exists, so the
+	// restart genuinely resumes mid-scan.
+	ckpt := filepath.Join(dataDir, sub.Job.Key+".ckpt")
+	deadline := time.Now().Add(ckptWait)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if state, _, _ := getJob(t, gen1.base, sub.Job.ID); state == "done" {
+			t.Fatalf("job finished before any checkpoint was written; shrink -checkpoint-every")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint appeared at %s", ckpt)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := gen1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	gen1.cmd.Wait() //nolint:errcheck
+
+	// Generation 2: same store, same data dir. The interrupted job must
+	// be re-queued and finish under its original id.
+	gen2 := startHelper(t, serverArgs...)
+	deadline = time.Now().Add(finishWait)
+	var result json.RawMessage
+	for {
+		state, complete, r := getJob(t, gen2.base, sub.Job.ID)
+		if state == "done" {
+			if !complete {
+				t.Fatalf("recovered job ended incomplete")
+			}
+			result = r
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job %s never completed (state %s)", sub.Job.ID, state)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The resumed result is byte-identical to the uninterrupted solve.
+	var got, want bytes.Buffer
+	if err := json.Compact(&got, result); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&want, refFinal.Result); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("resumed result differs from uninterrupted solve:\n got %s\nwant %s", got.Bytes(), want.Bytes())
+	}
+
+	// The per-job journal proves this was a resume, not a recompute.
+	jj, err := os.ReadFile(filepath.Join(dataDir, sub.Job.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(jj, []byte(`"resume"`)) {
+		t.Error("job journal records no resume event; the restart recomputed from scratch")
+	}
+
+	// Resubmitting the same spec is a durable dedup hit on the original
+	// job — no second solve.
+	res, err = http.Post(gen2.base+"/v1/jobs", "application/json", strings.NewReader(game))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dedup struct {
+		Deduped bool `json:"deduped"`
+		Job     struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&dedup)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dedup.Deduped || dedup.Job.ID != sub.Job.ID {
+		t.Errorf("resubmit after restart: deduped=%t id=%s, want hit on %s", dedup.Deduped, dedup.Job.ID, sub.Job.ID)
+	}
+
+	// The fingerprint query serves the recovered job.
+	res, err = http.Get(gen2.base + "/v1/jobs?spec_fingerprint=" + sub.Job.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []struct {
+			ID string `json:"id"`
+		} `json:"jobs"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&listing)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != sub.Job.ID {
+		t.Errorf("fingerprint query after restart: %+v", listing.Jobs)
+	}
+
+	// A graceful stop: SIGTERM and a clean exit, closing the store.
+	if err := gen2.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen2.cmd.Wait(); err != nil {
+		t.Fatalf("gen2 exit after SIGTERM: %v\nstderr:\n%s", err, gen2.stderr.String())
+	}
+	if !strings.Contains(gen2.stderr.String(), "store "+storeDir) {
+		t.Errorf("gen2 stderr carries no store recovery report:\n%s", gen2.stderr.String())
+	}
+}

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bbc/internal/obs"
+	"bbc/internal/serve"
+)
+
+// throttleFront fronts a real worker and sheds the first `shed`
+// submissions with 429 + Retry-After, the way bbcserved admission
+// control does; everything else passes through. It records the API key
+// each submit carried.
+type throttleFront struct {
+	inner      http.Handler
+	shed       int32
+	retryAfter string
+	lastKey    atomic.Value // string
+}
+
+func (f *throttleFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+		f.lastKey.Store(r.Header.Get("X-API-Key"))
+		if atomic.AddInt32(&f.shed, -1) >= 0 {
+			w.Header().Set("Retry-After", f.retryAfter)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"client exceeds its sustained submission rate","reason":"throttled","retry_after_ms":1000}`)
+			return
+		}
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestThrottledSubmitDoesNotBurnLeaseAttempt pins the backpressure
+// contract end to end: a worker shedding a shard submission with
+// 429 + Retry-After delays that shard by at least the advertised floor
+// and refunds the lease grant. MaxAttempts=1 makes the refund
+// observable — if the throttled grant were burned, the re-acquire would
+// be fatal ("shard 0 failed 1 attempts") instead of completing.
+func TestThrottledSubmitDoesNotBurnLeaseAttempt(t *testing.T) {
+	spec := testSpec(t)
+	s, err := serve.New(serve.Config{Workers: 1, DataDir: t.TempDir(), Reg: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := &throttleFront{inner: s.Handler(), shed: 1, retryAfter: "1"}
+	hs := httptest.NewServer(front)
+	t.Cleanup(func() {
+		hs.Close()
+		s.Drain()
+	})
+
+	reg := obs.NewRegistry()
+	begin := time.Now()
+	res, err := Run(context.Background(), Config{
+		Spec:           spec,
+		Workers:        []string{hs.URL},
+		Shards:         1,
+		MaxAttempts:    1, // any burned attempt turns the throttle fatal
+		ClientAttempts: 1, // surface the 429 instead of retrying inside the client
+		APIKey:         "fleet-1",
+		Reg:            reg,
+	})
+	if err != nil {
+		t.Fatalf("Run under backpressure: %v", err)
+	}
+	if !res.NE.Complete || res.ShardsDone != 1 {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	mustMatch(t, res.NE, reference(t, spec))
+	if elapsed := time.Since(begin); elapsed < time.Second {
+		t.Errorf("run finished in %v; the 1s Retry-After floor was not honored", elapsed)
+	}
+	if got := reg.Get(obs.MFleetThrottled); got != 1 {
+		t.Errorf("fleet.throttled = %d, want 1", got)
+	}
+	if got := reg.Get(obs.MFleetWorkerFaults); got != 0 {
+		t.Errorf("fleet.worker_faults = %d, want 0 (backpressure is not a fault)", got)
+	}
+	if got := reg.Get(obs.MFleetLeases); got != 2 {
+		t.Errorf("fleet.leases = %d, want 2 (shed grant + completing grant)", got)
+	}
+	if got, _ := front.lastKey.Load().(string); got != "fleet-1" {
+		t.Errorf("submit carried X-API-Key %q, want fleet-1", got)
+	}
+}
+
+// TestThrottleClassifier pins which errors count as backpressure: a
+// wrapped 429 or 503 with its Retry-After floor, and nothing else.
+func TestThrottleClassifier(t *testing.T) {
+	throttled := fmt.Errorf("submit shard: %w",
+		fmt.Errorf("fleet: POST /v1/jobs failed after 1 attempts: %w",
+			&APIError{Status: 429, Msg: "throttled", RetryAfter: 2 * time.Second}))
+	if floor, ok := Throttle(throttled); !ok || floor != 2*time.Second {
+		t.Errorf("Throttle(429) = (%v, %t), want (2s, true)", floor, ok)
+	}
+	if floor, ok := Throttle(&APIError{Status: 503, Msg: "draining"}); !ok || floor != 0 {
+		t.Errorf("Throttle(503, no hint) = (%v, %t), want (0, true)", floor, ok)
+	}
+	if _, ok := Throttle(&APIError{Status: 404, Msg: "unknown job"}); ok {
+		t.Error("Throttle(404) claimed backpressure")
+	}
+	if _, ok := Throttle(errors.New("connection refused")); ok {
+		t.Error("Throttle(transport error) claimed backpressure")
+	}
+}

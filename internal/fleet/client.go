@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -41,6 +42,10 @@ type Client struct {
 	Backoff runctl.Backoff
 	// Attempts bounds tries per request (0 = 5).
 	Attempts int
+	// APIKey, when non-empty, is sent as X-API-Key on every request so
+	// the worker's admission control attributes this fleet's load to one
+	// client bucket.
+	APIKey string
 	// Reg counts retries into fleet.retries (nil = obs.Global()).
 	Reg *obs.Registry
 }
@@ -66,14 +71,41 @@ func (c *Client) reg() *obs.Registry {
 	return obs.Global()
 }
 
+// authorize attaches the client's API key, when configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+}
+
 // APIError is a non-2xx job API reply.
 type APIError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's Retry-After hint (0 when absent). On a
+	// 429/503 it is the server telling this client when load shedding is
+	// expected to clear.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("fleet: worker replied %d: %s", e.Status, e.Msg)
+}
+
+// Throttle reports whether err is (or wraps) a worker load-shedding
+// reply — 429 Too Many Requests or 503 Service Unavailable — and the
+// server's Retry-After floor on the next try (0 when the server gave no
+// hint). Callers distinguish backpressure from worker faults with it:
+// shed load is the server working as designed, not a failure.
+func Throttle(err error) (time.Duration, bool) {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		return 0, false
+	}
+	if apiErr.Status != http.StatusTooManyRequests && apiErr.Status != http.StatusServiceUnavailable {
+		return 0, false
+	}
+	return apiErr.RetryAfter, true
 }
 
 // retryable says whether a reply status is worth retrying: throttling
@@ -139,6 +171,7 @@ func (c *Client) Ready(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	c.authorize(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -146,7 +179,7 @@ func (c *Client) Ready(ctx context.Context) error {
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
 	if resp.StatusCode != http.StatusOK {
-		return &APIError{Status: resp.StatusCode, Msg: "not ready"}
+		return &APIError{Status: resp.StatusCode, Msg: "not ready", RetryAfter: retryAfter(resp.Header)}
 	}
 	return nil
 }
@@ -177,6 +210,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		c.authorize(req)
 		resp, err := c.http().Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -200,11 +234,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			}
 			return nil
 		}
-		apiErr := &APIError{Status: resp.StatusCode, Msg: errorMessage(data)}
+		apiErr := &APIError{Status: resp.StatusCode, Msg: errorMessage(data), RetryAfter: retryAfter(resp.Header)}
 		if !retryable(resp.StatusCode) {
 			return apiErr
 		}
-		floor = retryAfter(resp.Header)
+		floor = apiErr.RetryAfter
 		lastErr = apiErr
 	}
 	return fmt.Errorf("fleet: %s %s failed after %d attempts: %w", method, path, c.attempts(), lastErr)
@@ -247,6 +281,7 @@ func (c *Client) Events(ctx context.Context, id string, lastID int64, fn func(ev
 			return err
 		}
 		req.Header.Set("Accept", "text/event-stream")
+		c.authorize(req)
 		if lastID >= 0 {
 			req.Header.Set("Last-Event-ID", strconv.FormatInt(lastID, 10))
 		}
@@ -263,7 +298,7 @@ func (c *Client) Events(ctx context.Context, id string, lastID int64, fn func(ev
 		if resp.StatusCode != http.StatusOK {
 			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
-			apiErr := &APIError{Status: resp.StatusCode, Msg: errorMessage(data)}
+			apiErr := &APIError{Status: resp.StatusCode, Msg: errorMessage(data), RetryAfter: retryAfter(resp.Header)}
 			if !retryable(resp.StatusCode) {
 				return apiErr
 			}

@@ -99,6 +99,9 @@ type Config struct {
 	Backoff runctl.Backoff
 	// ClientAttempts is the per-request attempt bound (0 = 5).
 	ClientAttempts int
+	// APIKey identifies this fleet to the workers' admission control
+	// (sent as X-API-Key; "" = the anonymous bucket).
+	APIKey string
 	// Tail, when set, SSE-tails each running shard job and forwards its
 	// progress records into the coordinator journal.
 	Tail bool
@@ -367,6 +370,7 @@ func (c *coordinator) agentLoop(ctx context.Context, base string) {
 		HTTP:     c.cfg.HTTP,
 		Backoff:  c.cfg.Backoff,
 		Attempts: c.cfg.ClientAttempts,
+		APIKey:   c.cfg.APIKey,
 		Reg:      c.reg,
 	}
 	failStreak := 0
@@ -386,6 +390,7 @@ func (c *coordinator) agentLoop(ctx context.Context, base string) {
 			return
 		}
 		err := c.runShard(ctx, client, sh, base)
+		var bp *backpressureError
 		switch {
 		case err == nil:
 			failStreak = 0
@@ -393,6 +398,18 @@ func (c *coordinator) agentLoop(ctx context.Context, base string) {
 			// Shutting down: the lease dies with the run; the checkpoint
 			// records non-done shards as pending.
 			return
+		case errors.As(err, &bp):
+			// The worker shed the submission (429/503 + Retry-After): that
+			// is admission control doing its job, not a worker fault, so the
+			// lease grant is refunded — a shard must never exhaust
+			// MaxAttempts purely because the fleet outran the servers — and
+			// the agent honors the advertised floor before trying again.
+			c.reg.Inc(obs.MFleetThrottled)
+			c.table.releaseBackpressure(sh, base, bp.Error())
+			failStreak++
+			if c.cfg.Backoff.WaitAtLeast(ctx, failStreak-1, bp.floor) != nil {
+				return
+			}
 		default:
 			c.reg.Inc(obs.MFleetWorkerFaults)
 			c.table.release(sh, base, err.Error())
@@ -402,6 +419,27 @@ func (c *coordinator) agentLoop(ctx context.Context, base string) {
 			}
 		}
 	}
+}
+
+// backpressureError marks a shard attempt stopped by worker admission
+// control before any work was scheduled. floor is the server's
+// Retry-After hint (0 = none; the agent's backoff then rules).
+type backpressureError struct {
+	floor time.Duration
+	err   error
+}
+
+func (e *backpressureError) Error() string { return e.err.Error() }
+func (e *backpressureError) Unwrap() error { return e.err }
+
+// wrapBackpressure classifies an error: a worker 429/503 becomes a
+// *backpressureError carrying the Retry-After floor; anything else
+// passes through unchanged.
+func wrapBackpressure(err error) error {
+	if floor, ok := Throttle(err); ok {
+		return &backpressureError{floor: floor, err: err}
+	}
+	return err
 }
 
 // runShard executes one lease end to end against one worker: readiness
@@ -414,7 +452,7 @@ func (c *coordinator) runShard(ctx context.Context, client *Client, sh *shardLea
 	// one refuses the connection — either way the lease goes back now
 	// instead of after a full submit/poll retry cycle.
 	if err := client.Ready(ctx); err != nil {
-		return fmt.Errorf("worker not ready: %w", err)
+		return wrapBackpressure(fmt.Errorf("worker not ready: %w", err))
 	}
 	req := &serve.Request{
 		Mode:    "enumerate",
@@ -426,7 +464,10 @@ func (c *coordinator) runShard(ctx context.Context, client *Client, sh *shardLea
 	}
 	view, err := client.Submit(ctx, req)
 	if err != nil {
-		return fmt.Errorf("submit shard: %w", err)
+		// A submit refused by admission control (throttled, over quota,
+		// queue full, draining) never scheduled any work: classify it as
+		// backpressure so the agent refunds the lease attempt.
+		return wrapBackpressure(fmt.Errorf("submit shard: %w", err))
 	}
 
 	var stopTail func()

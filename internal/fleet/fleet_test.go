@@ -161,8 +161,10 @@ func TestPlanShards(t *testing.T) {
 }
 
 // TestFleetDrainingWorkerReleasesLeases is satellite re-lease coverage:
-// one worker drains before the run, its agent's readiness gate fails
-// every lease it grabs, and the healthy worker finishes the whole scan.
+// one worker drains before the run, its agent's readiness gate (503)
+// releases every lease it grabs as backpressure — counted throttled,
+// not a worker fault, and never burning the shard's attempt budget —
+// and the healthy worker finishes the whole scan.
 func TestFleetDrainingWorkerReleasesLeases(t *testing.T) {
 	spec := testSpec(t)
 	dead, deadURL := startWorker(t, serve.Config{})
@@ -187,8 +189,11 @@ func TestFleetDrainingWorkerReleasesLeases(t *testing.T) {
 	if got := reg.Get(obs.MFleetReleases); got < 1 {
 		t.Errorf("fleet.releases = %d, want >= 1 (draining worker must give leases back)", got)
 	}
-	if got := reg.Get(obs.MFleetWorkerFaults); got < 1 {
-		t.Errorf("fleet.worker_faults = %d, want >= 1", got)
+	if got := reg.Get(obs.MFleetThrottled); got < 1 {
+		t.Errorf("fleet.throttled = %d, want >= 1 (a draining 503 is backpressure)", got)
+	}
+	if got := reg.Get(obs.MFleetWorkerFaults); got != 0 {
+		t.Errorf("fleet.worker_faults = %d, want 0 (backpressure is not a fault)", got)
 	}
 }
 

@@ -199,6 +199,29 @@ func (t *table) release(sh *shardLease, worker, reason string) {
 	obs.Trace().Instant("fleet.release", 0, "shard", int64(sh.Index))
 }
 
+// releaseBackpressure returns a lease whose submission was shed by
+// worker admission control, refunding the grant: attempts is
+// decremented so throttling never counts against the shard's
+// MaxAttempts budget — that bound exists to surface shards no worker
+// can *compute*, and an overloaded server saying "later" is not that.
+func (t *table) releaseBackpressure(sh *shardLease, worker, reason string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sh.state != shardLeased || sh.worker != worker {
+		return // expired and re-leased already; nothing to give back
+	}
+	sh.state = shardPending
+	sh.worker = ""
+	if sh.attempts > 0 {
+		sh.attempts--
+	}
+	t.reg.Inc(obs.MFleetReleases)
+	t.journal.Event("release", map[string]any{
+		"shard": sh.Index, "worker": worker, "reason": reason, "backpressure": true,
+	})
+	obs.Trace().Instant("fleet.release", 0, "shard", int64(sh.Index))
+}
+
 // expire returns every overdue lease to pending. This is the crash
 // backstop: an agent stuck on a dead worker stops heartbeating, the
 // deadline passes, and a surviving worker picks the shard up.

@@ -32,6 +32,10 @@ type CLIConfig struct {
 	// records survive, a torn tail is dropped, and sequence numbers
 	// continue.
 	AppendJournal bool
+	// JournalMaxBytes, when > 0, caps the live journal file: it rotates
+	// to <path>.1 at record boundaries (salvage-compatible framing) so a
+	// long-lived process cannot grow its journal unboundedly.
+	JournalMaxBytes int64
 	// Trace, when non-empty, installs the process-wide span tracer and
 	// writes a Chrome trace-event JSON file (chrome://tracing /
 	// Perfetto-loadable) to this path on Close.
@@ -64,23 +68,18 @@ func StartCLIConfig(c CLIConfig) (*Runtime, error) {
 	rt := &Runtime{Reg: NewRegistry(), name: c.Name, stderr: c.Stderr}
 	SetGlobal(rt.Reg)
 	if c.Journal != "" {
-		if c.AppendJournal {
-			j, sal, err := ResumeJournal(c.FS, c.Journal, rt.Reg)
-			if err != nil {
-				return nil, err
-			}
-			if sal.DroppedBytes > 0 && c.Stderr != nil {
-				fmt.Fprintf(c.Stderr, "%s: journal %s: salvaged %d records, dropped a torn tail of %d bytes\n",
-					c.Name, c.Journal, sal.Kept, sal.DroppedBytes)
-			}
-			rt.Journal = j
-		} else {
-			j, err := OpenJournalFS(c.FS, c.Journal, rt.Reg)
-			if err != nil {
-				return nil, err
-			}
-			rt.Journal = j
+		j, sal, err := OpenJournalConfig(JournalConfig{
+			FS: c.FS, Path: c.Journal, Reg: rt.Reg,
+			MaxBytes: c.JournalMaxBytes, Append: c.AppendJournal,
+		})
+		if err != nil {
+			return nil, err
 		}
+		if sal != nil && sal.DroppedBytes > 0 && c.Stderr != nil {
+			fmt.Fprintf(c.Stderr, "%s: journal %s: salvaged %d records, dropped a torn tail of %d bytes\n",
+				c.Name, c.Journal, sal.Kept, sal.DroppedBytes)
+		}
+		rt.Journal = j
 	}
 	if c.Trace != "" {
 		rt.Tracer = NewTracer(c.TraceCap)

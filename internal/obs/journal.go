@@ -49,6 +49,12 @@ type Journal struct {
 	start  time.Time
 	seq    int64
 	err    error
+
+	// Rotation state (file-backed journals opened with a MaxBytes cap).
+	fsys     faultfs.FS
+	path     string
+	maxBytes int64
+	written  int64
 }
 
 // NewJournal writes records to w, snapshotting reg (which may be nil)
@@ -68,13 +74,62 @@ func OpenJournal(path string, reg *Registry) (*Journal, error) {
 // OpenJournalFS is OpenJournal on an explicit filesystem (fault
 // injection in tests; nil = real OS).
 func OpenJournalFS(fsys faultfs.FS, path string, reg *Registry) (*Journal, error) {
-	f, err := faultfs.Or(fsys).Create(path)
-	if err != nil {
-		return nil, fmt.Errorf("obs: open journal: %w", err)
+	j, _, err := OpenJournalConfig(JournalConfig{FS: fsys, Path: path, Reg: reg})
+	return j, err
+}
+
+// JournalConfig is the full option set for a file-backed journal.
+type JournalConfig struct {
+	// FS is the filesystem to write through (nil = real OS).
+	FS faultfs.FS
+	// Path is the JSONL file location.
+	Path string
+	// Reg, when non-nil, snapshots its counters into every record.
+	Reg *Registry
+	// MaxBytes, when > 0, caps the live file: before a record that would
+	// push the file past the cap, the journal rotates — the live file is
+	// renamed to Path+".1" (replacing any previous rotation) and a fresh
+	// file is started. Rotation happens at record boundaries only, so
+	// both generations stay salvage-compatible JSONL, and sequence
+	// numbers continue across the cut. A single record larger than the
+	// cap is still written whole.
+	MaxBytes int64
+	// Append salvages and appends to an existing file (ResumeJournal
+	// semantics) instead of truncating it.
+	Append bool
+}
+
+// OpenJournalConfig opens a file-backed journal with the full option
+// set. The Salvage return is non-nil only in Append mode.
+func OpenJournalConfig(c JournalConfig) (*Journal, *Salvage, error) {
+	fsys := faultfs.Or(c.FS)
+	var (
+		j       *Journal
+		sal     *Salvage
+		written int64
+	)
+	if c.Append {
+		var err error
+		j, sal, err = resumeJournal(fsys, c.Path, c.Reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if fi, serr := fsys.Stat(c.Path); serr == nil {
+			written = fi.Size()
+		}
+	} else {
+		f, err := fsys.Create(c.Path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: open journal: %w", err)
+		}
+		j = NewJournal(f, c.Reg)
+		j.closer = f
 	}
-	j := NewJournal(f, reg)
-	j.closer = f
-	return j, nil
+	j.fsys = fsys
+	j.path = c.Path
+	j.maxBytes = c.MaxBytes
+	j.written = written
+	return j, sal, nil
 }
 
 // Salvage reports what ResumeJournal recovered from an existing
@@ -138,6 +193,18 @@ func salvageRecords(data []byte) ([]Record, int64) {
 // journaled.
 func ResumeJournal(fsys faultfs.FS, path string, reg *Registry) (*Journal, *Salvage, error) {
 	fsys = faultfs.Or(fsys)
+	j, sal, err := resumeJournal(fsys, path, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	j.fsys = fsys
+	j.path = path
+	return j, sal, nil
+}
+
+// resumeJournal is the salvage-and-append core shared by ResumeJournal
+// and OpenJournalConfig.
+func resumeJournal(fsys faultfs.FS, path string, reg *Registry) (*Journal, *Salvage, error) {
 	sal := &Salvage{}
 	recs, validLen, err := RecoverJournal(fsys, path)
 	switch {
@@ -194,11 +261,46 @@ func (j *Journal) Event(typ string, data map[string]any) {
 		return
 	}
 	line = append(line, '\n')
+	if j.maxBytes > 0 && j.written > 0 && j.written+int64(len(line)) > j.maxBytes {
+		j.rotateLocked()
+		if j.err != nil {
+			return
+		}
+	}
 	if _, err := j.w.Write(line); err != nil {
 		j.err = fmt.Errorf("obs: write journal record: %w", err)
 		return
 	}
+	j.written += int64(len(line))
 	j.seq++
+}
+
+// rotateLocked renames the live journal file to <path>.1 (replacing any
+// previous rotation) and starts a fresh file at <path>. It runs only at
+// record boundaries, so both generations remain salvage-compatible
+// JSONL; sequence numbers and the elapsed clock continue. Callers hold
+// j.mu.
+func (j *Journal) rotateLocked() {
+	if j.closer == nil || j.path == "" {
+		return // not a file-backed journal; nothing to rotate
+	}
+	if err := j.closer.Close(); err != nil {
+		j.err = fmt.Errorf("obs: close journal before rotation: %w", err)
+		return
+	}
+	j.closer = nil
+	if err := j.fsys.Rename(j.path, j.path+".1"); err != nil {
+		j.err = fmt.Errorf("obs: rotate journal: %w", err)
+		return
+	}
+	f, err := j.fsys.Create(j.path)
+	if err != nil {
+		j.err = fmt.Errorf("obs: reopen rotated journal: %w", err)
+		return
+	}
+	j.w, j.closer = f, f
+	j.written = 0
+	j.reg.Inc(MJournalRotations)
 }
 
 // Canonical journal event types emitted by the run-control layer, in

@@ -126,6 +126,44 @@ const (
 	// MQuotientOrbits counts equilibria emitted by orbit re-expansion (copies
 	// of a canonical representative, not independently evaluated).
 	MQuotientOrbits
+	// MServeQueueFull counts submissions refused because the bounded job
+	// queue was full (a subset of MServeRejected, split out so saturation
+	// is distinguishable from drain rejections on a dashboard).
+	MServeQueueFull
+	// MServeThrottled counts submissions refused by a per-client
+	// token-bucket rate limit.
+	MServeThrottled
+	// MServeQuotaDenied counts submissions refused by a per-client
+	// in-flight quota.
+	MServeQuotaDenied
+	// MServeStoreHits counts submissions answered from the durable job
+	// store: a completed result from an earlier process generation served
+	// without re-solving (the cross-restart dedup tier).
+	MServeStoreHits
+	// MServeRequeued counts jobs found queued/running in the store at
+	// startup and re-queued, resuming work orphaned by a crash.
+	MServeRequeued
+	// MStoreAppends counts job-state transitions appended to the store WAL.
+	MStoreAppends
+	// MStoreAppendErrors counts WAL appends that failed (the service keeps
+	// running; the transition is lost to the durable tier only).
+	MStoreAppendErrors
+	// MStoreCompactions counts WAL compactions: index snapshots published
+	// and the WAL truncated behind them.
+	MStoreCompactions
+	// MStoreReplayed counts WAL records applied during an Open replay.
+	MStoreReplayed
+	// MStoreQuarantined counts store records diverted to the quarantine
+	// file: checksum/decode failures and semantically unreplayable
+	// transitions.
+	MStoreQuarantined
+	// MFleetThrottled counts shard attempts released back to pending on
+	// worker backpressure (429/503 + Retry-After at dispatch) without
+	// burning a MaxAttempts lease attempt.
+	MFleetThrottled
+	// MJournalRotations counts size-capped journal rotations (the live
+	// file renamed to .1 and restarted).
+	MJournalRotations
 
 	metricCount // sentinel, keep last
 )
@@ -171,6 +209,18 @@ var metricNames = [metricCount]string{
 	MBFSBatchSources:   "bfs.batch_sources",
 	MQuotientSkipped:   "quotient.skipped",
 	MQuotientOrbits:    "quotient.orbit_equilibria",
+	MServeQueueFull:    "serve.queue_full",
+	MServeThrottled:    "admission.throttled",
+	MServeQuotaDenied:  "admission.quota_denied",
+	MServeStoreHits:    "serve.store_hits",
+	MServeRequeued:     "serve.jobs_requeued",
+	MStoreAppends:      "store.wal_appends",
+	MStoreAppendErrors: "store.wal_append_errors",
+	MStoreCompactions:  "store.compactions",
+	MStoreReplayed:     "store.wal_replayed",
+	MStoreQuarantined:  "store.records_quarantined",
+	MFleetThrottled:    "fleet.throttled",
+	MJournalRotations:  "obs.journal_rotations",
 }
 
 // String returns the metric's stable external name.

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// AdmissionConfig tunes per-client admission control. Clients are
+// identified by the X-API-Key request header (empty = the shared
+// "anonymous" identity), so one greedy client exhausts its own budget,
+// not the server. The zero value disables all admission limits.
+type AdmissionConfig struct {
+	// Rate is the sustained token refill in new-job submissions per
+	// second per client (0 = unlimited). Deduplicated and refused
+	// submissions are free: only work that would occupy the solver pool
+	// spends a token.
+	Rate float64
+	// Burst is the token-bucket depth (0 with Rate > 0 = ceil(Rate),
+	// minimum 1): how many submissions a client can land back-to-back
+	// before the sustained rate governs.
+	Burst int
+	// MaxInFlight bounds one client's queued-plus-running jobs
+	// (0 = unlimited). Slots free when a job reaches a terminal state.
+	MaxInFlight int
+}
+
+func (c AdmissionConfig) burst() float64 {
+	if c.Burst > 0 {
+		return float64(c.Burst)
+	}
+	if b := c.Rate; b >= 1 {
+		return float64(int(b + 0.999999))
+	}
+	return 1
+}
+
+// enabled reports whether any limit is configured.
+func (c AdmissionConfig) enabled() bool {
+	return c.Rate > 0 || c.MaxInFlight > 0
+}
+
+// admission is the per-client token-bucket and in-flight-quota state.
+// maxClients bounds the tracking map against API-key churn: when it
+// fills, idle entries (full bucket, nothing in flight) are reclaimed.
+type admission struct {
+	cfg AdmissionConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*clientBucket
+}
+
+type clientBucket struct {
+	tokens   float64
+	last     time.Time
+	inFlight int
+}
+
+const maxClients = 4096
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	return &admission{cfg: cfg, now: time.Now, clients: make(map[string]*clientBucket)}
+}
+
+// bucketLocked returns (creating on demand) the client's state with its
+// token balance refilled to now.
+func (a *admission) bucketLocked(client string) *clientBucket {
+	b, ok := a.clients[client]
+	if !ok {
+		if len(a.clients) >= maxClients {
+			for id, old := range a.clients {
+				if old.inFlight == 0 && old.tokens >= a.cfg.burst() {
+					delete(a.clients, id)
+				}
+			}
+		}
+		b = &clientBucket{tokens: a.cfg.burst(), last: a.now()}
+		a.clients[client] = b
+		return b
+	}
+	if a.cfg.Rate > 0 {
+		now := a.now()
+		b.tokens += now.Sub(b.last).Seconds() * a.cfg.Rate
+		if max := a.cfg.burst(); b.tokens > max {
+			b.tokens = max
+		}
+		b.last = now
+	}
+	return b
+}
+
+// admit spends one rate token for a new job. When the bucket is dry it
+// refuses and reports how long until a token accrues.
+func (a *admission) admit(client string) (ok bool, retryAfter time.Duration) {
+	if a == nil || a.cfg.Rate <= 0 {
+		return true, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.bucketLocked(client)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / a.cfg.Rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// acquire claims an in-flight slot for a new job; release frees it when
+// the job reaches a terminal state.
+func (a *admission) acquire(client string) bool {
+	if a == nil || a.cfg.MaxInFlight <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.bucketLocked(client)
+	if b.inFlight >= a.cfg.MaxInFlight {
+		return false
+	}
+	b.inFlight++
+	return true
+}
+
+// restore claims an in-flight slot unconditionally — recovered jobs
+// re-queued at startup were already admitted by an earlier process, so
+// they count against the quota but are never refused.
+func (a *admission) restore(client string) {
+	if a == nil || a.cfg.MaxInFlight <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bucketLocked(client).inFlight++
+}
+
+func (a *admission) release(client string) {
+	if a == nil || a.cfg.MaxInFlight <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b, ok := a.clients[client]; ok && b.inFlight > 0 {
+		b.inFlight--
+	}
+}
+
+// gauges reports the tracked client count and total in-flight slots for
+// /metrics.
+func (a *admission) gauges() (clients, inFlight int) {
+	if a == nil {
+		return 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, b := range a.clients {
+		inFlight += b.inFlight
+	}
+	return len(a.clients), inFlight
+}

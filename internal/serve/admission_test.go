@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bbc/internal/obs"
+)
+
+// TestAdmissionThrottle pins the token-bucket contract: a client over
+// its sustained rate is refused with reason "throttled" and a retry
+// hint, tokens re-accrue with time, and deduplicated submissions never
+// spend a token.
+func TestAdmissionThrottle(t *testing.T) {
+	s, reg := newTestServer(t, Config{Workers: 1, Admission: AdmissionConfig{Rate: 1, Burst: 1}})
+	now := time.Now()
+	s.adm.now = func() time.Time { return now }
+
+	v, outcome, _, err := s.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(3, 1)}, "client-a")
+	if err != nil || outcome != Accepted {
+		t.Fatalf("first submit: outcome=%v err=%v", outcome, err)
+	}
+	_, outcome, refusal, err := s.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(4, 1)}, "client-a")
+	if err != nil || outcome != Refused || refusal == nil || refusal.Reason != "throttled" {
+		t.Fatalf("over-rate submit: outcome=%v refusal=%+v err=%v", outcome, refusal, err)
+	}
+	if refusal.RetryAfter <= 0 {
+		t.Errorf("throttle refusal carries no retry hint: %+v", refusal)
+	}
+	if got := reg.Get(obs.MServeThrottled); got != 1 {
+		t.Errorf("admission.throttled = %d, want 1", got)
+	}
+
+	// A different client has its own bucket.
+	if _, outcome, _, err := s.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(4, 1)}, "client-b"); err != nil || outcome != Accepted {
+		t.Fatalf("other client: outcome=%v err=%v", outcome, err)
+	}
+
+	// Dedup hits are free: resubmitting the first game while dry succeeds.
+	waitState(t, s, v.ID, StateDone)
+	if _, outcome, _, err := s.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(3, 1)}, "client-a"); err != nil || outcome != Deduped {
+		t.Fatalf("dedup while throttled: outcome=%v err=%v", outcome, err)
+	}
+
+	// Tokens accrue with time.
+	now = now.Add(1500 * time.Millisecond)
+	if _, outcome, refusal, err := s.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(5, 1)}, "client-a"); err != nil || outcome != Accepted {
+		t.Fatalf("post-refill submit: outcome=%v refusal=%+v err=%v", outcome, refusal, err)
+	}
+}
+
+// TestAdmissionQuota pins the in-flight quota: a client at its cap is
+// refused with reason "quota", and finishing a job frees the slot.
+func TestAdmissionQuota(t *testing.T) {
+	s, reg := newTestServer(t, Config{Workers: 1, Admission: AdmissionConfig{MaxInFlight: 1}})
+	v, outcome, _, err := s.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(6, 2)}, "client-a")
+	if err != nil || outcome != Accepted {
+		t.Fatalf("submit slow: outcome=%v err=%v", outcome, err)
+	}
+	_, outcome, refusal, err := s.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(3, 1)}, "client-a")
+	if err != nil || outcome != Refused || refusal == nil || refusal.Reason != "quota" {
+		t.Fatalf("over-quota submit: outcome=%v refusal=%+v err=%v", outcome, refusal, err)
+	}
+	if got := reg.Get(obs.MServeQuotaDenied); got != 1 {
+		t.Errorf("admission.quota_denied = %d, want 1", got)
+	}
+	// Another client is unaffected.
+	if _, outcome, _, err := s.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(3, 1)}, "client-b"); err != nil || outcome != Accepted {
+		t.Fatalf("other client: outcome=%v err=%v", outcome, err)
+	}
+
+	// A terminal job frees the slot. (Wait for running first: cancelling
+	// a still-queued job rejects it, which also frees the slot but ends
+	// in state rejected, not done.)
+	waitState(t, s, v.ID, StateRunning)
+	if _, ok := s.Cancel(v.ID); !ok {
+		t.Fatal("cancel: unknown id")
+	}
+	waitState(t, s, v.ID, StateDone)
+	if _, outcome, refusal, err := s.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(4, 1)}, "client-a"); err != nil || outcome != Accepted {
+		t.Fatalf("post-release submit: outcome=%v refusal=%+v err=%v", outcome, refusal, err)
+	}
+}
+
+// TestQueueFullStructuredRefusal pins the wire shape of a queue-full
+// refusal: 429, Retry-After, a structured reason in the error envelope,
+// and a distinct serve.queue_full count.
+func TestQueueFullStructuredRefusal(t *testing.T) {
+	s, reg := newTestServer(t, Config{Workers: 1, QueueSize: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v := submitSlow(t, s, 0)
+	waitState(t, s, v.ID, StateRunning) // queue is now empty
+	if _, outcome, err := s.Submit(&Request{Mode: "enumerate", Game: uniformGame(3, 1)}); err != nil || outcome != Accepted {
+		t.Fatalf("queued submit: outcome=%v err=%v", outcome, err)
+	}
+
+	res, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"mode":"enumerate","game":{"kind":"uniform","n":4,"k":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("429 reply missing Retry-After")
+	}
+	var body errorResponse
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Reason != "queue_full" || body.RetryAfterMS <= 0 || body.Error == "" {
+		t.Errorf("refusal envelope: %+v", body)
+	}
+	if got := reg.Get(obs.MServeQueueFull); got != 1 {
+		t.Errorf("serve.queue_full = %d, want 1", got)
+	}
+}
+
+// TestThrottledHTTPStatus pins the HTTP mapping for a throttled client:
+// the X-API-Key header selects the bucket, and refusal answers 429 +
+// Retry-After with reason "throttled", distinct from queue_full.
+func TestThrottledHTTPStatus(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, Admission: AdmissionConfig{Rate: 0.001, Burst: 1}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit := func(gameN int, apiKey string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs",
+			strings.NewReader(`{"mode":"enumerate","game":{"kind":"uniform","n":`+strconv.Itoa(gameN)+`,"k":1}}`))
+		req.Header.Set("Content-Type", "application/json")
+		if apiKey != "" {
+			req.Header.Set("X-API-Key", apiKey)
+		}
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := submit(3, "key-1")
+	res.Body.Close()
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d, want 202", res.StatusCode)
+	}
+	res = submit(4, "key-1")
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("throttled submit: %d, want 429", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("throttled reply missing Retry-After")
+	}
+	var body errorResponse
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Reason != "throttled" {
+		t.Errorf("reason = %q, want throttled", body.Reason)
+	}
+}

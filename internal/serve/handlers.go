@@ -65,10 +65,21 @@ type submitResponse struct {
 	Job     *View `json:"job"`
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Reason carries the
+// machine-readable refusal class ("draining", "throttled", "quota",
+// "queue_full") so clients branch on it instead of parsing the text.
 type errorResponse struct {
 	Error        string `json:"error"`
+	Reason       string `json:"reason,omitempty"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// refusalText is the human-facing line for each refusal class.
+var refusalText = map[string]string{
+	"draining":   "server is draining; retry against the restarted instance",
+	"throttled":  "client submission rate limit exceeded; retry later",
+	"quota":      "client in-flight job quota reached; retry after a job finishes",
+	"queue_full": "job queue is full; retry later",
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -86,20 +97,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode request: " + err.Error()})
 		return
 	}
-	view, outcome, err := s.Submit(&req)
+	view, outcome, refusal, err := s.SubmitAs(&req, r.Header.Get("X-API-Key"))
 	switch {
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	case outcome == Refused:
-		status := http.StatusTooManyRequests
-		msg := "job queue is full; retry later"
-		if s.Draining() {
-			status = http.StatusServiceUnavailable
-			msg = "server is draining; retry against the restarted instance"
+		if refusal == nil {
+			refusal = &Refusal{Reason: "queue_full", RetryAfter: s.cfg.retryAfter()}
 		}
-		retry := s.cfg.retryAfter()
-		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
-		writeJSON(w, status, errorResponse{Error: msg, RetryAfterMS: retry.Milliseconds()})
+		status := http.StatusTooManyRequests
+		if refusal.Reason == "draining" {
+			status = http.StatusServiceUnavailable
+		}
+		retrySec := int(refusal.RetryAfter / time.Second)
+		if retrySec < 1 {
+			retrySec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retrySec))
+		writeJSON(w, status, errorResponse{
+			Error:        refusalText[refusal.Reason],
+			Reason:       refusal.Reason,
+			RetryAfterMS: refusal.RetryAfter.Milliseconds(),
+		})
 	case outcome == Deduped:
 		writeJSON(w, http.StatusOK, submitResponse{Deduped: true, Job: view})
 	default:
@@ -107,8 +126,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+// handleList answers GET /v1/jobs: all live and stored jobs, or — with
+// ?spec_fingerprint=KEY — only the jobs for one dedup key. The filtered
+// form is the historical-results API: a fleet coordinator asks whether
+// any process generation already solved a fingerprint before paying for
+// the solve again.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("spec_fingerprint")
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs(key)})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -140,15 +165,35 @@ type Metrics struct {
 	Histograms map[string]obs.Histogram `json:"histograms,omitempty"`
 	Jobs       JobGauges                `json:"jobs"`
 	Pool       PoolGauges               `json:"pool"`
+	Store      StoreGauges              `json:"store"`
+	Admission  AdmissionGauges          `json:"admission"`
 	Runtime    RuntimeStats             `json:"runtime"`
 }
 
-// JobGauges counts retained jobs by state.
+// JobGauges counts retained jobs by state: queued and running from the
+// live indexes, done and rejected from the JobStore's retention.
 type JobGauges struct {
 	Queued   int `json:"queued"`
 	Running  int `json:"running"`
 	Done     int `json:"done"`
 	Rejected int `json:"rejected"`
+}
+
+// StoreGauges is the JobStore's retention by state — with a durable
+// store this spans process generations, not just this run.
+type StoreGauges struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Rejected int `json:"rejected"`
+}
+
+// AdmissionGauges is the admission layer's live occupancy.
+type AdmissionGauges struct {
+	// Clients is how many distinct client identities are tracked.
+	Clients int `json:"clients"`
+	// InFlight is the total quota slots currently held across clients.
+	InFlight int `json:"in_flight"`
 }
 
 // PoolGauges is the worker pool's saturation face: how deep the queue
@@ -193,10 +238,6 @@ func (s *Server) Snapshot() *Metrics {
 			m.Jobs.Queued++
 		case StateRunning:
 			m.Jobs.Running++
-		case StateDone:
-			m.Jobs.Done++
-		case StateRejected:
-			m.Jobs.Rejected++
 		}
 	}
 	m.Pool = PoolGauges{
@@ -206,6 +247,11 @@ func (s *Server) Snapshot() *Metrics {
 		QueueCapacity: cap(s.queue),
 	}
 	s.mu.Unlock()
+
+	sq, sr, sd, sj := s.jobs.Counts()
+	m.Store = StoreGauges{Queued: sq, Running: sr, Done: sd, Rejected: sj}
+	m.Jobs.Done, m.Jobs.Rejected = sd, sj
+	m.Admission.Clients, m.Admission.InFlight = s.adm.gauges()
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -254,6 +300,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.Gauge{Name: "bbc_jobs_in_flight", Help: "Jobs executing right now.", Value: float64(m.Pool.InFlight)},
 		obs.Gauge{Name: "bbc_queue_depth", Help: "Accepted jobs awaiting a worker.", Value: float64(m.Pool.QueueDepth)},
 		obs.Gauge{Name: "bbc_queue_capacity", Help: "Queue bound; depth == capacity refuses with 429.", Value: float64(m.Pool.QueueCapacity)},
+		obs.Gauge{Name: "bbc_store_jobs", Help: "Jobs retained in the job store across all states.", Value: float64(m.Store.Queued + m.Store.Running + m.Store.Done + m.Store.Rejected)},
+		obs.Gauge{Name: "bbc_admission_clients", Help: "Distinct client identities tracked by admission control.", Value: float64(m.Admission.Clients)},
+		obs.Gauge{Name: "bbc_admission_in_flight", Help: "In-flight quota slots currently held across clients.", Value: float64(m.Admission.InFlight)},
 	)
 	w.Header().Set("Content-Type", obs.PrometheusContentType)
 	_ = obs.WritePrometheus(w, s.reg, gauges)

@@ -80,6 +80,9 @@ type Job struct {
 	Key string
 	Req Request
 
+	client   string // admission identity (X-API-Key; "" = anonymous)
+	requeued bool   // recovered from the store at startup
+
 	spec core.Spec
 	agg  core.Aggregation
 
@@ -122,9 +125,19 @@ type View struct {
 	Checkpoint string `json:"checkpoint,omitempty"`
 	Resumable  bool   `json:"resumable"`
 
+	// Stored marks a view served from the JobStore rather than the live
+	// job indexes — possibly recorded by an earlier process generation.
+	Stored bool `json:"stored,omitempty"`
+
 	SubmittedMS float64 `json:"submitted_ms"`
 	StartedMS   float64 `json:"started_ms,omitempty"`
 	FinishedMS  float64 `json:"finished_ms,omitempty"`
+
+	// Absolute wall-clock timestamps (unix milliseconds). Unlike the
+	// relative *_ms fields above, these stay meaningful across restarts.
+	SubmittedUnixMS int64 `json:"submitted_unix_ms,omitempty"`
+	StartedUnixMS   int64 `json:"started_unix_ms,omitempty"`
+	FinishedUnixMS  int64 `json:"finished_unix_ms,omitempty"`
 }
 
 // view renders the job relative to the server start time. Callers hold
@@ -147,11 +160,16 @@ func (j *Job) view(epoch time.Time) *View {
 	if j.state == StateDone {
 		v.RunStatus = j.runStatus.String()
 	}
+	if !j.submitted.IsZero() {
+		v.SubmittedUnixMS = j.submitted.UnixMilli()
+	}
 	if !j.started.IsZero() {
 		v.StartedMS = msSince(epoch, j.started)
+		v.StartedUnixMS = j.started.UnixMilli()
 	}
 	if !j.finished.IsZero() {
 		v.FinishedMS = msSince(epoch, j.finished)
+		v.FinishedUnixMS = j.finished.UnixMilli()
 	}
 	if j.result != nil {
 		if raw, err := json.Marshal(j.result); err == nil {

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+
+	"bbc/internal/obs"
+	"bbc/internal/store"
+)
+
+// JobStore is the persistence seam of the service: every job-state
+// transition flows through it, and lookups for jobs that are no longer
+// live (terminal, or accepted by an earlier process generation) are
+// answered from it. *store.Store implements it with a durable WAL +
+// compacted index; the in-memory memStore (the default) implements it
+// with the same semantics bounded by the retention cap — which is what
+// keeps the serve tests hermetic and the zero Config usable.
+type JobStore interface {
+	// Submitted records a newly accepted job (state queued).
+	Submitted(rec *store.JobRecord) error
+	// Started records that a job began running at a unix-ms timestamp.
+	Started(id string, atMS int64) error
+	// Finished records a job's terminal state, result included.
+	Finished(rec *store.JobRecord) error
+	// Lookup returns a job by id.
+	Lookup(id string) (*store.JobRecord, bool)
+	// Find returns the most recent completed result for a dedup key —
+	// the cross-restart dedup tier.
+	Find(key string) (*store.JobRecord, bool)
+	// Query returns every job with the given dedup key in submission
+	// order ("" = all).
+	Query(key string) []*store.JobRecord
+	// Requeue returns jobs that are queued or running — work an earlier
+	// process accepted but never finished.
+	Requeue() []*store.JobRecord
+	// Counts tallies stored jobs by state.
+	Counts() (queued, running, done, rejected int)
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// memStore is the in-memory JobStore: identical transition semantics to
+// store.Store, no durability, terminal retention bounded by cap (oldest
+// terminal evicted first; queued and running jobs are never evicted).
+type memStore struct {
+	mu    sync.Mutex
+	cap   int
+	jobs  map[string]*store.JobRecord
+	order []string // submission order
+	done  []string // terminal order, for eviction
+}
+
+func newMemStore(capacity int) *memStore {
+	return &memStore{cap: capacity, jobs: make(map[string]*store.JobRecord)}
+}
+
+func copyRec(rec *store.JobRecord) *store.JobRecord {
+	c := *rec
+	return &c
+}
+
+func (m *memStore) Submitted(rec *store.JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job := copyRec(rec)
+	if job.State == "" {
+		job.State = StateQueued
+	}
+	if _, ok := m.jobs[job.ID]; !ok {
+		m.order = append(m.order, job.ID)
+	}
+	m.jobs[job.ID] = job
+	return nil
+}
+
+func (m *memStore) Started(id string, atMS int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		j.State = StateRunning
+		j.StartedMS = atMS
+	}
+	return nil
+}
+
+func (m *memStore) Finished(rec *store.JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job := copyRec(rec)
+	if _, ok := m.jobs[job.ID]; !ok {
+		m.order = append(m.order, job.ID)
+	}
+	m.jobs[job.ID] = job
+	m.done = append(m.done, job.ID)
+	for len(m.done) > m.cap {
+		evict := m.done[0]
+		m.done = m.done[1:]
+		if j, ok := m.jobs[evict]; ok && terminal(j) {
+			delete(m.jobs, evict)
+			for i, id := range m.order {
+				if id == evict {
+					m.order = append(m.order[:i], m.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func terminal(j *store.JobRecord) bool {
+	return j.State == StateDone || j.State == StateRejected
+}
+
+func (m *memStore) Lookup(id string) (*store.JobRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return copyRec(j), true
+}
+
+func (m *memStore) Find(key string) (*store.JobRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.order) - 1; i >= 0; i-- {
+		j := m.jobs[m.order[i]]
+		if j.Key == key && j.State == StateDone && j.Complete {
+			return copyRec(j), true
+		}
+	}
+	return nil, false
+}
+
+func (m *memStore) Query(key string) []*store.JobRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*store.JobRecord
+	for _, id := range m.order {
+		if j := m.jobs[id]; key == "" || j.Key == key {
+			out = append(out, copyRec(j))
+		}
+	}
+	return out
+}
+
+func (m *memStore) Requeue() []*store.JobRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*store.JobRecord
+	for _, id := range m.order {
+		if j := m.jobs[id]; !terminal(j) {
+			out = append(out, copyRec(j))
+		}
+	}
+	return out
+}
+
+func (m *memStore) Counts() (queued, running, done, rejected int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		switch j.State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StateDone:
+			done++
+		case StateRejected:
+			rejected++
+		}
+	}
+	return
+}
+
+func (m *memStore) Close() error { return nil }
+
+// jobRecord renders a job's current state as a store record. Callers
+// hold the server lock.
+func (j *Job) jobRecord() *store.JobRecord {
+	rec := &store.JobRecord{
+		ID:           j.ID,
+		Key:          j.Key,
+		Client:       j.client,
+		Mode:         j.Req.Mode,
+		State:        j.state,
+		Complete:     j.complete,
+		Error:        j.errMsg,
+		Reason:       j.reason,
+		RetryAfterMS: j.retryMS,
+		Checkpoint:   j.checkpoint,
+		Resumable:    j.resumable,
+	}
+	if raw, err := json.Marshal(&j.Req); err == nil {
+		rec.Req = raw
+	}
+	if j.state == StateDone {
+		rec.RunStatus = j.runStatus.String()
+	}
+	if j.result != nil {
+		if raw, err := json.Marshal(j.result); err == nil {
+			rec.Result = raw
+		}
+	}
+	if !j.submitted.IsZero() {
+		rec.SubmittedMS = j.submitted.UnixMilli()
+	}
+	if !j.started.IsZero() {
+		rec.StartedMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		rec.FinishedMS = j.finished.UnixMilli()
+	}
+	return rec
+}
+
+// storedView renders a store record as a wire view. Stored views carry
+// absolute timestamps (the record may predate this process), flagged
+// with "stored": true.
+func storedView(rec *store.JobRecord) *View {
+	v := &View{
+		ID:              rec.ID,
+		Key:             rec.Key,
+		RunID:           obs.RunID(),
+		Mode:            rec.Mode,
+		State:           rec.State,
+		Complete:        rec.Complete,
+		Error:           rec.Error,
+		Reason:          rec.Reason,
+		RetryAfterMS:    rec.RetryAfterMS,
+		Checkpoint:      rec.Checkpoint,
+		Resumable:       rec.Resumable,
+		Stored:          true,
+		SubmittedUnixMS: rec.SubmittedMS,
+		StartedUnixMS:   rec.StartedMS,
+		FinishedUnixMS:  rec.FinishedMS,
+	}
+	if rec.State == StateDone {
+		v.RunStatus = rec.RunStatus
+	}
+	if len(rec.Result) > 0 {
+		// Results are recorded compact; the index checkpoint's indented
+		// envelope re-indents embedded raw JSON on the round trip, so
+		// re-compact here — a stored result is then byte-identical to the
+		// view the original process served.
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, rec.Result); err == nil {
+			v.Result = buf.Bytes()
+		} else {
+			v.Result = rec.Result
+		}
+	}
+	return v
+}

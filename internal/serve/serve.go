@@ -6,12 +6,23 @@
 // The design reuses the layers below it rather than re-implementing
 // them. Submissions are validated with the core spec loaders and keyed
 // by a solve fingerprint, so identical in-flight or completed requests
-// dedup to one underlying solve (completed results live in a bounded LRU
-// cache). A bounded worker pool drains a bounded job queue; each job
+// dedup to one underlying solve. Terminal jobs live in a JobStore — by
+// default a bounded in-memory store, or the durable WAL-backed
+// internal/store when the server runs with one, in which case completed
+// results dedup across process restarts and crashed-out work is
+// re-queued at startup (its enumeration checkpoints make the resume
+// cheap). A bounded worker pool drains a bounded job queue; each job
 // runs under its own runctl context (per-job deadline, max-profiles
 // budget, cancellation via DELETE) with a per-job obs journal, and
 // enumeration jobs persist runctl.Store checkpoints so an interrupted
 // job — or a drained server — resumes instead of recomputing.
+//
+// Admission control shapes the intake: per-client (X-API-Key) token
+// buckets bound the sustained submission rate, per-client in-flight
+// quotas bound pool occupancy, and the bounded queue refuses overflow —
+// each refusal class answered with 429 + Retry-After and counted
+// distinctly (admission.throttled, admission.quota_denied,
+// serve.queue_full).
 //
 // Drain contract: once Drain is called (SIGTERM in cmd/bbcserved), new
 // submissions are refused with 503 + Retry-After, jobs still queued are
@@ -21,8 +32,8 @@
 package serve
 
 import (
-	"container/list"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,6 +44,7 @@ import (
 	"bbc/internal/core"
 	"bbc/internal/obs"
 	"bbc/internal/runctl"
+	"bbc/internal/store"
 )
 
 // Config tunes a Server. The zero value is usable for tests: sane pool
@@ -43,12 +55,21 @@ type Config struct {
 	// QueueSize bounds the number of queued-but-not-running jobs
 	// (0 = 64). A full queue refuses submissions with a retry hint.
 	QueueSize int
-	// CacheSize bounds how many terminal jobs are retained for polling
-	// and dedup (0 = 128). Older terminal jobs are evicted LRU-style.
+	// CacheSize bounds how many terminal jobs the default in-memory
+	// JobStore retains for polling and dedup (0 = 128). Ignored when
+	// Store is set — the durable store has its own retention bound.
 	CacheSize int
 	// DataDir, when non-empty, is where per-job journals and enumeration
 	// checkpoints live; it is created on demand. Empty disables both.
 	DataDir string
+	// Store, when non-nil, is the job persistence layer — typically
+	// *store.Store opened on a durable directory, which makes results
+	// dedup across restarts and interrupted jobs re-queue at startup.
+	// Nil uses an in-memory store bounded by CacheSize.
+	Store JobStore
+	// Admission configures per-client rate limits and in-flight quotas
+	// (zero value = no limits).
+	Admission AdmissionConfig
 	// LimitPerNode bounds per-node strategy-set enumeration for service
 	// requests (0 = 4096), so a hostile dense spec cannot demand an
 	// astronomic search-space build at submit cost.
@@ -122,17 +143,19 @@ func (c Config) progressEvery() time.Duration {
 type Server struct {
 	cfg   Config
 	reg   *obs.Registry
+	jobs  JobStore
+	adm   *admission
 	start time.Time
 
 	baseCtx    context.Context // parent of every job context; Drain cancels it
 	baseCancel context.CancelFunc
 
-	mu       sync.Mutex
-	draining bool
-	byID     map[string]*Job
-	byKey    map[string]*Job // queued, running, or done-and-complete jobs
-	terminal *list.List      // *Job in terminal order; front = oldest (LRU eviction)
-	nextID   int64
+	mu            sync.Mutex
+	draining      bool
+	byID          map[string]*Job // live (queued or running) jobs
+	byKey         map[string]*Job // live jobs by dedup key
+	nextID        int64
+	drainRejected int
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -149,7 +172,10 @@ type DrainSummary struct {
 	Rejected int
 }
 
-// New builds and starts a server: the worker pool is live on return.
+// New builds and starts a server. Jobs the store marks queued or
+// running — accepted by an earlier process generation that crashed or
+// was killed — are re-queued before the worker pool starts, so recovery
+// needs no client involvement. The pool is live on return.
 func New(cfg Config) (*Server, error) {
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
@@ -160,23 +186,97 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.Global()
 	}
+	jobs := cfg.Store
+	if jobs == nil {
+		jobs = newMemStore(cfg.cacheSize())
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
+		jobs:       jobs,
+		adm:        newAdmission(cfg.Admission),
 		start:      time.Now(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		byID:       make(map[string]*Job),
 		byKey:      make(map[string]*Job),
-		terminal:   list.New(),
 		queue:      make(chan *Job, cfg.queueSize()),
 	}
+	s.recover()
 	for i := 0; i < cfg.workers(); i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// recover re-queues the store's unfinished jobs and advances the id
+// counter past every stored id, so new jobs never collide with history.
+// Runs before the worker pool starts, so no lock ordering is at stake.
+func (s *Server) recover() {
+	for _, rec := range s.jobs.Query("") {
+		var n int64
+		if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	for _, rec := range s.jobs.Requeue() {
+		job, err := s.rebuild(rec)
+		s.mu.Lock()
+		if err != nil {
+			job = &Job{ID: rec.ID, Key: rec.Key, client: rec.Client, submitted: time.Now(), done: make(chan struct{})}
+			job.errMsg = err.Error()
+			s.rejectLocked(job, "unreplayable")
+			s.mu.Unlock()
+			s.reg.Inc(obs.MStoreQuarantined)
+			continue
+		}
+		if len(s.queue) == cap(s.queue) {
+			s.rejectLocked(job, "queue_full")
+			s.mu.Unlock()
+			continue
+		}
+		s.byID[job.ID] = job
+		s.byKey[job.Key] = job
+		s.adm.restore(job.client)
+		s.queue <- job
+		s.mu.Unlock()
+		s.reg.Inc(obs.MServeRequeued)
+		s.cfg.Journal.Event("job_requeued", map[string]any{"id": job.ID, "key": job.Key, "mode": job.Req.Mode})
+	}
+}
+
+// rebuild reconstitutes a live Job from a stored record: the original
+// request is re-parsed (spec, aggregation) and the job keeps its id and
+// key so checkpoints and journals line up.
+func (s *Server) rebuild(rec *store.JobRecord) (*Job, error) {
+	var req Request
+	if err := json.Unmarshal(rec.Req, &req); err != nil {
+		return nil, fmt.Errorf("serve: requeue %s: %w", rec.ID, err)
+	}
+	if err := parseRequest(&req); err != nil {
+		return nil, fmt.Errorf("serve: requeue %s: %w", rec.ID, err)
+	}
+	var spec core.Spec
+	if len(req.Game) > 0 {
+		var err error
+		if spec, err = core.UnmarshalSpec(req.Game); err != nil {
+			return nil, fmt.Errorf("serve: requeue %s: %w", rec.ID, err)
+		}
+	}
+	return &Job{
+		ID:        rec.ID,
+		Key:       rec.Key,
+		Req:       req,
+		client:    rec.Client,
+		requeued:  true,
+		spec:      spec,
+		agg:       parseAgg(req.Agg),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}, nil
 }
 
 // worker drains the job queue. During a drain, remaining queued jobs are
@@ -201,6 +301,9 @@ func (s *Server) worker() {
 		jctx, jcancel := context.WithCancel(jctx)
 		job.cancel = func() { jcancel(); cancel() }
 		s.mu.Unlock()
+		if err := s.jobs.Started(job.ID, job.started.UnixMilli()); err != nil {
+			s.cfg.Journal.Event("store_error", map[string]any{"id": job.ID, "op": "started", "error": err.Error()})
+		}
 		s.reg.Observe(obs.HServeQueueWait, job.started.Sub(job.submitted).Nanoseconds())
 		tr := obs.Trace()
 		tr.RecordSpan("job.queued", 0, job.submitted, job.started, "", 0)
@@ -219,6 +322,9 @@ func (s *Server) rejectLocked(job *Job, reason string) {
 	job.state = StateRejected
 	job.reason = reason
 	job.retryMS = s.cfg.retryAfter().Milliseconds()
+	if reason == "draining" {
+		s.drainRejected++
+	}
 	s.finishLocked(job)
 	s.reg.Inc(obs.MServeRejected)
 	s.cfg.Journal.Event("job_rejected", map[string]any{
@@ -226,28 +332,23 @@ func (s *Server) rejectLocked(job *Job, reason string) {
 	})
 }
 
-// finishLocked moves a job into the terminal retention list, evicting the
-// oldest terminal jobs beyond the cache bound, and wakes waiters. A job
-// that did not complete is removed from the dedup index so a resubmission
-// starts (and, for enumerations, resumes) a fresh run.
+// finishLocked records a job's terminal state in the JobStore, releases
+// its admission slot, removes it from the live indexes and wakes
+// waiters. From here on, lookups are answered from the store — which is
+// what makes terminal state survive a restart when the store is
+// durable. A store write failure is journaled, not fatal: the service
+// keeps answering from memory for this job's lifetime.
 func (s *Server) finishLocked(job *Job) {
 	job.finished = time.Now()
-	if !(job.state == StateDone && job.complete) {
-		if s.byKey[job.Key] == job {
-			delete(s.byKey, job.Key)
-		}
+	if err := s.jobs.Finished(job.jobRecord()); err != nil {
+		s.cfg.Journal.Event("store_error", map[string]any{"id": job.ID, "op": "finished", "error": err.Error()})
 	}
-	s.terminal.PushBack(job)
+	s.adm.release(job.client)
+	delete(s.byID, job.ID)
+	if s.byKey[job.Key] == job {
+		delete(s.byKey, job.Key)
+	}
 	close(job.done)
-	for s.terminal.Len() > s.cfg.cacheSize() {
-		front := s.terminal.Front()
-		old := front.Value.(*Job)
-		s.terminal.Remove(front)
-		delete(s.byID, old.ID)
-		if s.byKey[old.Key] == old {
-			delete(s.byKey, old.Key)
-		}
-	}
 }
 
 // SubmitOutcome says how a submission was handled.
@@ -258,28 +359,47 @@ const (
 	Accepted SubmitOutcome = iota
 	// Deduped: an identical in-flight or completed job was returned.
 	Deduped
-	// Refused: the server is draining or the queue is full; retry later.
+	// Refused: draining, throttled, over quota, or the queue is full;
+	// the Refusal says which and when to retry.
 	Refused
 )
 
-// Submit validates a request and either enqueues a new job, attaches to
-// an identical existing one, or refuses with a retry hint. The returned
-// View is the job's state at return time (nil when refused).
+// Refusal explains a Refused outcome.
+type Refusal struct {
+	// Reason is the machine-readable class: "draining", "throttled",
+	// "quota" or "queue_full".
+	Reason string
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+// Submit is SubmitAs for the anonymous client.
 func (s *Server) Submit(req *Request) (*View, SubmitOutcome, error) {
+	view, outcome, _, err := s.SubmitAs(req, "")
+	return view, outcome, err
+}
+
+// SubmitAs validates a request on behalf of a client identity and
+// either enqueues a new job, attaches to an identical live or stored
+// one, or refuses. Dedup is checked before admission, so cache hits are
+// free; only work that would occupy the pool spends rate tokens and
+// quota slots. The returned View is the job's state at return time
+// (nil when refused); a Refused outcome carries a non-nil Refusal.
+func (s *Server) SubmitAs(req *Request, client string) (*View, SubmitOutcome, *Refusal, error) {
 	if err := parseRequest(req); err != nil {
-		return nil, Refused, err
+		return nil, Refused, nil, err
 	}
 	var spec core.Spec
 	if len(req.Game) > 0 {
 		var err error
 		spec, err = core.UnmarshalSpec(req.Game)
 		if err != nil {
-			return nil, Refused, err
+			return nil, Refused, nil, err
 		}
 	}
 	key, err := dedupKey(req, spec)
 	if err != nil {
-		return nil, Refused, err
+		return nil, Refused, nil, err
 	}
 
 	s.mu.Lock()
@@ -290,61 +410,121 @@ func (s *Server) Submit(req *Request) (*View, SubmitOutcome, error) {
 		s.cfg.Journal.Event("job_submitted", map[string]any{
 			"id": prior.ID, "key": key, "mode": req.Mode, "deduped": true,
 		})
-		return prior.view(s.start), Deduped, nil
+		return prior.view(s.start), Deduped, nil, nil
+	}
+	if rec, ok := s.jobs.Find(key); ok {
+		// The cross-restart dedup tier: a completed result from any earlier
+		// process generation answers without re-solving.
+		s.reg.Inc(obs.MServeDeduped)
+		s.reg.Inc(obs.MServeStoreHits)
+		s.cfg.Journal.Event("job_submitted", map[string]any{
+			"id": rec.ID, "key": key, "mode": req.Mode, "deduped": true, "stored": true,
+		})
+		return storedView(rec), Deduped, nil, nil
 	}
 	if s.draining {
 		s.reg.Inc(obs.MServeRejected)
-		return nil, Refused, nil
+		return nil, Refused, &Refusal{Reason: "draining", RetryAfter: s.cfg.retryAfter()}, nil
+	}
+	if ok, wait := s.adm.admit(client); !ok {
+		s.reg.Inc(obs.MServeThrottled)
+		s.cfg.Journal.Event("job_throttled", map[string]any{"client": client, "key": key, "retry_after_ms": wait.Milliseconds()})
+		return nil, Refused, &Refusal{Reason: "throttled", RetryAfter: wait}, nil
+	}
+	if !s.adm.acquire(client) {
+		s.reg.Inc(obs.MServeQuotaDenied)
+		s.cfg.Journal.Event("job_quota_denied", map[string]any{"client": client, "key": key})
+		return nil, Refused, &Refusal{Reason: "quota", RetryAfter: s.cfg.retryAfter()}, nil
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.adm.release(client)
+		s.reg.Inc(obs.MServeRejected)
+		s.reg.Inc(obs.MServeQueueFull)
+		s.cfg.Journal.Event("job_rejected", map[string]any{
+			"key": key, "reason": "queue_full", "retry_after_ms": s.cfg.retryAfter().Milliseconds(),
+		})
+		return nil, Refused, &Refusal{Reason: "queue_full", RetryAfter: s.cfg.retryAfter()}, nil
 	}
 	s.nextID++
 	job := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.nextID),
 		Key:       key,
 		Req:       *req,
+		client:    client,
 		spec:      spec,
 		agg:       parseAgg(req.Agg),
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	select {
-	case s.queue <- job:
-	default:
-		s.nextID-- // job was never visible; reuse the id
-		s.reg.Inc(obs.MServeRejected)
-		s.cfg.Journal.Event("job_rejected", map[string]any{
-			"key": key, "reason": "queue_full", "retry_after_ms": s.cfg.retryAfter().Milliseconds(),
-		})
-		return nil, Refused, nil
+	// Durably record the acceptance before the job becomes visible; the
+	// worker's start record can then never precede it. Every send into
+	// the queue happens under s.mu after the capacity check above, so
+	// this send cannot block.
+	if err := s.jobs.Submitted(job.jobRecord()); err != nil {
+		s.cfg.Journal.Event("store_error", map[string]any{"id": job.ID, "op": "submitted", "error": err.Error()})
 	}
+	s.queue <- job
 	s.byID[job.ID] = job
 	s.byKey[key] = job
 	s.cfg.Journal.Event("job_submitted", map[string]any{
 		"id": job.ID, "key": key, "mode": req.Mode, "deduped": false,
 	})
-	return job.view(s.start), Accepted, nil
+	return job.view(s.start), Accepted, nil, nil
 }
 
-// Get returns a job view by id.
+// Get returns a job view by id: live jobs from the in-flight indexes,
+// terminal or prior-generation jobs from the JobStore.
 func (s *Server) Get(id string) (*View, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	job, ok := s.byID[id]
-	if !ok {
-		return nil, false
+	if job, ok := s.byID[id]; ok {
+		v := job.view(s.start)
+		s.mu.Unlock()
+		return v, true
 	}
-	return job.view(s.start), true
+	s.mu.Unlock()
+	if rec, ok := s.jobs.Lookup(id); ok {
+		return storedView(rec), true
+	}
+	return nil, false
 }
 
-// List returns every retained job, oldest submission first.
+// List returns every live and stored job, sorted by id (ids are
+// zero-padded, so id order is submission order within a process
+// generation). Live state wins when both tiers know an id.
 func (s *Server) List() []*View {
+	return s.Jobs("")
+}
+
+// Jobs returns the jobs matching a dedup key ("" = all), live and
+// stored, sorted by id. This is the GET /v1/jobs?spec_fingerprint=
+// backend: a fleet coordinator (or a curious operator) asks whether any
+// process generation already solved a fingerprint.
+func (s *Server) Jobs(key string) []*View {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*View, 0, len(s.byID))
+	live := make(map[string]*View, len(s.byID))
 	for _, job := range s.byID {
-		out = append(out, job.view(s.start))
+		if key == "" || job.Key == key {
+			live[job.ID] = job.view(s.start)
+		}
 	}
-	// Deterministic order for clients: by id (ids are zero-padded).
+	s.mu.Unlock()
+
+	out := make([]*View, 0, len(live))
+	seen := make(map[string]bool, len(live))
+	for _, rec := range s.jobs.Query(key) {
+		if v, ok := live[rec.ID]; ok {
+			out = append(out, v)
+		} else {
+			out = append(out, storedView(rec))
+		}
+		seen[rec.ID] = true
+	}
+	for id, v := range live {
+		if !seen[id] {
+			out = append(out, v)
+		}
+	}
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
 			out[j-1], out[j] = out[j], out[j-1]
@@ -362,6 +542,9 @@ func (s *Server) Cancel(id string) (*View, bool) {
 	job, ok := s.byID[id]
 	if !ok {
 		s.mu.Unlock()
+		if rec, found := s.jobs.Lookup(id); found {
+			return storedView(rec), true
+		}
 		return nil, false
 	}
 	switch job.state {
@@ -378,12 +561,16 @@ func (s *Server) Cancel(id string) (*View, bool) {
 }
 
 // Wait blocks until the job is terminal or ctx fires; it returns the
-// final view. Unknown ids return ok=false immediately.
+// final view. Unknown ids return ok=false immediately; already-terminal
+// ids return their stored view.
 func (s *Server) Wait(ctx context.Context, id string) (*View, bool) {
 	s.mu.Lock()
 	job, ok := s.byID[id]
 	s.mu.Unlock()
 	if !ok {
+		if rec, found := s.jobs.Lookup(id); found {
+			return storedView(rec), true
+		}
 		return nil, false
 	}
 	select {
@@ -403,8 +590,9 @@ func (s *Server) Draining() bool {
 
 // Drain performs the graceful shutdown: refuse new submissions, cancel
 // in-flight jobs (they flush final checkpoints and report run_status),
-// reject still-queued jobs with a retry hint, and wait for the worker
-// pool to exit. Safe to call more than once; later calls return the
+// reject still-queued jobs with a retry hint, wait for the worker pool
+// to exit, and close the JobStore (a durable store compacts its WAL on
+// the way out). Safe to call more than once; later calls return the
 // first drain's summary after it finishes.
 func (s *Server) Drain() DrainSummary {
 	s.drainOnce.Do(func() {
@@ -429,22 +617,20 @@ func (s *Server) Drain() DrainSummary {
 		s.wg.Wait()
 
 		s.mu.Lock()
-		rejected := 0
+		// A queued job that never reached a worker (closed queue drained
+		// first) is rejected here so no accepted job is left dangling.
 		for _, job := range s.byID {
-			if job.state == StateRejected && job.reason == "draining" {
-				rejected++
-			}
-			// A queued job that never reached a worker (closed queue drained
-			// first) is rejected here so no accepted job is left dangling.
 			if job.state == StateQueued {
 				s.rejectLocked(job, "draining")
-				rejected++
 			}
 		}
-		s.summary = DrainSummary{Cancelled: inflight, Rejected: rejected}
+		s.summary = DrainSummary{Cancelled: inflight, Rejected: s.drainRejected}
 		s.mu.Unlock()
+		if err := s.jobs.Close(); err != nil {
+			s.cfg.Journal.Event("store_error", map[string]any{"op": "close", "error": err.Error()})
+		}
 		s.cfg.Journal.Event("drain", map[string]any{
-			"cancelled_in_flight": inflight, "rejected_queued": rejected,
+			"cancelled_in_flight": inflight, "rejected_queued": s.summary.Rejected,
 		})
 	})
 	return s.summary
@@ -468,13 +654,15 @@ func (s *Server) jobJournalPath(job *Job) string {
 }
 
 // jobJournal opens the per-job JSONL journal (nil when DataDir is off —
-// obs journals are nil-safe).
+// obs journals are nil-safe). A re-queued job appends to its previous
+// generation's journal (salvaging a torn tail) so the SSE replay shows
+// the whole lifecycle across the restart.
 func (s *Server) jobJournal(job *Job) *obs.Journal {
 	path := s.jobJournalPath(job)
 	if path == "" {
 		return nil
 	}
-	j, err := obs.OpenJournal(path, s.reg)
+	j, _, err := obs.OpenJournalConfig(obs.JournalConfig{Path: path, Reg: s.reg, Append: job.requeued})
 	if err != nil {
 		s.cfg.Journal.Event("job_journal_error", map[string]any{"id": job.ID, "error": err.Error()})
 		return nil

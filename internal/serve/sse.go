@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
 	"bbc/internal/obs"
+	"bbc/internal/store"
 )
 
 // ssePollEvery is how often the event stream re-reads the job journal
@@ -37,6 +39,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.byID[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
+		// Terminal (or prior-generation) jobs come from the store: replay
+		// the journal that survived on disk, then the final view. No
+		// tailing — the job cannot produce more records.
+		if rec, found := s.jobs.Lookup(r.PathValue("id")); found {
+			if s.cfg.DataDir == "" {
+				writeJSON(w, http.StatusConflict, errorResponse{Error: "event streaming requires per-job journals; start the server with a data dir"})
+				return
+			}
+			s.replayStored(w, r, rec)
+			return
+		}
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job id (completed jobs are evicted after the retention bound)"})
 		return
 	}
@@ -152,4 +165,49 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// replayStored streams a terminal job's surviving journal records and a
+// final "done" event carrying the stored view — the SSE face of the
+// JobStore, so a watcher reconnecting after a restart still gets the
+// full lifecycle plus the result.
+func (s *Server) replayStored(w http.ResponseWriter, r *http.Request, rec *store.JobRecord) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "response writer does not support streaming"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	lastSeq := int64(-1)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			lastSeq = n
+		}
+	}
+	if raw, err := os.ReadFile(filepath.Join(s.cfg.DataDir, rec.ID+".jsonl")); err == nil {
+		for _, line := range bytes.Split(raw, []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			var jr obs.Record
+			if json.Unmarshal(line, &jr) != nil {
+				continue
+			}
+			if jr.Seq <= lastSeq {
+				continue // the reconnecting client already has it
+			}
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", jr.Type, jr.Seq, line)
+		}
+	}
+	payload, err := json.Marshal(storedView(rec))
+	if err != nil {
+		payload = []byte("{}")
+	}
+	fmt.Fprintf(w, "event: done\ndata: %s\n\n", payload)
+	fl.Flush()
 }

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bbc/internal/core"
+	"bbc/internal/obs"
+	"bbc/internal/store"
+)
+
+// openStore opens the durable job store under dir/store.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, _, err := store.Open(filepath.Join(dir, "store"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDurableStoreRestartDedup is the cross-restart dedup tier end to
+// end: a result computed by one process generation answers an identical
+// submission to the next generation byte-for-byte, without re-solving,
+// and the historical-results query serves it by fingerprint.
+func TestDurableStoreRestartDedup(t *testing.T) {
+	dir := t.TempDir()
+
+	// Generation 1: solve and drain.
+	reg1 := obs.NewRegistry()
+	s1, err := New(Config{Workers: 1, DataDir: filepath.Join(dir, "data"), Store: openStore(t, dir), Reg: reg1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, outcome, _, err := s1.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(4, 2)}, "client-a")
+	if err != nil || outcome != Accepted {
+		t.Fatalf("submit: outcome=%v err=%v", outcome, err)
+	}
+	final1, ok := s1.Wait(context.Background(), v1.ID)
+	if !ok || !final1.Complete {
+		t.Fatalf("generation-1 job: %+v", final1)
+	}
+	s1.Drain() // closes the store (final compaction included)
+
+	// Generation 2: the identical submission is a store hit.
+	reg2 := obs.NewRegistry()
+	s2, err := New(Config{Workers: 1, DataDir: filepath.Join(dir, "data"), Store: openStore(t, dir), Reg: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Drain() })
+	v2, outcome, _, err := s2.SubmitAs(&Request{Mode: "enumerate", Game: uniformGame(4, 2)}, "client-b")
+	if err != nil || outcome != Deduped {
+		t.Fatalf("restart resubmit: outcome=%v err=%v", outcome, err)
+	}
+	if !v2.Stored || v2.ID != final1.ID {
+		t.Errorf("restart dedup view: stored=%t id=%s, want stored view of %s", v2.Stored, v2.ID, final1.ID)
+	}
+	if !bytes.Equal(v2.Result, final1.Result) {
+		t.Errorf("stored result differs from the original:\n gen1: %s\n gen2: %s", final1.Result, v2.Result)
+	}
+	if got := reg2.Get(obs.MServeStoreHits); got != 1 {
+		t.Errorf("serve.store_hits = %d, want 1", got)
+	}
+	if got := reg2.Get(obs.MServeSolves); got != 0 {
+		t.Errorf("serve.solves = %d after a pure cache hit, want 0", got)
+	}
+
+	// The fingerprint query serves the historical result over HTTP.
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	res, err := http.Get(ts.URL + "/v1/jobs?spec_fingerprint=" + v2.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var listing struct {
+		Jobs []*View `json:"jobs"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != final1.ID || !listing.Jobs[0].Stored {
+		t.Fatalf("fingerprint query: %+v", listing.Jobs)
+	}
+	// The HTTP encoder indents, so normalize the wire bytes before the
+	// byte comparison.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, listing.Jobs[0].Result); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(compact.Bytes(), final1.Result) {
+		t.Error("fingerprint query result differs from the original")
+	}
+	// An unknown fingerprint answers an empty list, not an error.
+	res2, err := http.Get(ts.URL + "/v1/jobs?spec_fingerprint=bbc-ffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var empty struct {
+		Jobs []*View `json:"jobs"`
+	}
+	if err := json.NewDecoder(res2.Body).Decode(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Jobs) != 0 {
+		t.Errorf("unknown fingerprint returned %d jobs", len(empty.Jobs))
+	}
+}
+
+// TestCrashedJobRequeuedOnStartup simulates a crashed generation — the
+// store holds an acknowledged submit with no finish — and asserts the
+// next generation re-queues, runs, and completes the job under its
+// original id, with new ids allocated past the recovered one.
+func TestCrashedJobRequeuedOnStartup(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	req := Request{Mode: "enumerate", Game: uniformGame(3, 1)}
+	spec, err := core.UnmarshalSpec(req.Game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := dedupKey(&req, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(&req)
+	if err := st.Submitted(&store.JobRecord{
+		ID: "job-000007", Key: key, Client: "client-a", Mode: req.Mode,
+		Req: raw, SubmittedMS: time.Now().UnixMilli(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	s, err := New(Config{Workers: 1, DataDir: filepath.Join(dir, "data"), Store: openStore(t, dir), Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Drain() })
+	if got := reg.Get(obs.MServeRequeued); got != 1 {
+		t.Fatalf("serve.jobs_requeued = %d, want 1", got)
+	}
+	final := waitState(t, s, "job-000007", StateDone)
+	if !final.Complete {
+		t.Fatalf("recovered job: %+v", final)
+	}
+
+	// New ids never collide with recovered history.
+	v, outcome, err := s.Submit(&Request{Mode: "walk", Game: uniformGame(4, 1)})
+	if err != nil || outcome != Accepted {
+		t.Fatalf("post-recovery submit: outcome=%v err=%v", outcome, err)
+	}
+	if v.ID != "job-000008" {
+		t.Errorf("post-recovery id = %s, want job-000008", v.ID)
+	}
+
+	// The recovered result is in the store-backed dedup tier.
+	dv, outcome, err := s.Submit(&req)
+	if err != nil || outcome != Deduped || dv.ID != "job-000007" {
+		t.Errorf("dedup against recovered job: outcome=%v id=%s err=%v", outcome, dv.ID, err)
+	}
+}
+
+// TestUnreplayableRequeueRejected pins recovery robustness: a stored
+// queued job whose request no longer parses is quarantined into a
+// rejected terminal state instead of wedging startup.
+func TestUnreplayableRequeueRejected(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	if err := st.Submitted(&store.JobRecord{
+		ID: "job-000003", Key: "bbc-dead", Client: "client-a", Mode: "enumerate",
+		Req: json.RawMessage(`{"mode":"enumerate","game":{"kind":"septagonal"}}`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	s, err := New(Config{Workers: 1, Store: openStore(t, dir), Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Drain() })
+	v, ok := s.Get("job-000003")
+	if !ok || v.State != StateRejected || v.Reason != "unreplayable" {
+		t.Fatalf("unreplayable job: ok=%t view=%+v", ok, v)
+	}
+	if got := reg.Get(obs.MServeRequeued); got != 0 {
+		t.Errorf("serve.jobs_requeued = %d, want 0", got)
+	}
+}

@@ -1,0 +1,264 @@
+package store
+
+// The store's crash-consistency property sweep, following the
+// runctl TestCrashSweep pattern: a fixed workload of job-state
+// transitions runs through a fault-injecting filesystem, and for EVERY
+// filesystem operation the workload performs, a subtest crashes the
+// store at exactly that operation (in every applicable failure mode)
+// and asserts the recovery invariants:
+//
+//  1. Open never wedges: reopening the crashed directory on a clean
+//     filesystem always succeeds — corrupt state is quarantined, torn
+//     tails are truncated, a lost index degrades to WAL-only replay.
+//  2. Old-or-new durability: the recovered jobs are the state after
+//     every acknowledged transition (the append returned nil), or that
+//     plus the one in-flight transition whose append errored after its
+//     bytes reached the file — an errored append is indeterminate,
+//     exactly like a timed-out database commit. The one exception is a
+//     lying fsync (dropsync), which may lose the unsynced tail; there
+//     each recovered job must still match some prefix of its own
+//     acknowledged history — crash recovery may lose recent
+//     transitions, it must never invent or tear state.
+//  3. No spurious quarantine: a crash alone (non-dropsync) never sends
+//     records to quarantine — torn tails are expected artifacts, not
+//     corruption.
+
+import (
+	"fmt"
+	"testing"
+
+	"bbc/internal/faultfs"
+)
+
+// sweepCompactEvery is small enough that the workload crosses several
+// compaction boundaries, putting the index save + WAL truncate sequence
+// inside the swept operation trace.
+const sweepCompactEvery = 4
+
+// transition is one workload step.
+type transition struct {
+	kind string
+	id   string
+	key  string
+	// complete marks finish transitions that carry a complete result.
+	complete bool
+}
+
+// sweepTransitions is the fixed workload: four jobs at different
+// lifecycle depths, 9 WAL appends, two automatic compactions plus the
+// final one in Close.
+var sweepTransitions = []transition{
+	{kind: KindSubmit, id: "job-000001", key: "bbc-k1"},
+	{kind: KindSubmit, id: "job-000002", key: "bbc-k2"},
+	{kind: KindSubmit, id: "job-000003", key: "bbc-k3"},
+	{kind: KindSubmit, id: "job-000004", key: "bbc-k4"},
+	{kind: KindStart, id: "job-000001", key: "bbc-k1"},
+	{kind: KindFinish, id: "job-000001", key: "bbc-k1", complete: true},
+	{kind: KindStart, id: "job-000002", key: "bbc-k2"},
+	{kind: KindFinish, id: "job-000002", key: "bbc-k2", complete: false},
+	{kind: KindStart, id: "job-000003", key: "bbc-k3"},
+}
+
+// jobState is the model's view of one job for recovery comparison.
+type jobState struct {
+	State    string
+	Complete bool
+}
+
+// model applies the first k transitions and returns the expected
+// per-job state.
+func model(k int) map[string]jobState {
+	out := make(map[string]jobState)
+	for _, tr := range sweepTransitions[:k] {
+		switch tr.kind {
+		case KindSubmit:
+			out[tr.id] = jobState{State: "queued"}
+		case KindStart:
+			out[tr.id] = jobState{State: "running"}
+		case KindFinish:
+			out[tr.id] = jobState{State: "done", Complete: tr.complete}
+		}
+	}
+	return out
+}
+
+// runWorkload drives the transitions through a store on fsys, returning
+// how many were acknowledged (a contiguous prefix: with CrashOnFault,
+// every operation after the fault fails) and how many were attempted —
+// attempted exceeds acked by one when a transition's append errored
+// mid-flight, in which case its durability is indeterminate. Open or
+// append failures are absorbed the way the service absorbs them — the
+// store must not wedge the caller.
+func runWorkload(dir string, fsys faultfs.FS) (acked, attempted int) {
+	st, _, err := Open(dir, Options{FS: fsys, CompactEvery: sweepCompactEvery})
+	if err != nil {
+		return 0, 0
+	}
+	for _, tr := range sweepTransitions {
+		var err error
+		switch tr.kind {
+		case KindSubmit:
+			err = st.Submitted(&JobRecord{ID: tr.id, Key: tr.key, Mode: "enumerate", SubmittedMS: 1000})
+		case KindStart:
+			err = st.Started(tr.id, 2000)
+		case KindFinish:
+			err = st.Finished(&JobRecord{
+				ID: tr.id, Key: tr.key, Mode: "enumerate", State: "done",
+				RunStatus: "complete", Complete: tr.complete, FinishedMS: 3000,
+			})
+		}
+		if err != nil {
+			return acked, acked + 1
+		}
+		acked++
+	}
+	st.Close() //nolint:errcheck // post-crash close errors are expected
+	return acked, acked
+}
+
+// sweepModes maps each operation class to the failure modes that can
+// physically happen to it (same table as the runctl sweep).
+var sweepModes = map[faultfs.Op][]faultfs.Mode{
+	faultfs.OpCreate:     {faultfs.ModeFail},
+	faultfs.OpCreateTemp: {faultfs.ModeFail, faultfs.ModeENOSPC},
+	faultfs.OpOpenAppend: {faultfs.ModeFail},
+	faultfs.OpRead:       {faultfs.ModeFail, faultfs.ModeShortRead},
+	faultfs.OpWrite:      {faultfs.ModeFail, faultfs.ModeTorn, faultfs.ModeENOSPC},
+	faultfs.OpSync:       {faultfs.ModeFail, faultfs.ModeDropSync},
+	faultfs.OpClose:      {faultfs.ModeFail},
+	faultfs.OpRename:     {faultfs.ModeFail},
+	faultfs.OpRemove:     {faultfs.ModeFail},
+	faultfs.OpStat:       {faultfs.ModeFail},
+	faultfs.OpTruncate:   {faultfs.ModeFail},
+}
+
+// TestStoreCrashSweep is the property test: one crash per failpoint,
+// every failpoint of the workload, every applicable failure mode.
+func TestStoreCrashSweep(t *testing.T) {
+	// Counting pass: enumerate every filesystem touch of the fault-free
+	// workload. Faulted runs replay this exact sequence up to the fault.
+	counter := faultfs.NewInjector(faultfs.OS{})
+	if acked, _ := runWorkload(t.TempDir(), counter); acked != len(sweepTransitions) {
+		t.Fatalf("counting pass acknowledged %d of %d transitions", acked, len(sweepTransitions))
+	}
+	counts := counter.Counts()
+	if counts[faultfs.OpWrite] == 0 || counts[faultfs.OpSync] == 0 || counts[faultfs.OpCreateTemp] == 0 {
+		t.Fatalf("counting pass missed core persistence operations: %v", counts)
+	}
+
+	for op, modes := range sweepModes {
+		for nth := 1; nth <= counts[op]; nth++ {
+			for _, mode := range modes {
+				f := faultfs.Fault{Op: op, Nth: nth, Mode: mode, TornBytes: 7}
+				t.Run(f.String(), func(t *testing.T) {
+					t.Parallel()
+					sweepOne(t, f)
+				})
+			}
+		}
+	}
+}
+
+// sweepOne crashes one workload at fault f and asserts the recovery
+// invariants.
+func sweepOne(t *testing.T, f faultfs.Fault) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(faultfs.OS{}, f)
+	inj.CrashOnFault = true
+	acked, attempted := runWorkload(dir, inj)
+	if inj.Fired() == 0 {
+		t.Fatalf("fault %v never fired; the failpoint enumeration is stale", f)
+	}
+	inj.Crash()
+
+	// Invariant 1: reopen on a clean filesystem always succeeds.
+	st, rec, err := Open(dir, Options{CompactEvery: sweepCompactEvery})
+	if err != nil {
+		t.Fatalf("recovery open failed after %v (acked %d): %v", f, acked, err)
+	}
+	defer st.Close() //nolint:errcheck
+
+	got := make(map[string]jobState)
+	for _, j := range st.Query("") {
+		got[j.ID] = jobState{State: j.State, Complete: j.Complete}
+	}
+
+	if f.Mode == faultfs.ModeDropSync {
+		// A lying fsync may lose the unsynced tail — including, when the
+		// dropped sync hit the index checkpoint, transitions a compaction
+		// had already truncated out of the WAL. Per-job prefix consistency
+		// is the contract: every recovered job matches some prefix of its
+		// own attempted history; nothing is invented or torn.
+		final := model(attempted)
+		for id, gs := range got {
+			states := historyOf(id, attempted)
+			okState := false
+			for _, hs := range states {
+				okState = okState || hs == gs
+			}
+			if !okState {
+				t.Errorf("job %s recovered as %+v, which is no prefix state of its history %v", id, gs, states)
+			}
+		}
+		for id := range got {
+			if _, ok := final[id]; !ok {
+				t.Errorf("job %s recovered but never attempted", id)
+			}
+		}
+		return
+	}
+
+	// Invariant 2 (all other modes): old-or-new. Everything acknowledged
+	// is durable; the one in-flight transition may or may not be,
+	// depending on whether its bytes reached the file before the crash.
+	if !statesEqual(got, model(acked)) && !statesEqual(got, model(attempted)) {
+		t.Fatalf("recovered state matches neither acked=%d nor attempted=%d (recovery %+v)\ngot:  %v\nold:  %v\nnew:  %v",
+			acked, attempted, rec, got, model(acked), model(attempted))
+	}
+
+	// Invariant 3: a crash alone never quarantines — torn tails are
+	// expected artifacts, corruption is not something a crash produces.
+	if rec.Quarantined != 0 {
+		t.Errorf("crash recovery quarantined %d records (fault %v): %+v", rec.Quarantined, f, rec)
+	}
+}
+
+// statesEqual reports whether two recovered-state maps are identical.
+func statesEqual(a, b map[string]jobState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, s := range a {
+		if bs, ok := b[id]; !ok || bs != s {
+			return false
+		}
+	}
+	return true
+}
+
+// historyOf returns every state job id passes through across the first
+// n transitions (its per-job prefix states), oldest first.
+func historyOf(id string, n int) []jobState {
+	var out []jobState
+	for k := 1; k <= n; k++ {
+		m := model(k)
+		if s, ok := m[id]; ok {
+			if len(out) == 0 || out[len(out)-1] != s {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// TestStoreSweepFaultLabels pins the subtest naming so CI failures name
+// the exact failpoint.
+func TestStoreSweepFaultLabels(t *testing.T) {
+	f := faultfs.Fault{Op: faultfs.OpTruncate, Nth: 2, Mode: faultfs.ModeFail}
+	if got := f.String(); got != "fail@truncate#2" {
+		t.Fatalf("fault label = %q", got)
+	}
+	if got := fmt.Sprintf("%v", faultfs.OpOpenAppend); got != "openappend" {
+		t.Fatalf("op label = %q", got)
+	}
+}

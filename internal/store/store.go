@@ -1,0 +1,688 @@
+// Package store is the durable job store under the batch-solve service:
+// an append-only write-ahead log of job-state transitions plus a
+// periodically compacted index snapshot, both written through the same
+// hardened persistence envelopes as runctl checkpoints.
+//
+// Layout inside the store directory:
+//
+//	wal.jsonl        append-only JSONL of transitions, one checksummed
+//	                 record per line (kinds: submit, start, finish)
+//	index.ckpt       compacted snapshot: a runctl v2 checkpoint envelope
+//	                 (kind "job-index") holding every retained job and
+//	                 the WAL sequence number it covers; generations
+//	                 rotate to index.ckpt.prev, corruption quarantines
+//	                 to index.ckpt.corrupt (runctl.Store policy)
+//	quarantine.jsonl unreplayable WAL records and corrupt regions,
+//	                 diverted rather than trusted or destroyed
+//
+// Crash invariants, fault-swept in crashsweep_test.go:
+//
+//   - A transition whose append returned success is durable: it is
+//     fsynced in the WAL (or already covered by a published index) and
+//     survives any later crash. The only exception is a lying fsync
+//     (ModeDropSync), which can lose the unsynced tail.
+//   - Whatever single filesystem operation fails, a reopened store
+//     recovers a consistent prefix of the acknowledged transitions —
+//     never a torn hybrid, and Open never wedges: corrupt state is
+//     quarantined and replay continues from what is trustworthy.
+//   - Compaction publishes the index before truncating the WAL, and
+//     replay skips WAL records the index already covers, so a crash
+//     between the two steps double-applies nothing.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bbc/internal/faultfs"
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+)
+
+// WAL record kinds: the three job-state transitions the service
+// persists. "submit" and "finish" carry the full job record (upsert
+// semantics make replay idempotent); "start" patches an existing job.
+const (
+	KindSubmit = "submit"
+	KindStart  = "start"
+	KindFinish = "finish"
+)
+
+// indexKind is the runctl checkpoint kind of the compacted index.
+const indexKind = "job-index"
+
+// JobRecord is the durable face of one job: everything needed to serve
+// a historical result, answer a dedup probe across restarts, or
+// re-queue work orphaned by a crash. Times are absolute unix
+// milliseconds (the in-memory serve layer uses process-relative times;
+// the store must survive the process).
+type JobRecord struct {
+	ID     string          `json:"id"`
+	Key    string          `json:"key"`
+	Client string          `json:"client,omitempty"`
+	Mode   string          `json:"mode"`
+	Req    json.RawMessage `json:"req,omitempty"`
+
+	State     string          `json:"state"`
+	RunStatus string          `json:"run_status,omitempty"`
+	Complete  bool            `json:"complete,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Reason    string          `json:"reason,omitempty"`
+	// RetryAfterMS is the retry hint attached to rejected jobs.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Resumable  bool   `json:"resumable,omitempty"`
+
+	SubmittedMS int64 `json:"submitted_unix_ms,omitempty"`
+	StartedMS   int64 `json:"started_unix_ms,omitempty"`
+	FinishedMS  int64 `json:"finished_unix_ms,omitempty"`
+}
+
+// clone returns a private copy (RawMessage fields are shared but
+// treated as immutable everywhere).
+func (r *JobRecord) clone() *JobRecord {
+	c := *r
+	return &c
+}
+
+// terminal reports whether the record is in a terminal state.
+func (r *JobRecord) terminal() bool {
+	return r.State == "done" || r.State == "rejected"
+}
+
+// walRecord is one WAL line. CRC covers the record marshaled with CRC
+// cleared, in the runctl checksum format ("crc32c:%08x"), so bit rot
+// anywhere in the line is detected before replay trusts it.
+type walRecord struct {
+	Seq    int64      `json:"seq"`
+	Kind   string     `json:"kind"`
+	ID     string     `json:"id,omitempty"`
+	TimeMS int64      `json:"time_ms,omitempty"`
+	Job    *JobRecord `json:"job,omitempty"`
+	CRC    string     `json:"crc,omitempty"`
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum computes the record's CRC with the CRC field excluded.
+func (w *walRecord) checksum() (string, error) {
+	saved := w.CRC
+	w.CRC = ""
+	data, err := json.Marshal(w)
+	w.CRC = saved
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("crc32c:%08x", crc32.Checksum(data, castagnoli)), nil
+}
+
+// indexSnapshot is the payload of the compacted index checkpoint.
+type indexSnapshot struct {
+	// LastSeq is the highest WAL sequence number the snapshot covers;
+	// replay skips WAL records at or below it.
+	LastSeq int64 `json:"last_seq"`
+	// Jobs is every retained job in submission order.
+	Jobs []*JobRecord `json:"jobs"`
+}
+
+// Options tunes a Store. The zero value is production-ready.
+type Options struct {
+	// FS is the filesystem to operate on (nil = the real OS).
+	FS faultfs.FS
+	// CompactEvery is how many WAL appends trigger an index compaction
+	// (0 = 256).
+	CompactEvery int
+	// MaxJobs bounds the terminal jobs retained across compactions
+	// (0 = 4096). Queued/running jobs are never evicted.
+	MaxJobs int
+	// Reg receives the store.* metrics (nil = off).
+	Reg *obs.Registry
+	// Journal, when non-nil, receives store lifecycle records (replay,
+	// quarantine, compaction, append errors).
+	Journal *obs.Journal
+}
+
+func (o Options) compactEvery() int {
+	if o.CompactEvery > 0 {
+		return o.CompactEvery
+	}
+	return 256
+}
+
+func (o Options) maxJobs() int {
+	if o.MaxJobs > 0 {
+		return o.MaxJobs
+	}
+	return 4096
+}
+
+// Recovery reports what Open found and salvaged.
+type Recovery struct {
+	// IndexJobs is how many jobs the index snapshot restored.
+	IndexJobs int
+	// IndexFallback is true when the previous index generation was used.
+	IndexFallback bool
+	// IndexQuarantined, when non-empty, is where a corrupt primary index
+	// was moved.
+	IndexQuarantined string
+	// Replayed is how many WAL records were applied on top of the index.
+	Replayed int
+	// Quarantined is how many WAL records (or corrupt-region lines) were
+	// diverted to quarantine.jsonl.
+	Quarantined int
+	// TornBytes is the size of the truncated torn WAL tail (an expected
+	// crash artifact, distinct from quarantined corruption).
+	TornBytes int64
+	// Requeue is how many recovered jobs are queued/running — work
+	// orphaned by a crash that the service should re-queue.
+	Requeue int
+}
+
+// Store is the durable job store. All methods are safe for concurrent
+// use. Create with Open; the caller owns Close.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	fsys    faultfs.FS
+	opts    Options
+	reg     *obs.Registry
+	journal *obs.Journal
+
+	index   *runctl.Store
+	walPath string
+	qPath   string
+	wal     faultfs.File
+	walSize int64
+	seq     int64
+	appends int
+	jobs    map[string]*JobRecord
+	order   []string
+	closed  bool
+}
+
+// Open loads (or creates) the store in dir: the index snapshot is
+// restored through the runctl.Store recovery path (fallback generation,
+// quarantine), then the WAL is replayed on top — skipping records the
+// index covers, truncating a torn tail, and quarantining unreplayable
+// records — and reopened for appending.
+func Open(dir string, opts Options) (*Store, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	fsys := faultfs.Or(opts.FS)
+	s := &Store{
+		dir:     dir,
+		fsys:    fsys,
+		opts:    opts,
+		reg:     opts.Reg,
+		journal: opts.Journal,
+		index:   &runctl.Store{Path: filepath.Join(dir, "index.ckpt"), FS: fsys, Retries: 2},
+		walPath: filepath.Join(dir, "wal.jsonl"),
+		qPath:   filepath.Join(dir, "quarantine.jsonl"),
+		jobs:    make(map[string]*JobRecord),
+	}
+	rec := &Recovery{}
+	s.loadIndex(rec)
+	if err := s.replayWAL(rec); err != nil {
+		return nil, nil, err
+	}
+	wal, err := fsys.OpenAppend(s.walPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s.wal = wal
+	if fi, serr := fsys.Stat(s.walPath); serr == nil {
+		s.walSize = fi.Size()
+	}
+	for _, id := range s.order {
+		if !s.jobs[id].terminal() {
+			rec.Requeue++
+		}
+	}
+	s.journal.Event("store_open", map[string]any{
+		"dir": dir, "jobs": len(s.order), "replayed": rec.Replayed,
+		"quarantined": rec.Quarantined, "torn_bytes": rec.TornBytes,
+		"requeue": rec.Requeue, "index_fallback": rec.IndexFallback,
+	})
+	return s, rec, nil
+}
+
+// loadIndex restores the compacted snapshot. Any failure — missing,
+// corrupt beyond both generations, wrong kind — degrades to WAL-only
+// recovery: a store must make progress, not wedge on stale state.
+func (s *Store) loadIndex(rec *Recovery) {
+	env, lrec, err := s.index.TryLoad()
+	if lrec != nil {
+		rec.IndexFallback = lrec.Fallback
+		rec.IndexQuarantined = lrec.Quarantined
+	}
+	switch {
+	case err != nil:
+		s.journal.Event("store_index_unreadable", map[string]any{"path": s.index.Path, "error": err.Error()})
+		return
+	case env == nil:
+		return // first open: no snapshot yet
+	}
+	var snap indexSnapshot
+	if derr := env.Decode(indexKind, indexKind, &snap); derr != nil {
+		s.journal.Event("store_index_mismatch", map[string]any{"path": s.index.Path, "error": derr.Error()})
+		return
+	}
+	s.seq = snap.LastSeq
+	for _, j := range snap.Jobs {
+		if _, ok := s.jobs[j.ID]; !ok {
+			s.order = append(s.order, j.ID)
+		}
+		s.jobs[j.ID] = j
+	}
+	rec.IndexJobs = len(snap.Jobs)
+}
+
+// replayWAL applies the transitions the index does not cover. The first
+// corrupt complete line (bad JSON or checksum) ends the trustworthy
+// prefix: it and everything after it is quarantined and the WAL is
+// truncated back to the prefix. An unterminated final line is a torn
+// tail from a crashed append — truncated, not quarantined. Semantically
+// unreplayable records (unknown kind, a start for an unknown job) are
+// quarantined individually and replay continues.
+func (s *Store) replayWAL(rec *Recovery) error {
+	data, err := s.fsys.ReadFile(s.walPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read wal: %w", err)
+	}
+	var (
+		validLen int64
+		rest     = data
+	)
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			rec.TornBytes = int64(len(rest))
+			break
+		}
+		line := rest[:nl]
+		var w walRecord
+		bad := json.Unmarshal(line, &w) != nil
+		if !bad {
+			want, cerr := w.checksum()
+			bad = cerr != nil || w.CRC != want
+		}
+		if bad {
+			// Corrupt complete line: everything from here is untrustworthy.
+			region := rest
+			rec.Quarantined += s.quarantine(region)
+			rec.TornBytes = 0 // the region subsumes any tail
+			s.journal.Event("store_wal_corrupt", map[string]any{
+				"offset": validLen, "bytes": len(region),
+			})
+			break
+		}
+		full := rest[:nl+1]
+		validLen += int64(nl) + 1
+		rest = rest[nl+1:]
+		if w.Seq <= s.seq {
+			continue // the index snapshot already covers this transition
+		}
+		if aerr := s.apply(&w); aerr != nil {
+			rec.Quarantined += s.quarantine(full)
+			s.journal.Event("store_record_unreplayable", map[string]any{
+				"seq": w.Seq, "kind": w.Kind, "id": w.ID, "error": aerr.Error(),
+			})
+			s.seq = w.Seq // keep sequence numbers monotonic past the hole
+			continue
+		}
+		s.seq = w.Seq
+		rec.Replayed++
+		s.reg.Inc(obs.MStoreReplayed)
+	}
+	if validLen < int64(len(data)) {
+		if terr := s.fsys.Truncate(s.walPath, validLen); terr != nil {
+			return fmt.Errorf("store: truncate wal to valid prefix: %w", terr)
+		}
+	}
+	return nil
+}
+
+// apply executes one WAL transition against the in-memory map.
+func (s *Store) apply(w *walRecord) error {
+	switch w.Kind {
+	case KindSubmit, KindFinish:
+		if w.Job == nil || w.Job.ID == "" {
+			return fmt.Errorf("%s record without a job", w.Kind)
+		}
+		if _, ok := s.jobs[w.Job.ID]; !ok {
+			s.order = append(s.order, w.Job.ID)
+		}
+		s.jobs[w.Job.ID] = w.Job
+		return nil
+	case KindStart:
+		j, ok := s.jobs[w.ID]
+		if !ok {
+			return fmt.Errorf("start for unknown job %q", w.ID)
+		}
+		j.State = "running"
+		j.StartedMS = w.TimeMS
+		return nil
+	default:
+		return fmt.Errorf("unknown record kind %q", w.Kind)
+	}
+}
+
+// quarantine diverts untrusted bytes to quarantine.jsonl (best effort:
+// a failure to quarantine is journaled, never fatal) and returns how
+// many lines were diverted.
+func (s *Store) quarantine(region []byte) int {
+	n := bytes.Count(region, []byte{'\n'})
+	if n == 0 && len(region) > 0 {
+		n = 1
+	}
+	f, err := s.fsys.OpenAppend(s.qPath)
+	if err != nil {
+		s.journal.Event("store_quarantine_error", map[string]any{"error": err.Error()})
+		return n
+	}
+	if _, werr := f.Write(ensureNewline(region)); werr != nil {
+		s.journal.Event("store_quarantine_error", map[string]any{"error": werr.Error()})
+	}
+	_ = f.Sync()
+	_ = f.Close()
+	s.reg.Add(obs.MStoreQuarantined, int64(n))
+	return n
+}
+
+func ensureNewline(b []byte) []byte {
+	if len(b) > 0 && b[len(b)-1] != '\n' {
+		return append(append([]byte{}, b...), '\n')
+	}
+	return b
+}
+
+// append durably logs one transition: marshal with checksum, write one
+// line, fsync. On a write or sync failure the possibly-torn tail is
+// truncated back so the WAL stays clean for subsequent appends, and the
+// error is returned — the caller decides whether losing the durable
+// copy is fatal. Callers hold s.mu.
+func (s *Store) append(w *walRecord) error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	s.seq++
+	w.Seq = s.seq
+	crc, err := w.checksum()
+	if err != nil {
+		s.seq--
+		return fmt.Errorf("store: marshal wal record: %w", err)
+	}
+	w.CRC = crc
+	line, err := json.Marshal(w)
+	if err != nil {
+		s.seq--
+		return fmt.Errorf("store: marshal wal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.wal.Write(line); err != nil {
+		s.reg.Inc(obs.MStoreAppendErrors)
+		s.repairTail()
+		return fmt.Errorf("store: append wal: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.reg.Inc(obs.MStoreAppendErrors)
+		s.repairTail()
+		return fmt.Errorf("store: sync wal: %w", err)
+	}
+	s.walSize += int64(len(line))
+	s.reg.Inc(obs.MStoreAppends)
+	s.appends++
+	return nil
+}
+
+// maybeCompact runs a compaction once enough appends accumulated. It
+// must run only after the triggering transition is applied to the
+// in-memory map — compacting from inside append would publish a
+// LastSeq covering a record the snapshot does not yet contain, losing
+// it on replay. Callers hold s.mu.
+func (s *Store) maybeCompact() {
+	if s.appends < s.opts.compactEvery() {
+		return
+	}
+	if err := s.compactLocked(); err != nil {
+		// Compaction is an optimization; the WAL alone is still a
+		// complete, durable record. Journal and retry next cycle.
+		s.journal.Event("store_compact_error", map[string]any{"error": err.Error()})
+	}
+}
+
+// repairTail truncates the WAL back to the last known-good size after a
+// failed append, so one torn write cannot poison later records. Best
+// effort: a failed repair is journaled and left for Open's salvage.
+func (s *Store) repairTail() {
+	if err := s.fsys.Truncate(s.walPath, s.walSize); err != nil {
+		s.journal.Event("store_tail_repair_error", map[string]any{"error": err.Error()})
+	}
+}
+
+// Submitted durably records a newly accepted job (state queued).
+func (s *Store) Submitted(rec *JobRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job := rec.clone()
+	if job.State == "" {
+		job.State = "queued"
+	}
+	if err := s.append(&walRecord{Kind: KindSubmit, ID: job.ID, Job: job}); err != nil {
+		return err
+	}
+	if _, ok := s.jobs[job.ID]; !ok {
+		s.order = append(s.order, job.ID)
+	}
+	s.jobs[job.ID] = job
+	s.maybeCompact()
+	return nil
+}
+
+// Started durably records that a job began running at the given unix
+// millisecond timestamp.
+func (s *Store) Started(id string, atMS int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("store: start for unknown job %q", id)
+	}
+	if err := s.append(&walRecord{Kind: KindStart, ID: id, TimeMS: atMS}); err != nil {
+		return err
+	}
+	j.State = "running"
+	j.StartedMS = atMS
+	s.maybeCompact()
+	return nil
+}
+
+// Finished durably records a job's terminal state (done or rejected),
+// result included.
+func (s *Store) Finished(rec *JobRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job := rec.clone()
+	if err := s.append(&walRecord{Kind: KindFinish, ID: job.ID, Job: job}); err != nil {
+		return err
+	}
+	if _, ok := s.jobs[job.ID]; !ok {
+		s.order = append(s.order, job.ID)
+	}
+	s.jobs[job.ID] = job
+	s.maybeCompact()
+	return nil
+}
+
+// Lookup returns the stored record for a job id.
+func (s *Store) Lookup(id string) (*JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.clone(), true
+}
+
+// Find returns the most recent completed result for a dedup key — the
+// cross-restart dedup tier: a resubmission of a solve finished in any
+// earlier process generation is answered from here without re-solving.
+func (s *Store) Find(key string) (*JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.order) - 1; i >= 0; i-- {
+		j := s.jobs[s.order[i]]
+		if j.Key == key && j.State == "done" && j.Complete {
+			return j.clone(), true
+		}
+	}
+	return nil, false
+}
+
+// Query returns every stored job with the given dedup key (solve
+// fingerprint), in submission order; an empty key returns everything.
+func (s *Store) Query(key string) []*JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*JobRecord
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if key == "" || j.Key == key {
+			out = append(out, j.clone())
+		}
+	}
+	return out
+}
+
+// Requeue returns the jobs that are queued or running in the store —
+// work a crashed process acknowledged but never finished. The service
+// re-queues them at startup (their enumeration checkpoints make the
+// resume cheap).
+func (s *Store) Requeue() []*JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*JobRecord
+	for _, id := range s.order {
+		if j := s.jobs[id]; !j.terminal() {
+			out = append(out, j.clone())
+		}
+	}
+	return out
+}
+
+// Counts tallies stored jobs by state.
+func (s *Store) Counts() (queued, running, done, rejected int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		switch j.State {
+		case "queued":
+			queued++
+		case "running":
+			running++
+		case "done":
+			done++
+		case "rejected":
+			rejected++
+		}
+	}
+	return
+}
+
+// Len returns how many jobs the store retains.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Seq returns the last assigned WAL sequence number.
+func (s *Store) Seq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Compact publishes an index snapshot covering every transition so far
+// and truncates the WAL behind it. Runs automatically every
+// CompactEvery appends; exported for tests and shutdown.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked evicts the oldest terminal jobs beyond MaxJobs, saves
+// the index (atomic write-fsync-rename with generation rotation), and
+// only then truncates the WAL — a crash between the two steps replays
+// nothing twice because replay skips seq ≤ the published LastSeq.
+func (s *Store) compactLocked() error {
+	s.appends = 0
+	if max := s.opts.maxJobs(); len(s.order) > max {
+		kept := make([]string, 0, len(s.order))
+		excess := len(s.order) - max
+		for _, id := range s.order {
+			if excess > 0 && s.jobs[id].terminal() {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+	snap := indexSnapshot{LastSeq: s.seq, Jobs: make([]*JobRecord, 0, len(s.order))}
+	for _, id := range s.order {
+		snap.Jobs = append(snap.Jobs, s.jobs[id])
+	}
+	env, err := runctl.NewCheckpoint(indexKind, indexKind, runctl.StatusComplete, nil, snap)
+	if err != nil {
+		return fmt.Errorf("store: build index snapshot: %w", err)
+	}
+	if err := s.index.Save(env); err != nil {
+		return fmt.Errorf("store: save index: %w", err)
+	}
+	if err := s.fsys.Truncate(s.walPath, 0); err != nil {
+		// The published index already covers the WAL; a failed truncate
+		// only means replay will skip those records on the next open.
+		s.journal.Event("store_wal_truncate_error", map[string]any{"error": err.Error()})
+	} else {
+		s.walSize = 0
+	}
+	s.reg.Inc(obs.MStoreCompactions)
+	s.journal.Event("store_compact", map[string]any{"last_seq": s.seq, "jobs": len(s.order)})
+	return nil
+}
+
+// Close compacts one last time (so the next Open replays nothing) and
+// closes the WAL handle. The store rejects appends afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	cerr := s.compactLocked()
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil && cerr == nil {
+			cerr = fmt.Errorf("store: close wal: %w", err)
+		}
+		s.wal = nil
+	}
+	return cerr
+}
