@@ -1,0 +1,343 @@
+// Command bbcsweep runs resumable parameter-grid sweeps over the BBC
+// engines: every (workload, dist, agg, n, k, trial) tuple in the cross
+// product of the comma-separated axis flags runs through the enumeration
+// scanner, the best-response walker or the exact PoA/PoS pipeline, and
+// emits one CSV row (stdout, or -csv FILE) plus, with -jsonl, one JSON
+// record — verdicts, work counters, wall time, latency quantiles.
+//
+// Usage:
+//
+//	bbcsweep -n 4,5 -k 1,2 [-dist uniform,nonuniform] [-agg sum,max]
+//	         [-workload enumerate,dynamics,experiment] [-trials 2]
+//	         [-max-profiles 1048576] [-max-steps 0] [-seed 0]
+//	         [-csv rows.csv] [-jsonl rows.jsonl] [-deterministic]
+//	         [-checkpoint sweep.ckpt] [-resume sweep.ckpt] [-timeout 10m]
+//	         [-journal run.jsonl] [-progress] [-trace trace.json] [-pprof :6060]
+//
+// Run control: SIGINT/SIGTERM stop the sweep gracefully — the running
+// tuple observes the cancellation, its partial result is dropped, rows
+// emitted so far stand, and the journal receives a final run_status
+// record. -checkpoint persists every completed tuple (atomic,
+// checksummed write-fsync-rename, previous generation kept at
+// <path>.prev); -resume replays completed tuples byte-identically and
+// runs only the rest — output files are rewritten from the start, so a
+// resumed -deterministic sweep's CSV/JSONL are byte-identical to an
+// uninterrupted run's. Exit codes: 0 full pass, 1 tuple failure or
+// error, 2 usage, 3 deadline truncation, 4 unrecoverable checkpoint
+// corruption, 130 interrupted by signal.
+//
+// Output contract: stdout carries only CSV rows (suppressed when -csv
+// redirects them to a file); diagnostics and progress go to stderr.
+// -deterministic masks the volatile timing fields (wall_ms, latency
+// quantiles, *_nanos counters) so identical grids produce byte-identical
+// files — the mode CI diffs run under.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+	"bbc/internal/sweep"
+)
+
+// options collects every flag; run consumes it so tests can drive the
+// command without a process boundary.
+type options struct {
+	workloads, dists, aggs string
+	ns, ks                 string
+	trials                 int
+	maxProfiles            uint64
+	maxSteps               int
+	seed                   int64
+
+	csvPath, jsonlPath string
+	deterministic      bool
+
+	timeout    time.Duration
+	checkpoint string
+	resume     string
+	journal    string
+	trace      string
+	progress   bool
+	pprof      string
+
+	stdout, stderr io.Writer
+}
+
+func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cliMain is the whole command behind a testable seam: the e2e tests
+// re-exec the test binary into it to exercise real signals and kill -9.
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	var o options
+	fs := flag.NewFlagSet("bbcsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&o.workloads, "workload", "enumerate", "comma-separated workloads: enumerate, dynamics, experiment")
+	fs.StringVar(&o.dists, "dist", "uniform", "comma-separated length distributions: uniform, nonuniform")
+	fs.StringVar(&o.aggs, "agg", "sum", "comma-separated aggregations: sum, max")
+	fs.StringVar(&o.ns, "n", "", "comma-separated player counts (required)")
+	fs.StringVar(&o.ks, "k", "", "comma-separated budgets (required)")
+	fs.IntVar(&o.trials, "trials", 1, "trials per grid point (the trial index seeds each tuple's RNG)")
+	fs.Uint64Var(&o.maxProfiles, "max-profiles", 0, "profile budget per enumeration/optimum scan (0 = 1048576)")
+	fs.IntVar(&o.maxSteps, "max-steps", 0, "step budget per best-response walk (0 = 10·n²)")
+	fs.Int64Var(&o.seed, "seed", 0, "base seed offsetting every tuple's RNG stream")
+	fs.StringVar(&o.csvPath, "csv", "", "write CSV rows to this file instead of stdout")
+	fs.StringVar(&o.jsonlPath, "jsonl", "", "additionally write one JSON record per tuple to this file")
+	fs.BoolVar(&o.deterministic, "deterministic", false, "mask volatile timing fields so identical grids emit byte-identical files")
+	fs.DurationVar(&o.timeout, "timeout", 0, "wall-time budget for the whole sweep, e.g. 10m (0 = none)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "persist completed tuples to this file after each tuple")
+	fs.StringVar(&o.resume, "resume", "", "replay completed tuples from this snapshot and run only the rest")
+	fs.StringVar(&o.journal, "journal", "", "write a JSONL run journal to this file")
+	fs.StringVar(&o.trace, "trace", "", "write a Chrome trace-event JSON file of solver spans to this file")
+	fs.BoolVar(&o.progress, "progress", false, "print progress/ETA to stderr")
+	fs.StringVar(&o.pprof, "pprof", "", "serve pprof/expvar at this address (e.g. :6060)")
+	if err := fs.Parse(args); err != nil {
+		return runctl.ExitUsage
+	}
+	o.stdout, o.stderr = stdout, stderr
+
+	ctx, signalled, stopSignals := runctl.SignalContext(context.Background())
+	status, failures, err := run(ctx, o)
+	stopSignals()
+	if err != nil {
+		fmt.Fprintf(stderr, "bbcsweep: %v\n", err)
+		if errors.Is(err, errUsage) {
+			return runctl.ExitUsage
+		}
+		return runctl.ExitCodeForError(err)
+	}
+	if sig := signalled(); sig != nil {
+		fmt.Fprintf(stderr, "bbcsweep: interrupted by %v; completed rows flushed\n", sig)
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "bbcsweep: %d tuple(s) failed\n", failures)
+		return runctl.ExitError
+	}
+	return runctl.ExitCode(status)
+}
+
+// errUsage marks command-line mistakes, which exit with ExitUsage.
+var errUsage = errors.New("usage")
+
+// parseGrid turns the axis flags into a validated sweep.Config.
+func parseGrid(o options) (sweep.Config, error) {
+	cfg := sweep.Config{
+		Workloads:   splitList(o.workloads),
+		Dists:       splitList(o.dists),
+		Aggs:        splitList(o.aggs),
+		Trials:      o.trials,
+		MaxProfiles: o.maxProfiles,
+		MaxSteps:    o.maxSteps,
+		Seed:        o.seed,
+	}
+	var err error
+	if cfg.Ns, err = parseInts(o.ns); err != nil {
+		return cfg, fmt.Errorf("%w: -n: %v", errUsage, err)
+	}
+	if cfg.Ks, err = parseInts(o.ks); err != nil {
+		return cfg, fmt.Errorf("%w: -k: %v", errUsage, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("%w: %v", errUsage, err)
+	}
+	return cfg, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("at least one value is required")
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// run executes the sweep under run control and reports how it ended plus
+// the number of failing tuples.
+func run(ctx context.Context, o options) (runctl.Status, int, error) {
+	cfg, err := parseGrid(o)
+	if err != nil {
+		return runctl.StatusComplete, 0, err
+	}
+	ctx, cancelTimeout := runctl.WithDeadline(ctx, o.timeout)
+	defer cancelTimeout()
+
+	fp := cfg.Fingerprint()
+	done := map[int]*sweep.Result{}
+	var recovered *runctl.Recovery
+	if o.resume != "" {
+		st := &runctl.Store{Path: o.resume}
+		env, rec, err := st.Load()
+		if err != nil {
+			return runctl.StatusComplete, 0, err
+		}
+		if rec.Fallback {
+			fmt.Fprintf(o.stderr, "bbcsweep: checkpoint %s was not loadable (%v); resuming from the previous generation %s\n",
+				o.resume, rec.Err, rec.Path)
+			if rec.Quarantined != "" {
+				fmt.Fprintf(o.stderr, "bbcsweep: the corrupt snapshot was preserved at %s for inspection\n", rec.Quarantined)
+			}
+			recovered = rec
+		}
+		var cp sweep.Checkpoint
+		if err := env.Decode(sweep.CheckpointKind, fp, &cp); err != nil {
+			return runctl.StatusComplete, 0, err
+		}
+		if cp.Results != nil {
+			done = cp.Results
+		}
+		fmt.Fprintf(o.stderr, "bbcsweep: resuming grid from %s (%d of %d tuples already done)\n",
+			rec.Path, len(done), len(cfg.Tuples()))
+	}
+
+	rt, err := obs.StartCLIConfig(obs.CLIConfig{
+		Name:    "bbcsweep",
+		Journal: o.journal,
+		// Resumed sweeps append to the interrupted run's journal.
+		AppendJournal: o.resume != "",
+		Trace:         o.trace,
+		Pprof:         o.pprof,
+		Stderr:        o.stderr,
+	})
+	if err != nil {
+		return runctl.StatusComplete, 0, err
+	}
+	if recovered != nil {
+		rt.Journal.Event("checkpoint_recovered", map[string]any{
+			"path":        o.resume,
+			"loaded_from": recovered.Path,
+			"quarantined": recovered.Quarantined,
+			"reason":      fmt.Sprint(recovered.Err),
+		})
+	}
+	status, failures, runErr := runSweep(ctx, o, cfg, fp, done, rt)
+	if cerr := rt.Close(); runErr == nil && cerr != nil {
+		runErr = cerr
+	}
+	return status, failures, runErr
+}
+
+// runSweep drives the grid: output sinks are (re)created from the start
+// — resume rewrites, never appends, so the merged files are identical to
+// an uninterrupted run's — and every fresh tuple is checkpointed before
+// the next starts.
+func runSweep(ctx context.Context, o options, cfg sweep.Config, fp string, done map[int]*sweep.Result, rt *obs.Runtime) (runctl.Status, int, error) {
+	var csv *obs.CSVWriter
+	if o.csvPath != "" {
+		f, err := obs.CreateCSVFile(nil, o.csvPath, sweep.Columns...)
+		if err != nil {
+			return runctl.StatusComplete, 0, err
+		}
+		csv = f
+	} else {
+		csv = obs.NewCSVWriter(o.stdout, sweep.Columns...)
+	}
+	defer csv.Close()
+	var jsonl *obs.JSONLWriter
+	if o.jsonlPath != "" {
+		j, err := obs.CreateJSONLFile(nil, o.jsonlPath)
+		if err != nil {
+			return runctl.StatusComplete, 0, err
+		}
+		jsonl = j
+	}
+	defer jsonl.Close()
+
+	tuples := cfg.Tuples()
+	emitted := 0
+	var prog *obs.Progress
+	if o.progress {
+		progRead := func() uint64 { return uint64(emitted) }
+		prog = obs.StartProgress(o.stderr, "tuples", uint64(len(tuples)), progRead, time.Second)
+	}
+	defer prog.Stop()
+
+	ckptStore := &runctl.Store{Path: o.checkpoint, Retries: 2}
+	// save persists the completed-tuple set with rotation and bounded
+	// retry. A failure degrades gracefully: the sweep keeps running on
+	// in-memory state (losing resumability, not rows), the failure is
+	// journaled, and the next completed tuple retries from scratch.
+	save := func(done map[int]*sweep.Result) {
+		if o.checkpoint == "" {
+			return
+		}
+		env, err := runctl.NewCheckpoint(sweep.CheckpointKind, fp,
+			runctl.StatusFromContext(ctx), rt.Reg.Snapshot(), &sweep.Checkpoint{Results: done})
+		if err == nil {
+			err = ckptStore.Save(env)
+		}
+		if err != nil {
+			fmt.Fprintf(o.stderr, "bbcsweep: checkpoint save failed (sweep continues): %v\n", err)
+			rt.Journal.Event("checkpoint_error", map[string]any{
+				"path": o.checkpoint, "completed": len(done), "error": err.Error(),
+			})
+			return
+		}
+		rt.Journal.Checkpoint(o.checkpoint, sweep.CheckpointKind, map[string]any{
+			"completed": len(done),
+		})
+	}
+
+	sum, err := sweep.Run(cfg, sweep.RunConfig{
+		Ctx:  ctx,
+		Done: done,
+		Save: save,
+		OnResult: func(r *sweep.Result, resumed bool) {
+			csv.Record(r.CSVRecord(o.deterministic)...)
+			jsonl.Record(r.Masked(o.deterministic))
+			emitted++
+			rt.Journal.Event("tuple", map[string]any{
+				"index":   r.Index,
+				"verdict": r.Verdict,
+				"pass":    r.Pass,
+				"wall_ms": r.WallMS,
+				"resumed": resumed,
+			})
+		},
+	})
+	if err != nil {
+		return runctl.StatusComplete, 0, fmt.Errorf("%w: %v", errUsage, err)
+	}
+	rt.Journal.RunStatus(sum.Status.String(), sum.Status.Complete(), map[string]any{
+		"completed": sum.Completed,
+		"total":     sum.Total,
+		"failures":  sum.Failures,
+		"resumed":   sum.Resumed,
+	})
+	if cerr := csv.Close(); cerr != nil {
+		return sum.Status, sum.Failures, cerr
+	}
+	if jerr := jsonl.Close(); jerr != nil {
+		return sum.Status, sum.Failures, jerr
+	}
+	fmt.Fprintf(o.stderr, "bbcsweep: %d/%d tuples (%d resumed, %d failed), status %s\n",
+		sum.Completed, sum.Total, sum.Resumed, sum.Failures, sum.Status)
+	return sum.Status, sum.Failures, nil
+}

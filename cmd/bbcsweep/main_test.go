@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bbc/internal/runctl"
+	"bbc/internal/sweep"
+)
+
+// TestMain doubles the test binary as the bbcsweep binary: with
+// BBCSWEEP_HELPER=1 it runs cliMain on its own argv instead of the test
+// suite, which is what lets the crash test SIGKILL a real sweep process
+// mid-grid — an in-process run could never be killed uncleanly.
+func TestMain(m *testing.M) {
+	if os.Getenv("BBCSWEEP_HELPER") == "1" {
+		os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI drives the command in-process.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = cliMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"missing n", []string{"-k", "1"}},
+		{"missing k", []string{"-n", "4"}},
+		{"bad n", []string{"-n", "4,x", "-k", "1"}},
+		{"unknown workload", []string{"-n", "4", "-k", "1", "-workload", "enumarate"}},
+		{"unknown dist", []string{"-n", "4", "-k", "1", "-dist", "zipf"}},
+		{"unknown agg", []string{"-n", "4", "-k", "1", "-agg", "avg"}},
+		{"zero trials", []string{"-n", "4", "-k", "1", "-trials", "0"}},
+		{"unknown flag", []string{"-n", "4", "-k", "1", "-frobnicate"}},
+	} {
+		code, _, stderr := runCLI(tc.args...)
+		if code != runctl.ExitUsage {
+			t.Errorf("%s: exit %d (stderr %q), want %d", tc.name, code, stderr, runctl.ExitUsage)
+		}
+	}
+}
+
+func TestCLISmallGridStdoutCSV(t *testing.T) {
+	code, stdout, stderr := runCLI(
+		"-n", "4", "-k", "1,2", "-workload", "enumerate,dynamics",
+		"-agg", "sum,max", "-deterministic")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if lines[0] != strings.Join(sweep.Columns, ",") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if got, want := len(lines)-1, 2*2*2; got != want {
+		t.Fatalf("%d data rows, want %d\n%s", got, want, stdout)
+	}
+	if !strings.Contains(stderr, "8/8 tuples") {
+		t.Fatalf("summary missing from stderr: %q", stderr)
+	}
+}
+
+func TestCLIDeterministicRunsAreByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := func(csv, jsonl string) []string {
+		return []string{
+			"-n", "4", "-k", "1", "-workload", "enumerate,dynamics,experiment",
+			"-dist", "uniform,nonuniform", "-deterministic",
+			"-csv", csv, "-jsonl", jsonl,
+		}
+	}
+	if code, _, stderr := runCLI(args(filepath.Join(dir, "a.csv"), filepath.Join(dir, "a.jsonl"))...); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, stderr)
+	}
+	if code, _, stderr := runCLI(args(filepath.Join(dir, "b.csv"), filepath.Join(dir, "b.jsonl"))...); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, stderr)
+	}
+	for _, ext := range []string{".csv", ".jsonl"} {
+		a, err := os.ReadFile(filepath.Join(dir, "a"+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "b"+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s output differs between identical runs", ext)
+		}
+	}
+}
+
+func TestCLIJournalAndCheckpointFlags(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	journal := filepath.Join(dir, "run.jsonl")
+	code, _, stderr := runCLI(
+		"-n", "4", "-k", "1", "-workload", "dynamics", "-trials", "3",
+		"-deterministic", "-csv", filepath.Join(dir, "rows.csv"),
+		"-checkpoint", ckpt, "-journal", journal)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	env, err := runctl.Load(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != sweep.CheckpointKind {
+		t.Fatalf("checkpoint kind %q, want %q", env.Kind, sweep.CheckpointKind)
+	}
+	j, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"tuple"`, `"checkpoint"`, `"run_status"`, `"complete":true`} {
+		if !strings.Contains(string(j), want) {
+			t.Errorf("journal lacks %s:\n%s", want, j)
+		}
+	}
+}
+
+// crashGrid is the kill -9 grid: front-loaded with two fast tuples (so
+// rows land quickly) and tailed by profile-capped scans slow enough that
+// the process is reliably still working when the test kills it.
+var crashGrid = []string{
+	"-n", "5,6", "-k", "1,2", "-workload", "enumerate",
+	"-dist", "uniform,nonuniform", "-agg", "sum",
+	"-max-profiles", "400000", "-deterministic",
+}
+
+// helper execs the test binary as bbcsweep.
+func helper(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "BBCSWEEP_HELPER=1")
+	return cmd
+}
+
+// TestKillDashNineResumeByteIdentity is the binary-level crash contract:
+// SIGKILL a sweep mid-grid, resume from its checkpoint, and the merged
+// CSV must be byte-identical to an uninterrupted run's.
+func TestKillDashNineResumeByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	refCSV := filepath.Join(dir, "ref.csv")
+	ref := helper(t, append(append([]string{}, crashGrid...), "-csv", refCSV)...)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+
+	partCSV := filepath.Join(dir, "part.csv")
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	victim := helper(t, append(append([]string{}, crashGrid...), "-csv", partCSV, "-checkpoint", ckpt)...)
+	victim.Stderr = os.Stderr
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		victim.Process.Kill() //nolint:errcheck
+		victim.Wait()         //nolint:errcheck
+	}()
+
+	// Wait until the checkpoint exists and at least two data rows are on
+	// disk, then SIGKILL with tail tuples still to run.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for the victim to emit 2 rows and a checkpoint")
+		}
+		rows, _ := os.ReadFile(partCSV)
+		if _, err := os.Stat(ckpt); err == nil && bytes.Count(rows, []byte("\n")) >= 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err := victim.Wait()
+	if err == nil {
+		t.Fatal("victim exited cleanly before the kill; grid finished too fast to test a crash")
+	}
+
+	// The partial file's complete lines must be a prefix of the
+	// reference (a torn final line is legal after SIGKILL).
+	part, readErr := os.ReadFile(partCSV)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	refBytes, readErr := os.ReadFile(refCSV)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if i := bytes.LastIndexByte(part, '\n'); i >= 0 {
+		if complete := part[:i+1]; !bytes.HasPrefix(refBytes, complete) {
+			t.Fatalf("partial CSV is not a prefix of the reference\npartial:\n%s", complete)
+		}
+	}
+
+	mergedCSV := filepath.Join(dir, "merged.csv")
+	resume := helper(t, append(append([]string{}, crashGrid...),
+		"-csv", mergedCSV, "-checkpoint", ckpt, "-resume", ckpt)...)
+	out, err := resume.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "resuming grid from") {
+		t.Fatalf("resume did not report replay:\n%s", out)
+	}
+	merged, err := os.ReadFile(mergedCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, refBytes) {
+		t.Fatalf("resumed CSV differs from the uninterrupted reference\nmerged:\n%s\nref:\n%s", merged, refBytes)
+	}
+}
+
+// TestCLIResumeRejectsDifferentGrid: a checkpoint must not resume into a
+// differently-shaped sweep.
+func TestCLIResumeRejectsDifferentGrid(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	if code, _, stderr := runCLI("-n", "4", "-k", "1", "-workload", "dynamics",
+		"-deterministic", "-csv", filepath.Join(dir, "a.csv"), "-checkpoint", ckpt); code != 0 {
+		t.Fatalf("seed run exit %d: %s", code, stderr)
+	}
+	code, _, stderr := runCLI("-n", "5", "-k", "1", "-workload", "dynamics",
+		"-deterministic", "-csv", filepath.Join(dir, "b.csv"), "-resume", ckpt)
+	if code == 0 {
+		t.Fatal("resume under a different grid succeeded")
+	}
+	if !strings.Contains(stderr, "fingerprint") {
+		t.Fatalf("error does not mention the fingerprint mismatch: %q", stderr)
+	}
+}

@@ -1,8 +1,6 @@
 package exper
 
 import (
-	"math/rand"
-
 	"bbc/internal/brspace"
 	"bbc/internal/construct"
 	"bbc/internal/core"
@@ -24,7 +22,7 @@ func E17(cfg Config) *Report {
 	checked := 0
 	withNE := 0
 	for seed := int64(0); seed < int64(trials); seed++ {
-		rng := rand.New(rand.NewSource(seed))
+		rng := newSeededRand("E17", seed)
 		n := 3 + rng.Intn(maxN-2)
 		d := core.NewDense(n)
 		for u := 0; u < n; u++ {

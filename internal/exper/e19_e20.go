@@ -47,7 +47,7 @@ func E19(cfg Config) *Report {
 	spec := core.MustUniform(7, 2)
 	trueEq, falseEq := 0, 0
 	for seed := int64(0); seed < int64(trials); seed++ {
-		start := dynamics.RandomStart(newSeededRand(seed), 7, 2)
+		start := dynamics.RandomStart(newSeededRand("E19", seed), 7, 2)
 		res, err := dynamics.Run(spec, start, dynamics.NewRoundRobin(7), core.SumDistances,
 			dynamics.Options{MaxSteps: 3000, BR: core.Options{Method: core.GreedySwap}})
 		if err != nil {

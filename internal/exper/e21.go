@@ -21,7 +21,7 @@ func E21(cfg Config) *Report {
 		spec := core.MustUniform(tc.n, tc.k)
 		seqConv, simConv, simLoop := 0, 0, 0
 		for seed := int64(0); seed < int64(trials); seed++ {
-			start := dynamics.RandomStart(newSeededRand(seed+9000), tc.n, tc.k)
+			start := dynamics.RandomStart(newSeededRand("E21", seed), tc.n, tc.k)
 			seq, err := dynamics.Run(spec, start, dynamics.NewRoundRobin(tc.n), core.SumDistances,
 				dynamics.Options{MaxSteps: 2000})
 			if err != nil {

@@ -7,6 +7,7 @@ package exper
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"strings"
@@ -15,34 +16,48 @@ import (
 	"bbc/internal/obs"
 )
 
-// Report is the outcome of one experiment.
+// Report is the outcome of one experiment. The JSON tags are the stable
+// machine-readable schema shared by `bbcexp -json` and the sweep
+// harness's per-tuple reports; renaming one is a schema change.
 type Report struct {
 	// ID is the experiment identifier (E1..E16).
-	ID string
+	ID string `json:"id"`
 	// Title names the paper artifact being reproduced.
-	Title string
+	Title string `json:"title"`
 	// Rows are measured table rows.
-	Rows []string
+	Rows []string `json:"rows,omitempty"`
 	// Findings are the experiment's conclusions, including any observed
 	// divergence from the paper.
-	Findings []string
+	Findings []string `json:"findings,omitempty"`
 	// Pass reports whether the experiment's reproduction criteria held.
-	Pass bool
+	Pass bool `json:"pass"`
 	// WallMS is the experiment's wall time in milliseconds, filled in by
 	// All so bbcexp runs double as perf baselines.
-	WallMS float64
+	WallMS float64 `json:"wall_ms"`
 	// Counters holds the observability registry deltas attributable to
 	// this experiment (work done: oracle builds, BFS traversals, profiles
 	// checked, ...). Empty when no registry is installed.
-	Counters map[string]int64
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
-func (r *Report) addRow(format string, args ...interface{}) {
+// AddRow appends a formatted measured table row; exported so external
+// harnesses (the sweep tool) can assemble reports with the same
+// machinery the suite experiments use.
+func (r *Report) AddRow(format string, args ...interface{}) {
 	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
 }
 
-func (r *Report) addFinding(format string, args ...interface{}) {
+// AddFinding appends a formatted conclusion line.
+func (r *Report) AddFinding(format string, args ...interface{}) {
 	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) addRow(format string, args ...interface{}) {
+	r.AddRow(format, args...)
+}
+
+func (r *Report) addFinding(format string, args ...interface{}) {
+	r.AddFinding(format, args...)
 }
 
 // String renders the report as a text block.
@@ -162,8 +177,30 @@ func Instrumented(run func(Config) *Report, cfg Config) *Report {
 	return r
 }
 
-// newSeededRand returns a rand.Rand seeded deterministically; a shared
-// helper for experiments that derive per-trial randomness from seeds.
-func newSeededRand(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed))
+// newSeededRand returns a rand.Rand for one trial of one experiment,
+// seeded deterministically from the (experiment, trial) pair. The
+// experiment id is hashed into the seed and the result is finalized with
+// splitmix64, so the streams of different experiments are decorrelated:
+// feeding raw trial indices 0..trials-1 straight into rand.NewSource
+// would hand E17 and E19 (and dynamics.Ensemble, which derives trial
+// RNGs from Seed+trial) identical generators for overlapping seed
+// ranges, silently correlating trials the suite treats as independent.
+func newSeededRand(experiment string, trial int64) *rand.Rand {
+	return rand.New(rand.NewSource(SeedFor(experiment, trial)))
+}
+
+// SeedFor derives the namespaced RNG seed for a (namespace, trial) pair:
+// an FNV-1a hash of the namespace, advanced by the trial index times the
+// golden-ratio increment, pushed through the splitmix64 finalizer. Any
+// two distinct (namespace, trial) pairs yield uncorrelated streams.
+func SeedFor(namespace string, trial int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(namespace))
+	z := h.Sum64() + uint64(trial)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"bbc/internal/faultfs"
+)
+
+// CSV and JSONL emitters for machine-readable result streams (the sweep
+// harness's per-tuple rows). Both follow the journal's error discipline:
+// the first write error is retained, later records are dropped, and
+// Close surfaces it — so emitting code never branches on "did the row
+// land" and a full disk cannot silently truncate a result file. Both are
+// nil-safe: a nil emitter drops every record.
+
+// CSVWriter emits one header row and then fixed-width records. Fields
+// containing separators, quotes or newlines are quoted RFC 4180-style,
+// so rows round-trip through standard CSV readers; records are written
+// in single Write calls so a killed process leaves only whole rows (plus
+// at most one torn tail).
+type CSVWriter struct {
+	w      io.Writer
+	closer io.Closer
+	cols   int
+	err    error
+}
+
+// NewCSVWriter starts a CSV stream on w and writes the header row. The
+// column count fixes the schema: records with a different field count
+// are rejected as sticky errors, not written short.
+func NewCSVWriter(w io.Writer, columns ...string) *CSVWriter {
+	c := &CSVWriter{w: w, cols: len(columns)}
+	c.Record(columns...)
+	return c
+}
+
+// CreateCSVFile creates (truncating) a CSV file at path on fsys (nil =
+// real OS) and writes the header row. The caller owns Close.
+func CreateCSVFile(fsys faultfs.FS, path string, columns ...string) (*CSVWriter, error) {
+	f, err := faultfs.Or(fsys).Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create csv: %w", err)
+	}
+	c := NewCSVWriter(f, columns...)
+	c.closer = f
+	if c.err != nil {
+		f.Close() //nolint:errcheck // surfacing the write error already
+		return nil, c.err
+	}
+	return c, nil
+}
+
+// Record appends one row. The field count must match the header; a
+// mismatch is recorded as a sticky error rather than emitting a ragged
+// row. No-op on a nil writer or after a prior error.
+func (c *CSVWriter) Record(fields ...string) {
+	if c == nil || c.err != nil {
+		return
+	}
+	if len(fields) != c.cols {
+		c.err = fmt.Errorf("obs: csv record has %d fields, header has %d", len(fields), c.cols)
+		return
+	}
+	var b strings.Builder
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(f))
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(c.w, b.String()); err != nil {
+		c.err = fmt.Errorf("obs: write csv record: %w", err)
+	}
+}
+
+// csvEscape quotes a field when it contains a separator, quote, or line
+// break (RFC 4180); plain fields pass through unchanged.
+func csvEscape(f string) string {
+	if !strings.ContainsAny(f, ",\"\r\n") {
+		return f
+	}
+	return `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+}
+
+// Err returns the first write error, if any.
+func (c *CSVWriter) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.err
+}
+
+// Close closes the underlying file (when the writer owns one) and
+// returns the first error. No-op on nil.
+func (c *CSVWriter) Close() error {
+	if c == nil {
+		return nil
+	}
+	if c.closer != nil {
+		if err := c.closer.Close(); err != nil && c.err == nil {
+			c.err = err
+		}
+		c.closer = nil
+	}
+	return c.err
+}
+
+// JSONLWriter emits newline-delimited JSON records. Unlike Journal it
+// adds no envelope (no seq/elapsed/counters): the caller's value IS the
+// record, so emitted files are byte-reproducible for deterministic
+// payloads.
+type JSONLWriter struct {
+	w      io.Writer
+	closer io.Closer
+	err    error
+}
+
+// NewJSONLWriter starts a JSONL stream on w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter { return &JSONLWriter{w: w} }
+
+// CreateJSONLFile creates (truncating) a JSONL file at path on fsys
+// (nil = real OS). The caller owns Close.
+func CreateJSONLFile(fsys faultfs.FS, path string) (*JSONLWriter, error) {
+	f, err := faultfs.Or(fsys).Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create jsonl: %w", err)
+	}
+	return &JSONLWriter{w: f, closer: f}, nil
+}
+
+// Record marshals v and appends it as one line. No-op on a nil writer or
+// after a prior error.
+func (j *JSONLWriter) Record(v any) {
+	if j == nil || j.err != nil {
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		j.err = fmt.Errorf("obs: marshal jsonl record: %w", err)
+		return
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		j.err = fmt.Errorf("obs: write jsonl record: %w", err)
+	}
+}
+
+// Err returns the first write error, if any.
+func (j *JSONLWriter) Err() error {
+	if j == nil {
+		return nil
+	}
+	return j.err
+}
+
+// Close closes the underlying file (when the writer owns one) and
+// returns the first error. No-op on nil.
+func (j *JSONLWriter) Close() error {
+	if j == nil {
+		return nil
+	}
+	if j.closer != nil {
+		if err := j.closer.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.closer = nil
+	}
+	return j.err
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bbc/internal/faultfs"
+)
+
+func TestCSVWriterQuotingAndSchema(t *testing.T) {
+	var b strings.Builder
+	c := NewCSVWriter(&b, "n", "verdict", "note")
+	c.Record("5", "converged", "plain")
+	c.Record("6", `say "hi"`, "a,b\nc")
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+	want := "n,verdict,note\n" +
+		"5,converged,plain\n" +
+		"6,\"say \"\"hi\"\"\",\"a,b\nc\"\n"
+	if b.String() != want {
+		t.Fatalf("csv output:\n%q\nwant:\n%q", b.String(), want)
+	}
+
+	c.Record("only-one-field")
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "1 fields") {
+		t.Fatalf("ragged record: Err() = %v, want field-count error", err)
+	}
+	// Sticky: later well-formed records are dropped, output unchanged.
+	c.Record("7", "looped", "after error")
+	if b.String() != want {
+		t.Fatalf("record written after sticky error")
+	}
+	if c.Close() == nil {
+		t.Fatal("Close() should surface the sticky error")
+	}
+}
+
+func TestCSVWriterNilSafe(t *testing.T) {
+	var c *CSVWriter
+	c.Record("x")
+	if c.Err() != nil || c.Close() != nil {
+		t.Fatal("nil CSVWriter should be inert")
+	}
+	var j *JSONLWriter
+	j.Record(map[string]int{"a": 1})
+	if j.Err() != nil || j.Close() != nil {
+		t.Fatal("nil JSONLWriter should be inert")
+	}
+}
+
+func TestJSONLWriterRecords(t *testing.T) {
+	var b strings.Builder
+	j := NewJSONLWriter(&b)
+	j.Record(map[string]any{"type": "tuple", "n": 5})
+	j.Record(struct {
+		ID int `json:"id"`
+	}{7})
+	if err := j.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+	want := "{\"n\":5,\"type\":\"tuple\"}\n{\"id\":7}\n"
+	if b.String() != want {
+		t.Fatalf("jsonl output %q, want %q", b.String(), want)
+	}
+	j.Record(make(chan int)) // unmarshalable
+	if j.Err() == nil {
+		t.Fatal("marshal failure should stick")
+	}
+	if b.String() != want {
+		t.Fatal("output grew after marshal failure")
+	}
+}
+
+func TestCreateFilesWriteAndClose(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "rows.csv")
+	c, err := CreateCSVFile(nil, csvPath, "a", "b")
+	if err != nil {
+		t.Fatalf("CreateCSVFile: %v", err)
+	}
+	c.Record("1", "2")
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a,b\n1,2\n" {
+		t.Fatalf("file contents %q", got)
+	}
+
+	jlPath := filepath.Join(dir, "rows.jsonl")
+	j, err := CreateJSONLFile(nil, jlPath)
+	if err != nil {
+		t.Fatalf("CreateJSONLFile: %v", err)
+	}
+	j.Record(map[string]string{"k": "v"})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err = os.ReadFile(jlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "{\"k\":\"v\"}\n" {
+		t.Fatalf("file contents %q", got)
+	}
+}
+
+func TestCreateCSVFileFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil, faultfs.Fault{Op: faultfs.OpCreate, Nth: 1})
+	if _, err := CreateCSVFile(in, filepath.Join(dir, "x.csv"), "a"); err == nil {
+		t.Fatal("expected injected create failure")
+	}
+	// Header-write failure: Create succeeds, the first Write faults, and
+	// CreateCSVFile must surface it instead of returning a poisoned writer.
+	in = faultfs.NewInjector(nil, faultfs.Fault{Op: faultfs.OpWrite, Nth: 1})
+	if _, err := CreateCSVFile(in, filepath.Join(dir, "y.csv"), "a"); err == nil {
+		t.Fatal("expected injected header-write failure")
+	}
+}

@@ -21,7 +21,8 @@ const CheckpointVersion = 2
 const minCheckpointVersion = 1
 
 // Checkpoint is the versioned envelope of a run snapshot. Kind names the
-// payload schema ("enumeration", "ensemble", "suite", ...), and Payload
+// payload schema ("enumeration", "ensemble", "suite", "sweep-grid", ...,
+// each owned by the producing package), and Payload
 // holds the kind-specific state (search-space cursor, equilibria found,
 // trial outcomes, RNG seed, counter deltas) marshaled by the producer.
 type Checkpoint struct {

@@ -1,0 +1,540 @@
+// Package sweep expands parameter grids over the BBC engines and runs
+// each (workload, distribution, aggregation, n, k, trial) tuple through
+// the enumeration scanner, the best-response walker, or the exact
+// PoA/PoS pipeline, producing one machine-readable record per tuple.
+// cmd/bbcsweep is the CLI front end; the package is the library so tests
+// can drive grids, interruption and resume without a process boundary.
+//
+// Determinism contract: tuples run serially in index order, every
+// tuple's RNG is derived from its axes alone (exper.SeedFor over the
+// tuple fingerprint), and all solver counters except the *_nanos timing
+// counters are deterministic — so two runs of the same grid emit
+// byte-identical rows once the volatile wall-time fields are masked
+// (Result.CSVRecord / Result.Masked with deterministic=true). Resume
+// leans on this: replayed tuples come back from the checkpoint verbatim
+// and fresh ones recompute to the same bytes.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bbc/internal/core"
+	"bbc/internal/dynamics"
+	"bbc/internal/exper"
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+)
+
+// CheckpointKind names the sweep snapshot schema inside the
+// runctl.Checkpoint envelope.
+const CheckpointKind = "sweep-grid"
+
+// Axis vocabularies. Grids are validated against these before any tuple
+// runs, so a typo fails the whole sweep up front instead of half-way in.
+var (
+	// Workloads are the engines a tuple can exercise: "enumerate" scans
+	// the full profile space for pure equilibria, "dynamics" runs one
+	// seeded round-robin best-response walk, "experiment" computes exact
+	// PoA/PoS via the optimum+enumeration pipeline.
+	Workloads = []string{"enumerate", "dynamics", "experiment"}
+	// Dists are the link-length distributions: "uniform" is the paper's
+	// uniform game (all weights, costs, lengths 1), "nonuniform" draws
+	// integer lengths 1..3 per arc from the tuple RNG.
+	Dists = []string{"uniform", "nonuniform"}
+	// Aggs are the cost aggregations of Section 2: SUM and MAX.
+	Aggs = []string{"sum", "max"}
+)
+
+// Config is a sweep grid: the cross product of the axis slices, with
+// Trials replicas of each axis point (the trial index seeds the tuple
+// RNG, so trials differ in start profile and nonuniform instance).
+type Config struct {
+	Workloads []string `json:"workloads"`
+	Dists     []string `json:"dists"`
+	Aggs      []string `json:"aggs"`
+	Ns        []int    `json:"ns"`
+	Ks        []int    `json:"ks"`
+	Trials    int      `json:"trials"`
+
+	// MaxProfiles bounds every enumeration/optimum scan (0 = 1<<20).
+	MaxProfiles uint64 `json:"max_profiles,omitempty"`
+	// MaxSteps bounds every best-response walk (0 = the dynamics
+	// default, 10·n²).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Seed offsets every tuple's derived RNG stream, so two sweeps over
+	// the same grid can sample disjoint randomness.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Validate checks every axis value against its vocabulary and the grid
+// for non-emptiness.
+func (c Config) Validate() error {
+	if len(c.Workloads) == 0 || len(c.Dists) == 0 || len(c.Aggs) == 0 ||
+		len(c.Ns) == 0 || len(c.Ks) == 0 {
+		return errors.New("sweep: every axis (workload, dist, agg, n, k) needs at least one value")
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("sweep: trials must be >= 1, got %d", c.Trials)
+	}
+	for _, w := range c.Workloads {
+		if !contains(Workloads, w) {
+			return fmt.Errorf("sweep: unknown workload %q (want one of %s)", w, strings.Join(Workloads, ", "))
+		}
+	}
+	for _, d := range c.Dists {
+		if !contains(Dists, d) {
+			return fmt.Errorf("sweep: unknown dist %q (want one of %s)", d, strings.Join(Dists, ", "))
+		}
+	}
+	for _, a := range c.Aggs {
+		if !contains(Aggs, a) {
+			return fmt.Errorf("sweep: unknown agg %q (want one of %s)", a, strings.Join(Aggs, ", "))
+		}
+	}
+	for _, n := range c.Ns {
+		if n < 2 {
+			return fmt.Errorf("sweep: n must be >= 2, got %d", n)
+		}
+	}
+	for _, k := range c.Ks {
+		if k < 1 {
+			return fmt.Errorf("sweep: k must be >= 1, got %d", k)
+		}
+	}
+	return nil
+}
+
+func contains(set []string, v string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Fingerprint ties checkpoints to the exact grid and budgets that
+// produced them: resuming a half-done sweep under a different grid is
+// refused instead of splicing rows from two different experiments.
+func (c Config) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "w=%s;d=%s;a=%s;n=%s;k=%s;t=%d;mp=%d;ms=%d;seed=%d",
+		strings.Join(c.Workloads, ","), strings.Join(c.Dists, ","),
+		strings.Join(c.Aggs, ","), joinInts(c.Ns), joinInts(c.Ks),
+		c.Trials, c.MaxProfiles, c.MaxSteps, c.Seed)
+	return fmt.Sprintf("sweep-%016x", uint64(exper.SeedFor(b.String(), 0)))
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Tuple is one grid point: the axes plus its position in odometer order.
+type Tuple struct {
+	Index    int    `json:"index"`
+	Workload string `json:"workload"`
+	Dist     string `json:"dist"`
+	Agg      string `json:"agg"`
+	N        int    `json:"n"`
+	K        int    `json:"k"`
+	Trial    int    `json:"trial"`
+}
+
+// id renders the axes compactly for diagnostics and seed derivation.
+func (t Tuple) id() string {
+	return fmt.Sprintf("%s/%s/%s/n%d/k%d", t.Workload, t.Dist, t.Agg, t.N, t.K)
+}
+
+// Tuples expands the grid in odometer order — workload, dist, agg, n, k,
+// trial, trial fastest — which is also the order rows are emitted and
+// checkpoints advance.
+func (c Config) Tuples() []Tuple {
+	var out []Tuple
+	for _, w := range c.Workloads {
+		for _, d := range c.Dists {
+			for _, a := range c.Aggs {
+				for _, n := range c.Ns {
+					for _, k := range c.Ks {
+						for tr := 0; tr < c.Trials; tr++ {
+							out = append(out, Tuple{
+								Index: len(out), Workload: w, Dist: d,
+								Agg: a, N: n, K: k, Trial: tr,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Result is the machine-readable outcome of one tuple — the JSONL
+// record, and (via CSVRecord) the CSV row. Fields that do not apply to a
+// workload hold their zero values, so the schema is identical across
+// workloads.
+type Result struct {
+	Tuple
+	// Seed is the derived RNG seed the tuple ran under.
+	Seed int64 `json:"seed"`
+	// Verdict classifies the outcome: complete/budget (enumerate),
+	// converged/looped/exhausted (dynamics), complete/no-ne/budget
+	// (experiment), or infeasible when k has no legal strategy (k > n-1);
+	// error when the engine rejected the instance.
+	Verdict string `json:"verdict"`
+	// Pass is false only for engine errors; budget truncation and no-NE
+	// games are legitimate recorded outcomes.
+	Pass bool `json:"pass"`
+	// Equilibria and Checked report the enumeration scan (and the
+	// experiment workload's equilibrium count).
+	Equilibria int    `json:"equilibria"`
+	Checked    uint64 `json:"checked"`
+	// Steps and Moves report the best-response walk.
+	Steps int `json:"steps"`
+	Moves int `json:"moves"`
+	// PoA and PoS report the experiment workload (0 when not computed).
+	PoA float64 `json:"poa"`
+	PoS float64 `json:"pos"`
+	// Notes carries the human-readable detail rows, in the experiment
+	// suite's report idiom.
+	Notes []string `json:"notes,omitempty"`
+	// WallMS and Counters are the tuple's instrumented cost: wall time
+	// plus the obs registry deltas attributable to the tuple's engines.
+	WallMS   float64          `json:"wall_ms"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// EvalP50/P90/P99 are the core.profile_eval_ns latency histogram
+	// quantiles observed by the end of the tuple (cumulative over the
+	// process, like the pprof view; masked in deterministic mode).
+	EvalP50 float64 `json:"eval_p50_ns"`
+	EvalP90 float64 `json:"eval_p90_ns"`
+	EvalP99 float64 `json:"eval_p99_ns"`
+}
+
+// Columns is the CSV schema, one entry per CSVRecord field. Renaming or
+// reordering an entry is a schema change for downstream consumers.
+var Columns = []string{
+	"index", "workload", "dist", "agg", "n", "k", "trial", "seed",
+	"verdict", "pass", "equilibria", "checked", "steps", "moves",
+	"poa", "pos", "wall_ms",
+	"profiles_checked", "stability_checks", "oracle_builds", "bfs", "walk_steps",
+	"eval_p50_ns", "eval_p90_ns", "eval_p99_ns",
+}
+
+// counterColumns maps the tail of Columns onto registry counter names.
+var counterColumns = []string{
+	"core.profiles_checked", "core.stability_checks",
+	"oracle.builds", "graph.bfs", "dynamics.steps",
+}
+
+// CSVRecord renders the result as one row under Columns. With
+// deterministic set, the volatile timing fields (wall_ms, the latency
+// quantiles) render as 0 so identical grids produce byte-identical
+// files; the work counters are deterministic and stay.
+func (r *Result) CSVRecord(deterministic bool) []string {
+	m := r.Masked(deterministic)
+	row := []string{
+		strconv.Itoa(m.Index), m.Workload, m.Dist, m.Agg,
+		strconv.Itoa(m.N), strconv.Itoa(m.K), strconv.Itoa(m.Trial),
+		strconv.FormatInt(m.Seed, 10),
+		m.Verdict, strconv.FormatBool(m.Pass),
+		strconv.Itoa(m.Equilibria), strconv.FormatUint(m.Checked, 10),
+		strconv.Itoa(m.Steps), strconv.Itoa(m.Moves),
+		formatFloat(m.PoA), formatFloat(m.PoS), formatFloat(m.WallMS),
+	}
+	for _, name := range counterColumns {
+		row = append(row, strconv.FormatInt(m.Counters[name], 10))
+	}
+	row = append(row, formatFloat(m.EvalP50), formatFloat(m.EvalP90), formatFloat(m.EvalP99))
+	return row
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Masked returns the result with the volatile fields zeroed when
+// deterministic is set: wall time, the latency quantiles, and every
+// *_nanos counter — exactly the fields two identical runs can disagree
+// on. The original is never mutated (checkpointed results keep their
+// real timings).
+func (r *Result) Masked(deterministic bool) *Result {
+	if !deterministic {
+		return r
+	}
+	m := *r
+	m.WallMS, m.EvalP50, m.EvalP90, m.EvalP99 = 0, 0, 0, 0
+	if len(r.Counters) > 0 {
+		m.Counters = make(map[string]int64, len(r.Counters))
+		for k, v := range r.Counters {
+			if !strings.Contains(k, "nanos") {
+				m.Counters[k] = v
+			}
+		}
+	}
+	return &m
+}
+
+// Checkpoint is the sweep resume state: every completed tuple's full
+// result, keyed by tuple index. Results are stored unmasked, so a resume
+// can re-render either deterministic or timed rows.
+type Checkpoint struct {
+	Results map[int]*Result `json:"results"`
+}
+
+// RunConfig wires a sweep run to its host: context, resume state, and
+// the row/checkpoint sinks.
+type RunConfig struct {
+	// Ctx, when non-nil, is observed between tuples and inside every
+	// engine; a cancel or deadline stops the sweep after dropping the
+	// interrupted tuple's partial result (the resume re-runs it in full).
+	Ctx context.Context
+	// Done holds previously completed results by index (from a decoded
+	// Checkpoint); matching tuples are replayed, not re-run.
+	Done map[int]*Result
+	// OnResult receives every tuple's result in index order — replayed
+	// ones first flagged resumed=true, then fresh ones as they complete.
+	// This is where the host emits CSV/JSONL rows.
+	OnResult func(r *Result, resumed bool)
+	// Save, when non-nil, persists the completed-result set after every
+	// fresh tuple; failures are the host's concern (the sweep keeps
+	// running on in-memory state).
+	Save func(done map[int]*Result)
+}
+
+// Summary reports how a sweep ended.
+type Summary struct {
+	// Status is complete, or cancelled/deadline when Ctx fired.
+	Status runctl.Status
+	// Total, Completed and Failures count grid tuples; Resumed counts
+	// the subset replayed from Done.
+	Total, Completed, Failures, Resumed int
+}
+
+// Run executes the grid serially in tuple order. Each fresh tuple runs
+// under exper.Instrumented so its wall time and counter deltas are
+// attributed; engines observe Ctx so an interrupt is prompt.
+func Run(cfg Config, rc RunConfig) (*Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctx := rc.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := rc.Done
+	if done == nil {
+		done = map[int]*Result{}
+	}
+	tuples := cfg.Tuples()
+	sum := &Summary{Total: len(tuples)}
+	for _, t := range tuples {
+		if ctx.Err() != nil {
+			sum.Status = runctl.StatusFromContext(ctx)
+			return sum, nil
+		}
+		r, resumed := done[t.Index], true
+		if r == nil {
+			r = runTuple(ctx, cfg, t)
+			// A tuple cut short by cancellation holds partial work; keep
+			// it out of the row stream and the snapshot so the resumed
+			// sweep re-runs it in full (and so rows never depend on where
+			// the interrupt landed).
+			if ctx.Err() != nil {
+				sum.Status = runctl.StatusFromContext(ctx)
+				return sum, nil
+			}
+			resumed = false
+			done[t.Index] = r
+			if rc.Save != nil {
+				rc.Save(done)
+			}
+		} else {
+			sum.Resumed++
+		}
+		sum.Completed++
+		if !r.Pass {
+			sum.Failures++
+		}
+		if rc.OnResult != nil {
+			rc.OnResult(r, resumed)
+		}
+	}
+	sum.Status = runctl.StatusComplete
+	return sum, nil
+}
+
+// runTuple executes one grid point, instrumented: the returned result
+// carries the wall time and registry deltas of exactly this tuple's
+// engine work.
+func runTuple(ctx context.Context, cfg Config, t Tuple) *Result {
+	res := &Result{Tuple: t, Seed: exper.SeedFor("sweep/"+t.id(), int64(t.Trial)+cfg.Seed), Pass: true}
+	report := exper.Instrumented(func(ecfg exper.Config) *exper.Report {
+		r := &exper.Report{ID: fmt.Sprintf("T%d", t.Index), Pass: true}
+		runWorkload(ecfg.Ctx, cfg, t, res, r)
+		return r
+	}, exper.Config{Ctx: ctx})
+	res.Pass = report.Pass
+	res.Notes = report.Rows
+	res.WallMS = report.WallMS
+	res.Counters = report.Counters
+	if h, ok := obs.Global().HistSnapshot()["core.profile_eval_ns"]; ok {
+		res.EvalP50, res.EvalP90, res.EvalP99 = h.P50, h.P90, h.P99
+	}
+	return res
+}
+
+// runWorkload dispatches on the workload axis, filling res and the
+// instrumented report in place.
+func runWorkload(ctx context.Context, cfg Config, t Tuple, res *Result, r *exper.Report) {
+	if t.K > t.N-1 {
+		res.Verdict = "infeasible"
+		r.AddRow("k=%d exceeds the %d possible link targets; no strategy space", t.K, t.N-1)
+		return
+	}
+	spec, err := buildSpec(t, res.Seed)
+	if err != nil {
+		fail(res, r, "spec: %v", err)
+		return
+	}
+	agg := core.SumDistances
+	if t.Agg == "max" {
+		agg = core.MaxDistance
+	}
+	switch t.Workload {
+	case "enumerate":
+		runEnumerate(ctx, cfg, spec, agg, res, r)
+	case "dynamics":
+		runDynamics(ctx, cfg, t, spec, agg, res, r)
+	case "experiment":
+		runExperiment(cfg, spec, agg, res, r)
+	default:
+		fail(res, r, "unknown workload %q", t.Workload)
+	}
+}
+
+func fail(res *Result, r *exper.Report, format string, args ...any) {
+	res.Verdict = "error"
+	r.Pass = false
+	r.AddFinding(format, args...)
+	res.Notes = append(res.Notes, fmt.Sprintf(format, args...))
+}
+
+// buildSpec realizes the tuple's game instance. "uniform" is the paper's
+// uniform game; "nonuniform" keeps unit weights/costs/budget-k players
+// but draws arc lengths 1..3 from the tuple RNG (the minimal non-uniform
+// extension every engine supports).
+func buildSpec(t Tuple, seed int64) (core.Spec, error) {
+	if t.Dist == "uniform" {
+		return core.NewUniform(t.N, t.K)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := core.NewDense(t.N)
+	for u := 0; u < t.N; u++ {
+		d.Budgets[u] = int64(t.K)
+		for v := 0; v < t.N; v++ {
+			if u != v {
+				d.Lengths[u][v] = int64(1 + rng.Intn(3))
+			}
+		}
+	}
+	// Penalty must exceed n·maxLen so disconnection always dominates.
+	d.M = int64(3*t.N*t.N + t.N + 1)
+	if err := d.Seal(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (c Config) maxProfiles() uint64 {
+	if c.MaxProfiles > 0 {
+		return c.MaxProfiles
+	}
+	return 1 << 20
+}
+
+// runEnumerate scans the full profile space for pure Nash equilibria.
+func runEnumerate(ctx context.Context, cfg Config, spec core.Spec, agg core.Aggregation, res *Result, r *exper.Report) {
+	ss, err := core.FullSpace(spec, 0)
+	if err != nil {
+		fail(res, r, "space: %v", err)
+		return
+	}
+	ne, err := core.EnumeratePureNEOpts(spec, agg, ss, core.EnumConfig{
+		Ctx: ctx, MaxProfiles: cfg.maxProfiles(),
+	})
+	if err != nil {
+		fail(res, r, "enumerate: %v", err)
+		return
+	}
+	res.Verdict = ne.Status.String()
+	res.Equilibria = len(ne.Equilibria)
+	res.Checked = ne.Checked
+	r.AddRow("scanned %d profiles (%s): %d pure equilibria", ne.Checked, ne.Status, len(ne.Equilibria))
+}
+
+// runDynamics runs one seeded round-robin best-response walk.
+func runDynamics(ctx context.Context, cfg Config, t Tuple, spec core.Spec, agg core.Aggregation, res *Result, r *exper.Report) {
+	rng := rand.New(rand.NewSource(res.Seed + 1)) // +1: decorrelate from instance generation
+	start := dynamics.RandomStart(rng, t.N, t.K)
+	w, err := dynamics.Run(spec, start, dynamics.NewRoundRobin(t.N), agg, dynamics.Options{
+		Ctx: ctx, MaxSteps: cfg.MaxSteps, DetectLoops: true,
+	})
+	if err != nil {
+		fail(res, r, "walk: %v", err)
+		return
+	}
+	res.Steps, res.Moves = w.Steps, w.Moves
+	switch {
+	case w.Converged:
+		res.Verdict = "converged"
+	case w.Loop != nil:
+		res.Verdict = "looped"
+	case w.Status == runctl.StatusBudget:
+		res.Verdict = "exhausted"
+	default:
+		res.Verdict = w.Status.String()
+	}
+	r.AddRow("walk %s after %d steps (%d moves)", res.Verdict, w.Steps, w.Moves)
+}
+
+// runExperiment computes exact PoA/PoS. A game with no pure equilibrium
+// and a scan over budget are legitimate recorded verdicts, not failures.
+func runExperiment(cfg Config, spec core.Spec, agg core.Aggregation, res *Result, r *exper.Report) {
+	poa, pos, err := core.PriceOfAnarchyExact(spec, agg, cfg.maxProfiles())
+	if err != nil {
+		var lim *core.EnumerationLimitError
+		switch {
+		case errors.As(err, &lim):
+			res.Verdict = "budget"
+			r.AddRow("search space exceeds the %d-profile budget; PoA not computed", cfg.maxProfiles())
+		case strings.Contains(err.Error(), "no pure Nash equilibrium"):
+			res.Verdict = "no-ne"
+			r.AddRow("game has no pure Nash equilibrium; PoA undefined")
+		default:
+			fail(res, r, "poa: %v", err)
+		}
+		return
+	}
+	res.Verdict = "complete"
+	res.PoA, res.PoS = poa, pos
+	r.AddRow("PoA=%.4f PoS=%.4f", poa, pos)
+}
+
+// SortedIndices returns the completed indices of a checkpoint in tuple
+// order, for replay and diagnostics.
+func (c *Checkpoint) SortedIndices() []int {
+	idx := make([]int, 0, len(c.Results))
+	for i := range c.Results {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}

@@ -1,0 +1,338 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bbc/internal/obs"
+	"bbc/internal/runctl"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfig is the fixed grid the golden and resume tests run: all
+// three workloads, both distributions, both aggregations, one n, a
+// feasible and an infeasible k — 24 tuples, all sub-second.
+func goldenConfig() Config {
+	return Config{
+		Workloads: Workloads, Dists: Dists, Aggs: Aggs,
+		Ns: []int{4}, Ks: []int{1, 4}, Trials: 1,
+	}
+}
+
+// freshRegistry installs an empty global registry for the test so tuple
+// counter deltas and histogram state cannot leak across tests.
+func freshRegistry(t *testing.T) {
+	t.Helper()
+	prev := obs.SetGlobal(obs.NewRegistry())
+	t.Cleanup(func() { obs.SetGlobal(prev) })
+}
+
+// render writes results the way cmd/bbcsweep does — CSV and JSONL, in
+// deterministic mode — so library tests pin the exact bytes users see.
+func render(t *testing.T, results []*Result) (csv, jsonl []byte) {
+	t.Helper()
+	var cb, jb bytes.Buffer
+	cw := obs.NewCSVWriter(&cb, Columns...)
+	jw := obs.NewJSONLWriter(&jb)
+	for _, r := range results {
+		cw.Record(r.CSVRecord(true)...)
+		jw.Record(r.Masked(true))
+	}
+	if err := cw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes()
+}
+
+func runAll(t *testing.T, cfg Config, rc RunConfig) []*Result {
+	t.Helper()
+	var out []*Result
+	rc.OnResult = func(r *Result, _ bool) { out = append(out, r) }
+	sum, err := Run(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Status != runctl.StatusComplete {
+		t.Fatalf("status = %v, want complete", sum.Status)
+	}
+	return out
+}
+
+func TestGridExpansionOrder(t *testing.T) {
+	cfg := Config{
+		Workloads: []string{"enumerate", "dynamics"},
+		Dists:     []string{"uniform"},
+		Aggs:      []string{"sum", "max"},
+		Ns:        []int{4, 5}, Ks: []int{1}, Trials: 2,
+	}
+	tuples := cfg.Tuples()
+	if len(tuples) != 2*1*2*2*1*2 {
+		t.Fatalf("grid size = %d, want 16", len(tuples))
+	}
+	for i, tp := range tuples {
+		if tp.Index != i {
+			t.Fatalf("tuple %d has Index %d", i, tp.Index)
+		}
+	}
+	// Odometer order: trial fastest, then k, n, agg, dist, workload.
+	if tuples[0].Trial != 0 || tuples[1].Trial != 1 {
+		t.Fatalf("trial is not the fastest axis: %+v %+v", tuples[0], tuples[1])
+	}
+	if tuples[0].N != 4 || tuples[2].N != 5 {
+		t.Fatalf("n does not advance after trials: %+v %+v", tuples[0], tuples[2])
+	}
+	last := tuples[len(tuples)-1]
+	if last.Workload != "dynamics" || last.Agg != "max" || last.N != 5 {
+		t.Fatalf("last tuple %+v is not the odometer maximum", last)
+	}
+}
+
+func TestValidateRejectsBadAxes(t *testing.T) {
+	base := goldenConfig()
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"empty n", func(c *Config) { c.Ns = nil }},
+		{"zero trials", func(c *Config) { c.Trials = 0 }},
+		{"unknown workload", func(c *Config) { c.Workloads = []string{"enumarate"} }},
+		{"unknown dist", func(c *Config) { c.Dists = []string{"gaussian"} }},
+		{"unknown agg", func(c *Config) { c.Aggs = []string{"avg"} }},
+		{"n too small", func(c *Config) { c.Ns = []int{1} }},
+		{"k too small", func(c *Config) { c.Ks = []int{0} }},
+	} {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := Run(cfg, RunConfig{}); err == nil {
+			t.Errorf("%s: Run accepted an invalid grid", tc.name)
+		}
+	}
+}
+
+func TestTupleSeedsAreNamespaced(t *testing.T) {
+	cfg := goldenConfig()
+	freshRegistry(t)
+	results := runAll(t, cfg, RunConfig{})
+	seen := map[int64]int{}
+	for _, r := range results {
+		if prev, dup := seen[r.Seed]; dup {
+			t.Fatalf("tuples %d and %d share seed %d", prev, r.Index, r.Seed)
+		}
+		seen[r.Seed] = r.Index
+	}
+	// A different base seed shifts every stream.
+	cfg.Seed = 1
+	for _, r := range runAll(t, cfg, RunConfig{}) {
+		if _, dup := seen[r.Seed]; dup {
+			t.Fatalf("tuple %d reuses a seed from the seed-0 sweep", r.Index)
+		}
+	}
+}
+
+func TestInfeasibleTupleIsRecordedNotFailed(t *testing.T) {
+	freshRegistry(t)
+	cfg := goldenConfig()
+	results := runAll(t, cfg, RunConfig{})
+	infeasible := 0
+	for _, r := range results {
+		if r.K == 4 {
+			if r.Verdict != "infeasible" || !r.Pass {
+				t.Fatalf("tuple %d (k=4, n=4): verdict %q pass %v, want infeasible/true", r.Index, r.Verdict, r.Pass)
+			}
+			infeasible++
+		} else if r.Verdict == "infeasible" {
+			t.Fatalf("tuple %d (k=%d, n=%d) wrongly infeasible", r.Index, r.K, r.N)
+		}
+	}
+	if infeasible != len(results)/2 {
+		t.Fatalf("infeasible rows = %d, want %d", infeasible, len(results)/2)
+	}
+}
+
+// TestGoldenCSVJSONL pins the emitted bytes of the fixed grid — column
+// order, quoting, float formatting, JSON field set — against committed
+// fixtures. Regenerate with: go test ./internal/sweep/ -run Golden -update
+func TestGoldenCSVJSONL(t *testing.T) {
+	freshRegistry(t)
+	results := runAll(t, goldenConfig(), RunConfig{})
+	csv, jsonl := render(t, results)
+
+	csvPath := filepath.Join("testdata", "grid_n4.golden.csv")
+	jsonlPath := filepath.Join("testdata", "grid_n4.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(csvPath, csv, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jsonlPath, jsonl, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantCSV, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(csv, wantCSV) {
+		t.Errorf("CSV differs from golden (regenerate with -update if intended)\ngot:\n%s", csv)
+	}
+	wantJSONL, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(jsonl, wantJSONL) {
+		t.Errorf("JSONL differs from golden (regenerate with -update if intended)\ngot:\n%s", jsonl)
+	}
+}
+
+// TestResumeByteIdentity is the library-level crash/resume contract: a
+// sweep cancelled mid-grid, checkpointed through a real runctl.Store,
+// decoded and resumed must emit exactly the bytes of an uninterrupted
+// run.
+func TestResumeByteIdentity(t *testing.T) {
+	cfg := goldenConfig()
+	fp := cfg.Fingerprint()
+
+	freshRegistry(t)
+	full := runAll(t, cfg, RunConfig{})
+	wantCSV, wantJSONL := render(t, full)
+
+	// Interrupted run: cancel after the 5th fresh tuple's save. The
+	// in-flight 6th tuple's partial result must be dropped.
+	freshRegistry(t)
+	store := &runctl.Store{Path: filepath.Join(t.TempDir(), "sweep.ckpt")}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	saves := 0
+	sum, err := Run(cfg, RunConfig{
+		Ctx: ctx,
+		Save: func(done map[int]*Result) {
+			env, err := runctl.NewCheckpoint(CheckpointKind, fp, runctl.StatusCancelled, nil, &Checkpoint{Results: done})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Save(env); err != nil {
+				t.Fatal(err)
+			}
+			if saves++; saves == 5 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Status != runctl.StatusCancelled {
+		t.Fatalf("interrupted status = %v, want cancelled", sum.Status)
+	}
+
+	env, _, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp Checkpoint
+	if err := env.Decode(CheckpointKind, fp, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cp.Results); got != 5 {
+		t.Fatalf("checkpoint holds %d results, want 5 (partial 6th must be dropped)", got)
+	}
+
+	freshRegistry(t)
+	var resumedRows []*Result
+	resumedCount := 0
+	sum, err = Run(cfg, RunConfig{
+		Done: cp.Results,
+		OnResult: func(r *Result, resumed bool) {
+			resumedRows = append(resumedRows, r)
+			if resumed {
+				resumedCount++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Status != runctl.StatusComplete || sum.Resumed != 5 || resumedCount != 5 {
+		t.Fatalf("resume summary %+v (callback saw %d resumed), want complete with 5 resumed", sum, resumedCount)
+	}
+	gotCSV, gotJSONL := render(t, resumedRows)
+	if !bytes.Equal(gotCSV, wantCSV) {
+		t.Errorf("resumed CSV differs from uninterrupted run\ngot:\n%s\nwant:\n%s", gotCSV, wantCSV)
+	}
+	if !bytes.Equal(gotJSONL, wantJSONL) {
+		t.Errorf("resumed JSONL differs from uninterrupted run")
+	}
+}
+
+// TestFingerprintSeparatesGrids: a checkpoint from one grid must not
+// decode into a differently-shaped sweep.
+func TestFingerprintSeparatesGrids(t *testing.T) {
+	a := goldenConfig()
+	b := goldenConfig()
+	b.Ks = []int{1, 3}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different grids share a fingerprint")
+	}
+	c := goldenConfig()
+	c.Seed = 7
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different base seeds share a fingerprint")
+	}
+	env, err := runctl.NewCheckpoint(CheckpointKind, a.Fingerprint(), runctl.StatusCancelled, nil, &Checkpoint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp Checkpoint
+	if err := env.Decode(CheckpointKind, b.Fingerprint(), &cp); err == nil {
+		t.Fatal("checkpoint from grid A decoded under grid B's fingerprint")
+	}
+}
+
+// TestMaskedStripsVolatileFields: deterministic rendering zeroes wall
+// time, quantiles and *_nanos counters but keeps the work counters, and
+// never mutates the original (checkpoints keep real timings).
+func TestMaskedStripsVolatileFields(t *testing.T) {
+	r := &Result{
+		Tuple: Tuple{Index: 3, Workload: "enumerate", Dist: "uniform", Agg: "sum", N: 4, K: 1},
+		Seed:  42, Verdict: "complete", Pass: true,
+		WallMS: 12.5, EvalP50: 100, EvalP90: 200, EvalP99: 300,
+		Counters: map[string]int64{
+			"core.profiles_checked": 256,
+			"oracle.build_nanos":    999999,
+		},
+	}
+	m := r.Masked(true)
+	if m.WallMS != 0 || m.EvalP50 != 0 || m.EvalP90 != 0 || m.EvalP99 != 0 {
+		t.Fatalf("volatile fields survived masking: %+v", m)
+	}
+	if _, ok := m.Counters["oracle.build_nanos"]; ok {
+		t.Fatal("nanos counter survived masking")
+	}
+	if m.Counters["core.profiles_checked"] != 256 {
+		t.Fatal("work counter lost in masking")
+	}
+	if r.WallMS != 12.5 || r.Counters["oracle.build_nanos"] != 999999 {
+		t.Fatal("Masked mutated the original result")
+	}
+	row := r.CSVRecord(true)
+	if len(row) != len(Columns) {
+		t.Fatalf("CSVRecord has %d fields, Columns has %d", len(row), len(Columns))
+	}
+	if row[16] != "0" {
+		t.Fatalf("wall_ms column = %q, want 0", row[16])
+	}
+	if got := strings.Join(r.CSVRecord(false), ","); !strings.Contains(got, "12.5") {
+		t.Fatalf("timed render lost wall time: %s", got)
+	}
+}

@@ -5,12 +5,18 @@
 # build, best response, stability check, dynamics round) with -benchmem and
 # emits one JSON snapshot with ns/op, B/op, allocs/op and every custom
 # metric the benchmarks report (profiles/sec, bfs/op, ...). The committed
-# BENCH_3.json pairs two such snapshots — the pre-engine baseline and the
-# current tree — so regressions are diffs, not anecdotes.
+# BENCH_<pr>.json records pair such snapshots — a baseline and the tree
+# under test — so regressions are diffs, not anecdotes.
 #
 # Usage:
-#   scripts/bench.sh                 # micro-benchmarks → BENCH_3.snapshot.json
-#   OUT=out.json scripts/bench.sh    # choose the output path
+#   scripts/bench.sh                 # micro-benchmarks → BENCH_dev.snapshot.json
+#   TAG=10 scripts/bench.sh          # name the snapshot BENCH_10.snapshot.json
+#   OUT=out.json scripts/bench.sh    # or choose the output path outright
+#   SWEEP=1 scripts/bench.sh         # also run the fixed bbcsweep grid (all
+#                                    # three workloads × both dists × both
+#                                    # aggregations at n=5) and fold per-
+#                                    # workload tuple counts and wall times
+#                                    # into the snapshot
 #   FULL=1 scripts/bench.sh          # also run the full 7,529,536-profile
 #                                    # Theorem 1 serial enumeration (minutes
 #                                    # on the baseline engine, ~10s on the
@@ -29,7 +35,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_3.snapshot.json}"
+# TAG names the snapshot for the change under test ("dev" for local
+# iteration, the PR number when recording a committed baseline); OUT
+# overrides the full path.
+TAG="${TAG:-dev}"
+OUT="${OUT:-BENCH_${TAG}.snapshot.json}"
 BENCHES="${BENCHES:-BenchmarkTheorem1Scan\$|BenchmarkOracleBuild\$|BenchmarkBestResponse\$|BenchmarkStabilityCheck\$|BenchmarkDynamicsRound\$}"
 BENCHTIME="${BENCHTIME:-}"
 
@@ -95,6 +105,35 @@ elif [ "${FULL:-0}" = "1" ]; then
     rm -rf "$tmpdir"
 fi
 
+sweep_section=""
+if [ "${SWEEP:-0}" = "1" ]; then
+    tmpdir="$(mktemp -d)"
+    go build -o "$tmpdir/bbcsweep" ./cmd/bbcsweep
+    echo "bench.sh: running the fixed sweep grid (24 tuples)..." >&2
+    t0=$(date +%s%N)
+    "$tmpdir/bbcsweep" -n 5 -k 1,2 -workload enumerate,dynamics,experiment \
+        -dist uniform,nonuniform -agg sum,max -csv "$tmpdir/rows.csv"
+    t1=$(date +%s%N)
+    # Fold per-workload tuple counts and wall-time sums (CSV columns 2 and
+    # 17) into the snapshot, plus the grid's end-to-end wall time.
+    sweep_section="$(awk -F, -v total_ns=$((t1 - t0)) '
+        NR > 1 { ms[$2] += $17; cnt[$2]++ }
+        END {
+            split("enumerate dynamics experiment", ws, " ")
+            out = ""
+            for (i = 1; i <= 3; i++) {
+                w = ws[i]
+                if (cnt[w] == 0) continue
+                if (out != "") out = out ",\n"
+                out = out sprintf("    \"%s\": {\"tuples\": %d, \"wall_ms\": %.3f}", w, cnt[w], ms[w])
+            }
+            printf ",\n  \"sweep_workloads\": {\n%s\n  }", out
+            printf ",\n  \"sweep_total\": {\"tuples\": %d, \"wall_seconds\": %.3f}", NR - 1, total_ns / 1e9
+        }
+    ' "$tmpdir/rows.csv")"
+    rm -rf "$tmpdir"
+fi
+
 {
     printf '{\n'
     printf '  "generated_by": "scripts/bench.sh",\n'
@@ -117,7 +156,7 @@ fi
         }
         END { print out }
     ' "$raw"
-    printf '  }%s\n' "$full_section"
+    printf '  }%s%s\n' "$full_section" "$sweep_section"
     printf '}\n'
 } > "$OUT"
 echo "bench.sh: wrote $OUT" >&2
